@@ -1,0 +1,80 @@
+//! Ablation for Section 4.1's headline claim: on the "counters of all
+//! processes are approximately synchronized" predicate (clause span k = 2,
+//! s = n clauses per process), the decomposable slicer is ~n× faster than
+//! slicing the conjunction as one monolithic regular predicate with the
+//! generic `O(n²|E|)` algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use slicing_computation::{Computation, GlobalState, ProcSet, VarRef};
+use slicing_core::{slice_decomposable, slice_linear};
+use slicing_predicates::{BoundedDifference, LinearPredicate, Predicate};
+use slicing_sim::clock_sync::{self, ClockSync};
+use slicing_sim::{run, SimConfig};
+
+fn counters(n: usize, events: u32) -> (Computation, Vec<VarRef>) {
+    let cfg = SimConfig {
+        seed: 17,
+        max_events_per_process: events,
+        ..SimConfig::default()
+    };
+    let comp = run(&mut ClockSync::new(n), &cfg).expect("protocol run builds");
+    let vars = clock_sync::clock_vars(&comp);
+    (comp, vars)
+}
+
+/// The whole conjunction treated as one opaque regular predicate — what
+/// the ICDCS'01 algorithm would slice directly.
+#[derive(Debug)]
+struct Monolithic(Vec<BoundedDifference>);
+
+impl Predicate for Monolithic {
+    fn support(&self) -> ProcSet {
+        self.0
+            .iter()
+            .map(Predicate::support)
+            .fold(ProcSet::empty(), ProcSet::union)
+    }
+
+    fn eval(&self, st: &GlobalState<'_>) -> bool {
+        self.0.iter().all(|c| c.eval(st))
+    }
+}
+
+impl LinearPredicate for Monolithic {
+    fn forbidden_process(&self, st: &GlobalState<'_>) -> slicing_computation::ProcessId {
+        self.0
+            .iter()
+            .find(|c| !c.eval(st))
+            .expect("called on falsifying state")
+            .forbidden_process(st)
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposable_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for &n in &[4usize, 8, 12] {
+        let (comp, vars) = counters(n, 12);
+        let clauses = clock_sync::synchronized_clauses(&comp, 3);
+        let _ = vars;
+        group.bench_with_input(
+            BenchmarkId::new("decomposable", n),
+            &(&comp, &clauses),
+            |b, (comp, clauses)| b.iter(|| slice_decomposable(comp, clauses)),
+        );
+        let mono = Monolithic(clauses.clone());
+        group.bench_with_input(
+            BenchmarkId::new("monolithic", n),
+            &(&comp, &mono),
+            |b, (comp, mono)| b.iter(|| slice_linear(comp, *mono)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

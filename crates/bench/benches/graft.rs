@@ -1,0 +1,52 @@
+//! Grafting cost (Section 3.4): conjunction and disjunction grafts are
+//! `O(n|E|)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use slicing_computation::test_fixtures::{random_computation, RandomConfig};
+use slicing_core::{graft_and, graft_or, slice_conjunctive, Slice};
+use slicing_predicates::{Conjunctive, LocalPredicate};
+
+fn slices(events: u32) -> (slicing_computation::Computation, u32) {
+    let cfg = RandomConfig {
+        processes: 6,
+        events_per_process: events,
+        send_percent: 30,
+        recv_percent: 30,
+        value_range: 4,
+    };
+    (random_computation(3, &cfg), events)
+}
+
+fn pred(comp: &slicing_computation::Computation, proc_idx: usize, t: i64) -> Conjunctive {
+    let p = comp.process(proc_idx);
+    let x = comp.var(p, "x").unwrap();
+    Conjunctive::new(vec![LocalPredicate::int(x, "thr", move |v| v >= t)])
+}
+
+fn bench_grafts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graft");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for &events in &[25u32, 50, 100] {
+        let (comp, _) = slices(events);
+        let s1: Slice<'_> = slice_conjunctive(&comp, &pred(&comp, 0, 1));
+        let s2: Slice<'_> = slice_conjunctive(&comp, &pred(&comp, 1, 2));
+        group.bench_with_input(
+            BenchmarkId::new("and", events),
+            &(&s1, &s2),
+            |b, (s1, s2)| b.iter(|| graft_and(s1, s2)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("or", events),
+            &(&s1, &s2),
+            |b, (s1, s2)| b.iter(|| graft_or(s1, s2)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grafts);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! k-local slicing cost (Section 4.2): `O(n · m^(k-1) · |E|)` — the DNF
+//! transform dominates as events per process (`m`) grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use slicing_computation::test_fixtures::{random_computation, RandomConfig};
+use slicing_core::slice_klocal;
+use slicing_predicates::KLocalPredicate;
+
+fn bench_klocal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("klocal");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for &events in &[8u32, 16, 32] {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: events,
+            send_percent: 30,
+            recv_percent: 30,
+            value_range: 6,
+        };
+        let comp = random_computation(11, &cfg);
+        let x0 = comp.var(comp.process(0), "x").unwrap();
+        let x1 = comp.var(comp.process(1), "x").unwrap();
+        let x2 = comp.var(comp.process(2), "x").unwrap();
+
+        let p2 = KLocalPredicate::new(vec![x0, x1], "x0 != x1", |v| v[0] != v[1]);
+        group.bench_with_input(BenchmarkId::new("k2_neq", events), &comp, |b, comp| {
+            b.iter(|| slice_klocal(comp, &p2))
+        });
+
+        let p3 = KLocalPredicate::new(vec![x0, x1, x2], "x0+x1==x2", |v| {
+            v[0].expect_int() + v[1].expect_int() == v[2].expect_int()
+        });
+        group.bench_with_input(BenchmarkId::new("k3_sum", events), &comp, |b, comp| {
+            b.iter(|| slice_klocal(comp, &p3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_klocal);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Scaling of the core slicers with |E| — checks the complexity claims of
+//! Sections 3.3 and 4.3: the conjunctive slicer is `O(|E|)` and the
+//! generic linear/regular slicer `O(n²|E|)`, so doubling the events should
+//! roughly double both (for fixed n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use slicing_computation::test_fixtures::{random_computation, RandomConfig};
+use slicing_computation::Computation;
+use slicing_core::{slice_conjunctive, slice_linear, slice_postlinear};
+use slicing_predicates::{AtMostInTransit, Conjunctive, LocalPredicate};
+
+fn workload(n: usize, events: u32) -> (Computation, Conjunctive) {
+    let cfg = RandomConfig {
+        processes: n,
+        events_per_process: events,
+        send_percent: 30,
+        recv_percent: 30,
+        value_range: 4,
+    };
+    let comp = random_computation(7, &cfg);
+    let clauses = comp
+        .processes()
+        .map(|p| {
+            let x = comp.var(p, "x").unwrap();
+            LocalPredicate::int(x, "x >= 1", |v| v >= 1)
+        })
+        .collect();
+    (comp, Conjunctive::new(clauses))
+}
+
+fn bench_slicers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slicer_scaling");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for &events in &[25u32, 50, 100] {
+        let (comp, pred) = workload(6, events);
+        group.bench_with_input(
+            BenchmarkId::new("conjunctive_O(E)", events),
+            &(&comp, &pred),
+            |b, (comp, pred)| b.iter(|| slice_conjunctive(comp, pred)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("linear_O(n2E)", events),
+            &(&comp, &pred),
+            |b, (comp, pred)| b.iter(|| slice_linear(comp, *pred)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("postlinear_O(n2E)", events),
+            &(&comp, &pred),
+            |b, (comp, pred)| b.iter(|| slice_postlinear(comp, *pred)),
+        );
+        let chan = AtMostInTransit::new(comp.process(0), comp.process(1), 0);
+        group.bench_with_input(
+            BenchmarkId::new("linear_channel", events),
+            &(&comp, chan),
+            |b, (comp, chan)| b.iter(|| slice_linear(comp, chan)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slicers);
+criterion_main!(benches);

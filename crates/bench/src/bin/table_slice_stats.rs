@@ -1,0 +1,120 @@
+//! Reproduces the paper's state-space-reduction claims ("the slice has
+//! much fewer consistent cuts than the computation itself — exponentially
+//! smaller in many cases"): cut counts of computation versus slice across
+//! the workloads in this repository.
+//!
+//! ```text
+//! cargo run --release -p slicing-bench --bin table_slice_stats -- [--events 14] [--cap 5000000]
+//! ```
+
+use slicing_bench::Workload;
+use slicing_computation::test_fixtures::figure1;
+use slicing_core::{slice_decomposable, SliceStats};
+use slicing_sim::clock_sync::{self, ClockSync};
+use slicing_sim::token_ring::{no_token_spec, TokenRing};
+use slicing_sim::{run, SimConfig};
+
+fn main() {
+    let mut events: u32 = 14;
+    let mut cap: u64 = 5_000_000;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--events" => events = value.parse().expect("integer"),
+            "--cap" => cap = value.parse().expect("integer"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    println!(
+        "{:<34} {:>8} {:>14} {:>12} {:>10} {:>12}",
+        "workload / predicate", "events", "lattice_cuts", "slice_cuts", "metas", "reduction"
+    );
+
+    let row = |name: &str, stats: &SliceStats| {
+        println!(
+            "{:<34} {:>8} {:>13}{} {:>11}{} {:>10} {:>11.1}x",
+            name,
+            stats.num_events,
+            stats.computation_cuts.value(),
+            if stats.computation_cuts.is_exact() {
+                " "
+            } else {
+                "+"
+            },
+            stats.slice_cuts.value(),
+            if stats.slice_cuts.is_exact() {
+                " "
+            } else {
+                "+"
+            },
+            stats.num_meta_events,
+            stats.reduction_factor(),
+        );
+    };
+
+    // Figure 1.
+    {
+        let comp = figure1();
+        let pred = slicing_predicates::expr::parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3")
+            .expect("fixture predicate parses");
+        let conj = pred.to_conjunctive().expect("conjunctive");
+        let slice = slicing_core::slice_conjunctive(&comp, &conj);
+        row(
+            "figure-1 / (x1>1)∧(x3≤3)",
+            &SliceStats::gather(&comp, &slice, Some(cap)),
+        );
+    }
+
+    // Token ring: no process has the token.
+    {
+        let cfg = SimConfig {
+            seed: 5,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        let comp = run(&mut TokenRing::new(4), &cfg).expect("run builds");
+        let slice = no_token_spec(&comp).slice(&comp);
+        row(
+            "token-ring / no-token",
+            &SliceStats::gather(&comp, &slice, Some(cap)),
+        );
+    }
+
+    // Primary-secondary and database partitioning, fault-free and faulty.
+    for w in [Workload::PrimarySecondary, Workload::DatabasePartitioning] {
+        for faults in [0u32, 1] {
+            let mut comp = w.simulate(5, events, 11);
+            for f in 0..faults {
+                comp = w.inject_fault(&comp, 77 + u64::from(f));
+            }
+            let slice = w.violation_spec(&comp).slice(&comp);
+            let stats = SliceStats::gather(&comp, &slice, Some(cap));
+            let name = format!(
+                "{} / ¬I ({})",
+                w.name(),
+                if faults == 0 { "fault-free" } else { "1 fault" }
+            );
+            row(&name, &stats);
+        }
+    }
+
+    // Decomposable regular predicate on monotone clocks.
+    {
+        let cfg = SimConfig {
+            seed: 99,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        let comp = run(&mut ClockSync::new(4), &cfg).expect("run builds");
+        let clauses = clock_sync::synchronized_clauses(&comp, 2);
+        let slice = slice_decomposable(&comp, &clauses);
+        row(
+            "clock-sync / |ci-cj|≤2",
+            &SliceStats::gather(&comp, &slice, Some(cap)),
+        );
+    }
+
+    println!("\n(+ marks a capped count: the true value is at least the shown one; cap = {cap})");
+}

@@ -1,0 +1,341 @@
+//! Shared experiment harness for reproducing the paper's figures and
+//! tables.
+//!
+//! The binaries in `src/bin/` regenerate each figure's series (see
+//! `EXPERIMENTS.md` at the repository root); the Criterion benches in
+//! `benches/` track the same workloads as micro-benchmarks.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use slicing_computation::Computation;
+use slicing_core::PredicateSpec;
+use slicing_detect::{
+    detect_hybrid, detect_pom, detect_with_slicing, suggested_pom_budget, Limits,
+};
+use slicing_predicates::{FnPredicate, Predicate};
+use slicing_sim::database::{self, DatabasePartitioning};
+use slicing_sim::fault::{inject_database_fault, inject_primary_secondary_fault};
+use slicing_sim::primary_secondary::{self, PrimarySecondary};
+use slicing_sim::{run, SimConfig};
+
+/// Which protocol an experiment drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The primary–secondary protocol (Figure 2).
+    PrimarySecondary,
+    /// The database-partitioning protocol (Figure 3).
+    DatabasePartitioning,
+}
+
+impl Workload {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::PrimarySecondary => "primary-secondary",
+            Workload::DatabasePartitioning => "database-partitioning",
+        }
+    }
+
+    /// Simulates a fault-free run.
+    pub fn simulate(self, procs: usize, events: u32, seed: u64) -> Computation {
+        let cfg = SimConfig {
+            seed,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        match self {
+            Workload::PrimarySecondary => {
+                run(&mut PrimarySecondary::new(procs), &cfg).expect("protocol run builds")
+            }
+            Workload::DatabasePartitioning => {
+                run(&mut DatabasePartitioning::new(procs), &cfg).expect("protocol run builds")
+            }
+        }
+    }
+
+    /// Injects one random fault (returns the input unchanged if no
+    /// candidate exists).
+    pub fn inject_fault(self, comp: &Computation, seed: u64) -> Computation {
+        match self {
+            Workload::PrimarySecondary => inject_primary_secondary_fault(comp, seed)
+                .map(|(c, _)| c)
+                .unwrap_or_else(|| comp.clone()),
+            Workload::DatabasePartitioning => inject_database_fault(comp, seed)
+                .map(|(c, _)| c)
+                .unwrap_or_else(|| comp.clone()),
+        }
+    }
+
+    /// The sliceable specification of the global fault `¬I`.
+    pub fn violation_spec(self, comp: &Computation) -> PredicateSpec {
+        match self {
+            Workload::PrimarySecondary => primary_secondary::violation_spec(comp),
+            Workload::DatabasePartitioning => database::violation_spec(comp),
+        }
+    }
+
+    /// `¬I` as a plain predicate for the baseline searcher.
+    pub fn violation_pred(self, comp: &Computation) -> FnPredicate {
+        let n = comp.num_processes();
+        match self {
+            Workload::PrimarySecondary => {
+                let inv = primary_secondary::invariant(comp);
+                FnPredicate::new(slicing_computation::ProcSet::all(n), "¬I_ps", move |st| {
+                    !inv.eval(st)
+                })
+            }
+            Workload::DatabasePartitioning => {
+                let inv = database::invariant(comp);
+                FnPredicate::new(slicing_computation::ProcSet::all(n), "¬I_db", move |st| {
+                    !inv.eval(st)
+                })
+            }
+        }
+    }
+}
+
+/// One measured detection run.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Whether a violating cut was found.
+    pub detected: bool,
+    /// Wall-clock time, including slicing for the slicing approach.
+    pub time: Duration,
+    /// Peak tracked bytes (search structures plus the slice).
+    pub bytes: u64,
+    /// Cuts whose predicate value was examined.
+    pub cuts: u64,
+    /// Whether the run hit a resource limit.
+    pub aborted: bool,
+}
+
+/// Runs the computation-slicing approach on one computation.
+pub fn measure_slicing(workload: Workload, comp: &Computation, limits: &Limits) -> Sample {
+    let spec = workload.violation_spec(comp);
+    let outcome = detect_with_slicing(comp, &spec, limits);
+    Sample {
+        detected: outcome.detected(),
+        time: outcome.total_elapsed(),
+        bytes: outcome.total_peak_bytes(),
+        cuts: outcome.search.cuts_explored,
+        aborted: !outcome.search.completed(),
+    }
+}
+
+/// Runs the paper's hybrid strategy (POM under a `4·n·|E|`-entry budget,
+/// slicing fallback) on one computation.
+pub fn measure_hybrid(workload: Workload, comp: &Computation, limits: &Limits) -> Sample {
+    let spec = workload.violation_spec(comp);
+    let budget = suggested_pom_budget(comp, 4);
+    let outcome = detect_hybrid(comp, &spec, budget, limits);
+    let aborted = match &outcome.slicing {
+        Some(s) => !s.search.completed(),
+        None => false,
+    };
+    Sample {
+        detected: outcome.detected(),
+        time: outcome.total_elapsed(),
+        bytes: outcome.pom.peak_bytes
+            + outcome
+                .slicing
+                .as_ref()
+                .map(|s| s.total_peak_bytes())
+                .unwrap_or(0),
+        cuts: outcome.pom.cuts_explored
+            + outcome
+                .slicing
+                .as_ref()
+                .map(|s| s.search.cuts_explored)
+                .unwrap_or(0),
+        aborted,
+    }
+}
+
+/// Runs the partial-order-methods baseline on one computation.
+pub fn measure_pom(workload: Workload, comp: &Computation, limits: &Limits) -> Sample {
+    let pred = workload.violation_pred(comp);
+    let outcome = detect_pom(comp, &pred, limits);
+    Sample {
+        detected: outcome.detected(),
+        time: outcome.elapsed,
+        bytes: outcome.peak_bytes,
+        cuts: outcome.cuts_explored,
+        aborted: !outcome.completed(),
+    }
+}
+
+/// Aggregate of several samples (the paper averages over runs, excluding
+/// out-of-memory runs from the averages but reporting their rate).
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    /// Samples that ran to completion.
+    pub completed: u32,
+    /// Samples that hit a limit.
+    pub aborted: u32,
+    /// How many completed samples detected the fault.
+    pub detections: u32,
+    /// Mean time over completed samples.
+    pub mean_time: Duration,
+    /// Mean peak bytes over completed samples.
+    pub mean_bytes: f64,
+    /// Mean examined cuts over completed samples.
+    pub mean_cuts: f64,
+    /// Maximum examined cuts over completed samples.
+    pub max_cuts: u64,
+}
+
+impl Aggregate {
+    /// Folds samples into an aggregate.
+    pub fn of(samples: &[Sample]) -> Aggregate {
+        let mut agg = Aggregate::default();
+        let mut total_time = Duration::ZERO;
+        let mut total_bytes = 0f64;
+        let mut total_cuts = 0f64;
+        for s in samples {
+            if s.aborted {
+                agg.aborted += 1;
+                continue;
+            }
+            agg.completed += 1;
+            if s.detected {
+                agg.detections += 1;
+            }
+            total_time += s.time;
+            total_bytes += s.bytes as f64;
+            total_cuts += s.cuts as f64;
+            agg.max_cuts = agg.max_cuts.max(s.cuts);
+        }
+        if agg.completed > 0 {
+            agg.mean_time = total_time / agg.completed;
+            agg.mean_bytes = total_bytes / f64::from(agg.completed);
+            agg.mean_cuts = total_cuts / f64::from(agg.completed);
+        }
+        agg
+    }
+
+    /// Fraction of samples that hit the limit (the paper's ~6% / ~1%
+    /// out-of-memory rates).
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.completed + self.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            f64::from(self.aborted) / f64::from(total)
+        }
+    }
+}
+
+/// Sweeps one approach over seeds for a fixed (workload, n, events).
+pub fn sweep(
+    workload: Workload,
+    procs: usize,
+    events: u32,
+    seeds: std::ops::Range<u64>,
+    faults: u32,
+    limits: &Limits,
+    approach: fn(Workload, &Computation, &Limits) -> Sample,
+) -> Aggregate {
+    let samples: Vec<Sample> = seeds
+        .map(|seed| {
+            let mut comp = workload.simulate(procs, events, seed);
+            for f in 0..faults {
+                comp = workload.inject_fault(&comp, seed.wrapping_mul(1009) + u64::from(f));
+            }
+            approach(workload, &comp, limits)
+        })
+        .collect();
+    Aggregate::of(&samples)
+}
+
+/// Formats a duration in fractional milliseconds for table output.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats bytes in KiB for table output.
+pub fn kib(bytes: f64) -> String {
+    format!("{:.1}", bytes / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_both_approaches() {
+        for w in [Workload::PrimarySecondary, Workload::DatabasePartitioning] {
+            let procs = 3;
+            let s = sweep(w, procs, 6, 0..3, 0, &Limits::none(), measure_slicing);
+            assert_eq!(s.completed + s.aborted, 3, "{w:?}");
+            assert_eq!(s.detections, 0, "{w:?}: fault-free false alarm");
+            let p = sweep(w, procs, 6, 0..3, 0, &Limits::none(), measure_pom);
+            assert_eq!(p.detections, 0, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn faulty_sweeps_detect_sometimes() {
+        let s = sweep(
+            Workload::PrimarySecondary,
+            3,
+            8,
+            0..6,
+            1,
+            &Limits::none(),
+            measure_slicing,
+        );
+        let p = sweep(
+            Workload::PrimarySecondary,
+            3,
+            8,
+            0..6,
+            1,
+            &Limits::none(),
+            measure_pom,
+        );
+        assert_eq!(s.detections, p.detections, "approaches must agree");
+    }
+
+    #[test]
+    fn aggregate_math() {
+        let samples = vec![
+            Sample {
+                detected: true,
+                time: Duration::from_millis(2),
+                bytes: 100,
+                cuts: 10,
+                aborted: false,
+            },
+            Sample {
+                detected: false,
+                time: Duration::from_millis(4),
+                bytes: 300,
+                cuts: 30,
+                aborted: false,
+            },
+            Sample {
+                detected: false,
+                time: Duration::ZERO,
+                bytes: 0,
+                cuts: 0,
+                aborted: true,
+            },
+        ];
+        let agg = Aggregate::of(&samples);
+        assert_eq!(agg.completed, 2);
+        assert_eq!(agg.aborted, 1);
+        assert_eq!(agg.detections, 1);
+        assert_eq!(agg.mean_time, Duration::from_millis(3));
+        assert!((agg.mean_bytes - 200.0).abs() < 1e-9);
+        assert_eq!(agg.max_cuts, 30);
+        assert!((agg.abort_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(Duration::from_millis(1)), "1.000");
+        assert_eq!(kib(2048.0), "2.0");
+    }
+}

@@ -1,0 +1,596 @@
+//! Incremental construction of [`Computation`]s.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::computation::{Computation, ProcessVars, VarRef};
+use crate::cut::Cut;
+use crate::event::{EventId, Message};
+use crate::process::{ProcSet, ProcessId};
+use crate::value::Value;
+
+/// Errors reported by [`ComputationBuilder::build`] and the fallible builder
+/// methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The happened-before relation contains a cycle (e.g. a message sent
+    /// "backwards in time").
+    CyclicOrder,
+    /// A message was declared between two events of the same process.
+    SelfMessage {
+        /// The offending process.
+        process: ProcessId,
+    },
+    /// A message endpoint refers to a fictitious initial event, which cannot
+    /// send or receive.
+    MessageAtInitialEvent {
+        /// The offending event.
+        event: EventId,
+    },
+    /// The same (send, recv) pair was declared twice.
+    DuplicateMessage {
+        /// The duplicated message.
+        message: Message,
+    },
+    /// An assignment targeted an event that is no longer the last event of
+    /// its process.
+    StaleAssignment {
+        /// The event the assignment targeted.
+        event: EventId,
+    },
+    /// A variable name was declared twice on the same process.
+    DuplicateVariable {
+        /// The process on which the duplicate was declared.
+        process: ProcessId,
+        /// The duplicated name.
+        name: String,
+    },
+    /// A variable was declared after events were appended to its process.
+    LateVariable {
+        /// The process on which the late declaration happened.
+        process: ProcessId,
+        /// The variable name.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::CyclicOrder => {
+                write!(f, "happened-before relation contains a cycle")
+            }
+            BuildError::SelfMessage { process } => {
+                write!(f, "message between two events of process {process}")
+            }
+            BuildError::MessageAtInitialEvent { event } => {
+                write!(f, "initial event {event} cannot send or receive a message")
+            }
+            BuildError::DuplicateMessage { message } => {
+                write!(
+                    f,
+                    "duplicate message from {} to {}",
+                    message.send, message.recv
+                )
+            }
+            BuildError::StaleAssignment { event } => {
+                write!(
+                    f,
+                    "assignment to {event}, which is not the last event of its process"
+                )
+            }
+            BuildError::DuplicateVariable { process, name } => {
+                write!(f, "variable {name} declared twice on {process}")
+            }
+            BuildError::LateVariable { process, name } => {
+                write!(
+                    f,
+                    "variable {name} declared on {process} after events were appended"
+                )
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builder for [`Computation`]s.
+///
+/// Creating a builder for `n` processes implicitly creates the fictitious
+/// initial event ⊥ᵢ (position 0) on each process; [`declare_var`] sets the
+/// value that initial event carries. Real events are appended in process
+/// order; messages add cross-process edges.
+///
+/// [`declare_var`]: ComputationBuilder::declare_var
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::{ComputationBuilder, Value};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// let x = b.declare_var(b.process(0), "x", Value::Int(0));
+/// let send = b.step(b.process(0), &[(x, Value::Int(1))]);
+/// let recv = b.append_event(b.process(1));
+/// b.message(send, recv)?;
+/// let comp = b.build()?;
+/// assert_eq!(comp.num_events(), 4);
+/// # Ok::<(), slicing_computation::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComputationBuilder {
+    num_processes: usize,
+    proc_of: Vec<ProcessId>,
+    pos_of: Vec<u32>,
+    per_process: Vec<Vec<EventId>>,
+    messages: Vec<Message>,
+    vars: Vec<ProcessVars>,
+    labels: Vec<Option<String>>,
+}
+
+impl ComputationBuilder {
+    /// Creates a builder for `num_processes` processes, each with its
+    /// fictitious initial event already appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_processes` is zero or exceeds
+    /// [`ProcSet::MAX_PROCESSES`].
+    pub fn new(num_processes: usize) -> Self {
+        assert!(
+            num_processes > 0,
+            "a computation needs at least one process"
+        );
+        assert!(
+            num_processes <= ProcSet::MAX_PROCESSES,
+            "at most {} processes are supported",
+            ProcSet::MAX_PROCESSES
+        );
+        let mut b = ComputationBuilder {
+            num_processes,
+            proc_of: Vec::new(),
+            pos_of: Vec::new(),
+            per_process: vec![Vec::new(); num_processes],
+            messages: Vec::new(),
+            vars: (0..num_processes).map(|_| ProcessVars::default()).collect(),
+            labels: Vec::new(),
+        };
+        for i in 0..num_processes {
+            // snapshots[0] starts empty and grows as variables are declared.
+            b.vars[i].snapshots.push(Vec::new());
+            b.push_event(ProcessId::new(i));
+        }
+        b
+    }
+
+    fn push_event(&mut self, p: ProcessId) -> EventId {
+        let id = EventId::new(self.proc_of.len());
+        let pos = self.per_process[p.as_usize()].len() as u32;
+        self.proc_of.push(p);
+        self.pos_of.push(pos);
+        self.per_process[p.as_usize()].push(id);
+        self.labels.push(None);
+        id
+    }
+
+    /// The `i`-th process id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_processes()`.
+    pub fn process(&self, i: usize) -> ProcessId {
+        assert!(i < self.num_processes, "process index out of range");
+        ProcessId::new(i)
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.num_processes
+    }
+
+    /// Number of events appended so far on process `p`, including the
+    /// initial event.
+    pub fn len(&self, p: ProcessId) -> u32 {
+        self.per_process[p.as_usize()].len() as u32
+    }
+
+    /// The event of process `p` at position `pos`, if it has been appended.
+    pub fn event_at(&self, p: ProcessId, pos: u32) -> EventId {
+        self.per_process[p.as_usize()][pos as usize]
+    }
+
+    /// Value of `var` immediately after the event of its process at `pos`
+    /// (0 = the initial value), as recorded so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn value_at(&self, var: VarRef, pos: u32) -> Value {
+        self.vars[var.process().as_usize()].snapshots[pos as usize][var.index()]
+    }
+
+    /// Looks up a previously declared variable of process `p` by name.
+    pub fn var(&self, p: ProcessId, name: &str) -> Option<VarRef> {
+        self.vars[p.as_usize()]
+            .by_name
+            .get(name)
+            .map(|&index| VarRef { process: p, index })
+    }
+
+    /// Declares a variable on process `p` with the given initial value
+    /// (carried by the initial event ⊥ₚ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already declared on `p` or if real events have
+    /// already been appended to `p` (use [`try_declare_var`] for a fallible
+    /// version).
+    ///
+    /// [`try_declare_var`]: ComputationBuilder::try_declare_var
+    pub fn declare_var(&mut self, p: ProcessId, name: &str, initial: Value) -> VarRef {
+        self.try_declare_var(p, name, initial)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`declare_var`](ComputationBuilder::declare_var).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateVariable`] if the name is taken and
+    /// [`BuildError::LateVariable`] if `p` already has real events.
+    pub fn try_declare_var(
+        &mut self,
+        p: ProcessId,
+        name: &str,
+        initial: Value,
+    ) -> Result<VarRef, BuildError> {
+        let pv = &mut self.vars[p.as_usize()];
+        if pv.by_name.contains_key(name) {
+            return Err(BuildError::DuplicateVariable {
+                process: p,
+                name: name.to_owned(),
+            });
+        }
+        if self.per_process[p.as_usize()].len() > 1 {
+            return Err(BuildError::LateVariable {
+                process: p,
+                name: name.to_owned(),
+            });
+        }
+        let index = pv.names.len() as u16;
+        pv.names.push(name.to_owned());
+        pv.by_name.insert(name.to_owned(), index);
+        pv.snapshots[0].push(initial);
+        Ok(VarRef { process: p, index })
+    }
+
+    /// Appends a new event to process `p`. The event inherits the variable
+    /// values of its predecessor; use [`assign`](ComputationBuilder::assign)
+    /// or [`step`](ComputationBuilder::step) to change them.
+    pub fn append_event(&mut self, p: ProcessId) -> EventId {
+        let prev_snapshot = self.vars[p.as_usize()]
+            .snapshots
+            .last()
+            .expect("initial snapshot always exists")
+            .clone();
+        self.vars[p.as_usize()].snapshots.push(prev_snapshot);
+        self.push_event(p)
+    }
+
+    /// Appends a new event to `p` and applies the given assignments.
+    pub fn step(&mut self, p: ProcessId, assignments: &[(VarRef, Value)]) -> EventId {
+        let e = self.append_event(p);
+        for &(var, value) in assignments {
+            self.assign(e, var, value)
+                .expect("assignment to freshly appended event cannot be stale");
+        }
+        e
+    }
+
+    /// Overwrites the value of `var` at event `e`, which must be the last
+    /// event of `var`'s process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::StaleAssignment`] if `e` is not the most recent
+    /// event of the variable's process.
+    pub fn assign(&mut self, e: EventId, var: VarRef, value: Value) -> Result<(), BuildError> {
+        let p = var.process.as_usize();
+        let last = *self.per_process[p]
+            .last()
+            .expect("every process has an initial event");
+        if last != e || self.proc_of[e.as_usize()] != var.process {
+            return Err(BuildError::StaleAssignment { event: e });
+        }
+        let pos = self.pos_of[e.as_usize()] as usize;
+        self.vars[p].snapshots[pos][var.index as usize] = value;
+        Ok(())
+    }
+
+    /// Declares a message from event `send` to event `recv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the endpoints are on the same process, either
+    /// endpoint is an initial event, or the pair is a duplicate. Cycles are
+    /// detected later, by [`build`](ComputationBuilder::build).
+    pub fn message(&mut self, send: EventId, recv: EventId) -> Result<(), BuildError> {
+        if self.proc_of[send.as_usize()] == self.proc_of[recv.as_usize()] {
+            return Err(BuildError::SelfMessage {
+                process: self.proc_of[send.as_usize()],
+            });
+        }
+        for &e in &[send, recv] {
+            if self.pos_of[e.as_usize()] == 0 {
+                return Err(BuildError::MessageAtInitialEvent { event: e });
+            }
+        }
+        let message = Message { send, recv };
+        if self.messages.contains(&message) {
+            return Err(BuildError::DuplicateMessage { message });
+        }
+        self.messages.push(message);
+        Ok(())
+    }
+
+    /// Attaches a human-readable label to an event (used by examples, tests
+    /// and trace dumps).
+    pub fn set_label(&mut self, e: EventId, label: &str) {
+        self.labels[e.as_usize()] = Some(label.to_owned());
+    }
+
+    /// Finalizes the computation: validates acyclicity and computes vector
+    /// clocks and channel prefix tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::CyclicOrder`] if the message edges create a
+    /// cycle in the happened-before relation.
+    pub fn build(self) -> Result<Computation, BuildError> {
+        let num_events = self.proc_of.len();
+        let n = self.num_processes;
+
+        // Adjacency for topological processing: process-order + messages.
+        let mut msgs_in: Vec<Vec<u32>> = vec![Vec::new(); num_events];
+        let mut msgs_out: Vec<Vec<u32>> = vec![Vec::new(); num_events];
+        for (mi, m) in self.messages.iter().enumerate() {
+            msgs_out[m.send.as_usize()].push(mi as u32);
+            msgs_in[m.recv.as_usize()].push(mi as u32);
+        }
+
+        let mut indegree = vec![0u32; num_events];
+        for events in &self.per_process {
+            for e in events.iter().skip(1) {
+                indegree[e.as_usize()] += 1; // process-order predecessor
+            }
+        }
+        for m in &self.messages {
+            indegree[m.recv.as_usize()] += 1;
+        }
+
+        // Kahn's algorithm, simultaneously computing vector clocks.
+        let bottom = Cut::bottom(n);
+        let mut min_cut: Vec<Cut> = vec![bottom.clone(); num_events];
+        let mut queue: Vec<EventId> = (0..num_events)
+            .map(EventId::new)
+            .filter(|e| indegree[e.as_usize()] == 0)
+            .collect();
+        let mut processed = 0usize;
+        while let Some(e) = queue.pop() {
+            processed += 1;
+            let p = self.proc_of[e.as_usize()];
+            let pos = self.pos_of[e.as_usize()];
+            // Fold in the process-order predecessor's clock.
+            if pos > 0 {
+                let prev = self.per_process[p.as_usize()][pos as usize - 1];
+                let prev_clock = min_cut[prev.as_usize()].clone();
+                min_cut[e.as_usize()].join_assign(&prev_clock);
+            }
+            // Fold in the clocks of all received messages' sends.
+            for &mi in &msgs_in[e.as_usize()] {
+                let send = self.messages[mi as usize].send;
+                let send_clock = min_cut[send.as_usize()].clone();
+                min_cut[e.as_usize()].join_assign(&send_clock);
+            }
+            min_cut[e.as_usize()].set_count(p, pos + 1);
+
+            // Release successors.
+            if (pos as usize + 1) < self.per_process[p.as_usize()].len() {
+                let next = self.per_process[p.as_usize()][pos as usize + 1];
+                indegree[next.as_usize()] -= 1;
+                if indegree[next.as_usize()] == 0 {
+                    queue.push(next);
+                }
+            }
+            for &mi in &msgs_out[e.as_usize()] {
+                let recv = self.messages[mi as usize].recv;
+                indegree[recv.as_usize()] -= 1;
+                if indegree[recv.as_usize()] == 0 {
+                    queue.push(recv);
+                }
+            }
+        }
+        if processed != num_events {
+            return Err(BuildError::CyclicOrder);
+        }
+
+        // Channel prefix tables.
+        let mut sends_prefix = vec![Vec::new(); n];
+        let mut recvs_prefix = vec![Vec::new(); n];
+        for i in 0..n {
+            let len = self.per_process[i].len();
+            sends_prefix[i] = vec![vec![0u32; len]; n];
+            recvs_prefix[i] = vec![vec![0u32; len]; n];
+        }
+        for m in &self.messages {
+            let sp = self.proc_of[m.send.as_usize()].as_usize();
+            let rp = self.proc_of[m.recv.as_usize()].as_usize();
+            let spos = self.pos_of[m.send.as_usize()] as usize;
+            let rpos = self.pos_of[m.recv.as_usize()] as usize;
+            sends_prefix[sp][rp][spos] += 1;
+            recvs_prefix[rp][sp][rpos] += 1;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                for p in 1..self.per_process[i].len() {
+                    sends_prefix[i][j][p] += sends_prefix[i][j][p - 1];
+                    recvs_prefix[i][j][p] += recvs_prefix[i][j][p - 1];
+                }
+            }
+        }
+
+        Ok(Computation {
+            num_processes: n,
+            proc_of: self.proc_of,
+            pos_of: self.pos_of,
+            per_process: self.per_process,
+            messages: self.messages,
+            msgs_in,
+            msgs_out,
+            min_cut,
+            vars: self.vars,
+            sends_prefix,
+            recvs_prefix,
+            labels: self.labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_computation_has_only_initial_events() {
+        let c = ComputationBuilder::new(3).build().unwrap();
+        assert_eq!(c.num_events(), 3);
+        assert!(c.is_empty());
+        for p in c.processes() {
+            assert_eq!(c.len(p), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let _ = ComputationBuilder::new(0);
+    }
+
+    #[test]
+    fn self_message_rejected() {
+        let mut b = ComputationBuilder::new(1);
+        let e1 = b.append_event(b.process(0));
+        let e2 = b.append_event(b.process(0));
+        assert_eq!(
+            b.message(e1, e2),
+            Err(BuildError::SelfMessage {
+                process: b.process(0)
+            })
+        );
+    }
+
+    #[test]
+    fn message_at_initial_event_rejected() {
+        let mut b = ComputationBuilder::new(2);
+        let real = b.append_event(b.process(0));
+        let init1 = EventId::new(1); // initial event of p1
+        let err = b.message(real, init1).unwrap_err();
+        assert_eq!(err, BuildError::MessageAtInitialEvent { event: init1 });
+    }
+
+    #[test]
+    fn duplicate_message_rejected() {
+        let mut b = ComputationBuilder::new(2);
+        let s = b.append_event(b.process(0));
+        let r = b.append_event(b.process(1));
+        b.message(s, r).unwrap();
+        assert!(matches!(
+            b.message(s, r),
+            Err(BuildError::DuplicateMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = ComputationBuilder::new(2);
+        let a1 = b.append_event(b.process(0));
+        let a2 = b.append_event(b.process(0));
+        let b1 = b.append_event(b.process(1));
+        let b2 = b.append_event(b.process(1));
+        // a2 -> b1 (message forward) and b2 -> a1 (message backward) forms a
+        // cycle a1 -> a2 -> b1 -> b2 -> a1.
+        b.message(a2, b1).unwrap();
+        b.message(b2, a1).unwrap();
+        assert_eq!(b.build().unwrap_err(), BuildError::CyclicOrder);
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let mut b = ComputationBuilder::new(1);
+        let p = b.process(0);
+        b.declare_var(p, "x", Value::Int(0));
+        assert!(matches!(
+            b.try_declare_var(p, "x", Value::Int(1)),
+            Err(BuildError::DuplicateVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn late_variable_rejected() {
+        let mut b = ComputationBuilder::new(1);
+        let p = b.process(0);
+        b.append_event(p);
+        assert!(matches!(
+            b.try_declare_var(p, "x", Value::Int(0)),
+            Err(BuildError::LateVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_assignment_rejected() {
+        let mut b = ComputationBuilder::new(1);
+        let p = b.process(0);
+        let x = b.declare_var(p, "x", Value::Int(0));
+        let e1 = b.append_event(p);
+        let _e2 = b.append_event(p);
+        assert_eq!(
+            b.assign(e1, x, Value::Int(9)),
+            Err(BuildError::StaleAssignment { event: e1 })
+        );
+    }
+
+    #[test]
+    fn assignment_to_wrong_process_rejected() {
+        let mut b = ComputationBuilder::new(2);
+        let x0 = b.declare_var(b.process(0), "x", Value::Int(0));
+        let e1 = b.append_event(b.process(1));
+        assert!(matches!(
+            b.assign(e1, x0, Value::Int(1)),
+            Err(BuildError::StaleAssignment { .. })
+        ));
+    }
+
+    #[test]
+    fn clocks_join_across_chains() {
+        // p0: e01 -> e02 ; p1: e11 ; message e02 -> e11.
+        let mut b = ComputationBuilder::new(2);
+        let _e01 = b.append_event(b.process(0));
+        let e02 = b.append_event(b.process(0));
+        let e11 = b.append_event(b.process(1));
+        b.message(e02, e11).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.min_cut(e11).counts(), &[3, 2]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = BuildError::CyclicOrder;
+        assert!(e.to_string().contains("cycle"));
+        let e = BuildError::DuplicateVariable {
+            process: ProcessId::new(1),
+            name: "x".into(),
+        };
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,592 @@
+//! The distributed computation: events, ordering, variables, channels.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cut::Cut;
+use crate::event::{EventId, Message};
+use crate::process::ProcessId;
+use crate::value::Value;
+
+/// Reference to a declared variable of one process.
+///
+/// Obtained from [`ComputationBuilder::declare_var`](crate::ComputationBuilder::declare_var)
+/// or [`Computation::var`]; used to read values via
+/// [`GlobalState::get`](crate::GlobalState::get).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarRef {
+    pub(crate) process: ProcessId,
+    pub(crate) index: u16,
+}
+
+impl VarRef {
+    /// The process hosting this variable.
+    pub fn process(self) -> ProcessId {
+        self.process
+    }
+
+    /// Dense index of the variable among its process's variables.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+/// Per-process variable table: names and a full value snapshot per event
+/// position.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ProcessVars {
+    pub(crate) names: Vec<String>,
+    pub(crate) by_name: HashMap<String, u16>,
+    /// `snapshots[pos][var]` is the value of `var` immediately after the
+    /// event at `pos` has executed. `snapshots[0]` holds the initial values.
+    pub(crate) snapshots: Vec<Vec<Value>>,
+}
+
+/// A distributed computation: a finite set of events per process, ordered by
+/// process order and point-to-point messages (Lamport's happened-before
+/// relation), with the values of process variables recorded after every
+/// event.
+///
+/// Position 0 of every process is its fictitious initial event ⊥ᵢ carrying
+/// the initial variable values; every non-trivial consistent cut contains
+/// all of them. The fictitious final events ⊤ᵢ are not materialized.
+///
+/// Construct via [`ComputationBuilder`](crate::ComputationBuilder).
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::{ComputationBuilder, Cut, Value};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// let x = b.declare_var(b.process(0), "x", Value::Int(0));
+/// let e0 = b.step(b.process(0), &[(x, Value::Int(1))]);
+/// let e1 = b.append_event(b.process(1));
+/// b.message(e0, e1)?;
+/// let comp = b.build()?;
+///
+/// assert_eq!(comp.num_processes(), 2);
+/// assert_eq!(comp.num_events(), 4); // two initial events + e0 + e1
+/// // The cut {⊥0, ⊥1, e1} is inconsistent: it contains the receive but
+/// // not the send.
+/// assert!(!comp.is_consistent(&Cut::from(vec![1, 2])));
+/// assert!(comp.is_consistent(&Cut::from(vec![2, 2])));
+/// # Ok::<(), slicing_computation::BuildError>(())
+/// ```
+#[derive(Clone)]
+pub struct Computation {
+    pub(crate) num_processes: usize,
+    /// Process of each event, indexed by event id.
+    pub(crate) proc_of: Vec<ProcessId>,
+    /// Position of each event on its process, indexed by event id.
+    pub(crate) pos_of: Vec<u32>,
+    /// Events of each process in process order (position 0 = initial event).
+    pub(crate) per_process: Vec<Vec<EventId>>,
+    /// All messages.
+    pub(crate) messages: Vec<Message>,
+    /// Indices into `messages` received at each event.
+    pub(crate) msgs_in: Vec<Vec<u32>>,
+    /// Indices into `messages` sent at each event.
+    pub(crate) msgs_out: Vec<Vec<u32>>,
+    /// Least non-trivial consistent cut containing each event — the vector
+    /// clock of the event, joined with the bottom cut.
+    pub(crate) min_cut: Vec<Cut>,
+    /// Per-process variables.
+    pub(crate) vars: Vec<ProcessVars>,
+    /// `sends_prefix[i][j][p]` = number of messages sent from `i` to `j` by
+    /// events of `i` at positions `1..=p`.
+    pub(crate) sends_prefix: Vec<Vec<Vec<u32>>>,
+    /// `recvs_prefix[j][i][p]` = number of messages from `i` received by `j`
+    /// at positions `1..=p`.
+    pub(crate) recvs_prefix: Vec<Vec<Vec<u32>>>,
+    /// Optional human-readable event labels (for examples and debugging).
+    pub(crate) labels: Vec<Option<String>>,
+}
+
+impl Computation {
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.num_processes
+    }
+
+    /// The `i`-th process id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_processes()`.
+    pub fn process(&self, i: usize) -> ProcessId {
+        assert!(i < self.num_processes, "process index out of range");
+        ProcessId::new(i)
+    }
+
+    /// Iterates over all process ids.
+    pub fn processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.num_processes).map(ProcessId::new)
+    }
+
+    /// Total number of events, including the initial events.
+    pub fn num_events(&self) -> usize {
+        self.proc_of.len()
+    }
+
+    /// Iterates over all event ids.
+    pub fn events(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.num_events()).map(EventId::new)
+    }
+
+    /// Number of events on process `p`, including its initial event.
+    pub fn len(&self, p: ProcessId) -> u32 {
+        self.per_process[p.as_usize()].len() as u32
+    }
+
+    /// Returns `true` if the computation has no real (non-initial) events.
+    pub fn is_empty(&self) -> bool {
+        self.num_events() == self.num_processes
+    }
+
+    /// The event of process `p` at position `pos` (0 = initial event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range for `p`.
+    pub fn event_at(&self, p: ProcessId, pos: u32) -> EventId {
+        self.per_process[p.as_usize()][pos as usize]
+    }
+
+    /// The process hosting event `e`.
+    pub fn process_of(&self, e: EventId) -> ProcessId {
+        self.proc_of[e.as_usize()]
+    }
+
+    /// The position of event `e` on its process.
+    pub fn position_of(&self, e: EventId) -> u32 {
+        self.pos_of[e.as_usize()]
+    }
+
+    /// Returns `true` if `e` is a fictitious initial event.
+    pub fn is_initial(&self, e: EventId) -> bool {
+        self.pos_of[e.as_usize()] == 0
+    }
+
+    /// All messages of the computation.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Messages received at event `e`.
+    pub fn messages_into(&self, e: EventId) -> impl Iterator<Item = Message> + '_ {
+        self.msgs_in[e.as_usize()]
+            .iter()
+            .map(move |&m| self.messages[m as usize])
+    }
+
+    /// Messages sent at event `e`.
+    pub fn messages_out_of(&self, e: EventId) -> impl Iterator<Item = Message> + '_ {
+        self.msgs_out[e.as_usize()]
+            .iter()
+            .map(move |&m| self.messages[m as usize])
+    }
+
+    /// The least non-trivial consistent cut containing `e`. This is the
+    /// vector clock of `e` (entry `j` counts the events of process `j` that
+    /// happened before or at `e`), joined with the bottom cut so that all
+    /// initial events are included.
+    pub fn min_cut(&self, e: EventId) -> &Cut {
+        &self.min_cut[e.as_usize()]
+    }
+
+    /// Lamport's happened-before: `true` if `e` causally precedes `f`
+    /// (irreflexive, except that initial events mutually "precede" each
+    /// other because the paper's model places them in one strongly connected
+    /// component).
+    pub fn happened_before(&self, e: EventId, f: EventId) -> bool {
+        if e == f {
+            return false;
+        }
+        self.causally_within(e, f)
+    }
+
+    /// Reflexive causal order: `true` if `e` belongs to the least consistent
+    /// cut containing `f` (i.e. `e → f` or `e = f`, treating all initial
+    /// events as mutually reachable).
+    pub fn causally_within(&self, e: EventId, f: EventId) -> bool {
+        let pe = self.proc_of[e.as_usize()];
+        self.min_cut[f.as_usize()].count(pe) > self.pos_of[e.as_usize()]
+    }
+
+    /// Checks whether `cut` is a consistent cut: for every included receive
+    /// event the matching send is included too. Entries must lie in
+    /// `1..=len(p)`.
+    pub fn is_consistent(&self, cut: &Cut) -> bool {
+        if cut.num_processes() != self.num_processes {
+            return false;
+        }
+        for p in self.processes() {
+            let c = cut.count(p);
+            if c < 1 || c > self.len(p) {
+                return false;
+            }
+            let frontier = self.event_at(p, c - 1);
+            if !self.min_cut(frontier).leq(cut) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the next event of process `p` after `cut` exists
+    /// and is enabled (its causal prerequisites are inside `cut`), so that
+    /// advancing `p` by one event yields a consistent cut.
+    pub fn can_advance(&self, cut: &Cut, p: ProcessId) -> bool {
+        let c = cut.count(p);
+        if c >= self.len(p) {
+            return false;
+        }
+        let next = self.event_at(p, c);
+        let need = self.min_cut(next);
+        self.processes()
+            .all(|q| q == p || need.count(q) <= cut.count(q))
+    }
+
+    /// The frontier event of process `p` in `cut`: the last event of `p`
+    /// inside the cut.
+    pub fn frontier(&self, cut: &Cut, p: ProcessId) -> EventId {
+        self.event_at(p, cut.frontier_pos(p))
+    }
+
+    /// The cut containing every event of the computation.
+    pub fn top_cut(&self) -> Cut {
+        Cut::from(
+            (0..self.num_processes)
+                .map(|i| self.len(ProcessId::new(i)))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Looks up a variable of process `p` by name.
+    pub fn var(&self, p: ProcessId, name: &str) -> Option<VarRef> {
+        self.vars[p.as_usize()]
+            .by_name
+            .get(name)
+            .map(|&index| VarRef { process: p, index })
+    }
+
+    /// Names of the variables of process `p`, in declaration order.
+    pub fn var_names(&self, p: ProcessId) -> impl Iterator<Item = &str> {
+        self.vars[p.as_usize()].names.iter().map(String::as_str)
+    }
+
+    /// Number of variables declared on process `p`.
+    pub fn num_vars(&self, p: ProcessId) -> usize {
+        self.vars[p.as_usize()].names.len()
+    }
+
+    /// Value of `var` immediately after the event of its process at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn value_at(&self, var: VarRef, pos: u32) -> Value {
+        self.vars[var.process.as_usize()].snapshots[pos as usize][var.index as usize]
+    }
+
+    /// Distinct values `var` takes anywhere in the computation, in order of
+    /// first occurrence. Used by the Stoller–Schneider k-local transform.
+    pub fn distinct_values(&self, var: VarRef) -> Vec<Value> {
+        let mut seen = Vec::new();
+        let pv = &self.vars[var.process.as_usize()];
+        for snap in &pv.snapshots {
+            let v = snap[var.index as usize];
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+
+    /// Number of messages from `from` to `to` still in transit at `cut`:
+    /// sent inside the cut but not yet received inside it.
+    pub fn in_transit(&self, cut: &Cut, from: ProcessId, to: ProcessId) -> u32 {
+        let sent =
+            self.sends_prefix[from.as_usize()][to.as_usize()][cut.frontier_pos(from) as usize];
+        let rcvd = self.recvs_prefix[to.as_usize()][from.as_usize()][cut.frontier_pos(to) as usize];
+        sent - rcvd
+    }
+
+    /// Attaches no label; returns the label of `e` if one was set on the
+    /// builder.
+    pub fn label(&self, e: EventId) -> Option<&str> {
+        self.labels[e.as_usize()].as_deref()
+    }
+
+    /// Finds the event carrying `label`, if any.
+    pub fn event_by_label(&self, label: &str) -> Option<EventId> {
+        self.labels
+            .iter()
+            .position(|l| l.as_deref() == Some(label))
+            .map(EventId::new)
+    }
+
+    /// The sub-computation containing exactly the events of `cut`: the
+    /// execution prefix that stopped at that global state. Useful for
+    /// windowed online monitoring and for re-analyzing the past of a
+    /// detected fault.
+    ///
+    /// Event positions, variable values, labels, and the messages with
+    /// both endpoints inside the cut are preserved; consistency guarantees
+    /// no message is left dangling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` is not a consistent cut of this computation.
+    pub fn prefix(&self, cut: &Cut) -> Computation {
+        assert!(
+            self.is_consistent(cut),
+            "prefix requires a consistent cut, got {cut}"
+        );
+        let mut b = crate::builder::ComputationBuilder::new(self.num_processes);
+        for p in self.processes() {
+            let names: Vec<String> = self.var_names(p).map(str::to_owned).collect();
+            for name in names {
+                let v = self.var(p, &name).expect("listed name resolves");
+                b.try_declare_var(p, &name, self.value_at(v, 0))
+                    .expect("fresh builder accepts the declaration");
+            }
+        }
+        // Replay in original append order so event ids keep their relative
+        // order.
+        for e in self.events() {
+            let p = self.process_of(e);
+            let pos = self.position_of(e);
+            if pos == 0 || pos >= cut.count(p) {
+                continue;
+            }
+            let ne = b.append_event(p);
+            let names: Vec<String> = self.var_names(p).map(str::to_owned).collect();
+            for name in names {
+                let ov = self.var(p, &name).expect("listed name resolves");
+                let nv = b.var(p, &name).expect("declared above");
+                b.assign(ne, nv, self.value_at(ov, pos))
+                    .expect("assignment targets the newest event");
+            }
+            if let Some(l) = self.label(e) {
+                let l = l.to_owned();
+                b.set_label(ne, &l);
+            }
+        }
+        for m in &self.messages {
+            let (sp, spos) = (self.process_of(m.send), self.position_of(m.send));
+            let (rp, rpos) = (self.process_of(m.recv), self.position_of(m.recv));
+            if rpos < cut.count(rp) {
+                debug_assert!(spos < cut.count(sp), "consistency keeps sends inside");
+                b.message(b.event_at(sp, spos), b.event_at(rp, rpos))
+                    .expect("original messages are valid");
+            }
+        }
+        b.build().expect("a prefix of an acyclic order is acyclic")
+    }
+
+    /// A compact human-readable description of event `e`.
+    pub fn describe_event(&self, e: EventId) -> String {
+        let p = self.process_of(e);
+        let pos = self.position_of(e);
+        match self.label(e) {
+            Some(l) => format!("{l} ({p}:{pos})"),
+            None => format!("{p}:{pos}"),
+        }
+    }
+}
+
+impl fmt::Debug for Computation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Computation")
+            .field("num_processes", &self.num_processes)
+            .field("num_events", &self.num_events())
+            .field("num_messages", &self.messages.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ComputationBuilder;
+    use crate::cut::Cut;
+    use crate::value::Value;
+
+    /// Two processes; p0 sends from its first event to p1's first event.
+    fn diagonal() -> crate::Computation {
+        let mut b = ComputationBuilder::new(2);
+        let s = b.append_event(b.process(0));
+        let r = b.append_event(b.process(1));
+        b.message(s, r).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_indexing() {
+        let c = diagonal();
+        assert_eq!(c.num_processes(), 2);
+        assert_eq!(c.num_events(), 4);
+        assert_eq!(c.len(c.process(0)), 2);
+        assert!(!c.is_empty());
+        let s = c.event_at(c.process(0), 1);
+        assert_eq!(c.process_of(s), c.process(0));
+        assert_eq!(c.position_of(s), 1);
+        assert!(c.is_initial(c.event_at(c.process(0), 0)));
+        assert!(!c.is_initial(s));
+    }
+
+    #[test]
+    fn vector_clocks_capture_messages() {
+        let c = diagonal();
+        let s = c.event_at(c.process(0), 1);
+        let r = c.event_at(c.process(1), 1);
+        assert_eq!(c.min_cut(s).counts(), &[2, 1]);
+        assert_eq!(c.min_cut(r).counts(), &[2, 2]);
+        assert!(c.happened_before(s, r));
+        assert!(!c.happened_before(r, s));
+        assert!(!c.happened_before(s, s));
+        assert!(c.causally_within(s, s));
+    }
+
+    #[test]
+    fn initial_events_are_mutually_ordered() {
+        let c = diagonal();
+        let b0 = c.event_at(c.process(0), 0);
+        let b1 = c.event_at(c.process(1), 0);
+        // The paper places all initial events in one strongly connected
+        // component; causally_within reflects that.
+        assert!(c.causally_within(b0, b1));
+        assert!(c.causally_within(b1, b0));
+    }
+
+    #[test]
+    fn consistency_respects_messages() {
+        let c = diagonal();
+        assert!(c.is_consistent(&Cut::from(vec![1, 1])));
+        assert!(c.is_consistent(&Cut::from(vec![2, 1])));
+        assert!(c.is_consistent(&Cut::from(vec![2, 2])));
+        // Receive without send.
+        assert!(!c.is_consistent(&Cut::from(vec![1, 2])));
+        // Out-of-range entries.
+        assert!(!c.is_consistent(&Cut::from(vec![0, 1])));
+        assert!(!c.is_consistent(&Cut::from(vec![3, 1])));
+        assert!(!c.is_consistent(&Cut::from(vec![1])));
+    }
+
+    #[test]
+    fn can_advance_tracks_enabledness() {
+        let c = diagonal();
+        let bottom = Cut::bottom(2);
+        assert!(c.can_advance(&bottom, c.process(0)));
+        // p1's next event is the receive; the send is not yet in the cut.
+        assert!(!c.can_advance(&bottom, c.process(1)));
+        let mid = Cut::from(vec![2, 1]);
+        assert!(c.can_advance(&mid, c.process(1)));
+        assert!(!c.can_advance(&mid, c.process(0))); // exhausted
+    }
+
+    #[test]
+    fn top_cut_is_consistent_and_maximal() {
+        let c = diagonal();
+        let top = c.top_cut();
+        assert_eq!(top.counts(), &[2, 2]);
+        assert!(c.is_consistent(&top));
+    }
+
+    #[test]
+    fn variables_carry_forward() {
+        let mut b = ComputationBuilder::new(1);
+        let p = b.process(0);
+        let x = b.declare_var(p, "x", Value::Int(0));
+        let y = b.declare_var(p, "y", Value::Bool(false));
+        b.step(p, &[(x, Value::Int(5))]);
+        b.step(p, &[(y, Value::Bool(true))]);
+        let c = b.build().unwrap();
+        assert_eq!(c.value_at(x, 0), Value::Int(0));
+        assert_eq!(c.value_at(x, 1), Value::Int(5));
+        assert_eq!(c.value_at(x, 2), Value::Int(5)); // carried forward
+        assert_eq!(c.value_at(y, 2), Value::Bool(true));
+        assert_eq!(c.num_vars(p), 2);
+        assert_eq!(c.var(p, "x"), Some(x));
+        assert_eq!(c.var(p, "nope"), None);
+        assert_eq!(c.var_names(p).collect::<Vec<_>>(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn distinct_values_in_first_occurrence_order() {
+        let mut b = ComputationBuilder::new(1);
+        let p = b.process(0);
+        let x = b.declare_var(p, "x", Value::Int(0));
+        for v in [1, 0, 2, 1] {
+            b.step(p, &[(x, Value::Int(v))]);
+        }
+        let c = b.build().unwrap();
+        assert_eq!(
+            c.distinct_values(x),
+            vec![Value::Int(0), Value::Int(1), Value::Int(2)]
+        );
+    }
+
+    #[test]
+    fn in_transit_counts_messages() {
+        let c = diagonal();
+        let p0 = c.process(0);
+        let p1 = c.process(1);
+        assert_eq!(c.in_transit(&Cut::bottom(2), p0, p1), 0);
+        assert_eq!(c.in_transit(&Cut::from(vec![2, 1]), p0, p1), 1);
+        assert_eq!(c.in_transit(&Cut::from(vec![2, 2]), p0, p1), 0);
+        assert_eq!(c.in_transit(&Cut::from(vec![2, 2]), p1, p0), 0);
+    }
+
+    #[test]
+    fn prefix_truncates_events_and_messages() {
+        let c = crate::test_fixtures::figure1();
+        // ⟨2, 2, 2⟩ keeps b, f, v and the single message f→v.
+        let cut = Cut::from(vec![2, 2, 2]);
+        let p = c.prefix(&cut);
+        assert_eq!(p.num_events(), 6);
+        assert_eq!(p.messages().len(), 1);
+        assert_eq!(p.event_by_label("b").map(|e| p.position_of(e)), Some(1));
+        assert!(p.event_by_label("g").is_none());
+        // Values preserved at kept positions.
+        let x1 = p.var(p.process(0), "x1").unwrap();
+        assert_eq!(p.value_at(x1, 1), Value::Int(3));
+        // The prefix of the top cut is the whole computation.
+        let full = c.prefix(&c.top_cut());
+        assert_eq!(full.num_events(), c.num_events());
+        assert_eq!(full.messages(), c.messages());
+    }
+
+    #[test]
+    fn prefix_lattice_is_the_down_set() {
+        use crate::lattice::all_cuts;
+        let c = crate::test_fixtures::figure1();
+        let cut = Cut::from(vec![2, 3, 3]);
+        let p = c.prefix(&cut);
+        let want: Vec<Cut> = all_cuts(&c).into_iter().filter(|d| d.leq(&cut)).collect();
+        assert_eq!(all_cuts(&p), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "consistent cut")]
+    fn prefix_rejects_inconsistent_cuts() {
+        let c = crate::test_fixtures::figure1();
+        // v (p2 pos 1) without f (p1 pos 1) is inconsistent.
+        let _ = c.prefix(&Cut::from(vec![1, 1, 2]));
+    }
+
+    #[test]
+    fn labels() {
+        let mut b = ComputationBuilder::new(1);
+        let e = b.append_event(b.process(0));
+        b.set_label(e, "a");
+        let c = b.build().unwrap();
+        assert_eq!(c.label(e), Some("a"));
+        assert_eq!(c.event_by_label("a"), Some(e));
+        assert_eq!(c.event_by_label("zz"), None);
+        assert_eq!(c.describe_event(e), "a (p0:1)");
+        let init = c.event_at(c.process(0), 0);
+        assert_eq!(c.describe_event(init), "p0:0");
+    }
+}

@@ -1,0 +1,252 @@
+//! Consistent cuts represented as per-process prefix vectors.
+
+use std::fmt;
+
+use crate::process::ProcessId;
+
+/// A (candidate) consistent cut of a computation.
+///
+/// Every graph this library manipulates — computations and slices alike —
+/// contains the process-order edges, so every consistent cut is a union of
+/// per-process prefixes. `Cut` stores, for each process, *how many events of
+/// that process are included*, counting the fictitious initial event at
+/// position 0. Entry values therefore range from `1` (only the initial
+/// event) to `len_i` (all events of process `i`); the paper's trivial cuts
+/// (the empty set, and the set including the fictitious final events) are
+/// never represented.
+///
+/// `Cut` is a plain vector: whether it is *consistent* is relative to a
+/// computation and checked by
+/// [`Computation::is_consistent`](crate::Computation::is_consistent).
+///
+/// The set of consistent cuts forms a distributive lattice under inclusion
+/// ([`join`](Cut::join) = set union = componentwise max, [`meet`](Cut::meet)
+/// = set intersection = componentwise min), which is the foundation of the
+/// slicing theory (Birkhoff's representation theorem).
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::Cut;
+///
+/// let a = Cut::from(vec![1, 3, 2]);
+/// let b = Cut::from(vec![2, 1, 2]);
+/// assert_eq!(a.join(&b), Cut::from(vec![2, 3, 2]));
+/// assert_eq!(a.meet(&b), Cut::from(vec![1, 1, 2]));
+/// assert!(a.meet(&b).leq(&a));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cut(Vec<u32>);
+
+impl Cut {
+    /// The bottom element of the lattice of non-trivial cuts: each process
+    /// has executed only its initial event.
+    pub fn bottom(num_processes: usize) -> Self {
+        Cut(vec![1; num_processes])
+    }
+
+    /// Number of processes this cut spans.
+    pub fn num_processes(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Number of events of process `p` included in the cut (counting the
+    /// initial event at position 0).
+    pub fn count(&self, p: ProcessId) -> u32 {
+        self.0[p.as_usize()]
+    }
+
+    /// Position (0-based) of the frontier event of process `p`: the last
+    /// event of `p` inside the cut.
+    pub fn frontier_pos(&self, p: ProcessId) -> u32 {
+        debug_assert!(self.0[p.as_usize()] >= 1, "cut excludes an initial event");
+        self.0[p.as_usize()] - 1
+    }
+
+    /// Sets the number of included events of process `p`.
+    pub fn set_count(&mut self, p: ProcessId, count: u32) {
+        self.0[p.as_usize()] = count;
+    }
+
+    /// Componentwise maximum: the set union of the two cuts (the lattice
+    /// *join*).
+    #[must_use]
+    pub fn join(&self, other: &Cut) -> Cut {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        Cut(self
+            .0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| a.max(b))
+            .collect())
+    }
+
+    /// Componentwise minimum: the set intersection of the two cuts (the
+    /// lattice *meet*).
+    #[must_use]
+    pub fn meet(&self, other: &Cut) -> Cut {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        Cut(self
+            .0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| a.min(b))
+            .collect())
+    }
+
+    /// In-place join: grows `self` to include everything in `other`.
+    pub fn join_assign(&mut self, other: &Cut) {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// In-place meet: shrinks `self` to its intersection with `other`.
+    pub fn meet_assign(&mut self, other: &Cut) {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).min(b);
+        }
+    }
+
+    /// Set inclusion: `true` if every event in `self` is also in `other`.
+    pub fn leq(&self, other: &Cut) -> bool {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        self.0.iter().zip(&other.0).all(|(&a, &b)| a <= b)
+    }
+
+    /// Strict inclusion.
+    pub fn lt(&self, other: &Cut) -> bool {
+        self.leq(other) && self.0 != other.0
+    }
+
+    /// Total number of events in the cut.
+    pub fn size(&self) -> u64 {
+        self.0.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Returns the per-process counts as a slice.
+    pub fn counts(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Iterates over `(process, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, u32)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (ProcessId::new(i), c))
+    }
+}
+
+impl From<Vec<u32>> for Cut {
+    fn from(counts: Vec<u32>) -> Self {
+        Cut(counts)
+    }
+}
+
+impl From<Cut> for Vec<u32> {
+    fn from(cut: Cut) -> Vec<u32> {
+        cut.0
+    }
+}
+
+impl AsRef<[u32]> for Cut {
+    fn as_ref(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Cut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cut{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Cut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_includes_only_initial_events() {
+        let c = Cut::bottom(4);
+        assert_eq!(c.counts(), &[1, 1, 1, 1]);
+        assert_eq!(c.size(), 4);
+        for i in 0..4 {
+            assert_eq!(c.frontier_pos(ProcessId::new(i)), 0);
+        }
+    }
+
+    #[test]
+    fn join_meet_are_componentwise() {
+        let a = Cut::from(vec![1, 4, 2]);
+        let b = Cut::from(vec![3, 1, 2]);
+        assert_eq!(a.join(&b).counts(), &[3, 4, 2]);
+        assert_eq!(a.meet(&b).counts(), &[1, 1, 2]);
+    }
+
+    #[test]
+    fn join_meet_assign_match_pure_versions() {
+        let a = Cut::from(vec![1, 4, 2]);
+        let b = Cut::from(vec![3, 1, 2]);
+        let mut j = a.clone();
+        j.join_assign(&b);
+        assert_eq!(j, a.join(&b));
+        let mut m = a.clone();
+        m.meet_assign(&b);
+        assert_eq!(m, a.meet(&b));
+    }
+
+    #[test]
+    fn inclusion_is_a_partial_order() {
+        let a = Cut::from(vec![1, 2]);
+        let b = Cut::from(vec![2, 2]);
+        let c = Cut::from(vec![3, 1]);
+        assert!(a.leq(&b));
+        assert!(a.lt(&b));
+        assert!(!b.leq(&a));
+        // b and c are incomparable.
+        assert!(!b.leq(&c) && !c.leq(&b));
+        // Reflexivity.
+        assert!(a.leq(&a) && !a.lt(&a));
+    }
+
+    #[test]
+    fn lattice_absorption_laws() {
+        let a = Cut::from(vec![1, 3, 2]);
+        let b = Cut::from(vec![2, 1, 4]);
+        assert_eq!(a.join(&a.meet(&b)), a);
+        assert_eq!(a.meet(&a.join(&b)), a);
+    }
+
+    #[test]
+    fn set_count_and_accessors() {
+        let mut c = Cut::bottom(3);
+        c.set_count(ProcessId::new(1), 5);
+        assert_eq!(c.count(ProcessId::new(1)), 5);
+        assert_eq!(c.frontier_pos(ProcessId::new(1)), 4);
+        let pairs: Vec<(usize, u32)> = c.iter().map(|(p, n)| (p.as_usize(), n)).collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 5), (2, 1)]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let c = Cut::from(vec![1, 2]);
+        assert_eq!(c.to_string(), "⟨1, 2⟩");
+        assert_eq!(format!("{c:?}"), "Cut[1, 2]");
+    }
+}

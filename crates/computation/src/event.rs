@@ -1,0 +1,90 @@
+//! Event identifiers.
+
+use std::fmt;
+
+/// Identifier of an event in a computation.
+///
+/// Events are numbered densely from `0` to `|E| - 1` across all processes,
+/// in the order they were appended to the
+/// [`ComputationBuilder`](crate::ComputationBuilder). The fictitious initial
+/// event of each process (position 0) is an ordinary event with an id; the
+/// fictitious final events (⊤) of the paper are *virtual* and never carry an
+/// `EventId` (see [`slicing-core`'s `Node`] for how slices refer to ⊤).
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::EventId;
+///
+/// let e = EventId::new(3);
+/// assert_eq!(e.as_usize(), 3);
+/// assert_eq!(e.to_string(), "e3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u32);
+
+impl EventId {
+    /// Creates an event identifier from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 32 bits.
+    pub fn new(index: usize) -> Self {
+        EventId(u32::try_from(index).expect("event index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this event.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the dense index as a `u32`.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<EventId> for usize {
+    fn from(e: EventId) -> usize {
+        e.as_usize()
+    }
+}
+
+/// A point-to-point message: an ordering edge from the send event to the
+/// receive event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Message {
+    /// The event at which the message was sent.
+    pub send: EventId,
+    /// The event at which the message was received.
+    pub recv: EventId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let e = EventId::new(42);
+        assert_eq!(e.as_usize(), 42);
+        assert_eq!(e.as_u32(), 42);
+        assert_eq!(usize::from(e), 42);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(EventId::new(1) < EventId::new(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EventId::new(7).to_string(), "e7");
+    }
+}

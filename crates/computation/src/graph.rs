@@ -1,0 +1,308 @@
+//! A small directed-graph toolkit: adjacency lists, Tarjan's strongly
+//! connected components, and condensation.
+//!
+//! The slicing algorithms manipulate directed graphs drawn on the event set
+//! (possibly with cycles — each strongly connected component is a
+//! *meta-event* that must be executed atomically), so SCC decomposition and
+//! topological processing of the condensation are core primitives.
+
+use std::fmt;
+
+/// A directed graph over nodes `0..n` with adjacency lists.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::graph::Digraph;
+///
+/// let mut g = Digraph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 1);
+/// let scc = g.tarjan_scc();
+/// assert_eq!(scc.num_components(), 2);
+/// // 1 and 2 form one component.
+/// assert_eq!(scc.component_of(1), scc.component_of(2));
+/// assert_ne!(scc.component_of(0), scc.component_of(1));
+/// ```
+#[derive(Clone, Default)]
+pub struct Digraph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl Digraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Creates a graph from an edge list.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut g = Digraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges (parallel edges counted separately).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds the edge `u → v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!((v as usize) < self.adj.len(), "edge target out of range");
+        self.adj[u as usize].push(v);
+        self.num_edges += 1;
+    }
+
+    /// Successors of `u`.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Computes the strongly connected components (iterative Tarjan).
+    pub fn tarjan_scc(&self) -> SccDecomposition {
+        const UNVISITED: u32 = u32::MAX;
+        let n = self.adj.len();
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut comp_of = vec![UNVISITED; n];
+        let mut components: Vec<Vec<u32>> = Vec::new();
+
+        // Explicit DFS frames: (node, position in its adjacency list).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+
+        for start in 0..n as u32 {
+            if index[start as usize] != UNVISITED {
+                continue;
+            }
+            frames.push((start, 0));
+            index[start as usize] = next_index;
+            low[start as usize] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start as usize] = true;
+
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                if let Some(&w) = self.adj[v as usize].get(*pos) {
+                    *pos += 1;
+                    if index[w as usize] == UNVISITED {
+                        index[w as usize] = next_index;
+                        low[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        low[v as usize] = low[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&mut (parent, _)) = frames.last_mut() {
+                        low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                    }
+                    if low[v as usize] == index[v as usize] {
+                        // v is the root of a component.
+                        let cid = components.len() as u32;
+                        let mut members = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp_of[w as usize] = cid;
+                            members.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(members);
+                    }
+                }
+            }
+        }
+
+        SccDecomposition {
+            comp_of,
+            components,
+        }
+    }
+}
+
+impl fmt::Debug for Digraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Digraph")
+            .field("num_nodes", &self.num_nodes())
+            .field("num_edges", &self.num_edges)
+            .finish()
+    }
+}
+
+/// The strongly connected components of a [`Digraph`].
+///
+/// Components are numbered in *reverse topological order* of the
+/// condensation (Tarjan's completion order): every edge of the condensation
+/// goes from a higher-numbered component to a lower-numbered one. Iterate
+/// [`topo_order`](SccDecomposition::topo_order) for sources-first
+/// processing.
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    comp_of: Vec<u32>,
+    components: Vec<Vec<u32>>,
+}
+
+impl SccDecomposition {
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The component containing node `v`.
+    pub fn component_of(&self, v: u32) -> u32 {
+        self.comp_of[v as usize]
+    }
+
+    /// Members of component `c`.
+    pub fn members(&self, c: u32) -> &[u32] {
+        &self.components[c as usize]
+    }
+
+    /// Component ids in topological order (sources of the condensation
+    /// first).
+    pub fn topo_order(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.components.len() as u32).rev()
+    }
+
+    /// Builds the condensation: a graph whose nodes are the components,
+    /// with deduplicated edges and no self-loops.
+    pub fn condensation(&self, g: &Digraph) -> Digraph {
+        let nc = self.components.len();
+        let mut cond = Digraph::new(nc);
+        let mut last_seen = vec![u32::MAX; nc];
+        for (cid, members) in self.components.iter().enumerate() {
+            for &v in members {
+                for &w in g.neighbors(v) {
+                    let cw = self.comp_of[w as usize];
+                    if cw as usize != cid && last_seen[cw as usize] != cid as u32 {
+                        last_seen[cw as usize] = cid as u32;
+                        cond.add_edge(cid as u32, cw);
+                    }
+                }
+            }
+        }
+        cond
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Digraph::new(0);
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.num_components(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn singleton_components_without_edges() {
+        let g = Digraph::new(3);
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.num_components(), 3);
+        for v in 0..3 {
+            assert_eq!(scc.members(scc.component_of(v)), &[v]);
+        }
+    }
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.num_components(), 1);
+        let mut m = scc.members(0).to_vec();
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chain_components_in_reverse_topological_order() {
+        // 0 -> 1 -> 2: Tarjan finishes sinks first, so component of 2 has
+        // the smallest id and edges in the condensation point to smaller
+        // ids.
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2)]);
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.num_components(), 3);
+        assert!(scc.component_of(0) > scc.component_of(1));
+        assert!(scc.component_of(1) > scc.component_of(2));
+        let order: Vec<u32> = scc.topo_order().collect();
+        assert_eq!(order.first(), Some(&scc.component_of(0)));
+        assert_eq!(order.last(), Some(&scc.component_of(2)));
+    }
+
+    #[test]
+    fn mixed_graph() {
+        // Two cycles bridged: (0,1) cycle -> (2,3) cycle, plus isolated 4.
+        let g = Digraph::from_edges(5, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.num_components(), 3);
+        assert_eq!(scc.component_of(0), scc.component_of(1));
+        assert_eq!(scc.component_of(2), scc.component_of(3));
+        assert!(scc.component_of(0) > scc.component_of(2));
+    }
+
+    #[test]
+    fn condensation_dedups_edges() {
+        let g = Digraph::from_edges(4, [(0, 1), (1, 0), (0, 2), (1, 2), (2, 3)]);
+        let scc = g.tarjan_scc();
+        let cond = scc.condensation(&g);
+        assert_eq!(cond.num_nodes(), 3);
+        // {0,1} -> {2} appears once despite two underlying edges.
+        let c01 = scc.component_of(0);
+        assert_eq!(cond.neighbors(c01).len(), 1);
+        assert_eq!(cond.num_edges(), 2);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let g = Digraph::from_edges(2, [(0, 0), (0, 1)]);
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.num_components(), 2);
+        let cond = scc.condensation(&g);
+        // Self-loop must not survive condensation.
+        assert_eq!(cond.num_edges(), 1);
+    }
+
+    #[test]
+    fn large_path_does_not_overflow_stack() {
+        // A 100k-node path exercises the iterative DFS.
+        let n = 100_000u32;
+        let g = Digraph::from_edges(n as usize, (0..n - 1).map(|i| (i, i + 1)));
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.num_components(), n as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_target_bounds_checked() {
+        let mut g = Digraph::new(1);
+        g.add_edge(0, 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Brute-force lattice oracles used to validate the slicing algorithms.
+//!
+//! Everything here is exponential on purpose: the oracles enumerate the full
+//! set of consistent cuts and compute sublattice closures by fixpoint, so
+//! the polynomial slicing algorithms can be checked against ground truth on
+//! small computations (unit tests, property tests, and the examples).
+
+use std::collections::BTreeSet;
+
+use crate::computation::Computation;
+use crate::cut::Cut;
+use crate::lattice::all_cuts;
+use crate::state::GlobalState;
+
+/// Enumerates every consistent cut of `comp` satisfying `pred`.
+pub fn satisfying_cuts(
+    comp: &Computation,
+    mut pred: impl FnMut(&GlobalState<'_>) -> bool,
+) -> Vec<Cut> {
+    all_cuts(comp)
+        .into_iter()
+        .filter(|cut| pred(&GlobalState::new(comp, cut)))
+        .collect()
+}
+
+/// Computes the smallest sublattice of the cut lattice containing `cuts`:
+/// the closure under pairwise join (set union) and meet (set intersection).
+///
+/// By Birkhoff's theorem this is exactly the set of consistent cuts of the
+/// slice with respect to any predicate whose satisfying cuts are `cuts`
+/// (Definition 1 of the paper).
+pub fn sublattice_closure(cuts: &[Cut]) -> BTreeSet<Cut> {
+    let mut closed: BTreeSet<Cut> = cuts.iter().cloned().collect();
+    let mut frontier: Vec<Cut> = closed.iter().cloned().collect();
+    while let Some(cut) = frontier.pop() {
+        let mut new = Vec::new();
+        for other in &closed {
+            let j = cut.join(other);
+            if !closed.contains(&j) {
+                new.push(j);
+            }
+            let m = cut.meet(other);
+            if !closed.contains(&m) {
+                new.push(m);
+            }
+        }
+        for c in new {
+            if closed.insert(c.clone()) {
+                frontier.push(c);
+            }
+        }
+    }
+    closed
+}
+
+/// Returns `true` if `cuts` is closed under pairwise join and meet.
+pub fn is_sublattice(cuts: &BTreeSet<Cut>) -> bool {
+    for a in cuts {
+        for b in cuts {
+            if !cuts.contains(&a.join(b)) || !cuts.contains(&a.meet(b)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The ground-truth slice contents for a predicate: the sublattice closure
+/// of its satisfying cuts. Returns the closure and the raw satisfying cuts.
+pub fn expected_slice_cuts(
+    comp: &Computation,
+    pred: impl FnMut(&GlobalState<'_>) -> bool,
+) -> (BTreeSet<Cut>, Vec<Cut>) {
+    let sat = satisfying_cuts(comp, pred);
+    (sublattice_closure(&sat), sat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ComputationBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn closure_of_empty_set_is_empty() {
+        assert!(sublattice_closure(&[]).is_empty());
+    }
+
+    #[test]
+    fn closure_of_chain_is_itself() {
+        let cuts = vec![
+            Cut::from(vec![1, 1]),
+            Cut::from(vec![2, 1]),
+            Cut::from(vec![2, 2]),
+        ];
+        let closed = sublattice_closure(&cuts);
+        assert_eq!(closed.len(), 3);
+        assert!(is_sublattice(&closed));
+    }
+
+    #[test]
+    fn closure_adds_joins_and_meets() {
+        // Two incomparable cuts: closure must add their join and meet.
+        let cuts = vec![Cut::from(vec![2, 1]), Cut::from(vec![1, 2])];
+        let closed = sublattice_closure(&cuts);
+        assert_eq!(closed.len(), 4);
+        assert!(closed.contains(&Cut::from(vec![1, 1])));
+        assert!(closed.contains(&Cut::from(vec![2, 2])));
+        assert!(is_sublattice(&closed));
+    }
+
+    #[test]
+    fn is_sublattice_detects_gaps() {
+        let mut cuts = BTreeSet::new();
+        cuts.insert(Cut::from(vec![2, 1]));
+        cuts.insert(Cut::from(vec![1, 2]));
+        assert!(!is_sublattice(&cuts));
+    }
+
+    #[test]
+    fn satisfying_cuts_filters_by_state() {
+        let mut b = ComputationBuilder::new(1);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        b.step(b.process(0), &[(x, Value::Int(1))]);
+        b.step(b.process(0), &[(x, Value::Int(2))]);
+        let comp = b.build().unwrap();
+        let sat = satisfying_cuts(&comp, |st| st.get(x).expect_int() >= 1);
+        assert_eq!(sat.len(), 2);
+    }
+
+    #[test]
+    fn expected_slice_cuts_returns_closure_and_raw() {
+        let comp = crate::test_fixtures::figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        let (closure, sat) = expected_slice_cuts(&comp, |st| {
+            st.get(x1).expect_int() > 1 && st.get(x3).expect_int() <= 3
+        });
+        // The paper's Figure 1(b): exactly six consistent cuts, and the
+        // predicate is regular so the closure adds nothing.
+        assert_eq!(sat.len(), 6);
+        assert_eq!(closure.len(), 6);
+        assert!(is_sublattice(&closure));
+    }
+}

@@ -1,0 +1,283 @@
+//! Process identifiers and small process sets.
+
+use std::fmt;
+
+/// Identifier of a process in a distributed computation.
+///
+/// Processes are numbered densely from `0` to `n - 1`. A `ProcessId` is only
+/// meaningful relative to the [`Computation`](crate::Computation) it was
+/// created for.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::ProcessId;
+///
+/// let p = ProcessId::new(2);
+/// assert_eq!(p.as_usize(), 2);
+/// assert_eq!(p.to_string(), "p2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process identifier from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`ProcSet::MAX_PROCESSES`].
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < ProcSet::MAX_PROCESSES,
+            "process index {index} exceeds the supported maximum of {}",
+            ProcSet::MAX_PROCESSES
+        );
+        ProcessId(index as u32)
+    }
+
+    /// Returns the dense index of this process.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(p: ProcessId) -> usize {
+        p.as_usize()
+    }
+}
+
+/// A set of processes, used to describe the *support* of a predicate (the
+/// processes whose variables it reads).
+///
+/// Backed by a 64-bit mask, which comfortably covers the computation sizes
+/// studied in the paper (up to 12 processes) with a wide margin.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::{ProcSet, ProcessId};
+///
+/// let mut s = ProcSet::empty();
+/// s.insert(ProcessId::new(0));
+/// s.insert(ProcessId::new(3));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(ProcessId::new(3)));
+/// assert!(!s.contains(ProcessId::new(1)));
+/// let ids: Vec<usize> = s.iter().map(|p| p.as_usize()).collect();
+/// assert_eq!(ids, vec![0, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ProcSet(u64);
+
+impl ProcSet {
+    /// The largest process index representable in a `ProcSet`, plus one.
+    pub const MAX_PROCESSES: usize = 64;
+
+    /// Creates an empty set.
+    pub fn empty() -> Self {
+        ProcSet(0)
+    }
+
+    /// Creates the full set `{0, .., n - 1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`ProcSet::MAX_PROCESSES`].
+    pub fn all(n: usize) -> Self {
+        assert!(n <= Self::MAX_PROCESSES);
+        if n == Self::MAX_PROCESSES {
+            ProcSet(u64::MAX)
+        } else {
+            ProcSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Creates a singleton set.
+    pub fn singleton(p: ProcessId) -> Self {
+        ProcSet(1u64 << p.as_usize())
+    }
+
+    /// Adds a process to the set.
+    pub fn insert(&mut self, p: ProcessId) {
+        self.0 |= 1u64 << p.as_usize();
+    }
+
+    /// Removes a process from the set.
+    pub fn remove(&mut self, p: ProcessId) {
+        self.0 &= !(1u64 << p.as_usize());
+    }
+
+    /// Returns `true` if the set contains `p`.
+    pub fn contains(self, p: ProcessId) -> bool {
+        self.0 & (1u64 << p.as_usize()) != 0
+    }
+
+    /// Returns the union of two sets.
+    #[must_use]
+    pub fn union(self, other: ProcSet) -> ProcSet {
+        ProcSet(self.0 | other.0)
+    }
+
+    /// Returns the intersection of two sets.
+    #[must_use]
+    pub fn intersection(self, other: ProcSet) -> ProcSet {
+        ProcSet(self.0 & other.0)
+    }
+
+    /// Returns the number of processes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the members in increasing index order.
+    pub fn iter(self) -> ProcSetIter {
+        ProcSetIter(self.0)
+    }
+}
+
+impl FromIterator<ProcessId> for ProcSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcSet::empty();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl IntoIterator for ProcSet {
+    type Item = ProcessId;
+    type IntoIter = ProcSetIter;
+
+    fn into_iter(self) -> ProcSetIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the members of a [`ProcSet`].
+#[derive(Debug, Clone)]
+pub struct ProcSetIter(u64);
+
+impl Iterator for ProcSetIter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let idx = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(ProcessId::new(idx))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ProcSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_round_trip() {
+        let p = ProcessId::new(7);
+        assert_eq!(p.as_usize(), 7);
+        assert_eq!(usize::from(p), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported maximum")]
+    fn process_id_overflow_panics() {
+        let _ = ProcessId::new(ProcSet::MAX_PROCESSES);
+    }
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = ProcSet::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn all_covers_prefix() {
+        let s = ProcSet::all(5);
+        assert_eq!(s.len(), 5);
+        for i in 0..5 {
+            assert!(s.contains(ProcessId::new(i)));
+        }
+        assert!(!s.contains(ProcessId::new(5)));
+    }
+
+    #[test]
+    fn all_supports_max_width() {
+        let s = ProcSet::all(ProcSet::MAX_PROCESSES);
+        assert_eq!(s.len(), ProcSet::MAX_PROCESSES);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcSet::empty();
+        s.insert(ProcessId::new(3));
+        assert!(s.contains(ProcessId::new(3)));
+        s.remove(ProcessId::new(3));
+        assert!(!s.contains(ProcessId::new(3)));
+        // Removing an absent member is a no-op.
+        s.remove(ProcessId::new(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a: ProcSet = [0, 1, 2].into_iter().map(ProcessId::new).collect();
+        let b: ProcSet = [1, 2, 3].into_iter().map(ProcessId::new).collect();
+        assert_eq!(a.union(b), ProcSet::all(4));
+        let i = a.intersection(b);
+        assert_eq!(i.len(), 2);
+        assert!(i.contains(ProcessId::new(1)));
+        assert!(i.contains(ProcessId::new(2)));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s: ProcSet = [5, 1, 9].into_iter().map(ProcessId::new).collect();
+        let v: Vec<usize> = s.iter().map(ProcessId::as_usize).collect();
+        assert_eq!(v, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s: ProcSet = [0, 2].into_iter().map(ProcessId::new).collect();
+        assert_eq!(s.to_string(), "{p0, p2}");
+        assert_eq!(ProcSet::empty().to_string(), "{}");
+    }
+}

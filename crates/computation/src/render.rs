@@ -1,0 +1,159 @@
+//! ASCII space-time diagrams of computations — quick terminal
+//! visualization for the CLI and for debugging traces.
+
+use std::fmt::Write as _;
+
+use crate::computation::Computation;
+use crate::cut::Cut;
+
+/// Renders a space-time diagram: one row per process, one column per
+/// event in a topological order of happened-before (so time flows left to
+/// right), message sends/receives annotated with matching numeric tags.
+///
+/// ```text
+/// p0 ⊥--a[s1]-----c
+/// p1 ⊥------b(r1)--
+/// ```
+///
+/// `[sN]`/`(rN)` mark the send and receive of message `N`. An optional
+/// `cut` draws a `|` fence after each process's frontier event.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::render::render_space_time;
+/// use slicing_computation::test_fixtures::figure1;
+///
+/// let comp = figure1();
+/// let art = render_space_time(&comp, None);
+/// assert!(art.lines().count() >= 3);
+/// ```
+pub fn render_space_time(comp: &Computation, cut: Option<&Cut>) -> String {
+    let num_events = comp.num_events();
+    let mut tags: Vec<Vec<(u32, bool)>> = vec![Vec::new(); num_events];
+    for (i, m) in comp.messages().iter().enumerate() {
+        let tag = (i + 1) as u32;
+        tags[m.send.as_usize()].push((tag, true));
+        tags[m.recv.as_usize()].push((tag, false));
+    }
+
+    // A topological order: causal-past size is a strictly monotone key
+    // along happened-before (e → f implies min_cut(e) ⊊ min_cut(f)).
+    let mut order: Vec<crate::event::EventId> = comp.events().collect();
+    order.sort_by_key(|&e| (comp.min_cut(e).size(), e));
+
+    // Pre-render each event's cell text.
+    let cells: Vec<String> = comp
+        .events()
+        .map(|e| {
+            let mut cell = String::new();
+            if comp.is_initial(e) {
+                cell.push('⊥');
+            } else {
+                match comp.label(e) {
+                    Some(l) => cell.push_str(l),
+                    None => cell.push('o'),
+                }
+            }
+            for &(tag, is_send) in &tags[e.as_usize()] {
+                if is_send {
+                    let _ = write!(cell, "[s{tag}]");
+                } else {
+                    let _ = write!(cell, "(r{tag})");
+                }
+            }
+            cell
+        })
+        .collect();
+
+    // Column widths are uniform per column (cell + one dash of slack).
+    let widths: Vec<usize> = order
+        .iter()
+        .map(|&e| cells[e.as_usize()].chars().count() + 1)
+        .collect();
+
+    let name_width = comp
+        .processes()
+        .map(|p| p.to_string().len())
+        .max()
+        .unwrap_or(2);
+
+    let mut out = String::new();
+    for p in comp.processes() {
+        let _ = write!(out, "{:<name_width$} ", p.to_string());
+        let fence_after = cut.map(|c| comp.event_at(p, c.frontier_pos(p)));
+        for (col, &e) in order.iter().enumerate() {
+            let width = widths[col];
+            if comp.process_of(e) == p {
+                let cell = &cells[e.as_usize()];
+                let pad = width.saturating_sub(cell.chars().count());
+                out.push_str(cell);
+                for _ in 0..pad {
+                    out.push('-');
+                }
+            } else {
+                for _ in 0..width {
+                    out.push('-');
+                }
+            }
+            if fence_after == Some(e) {
+                out.push('|');
+            }
+        }
+        // Trim trailing dashes for readability.
+        while out.ends_with('-') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::figure1;
+
+    #[test]
+    fn renders_every_process_and_message() {
+        let comp = figure1();
+        let art = render_space_time(&comp, None);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with(&format!("p{i}")), "{line}");
+            assert!(line.contains('⊥'), "{line}");
+        }
+        // 4 messages → tags s1..s4 and r1..r4 all present.
+        for tag in 1..=4 {
+            assert!(art.contains(&format!("[s{tag}]")), "missing send {tag}");
+            assert!(art.contains(&format!("(r{tag})")), "missing recv {tag}");
+        }
+        // Labels appear.
+        for l in ["b", "g", "w"] {
+            assert!(art.contains(l));
+        }
+    }
+
+    #[test]
+    fn cut_fence_is_drawn_once_per_process() {
+        let comp = figure1();
+        let cut = Cut::from(vec![2, 2, 2]);
+        let art = render_space_time(&comp, Some(&cut));
+        for line in art.lines() {
+            assert_eq!(line.matches('|').count(), 1, "{line}");
+        }
+        // The fence on p0 comes right after label `b`.
+        let p0 = art.lines().next().unwrap();
+        let b_pos = p0.find('b').unwrap();
+        let fence = p0.find('|').unwrap();
+        assert!(fence > b_pos && fence - b_pos <= 3, "{p0}");
+    }
+
+    #[test]
+    fn unlabeled_events_render_as_circles() {
+        let comp = crate::test_fixtures::grid(2, 1);
+        let art = render_space_time(&comp, None);
+        assert_eq!(art.matches('o').count(), 3);
+    }
+}

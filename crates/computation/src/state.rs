@@ -1,0 +1,178 @@
+//! Global states: variable values at a consistent cut.
+
+use crate::computation::{Computation, VarRef};
+use crate::cut::Cut;
+use crate::event::EventId;
+use crate::process::ProcessId;
+use crate::value::Value;
+
+/// The global state reached after executing all events of a consistent cut:
+/// a read-only view of every process's variables (values after its frontier
+/// event) and of the channels (messages sent but not yet received within the
+/// cut).
+///
+/// Global predicates are evaluated against a `GlobalState`
+/// (see the `slicing-predicates` crate).
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::{ComputationBuilder, Cut, GlobalState, Value};
+///
+/// let mut b = ComputationBuilder::new(1);
+/// let x = b.declare_var(b.process(0), "x", Value::Int(0));
+/// b.step(b.process(0), &[(x, Value::Int(7))]);
+/// let comp = b.build()?;
+///
+/// let bottom = Cut::bottom(1);
+/// assert_eq!(GlobalState::new(&comp, &bottom).get(x), Value::Int(0));
+/// let top = comp.top_cut();
+/// assert_eq!(GlobalState::new(&comp, &top).get(x), Value::Int(7));
+/// # Ok::<(), slicing_computation::BuildError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalState<'a> {
+    comp: &'a Computation,
+    cut: &'a Cut,
+}
+
+impl<'a> GlobalState<'a> {
+    /// Creates a view of `comp` at `cut`.
+    ///
+    /// The cut is not re-validated here; callers that construct cuts by
+    /// joining consistent cuts may rely on consistency being preserved.
+    /// Use [`Computation::is_consistent`] to check explicitly.
+    pub fn new(comp: &'a Computation, cut: &'a Cut) -> Self {
+        debug_assert_eq!(cut.num_processes(), comp.num_processes());
+        GlobalState { comp, cut }
+    }
+
+    /// The underlying computation.
+    pub fn computation(&self) -> &'a Computation {
+        self.comp
+    }
+
+    /// The cut this state corresponds to.
+    pub fn cut(&self) -> &'a Cut {
+        self.cut
+    }
+
+    /// Value of `var` in this state (after the frontier event of its
+    /// process).
+    pub fn get(&self, var: VarRef) -> Value {
+        self.comp
+            .value_at(var, self.cut.frontier_pos(var.process()))
+    }
+
+    /// Value of the variable named `name` on process `p`.
+    ///
+    /// Returns `None` if no such variable was declared.
+    pub fn get_named(&self, p: ProcessId, name: &str) -> Option<Value> {
+        self.comp.var(p, name).map(|v| self.get(v))
+    }
+
+    /// The frontier event of process `p`: its last event inside the cut.
+    pub fn frontier(&self, p: ProcessId) -> EventId {
+        self.comp.frontier(self.cut, p)
+    }
+
+    /// Number of messages from `from` to `to` in transit at this state.
+    pub fn in_transit(&self, from: ProcessId, to: ProcessId) -> u32 {
+        self.comp.in_transit(self.cut, from, to)
+    }
+
+    /// Total number of messages destined for `p` that have been sent but
+    /// not yet received at this state (the paper's example of a linear,
+    /// non-regular predicate bounds this quantity).
+    pub fn pending_for(&self, p: ProcessId) -> u32 {
+        self.comp
+            .processes()
+            .filter(|&q| q != p)
+            .map(|q| self.in_transit(q, p))
+            .sum()
+    }
+
+    /// Snapshot of all variables of process `p` in this state, in
+    /// declaration order.
+    pub fn locals(&self, p: ProcessId) -> Vec<Value> {
+        let pos = self.cut.frontier_pos(p);
+        (0..self.comp.num_vars(p))
+            .map(|i| {
+                self.comp.value_at(
+                    VarRef {
+                        process: p,
+                        index: i as u16,
+                    },
+                    pos,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ComputationBuilder;
+
+    fn two_proc_with_message() -> (Computation, VarRef, VarRef) {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        let y = b.declare_var(b.process(1), "y", Value::Int(10));
+        let s = b.step(b.process(0), &[(x, Value::Int(1))]);
+        let r = b.step(b.process(1), &[(y, Value::Int(11))]);
+        b.message(s, r).unwrap();
+        (b.build().unwrap(), x, y)
+    }
+
+    #[test]
+    fn reads_frontier_values() {
+        let (c, x, y) = two_proc_with_message();
+        let cut = Cut::from(vec![2, 1]);
+        let st = GlobalState::new(&c, &cut);
+        assert_eq!(st.get(x), Value::Int(1));
+        assert_eq!(st.get(y), Value::Int(10));
+        assert_eq!(st.get_named(c.process(0), "x"), Some(Value::Int(1)));
+        assert_eq!(st.get_named(c.process(0), "zz"), None);
+    }
+
+    #[test]
+    fn frontier_events() {
+        let (c, _, _) = two_proc_with_message();
+        let cut = Cut::from(vec![2, 1]);
+        let st = GlobalState::new(&c, &cut);
+        assert_eq!(st.frontier(c.process(0)), c.event_at(c.process(0), 1));
+        assert_eq!(st.frontier(c.process(1)), c.event_at(c.process(1), 0));
+    }
+
+    #[test]
+    fn channel_accounting() {
+        let (c, _, _) = two_proc_with_message();
+        let mid = Cut::from(vec![2, 1]);
+        let st = GlobalState::new(&c, &mid);
+        assert_eq!(st.in_transit(c.process(0), c.process(1)), 1);
+        assert_eq!(st.pending_for(c.process(1)), 1);
+        assert_eq!(st.pending_for(c.process(0)), 0);
+        let top = c.top_cut();
+        let st = GlobalState::new(&c, &top);
+        assert_eq!(st.pending_for(c.process(1)), 0);
+    }
+
+    #[test]
+    fn locals_snapshot() {
+        let (c, _, _) = two_proc_with_message();
+        let top = c.top_cut();
+        let st = GlobalState::new(&c, &top);
+        assert_eq!(st.locals(c.process(0)), vec![Value::Int(1)]);
+        assert_eq!(st.locals(c.process(1)), vec![Value::Int(11)]);
+    }
+
+    #[test]
+    fn accessors_expose_parts() {
+        let (c, _, _) = two_proc_with_message();
+        let cut = Cut::bottom(2);
+        let st = GlobalState::new(&c, &cut);
+        assert_eq!(st.cut(), &cut);
+        assert_eq!(st.computation().num_events(), c.num_events());
+    }
+}

@@ -1,0 +1,285 @@
+//! Shared fixture computations for tests, examples, and benchmarks across
+//! the workspace.
+//!
+//! The generators here use a tiny self-contained xorshift RNG rather than an
+//! external crate so that fixtures are available to every dependent crate
+//! without extra dependencies, and so that a given seed produces the same
+//! computation forever.
+
+use crate::builder::ComputationBuilder;
+use crate::computation::Computation;
+use crate::process::ProcessId;
+use crate::value::Value;
+
+/// A minimal deterministic xorshift64* generator for fixtures.
+///
+/// Not cryptographic, not `rand`-compatible — just stable and dependency
+/// free.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator; a zero seed is remapped to a fixed constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `usize` in `0..bound`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Reconstruction of the paper's Figure 1: a three-process computation with
+/// **28 consistent cuts** whose slice with respect to
+/// `(x1 > 1) ∧ (x3 ≤ 3)` has exactly **6 consistent cuts** with the shape
+/// shown in Figure 1(b) (a forced bottom meta-event, then independent
+/// optional events on p1 and p3, and an event on p2 that requires the p3
+/// event).
+///
+/// The published figure is not fully legible in the archived text, so the
+/// exact variable values differ; the lattice sizes (28 and 6) and the slice
+/// structure match the paper's description.
+///
+/// Layout (position 0 of each process is its initial event):
+///
+/// ```text
+/// p1 (x1):  ⊥=2   b=3   c=-1  d=0
+/// p2 (x2):  ⊥=2   f=1   g=4   h=0
+/// p3 (x3):  ⊥=4   v=1   w=2   z=6
+/// messages: f→v, w→g, c→h, g→z
+/// ```
+pub fn figure1() -> Computation {
+    let mut bld = ComputationBuilder::new(3);
+    let p1 = bld.process(0);
+    let p2 = bld.process(1);
+    let p3 = bld.process(2);
+    let x1 = bld.declare_var(p1, "x1", Value::Int(2));
+    let x2 = bld.declare_var(p2, "x2", Value::Int(2));
+    let x3 = bld.declare_var(p3, "x3", Value::Int(4));
+
+    let b = bld.step(p1, &[(x1, Value::Int(3))]);
+    let c = bld.step(p1, &[(x1, Value::Int(-1))]);
+    let d = bld.step(p1, &[(x1, Value::Int(0))]);
+    let f = bld.step(p2, &[(x2, Value::Int(1))]);
+    let g = bld.step(p2, &[(x2, Value::Int(4))]);
+    let h = bld.step(p2, &[(x2, Value::Int(0))]);
+    let v = bld.step(p3, &[(x3, Value::Int(1))]);
+    let w = bld.step(p3, &[(x3, Value::Int(2))]);
+    let z = bld.step(p3, &[(x3, Value::Int(6))]);
+
+    for (e, l) in [
+        (b, "b"),
+        (c, "c"),
+        (d, "d"),
+        (f, "f"),
+        (g, "g"),
+        (h, "h"),
+        (v, "v"),
+        (w, "w"),
+        (z, "z"),
+    ] {
+        bld.set_label(e, l);
+    }
+
+    bld.message(f, v).expect("f→v is a valid message");
+    bld.message(w, g).expect("w→g is a valid message");
+    bld.message(c, h).expect("c→h is a valid message");
+    bld.message(g, z).expect("g→z is a valid message");
+
+    bld.build().expect("figure 1 computation is acyclic")
+}
+
+/// Two independent processes with `a` and `b` real events and no messages:
+/// the cut lattice is the full `(a+1) × (b+1)` grid.
+pub fn grid(a: u32, b: u32) -> Computation {
+    let mut bld = ComputationBuilder::new(2);
+    for _ in 0..a {
+        bld.append_event(bld.process(0));
+    }
+    for _ in 0..b {
+        bld.append_event(bld.process(1));
+    }
+    bld.build().expect("grid computation is acyclic")
+}
+
+/// Configuration for [`random_computation`].
+#[derive(Debug, Clone)]
+pub struct RandomConfig {
+    /// Number of processes.
+    pub processes: usize,
+    /// Number of real events per process.
+    pub events_per_process: u32,
+    /// Probability (numerator over 100) that a new event receives a message
+    /// from a previously unmatched send.
+    pub recv_percent: u64,
+    /// Probability (numerator over 100) that a new event sends a message.
+    pub send_percent: u64,
+    /// Range of integer values assigned to each process's `x` variable
+    /// (values drawn uniformly from `0..value_range`).
+    pub value_range: i64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            processes: 3,
+            events_per_process: 4,
+            recv_percent: 40,
+            send_percent: 40,
+            value_range: 3,
+        }
+    }
+}
+
+/// Generates a random (but deterministic for a given seed) computation.
+///
+/// Every process hosts one integer variable `x` taking values in
+/// `0..value_range`; messages are generated forward in construction order so
+/// the result is always acyclic. Intended for property tests that compare
+/// slicing algorithms against the brute-force oracles.
+pub fn random_computation(seed: u64, cfg: &RandomConfig) -> Computation {
+    let mut rng = XorShift64::new(seed);
+    let mut bld = ComputationBuilder::new(cfg.processes);
+    let vars: Vec<_> = (0..cfg.processes)
+        .map(|i| {
+            let p = bld.process(i);
+            bld.declare_var(p, "x", Value::Int(rng.below(cfg.value_range as u64) as i64))
+        })
+        .collect();
+
+    // Unmatched sends: (event, sender process index).
+    let mut pending_sends: Vec<(crate::event::EventId, usize)> = Vec::new();
+    let mut remaining: Vec<u32> = vec![cfg.events_per_process; cfg.processes];
+    let mut total: u64 = u64::from(cfg.events_per_process) * cfg.processes as u64;
+
+    while total > 0 {
+        // Pick a process that still has events to append.
+        let mut i = rng.index(cfg.processes);
+        while remaining[i] == 0 {
+            i = (i + 1) % cfg.processes;
+        }
+        let p = ProcessId::new(i);
+        let value = Value::Int(rng.below(cfg.value_range as u64) as i64);
+        let e = bld.step(p, &[(vars[i], value)]);
+        remaining[i] -= 1;
+        total -= 1;
+
+        // Maybe receive one pending message from another process.
+        if rng.chance(cfg.recv_percent, 100) {
+            if let Some(k) = (0..pending_sends.len()).find(|&k| pending_sends[k].1 != i) {
+                let (send, _) = pending_sends.swap_remove(k);
+                bld.message(send, e)
+                    .expect("forward message in construction order is acyclic");
+            }
+        }
+        // Maybe make this event a send.
+        if rng.chance(cfg.send_percent, 100) {
+            pending_sends.push((e, i));
+        }
+    }
+
+    bld.build()
+        .expect("construction order guarantees acyclicity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{count_cuts, CutCount};
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Zero seed is remapped, not degenerate.
+        let mut z = XorShift64::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn xorshift_below_is_in_range() {
+        let mut r = XorShift64::new(3);
+        for _ in 0..100 {
+            assert!(r.below(7) < 7);
+            assert!(r.index(5) < 5);
+        }
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let c = figure1();
+        assert_eq!(c.num_processes(), 3);
+        assert_eq!(c.num_events(), 12);
+        assert_eq!(c.messages().len(), 4);
+        assert_eq!(count_cuts(&c, None), CutCount::Exact(28));
+    }
+
+    #[test]
+    fn figure1_labels_resolve() {
+        let c = figure1();
+        for l in ["b", "c", "d", "f", "g", "h", "v", "w", "z"] {
+            assert!(c.event_by_label(l).is_some(), "label {l} missing");
+        }
+    }
+
+    #[test]
+    fn grid_lattice_size() {
+        let c = grid(3, 4);
+        assert_eq!(count_cuts(&c, None), CutCount::Exact(20));
+    }
+
+    #[test]
+    fn random_computation_is_deterministic_and_valid() {
+        let cfg = RandomConfig::default();
+        let a = random_computation(11, &cfg);
+        let b = random_computation(11, &cfg);
+        assert_eq!(a.num_events(), b.num_events());
+        assert_eq!(a.messages(), b.messages());
+        // Different seed usually differs in messages.
+        let c = random_computation(12, &cfg);
+        assert_eq!(c.num_events(), a.num_events());
+    }
+
+    #[test]
+    fn random_computation_respects_config() {
+        let cfg = RandomConfig {
+            processes: 4,
+            events_per_process: 3,
+            ..RandomConfig::default()
+        };
+        let c = random_computation(5, &cfg);
+        assert_eq!(c.num_processes(), 4);
+        assert_eq!(c.num_events(), 4 * (3 + 1));
+        for p in c.processes() {
+            assert!(c.var(p, "x").is_some());
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! A plain-text trace format for computations.
+//!
+//! The format is line-oriented and diff-friendly, so recorded protocol runs
+//! can be checked into a repository and replayed by the examples:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! procs 3
+//! var 0 x 5            # process 0 declares x with initial value 5
+//! var 1 ok true
+//! var 2 peer p0
+//! event 0 x=6          # appends an event to process 0, assigning x
+//! event 1 label=r ok=false
+//! msg 0 1 1 1          # message from (p0, pos 1) to (p1, pos 1)
+//! ```
+//!
+//! Values are written as integers (`-3`), booleans (`true`/`false`), or
+//! process ids (`p2`). The key `label` inside an `event` line attaches an
+//! event label instead of assigning a variable, so `label` is reserved and
+//! cannot be used as a variable name in traces.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::builder::{BuildError, ComputationBuilder};
+use crate::computation::Computation;
+use crate::event::EventId;
+use crate::process::ProcessId;
+use crate::value::Value;
+
+/// Errors produced when parsing a textual trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The trace was structurally invalid (e.g. cyclic messages).
+    Build(BuildError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Syntax { line, message } => {
+                write!(f, "trace syntax error on line {line}: {message}")
+            }
+            TraceError::Build(e) => write!(f, "trace build error: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Build(e) => Some(e),
+            TraceError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<BuildError> for TraceError {
+    fn from(e: BuildError) -> Self {
+        TraceError::Build(e)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+fn format_value(v: Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Pid(p) => p.to_string(),
+    }
+}
+
+fn parse_value(token: &str, line: usize) -> Result<Value, TraceError> {
+    match token {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Some(rest) = token.strip_prefix('p') {
+        if let Ok(idx) = rest.parse::<usize>() {
+            return Ok(Value::Pid(ProcessId::new(idx)));
+        }
+    }
+    token
+        .parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| syntax(line, format!("invalid value {token:?}")))
+}
+
+/// Serializes a computation to the textual trace format.
+///
+/// The result round-trips through [`from_text`]: variable declarations,
+/// event order, assignments, labels and messages are all preserved.
+pub fn to_text(comp: &Computation) -> String {
+    let mut out = String::new();
+    out.push_str("# computation-slicing trace v1\n");
+    out.push_str(&format!("procs {}\n", comp.num_processes()));
+    for p in comp.processes() {
+        for (i, name) in comp.var_names(p).enumerate() {
+            let var = comp.var(p, name).expect("listed name resolves");
+            let _ = i;
+            out.push_str(&format!(
+                "var {} {} {}\n",
+                p.as_usize(),
+                name,
+                format_value(comp.value_at(var, 0))
+            ));
+        }
+    }
+
+    // Events in their original interleaved order (event ids are assigned in
+    // append order, so iterating ids reproduces it).
+    for e in comp.events() {
+        if comp.is_initial(e) {
+            continue;
+        }
+        let p = comp.process_of(e);
+        let pos = comp.position_of(e);
+        let mut line = format!("event {}", p.as_usize());
+        if let Some(l) = comp.label(e) {
+            line.push_str(&format!(" label={l}"));
+        }
+        for name in comp.var_names(p) {
+            let var = comp.var(p, name).expect("listed name resolves");
+            let now = comp.value_at(var, pos);
+            let before = comp.value_at(var, pos - 1);
+            if now != before {
+                line.push_str(&format!(" {name}={}", format_value(now)));
+            }
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+
+    for m in comp.messages() {
+        out.push_str(&format!(
+            "msg {} {} {} {}\n",
+            comp.process_of(m.send).as_usize(),
+            comp.position_of(m.send),
+            comp.process_of(m.recv).as_usize(),
+            comp.position_of(m.recv)
+        ));
+    }
+    out
+}
+
+/// Parses a computation from the textual trace format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Syntax`] for malformed lines and
+/// [`TraceError::Build`] if the described computation is invalid (cyclic
+/// messages, duplicate variables, ...).
+pub fn from_text(text: &str) -> Result<Computation, TraceError> {
+    let mut builder: Option<ComputationBuilder> = None;
+    // Deferred messages: (send proc, send pos, recv proc, recv pos, line).
+    let mut messages: Vec<(usize, u32, usize, u32, usize)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let kind = tokens.next().expect("non-empty line has a first token");
+        match kind {
+            "procs" => {
+                if builder.is_some() {
+                    return Err(syntax(lineno, "duplicate procs line"));
+                }
+                let n: usize = tokens
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "procs needs a count"))?
+                    .parse()
+                    .map_err(|_| syntax(lineno, "invalid process count"))?;
+                if n == 0 || n > crate::process::ProcSet::MAX_PROCESSES {
+                    return Err(syntax(lineno, "process count out of range"));
+                }
+                builder = Some(ComputationBuilder::new(n));
+            }
+            "var" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| syntax(lineno, "var before procs"))?;
+                let p: usize = tokens
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "var needs a process"))?
+                    .parse()
+                    .map_err(|_| syntax(lineno, "invalid process index"))?;
+                if p >= b.num_processes() {
+                    return Err(syntax(lineno, "process index out of range"));
+                }
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "var needs a name"))?;
+                if name == "label" {
+                    return Err(syntax(lineno, "variable name `label` is reserved"));
+                }
+                let value = parse_value(
+                    tokens
+                        .next()
+                        .ok_or_else(|| syntax(lineno, "var needs an initial value"))?,
+                    lineno,
+                )?;
+                b.try_declare_var(ProcessId::new(p), name, value)?;
+            }
+            "event" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| syntax(lineno, "event before procs"))?;
+                let p: usize = tokens
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "event needs a process"))?
+                    .parse()
+                    .map_err(|_| syntax(lineno, "invalid process index"))?;
+                if p >= b.num_processes() {
+                    return Err(syntax(lineno, "process index out of range"));
+                }
+                let pid = ProcessId::new(p);
+                let e = b.append_event(pid);
+                for kv in tokens {
+                    let (key, val) = kv
+                        .split_once('=')
+                        .ok_or_else(|| syntax(lineno, format!("expected key=value, got {kv:?}")))?;
+                    if key == "label" {
+                        b.set_label(e, val);
+                        continue;
+                    }
+                    let var = match b.var(pid, key) {
+                        Some(v) => v,
+                        None => {
+                            return Err(syntax(
+                                lineno,
+                                format!("unknown variable {key:?} on process {p}"),
+                            ))
+                        }
+                    };
+                    let value = parse_value(val, lineno)?;
+                    b.assign(e, var, value)?;
+                }
+            }
+            "msg" => {
+                let nums: Vec<&str> = tokens.collect();
+                if nums.len() != 4 {
+                    return Err(syntax(lineno, "msg needs 4 fields"));
+                }
+                let sp: usize = nums[0]
+                    .parse()
+                    .map_err(|_| syntax(lineno, "invalid send process"))?;
+                let spos: u32 = nums[1]
+                    .parse()
+                    .map_err(|_| syntax(lineno, "invalid send position"))?;
+                let rp: usize = nums[2]
+                    .parse()
+                    .map_err(|_| syntax(lineno, "invalid recv process"))?;
+                let rpos: u32 = nums[3]
+                    .parse()
+                    .map_err(|_| syntax(lineno, "invalid recv position"))?;
+                messages.push((sp, spos, rp, rpos, lineno));
+            }
+            other => {
+                return Err(syntax(lineno, format!("unknown directive {other:?}")));
+            }
+        }
+    }
+
+    let mut b = builder.ok_or_else(|| syntax(0, "trace has no procs line"))?;
+    for (sp, spos, rp, rpos, lineno) in messages {
+        let send = event_ref(&b, sp, spos).ok_or_else(|| syntax(lineno, "bad send endpoint"))?;
+        let recv = event_ref(&b, rp, rpos).ok_or_else(|| syntax(lineno, "bad recv endpoint"))?;
+        b.message(send, recv)?;
+    }
+    Ok(b.build()?)
+}
+
+fn event_ref(b: &ComputationBuilder, p: usize, pos: u32) -> Option<EventId> {
+    if p >= b.num_processes() {
+        return None;
+    }
+    let pid = ProcessId::new(p);
+    if pos >= b.len(pid) {
+        return None;
+    }
+    Some(b.event_at(pid, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::figure1;
+
+    #[test]
+    fn figure1_round_trips() {
+        let original = figure1();
+        let text = to_text(&original);
+        let parsed = from_text(&text).expect("emitted trace parses");
+        assert_eq!(parsed.num_processes(), original.num_processes());
+        assert_eq!(parsed.num_events(), original.num_events());
+        assert_eq!(parsed.messages(), original.messages());
+        for e in original.events() {
+            assert_eq!(parsed.label(e), original.label(e));
+            let p = original.process_of(e);
+            for name in original.var_names(p) {
+                let vo = original.var(p, name).unwrap();
+                let vp = parsed.var(p, name).unwrap();
+                assert_eq!(
+                    parsed.value_at(vp, original.position_of(e)),
+                    original.value_at(vo, original.position_of(e))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let c = from_text("# header\n\nprocs 1\n  # indented comment\nevent 0\n").unwrap();
+        assert_eq!(c.num_events(), 2);
+    }
+
+    #[test]
+    fn value_parsing() {
+        assert_eq!(parse_value("true", 1).unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("-4", 1).unwrap(), Value::Int(-4));
+        assert_eq!(parse_value("p3", 1).unwrap(), Value::Pid(ProcessId::new(3)));
+        assert!(parse_value("zzz", 1).is_err());
+        // `p` followed by non-digits falls through to the error path.
+        assert!(parse_value("px", 1).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_text("procs 1\nbogus 1\n").unwrap_err();
+        match err {
+            TraceError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_before_procs_rejected() {
+        assert!(from_text("event 0\n").is_err());
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let err = from_text("procs 1\nevent 0 y=1\n").unwrap_err();
+        assert!(err.to_string().contains("unknown variable"));
+    }
+
+    #[test]
+    fn reserved_label_name_rejected() {
+        assert!(from_text("procs 1\nvar 0 label 0\n").is_err());
+    }
+
+    #[test]
+    fn bad_message_endpoint_rejected() {
+        let err = from_text("procs 2\nevent 0\nmsg 0 1 1 5\n").unwrap_err();
+        assert!(err.to_string().contains("recv endpoint"));
+    }
+
+    #[test]
+    fn cyclic_trace_reports_build_error() {
+        let text = "procs 2\nevent 0\nevent 0\nevent 1\nevent 1\nmsg 0 2 1 1\nmsg 1 2 0 1\n";
+        match from_text(text).unwrap_err() {
+            TraceError::Build(BuildError::CyclicOrder) => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Runtime values of process variables.
+
+use std::fmt;
+
+use crate::process::ProcessId;
+
+/// The value of a process variable at some point in a computation.
+///
+/// The paper's example predicates range over integers (`x1 * x2 + x3 < 5`),
+/// booleans (`isPrimary_i`), and process identifiers (`secondary_i != p_j`),
+/// so those are the three variants supported here.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::Value;
+///
+/// let v = Value::Int(4);
+/// assert_eq!(v.as_int(), Some(4));
+/// assert_eq!(v.as_bool(), None);
+/// assert_eq!(v.to_string(), "4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A signed integer.
+    Int(i64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A process identifier (e.g. the `secondary_i` pointer in the
+    /// primary–secondary protocol).
+    Pid(ProcessId),
+}
+
+impl Value {
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the process-id payload, if this is a [`Value::Pid`].
+    pub fn as_pid(self) -> Option<ProcessId> {
+        match self {
+            Value::Pid(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload or panics with a descriptive message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an [`Value::Int`].
+    pub fn expect_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            other => panic!("expected an integer value, found {other:?}"),
+        }
+    }
+
+    /// Returns the boolean payload or panics with a descriptive message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a [`Value::Bool`].
+    pub fn expect_bool(self) -> bool {
+        match self {
+            Value::Bool(v) => v,
+            other => panic!("expected a boolean value, found {other:?}"),
+        }
+    }
+
+    /// Returns the process-id payload or panics with a descriptive message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a [`Value::Pid`].
+    pub fn expect_pid(self) -> ProcessId {
+        match self {
+            Value::Pid(v) => v,
+            other => panic!("expected a process-id value, found {other:?}"),
+        }
+    }
+
+    /// Returns `true` if the value is "truthy": a true boolean or a non-zero
+    /// integer. Process ids are never truthy.
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Int(v) => v != 0,
+            Value::Pid(_) => false,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<ProcessId> for Value {
+    fn from(v: ProcessId) -> Self {
+        Value::Pid(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Pid(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variant() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(
+            Value::Pid(ProcessId::new(1)).as_pid(),
+            Some(ProcessId::new(1))
+        );
+        assert_eq!(Value::Int(3).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_pid(), None);
+        assert_eq!(Value::Pid(ProcessId::new(0)).as_int(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(false), Value::Bool(false));
+        assert_eq!(
+            Value::from(ProcessId::new(2)),
+            Value::Pid(ProcessId::new(2))
+        );
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Int(-1).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Pid(ProcessId::new(0)).is_truthy());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected an integer")]
+    fn expect_int_panics_on_bool() {
+        Value::Bool(true).expect_int();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Pid(ProcessId::new(4)).to_string(), "p4");
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the trace format: serialization round-trips on
+//! arbitrary random computations.
+
+use proptest::prelude::*;
+
+use slicing_computation::test_fixtures::{random_computation, RandomConfig};
+use slicing_computation::trace::{from_text, to_text};
+use slicing_computation::Computation;
+
+fn computations() -> impl Strategy<Value = Computation> {
+    (any::<u64>(), 1usize..=5, 0u32..=6, 0u64..=80).prop_map(|(seed, n, m, msg)| {
+        let cfg = RandomConfig {
+            processes: n,
+            events_per_process: m,
+            send_percent: msg,
+            recv_percent: msg,
+            value_range: 5,
+        };
+        random_computation(seed, &cfg)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn round_trip_preserves_everything(comp in computations()) {
+        let text = to_text(&comp);
+        let parsed = from_text(&text).expect("emitted traces parse");
+        prop_assert_eq!(parsed.num_processes(), comp.num_processes());
+        prop_assert_eq!(parsed.num_events(), comp.num_events());
+        prop_assert_eq!(parsed.messages(), comp.messages());
+        for e in comp.events() {
+            prop_assert_eq!(parsed.process_of(e), comp.process_of(e));
+            prop_assert_eq!(parsed.position_of(e), comp.position_of(e));
+            prop_assert_eq!(parsed.min_cut(e), comp.min_cut(e));
+            let p = comp.process_of(e);
+            for name in comp.var_names(p) {
+                let a = comp.var(p, name).unwrap();
+                let b = parsed.var(p, name).unwrap();
+                prop_assert_eq!(
+                    parsed.value_at(b, comp.position_of(e)),
+                    comp.value_at(a, comp.position_of(e))
+                );
+            }
+        }
+        // Emission is a fixpoint.
+        prop_assert_eq!(to_text(&parsed), text);
+    }
+
+    /// The parser never panics on arbitrary printable text.
+    #[test]
+    fn parser_is_panic_free(src in "([ -~]{0,30}\n){0,6}") {
+        let _ = from_text(&src);
+    }
+}

@@ -1,0 +1,290 @@
+//! Approximate slicing for boolean combinations of sliceable predicates
+//! (Section 5).
+
+use std::fmt;
+use std::sync::Arc;
+
+use slicing_computation::{Computation, GlobalState, ProcSet};
+use slicing_predicates::{
+    Conjunctive, KLocalPredicate, LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate,
+};
+
+use crate::conjunctive::slice_conjunctive;
+use crate::coregular::slice_co_regular;
+use crate::graft::{graft_and_all, graft_or_all};
+use crate::klocal::slice_klocal;
+use crate::linear::{slice_linear, slice_regular};
+use crate::postlinear::slice_postlinear;
+use crate::slice::Slice;
+
+/// A predicate built from sliceable leaves with `∧` and `∨` — the class
+/// for which Section 5 computes an approximate slice in polynomial time:
+/// conjunctive, regular, co-regular, linear, post-linear, and k-local
+/// predicates, composed with conjunction and disjunction.
+///
+/// [`PredicateSpec::slice`] walks the parse tree bottom-up: each leaf is
+/// sliced with the algorithm matching its class, and every interior node
+/// grafts its children's slices. The result always **contains** every
+/// satisfying cut (soundness); it is exact when the tree is a single
+/// regular/conjunctive leaf, and an over-approximation otherwise — still
+/// typically far smaller than the computation.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::test_fixtures::figure1;
+/// use slicing_predicates::{Conjunctive, LocalPredicate};
+/// use slicing_core::PredicateSpec;
+///
+/// let comp = figure1();
+/// let x1 = comp.var(comp.process(0), "x1").unwrap();
+/// let x2 = comp.var(comp.process(1), "x2").unwrap();
+/// // (x1 > 1) ∨ (x2 == 4), each disjunct conjunctive.
+/// let spec = PredicateSpec::or(vec![
+///     PredicateSpec::conjunctive(Conjunctive::new(vec![
+///         LocalPredicate::int(x1, "x1 > 1", |x| x > 1),
+///     ])),
+///     PredicateSpec::conjunctive(Conjunctive::new(vec![
+///         LocalPredicate::int(x2, "x2 == 4", |x| x == 4),
+///     ])),
+/// ]);
+/// let slice = spec.slice(&comp);
+/// assert!(!slice.is_empty_slice());
+/// ```
+pub enum PredicateSpec {
+    /// A conjunction of local predicates — sliced in `O(|E|)`.
+    Conjunctive(Conjunctive),
+    /// A regular predicate — lean slice in `O(n²|E|)`.
+    Regular(Arc<dyn RegularPredicate>),
+    /// The complement of a regular predicate — `O(n²|E|²)`.
+    CoRegular(Arc<dyn RegularPredicate>),
+    /// A linear predicate — smallest containing sublattice in `O(n²|E|)`.
+    Linear(Arc<dyn LinearPredicate>),
+    /// A post-linear predicate — dual of linear.
+    PostLinear(Arc<dyn PostLinearPredicate>),
+    /// A k-local predicate — DNF transform, `O(n·m^(k-1)·|E|)`.
+    KLocal(KLocalPredicate),
+    /// Conjunction of sub-specifications (conjunction grafting).
+    And(Vec<PredicateSpec>),
+    /// Disjunction of sub-specifications (disjunction grafting).
+    Or(Vec<PredicateSpec>),
+}
+
+impl PredicateSpec {
+    /// Leaf constructor for a conjunctive predicate.
+    pub fn conjunctive(p: Conjunctive) -> Self {
+        PredicateSpec::Conjunctive(p)
+    }
+
+    /// Leaf constructor for a regular predicate.
+    pub fn regular(p: impl RegularPredicate + 'static) -> Self {
+        PredicateSpec::Regular(Arc::new(p))
+    }
+
+    /// Leaf constructor for the complement of a regular predicate.
+    pub fn not_regular(p: impl RegularPredicate + 'static) -> Self {
+        PredicateSpec::CoRegular(Arc::new(p))
+    }
+
+    /// Leaf constructor for a linear predicate.
+    pub fn linear(p: impl LinearPredicate + 'static) -> Self {
+        PredicateSpec::Linear(Arc::new(p))
+    }
+
+    /// Leaf constructor for a post-linear predicate.
+    pub fn post_linear(p: impl PostLinearPredicate + 'static) -> Self {
+        PredicateSpec::PostLinear(Arc::new(p))
+    }
+
+    /// Leaf constructor for a k-local predicate.
+    pub fn klocal(p: KLocalPredicate) -> Self {
+        PredicateSpec::KLocal(p)
+    }
+
+    /// Interior conjunction.
+    pub fn and(children: Vec<PredicateSpec>) -> Self {
+        PredicateSpec::And(children)
+    }
+
+    /// Interior disjunction.
+    pub fn or(children: Vec<PredicateSpec>) -> Self {
+        PredicateSpec::Or(children)
+    }
+
+    /// Computes the (possibly approximate) slice for the whole tree.
+    pub fn slice<'a>(&self, comp: &'a Computation) -> Slice<'a> {
+        match self {
+            PredicateSpec::Conjunctive(p) => slice_conjunctive(comp, p),
+            PredicateSpec::Regular(p) => slice_regular(comp, p.as_ref()),
+            PredicateSpec::CoRegular(p) => slice_co_regular(comp, p.as_ref()),
+            PredicateSpec::Linear(p) => slice_linear(comp, p.as_ref()),
+            PredicateSpec::PostLinear(p) => slice_postlinear(comp, p.as_ref()),
+            PredicateSpec::KLocal(p) => slice_klocal(comp, p),
+            PredicateSpec::And(children) => {
+                assert!(!children.is_empty(), "And() of nothing; use Slice::full");
+                let parts: Vec<Slice<'a>> = children.iter().map(|c| c.slice(comp)).collect();
+                graft_and_all(&parts)
+            }
+            PredicateSpec::Or(children) => {
+                let parts: Vec<Slice<'a>> = children.iter().map(|c| c.slice(comp)).collect();
+                graft_or_all(comp, &parts)
+            }
+        }
+    }
+
+    /// Evaluates the *exact* predicate the tree denotes (used after slicing
+    /// to check the residual predicate on the slice's cuts).
+    pub fn eval(&self, state: &GlobalState<'_>) -> bool {
+        match self {
+            PredicateSpec::Conjunctive(p) => p.eval(state),
+            PredicateSpec::Regular(p) => p.eval(state),
+            PredicateSpec::CoRegular(p) => !p.eval(state),
+            PredicateSpec::Linear(p) => p.eval(state),
+            PredicateSpec::PostLinear(p) => p.eval(state),
+            PredicateSpec::KLocal(p) => p.eval(state),
+            PredicateSpec::And(children) => children.iter().all(|c| c.eval(state)),
+            PredicateSpec::Or(children) => children.iter().any(|c| c.eval(state)),
+        }
+    }
+
+    /// The processes read anywhere in the tree.
+    pub fn support(&self) -> ProcSet {
+        match self {
+            PredicateSpec::Conjunctive(p) => p.support(),
+            PredicateSpec::Regular(p) => p.support(),
+            PredicateSpec::CoRegular(p) => p.support(),
+            PredicateSpec::Linear(p) => p.support(),
+            PredicateSpec::PostLinear(p) => p.support(),
+            PredicateSpec::KLocal(p) => p.support(),
+            PredicateSpec::And(children) | PredicateSpec::Or(children) => children
+                .iter()
+                .map(PredicateSpec::support)
+                .fold(ProcSet::empty(), ProcSet::union),
+        }
+    }
+}
+
+impl fmt::Debug for PredicateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredicateSpec::Conjunctive(p) => write!(f, "{p:?}"),
+            PredicateSpec::Regular(p) => write!(f, "Regular({p:?})"),
+            PredicateSpec::CoRegular(p) => write!(f, "¬Regular({p:?})"),
+            PredicateSpec::Linear(p) => write!(f, "Linear({p:?})"),
+            PredicateSpec::PostLinear(p) => write!(f, "PostLinear({p:?})"),
+            PredicateSpec::KLocal(p) => write!(f, "{p:?}"),
+            PredicateSpec::And(children) => f.debug_tuple("And").field(children).finish(),
+            PredicateSpec::Or(children) => f.debug_tuple("Or").field(children).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_computation::oracle::satisfying_cuts;
+    use slicing_computation::test_fixtures::{random_computation, RandomConfig};
+    use slicing_computation::Cut;
+    use slicing_predicates::LocalPredicate;
+    use std::collections::BTreeSet;
+
+    fn local_spec(comp: &Computation, proc_idx: usize, t: i64) -> PredicateSpec {
+        let p = comp.process(proc_idx);
+        let x = comp.var(p, "x").unwrap();
+        PredicateSpec::conjunctive(Conjunctive::new(vec![LocalPredicate::int(
+            x,
+            format!("x >= {t}"),
+            move |v| v >= t,
+        )]))
+    }
+
+    /// Soundness on random trees: the approximate slice contains every
+    /// satisfying cut.
+    #[test]
+    fn approximate_slice_is_sound_on_random_trees() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 3,
+            value_range: 3,
+            ..RandomConfig::default()
+        };
+        for seed in 0..20 {
+            let comp = random_computation(seed, &cfg);
+            // ((a ∨ b) ∧ c) with local leaves — the paper's (x1∨x2)∧(x3∨x4)
+            // shape, scaled to three processes.
+            let spec = PredicateSpec::and(vec![
+                PredicateSpec::or(vec![local_spec(&comp, 0, 1), local_spec(&comp, 1, 2)]),
+                local_spec(&comp, 2, 1),
+            ]);
+            let slice = spec.slice(&comp);
+            let slice_cuts: BTreeSet<Cut> = all_cuts(&slice).into_iter().collect();
+            let sat = satisfying_cuts(&comp, |st| spec.eval(st));
+            for c in &sat {
+                assert!(slice_cuts.contains(c), "seed {seed}: missing {c}");
+            }
+            // And the slice is never larger than the computation.
+            assert!(slice_cuts.len() as u64 <= all_cuts(&comp).len() as u64);
+        }
+    }
+
+    /// On a pure conjunction of regular leaves the result is exact.
+    #[test]
+    fn conjunction_of_regular_leaves_is_exact() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 3,
+            value_range: 3,
+            ..RandomConfig::default()
+        };
+        for seed in 0..10 {
+            let comp = random_computation(seed, &cfg);
+            let spec = PredicateSpec::and(vec![local_spec(&comp, 0, 1), local_spec(&comp, 1, 1)]);
+            let slice = spec.slice(&comp);
+            let got: BTreeSet<Cut> = all_cuts(&slice).into_iter().collect();
+            let sat: BTreeSet<Cut> = satisfying_cuts(&comp, |st| spec.eval(st))
+                .into_iter()
+                .collect();
+            assert_eq!(got, sat, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn coregular_leaf_and_eval() {
+        let cfg = RandomConfig::default();
+        let comp = random_computation(5, &cfg);
+        let x = comp.var(comp.process(0), "x").unwrap();
+        let inner = Conjunctive::new(vec![LocalPredicate::int(x, "x >= 1", |v| v >= 1)]);
+        let spec = PredicateSpec::not_regular(inner.clone());
+        let slice = spec.slice(&comp);
+        let slice_cuts: BTreeSet<Cut> = all_cuts(&slice).into_iter().collect();
+        let sat: BTreeSet<Cut> = satisfying_cuts(&comp, |st| !inner.eval(st))
+            .into_iter()
+            .collect();
+        // Co-regular slices are exact.
+        assert_eq!(
+            slice_cuts,
+            slicing_computation::oracle::sublattice_closure(
+                &sat.iter().cloned().collect::<Vec<_>>()
+            )
+        );
+    }
+
+    #[test]
+    fn empty_or_is_empty_slice() {
+        let comp = random_computation(1, &RandomConfig::default());
+        let spec = PredicateSpec::or(vec![]);
+        assert!(spec.slice(&comp).is_empty_slice());
+        let cut = Cut::bottom(comp.num_processes());
+        let st = GlobalState::new(&comp, &cut);
+        assert!(!spec.eval(&st));
+    }
+
+    #[test]
+    fn support_unions_children() {
+        let comp = random_computation(2, &RandomConfig::default());
+        let spec = PredicateSpec::or(vec![local_spec(&comp, 0, 1), local_spec(&comp, 2, 1)]);
+        assert_eq!(spec.support().len(), 2);
+        assert!(format!("{spec:?}").contains("Or"));
+    }
+}

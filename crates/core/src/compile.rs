@@ -1,0 +1,198 @@
+//! Compiling parsed predicate expressions into slicing strategies.
+//!
+//! Section 5 computes approximate slices for predicates "composed from
+//! co-regular, linear, post-linear and k-local predicates using ∧ and ∨":
+//! build the parse tree, slice the leaves with the matching algorithm,
+//! graft upward. This module automates the leaf classification for the
+//! expression language of `slicing-predicates`:
+//!
+//! 1. negations are pushed down to literals ([`Expr::negated`]), so `¬` of
+//!    a comparison becomes a flipped comparison rather than an opaque
+//!    negation;
+//! 2. the tree is split along `&&` / `||`;
+//! 3. constant subtrees are folded;
+//! 4. single-process leaves become conjunctive predicates (`O(|E|)`
+//!    slices);
+//! 5. anything else becomes a k-local leaf over its variables.
+
+use slicing_computation::{Computation, Value};
+use slicing_predicates::expr::{local_from_expr, Expr, ExprPredicate};
+use slicing_predicates::Conjunctive;
+
+use crate::approx::PredicateSpec;
+
+/// Compiles a boolean expression into a [`PredicateSpec`] whose
+/// [`slice`](PredicateSpec::slice) is a sound (and usually tight)
+/// approximation for the expression, and whose
+/// [`eval`](PredicateSpec::eval) is exactly the expression.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::test_fixtures::figure1;
+/// use slicing_predicates::expr::parse_predicate;
+/// use slicing_core::compile_predicate;
+///
+/// let comp = figure1();
+/// let pred = parse_predicate(&comp, "!(x1@0 <= 1) && (x3@2 <= 3 || x2@1 == 4)")?;
+/// let spec = compile_predicate(&comp, &pred);
+/// let slice = spec.slice(&comp);
+/// assert!(!slice.is_empty_slice());
+/// # Ok::<(), slicing_predicates::expr::ParseError>(())
+/// ```
+pub fn compile_predicate(comp: &Computation, pred: &ExprPredicate) -> PredicateSpec {
+    compile_expr(comp, pred.expr())
+}
+
+/// Expression-level entry point of [`compile_predicate`].
+pub fn compile_expr(comp: &Computation, expr: &Expr) -> PredicateSpec {
+    let _ = comp; // reserved for future computation-aware leaf choices
+                  // Normalize: no `Not` above anything but boolean variables.
+    let normalized = normalize(expr);
+    compile_normalized(&normalized)
+}
+
+fn normalize(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Not(inner) => inner.negated(),
+        Expr::Bin(op, l, r) => Expr::Bin(*op, Box::new(normalize(l)), Box::new(normalize(r))),
+        other => other.clone(),
+    }
+}
+
+fn compile_normalized(expr: &Expr) -> PredicateSpec {
+    // Constant fold: no variables means the truth value is fixed.
+    let support = expr.support();
+    if support.is_empty() {
+        let value = expr
+            .eval_with(&|_| unreachable!("constant expression reads no variables"))
+            .expect("parser type-checked the expression");
+        return match value {
+            Value::Bool(true) => PredicateSpec::conjunctive(Conjunctive::new(vec![])),
+            Value::Bool(false) => PredicateSpec::or(vec![]),
+            other => panic!("predicate expression evaluated to non-boolean {other}"),
+        };
+    }
+
+    // Single-process subtree: one local conjunct, lean O(|E|) slice.
+    if support.len() == 1 {
+        return PredicateSpec::conjunctive(Conjunctive::new(vec![local_from_expr(expr)]));
+    }
+
+    // Multi-process: split on the boolean structure.
+    let conjuncts = expr.conjuncts();
+    if conjuncts.len() > 1 {
+        return PredicateSpec::and(conjuncts.into_iter().map(compile_normalized).collect());
+    }
+    let disjuncts = expr.disjuncts();
+    if disjuncts.len() > 1 {
+        return PredicateSpec::or(disjuncts.into_iter().map(compile_normalized).collect());
+    }
+
+    // A genuinely multi-process literal: k-local over its variables.
+    let pred = ExprPredicate::new(expr.clone());
+    let klocal = pred
+        .to_klocal()
+        .expect("non-constant expression reads variables");
+    PredicateSpec::klocal(klocal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_computation::oracle::satisfying_cuts;
+    use slicing_computation::test_fixtures::{figure1, random_computation, RandomConfig};
+    use slicing_computation::{Cut, GlobalState};
+    use slicing_predicates::expr::parse_predicate;
+    use slicing_predicates::Predicate;
+    use std::collections::BTreeSet;
+
+    /// Compiled specs evaluate exactly like the source expression and
+    /// slice soundly, across a family of expression shapes.
+    #[test]
+    fn compiled_specs_are_sound_and_semantically_exact() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 3,
+            value_range: 3,
+            ..RandomConfig::default()
+        };
+        let sources = [
+            "x@0 >= 1 && x@1 >= 1 && x@2 >= 1",
+            "!(x@0 >= 1) || x@1 == 2",
+            "x@0 != x@1 && x@2 <= 1",
+            "x@0 + x@1 == x@2 || x@2 == 0",
+            "!(x@0 == 1 && x@1 == 1)",
+            "(x@0 < 1 || x@1 < 1) && (x@1 < 2 || x@2 < 2)",
+        ];
+        for seed in 0..12 {
+            let comp = random_computation(seed, &cfg);
+            for src in sources {
+                let pred = parse_predicate(&comp, src).unwrap();
+                let spec = compile_predicate(&comp, &pred);
+                // Semantic equality everywhere.
+                for cut in all_cuts(&comp) {
+                    let st = GlobalState::new(&comp, &cut);
+                    assert_eq!(
+                        spec.eval(&st),
+                        pred.eval(&st),
+                        "seed {seed} src {src:?} cut {cut}"
+                    );
+                }
+                // Slice soundness.
+                let slice = spec.slice(&comp);
+                let slice_cuts: BTreeSet<Cut> = all_cuts(&slice).into_iter().collect();
+                for cut in satisfying_cuts(&comp, |st| pred.eval(st)) {
+                    assert!(
+                        slice_cuts.contains(&cut),
+                        "seed {seed} src {src:?} missing {cut}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_compiles_to_a_lean_slice() {
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+        let spec = compile_predicate(&comp, &pred);
+        let slice = spec.slice(&comp);
+        assert_eq!(slice.count_cuts(None).value(), 6);
+    }
+
+    #[test]
+    fn negated_conjunction_compiles_via_de_morgan() {
+        let comp = figure1();
+        // ¬((x1>1) ∧ (x3≤3)) = (x1≤1) ∨ (x3>3): two conjunctive leaves
+        // under an Or — sliced exactly (each disjunct is regular).
+        let pred = parse_predicate(&comp, "!(x1@0 > 1 && x3@2 <= 3)").unwrap();
+        let spec = compile_predicate(&comp, &pred);
+        let got: BTreeSet<Cut> = all_cuts(&spec.slice(&comp)).into_iter().collect();
+        let (want, _) = slicing_computation::oracle::expected_slice_cuts(&comp, |st| pred.eval(st));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn constants_fold() {
+        let comp = figure1();
+        let t = parse_predicate(&comp, "1 < 2").unwrap();
+        let spec = compile_predicate(&comp, &t);
+        assert_eq!(spec.slice(&comp).count_cuts(None).value(), 28);
+        let f = parse_predicate(&comp, "2 < 1").unwrap();
+        let spec = compile_predicate(&comp, &f);
+        assert!(spec.slice(&comp).is_empty_slice());
+    }
+
+    #[test]
+    fn mixed_constant_branches_fold_inside_trees() {
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "x1@0 > 1 && true").unwrap();
+        let spec = compile_predicate(&comp, &pred);
+        let slice = spec.slice(&comp);
+        // Same result as the bare conjunct.
+        let bare = compile_predicate(&comp, &parse_predicate(&comp, "x1@0 > 1").unwrap());
+        assert_eq!(all_cuts(&slice), all_cuts(&bare.slice(&comp)));
+    }
+}

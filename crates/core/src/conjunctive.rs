@@ -1,0 +1,165 @@
+//! Optimal `O(|E|)` slicing for conjunctive predicates.
+
+use slicing_computation::Computation;
+use slicing_predicates::Conjunctive;
+
+use crate::slice::{Edge, Node, Slice};
+
+/// Computes the (lean) slice of `comp` with respect to a conjunctive
+/// predicate in optimal `O(|E|)` time plus the cost of evaluating the local
+/// conjuncts once per event.
+///
+/// A consistent cut satisfies a conjunction of local predicates exactly
+/// when every process's *frontier* event satisfies its process's conjuncts.
+/// So for every event `e` at which some conjunct of its process is false,
+/// no satisfying cut has `e` on the frontier, which is captured by a single
+/// local edge:
+///
+/// - `succ(e) → e` ("if `e` is in the cut, so is its successor"), or
+/// - `⊤ → e` when `e` is the last event of its process.
+///
+/// That is `O(1)` work per event, and the resulting cut set is exactly the
+/// satisfying cuts (conjunctive predicates are regular) — this is the
+/// optimal algorithm the paper's Section 4.2 invokes for each DNF clause.
+pub fn slice_conjunctive<'a>(comp: &'a Computation, pred: &Conjunctive) -> Slice<'a> {
+    let mut edges: Vec<Edge> = Vec::new();
+    for p in comp.processes() {
+        // Skip processes hosting no conjunct entirely.
+        if pred.clauses_on(p).next().is_none() {
+            continue;
+        }
+        let len = comp.len(p);
+        for pos in 0..len {
+            if pred.holds_at(comp, p, pos) {
+                continue;
+            }
+            let e = comp.event_at(p, pos);
+            if pos + 1 < len {
+                edges.push((Node::Event(comp.event_at(p, pos + 1)), Node::Event(e)));
+            } else {
+                edges.push((Node::Top, Node::Event(e)));
+            }
+        }
+    }
+    Slice::new(comp, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_computation::oracle::expected_slice_cuts;
+    use slicing_computation::test_fixtures::{figure1, random_computation, RandomConfig};
+    use slicing_computation::{Cut, GlobalState};
+    use slicing_predicates::{LocalPredicate, Predicate};
+    use std::collections::BTreeSet;
+
+    fn figure1_pred(comp: &Computation) -> Conjunctive {
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        Conjunctive::new(vec![
+            LocalPredicate::int(x1, "x1 > 1", |x| x > 1),
+            LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3),
+        ])
+    }
+
+    #[test]
+    fn figure1_slice_has_six_cuts() {
+        let comp = figure1();
+        let pred = figure1_pred(&comp);
+        let slice = slice_conjunctive(&comp, &pred);
+        let cuts = all_cuts(&slice);
+        assert_eq!(cuts.len(), 6);
+        for c in &cuts {
+            assert!(pred.eval(&GlobalState::new(&comp, c)), "cut {c} not lean");
+        }
+        // The exact cut vectors from the reconstruction.
+        let expect: Vec<Cut> = [
+            vec![1, 2, 2],
+            vec![1, 2, 3],
+            vec![1, 3, 3],
+            vec![2, 2, 2],
+            vec![2, 2, 3],
+            vec![2, 3, 3],
+        ]
+        .into_iter()
+        .map(Cut::from)
+        .collect();
+        assert_eq!(cuts, expect);
+    }
+
+    #[test]
+    fn edge_count_is_linear_in_events() {
+        let comp = figure1();
+        let pred = figure1_pred(&comp);
+        let slice = slice_conjunctive(&comp, &pred);
+        // At most one edge per event of a constrained process.
+        assert!(slice.edges().len() <= comp.num_events());
+    }
+
+    #[test]
+    fn agrees_with_linear_slicer_and_oracle_on_random_inputs() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 4,
+            value_range: 3,
+            ..RandomConfig::default()
+        };
+        for seed in 0..30 {
+            let comp = random_computation(seed, &cfg);
+            let clauses: Vec<LocalPredicate> = comp
+                .processes()
+                .map(|p| {
+                    let x = comp.var(p, "x").unwrap();
+                    let t = (seed % 3) as i64;
+                    LocalPredicate::int(x, format!("x != {t}"), move |v| v != t)
+                })
+                .collect();
+            let pred = Conjunctive::new(clauses);
+
+            let fast: BTreeSet<Cut> = all_cuts(&slice_conjunctive(&comp, &pred))
+                .into_iter()
+                .collect();
+            let general: BTreeSet<Cut> = all_cuts(&crate::linear::slice_linear(&comp, &pred))
+                .into_iter()
+                .collect();
+            assert_eq!(fast, general, "seed {seed}: O(|E|) vs O(n²|E|) slicer");
+
+            let (want, sat) = expected_slice_cuts(&comp, |st| pred.eval(st));
+            assert_eq!(fast, want, "seed {seed}: oracle");
+            // Lean: the closure added nothing.
+            assert_eq!(want.len(), sat.len(), "seed {seed}: leanness");
+        }
+    }
+
+    #[test]
+    fn empty_conjunction_gives_full_lattice() {
+        let comp = figure1();
+        let slice = slice_conjunctive(&comp, &Conjunctive::new(vec![]));
+        assert_eq!(all_cuts(&slice).len(), 28);
+        assert!(slice.edges().is_empty());
+    }
+
+    #[test]
+    fn false_final_event_forbidden_via_top() {
+        let comp = figure1();
+        // x1's last value is 0, so "x1 > 0 at the end" can't hold with d.
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let pred = Conjunctive::new(vec![LocalPredicate::int(x1, "x1 > 0", |x| x > 0)]);
+        let slice = slice_conjunctive(&comp, &pred);
+        let d = comp.event_by_label("d").unwrap();
+        assert_eq!(slice.least_cut(d), None);
+        // c (x1 = -1) is allowed only together with d... which is
+        // forbidden, so c is effectively forbidden too.
+        let c = comp.event_by_label("c").unwrap();
+        assert_eq!(slice.least_cut(c), None);
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction_empties_slice() {
+        let comp = figure1();
+        let x2 = comp.var(comp.process(1), "x2").unwrap();
+        let pred = Conjunctive::new(vec![LocalPredicate::int(x2, "x2 > 10", |x| x > 10)]);
+        assert!(slice_conjunctive(&comp, &pred).is_empty_slice());
+    }
+}

@@ -1,0 +1,177 @@
+//! Slicing co-regular predicates: complements of regular predicates.
+
+use slicing_computation::{Computation, EventId};
+use slicing_predicates::RegularPredicate;
+
+use crate::graft::graft_or_fold;
+use crate::linear::slice_linear;
+use crate::slice::{Node, Slice};
+
+/// Computes the slice of `comp` with respect to `¬b` for a regular
+/// predicate `b`, in `O(n²|E|²)` time (the co-regular algorithm the paper
+/// inherits from DISC'01).
+///
+/// Since `b` is regular, its slice `S_b` is lean: a consistent cut violates
+/// `b` exactly when it violates at least one constraint of `S_b`. Each
+/// constraint is one of:
+///
+/// - an edge `u → v` — violated by cuts with `v ∈ C ∧ u ∉ C`, a set that
+///   is closed under union and intersection and is therefore itself a
+///   slice (require `v`, forbid `u`);
+/// - a forbidden event `f` (`⊤ → f`) — violated by cuts containing `f`
+///   (require `f`).
+///
+/// The slice of `¬b` is the disjunction graft of these `O(n|E|)` violation
+/// slices. Edges `u → v` with `u` happened-before `v` can never be
+/// violated by a consistent cut and are skipped.
+pub fn slice_co_regular<'a, P: RegularPredicate + ?Sized>(
+    comp: &'a Computation,
+    pred: &P,
+) -> Slice<'a> {
+    let base = slice_linear(comp, pred);
+    slice_complement_of(comp, &base)
+}
+
+/// Computes the slice whose cuts form the smallest sublattice containing
+/// every consistent cut of `comp` that is **not** a cut of `slice`.
+///
+/// Exact (lean) when `slice` is the lean slice of a regular predicate;
+/// see [`slice_co_regular`]. Useful directly for `definitely`-modality
+/// detection, which searches the complement of a slice.
+pub fn slice_complement_of<'a>(comp: &'a Computation, slice: &Slice<'a>) -> Slice<'a> {
+    let anchor = Node::Event(comp.event_at(comp.process(0), 0));
+    let mut violations: Vec<Slice<'a>> = Vec::new();
+
+    for &(u, v) in slice.edges() {
+        match (u, v) {
+            (Node::Top, Node::Event(f)) => {
+                // Cuts containing the forbidden event f.
+                violations.push(Slice::new(comp, vec![(Node::Event(f), anchor)]));
+            }
+            (Node::Event(u), Node::Event(v)) => {
+                if implied_by_base(comp, u, v) {
+                    continue;
+                }
+                // Cuts with v ∈ C and u ∉ C: require v, forbid u.
+                violations.push(Slice::new(
+                    comp,
+                    vec![(Node::Event(v), anchor), (Node::Top, Node::Event(u))],
+                ));
+            }
+            // Edges into ⊤ are vacuous; ⊤ → ⊤ cannot occur.
+            _ => {}
+        }
+    }
+
+    graft_or_fold(comp, violations.iter())
+}
+
+/// `true` if `u → v` already follows from the happened-before relation, so
+/// no consistent cut can violate the edge.
+fn implied_by_base(comp: &Computation, u: EventId, v: EventId) -> bool {
+    comp.causally_within(u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_computation::oracle::expected_slice_cuts;
+    use slicing_computation::test_fixtures::{figure1, random_computation, RandomConfig};
+    use slicing_computation::Cut;
+    use slicing_predicates::{AtMostInTransit, Conjunctive, LocalPredicate, Predicate};
+    use std::collections::BTreeSet;
+
+    fn assert_complement_matches_oracle<P: RegularPredicate + ?Sized>(
+        comp: &Computation,
+        pred: &P,
+        ctx: &str,
+    ) {
+        let slice = slice_co_regular(comp, pred);
+        let got: BTreeSet<Cut> = all_cuts(&slice).into_iter().collect();
+        let (want, _) = expected_slice_cuts(comp, |st| !pred.eval(st));
+        assert_eq!(got, want, "{ctx}");
+    }
+
+    #[test]
+    fn figure1_complement() {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        let pred = Conjunctive::new(vec![
+            LocalPredicate::int(x1, "x1 > 1", |x| x > 1),
+            LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3),
+        ]);
+        assert_complement_matches_oracle(&comp, &pred, "figure1");
+    }
+
+    #[test]
+    fn complement_of_true_is_empty() {
+        let comp = figure1();
+        let pred = Conjunctive::new(vec![]);
+        assert!(slice_co_regular(&comp, &pred).is_empty_slice());
+    }
+
+    #[test]
+    fn complement_of_false_is_full() {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let pred = Conjunctive::new(vec![LocalPredicate::int(x1, "x1 > 99", |x| x > 99)]);
+        let slice = slice_co_regular(&comp, &pred);
+        assert_eq!(all_cuts(&slice).len(), 28);
+    }
+
+    #[test]
+    fn random_conjunctive_complements_match_oracle() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 3,
+            value_range: 3,
+            ..RandomConfig::default()
+        };
+        for seed in 0..15 {
+            let comp = random_computation(seed, &cfg);
+            let clauses: Vec<LocalPredicate> = comp
+                .processes()
+                .map(|p| {
+                    let x = comp.var(p, "x").unwrap();
+                    let t = (seed % 3) as i64;
+                    LocalPredicate::int(x, format!("x >= {t}"), move |v| v >= t)
+                })
+                .collect();
+            let pred = Conjunctive::new(clauses);
+            assert_complement_matches_oracle(&comp, &pred, &format!("seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn random_channel_complements_match_oracle() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 3,
+            send_percent: 60,
+            recv_percent: 60,
+            ..RandomConfig::default()
+        };
+        for seed in 30..45 {
+            let comp = random_computation(seed, &cfg);
+            let pred = AtMostInTransit::new(comp.process(0), comp.process(1), 0);
+            assert_complement_matches_oracle(&comp, &pred, &format!("seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn complement_misses_no_violating_cut() {
+        // Soundness: every ¬b cut must be in the complement slice.
+        let comp = figure1();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        let pred = Conjunctive::new(vec![LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3)]);
+        let slice = slice_co_regular(&comp, &pred);
+        for cut in all_cuts(&comp) {
+            let st = slicing_computation::GlobalState::new(&comp, &cut);
+            if !pred.eval(&st) {
+                assert!(slice.contains_cut(&cut), "missing violating cut {cut}");
+            }
+        }
+    }
+}

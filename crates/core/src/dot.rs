@@ -1,0 +1,180 @@
+//! Graphviz (DOT) export of computations and slices, for documentation
+//! and debugging — space-time diagrams like the paper's Figure 1(a) and
+//! meta-event graphs like Figure 1(b).
+
+use std::fmt::Write as _;
+
+use slicing_computation::Computation;
+
+use crate::slice::{Node, Slice};
+
+/// Renders the computation as a DOT digraph: one horizontal rank per
+/// process, events labelled with their variable values, message edges
+/// dashed.
+pub fn computation_to_dot(comp: &Computation) -> String {
+    let mut out = String::new();
+    out.push_str("digraph computation {\n  rankdir=LR;\n  node [shape=circle, fontsize=10];\n");
+    for p in comp.processes() {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", p.as_usize());
+        let _ = writeln!(out, "    label=\"{p}\"; style=dashed;");
+        for pos in 0..comp.len(p) {
+            let e = comp.event_at(p, pos);
+            let mut label = comp
+                .label(e)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("{p}:{pos}"));
+            let vals: Vec<String> = comp
+                .var_names(p)
+                .map(|name| {
+                    let var = comp.var(p, name).expect("listed name resolves");
+                    format!("{name}={}", comp.value_at(var, pos))
+                })
+                .collect();
+            if !vals.is_empty() {
+                let _ = write!(label, "\\n{}", vals.join(","));
+            }
+            let shape = if pos == 0 { ", shape=doublecircle" } else { "" };
+            let _ = writeln!(out, "    e{} [label=\"{label}\"{shape}];", e.as_usize());
+        }
+        // Process-order edges.
+        for pos in 1..comp.len(p) {
+            let _ = writeln!(
+                out,
+                "    e{} -> e{};",
+                comp.event_at(p, pos - 1).as_usize(),
+                comp.event_at(p, pos).as_usize()
+            );
+        }
+        out.push_str("  }\n");
+    }
+    for m in comp.messages() {
+        let _ = writeln!(
+            out,
+            "  e{} -> e{} [style=dashed, constraint=false];",
+            m.send.as_usize(),
+            m.recv.as_usize()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the slice as a DOT digraph of meta-events (the poset
+/// representation the paper uses for presentation): each box lists the
+/// events executed atomically, edges are the constraint order between
+/// meta-events (transitively reduced within the emitted edge set only by
+/// deduplication). Forbidden events (in no slice cut) are shown in a grey
+/// box.
+pub fn slice_to_dot(slice: &Slice<'_>) -> String {
+    let comp = slice.computation();
+    let metas = slice.meta_events();
+    let mut meta_of = vec![usize::MAX; comp.num_events()];
+    for (i, members) in metas.iter().enumerate() {
+        for &e in members {
+            meta_of[e.as_usize()] = i;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("digraph slice {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    for (i, members) in metas.iter().enumerate() {
+        let names: Vec<String> = members.iter().map(|&e| comp.describe_event(e)).collect();
+        let _ = writeln!(out, "  m{i} [label=\"{{{}}}\"];", names.join(", "));
+    }
+
+    // Edges: base order + constraint edges, lifted to meta-events.
+    let mut seen = std::collections::HashSet::new();
+    let mut edge = |from: usize, to: usize, out: &mut String| {
+        if from != to && from != usize::MAX && to != usize::MAX && seen.insert((from, to)) {
+            let _ = writeln!(out, "  m{from} -> m{to};");
+        }
+    };
+    for p in comp.processes() {
+        for pos in 1..comp.len(p) {
+            let a = comp.event_at(p, pos - 1).as_usize();
+            let b = comp.event_at(p, pos).as_usize();
+            edge(meta_of[a], meta_of[b], &mut out);
+        }
+    }
+    for m in comp.messages() {
+        edge(
+            meta_of[m.send.as_usize()],
+            meta_of[m.recv.as_usize()],
+            &mut out,
+        );
+    }
+    for &(u, v) in slice.edges() {
+        if let (Node::Event(u), Node::Event(v)) = (u, v) {
+            edge(meta_of[u.as_usize()], meta_of[v.as_usize()], &mut out);
+        }
+    }
+
+    // Forbidden events.
+    let forbidden: Vec<String> = comp
+        .events()
+        .filter(|&e| slice.least_cut(e).is_none())
+        .map(|e| comp.describe_event(e))
+        .collect();
+    if !forbidden.is_empty() {
+        let _ = writeln!(
+            out,
+            "  forbidden [label=\"excluded: {}\", style=filled, fillcolor=lightgrey];",
+            forbidden.join(", ")
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::test_fixtures::figure1;
+    use slicing_predicates::{Conjunctive, LocalPredicate};
+
+    #[test]
+    fn computation_dot_mentions_every_event_and_message() {
+        let comp = figure1();
+        let dot = computation_to_dot(&comp);
+        assert!(dot.starts_with("digraph computation"));
+        for e in comp.events() {
+            assert!(dot.contains(&format!("e{} ", e.as_usize())), "missing {e}");
+        }
+        // 4 dashed message edges.
+        assert_eq!(dot.matches("style=dashed, constraint=false").count(), 4);
+        // Values appear.
+        assert!(dot.contains("x1=3"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn slice_dot_shows_meta_events_and_exclusions() {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        let pred = Conjunctive::new(vec![
+            LocalPredicate::int(x1, "x1 > 1", |x| x > 1),
+            LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3),
+        ]);
+        let slice = crate::slice_conjunctive(&comp, &pred);
+        let dot = slice_to_dot(&slice);
+        assert!(dot.starts_with("digraph slice"));
+        // Four meta-events.
+        for i in 0..4 {
+            assert!(dot.contains(&format!("m{i} [label=")));
+        }
+        assert!(dot.contains("excluded:"));
+        // No self-loops.
+        for i in 0..4 {
+            assert!(!dot.contains(&format!("m{i} -> m{i};")));
+        }
+    }
+
+    #[test]
+    fn full_slice_dot_has_no_forbidden_box() {
+        let comp = figure1();
+        let slice = crate::Slice::full(&comp);
+        let dot = slice_to_dot(&slice);
+        assert!(!dot.contains("excluded:"));
+    }
+}

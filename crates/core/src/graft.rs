@@ -1,0 +1,278 @@
+//! Grafting: composing slices with respect to conjunction and disjunction
+//! (Section 3.4).
+
+use slicing_computation::{Computation, Cut};
+
+use crate::slice::{Edge, Node, Slice};
+
+fn assert_same_computation(a: &Slice<'_>, b: &Slice<'_>) {
+    assert!(
+        std::ptr::eq(a.computation(), b.computation()),
+        "grafted slices must derive from the same computation"
+    );
+}
+
+/// Grafts two slices with respect to **conjunction**: the smallest slice
+/// whose cuts are exactly the cuts common to both inputs.
+///
+/// A cut respects both slices' constraints iff it respects their union, so
+/// this is a constraint-edge union — `O(n|E|)` for slices produced by the
+/// slicers in this crate.
+///
+/// # Panics
+///
+/// Panics if the slices derive from different computations.
+pub fn graft_and<'a>(a: &Slice<'a>, b: &Slice<'a>) -> Slice<'a> {
+    assert_same_computation(a, b);
+    let mut edges: Vec<Edge> = Vec::with_capacity(a.edges().len() + b.edges().len());
+    edges.extend_from_slice(a.edges());
+    edges.extend_from_slice(b.edges());
+    Slice::new(a.computation(), edges)
+}
+
+/// Grafts any number of slices with respect to conjunction.
+///
+/// # Panics
+///
+/// Panics if `slices` is empty or the slices derive from different
+/// computations.
+pub fn graft_and_all<'a>(slices: &[Slice<'a>]) -> Slice<'a> {
+    assert!(!slices.is_empty(), "graft_and_all needs at least one slice");
+    let comp = slices[0].computation();
+    let mut edges = Vec::new();
+    for s in slices {
+        assert_same_computation(&slices[0], s);
+        edges.extend_from_slice(s.edges());
+    }
+    Slice::new(comp, edges)
+}
+
+/// Grafts two slices with respect to **disjunction**: the smallest slice
+/// containing every cut that belongs to at least one input.
+///
+/// For each event `e`, the least cut containing `e` in the generated
+/// sublattice is the *meet* of the inputs' least cuts `J₁(e) ∧ J₂(e)`
+/// (whichever exist); re-encoding those meets as frontier edges yields the
+/// grafted slice in `O(n|E|)`.
+///
+/// # Panics
+///
+/// Panics if the slices derive from different computations.
+pub fn graft_or<'a>(a: &Slice<'a>, b: &Slice<'a>) -> Slice<'a> {
+    assert_same_computation(a, b);
+    graft_or_fold(a.computation(), [a, b].into_iter())
+}
+
+/// Grafts any number of slices with respect to disjunction, folding their
+/// least-cut tables without retaining the inputs (memory `O(n|E|)` however
+/// many slices stream through). The disjunction of zero slices is the
+/// empty slice.
+pub fn graft_or_all<'a>(comp: &'a Computation, slices: &[Slice<'a>]) -> Slice<'a> {
+    graft_or_fold(comp, slices.iter())
+}
+
+/// Core of disjunction grafting over an iterator of slices.
+pub(crate) fn graft_or_fold<'a, 'b>(
+    comp: &'a Computation,
+    slices: impl Iterator<Item = &'b Slice<'a>>,
+) -> Slice<'a>
+where
+    'a: 'b,
+{
+    let num_events = comp.num_events();
+    // Accumulated least cut per event across the disjuncts (None =
+    // contained in no disjunct so far).
+    let mut jvee: Vec<Option<Cut>> = vec![None; num_events];
+    let mut any = false;
+    for s in slices {
+        assert!(
+            std::ptr::eq(s.computation(), comp),
+            "grafted slices must derive from the given computation"
+        );
+        any = true;
+        for e in comp.events() {
+            if let Some(j) = s.least_cut(e) {
+                match &mut jvee[e.as_usize()] {
+                    Some(acc) => acc.meet_assign(j),
+                    slot @ None => *slot = Some(j.clone()),
+                }
+            }
+        }
+    }
+    if !any {
+        return Slice::empty(comp);
+    }
+    slice_from_least_cuts(comp, &jvee)
+}
+
+/// Rebuilds a slice from a least-cut table: for every event `e` with
+/// `J(e) = Some(c)`, emit frontier edges encoding `e ∈ C ⇒ c ⊆ C`; events
+/// with `J(e) = None` are forbidden via ⊤ → e.
+pub(crate) fn slice_from_least_cuts<'a>(comp: &'a Computation, j: &[Option<Cut>]) -> Slice<'a> {
+    let mut edges: Vec<Edge> = Vec::new();
+    for e in comp.events() {
+        match &j[e.as_usize()] {
+            None => edges.push((Node::Top, Node::Event(e))),
+            Some(c) => {
+                for q in comp.processes() {
+                    let cnt = c.count(q);
+                    if cnt <= 1 {
+                        continue;
+                    }
+                    let f = comp.event_at(q, cnt - 1);
+                    if f != e {
+                        edges.push((Node::Event(f), Node::Event(e)));
+                    }
+                }
+            }
+        }
+    }
+    Slice::new(comp, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_computation::oracle::sublattice_closure;
+    use slicing_computation::test_fixtures::{figure1, random_computation, RandomConfig};
+    use slicing_predicates::{Conjunctive, LocalPredicate};
+    use std::collections::BTreeSet;
+
+    use crate::conjunctive::slice_conjunctive;
+
+    fn pred_gt(comp: &Computation, proc_idx: usize, t: i64) -> Conjunctive {
+        let p = comp.process(proc_idx);
+        let x = comp.var(p, "x").unwrap();
+        Conjunctive::new(vec![LocalPredicate::int(x, format!("x > {t}"), move |v| {
+            v > t
+        })])
+    }
+
+    #[test]
+    fn and_graft_intersects_cut_sets() {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        let s1 = slice_conjunctive(
+            &comp,
+            &Conjunctive::new(vec![LocalPredicate::int(x1, "x1 > 1", |x| x > 1)]),
+        );
+        let s2 = slice_conjunctive(
+            &comp,
+            &Conjunctive::new(vec![LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3)]),
+        );
+        let grafted = graft_and(&s1, &s2);
+        let want: BTreeSet<Cut> = {
+            let a: BTreeSet<Cut> = all_cuts(&s1).into_iter().collect();
+            let b: BTreeSet<Cut> = all_cuts(&s2).into_iter().collect();
+            a.intersection(&b).cloned().collect()
+        };
+        let got: BTreeSet<Cut> = all_cuts(&grafted).into_iter().collect();
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 6); // Figure 1 again, via grafting
+    }
+
+    #[test]
+    fn or_graft_is_smallest_sublattice_of_union() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 3,
+            value_range: 3,
+            ..RandomConfig::default()
+        };
+        for seed in 0..25 {
+            let comp = random_computation(seed, &cfg);
+            let s1 = slice_conjunctive(&comp, &pred_gt(&comp, 0, 0));
+            let s2 = slice_conjunctive(&comp, &pred_gt(&comp, 1, 1));
+            let grafted = graft_or(&s1, &s2);
+            let union: Vec<Cut> = {
+                let mut v: BTreeSet<Cut> = all_cuts(&s1).into_iter().collect();
+                v.extend(all_cuts(&s2));
+                v.into_iter().collect()
+            };
+            let want = sublattice_closure(&union);
+            let got: BTreeSet<Cut> = all_cuts(&grafted).into_iter().collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn or_graft_with_empty_slice_is_identity() {
+        let comp = figure1();
+        let s = slice_conjunctive(&comp, &pred_gt_x1(&comp));
+        let e = Slice::empty(&comp);
+        let got: BTreeSet<Cut> = all_cuts(&graft_or(&s, &e)).into_iter().collect();
+        let want: BTreeSet<Cut> = all_cuts(&s).into_iter().collect();
+        assert_eq!(got, want);
+        // Symmetric.
+        let got: BTreeSet<Cut> = all_cuts(&graft_or(&e, &s)).into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    fn pred_gt_x1(comp: &Computation) -> Conjunctive {
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        Conjunctive::new(vec![LocalPredicate::int(x1, "x1 > 1", |x| x > 1)])
+    }
+
+    #[test]
+    fn and_graft_with_empty_slice_is_empty() {
+        let comp = figure1();
+        let s = slice_conjunctive(&comp, &pred_gt_x1(&comp));
+        let e = Slice::empty(&comp);
+        assert!(graft_and(&s, &e).is_empty_slice());
+    }
+
+    #[test]
+    fn nary_grafts_match_folds() {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let x2 = comp.var(comp.process(1), "x2").unwrap();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        let slices = vec![
+            slice_conjunctive(
+                &comp,
+                &Conjunctive::new(vec![LocalPredicate::int(x1, "x1 > 1", |x| x > 1)]),
+            ),
+            slice_conjunctive(
+                &comp,
+                &Conjunctive::new(vec![LocalPredicate::int(x2, "x2 < 4", |x| x < 4)]),
+            ),
+            slice_conjunctive(
+                &comp,
+                &Conjunctive::new(vec![LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3)]),
+            ),
+        ];
+        let all_and: BTreeSet<Cut> = all_cuts(&graft_and_all(&slices)).into_iter().collect();
+        let fold_and: BTreeSet<Cut> =
+            all_cuts(&graft_and(&graft_and(&slices[0], &slices[1]), &slices[2]))
+                .into_iter()
+                .collect();
+        assert_eq!(all_and, fold_and);
+
+        let all_or: BTreeSet<Cut> = all_cuts(&graft_or_all(&comp, &slices))
+            .into_iter()
+            .collect();
+        let fold_or: BTreeSet<Cut> =
+            all_cuts(&graft_or(&graft_or(&slices[0], &slices[1]), &slices[2]))
+                .into_iter()
+                .collect();
+        assert_eq!(all_or, fold_or);
+    }
+
+    #[test]
+    fn or_graft_of_nothing_is_empty() {
+        let comp = figure1();
+        assert!(graft_or_all(&comp, &[]).is_empty_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "same computation")]
+    fn cross_computation_graft_rejected() {
+        let c1 = figure1();
+        let c2 = figure1();
+        let s1 = Slice::full(&c1);
+        let s2 = Slice::full(&c2);
+        let _ = graft_and(&s1, &s2);
+    }
+}

@@ -1,0 +1,320 @@
+//! Incremental (online) conjunctive slicing — the paper's future-work
+//! direction: update the slice as new events arrive instead of recomputing
+//! it from scratch.
+
+use slicing_computation::{
+    BuildError, Computation, ComputationBuilder, EventId, ProcessId, Value, VarRef,
+};
+
+use crate::slice::{Edge, Node, Slice};
+
+/// An online slicer for conjunctive predicates.
+///
+/// Events are observed one at a time (with their variable assignments and
+/// message edges); the slicer maintains the conjunctive constraint edges
+/// *incrementally* — `O(1)` extra work per event, since the conjunctive
+/// slicer's edges are purely local (a false event points at its process
+/// successor). [`snapshot_computation`](OnlineSlicer::snapshot_computation) materializes the
+/// computation-so-far and its slice; treating the not-yet-followed last
+/// event of each process exactly like the offline slicer treats it keeps
+/// every snapshot equal to the offline result.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::Value;
+/// use slicing_core::OnlineSlicer;
+///
+/// let mut s = OnlineSlicer::new(2);
+/// let x = s.declare_var(0, "x", Value::Int(0))?;
+/// let y = s.declare_var(1, "y", Value::Int(0))?;
+/// s.watch_int(x, "x > 0", |v| v > 0);
+/// s.watch_int(y, "y > 0", |v| v > 0);
+/// s.observe(0, &[(x, Value::Int(1))])?;
+/// s.observe(1, &[(y, Value::Int(2))])?;
+/// let comp = s.snapshot_computation()?;
+/// let slice = s.slice_of(&comp);
+/// assert_eq!(slice.count_cuts(None).value(), 1);
+/// # Ok::<(), slicing_computation::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct OnlineSlicer {
+    builder: ComputationBuilder,
+    watches: Vec<Watch>,
+    /// Constraint edges already finalized (their event has a successor, or
+    /// the edge is local-false → successor pending).
+    settled_edges: Vec<(EventId, EventId)>,
+    /// Last event per process together with whether its conjuncts hold.
+    frontier: Vec<(EventId, bool)>,
+}
+
+struct Watch {
+    var: VarRef,
+    label: String,
+    f: Box<dyn Fn(Value) -> bool + Send + Sync>,
+}
+
+impl std::fmt::Debug for Watch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Watch({} on {})", self.label, self.var.process())
+    }
+}
+
+impl OnlineSlicer {
+    /// Creates an online slicer for `num_processes` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`ComputationBuilder::new`].
+    pub fn new(num_processes: usize) -> Self {
+        let builder = ComputationBuilder::new(num_processes);
+        let frontier = (0..num_processes)
+            .map(|i| (builder.event_at(ProcessId::new(i), 0), true))
+            .collect();
+        OnlineSlicer {
+            builder,
+            watches: Vec::new(),
+            settled_edges: Vec::new(),
+            frontier,
+        }
+    }
+
+    /// Declares a variable before any event of its process is observed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError::DuplicateVariable`] /
+    /// [`BuildError::LateVariable`].
+    pub fn declare_var(
+        &mut self,
+        process: usize,
+        name: &str,
+        initial: Value,
+    ) -> Result<VarRef, BuildError> {
+        let p = self.builder.process(process);
+        let v = self.builder.try_declare_var(p, name, initial)?;
+        Ok(v)
+    }
+
+    /// Adds a conjunct: the predicate being sliced is the conjunction of
+    /// all watches. Watches must be registered before the first `observe`
+    /// on the variable's process (so initial-event truth is tracked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable's process already observed real events.
+    pub fn watch_int(
+        &mut self,
+        var: VarRef,
+        label: impl Into<String>,
+        f: impl Fn(i64) -> bool + Send + Sync + 'static,
+    ) {
+        self.watch(var, label, move |v| f(v.expect_int()));
+    }
+
+    /// General form of [`watch_int`](OnlineSlicer::watch_int).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable's process already observed real events.
+    pub fn watch(
+        &mut self,
+        var: VarRef,
+        label: impl Into<String>,
+        f: impl Fn(Value) -> bool + Send + Sync + 'static,
+    ) {
+        assert!(
+            self.builder.len(var.process()) == 1,
+            "watches must be registered before events of the process"
+        );
+        self.watches.push(Watch {
+            var,
+            label: label.into(),
+            f: Box::new(f),
+        });
+        // Re-evaluate the initial event's truth.
+        let p = var.process();
+        let holds = self.holds_at_frontier(p);
+        let idx = p.as_usize();
+        self.frontier[idx].1 = holds;
+    }
+
+    fn holds_at_frontier(&self, p: ProcessId) -> bool {
+        let pos = self.builder.len(p) - 1;
+        self.watches
+            .iter()
+            .filter(|w| w.var.process() == p)
+            .all(|w| {
+                let snapshot_value = self.builder_value(w.var, pos);
+                (w.f)(snapshot_value)
+            })
+    }
+
+    /// Reads the value of `var` at position `pos` from the builder's
+    /// snapshots by replaying declarations — the builder tracks snapshots
+    /// internally, so this just defers to the eventual computation. For
+    /// the frontier (the only position queried) the last assigned value is
+    /// what `observe` recorded.
+    fn builder_value(&self, var: VarRef, pos: u32) -> Value {
+        self.builder.value_at(var, pos)
+    }
+
+    /// Observes a new event on `process` with the given assignments.
+    /// Returns the event id for later [`message`](OnlineSlicer::message)
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors (stale assignments).
+    pub fn observe(
+        &mut self,
+        process: usize,
+        assignments: &[(VarRef, Value)],
+    ) -> Result<EventId, BuildError> {
+        let p = self.builder.process(process);
+        let e = self.builder.append_event(p);
+        for &(var, value) in assignments {
+            self.builder.assign(e, var, value)?;
+        }
+        // The previous frontier event now has a successor: settle its edge
+        // if its conjuncts were false.
+        let (prev, prev_holds) = self.frontier[process];
+        if !prev_holds {
+            self.settled_edges.push((e, prev));
+        }
+        let holds = self.holds_at_frontier(p);
+        self.frontier[process] = (e, holds);
+        Ok(e)
+    }
+
+    /// Observes a message between two already-observed events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`]s (self message, duplicates, ...).
+    pub fn message(&mut self, send: EventId, recv: EventId) -> Result<(), BuildError> {
+        self.builder.message(send, recv)
+    }
+
+    /// Materializes the computation observed so far. Pair with
+    /// [`slice_of`](OnlineSlicer::slice_of) to obtain the current slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::CyclicOrder`] if observed messages formed a
+    /// cycle.
+    pub fn snapshot_computation(&self) -> Result<Computation, BuildError> {
+        self.builder.clone().build()
+    }
+
+    /// The slice of the observed prefix, built from the incrementally
+    /// maintained edges. `comp` must come from
+    /// [`snapshot_computation`](OnlineSlicer::snapshot_computation) at the
+    /// current prefix. Equals what
+    /// [`slice_conjunctive`](crate::slice_conjunctive) computes offline on
+    /// the same prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp` has a different number of events than observed.
+    pub fn slice_of<'a>(&self, comp: &'a Computation) -> Slice<'a> {
+        let observed: u32 = (0..self.builder.num_processes())
+            .map(|i| self.builder.len(ProcessId::new(i)))
+            .sum();
+        assert_eq!(
+            comp.num_events() as u32,
+            observed,
+            "computation does not match the observed prefix"
+        );
+        let mut edges: Vec<Edge> = self
+            .settled_edges
+            .iter()
+            .map(|&(succ, e)| (Node::Event(succ), Node::Event(e)))
+            .collect();
+        // Unsettled frontiers: a false last event is forbidden, exactly as
+        // the offline slicer treats a false final event.
+        for &(e, holds) in &self.frontier {
+            if !holds {
+                edges.push((Node::Top, Node::Event(e)));
+            }
+        }
+        Slice::new(comp, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_predicates::{Conjunctive, LocalPredicate};
+
+    use crate::conjunctive::slice_conjunctive;
+
+    /// Replays a prefix offline and compares against the online snapshot.
+    #[test]
+    fn snapshots_match_offline_slicer_at_every_prefix() {
+        let mut s = OnlineSlicer::new(2);
+        let x = s.declare_var(0, "x", Value::Int(0)).unwrap();
+        let y = s.declare_var(1, "y", Value::Int(1)).unwrap();
+        s.watch_int(x, "x > 0", |v| v > 0);
+        s.watch_int(y, "y > 0", |v| v > 0);
+
+        let script: Vec<(usize, VarRef, i64)> =
+            vec![(0, x, 1), (1, y, 0), (0, x, 0), (1, y, 2), (0, x, 3)];
+        for (i, &(p, var, val)) in script.iter().enumerate() {
+            s.observe(p, &[(var, Value::Int(val))]).unwrap();
+
+            let comp = s.snapshot_computation().unwrap();
+            let online_slice = s.slice_of(&comp);
+            let xp = comp.var(comp.process(0), "x").unwrap();
+            let yp = comp.var(comp.process(1), "y").unwrap();
+            let pred = Conjunctive::new(vec![
+                LocalPredicate::int(xp, "x > 0", |v| v > 0),
+                LocalPredicate::int(yp, "y > 0", |v| v > 0),
+            ]);
+            let offline = slice_conjunctive(&comp, &pred);
+            assert_eq!(
+                all_cuts(&online_slice),
+                all_cuts(&offline),
+                "prefix {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn messages_flow_into_snapshots() {
+        let mut s = OnlineSlicer::new(2);
+        let e0 = s.observe(0, &[]).unwrap();
+        let e1 = s.observe(1, &[]).unwrap();
+        s.message(e0, e1).unwrap();
+        let comp = s.snapshot_computation().unwrap();
+        let slice = s.slice_of(&comp);
+        assert_eq!(comp.messages().len(), 1);
+        assert_eq!(slice.count_cuts(None).value(), 3);
+    }
+
+    #[test]
+    fn initial_false_watch_constrains_bottom() {
+        let mut s = OnlineSlicer::new(1);
+        let x = s.declare_var(0, "x", Value::Int(0)).unwrap();
+        s.watch_int(x, "x > 0", |v| v > 0);
+        // Initially false: with no events yet, the slice is empty.
+        let comp = s.snapshot_computation().unwrap();
+        assert!(s.slice_of(&comp).is_empty_slice());
+        // After a satisfying event the slice reappears.
+        s.observe(0, &[(x, Value::Int(5))]).unwrap();
+        let comp = s.snapshot_computation().unwrap();
+        assert_eq!(s.slice_of(&comp).count_cuts(None).value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before events")]
+    fn late_watch_rejected() {
+        let mut s = OnlineSlicer::new(1);
+        let x = s.declare_var(0, "x", Value::Int(0)).unwrap();
+        s.observe(0, &[]).unwrap();
+        s.watch_int(x, "x > 0", |v| v > 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Projection of a computation onto a subset of processes (Section 4.1).
+
+use std::collections::HashSet;
+
+use slicing_computation::{
+    BuildError, Computation, ComputationBuilder, Cut, EventId, ProcSet, ProcessId, VarRef,
+};
+
+/// The projection of a computation onto a subset of its processes: the
+/// events of those processes, ordered by the *induced* happened-before
+/// relation (paths through dropped processes become direct edges).
+///
+/// The projected vector clocks are exactly the restrictions of the original
+/// ones, so consistent cuts of the projection are exactly the restrictions
+/// of the original consistent cuts.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::test_fixtures::figure1;
+/// use slicing_computation::ProcSet;
+/// use slicing_core::Projection;
+///
+/// let comp = figure1();
+/// let procs: ProcSet = [comp.process(0), comp.process(2)].into_iter().collect();
+/// let proj = Projection::new(&comp, procs)?;
+/// assert_eq!(proj.computation().num_processes(), 2);
+/// # Ok::<(), slicing_computation::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct Projection {
+    comp: Computation,
+    /// Original process of each projected process index.
+    orig_procs: Vec<ProcessId>,
+}
+
+impl Projection {
+    /// Projects `comp` onto `procs`.
+    ///
+    /// Variables keep their names and declaration order, so
+    /// [`map_var`](Projection::map_var) is a pure index remap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`]s from reconstruction (cannot occur for
+    /// valid inputs, but the builder API is fallible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is empty or references processes outside `comp`.
+    pub fn new(comp: &Computation, procs: ProcSet) -> Result<Projection, BuildError> {
+        assert!(!procs.is_empty(), "projection needs at least one process");
+        let orig_procs: Vec<ProcessId> = procs.iter().collect();
+        assert!(
+            orig_procs
+                .iter()
+                .all(|p| p.as_usize() < comp.num_processes()),
+            "projection references an unknown process"
+        );
+        let mut b = ComputationBuilder::new(orig_procs.len());
+
+        // Declare variables in original order so indices line up.
+        for (new_idx, &p) in orig_procs.iter().enumerate() {
+            let names: Vec<String> = comp.var_names(p).map(str::to_owned).collect();
+            for name in names {
+                let var = comp.var(p, &name).expect("listed name resolves");
+                b.try_declare_var(b.process(new_idx), &name, comp.value_at(var, 0))?;
+            }
+        }
+
+        // Replicate events with their variable snapshots.
+        for (new_idx, &p) in orig_procs.iter().enumerate() {
+            let np = b.process(new_idx);
+            for pos in 1..comp.len(p) {
+                let e = b.append_event(np);
+                let names: Vec<String> = comp.var_names(p).map(str::to_owned).collect();
+                for name in names {
+                    let orig_var = comp.var(p, &name).expect("listed name resolves");
+                    let new_var = b.var(np, &name).expect("declared above");
+                    b.assign(e, new_var, comp.value_at(orig_var, pos))?;
+                }
+                if let Some(l) = comp.label(comp.event_at(p, pos)) {
+                    let l = l.to_owned();
+                    b.set_label(e, &l);
+                }
+            }
+        }
+
+        // Induced edges: for each kept event f and each kept process q, an
+        // edge from the last event of q that happened before f. This covers
+        // direct messages and paths through dropped processes alike.
+        let mut seen: HashSet<(usize, u32, usize, u32)> = HashSet::new();
+        for (tgt_idx, &pj) in orig_procs.iter().enumerate() {
+            for pos in 1..comp.len(pj) {
+                let f = comp.event_at(pj, pos);
+                let clock = comp.min_cut(f);
+                for (src_idx, &pq) in orig_procs.iter().enumerate() {
+                    if src_idx == tgt_idx {
+                        continue;
+                    }
+                    let k = clock.count(pq);
+                    if k < 2 {
+                        continue; // only the initial event precedes f
+                    }
+                    // Skip edges already implied by the process predecessor.
+                    if pos >= 2 {
+                        let prev = comp.event_at(pj, pos - 1);
+                        if comp.min_cut(prev).count(pq) >= k {
+                            continue;
+                        }
+                    }
+                    if seen.insert((src_idx, k - 1, tgt_idx, pos)) {
+                        let send = b.event_at(b.process(src_idx), k - 1);
+                        let recv = b.event_at(b.process(tgt_idx), pos);
+                        b.message(send, recv)?;
+                    }
+                }
+            }
+        }
+
+        Ok(Projection {
+            comp: b.build()?,
+            orig_procs,
+        })
+    }
+
+    /// The projected computation.
+    pub fn computation(&self) -> &Computation {
+        &self.comp
+    }
+
+    /// The original processes, indexed by projected process index.
+    pub fn original_processes(&self) -> &[ProcessId] {
+        &self.orig_procs
+    }
+
+    /// Maps an original process to its projected index, if kept.
+    pub fn map_process(&self, p: ProcessId) -> Option<ProcessId> {
+        self.orig_procs
+            .iter()
+            .position(|&q| q == p)
+            .map(ProcessId::new)
+    }
+
+    /// Maps an original variable of `comp` to the projected one.
+    ///
+    /// Returns `None` if the variable's process was dropped.
+    pub fn map_var(&self, comp: &Computation, v: VarRef) -> Option<VarRef> {
+        let np = self.map_process(v.process())?;
+        let name = comp.var_names(v.process()).nth(v.index())?;
+        self.comp.var(np, name)
+    }
+
+    /// Maps an original event to the projected one (`None` if dropped).
+    pub fn map_event(&self, comp: &Computation, e: EventId) -> Option<EventId> {
+        let np = self.map_process(comp.process_of(e))?;
+        Some(self.comp.event_at(np, comp.position_of(e)))
+    }
+
+    /// Restricts an original cut to the projected coordinates.
+    pub fn restrict_cut(&self, cut: &Cut) -> Cut {
+        Cut::from(
+            self.orig_procs
+                .iter()
+                .map(|&p| cut.count(p))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_computation::test_fixtures::{figure1, random_computation, RandomConfig};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn projection_keeps_events_and_vars() {
+        let comp = figure1();
+        let procs: ProcSet = [comp.process(0), comp.process(2)].into_iter().collect();
+        let proj = Projection::new(&comp, procs).unwrap();
+        let pc = proj.computation();
+        assert_eq!(pc.num_processes(), 2);
+        assert_eq!(pc.len(pc.process(0)), 4);
+        assert_eq!(pc.len(pc.process(1)), 4);
+        assert!(pc.var(pc.process(0), "x1").is_some());
+        assert!(pc.var(pc.process(1), "x3").is_some());
+        // Labels survive.
+        assert!(pc.event_by_label("b").is_some());
+        assert!(pc.event_by_label("w").is_some());
+        // Dropped process's labels don't.
+        assert!(pc.event_by_label("g").is_none());
+    }
+
+    #[test]
+    fn projected_cuts_are_restrictions_of_original_cuts() {
+        let cfg = RandomConfig {
+            processes: 4,
+            events_per_process: 3,
+            send_percent: 50,
+            recv_percent: 50,
+            ..RandomConfig::default()
+        };
+        for seed in 0..15 {
+            let comp = random_computation(seed, &cfg);
+            let procs: ProcSet = [comp.process(1), comp.process(3)].into_iter().collect();
+            let proj = Projection::new(&comp, procs).unwrap();
+            let want: BTreeSet<Cut> = all_cuts(&comp)
+                .iter()
+                .map(|c| proj.restrict_cut(c))
+                .collect();
+            let got: BTreeSet<Cut> = all_cuts(proj.computation()).into_iter().collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn paths_through_dropped_processes_are_kept() {
+        // p0 → p1 → p2 chain; project out p1: p0's event must still precede
+        // p2's.
+        let mut b = ComputationBuilder::new(3);
+        let a = b.append_event(b.process(0));
+        let m = b.append_event(b.process(1));
+        let m2 = b.append_event(b.process(1));
+        let z = b.append_event(b.process(2));
+        b.message(a, m).unwrap();
+        b.message(m2, z).unwrap();
+        let comp = b.build().unwrap();
+        let procs: ProcSet = [comp.process(0), comp.process(2)].into_iter().collect();
+        let proj = Projection::new(&comp, procs).unwrap();
+        let pc = proj.computation();
+        // (1, 2) would contain z without a: must be inconsistent.
+        assert!(!pc.is_consistent(&Cut::from(vec![1, 2])));
+        assert!(pc.is_consistent(&Cut::from(vec![2, 2])));
+    }
+
+    #[test]
+    fn mapping_accessors() {
+        let comp = figure1();
+        let procs: ProcSet = [comp.process(0), comp.process(2)].into_iter().collect();
+        let proj = Projection::new(&comp, procs).unwrap();
+        assert_eq!(
+            proj.original_processes(),
+            &[comp.process(0), comp.process(2)]
+        );
+        assert_eq!(proj.map_process(comp.process(2)), Some(ProcessId::new(1)));
+        assert_eq!(proj.map_process(comp.process(1)), None);
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let mapped = proj.map_var(&comp, x1).unwrap();
+        assert_eq!(mapped.process(), ProcessId::new(0));
+        let x2 = comp.var(comp.process(1), "x2").unwrap();
+        assert!(proj.map_var(&comp, x2).is_none());
+        let b_evt = comp.event_by_label("b").unwrap();
+        let mapped_evt = proj.map_event(&comp, b_evt).unwrap();
+        assert_eq!(proj.computation().label(mapped_evt), Some("b"));
+        assert_eq!(
+            proj.restrict_cut(&Cut::from(vec![2, 3, 1])).counts(),
+            &[2, 1]
+        );
+    }
+}

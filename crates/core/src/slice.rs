@@ -1,0 +1,478 @@
+//! The slice data structure: a constraint graph over a computation's events
+//! whose consistent cuts form a sublattice of the computation's cut lattice.
+
+use std::fmt;
+
+use slicing_computation::graph::Digraph;
+use slicing_computation::{Computation, Cut, CutSpace, EventId, ProcessId};
+
+/// A node of the slice constraint graph: an event, or the virtual top ⊤.
+///
+/// The paper's model adds fictitious final events ⊤ᵢ so that "no consistent
+/// cut of the slice contains event `e`" is expressible as the edge ⊤ → e.
+/// We keep a single virtual ⊤ node instead of materializing per-process
+/// final events; the semantics are identical because all final events
+/// belong to one strongly connected component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A real event.
+    Event(EventId),
+    /// The virtual final meta-event ⊤ (never inside a non-trivial cut).
+    Top,
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Event(e) => write!(f, "{e}"),
+            Node::Top => f.write_str("⊤"),
+        }
+    }
+}
+
+/// A constraint edge `(u, v)`: any consistent cut containing `v` must also
+/// contain `u`.
+pub type Edge = (Node, Node);
+
+/// A slice of a computation: the computation's events plus *constraint
+/// edges*, whose consistent cuts are exactly the non-trivial consistent
+/// cuts of the computation that respect every edge.
+///
+/// For a predicate `b`, the slicing algorithms construct edges such that
+/// the resulting cut set is the **smallest sublattice** of the cut lattice
+/// containing every cut satisfying `b` (Definition 1 of the paper). For
+/// regular predicates the slice is *lean*: it contains exactly the
+/// satisfying cuts.
+///
+/// Internally a slice precomputes, for every event `e`, the least slice cut
+/// `J(e)` containing `e` (or `None` if no slice cut contains `e`), by
+/// condensing the constraint graph (base happened-before edges + constraint
+/// edges + the initial-event cycle) and propagating join-irreducible
+/// contributions in topological order. Searching the slice then advances
+/// one process at a time and joins with `J(next event)` — each successor
+/// step is `O(n)`.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::test_fixtures::figure1;
+/// use slicing_computation::lattice::count_cuts;
+/// use slicing_predicates::{Conjunctive, LocalPredicate};
+/// use slicing_core::slice_conjunctive;
+///
+/// let comp = figure1();
+/// let x1 = comp.var(comp.process(0), "x1").unwrap();
+/// let x3 = comp.var(comp.process(2), "x3").unwrap();
+/// let pred = Conjunctive::new(vec![
+///     LocalPredicate::int(x1, "x1 > 1", |x| x > 1),
+///     LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3),
+/// ]);
+/// let slice = slice_conjunctive(&comp, &pred);
+/// // 28 cuts in the computation, 6 in the slice (Figure 1).
+/// assert_eq!(count_cuts(&comp, None).value(), 28);
+/// assert_eq!(count_cuts(&slice, None).value(), 6);
+/// ```
+#[derive(Clone)]
+pub struct Slice<'a> {
+    comp: &'a Computation,
+    edges: Vec<Edge>,
+    /// Least slice cut containing each event; `None` = the event is in no
+    /// non-trivial slice cut.
+    j_table: Vec<Option<Cut>>,
+    /// Least non-trivial slice cut (`None` = the slice is empty).
+    bottom: Option<Cut>,
+}
+
+impl<'a> Slice<'a> {
+    /// Builds a slice from constraint edges.
+    ///
+    /// The base happened-before edges of the computation are always
+    /// implied and need not be listed.
+    pub fn new(comp: &'a Computation, edges: Vec<Edge>) -> Self {
+        let j_table = compute_j_table(comp, &edges);
+        let bottom = {
+            // The least slice cut is J(⊥₀) (all initial events share it).
+            let init = comp.event_at(ProcessId::new(0), 0);
+            j_table[init.as_usize()].clone()
+        };
+        Slice {
+            comp,
+            edges,
+            j_table,
+            bottom,
+        }
+    }
+
+    /// The slice with no extra constraints: its cuts are exactly the
+    /// computation's non-trivial consistent cuts.
+    pub fn full(comp: &'a Computation) -> Self {
+        Slice::new(comp, Vec::new())
+    }
+
+    /// The empty slice: no non-trivial consistent cuts at all (the slice of
+    /// an unsatisfiable predicate).
+    pub fn empty(comp: &'a Computation) -> Self {
+        let init = comp.event_at(ProcessId::new(0), 0);
+        Slice::new(comp, vec![(Node::Top, Node::Event(init))])
+    }
+
+    /// The underlying computation.
+    pub fn computation(&self) -> &'a Computation {
+        self.comp
+    }
+
+    /// The constraint edges (excluding the implied base edges).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// `true` if the slice has no non-trivial consistent cuts.
+    pub fn is_empty_slice(&self) -> bool {
+        self.bottom.is_none()
+    }
+
+    /// The least non-trivial consistent cut of the slice, if any.
+    pub fn bottom_cut(&self) -> Option<&Cut> {
+        self.bottom.as_ref()
+    }
+
+    /// The least slice cut containing event `e`, or `None` if no
+    /// non-trivial slice cut contains `e` (the paper's `J_b(e) = E` case).
+    pub fn least_cut(&self, e: EventId) -> Option<&Cut> {
+        self.j_table[e.as_usize()].as_ref()
+    }
+
+    /// Checks whether `cut` is a consistent cut of the slice.
+    pub fn contains_cut(&self, cut: &Cut) -> bool {
+        if !self.comp.is_consistent(cut) {
+            return false;
+        }
+        // Frontier events suffice: J is monotone along process order.
+        self.comp.processes().all(|p| {
+            let frontier = self.comp.frontier(cut, p);
+            match self.least_cut(frontier) {
+                Some(j) => j.leq(cut),
+                None => false,
+            }
+        })
+    }
+
+    /// The meta-events of the slice: maximal sets of events that appear in
+    /// slice cuts only together (strongly connected components of the
+    /// constraint graph), restricted to events that appear in some slice
+    /// cut. Returned in topological order of the condensation.
+    pub fn meta_events(&self) -> Vec<Vec<EventId>> {
+        let (graph, num_events) = build_graph(self.comp, &self.edges);
+        let scc = graph.tarjan_scc();
+        let mut metas = Vec::new();
+        for cid in scc.topo_order() {
+            let mut members: Vec<EventId> = scc
+                .members(cid)
+                .iter()
+                .filter(|&&v| (v as usize) < num_events)
+                .map(|&v| EventId::new(v as usize))
+                .filter(|&e| self.j_table[e.as_usize()].is_some())
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            members.sort_unstable();
+            metas.push(members);
+        }
+        metas
+    }
+
+    /// Count of non-trivial consistent cuts, stopping at `cap` (see
+    /// [`count_cuts`](slicing_computation::lattice::count_cuts)).
+    pub fn count_cuts(&self, cap: Option<u64>) -> slicing_computation::lattice::CutCount {
+        slicing_computation::lattice::count_cuts(self, cap)
+    }
+
+    /// Estimated heap footprint of the slice's tables in bytes, used by the
+    /// detection metrics (the paper reports memory for "computing and
+    /// storing the slice").
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.comp.num_processes();
+        let cut_bytes = std::mem::size_of::<Cut>() + 4 * n;
+        self.edges.len() * std::mem::size_of::<Edge>()
+            + self.j_table.len() * (std::mem::size_of::<Option<Cut>>() + cut_bytes)
+    }
+}
+
+impl fmt::Debug for Slice<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slice")
+            .field("num_events", &self.comp.num_events())
+            .field("num_constraint_edges", &self.edges.len())
+            .field("is_empty", &self.is_empty_slice())
+            .finish()
+    }
+}
+
+impl CutSpace for Slice<'_> {
+    fn num_processes(&self) -> usize {
+        self.comp.num_processes()
+    }
+
+    fn bottom(&self) -> Option<Cut> {
+        self.bottom.clone()
+    }
+
+    fn successors(&self, cut: &Cut, out: &mut Vec<Cut>) {
+        for p in self.comp.processes() {
+            let c = cut.count(p);
+            if c >= self.comp.len(p) {
+                continue;
+            }
+            let next = self.comp.event_at(p, c);
+            if let Some(j) = self.least_cut(next) {
+                out.push(cut.join(j));
+            }
+        }
+    }
+}
+
+/// Builds the full constraint digraph: nodes are events plus ⊤ (index
+/// `num_events`); edges point along the "required-by" direction (`u → v`
+/// means `v ∈ C ⇒ u ∈ C`, i.e. happened-before order for base edges).
+fn build_graph(comp: &Computation, edges: &[Edge]) -> (Digraph, usize) {
+    let num_events = comp.num_events();
+    let mut g = Digraph::new(num_events + 1);
+    let node_index = |n: Node| -> u32 {
+        match n {
+            Node::Event(e) => e.as_u32(),
+            Node::Top => num_events as u32,
+        }
+    };
+
+    // Process-order edges.
+    for p in comp.processes() {
+        for pos in 1..comp.len(p) {
+            g.add_edge(
+                comp.event_at(p, pos - 1).as_u32(),
+                comp.event_at(p, pos).as_u32(),
+            );
+        }
+    }
+    // Message edges.
+    for m in comp.messages() {
+        g.add_edge(m.send.as_u32(), m.recv.as_u32());
+    }
+    // The initial-event cycle: all ⊥ᵢ form one meta-event.
+    let n = comp.num_processes();
+    if n > 1 {
+        for i in 0..n {
+            let a = comp.event_at(ProcessId::new(i), 0).as_u32();
+            let b = comp.event_at(ProcessId::new((i + 1) % n), 0).as_u32();
+            g.add_edge(a, b);
+        }
+    }
+    // Constraint edges.
+    for &(u, v) in edges {
+        g.add_edge(node_index(u), node_index(v));
+    }
+    (g, num_events)
+}
+
+/// Computes the `J` table: for every event, the least slice cut containing
+/// it (`None` if unreachable without ⊤). Runs in `O(n·(|E| + |edges|))`.
+fn compute_j_table(comp: &Computation, edges: &[Edge]) -> Vec<Option<Cut>> {
+    let (graph, num_events) = build_graph(comp, edges);
+    let scc = graph.tarjan_scc();
+    let cond = scc.condensation(&graph);
+    let top_comp = scc.component_of(num_events as u32);
+
+    let n = comp.num_processes();
+    // Per-SCC least cuts, built in topological (sources-first) order.
+    let mut j_scc: Vec<Option<Option<Cut>>> = vec![None; scc.num_components()];
+    for cid in scc.topo_order() {
+        let mut j = if cid == top_comp {
+            None
+        } else {
+            // Own contribution: the positions of the member events.
+            let mut cut = Cut::bottom(n);
+            for &v in scc.members(cid) {
+                if (v as usize) < num_events {
+                    let e = EventId::new(v as usize);
+                    let p = comp.process_of(e);
+                    let pos = comp.position_of(e);
+                    if cut.count(p) < pos + 1 {
+                        cut.set_count(p, pos + 1);
+                    }
+                }
+            }
+            Some(cut)
+        };
+        // Fold in already-computed predecessors... except that the
+        // condensation stores *successor* adjacency; instead, push this
+        // component's value forward into its successors after computing it.
+        // To do that with a single pass we keep `j_scc[cid]` as the join of
+        // pushed-in predecessor values plus the own contribution.
+        if let Some(prev) = j_scc[cid as usize].take() {
+            j = match (j, prev) {
+                (Some(a), Some(b)) => Some(a.join(&b)),
+                _ => None,
+            };
+        }
+        // Push into successors.
+        for &succ in cond.neighbors(cid) {
+            let pushed = match (&j, j_scc[succ as usize].take()) {
+                (None, _) => None,
+                (Some(_), Some(None)) => None,
+                (Some(a), Some(Some(b))) => Some(a.join(&b)),
+                (Some(a), None) => Some(a.clone()),
+            };
+            j_scc[succ as usize] = Some(pushed);
+        }
+        j_scc[cid as usize] = Some(j);
+    }
+
+    (0..num_events)
+        .map(|v| {
+            let cid = scc.component_of(v as u32);
+            j_scc[cid as usize]
+                .clone()
+                .expect("all components computed in topological order")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_computation::test_fixtures::{figure1, grid};
+
+    #[test]
+    fn full_slice_matches_computation_lattice() {
+        let comp = figure1();
+        let slice = Slice::full(&comp);
+        assert!(!slice.is_empty_slice());
+        let a = all_cuts(&comp);
+        let b = all_cuts(&slice);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_slice_has_no_cuts() {
+        let comp = grid(2, 2);
+        let slice = Slice::empty(&comp);
+        assert!(slice.is_empty_slice());
+        assert_eq!(slice.bottom_cut(), None);
+        assert_eq!(all_cuts(&slice).len(), 0);
+        assert!(!slice.contains_cut(&Cut::bottom(2)));
+    }
+
+    #[test]
+    fn least_cut_of_unconstrained_event_is_its_min_cut() {
+        let comp = figure1();
+        let slice = Slice::full(&comp);
+        for e in comp.events() {
+            let j = slice.least_cut(e).expect("full slice never forbids");
+            assert_eq!(j, comp.min_cut(e), "event {}", comp.describe_event(e));
+        }
+    }
+
+    #[test]
+    fn constraint_edge_restricts_cuts() {
+        // grid(1,1): cuts are (1,1),(2,1),(1,2),(2,2). Force: p1's event
+        // requires p0's event.
+        let comp = grid(1, 1);
+        let e0 = comp.event_at(comp.process(0), 1);
+        let e1 = comp.event_at(comp.process(1), 1);
+        let slice = Slice::new(&comp, vec![(Node::Event(e0), Node::Event(e1))]);
+        let cuts = all_cuts(&slice);
+        assert_eq!(cuts.len(), 3);
+        assert!(!cuts.contains(&Cut::from(vec![1, 2])));
+        assert!(slice.contains_cut(&Cut::from(vec![2, 2])));
+        assert!(!slice.contains_cut(&Cut::from(vec![1, 2])));
+    }
+
+    #[test]
+    fn top_edge_forbids_event_and_successors() {
+        let comp = grid(2, 1);
+        let e01 = comp.event_at(comp.process(0), 1);
+        let slice = Slice::new(&comp, vec![(Node::Top, Node::Event(e01))]);
+        // p0 can never advance: cuts are (1,1) and (1,2).
+        let cuts = all_cuts(&slice);
+        assert_eq!(cuts.len(), 2);
+        assert_eq!(slice.least_cut(e01), None);
+        let e02 = comp.event_at(comp.process(0), 2);
+        assert_eq!(slice.least_cut(e02), None, "successor of forbidden event");
+    }
+
+    #[test]
+    fn required_event_via_initial_edge() {
+        // Forcing e (p0 pos 1) into every cut: edge (e → ⊥₀).
+        let comp = grid(1, 1);
+        let e = comp.event_at(comp.process(0), 1);
+        let init = comp.event_at(comp.process(0), 0);
+        let slice = Slice::new(&comp, vec![(Node::Event(e), Node::Event(init))]);
+        let cuts = all_cuts(&slice);
+        assert_eq!(cuts.len(), 2); // (2,1) and (2,2)
+        assert!(cuts.iter().all(|c| c.count(comp.process(0)) == 2));
+        assert_eq!(slice.bottom_cut().unwrap(), &Cut::from(vec![2, 1]));
+    }
+
+    #[test]
+    fn contradictory_constraints_empty_the_slice() {
+        // Require e and forbid e simultaneously.
+        let comp = grid(1, 1);
+        let e = comp.event_at(comp.process(0), 1);
+        let init = comp.event_at(comp.process(0), 0);
+        let slice = Slice::new(
+            &comp,
+            vec![
+                (Node::Event(e), Node::Event(init)),
+                (Node::Top, Node::Event(e)),
+            ],
+        );
+        assert!(slice.is_empty_slice());
+    }
+
+    #[test]
+    fn meta_events_group_scc_members() {
+        // Cycle e0 ↔ e1 via a constraint back-edge.
+        let comp = grid(1, 1);
+        let e0 = comp.event_at(comp.process(0), 1);
+        let e1 = comp.event_at(comp.process(1), 1);
+        let slice = Slice::new(
+            &comp,
+            vec![
+                (Node::Event(e0), Node::Event(e1)),
+                (Node::Event(e1), Node::Event(e0)),
+            ],
+        );
+        let metas = slice.meta_events();
+        // Initial meta-event {⊥0, ⊥1} first, then {e0, e1}.
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0].len(), 2);
+        assert_eq!(metas[1], vec![e0, e1]);
+        // Cuts: bottom and bottom+{e0,e1}.
+        assert_eq!(all_cuts(&slice).len(), 2);
+    }
+
+    #[test]
+    fn slice_cuts_are_a_sublattice() {
+        let comp = figure1();
+        let e0 = comp.event_by_label("b").unwrap();
+        let e1 = comp.event_by_label("g").unwrap();
+        let slice = Slice::new(&comp, vec![(Node::Event(e0), Node::Event(e1))]);
+        let cuts: std::collections::BTreeSet<Cut> = all_cuts(&slice).into_iter().collect();
+        assert!(slicing_computation::oracle::is_sublattice(&cuts));
+        for c in &cuts {
+            assert!(slice.contains_cut(c));
+        }
+    }
+
+    #[test]
+    fn debug_and_bytes() {
+        let comp = grid(1, 1);
+        let slice = Slice::full(&comp);
+        assert!(format!("{slice:?}").contains("Slice"));
+        assert!(slice.approx_bytes() > 0);
+        assert_eq!(slice.count_cuts(None).value(), 4);
+        assert_eq!(slice.computation().num_events(), comp.num_events());
+        assert!(slice.edges().is_empty());
+    }
+}

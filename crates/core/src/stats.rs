@@ -1,0 +1,136 @@
+//! Slice statistics: how much of the state space slicing prunes.
+
+use std::fmt;
+
+use slicing_computation::lattice::{count_cuts, CutCount};
+use slicing_computation::Computation;
+
+use crate::slice::Slice;
+
+/// Size statistics comparing a slice against its computation — the
+/// quantities behind the paper's "exponentially smaller in many cases"
+/// claim and the `table_slice_stats` reproduction binary.
+#[derive(Debug, Clone)]
+pub struct SliceStats {
+    /// Events in the computation (including initial events).
+    pub num_events: usize,
+    /// Constraint edges of the slice.
+    pub num_constraint_edges: usize,
+    /// Meta-events of the slice (strongly connected components that appear
+    /// in some cut).
+    pub num_meta_events: usize,
+    /// Events excluded from every slice cut.
+    pub num_forbidden_events: usize,
+    /// Consistent cuts of the computation (possibly capped).
+    pub computation_cuts: CutCount,
+    /// Consistent cuts of the slice (possibly capped).
+    pub slice_cuts: CutCount,
+}
+
+impl SliceStats {
+    /// Gathers statistics, counting cuts up to `cap` on each side (pass
+    /// `None` to count exhaustively — exponential on the computation side).
+    pub fn gather(comp: &Computation, slice: &Slice<'_>, cap: Option<u64>) -> Self {
+        let num_forbidden_events = comp
+            .events()
+            .filter(|&e| slice.least_cut(e).is_none())
+            .count();
+        SliceStats {
+            num_events: comp.num_events(),
+            num_constraint_edges: slice.edges().len(),
+            num_meta_events: slice.meta_events().len(),
+            num_forbidden_events,
+            computation_cuts: count_cuts(comp, cap),
+            slice_cuts: slice.count_cuts(cap),
+        }
+    }
+
+    /// Ratio of computation cuts to slice cuts (∞ for an empty slice),
+    /// using the counted values (lower bounds if capped).
+    pub fn reduction_factor(&self) -> f64 {
+        let s = self.slice_cuts.value();
+        if s == 0 {
+            f64::INFINITY
+        } else {
+            self.computation_cuts.value() as f64 / s as f64
+        }
+    }
+}
+
+impl fmt::Display for SliceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events: {}, constraint edges: {}, meta-events: {}, forbidden: {}, \
+             cuts: {}{} → {}{} ({}x reduction)",
+            self.num_events,
+            self.num_constraint_edges,
+            self.num_meta_events,
+            self.num_forbidden_events,
+            if self.computation_cuts.is_exact() {
+                ""
+            } else {
+                "≥"
+            },
+            self.computation_cuts.value(),
+            if self.slice_cuts.is_exact() {
+                ""
+            } else {
+                "≥"
+            },
+            self.slice_cuts.value(),
+            self.reduction_factor().round(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::test_fixtures::figure1;
+    use slicing_predicates::{Conjunctive, LocalPredicate};
+
+    use crate::conjunctive::slice_conjunctive;
+
+    #[test]
+    fn figure1_stats() {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        let pred = Conjunctive::new(vec![
+            LocalPredicate::int(x1, "x1 > 1", |x| x > 1),
+            LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3),
+        ]);
+        let slice = slice_conjunctive(&comp, &pred);
+        let stats = SliceStats::gather(&comp, &slice, None);
+        assert_eq!(stats.num_events, 12);
+        assert_eq!(stats.computation_cuts.value(), 28);
+        assert_eq!(stats.slice_cuts.value(), 6);
+        assert_eq!(stats.num_meta_events, 4);
+        // c, d, h, z and the always-false p3 tail are excluded; exact set:
+        // events whose least_cut is None.
+        assert!(stats.num_forbidden_events >= 4);
+        assert!((stats.reduction_factor() - 28.0 / 6.0).abs() < 1e-9);
+        let shown = stats.to_string();
+        assert!(shown.contains("28"));
+        assert!(shown.contains("6"));
+    }
+
+    #[test]
+    fn empty_slice_reduction_is_infinite() {
+        let comp = figure1();
+        let slice = crate::Slice::empty(&comp);
+        let stats = SliceStats::gather(&comp, &slice, Some(100));
+        assert_eq!(stats.slice_cuts.value(), 0);
+        assert!(stats.reduction_factor().is_infinite());
+    }
+
+    #[test]
+    fn capped_counts_are_lower_bounds() {
+        let comp = figure1();
+        let slice = crate::Slice::full(&comp);
+        let stats = SliceStats::gather(&comp, &slice, Some(5));
+        assert!(!stats.computation_cuts.is_exact());
+        assert_eq!(stats.computation_cuts.value(), 5);
+    }
+}

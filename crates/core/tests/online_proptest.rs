@@ -1,0 +1,86 @@
+//! Property test: the online (incremental) slicer matches the offline
+//! conjunctive slicer at every prefix of random observation scripts.
+
+use proptest::prelude::*;
+
+use slicing_computation::lattice::all_cuts;
+use slicing_computation::{EventId, Value};
+use slicing_core::{slice_conjunctive, OnlineSlicer};
+use slicing_predicates::{Conjunctive, LocalPredicate};
+
+/// One scripted action: which process steps, the value it writes, and
+/// whether it tries to receive a pending message.
+#[derive(Debug, Clone)]
+struct Step {
+    process: usize,
+    value: i64,
+    send: bool,
+    recv: bool,
+}
+
+fn scripts() -> impl Strategy<Value = (usize, Vec<Step>, i64)> {
+    (2usize..=3).prop_flat_map(|n| {
+        let steps = prop::collection::vec(
+            (0..n, -1i64..=2, any::<bool>(), any::<bool>()).prop_map(
+                |(process, value, send, recv)| Step {
+                    process,
+                    value,
+                    send,
+                    recv,
+                },
+            ),
+            0..10,
+        );
+        (Just(n), steps, 0i64..=2)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn online_matches_offline_at_every_prefix((n, script, threshold) in scripts()) {
+        let mut online = OnlineSlicer::new(n);
+        let vars: Vec<_> = (0..n)
+            .map(|i| online.declare_var(i, "x", Value::Int(0)).expect("fresh var"))
+            .collect();
+        for &v in &vars {
+            let t = threshold;
+            online.watch_int(v, format!("x >= {t}"), move |x| x >= t);
+        }
+
+        let mut pending_send: Option<(EventId, usize)> = None;
+        for step in &script {
+            let e = online
+                .observe(step.process, &[(vars[step.process], Value::Int(step.value))])
+                .expect("observe succeeds");
+            match pending_send {
+                Some((send, from)) if step.recv && from != step.process => {
+                    online.message(send, e).expect("forward message");
+                    pending_send = None;
+                }
+                None if step.send => pending_send = Some((e, step.process)),
+                _ => {}
+            }
+
+            // Compare against the offline slicer on the same prefix.
+            let comp = online.snapshot_computation().expect("acyclic prefix");
+            let online_slice = online.slice_of(&comp);
+            let clauses: Vec<LocalPredicate> = comp
+                .processes()
+                .map(|p| {
+                    let x = comp.var(p, "x").unwrap();
+                    let t = threshold;
+                    LocalPredicate::int(x, format!("x >= {t}"), move |v| v >= t)
+                })
+                .collect();
+            let offline = slice_conjunctive(&comp, &Conjunctive::new(clauses));
+            prop_assert_eq!(
+                all_cuts(&online_slice),
+                all_cuts(&offline),
+                "prefix with {} events diverged",
+                comp.num_events()
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests pinning the `Slice` data structure's semantics against
+//! an independent brute-force definition: the cuts of a slice built from
+//! arbitrary constraint edges are exactly the consistent cuts that respect
+//! every edge, and the least-cut table matches the set-theoretic minimum.
+
+use proptest::prelude::*;
+
+use slicing_computation::lattice::all_cuts;
+use slicing_computation::oracle::is_sublattice;
+use slicing_computation::test_fixtures::{random_computation, RandomConfig};
+use slicing_computation::{Computation, Cut, EventId};
+use slicing_core::{Node, Slice};
+
+/// A computation plus random constraint edges (event→event, plus the
+/// occasional ⊤→event exclusion).
+fn instances() -> impl Strategy<Value = (Computation, Vec<(Node, Node)>)> {
+    (any::<u64>(), 2usize..=4, 2u32..=4, 0u64..=60)
+        .prop_flat_map(|(seed, n, m, msg)| {
+            let cfg = RandomConfig {
+                processes: n,
+                events_per_process: m,
+                send_percent: msg,
+                recv_percent: msg,
+                value_range: 3,
+            };
+            let comp = random_computation(seed, &cfg);
+            let num_events = comp.num_events();
+            let edges = prop::collection::vec((0..num_events, 0..num_events, 0u8..10), 0..6);
+            (Just(comp), edges)
+        })
+        .prop_map(|(comp, raw)| {
+            let edges = raw
+                .into_iter()
+                .map(|(u, v, kind)| {
+                    let target = Node::Event(EventId::new(v));
+                    if kind == 0 {
+                        (Node::Top, target)
+                    } else {
+                        (Node::Event(EventId::new(u)), target)
+                    }
+                })
+                .collect();
+            (comp, edges)
+        })
+}
+
+/// Brute-force definition: does `cut` respect every constraint edge?
+fn respects(comp: &Computation, edges: &[(Node, Node)], cut: &Cut) -> bool {
+    let contains = |e: EventId| cut.count(comp.process_of(e)) > comp.position_of(e);
+    edges.iter().all(|&(u, v)| {
+        let Node::Event(v) = v else { return true };
+        if !contains(v) {
+            return true;
+        }
+        match u {
+            Node::Top => false,
+            Node::Event(u) => contains(u),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// cuts(Slice::new(comp, edges)) == { consistent cuts respecting edges }.
+    #[test]
+    fn slice_cuts_match_the_brute_force_definition((comp, edges) in instances()) {
+        let slice = Slice::new(&comp, edges.clone());
+        let got = all_cuts(&slice);
+        let want: Vec<Cut> = all_cuts(&comp)
+            .into_iter()
+            .filter(|c| respects(&comp, &edges, c))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Any constraint-edge cut set is a sublattice (closure holds for
+    /// arbitrary edges, not just slicer-produced ones).
+    #[test]
+    fn constraint_cut_sets_are_sublattices((comp, edges) in instances()) {
+        let slice = Slice::new(&comp, edges);
+        let cuts: std::collections::BTreeSet<Cut> = all_cuts(&slice).into_iter().collect();
+        prop_assert!(is_sublattice(&cuts));
+    }
+
+    /// The least-cut table is the set-theoretic minimum, and the bottom
+    /// cut is the global minimum.
+    #[test]
+    fn least_cut_table_matches_minimum((comp, edges) in instances()) {
+        let slice = Slice::new(&comp, edges);
+        let cuts = all_cuts(&slice);
+        prop_assert_eq!(slice.bottom_cut(), cuts.first());
+        for e in comp.events() {
+            let containing: Vec<&Cut> = cuts
+                .iter()
+                .filter(|c| c.count(comp.process_of(e)) > comp.position_of(e))
+                .collect();
+            match slice.least_cut(e) {
+                None => prop_assert!(containing.is_empty(), "{e} claimed impossible"),
+                Some(j) => {
+                    prop_assert!(!containing.is_empty(), "{e} claimed possible");
+                    // j is itself a containing cut and below all others.
+                    prop_assert!(containing.contains(&j));
+                    prop_assert!(containing.iter().all(|c| j.leq(c)));
+                }
+            }
+        }
+    }
+
+    /// `contains_cut` agrees with membership in the enumerated cut set.
+    #[test]
+    fn contains_cut_is_consistent_with_enumeration((comp, edges) in instances()) {
+        let slice = Slice::new(&comp, edges);
+        let members: std::collections::BTreeSet<Cut> =
+            all_cuts(&slice).into_iter().collect();
+        for cut in all_cuts(&comp) {
+            prop_assert_eq!(slice.contains_cut(&cut), members.contains(&cut), "{}", cut);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Detection under the `definitely` modality.
+//!
+//! `definitely: b` holds when **every** observation of the computation
+//! (every path from the initial cut to the final cut in the lattice)
+//! passes through a cut satisfying `b` — the dual question to
+//! `possibly: b`. The paper notes slicing applies to this modality too;
+//! here we provide the classic lattice algorithm as an extension.
+
+use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
+
+use slicing_computation::{Computation, Cut, CutSpace, GlobalState};
+use slicing_predicates::Predicate;
+
+use crate::metrics::{Detection, Limits, Tracker};
+
+/// Decides `definitely: pred` by searching for a `¬pred` path from the
+/// initial cut to the final cut: such a path exists iff the predicate is
+/// *not* definitely true.
+///
+/// The returned [`Detection`] reports the *witness against* definiteness:
+/// `found = Some(top)` means a `¬pred` observation exists (so
+/// `definitely` is false); `found = None` with `completed()` means
+/// `definitely: pred` holds. Use [`definitely`] for the boolean answer.
+pub fn detect_not_definitely<P: Predicate + ?Sized>(
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+) -> Detection {
+    let start = Instant::now();
+    let mut tracker = Tracker::default();
+    let n = comp.num_processes();
+    let entry_bytes = Tracker::hash_entry_bytes(n);
+    let top = comp.top_cut();
+
+    let bottom = Cut::bottom(n);
+    // If the initial cut satisfies pred, every observation starts with a
+    // satisfying cut: definitely holds, no counter-path exists.
+    if pred.eval(&GlobalState::new(comp, &bottom)) {
+        return tracker.finish(None, start.elapsed(), None);
+    }
+
+    let mut visited: HashSet<Cut> = HashSet::new();
+    let mut queue: VecDeque<Cut> = VecDeque::new();
+    visited.insert(bottom.clone());
+    tracker.store_cut(entry_bytes);
+    queue.push_back(bottom);
+
+    let mut succ = Vec::new();
+    while let Some(cut) = queue.pop_front() {
+        tracker.cuts_explored += 1;
+        if cut == top {
+            // Reached the final cut through ¬pred cuts only.
+            return tracker.finish(Some(cut), start.elapsed(), None);
+        }
+        if let Some(reason) = tracker.over_limit(limits) {
+            return tracker.finish(None, start.elapsed(), Some(reason));
+        }
+        succ.clear();
+        CutSpace::successors(comp, &cut, &mut succ);
+        for next in succ.drain(..) {
+            if pred.eval(&GlobalState::new(comp, &next)) {
+                continue; // paths through satisfying cuts don't refute
+            }
+            if visited.insert(next.clone()) {
+                tracker.store_cut(entry_bytes);
+                queue.push_back(next);
+            }
+        }
+    }
+    tracker.finish(None, start.elapsed(), None)
+}
+
+/// Boolean form of [`detect_not_definitely`]: `true` iff every observation
+/// passes through a satisfying cut.
+///
+/// # Panics
+///
+/// Panics if the search aborts on a limit (pass generous [`Limits`]).
+pub fn definitely<P: Predicate + ?Sized>(comp: &Computation, pred: &P, limits: &Limits) -> bool {
+    let d = detect_not_definitely(comp, pred, limits);
+    assert!(
+        d.completed(),
+        "definitely-detection hit a resource limit; result unknown"
+    );
+    !d.detected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_computation::test_fixtures::{figure1, grid, random_computation, RandomConfig};
+    use slicing_computation::ProcSet;
+    use slicing_predicates::{expr::parse_predicate, FnPredicate};
+
+    /// Brute-force `definitely`: DFS over maximal chains.
+    fn definitely_oracle(comp: &Computation, pred: &dyn Predicate) -> bool {
+        // A ¬pred path from bottom to top exists iff not definitely.
+        fn reach(comp: &Computation, pred: &dyn Predicate, cut: &Cut, top: &Cut) -> bool {
+            if pred.eval(&GlobalState::new(comp, cut)) {
+                return false;
+            }
+            if cut == top {
+                return true;
+            }
+            let mut succ = Vec::new();
+            CutSpace::successors(comp, cut, &mut succ);
+            succ.iter().any(|s| reach(comp, pred, s, top))
+        }
+        !reach(
+            comp,
+            pred,
+            &Cut::bottom(comp.num_processes()),
+            &comp.top_cut(),
+        )
+    }
+
+    #[test]
+    fn constant_predicates() {
+        let comp = grid(2, 2);
+        let always = FnPredicate::new(ProcSet::all(2), "true", |_| true);
+        let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        assert!(definitely(&comp, &always, &Limits::none()));
+        assert!(!definitely(&comp, &never, &Limits::none()));
+    }
+
+    #[test]
+    fn synchronization_point_is_definite() {
+        // p0 sends to p1 halfway: "message sent but not received" is NOT
+        // definite (the receive can follow the send immediately on one
+        // path, but... actually every observation passes through the cut
+        // just after the send and before the receive). Verify against the
+        // oracle rather than intuition.
+        let mut b = slicing_computation::ComputationBuilder::new(2);
+        let s = b.append_event(b.process(0));
+        let r = b.append_event(b.process(1));
+        b.message(s, r).unwrap();
+        let comp = b.build().unwrap();
+        let p0 = comp.process(0);
+        let p1 = comp.process(1);
+        let pred = FnPredicate::new(ProcSet::all(2), "in transit", move |st| {
+            st.in_transit(p0, p1) == 1
+        });
+        assert_eq!(
+            definitely(&comp, &pred, &Limits::none()),
+            definitely_oracle(&comp, &pred)
+        );
+        // Here it is in fact definite: the receive cannot precede the send.
+        assert!(definitely(&comp, &pred, &Limits::none()));
+    }
+
+    #[test]
+    fn possibly_but_not_definitely() {
+        // In a 1×1 grid, "p0 advanced but p1 did not" is possible but not
+        // definite (the observation advancing p1 first avoids it).
+        let comp = grid(1, 1);
+        let pred = FnPredicate::new(ProcSet::all(2), "p0 only", |st| {
+            let c = st.cut();
+            c.counts() == [2, 1]
+        });
+        assert!(!definitely(&comp, &pred, &Limits::none()));
+        let found = all_cuts(&comp).iter().any(|c| c.counts() == [2, 1]);
+        assert!(found);
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_random_instances() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 3,
+            value_range: 2,
+            ..RandomConfig::default()
+        };
+        for seed in 0..30 {
+            let comp = random_computation(seed, &cfg);
+            let pred = parse_predicate(&comp, "x@0 == 1 || x@1 == x@2 - 1").unwrap();
+            assert_eq!(
+                definitely(&comp, &pred, &Limits::none()),
+                definitely_oracle(&comp, &pred),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_conjunction_is_not_definite() {
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+        // An observation can rush p3 to z (x3 = 6) before p1 moves... z
+        // requires g which requires w; the cut (1,3,3) has x3 = 2 and
+        // x1 = 2, satisfying the predicate. Check the oracle.
+        assert_eq!(
+            definitely(&comp, &pred, &Limits::none()),
+            definitely_oracle(&comp, &pred)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "resource limit")]
+    fn limit_hit_panics_in_boolean_form() {
+        let comp = grid(6, 6);
+        let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        let _ = definitely(&comp, &never, &Limits::cuts(3));
+    }
+}

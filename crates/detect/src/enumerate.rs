@@ -1,0 +1,226 @@
+//! Breadth-first and depth-first predicate detection by explicit lattice
+//! enumeration (Cooper–Marzullo style), over any [`CutSpace`] — a
+//! computation or a slice.
+
+use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
+
+use slicing_computation::{Computation, Cut, CutSpace, GlobalState};
+use slicing_predicates::Predicate;
+
+use crate::metrics::{Detection, Limits, Tracker};
+
+/// Detects `possibly: pred` by breadth-first enumeration of the cuts of
+/// `space`, evaluating the predicate against `comp` (the computation the
+/// cuts refer to — for a slice, its underlying computation).
+///
+/// Stores every visited cut, so memory grows with the explored state
+/// space; this is the classic baseline whose blow-up slicing (or
+/// partial-order methods) avoids.
+pub fn detect_bfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+) -> Detection {
+    let start = Instant::now();
+    let mut tracker = Tracker::default();
+    let entry_bytes = Tracker::hash_entry_bytes(space.num_processes());
+
+    let Some(bottom) = space.bottom() else {
+        return tracker.finish(None, start.elapsed(), None);
+    };
+
+    let mut visited: HashSet<Cut> = HashSet::new();
+    let mut queue: VecDeque<Cut> = VecDeque::new();
+    visited.insert(bottom.clone());
+    tracker.store_cut(entry_bytes);
+    queue.push_back(bottom);
+    tracker.charge(entry_bytes);
+
+    let mut succ = Vec::new();
+    while let Some(cut) = queue.pop_front() {
+        tracker.release(entry_bytes);
+        tracker.cuts_explored += 1;
+        if pred.eval(&GlobalState::new(comp, &cut)) {
+            return tracker.finish(Some(cut), start.elapsed(), None);
+        }
+        if let Some(reason) = tracker.over_limit(limits) {
+            return tracker.finish(None, start.elapsed(), Some(reason));
+        }
+        succ.clear();
+        space.successors(&cut, &mut succ);
+        for next in succ.drain(..) {
+            if visited.insert(next.clone()) {
+                tracker.store_cut(entry_bytes);
+                queue.push_back(next);
+                tracker.charge(entry_bytes);
+            }
+        }
+    }
+    tracker.finish(None, start.elapsed(), None)
+}
+
+/// Depth-first variant of [`detect_bfs`]. Explores the same cut set and
+/// also stores every visited cut; the traversal order differs, which
+/// matters when the predicate holds somewhere and the search can stop
+/// early.
+pub fn detect_dfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+) -> Detection {
+    let start = Instant::now();
+    let mut tracker = Tracker::default();
+    let entry_bytes = Tracker::hash_entry_bytes(space.num_processes());
+
+    let Some(bottom) = space.bottom() else {
+        return tracker.finish(None, start.elapsed(), None);
+    };
+
+    let mut visited: HashSet<Cut> = HashSet::new();
+    let mut stack: Vec<Cut> = Vec::new();
+    visited.insert(bottom.clone());
+    tracker.store_cut(entry_bytes);
+    stack.push(bottom);
+    tracker.charge(entry_bytes);
+
+    let mut succ = Vec::new();
+    while let Some(cut) = stack.pop() {
+        tracker.release(entry_bytes);
+        tracker.cuts_explored += 1;
+        if pred.eval(&GlobalState::new(comp, &cut)) {
+            return tracker.finish(Some(cut), start.elapsed(), None);
+        }
+        if let Some(reason) = tracker.over_limit(limits) {
+            return tracker.finish(None, start.elapsed(), Some(reason));
+        }
+        succ.clear();
+        space.successors(&cut, &mut succ);
+        for next in succ.drain(..) {
+            if visited.insert(next.clone()) {
+                tracker.store_cut(entry_bytes);
+                stack.push(next);
+                tracker.charge(entry_bytes);
+            }
+        }
+    }
+    tracker.finish(None, start.elapsed(), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::oracle::satisfying_cuts;
+    use slicing_computation::test_fixtures::{figure1, grid, random_computation, RandomConfig};
+    use slicing_computation::ProcSet;
+    use slicing_predicates::{expr::parse_predicate, FnPredicate};
+
+    #[test]
+    fn finds_the_paper_intro_predicate() {
+        let comp = figure1();
+        let pred =
+            parse_predicate(&comp, "x1@0 * x2@1 + x3@2 < 5 && x1@0 > 1 && x3@2 <= 3").unwrap();
+        let d = detect_bfs(&comp, &comp, &pred, &Limits::none());
+        assert!(d.detected());
+        assert!(d.completed());
+        let cut = d.found.unwrap();
+        assert!(pred.eval(&GlobalState::new(&comp, &cut)));
+    }
+
+    #[test]
+    fn reports_absence() {
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "x1@0 > 99").unwrap();
+        let d = detect_bfs(&comp, &comp, &pred, &Limits::none());
+        assert!(!d.detected());
+        assert_eq!(d.cuts_explored, 28);
+        let d = detect_dfs(&comp, &comp, &pred, &Limits::none());
+        assert!(!d.detected());
+        assert_eq!(d.cuts_explored, 28);
+    }
+
+    #[test]
+    fn bfs_finds_a_minimal_depth_witness() {
+        // BFS explores by distance from bottom, so the witness it returns
+        // has the minimum number of events among satisfying cuts.
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+        let d = detect_bfs(&comp, &comp, &pred, &Limits::none());
+        let witness = d.found.unwrap();
+        let min_size = satisfying_cuts(&comp, |st| pred.eval(st))
+            .iter()
+            .map(Cut::size)
+            .min()
+            .unwrap();
+        assert_eq!(witness.size(), min_size);
+    }
+
+    #[test]
+    fn dfs_and_bfs_agree_on_random_instances() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 4,
+            value_range: 3,
+            ..RandomConfig::default()
+        };
+        for seed in 0..30 {
+            let comp = random_computation(seed, &cfg);
+            let x0 = comp.var(comp.process(0), "x").unwrap();
+            let x1 = comp.var(comp.process(1), "x").unwrap();
+            let t = (seed % 3) as i64;
+            let pred = FnPredicate::new(ProcSet::all(3), "x0 + x1 == t", move |st| {
+                st.get(x0).expect_int() + st.get(x1).expect_int() == t
+            });
+            let b = detect_bfs(&comp, &comp, &pred, &Limits::none());
+            let d = detect_dfs(&comp, &comp, &pred, &Limits::none());
+            assert_eq!(b.detected(), d.detected(), "seed {seed}");
+            let oracle = !satisfying_cuts(&comp, |st| pred.eval(st)).is_empty();
+            assert_eq!(b.detected(), oracle, "seed {seed} oracle");
+        }
+    }
+
+    #[test]
+    fn memory_limit_aborts() {
+        let comp = grid(6, 6);
+        let pred = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        let d = detect_bfs(&comp, &comp, &pred, &Limits::bytes(200));
+        assert!(!d.completed());
+        assert_eq!(d.aborted, Some(crate::AbortReason::MemoryLimit));
+    }
+
+    #[test]
+    fn cut_limit_aborts() {
+        let comp = grid(6, 6);
+        let pred = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        let d = detect_bfs(&comp, &comp, &pred, &Limits::cuts(5));
+        assert_eq!(d.aborted, Some(crate::AbortReason::CutLimit));
+        assert!(d.cuts_explored <= 7);
+    }
+
+    #[test]
+    fn empty_space_yields_no_detection() {
+        let comp = figure1();
+        let slice = slicing_core::Slice::empty(&comp);
+        let pred = FnPredicate::new(ProcSet::all(3), "true", |_| true);
+        let d = detect_bfs(&slice, &comp, &pred, &Limits::none());
+        assert!(!d.detected());
+        assert_eq!(d.cuts_explored, 0);
+    }
+
+    #[test]
+    fn searching_a_slice_examines_fewer_cuts() {
+        let comp = figure1();
+        let weak = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+        let full =
+            parse_predicate(&comp, "x1@0 * x2@1 + x3@2 < 5 && x1@0 > 1 && x3@2 <= 3").unwrap();
+        let conj = weak.to_conjunctive().unwrap();
+        let slice = slicing_core::slice_conjunctive(&comp, &conj);
+        let on_comp = detect_bfs(&comp, &comp, &full, &Limits::none());
+        let on_slice = detect_bfs(&slice, &comp, &full, &Limits::none());
+        assert_eq!(on_comp.detected(), on_slice.detected());
+        assert!(on_slice.cuts_explored <= 6);
+        assert!(on_slice.cuts_explored <= on_comp.cuts_explored);
+    }
+}

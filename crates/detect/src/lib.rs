@@ -1,0 +1,66 @@
+//! Predicate detection engines for distributed computations.
+//!
+//! Detecting `possibly: b` — does some consistent cut of the computation
+//! satisfy `b`? — is NP-complete in general because the cut lattice has
+//! `O(kⁿ)` elements. This crate implements the approaches the paper
+//! compares, all instrumented with deterministic time/space metrics:
+//!
+//! - [`detect_bfs`] / [`detect_dfs`]: explicit lattice enumeration
+//!   (Cooper–Marzullo style) over any [`CutSpace`] — a computation **or a
+//!   slice**, which is how slicing plugs in;
+//! - [`detect_pom`]: selective search with persistent sets and sleep sets
+//!   — the partial-order-methods baseline (Stoller–Unnikrishnan–Liu) the
+//!   paper evaluates against;
+//! - [`detect_reverse_search`]: polynomial-space enumeration (no visited
+//!   set), in the spirit of Alagar–Venkatesan's space-efficient traversal;
+//! - [`detect_with_slicing`]: the paper's pipeline — compute the slice for
+//!   a [`PredicateSpec`](slicing_core::PredicateSpec), then search its few
+//!   cuts evaluating the exact predicate;
+//! - [`definitely`]: the `definitely` modality (every observation passes
+//!   through a satisfying cut), as an extension.
+//!
+//! # Example
+//!
+//! ```
+//! use slicing_computation::test_fixtures::figure1;
+//! use slicing_predicates::{Conjunctive, LocalPredicate};
+//! use slicing_core::PredicateSpec;
+//! use slicing_detect::{detect_with_slicing, Limits};
+//!
+//! let comp = figure1();
+//! let x1 = comp.var(comp.process(0), "x1").unwrap();
+//! let x3 = comp.var(comp.process(2), "x3").unwrap();
+//! let spec = PredicateSpec::conjunctive(Conjunctive::new(vec![
+//!     LocalPredicate::int(x1, "x1 > 1", |x| x > 1),
+//!     LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3),
+//! ]));
+//! let outcome = detect_with_slicing(&comp, &spec, &Limits::none());
+//! assert!(outcome.detected());
+//! assert!(outcome.search.cuts_explored <= 6); // slice, not computation
+//! ```
+
+#![warn(missing_docs)]
+
+mod definitely;
+mod enumerate;
+mod hybrid;
+mod metrics;
+mod modalities;
+mod monitor;
+mod parallel;
+mod pom;
+mod reverse_search;
+mod slicing;
+
+pub use definitely::{definitely, detect_not_definitely};
+pub use enumerate::{detect_bfs, detect_dfs};
+pub use hybrid::{detect_hybrid, suggested_pom_budget, HybridDetection, HybridPhase};
+pub use metrics::{AbortReason, Detection, Limits};
+pub use modalities::{controllable, detect_controllable, invariant, invariant_via_slicing};
+pub use monitor::OnlineMonitor;
+pub use parallel::detect_bfs_parallel;
+pub use pom::detect_pom;
+pub use reverse_search::{detect_reverse_search, detect_reverse_search_slice};
+pub use slicing::{detect_on_slice, detect_with_slicing, SliceDetection};
+
+pub use slicing_computation::CutSpace;

@@ -1,0 +1,243 @@
+//! Instrumentation shared by all detection engines: time, space, and
+//! search-effort accounting.
+
+use std::fmt;
+use std::time::Duration;
+
+use slicing_computation::Cut;
+
+/// Why a detection run stopped before exhausting the state space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The tracked memory exceeded [`Limits::max_bytes`] — the paper's
+    /// "runs out of memory" outcome (their cap was 100 MB).
+    MemoryLimit,
+    /// More than [`Limits::max_cuts`] cuts were explored.
+    CutLimit,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::MemoryLimit => f.write_str("memory limit exceeded"),
+            AbortReason::CutLimit => f.write_str("explored-cut limit exceeded"),
+        }
+    }
+}
+
+/// Resource limits for a detection run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Limits {
+    /// Abort when the tracked bytes of search data structures exceed this.
+    pub max_bytes: Option<u64>,
+    /// Abort after exploring this many cuts.
+    pub max_cuts: Option<u64>,
+}
+
+impl Limits {
+    /// No limits.
+    pub fn none() -> Self {
+        Limits::default()
+    }
+
+    /// Limit tracked memory only.
+    pub fn bytes(max: u64) -> Self {
+        Limits {
+            max_bytes: Some(max),
+            max_cuts: None,
+        }
+    }
+
+    /// Limit explored cuts only.
+    pub fn cuts(max: u64) -> Self {
+        Limits {
+            max_bytes: None,
+            max_cuts: Some(max),
+        }
+    }
+}
+
+/// The outcome of a detection run, with the paper's two comparison metrics
+/// (time spent, memory used) plus search-effort counters.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// A consistent cut satisfying the predicate, if one was found
+    /// (`possibly: b`).
+    pub found: Option<Cut>,
+    /// Number of distinct cuts whose predicate value was examined.
+    pub cuts_explored: u64,
+    /// Peak number of cuts stored simultaneously (visited set + frontier).
+    pub max_stored_cuts: u64,
+    /// Peak tracked bytes of the search data structures. Deterministic
+    /// byte accounting stands in for the paper's physical-memory
+    /// measurements.
+    pub peak_bytes: u64,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+    /// Set when the search stopped early on a limit.
+    pub aborted: Option<AbortReason>,
+}
+
+impl Detection {
+    /// `true` if the predicate was detected.
+    pub fn detected(&self) -> bool {
+        self.found.is_some()
+    }
+
+    /// `true` if the search ran to completion (found the predicate or
+    /// exhausted the space) without hitting a limit.
+    pub fn completed(&self) -> bool {
+        self.aborted.is_none()
+    }
+}
+
+impl fmt::Display for Detection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cuts explored, {} peak stored, {} peak bytes, {:?}",
+            match (&self.found, &self.aborted) {
+                (Some(_), _) => "detected",
+                (None, Some(_)) => "aborted",
+                (None, None) => "not detected",
+            },
+            self.cuts_explored,
+            self.max_stored_cuts,
+            self.peak_bytes,
+            self.elapsed,
+        )?;
+        if let Some(r) = self.aborted {
+            write!(f, " ({r})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental byte/count tracker used by the engines.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Tracker {
+    pub cuts_explored: u64,
+    pub stored_cuts: u64,
+    pub max_stored_cuts: u64,
+    pub bytes: u64,
+    pub peak_bytes: u64,
+}
+
+impl Tracker {
+    /// Bytes charged per stored cut inside a hash-based visited set:
+    /// the cut payload plus table overhead.
+    pub fn hash_entry_bytes(num_processes: usize) -> u64 {
+        (std::mem::size_of::<Cut>() + 4 * num_processes + 32) as u64
+    }
+
+    pub fn charge(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+    }
+
+    pub fn release(&mut self, bytes: u64) {
+        self.bytes = self.bytes.saturating_sub(bytes);
+    }
+
+    pub fn store_cut(&mut self, entry_bytes: u64) {
+        self.stored_cuts += 1;
+        self.max_stored_cuts = self.max_stored_cuts.max(self.stored_cuts);
+        self.charge(entry_bytes);
+    }
+
+    pub fn drop_cut(&mut self, entry_bytes: u64) {
+        self.stored_cuts = self.stored_cuts.saturating_sub(1);
+        self.release(entry_bytes);
+    }
+
+    pub fn over_limit(&self, limits: &Limits) -> Option<AbortReason> {
+        if let Some(max) = limits.max_bytes {
+            if self.peak_bytes > max {
+                return Some(AbortReason::MemoryLimit);
+            }
+        }
+        if let Some(max) = limits.max_cuts {
+            if self.cuts_explored > max {
+                return Some(AbortReason::CutLimit);
+            }
+        }
+        None
+    }
+
+    pub fn finish(
+        self,
+        found: Option<Cut>,
+        elapsed: Duration,
+        aborted: Option<AbortReason>,
+    ) -> Detection {
+        Detection {
+            found,
+            cuts_explored: self.cuts_explored,
+            max_stored_cuts: self.max_stored_cuts,
+            peak_bytes: self.peak_bytes,
+            elapsed,
+            aborted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_constructors() {
+        assert_eq!(Limits::none().max_bytes, None);
+        assert_eq!(Limits::bytes(10).max_bytes, Some(10));
+        assert_eq!(Limits::cuts(5).max_cuts, Some(5));
+    }
+
+    #[test]
+    fn tracker_peaks() {
+        let mut t = Tracker::default();
+        t.store_cut(100);
+        t.store_cut(100);
+        assert_eq!(t.peak_bytes, 200);
+        assert_eq!(t.max_stored_cuts, 2);
+        t.drop_cut(100);
+        assert_eq!(t.bytes, 100);
+        assert_eq!(t.peak_bytes, 200); // peak persists
+        assert_eq!(t.max_stored_cuts, 2);
+    }
+
+    #[test]
+    fn tracker_limits() {
+        let mut t = Tracker::default();
+        t.charge(50);
+        assert_eq!(
+            t.over_limit(&Limits::bytes(49)),
+            Some(AbortReason::MemoryLimit)
+        );
+        assert_eq!(t.over_limit(&Limits::bytes(51)), None);
+        t.cuts_explored = 10;
+        assert_eq!(t.over_limit(&Limits::cuts(9)), Some(AbortReason::CutLimit));
+        assert_eq!(t.over_limit(&Limits::none()), None);
+    }
+
+    #[test]
+    fn detection_display_and_accessors() {
+        let d = Detection {
+            found: Some(Cut::bottom(2)),
+            cuts_explored: 3,
+            max_stored_cuts: 2,
+            peak_bytes: 64,
+            elapsed: Duration::from_millis(1),
+            aborted: None,
+        };
+        assert!(d.detected());
+        assert!(d.completed());
+        assert!(d.to_string().contains("detected"));
+        let a = Detection {
+            found: None,
+            aborted: Some(AbortReason::MemoryLimit),
+            ..d.clone()
+        };
+        assert!(!a.completed());
+        assert!(a.to_string().contains("memory limit"));
+    }
+}

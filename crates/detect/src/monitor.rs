@@ -1,0 +1,257 @@
+//! Online fault monitoring: the paper's motivating loop — observe the
+//! execution as it unfolds, keep the slice current, and raise an alarm
+//! the moment some consistent cut of the history violates the invariant.
+//!
+//! Built on the incremental conjunctive slicer
+//! ([`OnlineSlicer`](slicing_core::OnlineSlicer)); the monitored fault is
+//! a *conjunction of local predicates* (e.g. "no process holds the token",
+//! or any single clause of a CNF invariant — run one monitor per clause
+//! for full CNF coverage).
+
+use slicing_computation::{BuildError, Computation, Cut, EventId, GlobalState, Value, VarRef};
+use slicing_core::OnlineSlicer;
+use slicing_predicates::Predicate;
+
+use crate::enumerate::detect_bfs;
+use crate::metrics::{Detection, Limits};
+
+/// An online monitor for a conjunctive global fault.
+///
+/// Feed events and messages as they are observed;
+/// [`check`](OnlineMonitor::check) reports the earliest consistent cut of
+/// the observed history that satisfies every watched conjunct, if any. The
+/// constraint edges are maintained incrementally (`O(1)` per event); each
+/// check costs one least-cut-table rebuild plus a search of the (usually
+/// tiny or empty) slice.
+///
+/// `possibly: fault` over a growing history is monotone — once a
+/// satisfying cut exists it exists forever — so the earliest witness is
+/// stable and [`check`](OnlineMonitor::check) reports it exactly once.
+/// After taking corrective action (e.g. rolling back to a recovery line),
+/// start a fresh monitor from the recovered state; that is the paper's
+/// monitor → detect → correct loop.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::Value;
+/// use slicing_detect::OnlineMonitor;
+///
+/// // Watch for "both flags down" on two processes.
+/// let mut m = OnlineMonitor::new(2);
+/// let a = m.declare_var(0, "up", Value::Bool(true))?;
+/// let b = m.declare_var(1, "up", Value::Bool(true))?;
+/// m.watch(a, "!up_0", |v| !v.expect_bool());
+/// m.watch(b, "!up_1", |v| !v.expect_bool());
+///
+/// m.observe(0, &[(a, Value::Bool(false))])?;
+/// assert!(m.check()?.is_none()); // p1 still up
+/// m.observe(1, &[(b, Value::Bool(false))])?;
+/// assert!(m.check()?.is_some()); // both down at a consistent cut
+/// # Ok::<(), slicing_computation::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct OnlineMonitor {
+    slicer: OnlineSlicer,
+    /// Cuts already reported; `check` returns each alarm once.
+    last_alarm: Option<Cut>,
+}
+
+impl OnlineMonitor {
+    /// Creates a monitor over `num_processes` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`OnlineSlicer::new`].
+    pub fn new(num_processes: usize) -> Self {
+        OnlineMonitor {
+            slicer: OnlineSlicer::new(num_processes),
+            last_alarm: None,
+        }
+    }
+
+    /// Declares a monitored variable (before its process's first event).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`]s from the underlying slicer.
+    pub fn declare_var(
+        &mut self,
+        process: usize,
+        name: &str,
+        initial: Value,
+    ) -> Result<VarRef, BuildError> {
+        self.slicer.declare_var(process, name, initial)
+    }
+
+    /// Adds a conjunct of the fault predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable's process already observed events.
+    pub fn watch(
+        &mut self,
+        var: VarRef,
+        label: impl Into<String>,
+        f: impl Fn(Value) -> bool + Send + Sync + 'static,
+    ) {
+        self.slicer.watch(var, label, f);
+    }
+
+    /// Records a new event with its variable writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors.
+    pub fn observe(
+        &mut self,
+        process: usize,
+        assignments: &[(VarRef, Value)],
+    ) -> Result<EventId, BuildError> {
+        self.slicer.observe(process, assignments)
+    }
+
+    /// Records a message between two observed events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors (duplicates, self-messages).
+    pub fn message(&mut self, send: EventId, recv: EventId) -> Result<(), BuildError> {
+        self.slicer.message(send, recv)
+    }
+
+    /// Checks the observed history: returns the earliest consistent cut
+    /// satisfying all watched conjuncts, or `None`. Consecutive checks
+    /// report the same alarm cut only once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::CyclicOrder`] if observed messages formed a
+    /// cycle.
+    pub fn check(&mut self) -> Result<Option<Cut>, BuildError> {
+        Ok(self.check_detailed()?.found)
+    }
+
+    /// [`check`](OnlineMonitor::check) with full search metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::CyclicOrder`] if observed messages formed a
+    /// cycle.
+    pub fn check_detailed(&mut self) -> Result<Detection, BuildError> {
+        let comp = self.slicer.snapshot_computation()?;
+        let slice = self.slicer.slice_of(&comp);
+        // The slice of a conjunctive predicate is lean: its bottom cut, if
+        // any, already satisfies the fault. Searching keeps the metrics
+        // honest and reuses the dedup against last_alarm.
+        let mut outcome = detect_bfs(&slice, &comp, &LeanTrue, &Limits::none());
+        if outcome.found.is_some() && outcome.found == self.last_alarm {
+            outcome.found = None;
+        } else if outcome.found.is_some() {
+            self.last_alarm.clone_from(&outcome.found);
+        }
+        Ok(outcome)
+    }
+
+    /// The computation observed so far (for recovery-line analysis or
+    /// archiving via the trace format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::CyclicOrder`] if observed messages formed a
+    /// cycle.
+    pub fn history(&self) -> Result<Computation, BuildError> {
+        self.slicer.snapshot_computation()
+    }
+}
+
+/// The residual predicate on the lean conjunctive slice: every slice cut
+/// satisfies the conjunction, so the first reached cut is the alarm.
+#[derive(Debug)]
+struct LeanTrue;
+
+impl Predicate for LeanTrue {
+    fn support(&self) -> slicing_computation::ProcSet {
+        slicing_computation::ProcSet::empty()
+    }
+
+    fn eval(&self, _state: &GlobalState<'_>) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Token-ring hand-off monitored live: "no process has the token".
+    #[test]
+    fn token_in_transit_raises_exactly_one_alarm() {
+        let mut m = OnlineMonitor::new(2);
+        let t0 = m.declare_var(0, "has_token", Value::Bool(true)).unwrap();
+        let t1 = m.declare_var(1, "has_token", Value::Bool(false)).unwrap();
+        m.watch(t0, "!t0", |v| !v.expect_bool());
+        m.watch(t1, "!t1", |v| !v.expect_bool());
+
+        assert_eq!(m.check().unwrap(), None);
+
+        let send = m.observe(0, &[(t0, Value::Bool(false))]).unwrap();
+        let alarm = m.check().unwrap().expect("token now in transit");
+        assert_eq!(alarm.counts(), &[2, 1]);
+
+        // Unchanged history: the same alarm is not re-reported.
+        assert_eq!(m.check().unwrap(), None);
+
+        // After the receive the alarm cut still exists in history (the
+        // predicate held at a past cut); the monitor reports it once only.
+        let recv = m.observe(1, &[(t1, Value::Bool(true))]).unwrap();
+        m.message(send, recv).unwrap();
+        assert_eq!(m.check().unwrap(), None);
+    }
+
+    #[test]
+    fn alarm_moves_when_an_earlier_cut_appears() {
+        // Two independent processes; the fault needs both flags true.
+        let mut m = OnlineMonitor::new(2);
+        let a = m.declare_var(0, "f", Value::Bool(false)).unwrap();
+        let b = m.declare_var(1, "f", Value::Bool(false)).unwrap();
+        m.watch(a, "a", |v| v.expect_bool());
+        m.watch(b, "b", |v| v.expect_bool());
+
+        m.observe(0, &[(a, Value::Bool(true))]).unwrap();
+        m.observe(1, &[(b, Value::Bool(false))]).unwrap();
+        assert_eq!(m.check().unwrap(), None);
+        m.observe(1, &[(b, Value::Bool(true))]).unwrap();
+        let alarm = m.check().unwrap().expect("both flags true");
+        assert_eq!(alarm.counts(), &[2, 3]);
+    }
+
+    #[test]
+    fn metrics_variant_reports_search_effort() {
+        let mut m = OnlineMonitor::new(1);
+        let x = m.declare_var(0, "x", Value::Int(0)).unwrap();
+        m.watch(x, "x > 1", |v| v.expect_int() > 1);
+        m.observe(0, &[(x, Value::Int(2))]).unwrap();
+        let d = m.check_detailed().unwrap();
+        assert!(d.detected());
+        assert!(d.cuts_explored >= 1);
+        assert!(m.history().unwrap().num_events() == 2);
+    }
+
+    #[test]
+    fn messages_constrain_alarms() {
+        // The fault cut must be consistent: if p1's flag-up event causally
+        // follows p0's flag-down event, no consistent cut has both up.
+        let mut m = OnlineMonitor::new(2);
+        let a = m.declare_var(0, "f", Value::Bool(true)).unwrap();
+        let b = m.declare_var(1, "f", Value::Bool(false)).unwrap();
+        m.watch(a, "a", |v| v.expect_bool());
+        m.watch(b, "b", |v| v.expect_bool());
+
+        let down = m.observe(0, &[(a, Value::Bool(false))]).unwrap();
+        let up = m.observe(1, &[(b, Value::Bool(true))]).unwrap();
+        m.message(down, up).unwrap();
+        assert_eq!(m.check().unwrap(), None, "flags were never up together");
+    }
+}

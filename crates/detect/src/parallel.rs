@@ -1,0 +1,190 @@
+//! Parallel breadth-first detection.
+//!
+//! The paper observes that complementary state-space techniques compose
+//! with slicing; so does parallelism. This engine runs a layer-synchronous
+//! BFS: each lattice level is partitioned across worker threads that
+//! evaluate the predicate and expand successors, while the main thread
+//! owns the visited set. Results are deterministic — the witness (if any)
+//! is the first satisfying cut in BFS layer order, independent of thread
+//! count.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use slicing_computation::{Computation, Cut, CutSpace, GlobalState};
+use slicing_predicates::Predicate;
+
+use crate::metrics::{Detection, Limits, Tracker};
+
+/// Detects `possibly: pred` with a parallel layered BFS over `space`,
+/// using up to `threads` worker threads (values < 2 fall back to the
+/// sequential engine).
+///
+/// Equivalent to [`detect_bfs`](crate::detect_bfs) in verdict and in the
+/// set of cuts explored up to the witness's layer; `cuts_explored` may
+/// exceed the sequential count because a whole layer is evaluated even
+/// when an early member matches.
+pub fn detect_bfs_parallel<S, P>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+    threads: usize,
+) -> Detection
+where
+    S: CutSpace + Sync + ?Sized,
+    P: Predicate + Sync + ?Sized,
+{
+    if threads < 2 {
+        return crate::enumerate::detect_bfs(space, comp, pred, limits);
+    }
+    let start = Instant::now();
+    let mut tracker = Tracker::default();
+    let entry_bytes = Tracker::hash_entry_bytes(space.num_processes());
+
+    let Some(bottom) = space.bottom() else {
+        return tracker.finish(None, start.elapsed(), None);
+    };
+
+    let mut visited: HashSet<Cut> = HashSet::new();
+    visited.insert(bottom.clone());
+    tracker.store_cut(entry_bytes);
+    let mut frontier: Vec<Cut> = vec![bottom];
+    tracker.charge(entry_bytes);
+
+    while !frontier.is_empty() {
+        // Evaluate and expand the layer in parallel.
+        let chunk = frontier.len().div_ceil(threads);
+        let results: Vec<(Option<usize>, Vec<Cut>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = frontier
+                .chunks(chunk)
+                .map(|cuts| {
+                    scope.spawn(move || {
+                        let mut found = None;
+                        let mut succ = Vec::new();
+                        for (i, cut) in cuts.iter().enumerate() {
+                            if pred.eval(&GlobalState::new(comp, cut)) {
+                                found = Some(i);
+                                break;
+                            }
+                            space.successors(cut, &mut succ);
+                        }
+                        (found, succ)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+
+        // First match in layer order wins (deterministic).
+        for (chunk_idx, (found, _)) in results.iter().enumerate() {
+            if let Some(offset) = found {
+                let idx = chunk_idx * chunk + offset;
+                tracker.cuts_explored += idx as u64 + 1;
+                let witness = frontier[idx].clone();
+                return tracker.finish(Some(witness), start.elapsed(), None);
+            }
+        }
+        tracker.cuts_explored += frontier.len() as u64;
+        tracker.release(entry_bytes * frontier.len() as u64);
+        if let Some(reason) = tracker.over_limit(limits) {
+            return tracker.finish(None, start.elapsed(), Some(reason));
+        }
+
+        // Merge successors (single-threaded: the visited set is the shared
+        // structure, and merging is cheap relative to evaluation).
+        let mut next: Vec<Cut> = Vec::new();
+        for (_, succ) in results {
+            for cut in succ {
+                if visited.insert(cut.clone()) {
+                    tracker.store_cut(entry_bytes);
+                    next.push(cut);
+                }
+            }
+        }
+        tracker.charge(entry_bytes * next.len() as u64);
+        if let Some(reason) = tracker.over_limit(limits) {
+            return tracker.finish(None, start.elapsed(), Some(reason));
+        }
+        frontier = next;
+    }
+    tracker.finish(None, start.elapsed(), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect_bfs;
+    use slicing_computation::test_fixtures::{grid, random_computation, RandomConfig};
+    use slicing_computation::ProcSet;
+    use slicing_predicates::{expr::parse_predicate, FnPredicate};
+
+    #[test]
+    fn agrees_with_sequential_bfs() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 4,
+            value_range: 3,
+            ..RandomConfig::default()
+        };
+        for seed in 0..20 {
+            let comp = random_computation(seed, &cfg);
+            let pred = parse_predicate(&comp, "x@0 == 2 && x@2 == 2").unwrap();
+            for threads in [2, 4] {
+                let par = detect_bfs_parallel(&comp, &comp, &pred, &Limits::none(), threads);
+                let seq = detect_bfs(&comp, &comp, &pred, &Limits::none());
+                assert_eq!(par.detected(), seq.detected(), "seed {seed} t{threads}");
+                if let (Some(a), Some(b)) = (&par.found, &seq.found) {
+                    // Same layer: equal event counts.
+                    assert_eq!(a.size(), b.size(), "seed {seed} t{threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_is_deterministic_across_thread_counts() {
+        let comp = grid(5, 5);
+        let pred = FnPredicate::new(ProcSet::all(2), "diag", |st| st.cut().counts() == [4, 3]);
+        let results: Vec<Option<Cut>> = [2, 3, 4, 8]
+            .iter()
+            .map(|&t| detect_bfs_parallel(&comp, &comp, &pred, &Limits::none(), t).found)
+            .collect();
+        for w in &results {
+            assert_eq!(w, &results[0]);
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back() {
+        let comp = grid(3, 3);
+        let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        let d = detect_bfs_parallel(&comp, &comp, &never, &Limits::none(), 1);
+        assert_eq!(d.cuts_explored, 16);
+    }
+
+    #[test]
+    fn works_on_slices() {
+        use slicing_core::slice_conjunctive;
+        use slicing_predicates::{Conjunctive, LocalPredicate};
+        let cfg = RandomConfig::default();
+        let comp = random_computation(9, &cfg);
+        let x0 = comp.var(comp.process(0), "x").unwrap();
+        let pred = Conjunctive::new(vec![LocalPredicate::int(x0, "x >= 1", |v| v >= 1)]);
+        let slice = slice_conjunctive(&comp, &pred);
+        let par = detect_bfs_parallel(&slice, &comp, &pred, &Limits::none(), 4);
+        let seq = detect_bfs(&slice, &comp, &pred, &Limits::none());
+        assert_eq!(par.detected(), seq.detected());
+    }
+
+    #[test]
+    fn respects_limits() {
+        let comp = grid(7, 7);
+        let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        let d = detect_bfs_parallel(&comp, &comp, &never, &Limits::cuts(5), 4);
+        assert!(!d.completed());
+    }
+}

@@ -1,0 +1,298 @@
+//! Partial-order-method detection: persistent sets + sleep sets — the
+//! comparison baseline of the paper's experimental section (Stoller,
+//! Unnikrishnan & Liu, CAV 2000, building on Godefroid's partial-order
+//! methods).
+//!
+//! The state space is the cut lattice; a transition advances one process
+//! by one event. At every state only a *persistent set* of transitions is
+//! explored, pruned further by *sleep sets*; states are cached so shared
+//! suffixes are not re-explored. Because the predicate is a state property,
+//! all transitions of processes in its support are treated as *visible*
+//! and mutually dependent, which preserves detection (the cut lattice is
+//! acyclic, so the ignoring problem does not arise).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use slicing_computation::{Computation, Cut, GlobalState, ProcSet, ProcessId};
+use slicing_predicates::Predicate;
+
+use crate::metrics::{Detection, Limits, Tracker};
+
+/// Dependency analysis for transitions, fixed per computation + predicate.
+struct Dependencies<'a> {
+    comp: &'a Computation,
+    support: ProcSet,
+}
+
+impl<'a> Dependencies<'a> {
+    fn new(comp: &'a Computation, support: ProcSet) -> Self {
+        Dependencies { comp, support }
+    }
+
+    /// `true` if advancing `p` (next event at `cut`) and advancing `q` do
+    /// not commute — over-approximated statically:
+    /// message partners and predicate-visible pairs are dependent.
+    fn dependent(&self, cut: &Cut, p: ProcessId, q: ProcessId) -> bool {
+        if p == q {
+            return true;
+        }
+        // Visible transitions are mutually dependent.
+        if self.support.contains(p) && self.support.contains(q) {
+            return true;
+        }
+        // Message coupling between the *next* events.
+        for (a, b) in [(p, q), (q, p)] {
+            let ca = cut.count(a);
+            if ca >= self.comp.len(a) {
+                continue;
+            }
+            let ea = self.comp.event_at(a, ca);
+            // ea receives from or sends to process b.
+            for m in self.comp.messages_into(ea) {
+                if self.comp.process_of(m.send) == b {
+                    return true;
+                }
+            }
+            for m in self.comp.messages_out_of(ea) {
+                if self.comp.process_of(m.recv) == b {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// A persistent set of processes at `cut`, as a closure starting from
+    /// one enabled seed: if a member's next event is dependent on another
+    /// process's next event — or is disabled *because* of that process —
+    /// the other process joins the set.
+    fn persistent_set(&self, cut: &Cut, enabled: ProcSet) -> ProcSet {
+        let Some(seed) = enabled.iter().next() else {
+            return ProcSet::empty();
+        };
+        let mut set = ProcSet::singleton(seed);
+        loop {
+            let mut grew = false;
+            for p in set {
+                let cp = cut.count(p);
+                if cp >= self.comp.len(p) {
+                    continue;
+                }
+                let ep = self.comp.event_at(p, cp);
+                for q in self.comp.processes() {
+                    if set.contains(q) {
+                        continue;
+                    }
+                    // Disabled because q has not yet produced a causal
+                    // prerequisite of ep.
+                    let needs_q = self.comp.min_cut(ep).count(q) > cut.count(q);
+                    if needs_q || self.dependent(cut, p, q) {
+                        set.insert(q);
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                return set;
+            }
+        }
+    }
+}
+
+/// Detects `possibly: pred` with a selective (partial-order) search of the
+/// computation's cut lattice using persistent sets, sleep sets, and state
+/// caching.
+///
+/// Explores a subset of the cuts that is guaranteed to contain a
+/// satisfying cut whenever one exists. Matches the behaviour the paper
+/// reports for its baseline: fast when a fault is found early, but with
+/// state storage that can still grow exponentially.
+pub fn detect_pom<P: Predicate + ?Sized>(
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+) -> Detection {
+    let start = Instant::now();
+    let mut tracker = Tracker::default();
+    let n = comp.num_processes();
+    let entry_bytes = Tracker::hash_entry_bytes(n) + 8; // + sleep mask
+
+    let deps = Dependencies::new(comp, pred.support());
+
+    // Visited cache: cut → sleep mask it was (or is being) explored with.
+    // Re-exploration is needed only with a strictly smaller sleep set; we
+    // then continue with the intersection.
+    let mut visited: HashMap<Cut, u64> = HashMap::new();
+
+    // DFS stack: (cut, sleep mask).
+    let bottom = Cut::bottom(n);
+    let mut stack: Vec<(Cut, u64)> = vec![(bottom.clone(), 0)];
+    tracker.charge(entry_bytes);
+
+    while let Some((cut, sleep)) = stack.pop() {
+        tracker.release(entry_bytes);
+        match visited.get_mut(&cut) {
+            Some(prev) => {
+                // Already explored with sleep set `*prev`; only transitions
+                // sleeping there but awake now need exploration.
+                if *prev & !sleep == 0 {
+                    continue;
+                }
+                *prev &= sleep;
+            }
+            None => {
+                visited.insert(cut.clone(), sleep);
+                tracker.store_cut(entry_bytes);
+                tracker.cuts_explored += 1;
+                if pred.eval(&GlobalState::new(comp, &cut)) {
+                    return tracker.finish(Some(cut), start.elapsed(), None);
+                }
+                if let Some(reason) = tracker.over_limit(limits) {
+                    return tracker.finish(None, start.elapsed(), Some(reason));
+                }
+            }
+        }
+
+        let enabled: ProcSet = comp
+            .processes()
+            .filter(|&p| comp.can_advance(&cut, p))
+            .collect();
+        if enabled.is_empty() {
+            continue;
+        }
+        let persistent = deps.persistent_set(&cut, enabled);
+
+        // Explore enabled persistent transitions not in the sleep set.
+        let mut explored_mask = 0u64;
+        for p in persistent {
+            if !enabled.contains(p) || sleep & (1 << p.as_usize()) != 0 {
+                continue;
+            }
+            let mut child = cut.clone();
+            child.set_count(p, cut.count(p) + 1);
+            // Child sleep: previously-explored siblings and inherited
+            // sleepers that are independent of the taken transition.
+            let mut child_sleep = 0u64;
+            for q in comp.processes() {
+                let bit = 1u64 << q.as_usize();
+                if (sleep | explored_mask) & bit != 0 && !deps.dependent(&cut, p, q) {
+                    child_sleep |= bit;
+                }
+            }
+            stack.push((child, child_sleep));
+            tracker.charge(entry_bytes);
+            explored_mask |= 1 << p.as_usize();
+        }
+    }
+    tracker.finish(None, start.elapsed(), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::count_cuts;
+    use slicing_computation::oracle::satisfying_cuts;
+    use slicing_computation::test_fixtures::{figure1, grid, random_computation, RandomConfig};
+    use slicing_predicates::{expr::parse_predicate, FnPredicate};
+
+    #[test]
+    fn explores_fewer_cuts_than_full_enumeration() {
+        // With an unsatisfiable 1-local predicate, independence lets the
+        // selective search skip most interleavings of a grid.
+        let comp = grid(6, 6);
+        let never = FnPredicate::new(ProcSet::singleton(comp.process(0)), "false", |_| false);
+        let d = detect_pom(&comp, &never, &Limits::none());
+        assert!(!d.detected());
+        assert!(
+            d.cuts_explored < count_cuts(&comp, None).value(),
+            "pom explored {} of {}",
+            d.cuts_explored,
+            count_cuts(&comp, None).value()
+        );
+    }
+
+    #[test]
+    fn agrees_with_bfs_on_random_instances() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 4,
+            value_range: 3,
+            send_percent: 50,
+            recv_percent: 50,
+        };
+        for seed in 0..60 {
+            let comp = random_computation(seed, &cfg);
+            let x0 = comp.var(comp.process(0), "x").unwrap();
+            let x1 = comp.var(comp.process(1), "x").unwrap();
+            let x2 = comp.var(comp.process(2), "x").unwrap();
+            let t = (seed % 5) as i64;
+            let pred = FnPredicate::new(ProcSet::all(3), "sum == t", move |st| {
+                st.get(x0).expect_int() + st.get(x1).expect_int() + st.get(x2).expect_int() == t
+            });
+            let pom = detect_pom(&comp, &pred, &Limits::none());
+            let oracle = !satisfying_cuts(&comp, |st| pred.eval(st)).is_empty();
+            assert_eq!(pom.detected(), oracle, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agrees_on_two_local_predicates() {
+        let cfg = RandomConfig {
+            processes: 4,
+            events_per_process: 3,
+            value_range: 2,
+            send_percent: 40,
+            recv_percent: 40,
+        };
+        for seed in 100..160 {
+            let comp = random_computation(seed, &cfg);
+            let pred = parse_predicate(&comp, "x@1 == 1 && x@3 == 1").unwrap();
+            let pom = detect_pom(&comp, &pred, &Limits::none());
+            let oracle =
+                !satisfying_cuts(&comp, |st| slicing_predicates::Predicate::eval(&pred, st))
+                    .is_empty();
+            assert_eq!(pom.detected(), oracle, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn finds_figure1_witness() {
+        let comp = figure1();
+        let pred =
+            parse_predicate(&comp, "x1@0 * x2@1 + x3@2 < 5 && x1@0 > 1 && x3@2 <= 3").unwrap();
+        let d = detect_pom(&comp, &pred, &Limits::none());
+        assert!(d.detected());
+        let cut = d.found.unwrap();
+        assert!(pred.eval(&GlobalState::new(&comp, &cut)));
+    }
+
+    #[test]
+    fn respects_limits() {
+        let comp = grid(8, 8);
+        let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        let d = detect_pom(&comp, &never, &Limits::bytes(100));
+        assert!(!d.completed());
+    }
+
+    #[test]
+    fn channel_coupled_processes_stay_dependent() {
+        // A send/recv pair must not be commuted away: the predicate "one
+        // message in transit" only holds between the send and the receive.
+        let mut b = slicing_computation::ComputationBuilder::new(3);
+        let s = b.append_event(b.process(0));
+        let r = b.append_event(b.process(1));
+        b.message(s, r).unwrap();
+        for _ in 0..3 {
+            b.append_event(b.process(2));
+        }
+        let comp = b.build().unwrap();
+        let p0 = comp.process(0);
+        let p1 = comp.process(1);
+        let pred = FnPredicate::new([p0, p1].into_iter().collect(), "in transit", move |st| {
+            st.in_transit(p0, p1) == 1
+        });
+        let d = detect_pom(&comp, &pred, &Limits::none());
+        assert!(d.detected());
+    }
+}

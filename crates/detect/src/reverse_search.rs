@@ -1,0 +1,454 @@
+//! Polynomial-space detection by reverse-search enumeration.
+//!
+//! The paper points to Alagar and Venkatesan's linear-space lattice
+//! traversal as an orthogonal technique that can be combined with slicing.
+//! This module implements a polynomial-space enumeration in the same
+//! spirit: a *reverse search* over a canonical spanning tree of the cut
+//! lattice. Each non-bottom cut has a unique canonical parent (remove its
+//! maximal event with the largest process index), so depth-first traversal
+//! of the tree needs **no visited set** — memory is `O(n · depth)` instead
+//! of exponential.
+
+use std::time::Instant;
+
+use slicing_computation::{Computation, Cut, GlobalState, ProcessId};
+use slicing_predicates::Predicate;
+
+use crate::metrics::{Detection, Limits, Tracker};
+
+/// `true` if the frontier event of `p` in `cut` is maximal: no other event
+/// of the cut causally follows it.
+fn frontier_is_maximal(comp: &Computation, cut: &Cut, p: ProcessId) -> bool {
+    let cp = cut.count(p);
+    if cp < 2 {
+        return false; // initial events are never removable
+    }
+    comp.processes().all(|q| {
+        if q == p {
+            return true;
+        }
+        let fq = comp.frontier(cut, q);
+        comp.min_cut(fq).count(p) < cp
+    })
+}
+
+/// The canonical removal process of a non-bottom cut: the maximal frontier
+/// event with the largest process index.
+fn canonical_removal(comp: &Computation, cut: &Cut) -> Option<ProcessId> {
+    (0..comp.num_processes())
+        .rev()
+        .map(ProcessId::new)
+        .find(|&p| frontier_is_maximal(comp, cut, p))
+}
+
+/// Detects `possibly: pred` over the computation's cut lattice using
+/// reverse search: polynomial space, no stored cut set.
+///
+/// Explores every consistent cut exactly once. Compared with
+/// [`detect_bfs`](crate::detect_bfs) it trades the visited set (and the
+/// early-exit ordering of BFS) for `O(n·|E|)` worst-case memory.
+pub fn detect_reverse_search<P: Predicate + ?Sized>(
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+) -> Detection {
+    let start = Instant::now();
+    let mut tracker = Tracker::default();
+    let n = comp.num_processes();
+    let frame_bytes = (std::mem::size_of::<Cut>() + 4 * n + 8) as u64;
+
+    // Explicit DFS over the canonical spanning tree: frames hold the cut
+    // and the next process index to try extending with.
+    let mut stack: Vec<(Cut, usize)> = vec![(Cut::bottom(n), 0)];
+    tracker.store_cut(frame_bytes);
+
+    // Visit the bottom cut.
+    tracker.cuts_explored += 1;
+    if pred.eval(&GlobalState::new(comp, &Cut::bottom(n))) {
+        return tracker.finish(Some(Cut::bottom(n)), start.elapsed(), None);
+    }
+
+    while let Some((cut, next_p)) = stack.last_mut() {
+        let mut advanced = None;
+        for i in *next_p..n {
+            let p = ProcessId::new(i);
+            if !comp.can_advance(cut, p) {
+                continue;
+            }
+            let mut child = cut.clone();
+            child.set_count(p, cut.count(p) + 1);
+            // Child belongs to this parent iff removing the canonical
+            // maximal event undoes exactly this advance.
+            if canonical_removal(comp, &child) == Some(p) {
+                *next_p = i + 1;
+                advanced = Some(child);
+                break;
+            }
+        }
+        match advanced {
+            Some(child) => {
+                tracker.cuts_explored += 1;
+                if pred.eval(&GlobalState::new(comp, &child)) {
+                    return tracker.finish(Some(child), start.elapsed(), None);
+                }
+                if let Some(reason) = tracker.over_limit(limits) {
+                    return tracker.finish(None, start.elapsed(), Some(reason));
+                }
+                stack.push((child, 0));
+                tracker.store_cut(frame_bytes);
+            }
+            None => {
+                stack.pop();
+                tracker.drop_cut(frame_bytes);
+            }
+        }
+    }
+    tracker.finish(None, start.elapsed(), None)
+}
+
+/// Detects `possibly: pred` over a **slice's** cut lattice in polynomial
+/// space — the paper's remark that "Alagar and Venkatesan's polynomial
+/// space algorithm … can also be used for searching the state-space of a
+/// slice", combining both reductions.
+///
+/// States are slice cuts; the spanning tree adds one *meta-event* at a
+/// time (meta-events are atomic in slice cuts), with the canonical parent
+/// removing the maximal meta-event whose first member event has the
+/// largest id.
+pub fn detect_reverse_search_slice<P: Predicate + ?Sized>(
+    slice: &slicing_core::Slice<'_>,
+    pred: &P,
+    limits: &Limits,
+) -> Detection {
+    let start = Instant::now();
+    let mut tracker = Tracker::default();
+    let comp = slice.computation();
+    let n = comp.num_processes();
+    let frame_bytes = (std::mem::size_of::<Cut>() + 4 * n + 8) as u64;
+
+    let Some(bottom) = slice.bottom_cut().cloned() else {
+        return tracker.finish(None, start.elapsed(), None);
+    };
+
+    // Meta-events in topological order; per meta: members, per-process
+    // span, and its least slice cut (down closure).
+    let metas = slice.meta_events();
+    struct Meta {
+        size: u32,
+        /// Per process: (min position, max position) of member events, if
+        /// any.
+        span: Vec<Option<(u32, u32)>>,
+        /// Least slice cut containing the meta.
+        closure: Cut,
+        key: slicing_computation::EventId,
+    }
+    let metas: Vec<Meta> = metas
+        .iter()
+        .map(|members| {
+            let mut span: Vec<Option<(u32, u32)>> = vec![None; n];
+            for &e in members {
+                let p = comp.process_of(e).as_usize();
+                let pos = comp.position_of(e);
+                span[p] = Some(match span[p] {
+                    None => (pos, pos),
+                    Some((lo, hi)) => (lo.min(pos), hi.max(pos)),
+                });
+            }
+            Meta {
+                size: members.len() as u32,
+                span,
+                closure: slice
+                    .least_cut(members[0])
+                    .expect("meta members appear in cuts")
+                    .clone(),
+                key: members[0],
+            }
+        })
+        // Metas inside the bottom cut are in every slice cut: neither
+        // addable nor removable.
+        .filter(|m| !m.closure.leq(&bottom))
+        .collect();
+
+    // A meta is addable to cut C iff joining its closure adds exactly its
+    // own events.
+    let addable = |cut: &Cut, m: &Meta| -> Option<Cut> {
+        // Quick reject: already included?
+        if m.closure.leq(cut) {
+            return None;
+        }
+        let joined = cut.join(&m.closure);
+        if joined.size() == cut.size() + u64::from(m.size) {
+            Some(joined)
+        } else {
+            None
+        }
+    };
+
+    // A meta is maximal in cut C iff its events sit at the top of their
+    // processes in C and no frontier event of C outside the meta requires
+    // it.
+    let is_maximal = |cut: &Cut, m: &Meta| -> bool {
+        if !m.closure.leq(cut) {
+            return false;
+        }
+        for p in comp.processes() {
+            if let Some((_, hi)) = m.span[p.as_usize()] {
+                if cut.count(p) != hi + 1 {
+                    return false;
+                }
+            }
+        }
+        // No other frontier reaches into the meta.
+        for q in comp.processes() {
+            let f = comp.frontier(cut, q);
+            let fp = comp.process_of(f).as_usize();
+            if m.span[fp].is_some_and(|(lo, _)| comp.position_of(f) >= lo) {
+                continue; // f is inside the meta itself
+            }
+            let jf = slice.least_cut(f).expect("frontier events appear in cuts");
+            for p in comp.processes() {
+                if let Some((lo, _)) = m.span[p.as_usize()] {
+                    if jf.count(p) > lo {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    };
+
+    let canonical_removal = |cut: &Cut| -> Option<usize> {
+        metas
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| is_maximal(cut, m))
+            .max_by_key(|(_, m)| m.key)
+            .map(|(i, _)| i)
+    };
+
+    let mut stack: Vec<(Cut, usize)> = vec![(bottom.clone(), 0)];
+    tracker.store_cut(frame_bytes);
+    tracker.cuts_explored += 1;
+    if pred.eval(&GlobalState::new(comp, &bottom)) {
+        return tracker.finish(Some(bottom), start.elapsed(), None);
+    }
+
+    while let Some((cut, next_i)) = stack.last_mut() {
+        let mut advanced = None;
+        #[allow(clippy::needless_range_loop)] // the index is the tree-edge identity
+        for i in *next_i..metas.len() {
+            let Some(child) = addable(cut, &metas[i]) else {
+                continue;
+            };
+            if canonical_removal(&child) == Some(i) {
+                *next_i = i + 1;
+                advanced = Some(child);
+                break;
+            }
+        }
+        match advanced {
+            Some(child) => {
+                tracker.cuts_explored += 1;
+                if pred.eval(&GlobalState::new(comp, &child)) {
+                    return tracker.finish(Some(child), start.elapsed(), None);
+                }
+                if let Some(reason) = tracker.over_limit(limits) {
+                    return tracker.finish(None, start.elapsed(), Some(reason));
+                }
+                stack.push((child, 0));
+                tracker.store_cut(frame_bytes);
+            }
+            None => {
+                stack.pop();
+                tracker.drop_cut(frame_bytes);
+            }
+        }
+    }
+    tracker.finish(None, start.elapsed(), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::count_cuts;
+    use slicing_computation::oracle::satisfying_cuts;
+    use slicing_computation::test_fixtures::{figure1, grid, random_computation, RandomConfig};
+    use slicing_computation::ProcSet;
+    use slicing_predicates::{expr::parse_predicate, FnPredicate};
+
+    #[test]
+    fn enumerates_every_cut_exactly_once() {
+        for (a, b) in [(2, 3), (4, 4), (1, 5)] {
+            let comp = grid(a, b);
+            let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+            let d = detect_reverse_search(&comp, &never, &Limits::none());
+            assert_eq!(d.cuts_explored, count_cuts(&comp, None).value(), "{a}x{b}");
+        }
+        let comp = figure1();
+        let never = FnPredicate::new(ProcSet::all(3), "false", |_| false);
+        let d = detect_reverse_search(&comp, &never, &Limits::none());
+        assert_eq!(d.cuts_explored, 28);
+    }
+
+    #[test]
+    fn exact_count_on_random_computations() {
+        let cfg = RandomConfig {
+            processes: 4,
+            events_per_process: 3,
+            send_percent: 50,
+            recv_percent: 50,
+            ..RandomConfig::default()
+        };
+        for seed in 0..20 {
+            let comp = random_computation(seed, &cfg);
+            let never = FnPredicate::new(ProcSet::all(4), "false", |_| false);
+            let d = detect_reverse_search(&comp, &never, &Limits::none());
+            assert_eq!(
+                d.cuts_explored,
+                count_cuts(&comp, None).value(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_detection() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 4,
+            value_range: 3,
+            ..RandomConfig::default()
+        };
+        for seed in 0..25 {
+            let comp = random_computation(seed, &cfg);
+            let x0 = comp.var(comp.process(0), "x").unwrap();
+            let x2 = comp.var(comp.process(2), "x").unwrap();
+            let t = (seed % 4) as i64;
+            let pred = FnPredicate::new(ProcSet::all(3), "x0 * x2 == t", move |st| {
+                st.get(x0).expect_int() * st.get(x2).expect_int() == t
+            });
+            let d = detect_reverse_search(&comp, &pred, &Limits::none());
+            let oracle = !satisfying_cuts(&comp, |st| pred.eval(st)).is_empty();
+            assert_eq!(d.detected(), oracle, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn memory_stays_polynomial() {
+        // A 10×10 grid has 121 cuts but depth ≤ 21: far fewer stored
+        // frames than BFS would store cuts.
+        let comp = grid(10, 10);
+        let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        let d = detect_reverse_search(&comp, &never, &Limits::none());
+        assert_eq!(d.cuts_explored, 121);
+        assert!(d.max_stored_cuts <= 22, "stored {}", d.max_stored_cuts);
+        let bfs = crate::detect_bfs(&comp, &comp, &never, &Limits::none());
+        assert!(d.peak_bytes < bfs.peak_bytes);
+    }
+
+    #[test]
+    fn finds_witnesses() {
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+        let d = detect_reverse_search(&comp, &pred, &Limits::none());
+        assert!(d.detected());
+    }
+
+    #[test]
+    fn respects_cut_limit() {
+        let comp = grid(8, 8);
+        let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        let d = detect_reverse_search(&comp, &never, &Limits::cuts(10));
+        assert!(!d.completed());
+    }
+
+    #[test]
+    fn slice_reverse_search_enumerates_exactly_the_slice_cuts() {
+        use slicing_core::{slice_conjunctive, Slice};
+        use slicing_predicates::{Conjunctive, LocalPredicate};
+
+        // Across random computations and predicates, the polynomial-space
+        // traversal of the slice visits exactly count_cuts(slice) cuts.
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 4,
+            send_percent: 40,
+            recv_percent: 40,
+            value_range: 3,
+        };
+        for seed in 0..30 {
+            let comp = random_computation(seed, &cfg);
+            let clauses: Vec<LocalPredicate> = comp
+                .processes()
+                .map(|p| {
+                    let x = comp.var(p, "x").unwrap();
+                    let t = (seed % 3) as i64;
+                    LocalPredicate::int(x, format!("x != {t}"), move |v| v != t)
+                })
+                .collect();
+            let pred = Conjunctive::new(clauses);
+            let slice = slice_conjunctive(&comp, &pred);
+            let never = FnPredicate::new(ProcSet::all(3), "false", |_| false);
+            let d = detect_reverse_search_slice(&slice, &never, &Limits::none());
+            assert_eq!(
+                d.cuts_explored,
+                slice.count_cuts(None).value(),
+                "seed {seed}"
+            );
+            // The full slice degenerates to plain reverse search.
+            let full = Slice::full(&comp);
+            let d = detect_reverse_search_slice(&full, &never, &Limits::none());
+            assert_eq!(
+                d.cuts_explored,
+                count_cuts(&comp, None).value(),
+                "seed {seed} full"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_reverse_search_detects_like_bfs() {
+        use slicing_core::slice_klocal;
+        use slicing_predicates::KLocalPredicate;
+
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 3,
+            send_percent: 40,
+            recv_percent: 40,
+            value_range: 3,
+        };
+        for seed in 0..25 {
+            let comp = random_computation(seed, &cfg);
+            let x0 = comp.var(comp.process(0), "x").unwrap();
+            let x1 = comp.var(comp.process(1), "x").unwrap();
+            let kl = KLocalPredicate::new(vec![x0, x1], "x0 != x1", |v| v[0] != v[1]);
+            let slice = slice_klocal(&comp, &kl);
+            let rev = detect_reverse_search_slice(&slice, &kl, &Limits::none());
+            let bfs = crate::detect_bfs(&slice, &comp, &kl, &Limits::none());
+            assert_eq!(rev.detected(), bfs.detected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn slice_reverse_search_on_empty_slice() {
+        let comp = grid(2, 2);
+        let slice = slicing_core::Slice::empty(&comp);
+        let always = FnPredicate::new(ProcSet::all(2), "true", |_| true);
+        let d = detect_reverse_search_slice(&slice, &always, &Limits::none());
+        assert!(!d.detected());
+        assert_eq!(d.cuts_explored, 0);
+    }
+
+    #[test]
+    fn slice_reverse_search_memory_stays_small() {
+        use slicing_core::Slice;
+        let comp = grid(8, 8);
+        let slice = Slice::full(&comp);
+        let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        let rev = detect_reverse_search_slice(&slice, &never, &Limits::none());
+        let bfs = crate::detect_bfs(&slice, &comp, &never, &Limits::none());
+        assert_eq!(rev.cuts_explored, bfs.cuts_explored);
+        assert!(rev.peak_bytes < bfs.peak_bytes);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the partial-order-methods engine: its verdict must
+//! match full enumeration on arbitrary computations and predicate shapes —
+//! selective search may prune interleavings but never detections.
+
+use proptest::prelude::*;
+
+use slicing_computation::test_fixtures::{random_computation, RandomConfig};
+use slicing_computation::{Computation, GlobalState, ProcSet};
+use slicing_detect::{detect_bfs, detect_pom, detect_reverse_search, Limits};
+use slicing_predicates::{FnPredicate, Predicate};
+
+fn computations() -> impl Strategy<Value = Computation> {
+    (any::<u64>(), 2usize..=5, 1u32..=4, 0u64..=80).prop_map(|(seed, n, m, msg)| {
+        let cfg = RandomConfig {
+            processes: n,
+            events_per_process: m,
+            send_percent: msg,
+            recv_percent: msg,
+            value_range: 3,
+        };
+        random_computation(seed, &cfg)
+    })
+}
+
+/// Predicate shapes with varying support width and rarity.
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    SumEquals(i64),
+    PairProduct(i64),
+    AllAtLeast(i64),
+    TransitNonEmpty,
+}
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (0i64..8).prop_map(Shape::SumEquals),
+        (0i64..5).prop_map(Shape::PairProduct),
+        (0i64..3).prop_map(Shape::AllAtLeast),
+        Just(Shape::TransitNonEmpty),
+    ]
+}
+
+fn build(shape: Shape, comp: &Computation) -> FnPredicate {
+    let n = comp.num_processes();
+    let vars: Vec<_> = comp
+        .processes()
+        .map(|p| comp.var(p, "x").unwrap())
+        .collect();
+    match shape {
+        Shape::SumEquals(t) => FnPredicate::new(ProcSet::all(n), "sum == t", move |st| {
+            vars.iter().map(|&v| st.get(v).expect_int()).sum::<i64>() == t
+        }),
+        Shape::PairProduct(t) => {
+            let a = vars[0];
+            let b = vars[n - 1];
+            let mut support = ProcSet::singleton(a.process());
+            support.insert(b.process());
+            FnPredicate::new(support, "x0 * xl == t", move |st| {
+                st.get(a).expect_int() * st.get(b).expect_int() == t
+            })
+        }
+        Shape::AllAtLeast(t) => FnPredicate::new(ProcSet::all(n), "all >= t", move |st| {
+            vars.iter().all(|&v| st.get(v).expect_int() >= t)
+        }),
+        Shape::TransitNonEmpty => FnPredicate::new(ProcSet::all(n), "transit > 0", move |st| {
+            let comp = st.computation();
+            comp.processes()
+                .any(|p| comp.processes().any(|q| p != q && st.in_transit(p, q) > 0))
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pom_matches_bfs_verdict(comp in computations(), shape in shapes()) {
+        let pred = build(shape, &comp);
+        let limits = Limits::none();
+        let bfs = detect_bfs(&comp, &comp, &pred, &limits);
+        let pom = detect_pom(&comp, &pred, &limits);
+        prop_assert_eq!(pom.detected(), bfs.detected(), "{:?}", shape);
+        // Witnesses, when produced, genuinely satisfy the predicate.
+        if let Some(cut) = &pom.found {
+            prop_assert!(pred.eval(&GlobalState::new(&comp, cut)));
+        }
+        // Selectivity: never more cuts than the full lattice sweep.
+        if !bfs.detected() {
+            prop_assert!(pom.cuts_explored <= bfs.cuts_explored);
+        }
+    }
+
+    #[test]
+    fn reverse_search_matches_bfs_verdict(comp in computations(), shape in shapes()) {
+        let pred = build(shape, &comp);
+        let limits = Limits::none();
+        let bfs = detect_bfs(&comp, &comp, &pred, &limits);
+        let rev = detect_reverse_search(&comp, &pred, &limits);
+        prop_assert_eq!(rev.detected(), bfs.detected(), "{:?}", shape);
+        if !bfs.detected() {
+            // Both exhaust the lattice; reverse search must count the same
+            // number of cuts despite storing none of them.
+            prop_assert_eq!(rev.cuts_explored, bfs.cuts_explored);
+        }
+    }
+}

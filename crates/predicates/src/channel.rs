@@ -1,0 +1,326 @@
+//! Channel predicates: conditions on messages in transit.
+
+use slicing_computation::{GlobalState, ProcSet, ProcessId};
+
+use crate::predicate::{LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate};
+
+/// "At most `k` messages are in transit from `from` to `to`" — one of the
+/// paper's examples of a regular predicate (Section 3.3).
+///
+/// When violated, only a receive at `to` can shrink the channel, so `to` is
+/// the forbidden process; dually, `from` must retreat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtMostInTransit {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Receiving process.
+    pub to: ProcessId,
+    /// Bound on the channel occupancy.
+    pub k: u32,
+}
+
+impl AtMostInTransit {
+    /// Creates the predicate `|channel(from → to)| ≤ k`.
+    pub fn new(from: ProcessId, to: ProcessId, k: u32) -> Self {
+        AtMostInTransit { from, to, k }
+    }
+}
+
+impl Predicate for AtMostInTransit {
+    fn support(&self) -> ProcSet {
+        let mut s = ProcSet::singleton(self.from);
+        s.insert(self.to);
+        s
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        state.in_transit(self.from, self.to) <= self.k
+    }
+}
+
+impl LinearPredicate for AtMostInTransit {
+    fn forbidden_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        debug_assert!(!self.eval(state));
+        // Too many messages in flight: only advancing the receiver helps.
+        self.to
+    }
+}
+
+impl PostLinearPredicate for AtMostInTransit {
+    fn retreat_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        debug_assert!(!self.eval(state));
+        // Shrinking the cut can only reduce the channel by unsending.
+        self.from
+    }
+}
+
+impl RegularPredicate for AtMostInTransit {}
+
+/// "At least `k` messages are in transit from `from` to `to`" — the dual
+/// regular channel predicate from Section 3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtLeastInTransit {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Receiving process.
+    pub to: ProcessId,
+    /// Lower bound on the channel occupancy.
+    pub k: u32,
+}
+
+impl AtLeastInTransit {
+    /// Creates the predicate `|channel(from → to)| ≥ k`.
+    pub fn new(from: ProcessId, to: ProcessId, k: u32) -> Self {
+        AtLeastInTransit { from, to, k }
+    }
+}
+
+impl Predicate for AtLeastInTransit {
+    fn support(&self) -> ProcSet {
+        let mut s = ProcSet::singleton(self.from);
+        s.insert(self.to);
+        s
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        state.in_transit(self.from, self.to) >= self.k
+    }
+}
+
+impl LinearPredicate for AtLeastInTransit {
+    fn forbidden_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        debug_assert!(!self.eval(state));
+        // Too few messages in flight: only more sends help.
+        self.from
+    }
+}
+
+impl PostLinearPredicate for AtLeastInTransit {
+    fn retreat_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        debug_assert!(!self.eval(state));
+        self.to
+    }
+}
+
+impl RegularPredicate for AtLeastInTransit {}
+
+/// "At most `k` messages destined for process `to` have not been received
+/// yet" — the paper's Section 4.3 example of a predicate that is *linear
+/// but not regular* in general.
+///
+/// The total backlog sums over all senders, so a union of two satisfying
+/// cuts can combine sends from different senders and overflow the bound;
+/// intersection cannot, hence linear only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingAtMost {
+    /// Receiving process.
+    pub to: ProcessId,
+    /// Bound on the total backlog.
+    pub k: u32,
+    /// Number of processes in the computation (needed for the support set).
+    pub num_processes: usize,
+}
+
+impl PendingAtMost {
+    /// Creates the predicate `Σ_q |channel(q → to)| ≤ k` over a computation
+    /// with `num_processes` processes.
+    pub fn new(to: ProcessId, k: u32, num_processes: usize) -> Self {
+        PendingAtMost {
+            to,
+            k,
+            num_processes,
+        }
+    }
+}
+
+impl Predicate for PendingAtMost {
+    fn support(&self) -> ProcSet {
+        ProcSet::all(self.num_processes)
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        state.pending_for(self.to) <= self.k
+    }
+}
+
+impl LinearPredicate for PendingAtMost {
+    fn forbidden_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        debug_assert!(!self.eval(state));
+        // The backlog only shrinks when `to` receives.
+        self.to
+    }
+}
+
+/// "At most `k` messages sent by process `from` have not been received
+/// yet" (summed over all destinations) — the order dual of
+/// [`PendingAtMost`]: *post-linear* but not linear.
+///
+/// Shrinking a cut can only reduce the outstanding count by removing sends
+/// of `from`, so `from` is the retreat process. Growing a cut offers a
+/// choice of receivers, so no single forbidden process exists and the
+/// predicate is not linear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentPendingAtMost {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Bound on the total outstanding sends.
+    pub k: u32,
+    /// Number of processes in the computation (needed for the support set).
+    pub num_processes: usize,
+}
+
+impl SentPendingAtMost {
+    /// Creates the predicate `Σ_q |channel(from → q)| ≤ k` over a
+    /// computation with `num_processes` processes.
+    pub fn new(from: ProcessId, k: u32, num_processes: usize) -> Self {
+        SentPendingAtMost {
+            from,
+            k,
+            num_processes,
+        }
+    }
+}
+
+impl Predicate for SentPendingAtMost {
+    fn support(&self) -> ProcSet {
+        ProcSet::all(self.num_processes)
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        let total: u32 = (0..self.num_processes)
+            .map(ProcessId::new)
+            .filter(|&q| q != self.from)
+            .map(|q| state.in_transit(self.from, q))
+            .sum();
+        total <= self.k
+    }
+}
+
+impl PostLinearPredicate for SentPendingAtMost {
+    fn retreat_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        debug_assert!(!self.eval(state));
+        self.from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_computation::oracle::{satisfying_cuts, sublattice_closure};
+    use slicing_computation::{Computation, ComputationBuilder, Cut};
+
+    /// p0 sends two messages to p1, received in order; p2 sends one to p1.
+    fn chan_comp() -> Computation {
+        let mut b = ComputationBuilder::new(3);
+        let s1 = b.append_event(b.process(0));
+        let s2 = b.append_event(b.process(0));
+        let r1 = b.append_event(b.process(1));
+        let r2 = b.append_event(b.process(1));
+        let s3 = b.append_event(b.process(2));
+        let r3 = b.append_event(b.process(1));
+        b.message(s1, r1).unwrap();
+        b.message(s2, r2).unwrap();
+        b.message(s3, r3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn at_most_counts_channel() {
+        let c = chan_comp();
+        let p = AtMostInTransit::new(c.process(0), c.process(1), 1);
+        // Both sends done, nothing received: 2 in transit.
+        let cut = Cut::from(vec![3, 1, 1]);
+        let st = GlobalState::new(&c, &cut);
+        assert!(!p.eval(&st));
+        assert_eq!(p.forbidden_process(&st), c.process(1));
+        assert_eq!(p.retreat_process(&st), c.process(0));
+        // One received: ok.
+        let cut = Cut::from(vec![3, 2, 1]);
+        assert!(p.eval(&GlobalState::new(&c, &cut)));
+    }
+
+    #[test]
+    fn at_least_counts_channel() {
+        let c = chan_comp();
+        let p = AtLeastInTransit::new(c.process(0), c.process(1), 1);
+        let bottom = Cut::bottom(3);
+        let st = GlobalState::new(&c, &bottom);
+        assert!(!p.eval(&st));
+        assert_eq!(p.forbidden_process(&st), c.process(0));
+        assert_eq!(p.retreat_process(&st), c.process(1));
+        let cut = Cut::from(vec![2, 1, 1]);
+        assert!(p.eval(&GlobalState::new(&c, &cut)));
+    }
+
+    #[test]
+    fn channel_predicates_are_regular_by_oracle() {
+        let c = chan_comp();
+        for k in 0..2 {
+            let p = AtMostInTransit::new(c.process(0), c.process(1), k);
+            let sat = satisfying_cuts(&c, |st| p.eval(st));
+            assert_eq!(sublattice_closure(&sat).len(), sat.len(), "AtMost k={k}");
+            let q = AtLeastInTransit::new(c.process(0), c.process(1), k + 1);
+            let sat = satisfying_cuts(&c, |st| q.eval(st));
+            assert_eq!(sublattice_closure(&sat).len(), sat.len(), "AtLeast k={k}");
+        }
+    }
+
+    #[test]
+    fn pending_sums_across_senders() {
+        let c = chan_comp();
+        let p = PendingAtMost::new(c.process(1), 1, 3);
+        // p0's two sends and p2's one send outstanding: backlog 3.
+        let cut = Cut::from(vec![3, 1, 2]);
+        let st = GlobalState::new(&c, &cut);
+        assert!(!p.eval(&st));
+        assert_eq!(p.forbidden_process(&st), c.process(1));
+        assert!(p.eval(&GlobalState::new(&c, &c.top_cut())));
+        assert_eq!(p.support().len(), 3);
+    }
+
+    #[test]
+    fn pending_is_linear_by_enumeration() {
+        // Satisfying cuts are closed under intersection (linear), even when
+        // not closed under union.
+        let c = chan_comp();
+        let p = PendingAtMost::new(c.process(1), 1, 3);
+        let sat: Vec<Cut> = all_cuts(&c)
+            .into_iter()
+            .filter(|cut| p.eval(&GlobalState::new(&c, cut)))
+            .collect();
+        for a in &sat {
+            for b in &sat {
+                let m = a.meet(b);
+                assert!(
+                    sat.contains(&m),
+                    "meet of satisfying cuts must satisfy a linear predicate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forbidden_process_is_sound_for_pending() {
+        let c = chan_comp();
+        let p = PendingAtMost::new(c.process(1), 0, 3);
+        let all = all_cuts(&c);
+        let sat: Vec<Cut> = all
+            .iter()
+            .filter(|cut| p.eval(&GlobalState::new(&c, cut)))
+            .cloned()
+            .collect();
+        for cut in &all {
+            let st = GlobalState::new(&c, cut);
+            if p.eval(&st) {
+                continue;
+            }
+            let fp = p.forbidden_process(&st);
+            for d in &sat {
+                if cut.leq(d) {
+                    assert!(d.count(fp) > cut.count(fp));
+                }
+            }
+        }
+    }
+}

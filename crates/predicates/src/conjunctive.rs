@@ -1,0 +1,228 @@
+//! Conjunctive predicates: conjunctions of local predicates.
+
+use std::fmt;
+
+use slicing_computation::{GlobalState, ProcSet, ProcessId};
+
+use crate::local::LocalPredicate;
+use crate::predicate::{LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate};
+
+/// A conjunction of [`LocalPredicate`]s — the paper's *conjunctive
+/// predicate* (`l₁ ∧ l₂ ∧ … ∧ lₘ` with each `lᵢ` local), e.g. "all
+/// processes are in *red* state" or "no process has the token".
+///
+/// Conjunctive predicates are regular, and their slices can be computed in
+/// optimal `O(|E|)` time (`slicing-core::conjunctive`). A process may host
+/// several conjuncts.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::{ComputationBuilder, Cut, GlobalState, Value};
+/// use slicing_predicates::{Conjunctive, LocalPredicate, Predicate};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// let x = b.declare_var(b.process(0), "x", Value::Int(0));
+/// let y = b.declare_var(b.process(1), "y", Value::Int(9));
+/// let comp = b.build()?;
+///
+/// let pred = Conjunctive::new(vec![
+///     LocalPredicate::int(x, "x == 0", |x| x == 0),
+///     LocalPredicate::int(y, "y > 5", |y| y > 5),
+/// ]);
+/// let bottom = Cut::bottom(2);
+/// assert!(pred.eval(&GlobalState::new(&comp, &bottom)));
+/// # Ok::<(), slicing_computation::BuildError>(())
+/// ```
+#[derive(Clone)]
+pub struct Conjunctive {
+    clauses: Vec<LocalPredicate>,
+}
+
+impl Conjunctive {
+    /// Creates a conjunctive predicate from its local conjuncts.
+    ///
+    /// An empty conjunction is the constant `true`.
+    pub fn new(clauses: Vec<LocalPredicate>) -> Self {
+        Conjunctive { clauses }
+    }
+
+    /// The local conjuncts.
+    pub fn clauses(&self) -> &[LocalPredicate] {
+        &self.clauses
+    }
+
+    /// Returns the conjuncts hosted by process `p`.
+    pub fn clauses_on(&self, p: ProcessId) -> impl Iterator<Item = &LocalPredicate> {
+        self.clauses.iter().filter(move |c| c.process() == p)
+    }
+
+    /// Evaluates all conjuncts of process `p` at event position `pos`:
+    /// whether a cut whose frontier on `p` is `pos` can satisfy the
+    /// conjunction as far as `p` is concerned.
+    pub fn holds_at(
+        &self,
+        comp: &slicing_computation::Computation,
+        p: ProcessId,
+        pos: u32,
+    ) -> bool {
+        self.clauses_on(p).all(|c| c.holds_at(comp, pos))
+    }
+}
+
+impl fmt::Debug for Conjunctive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Conjunctive(")?;
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Predicate for Conjunctive {
+    fn support(&self) -> ProcSet {
+        self.clauses.iter().map(LocalPredicate::process).collect()
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        self.clauses.iter().all(|c| c.eval(state))
+    }
+}
+
+impl LinearPredicate for Conjunctive {
+    fn forbidden_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        // Any process whose conjunct is false at the frontier is forbidden:
+        // as long as its frontier event stays, that conjunct stays false.
+        self.clauses
+            .iter()
+            .find(|c| !c.eval(state))
+            .expect("forbidden_process is only called on falsifying states")
+            .process()
+    }
+}
+
+impl PostLinearPredicate for Conjunctive {
+    fn retreat_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        self.clauses
+            .iter()
+            .find(|c| !c.eval(state))
+            .expect("retreat_process is only called on falsifying states")
+            .process()
+    }
+}
+
+impl RegularPredicate for Conjunctive {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::oracle::{satisfying_cuts, sublattice_closure};
+    use slicing_computation::test_fixtures::figure1;
+    use slicing_computation::Cut;
+
+    fn figure1_pred() -> (slicing_computation::Computation, Conjunctive) {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        let pred = Conjunctive::new(vec![
+            LocalPredicate::int(x1, "x1 > 1", |x| x > 1),
+            LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3),
+        ]);
+        (comp, pred)
+    }
+
+    #[test]
+    fn figure1_satisfying_cuts() {
+        let (comp, pred) = figure1_pred();
+        let sat = satisfying_cuts(&comp, |st| pred.eval(st));
+        assert_eq!(sat.len(), 6);
+    }
+
+    #[test]
+    fn conjunctive_is_regular_by_oracle() {
+        let (comp, pred) = figure1_pred();
+        let sat = satisfying_cuts(&comp, |st| pred.eval(st));
+        assert_eq!(sublattice_closure(&sat).len(), sat.len());
+    }
+
+    #[test]
+    fn empty_conjunction_is_true() {
+        let (comp, _) = figure1_pred();
+        let pred = Conjunctive::new(vec![]);
+        let bottom = Cut::bottom(3);
+        assert!(pred.eval(&GlobalState::new(&comp, &bottom)));
+        assert!(pred.support().is_empty());
+    }
+
+    #[test]
+    fn forbidden_process_points_at_a_false_clause() {
+        let (comp, pred) = figure1_pred();
+        // Bottom: x1 = 2 (> 1 ✓) but x3 = 4 (≤ 3 ✗) → p2 (index 2) is
+        // forbidden.
+        let bottom = Cut::bottom(3);
+        let st = GlobalState::new(&comp, &bottom);
+        assert!(!pred.eval(&st));
+        assert_eq!(pred.forbidden_process(&st), comp.process(2));
+        assert_eq!(pred.retreat_process(&st), comp.process(2));
+    }
+
+    #[test]
+    fn forbidden_process_is_sound_by_enumeration() {
+        // For every falsifying cut C, no satisfying cut D ⊇ C keeps the
+        // frontier of the forbidden process — the defining property of
+        // linearity.
+        let (comp, pred) = figure1_pred();
+        let all = slicing_computation::lattice::all_cuts(&comp);
+        let sat: Vec<Cut> = all
+            .iter()
+            .filter(|c| pred.eval(&GlobalState::new(&comp, c)))
+            .cloned()
+            .collect();
+        for c in &all {
+            let st = GlobalState::new(&comp, c);
+            if pred.eval(&st) {
+                continue;
+            }
+            let p = pred.forbidden_process(&st);
+            for d in &sat {
+                if c.leq(d) {
+                    assert!(
+                        d.count(p) > c.count(p),
+                        "forbidden process {p} did not advance from {c} to {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clauses_on_filters_by_process() {
+        let (comp, pred) = figure1_pred();
+        assert_eq!(pred.clauses_on(comp.process(0)).count(), 1);
+        assert_eq!(pred.clauses_on(comp.process(1)).count(), 0);
+        assert_eq!(pred.clauses().len(), 2);
+        assert_eq!(pred.support().len(), 2);
+    }
+
+    #[test]
+    fn holds_at_checks_per_process_positions() {
+        let (comp, pred) = figure1_pred();
+        // p0 (x1: 2, 3, -1, 0): positions 0 and 1 hold.
+        assert!(pred.holds_at(&comp, comp.process(0), 0));
+        assert!(!pred.holds_at(&comp, comp.process(0), 2));
+        // p1 hosts no clause: always holds.
+        assert!(pred.holds_at(&comp, comp.process(1), 3));
+    }
+
+    #[test]
+    fn debug_format_joins_clauses() {
+        let (_, pred) = figure1_pred();
+        let s = format!("{pred:?}");
+        assert!(s.contains("∧"));
+        assert!(s.contains("x1 > 1"));
+    }
+}

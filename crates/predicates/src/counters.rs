@@ -1,0 +1,210 @@
+//! Predicates over monotonically non-decreasing counters, including the
+//! paper's running example of a *decomposable regular predicate*:
+//! "counters of all processes are approximately synchronized".
+
+use slicing_computation::{GlobalState, ProcSet, ProcessId, VarRef};
+
+use crate::predicate::{LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate};
+
+/// `|counter_i − counter_j| ≤ delta` for two monotonically non-decreasing
+/// integer counters — a 2-local regular predicate (Section 4.1's clause).
+///
+/// # Monotonicity contract
+///
+/// Regularity (and the forbidden-process logic) relies on both counters
+/// being non-decreasing along their processes. Violating that contract
+/// silently degrades slices from exact to approximate; it never causes
+/// unsoundness (slices still contain all satisfying cuts).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedDifference {
+    a: VarRef,
+    b: VarRef,
+    delta: i64,
+}
+
+impl BoundedDifference {
+    /// Creates the predicate `|a − b| ≤ delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative or the variables live on the same
+    /// process.
+    pub fn new(a: VarRef, b: VarRef, delta: i64) -> Self {
+        assert!(delta >= 0, "delta must be non-negative");
+        assert_ne!(
+            a.process(),
+            b.process(),
+            "BoundedDifference compares counters of two distinct processes"
+        );
+        BoundedDifference { a, b, delta }
+    }
+
+    /// First counter.
+    pub fn a(&self) -> VarRef {
+        self.a
+    }
+
+    /// Second counter.
+    pub fn b(&self) -> VarRef {
+        self.b
+    }
+
+    /// Synchronization tolerance.
+    pub fn delta(&self) -> i64 {
+        self.delta
+    }
+}
+
+impl Predicate for BoundedDifference {
+    fn support(&self) -> ProcSet {
+        let mut s = ProcSet::singleton(self.a.process());
+        s.insert(self.b.process());
+        s
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        let va = state.get(self.a).expect_int();
+        let vb = state.get(self.b).expect_int();
+        (va - vb).abs() <= self.delta
+    }
+}
+
+impl LinearPredicate for BoundedDifference {
+    fn forbidden_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        let va = state.get(self.a).expect_int();
+        let vb = state.get(self.b).expect_int();
+        debug_assert!((va - vb).abs() > self.delta);
+        // The lagging counter must advance: the leader can only grow.
+        if va > vb {
+            self.b.process()
+        } else {
+            self.a.process()
+        }
+    }
+}
+
+impl PostLinearPredicate for BoundedDifference {
+    fn retreat_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        let va = state.get(self.a).expect_int();
+        let vb = state.get(self.b).expect_int();
+        debug_assert!((va - vb).abs() > self.delta);
+        // Dually, the leading counter must retreat.
+        if va > vb {
+            self.a.process()
+        } else {
+            self.b.process()
+        }
+    }
+}
+
+impl RegularPredicate for BoundedDifference {}
+
+/// Builds the paper's Section 4.1 running example as a list of 2-local
+/// regular clauses: for all pairs `i < j`,
+/// `|counter_i − counter_j| ≤ delta`.
+///
+/// The conjunction of the returned clauses is a *decomposable regular
+/// predicate* with clause span `k = 2` and per-process clause count
+/// `s = n − 1`; feed it to `slicing-core`'s decomposable slicer.
+///
+/// # Panics
+///
+/// Panics if `counters` has fewer than two entries or hosts two counters on
+/// one process.
+pub fn approximately_synchronized(counters: &[VarRef], delta: i64) -> Vec<BoundedDifference> {
+    assert!(counters.len() >= 2, "need at least two counters");
+    let mut clauses = Vec::with_capacity(counters.len() * (counters.len() - 1) / 2);
+    for (i, &a) in counters.iter().enumerate() {
+        for &b in &counters[i + 1..] {
+            clauses.push(BoundedDifference::new(a, b, delta));
+        }
+    }
+    clauses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::oracle::{satisfying_cuts, sublattice_closure};
+    use slicing_computation::{Computation, ComputationBuilder, Cut, Value};
+
+    /// Two processes incrementing counters, loosely coupled by a message.
+    fn counter_comp() -> (Computation, VarRef, VarRef) {
+        let mut b = ComputationBuilder::new(2);
+        let ca = b.declare_var(b.process(0), "c", Value::Int(0));
+        let cb = b.declare_var(b.process(1), "c", Value::Int(0));
+        for v in 1..=3 {
+            b.step(b.process(0), &[(ca, Value::Int(v))]);
+        }
+        for v in 1..=3 {
+            b.step(b.process(1), &[(cb, Value::Int(v))]);
+        }
+        (b.build().unwrap(), ca, cb)
+    }
+
+    #[test]
+    fn eval_and_forbidden() {
+        let (c, ca, cb) = counter_comp();
+        let p = BoundedDifference::new(ca, cb, 1);
+        // p0 at 3, p1 at 0: difference 3 > 1, p1 must advance.
+        let cut = Cut::from(vec![4, 1]);
+        let st = GlobalState::new(&c, &cut);
+        assert!(!p.eval(&st));
+        assert_eq!(p.forbidden_process(&st), c.process(1));
+        assert_eq!(p.retreat_process(&st), c.process(0));
+        // Symmetric case.
+        let cut = Cut::from(vec![1, 4]);
+        let st = GlobalState::new(&c, &cut);
+        assert_eq!(p.forbidden_process(&st), c.process(0));
+        assert_eq!(p.retreat_process(&st), c.process(1));
+        // Within tolerance.
+        let cut = Cut::from(vec![3, 2]);
+        assert!(p.eval(&GlobalState::new(&c, &cut)));
+    }
+
+    #[test]
+    fn regular_by_oracle_for_monotone_counters() {
+        let (c, ca, cb) = counter_comp();
+        for delta in 0..3 {
+            let p = BoundedDifference::new(ca, cb, delta);
+            let sat = satisfying_cuts(&c, |st| p.eval(st));
+            assert_eq!(
+                sublattice_closure(&sat).len(),
+                sat.len(),
+                "delta={delta} must be regular"
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_construction() {
+        let mut b = ComputationBuilder::new(3);
+        let counters: Vec<VarRef> = (0..3)
+            .map(|i| b.declare_var(b.process(i), "c", Value::Int(0)))
+            .collect();
+        let clauses = approximately_synchronized(&counters, 4);
+        assert_eq!(clauses.len(), 3); // C(3, 2)
+        for cl in &clauses {
+            assert_eq!(cl.delta(), 4);
+            assert_eq!(cl.support().len(), 2);
+            assert_ne!(cl.a().process(), cl.b().process());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct processes")]
+    fn same_process_rejected() {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        let _ = BoundedDifference::new(x, x, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delta_rejected() {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        let y = b.declare_var(b.process(1), "y", Value::Int(0));
+        let _ = BoundedDifference::new(x, y, -1);
+    }
+}

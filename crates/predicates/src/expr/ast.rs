@@ -1,0 +1,488 @@
+//! Typed abstract syntax for the predicate expression language.
+
+use std::error::Error;
+use std::fmt;
+
+use slicing_computation::{GlobalState, ProcSet, ProcessId, Value, VarRef};
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Integer addition `+`.
+    Add,
+    /// Integer subtraction `-`.
+    Sub,
+    /// Integer multiplication `*`.
+    Mul,
+    /// Integer division `/` (truncating; dividing by zero is a runtime
+    /// [`EvalError`]).
+    Div,
+    /// Integer remainder `%` (same zero-divisor rule as [`BinOp::Div`]).
+    Mod,
+    /// Less-than `<` (integers).
+    Lt,
+    /// Less-or-equal `<=` (integers).
+    Le,
+    /// Greater-than `>` (integers).
+    Gt,
+    /// Greater-or-equal `>=` (integers).
+    Ge,
+    /// Equality `==` (any matching types).
+    Eq,
+    /// Inequality `!=` (any matching types).
+    Ne,
+    /// Boolean conjunction `&&`.
+    And,
+    /// Boolean disjunction `||`.
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression over process variables.
+///
+/// Produced by [`parse_expr`](crate::expr::parse_expr); evaluated against a
+/// [`GlobalState`] or any variable lookup function.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Process-id literal (`p3`).
+    Pid(ProcessId),
+    /// Variable reference, keeping the source name for display.
+    Var(VarRef, String),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Runtime type-mismatch error during expression evaluation.
+///
+/// The parser type-checks against the variables' initial values, so this
+/// only occurs if a variable changes type mid-computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Description of the mismatch.
+    pub message: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression evaluation error: {}", self.message)
+    }
+}
+
+impl Error for EvalError {}
+
+fn type_err(msg: impl Into<String>) -> EvalError {
+    EvalError {
+        message: msg.into(),
+    }
+}
+
+fn int_of(v: Value) -> Result<i64, EvalError> {
+    v.as_int()
+        .ok_or_else(|| type_err(format!("expected an integer, found {v}")))
+}
+
+fn bool_of(v: Value) -> Result<bool, EvalError> {
+    v.as_bool()
+        .ok_or_else(|| type_err(format!("expected a boolean, found {v}")))
+}
+
+impl Expr {
+    /// Evaluates the expression with an arbitrary variable lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] on a type mismatch (e.g. `true + 1`).
+    pub fn eval_with(&self, lookup: &dyn Fn(VarRef) -> Value) -> Result<Value, EvalError> {
+        match self {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Bool(v) => Ok(Value::Bool(*v)),
+            Expr::Pid(p) => Ok(Value::Pid(*p)),
+            Expr::Var(v, _) => Ok(lookup(*v)),
+            Expr::Neg(e) => Ok(Value::Int(-int_of(e.eval_with(lookup)?)?)),
+            Expr::Not(e) => Ok(Value::Bool(!bool_of(e.eval_with(lookup)?)?)),
+            Expr::Bin(op, l, r) => {
+                // Short-circuit boolean operators.
+                match op {
+                    BinOp::And => {
+                        return Ok(Value::Bool(
+                            bool_of(l.eval_with(lookup)?)? && bool_of(r.eval_with(lookup)?)?,
+                        ));
+                    }
+                    BinOp::Or => {
+                        return Ok(Value::Bool(
+                            bool_of(l.eval_with(lookup)?)? || bool_of(r.eval_with(lookup)?)?,
+                        ));
+                    }
+                    _ => {}
+                }
+                let lv = l.eval_with(lookup)?;
+                let rv = r.eval_with(lookup)?;
+                match op {
+                    BinOp::Add => Ok(Value::Int(int_of(lv)? + int_of(rv)?)),
+                    BinOp::Sub => Ok(Value::Int(int_of(lv)? - int_of(rv)?)),
+                    BinOp::Mul => Ok(Value::Int(int_of(lv)? * int_of(rv)?)),
+                    BinOp::Div => {
+                        let d = int_of(rv)?;
+                        if d == 0 {
+                            return Err(type_err("division by zero"));
+                        }
+                        Ok(Value::Int(int_of(lv)? / d))
+                    }
+                    BinOp::Mod => {
+                        let d = int_of(rv)?;
+                        if d == 0 {
+                            return Err(type_err("remainder by zero"));
+                        }
+                        Ok(Value::Int(int_of(lv)? % d))
+                    }
+                    BinOp::Lt => Ok(Value::Bool(int_of(lv)? < int_of(rv)?)),
+                    BinOp::Le => Ok(Value::Bool(int_of(lv)? <= int_of(rv)?)),
+                    BinOp::Gt => Ok(Value::Bool(int_of(lv)? > int_of(rv)?)),
+                    BinOp::Ge => Ok(Value::Bool(int_of(lv)? >= int_of(rv)?)),
+                    BinOp::Eq => Ok(Value::Bool(lv == rv)),
+                    BinOp::Ne => Ok(Value::Bool(lv != rv)),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression at a global state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] on a type mismatch.
+    pub fn eval(&self, state: &GlobalState<'_>) -> Result<Value, EvalError> {
+        self.eval_with(&|v| state.get(v))
+    }
+
+    /// The processes whose variables the expression reads.
+    pub fn support(&self) -> ProcSet {
+        let mut s = ProcSet::empty();
+        self.collect_support(&mut s);
+        s
+    }
+
+    fn collect_support(&self, s: &mut ProcSet) {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Pid(_) => {}
+            Expr::Var(v, _) => s.insert(v.process()),
+            Expr::Neg(e) | Expr::Not(e) => e.collect_support(s),
+            Expr::Bin(_, l, r) => {
+                l.collect_support(s);
+                r.collect_support(s);
+            }
+        }
+    }
+
+    /// All variable references in the expression, deduplicated, in first
+    /// occurrence order.
+    pub fn variables(&self) -> Vec<VarRef> {
+        let mut vars = Vec::new();
+        self.collect_vars(&mut vars);
+        vars
+    }
+
+    fn collect_vars(&self, vars: &mut Vec<VarRef>) {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Pid(_) => {}
+            Expr::Var(v, _) => {
+                if !vars.contains(v) {
+                    vars.push(*v);
+                }
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.collect_vars(vars),
+            Expr::Bin(_, l, r) => {
+                l.collect_vars(vars);
+                r.collect_vars(vars);
+            }
+        }
+    }
+
+    /// Returns the logical negation with `!` pushed down to the literals:
+    /// De Morgan over `&&`/`||`, comparison flipping (`¬(a < b)` becomes
+    /// `a >= b`), and double-negation elimination. The result contains
+    /// [`Expr::Not`] only directly above boolean variables.
+    ///
+    /// Normalizing negations this way lets the slicing compiler treat
+    /// `¬`-free trees uniformly (complements of regular predicates become
+    /// flipped comparisons rather than opaque negations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-boolean expression (arithmetic cannot be
+    /// negated logically).
+    #[must_use]
+    pub fn negated(&self) -> Expr {
+        match self {
+            Expr::Bool(v) => Expr::Bool(!v),
+            Expr::Var(v, name) => Expr::Not(Box::new(Expr::Var(*v, name.clone()))),
+            Expr::Not(e) => (**e).clone(),
+            Expr::Bin(op, l, r) => {
+                let (l, r) = (l.clone(), r.clone());
+                match op {
+                    BinOp::And => {
+                        Expr::Bin(BinOp::Or, Box::new(l.negated()), Box::new(r.negated()))
+                    }
+                    BinOp::Or => {
+                        Expr::Bin(BinOp::And, Box::new(l.negated()), Box::new(r.negated()))
+                    }
+                    BinOp::Lt => Expr::Bin(BinOp::Ge, l, r),
+                    BinOp::Le => Expr::Bin(BinOp::Gt, l, r),
+                    BinOp::Gt => Expr::Bin(BinOp::Le, l, r),
+                    BinOp::Ge => Expr::Bin(BinOp::Lt, l, r),
+                    BinOp::Eq => Expr::Bin(BinOp::Ne, l, r),
+                    BinOp::Ne => Expr::Bin(BinOp::Eq, l, r),
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        panic!("cannot logically negate arithmetic expression {self}")
+                    }
+                }
+            }
+            Expr::Int(_) | Expr::Pid(_) | Expr::Neg(_) => {
+                panic!("cannot logically negate non-boolean expression {self}")
+            }
+        }
+    }
+
+    /// Splits a top-level conjunction into its conjuncts (a single
+    /// non-conjunction expression yields itself).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::Bin(BinOp::And, l, r) => {
+                l.collect_conjuncts(out);
+                r.collect_conjuncts(out);
+            }
+            other => out.push(other),
+        }
+    }
+
+    /// Splits a top-level disjunction into its disjuncts.
+    pub fn disjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_disjuncts(&mut out);
+        out
+    }
+
+    fn collect_disjuncts<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::Bin(BinOp::Or, l, r) => {
+                l.collect_disjuncts(out);
+                r.collect_disjuncts(out);
+            }
+            other => out.push(other),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Bool(v) => write!(f, "{v}"),
+            Expr::Pid(p) => write!(f, "{p}"),
+            Expr::Var(v, name) => write!(f, "{}@{}", name, v.process().as_usize()),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {op} {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::{ComputationBuilder, Cut};
+
+    fn setup() -> (slicing_computation::Computation, VarRef, VarRef) {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.declare_var(b.process(0), "x", Value::Int(3));
+        let flag = b.declare_var(b.process(1), "f", Value::Bool(true));
+        (b.build().unwrap(), x, flag)
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let (comp, x, _) = setup();
+        let e = Expr::Bin(
+            BinOp::Lt,
+            Box::new(Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Var(x, "x".into())),
+                Box::new(Expr::Int(1)),
+            )),
+            Box::new(Expr::Int(5)),
+        );
+        let cut = Cut::bottom(2);
+        let st = GlobalState::new(&comp, &cut);
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true)); // 3 + 1 < 5
+    }
+
+    #[test]
+    fn boolean_short_circuit() {
+        let (comp, _, flag) = setup();
+        // true || (1 + true) — the RHS would be a type error if evaluated.
+        let bad = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Bool(true)),
+        );
+        let e = Expr::Bin(
+            BinOp::Or,
+            Box::new(Expr::Var(flag, "f".into())),
+            Box::new(bad.clone()),
+        );
+        let cut = Cut::bottom(2);
+        let st = GlobalState::new(&comp, &cut);
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true));
+        // Without short-circuit the error surfaces.
+        let e = Expr::Bin(BinOp::And, Box::new(Expr::Bool(true)), Box::new(bad));
+        assert!(e.eval(&st).is_err());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let (comp, _, flag) = setup();
+        let cut = Cut::bottom(2);
+        let st = GlobalState::new(&comp, &cut);
+        let e = Expr::Neg(Box::new(Expr::Var(flag, "f".into())));
+        let err = e.eval(&st).unwrap_err();
+        assert!(err.to_string().contains("expected an integer"));
+        let e = Expr::Not(Box::new(Expr::Int(1)));
+        assert!(e.eval(&st).is_err());
+    }
+
+    #[test]
+    fn pid_equality() {
+        let (comp, _, _) = setup();
+        let cut = Cut::bottom(2);
+        let st = GlobalState::new(&comp, &cut);
+        let e = Expr::Bin(
+            BinOp::Eq,
+            Box::new(Expr::Pid(ProcessId::new(1))),
+            Box::new(Expr::Pid(ProcessId::new(1))),
+        );
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true));
+        let e = Expr::Bin(
+            BinOp::Ne,
+            Box::new(Expr::Pid(ProcessId::new(0))),
+            Box::new(Expr::Pid(ProcessId::new(1))),
+        );
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn support_variables_conjuncts() {
+        let (_, x, flag) = setup();
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::Bin(
+                BinOp::Gt,
+                Box::new(Expr::Var(x, "x".into())),
+                Box::new(Expr::Var(x, "x".into())),
+            )),
+            Box::new(Expr::Var(flag, "f".into())),
+        );
+        assert_eq!(e.support().len(), 2);
+        assert_eq!(e.variables().len(), 2); // deduplicated
+        assert_eq!(e.conjuncts().len(), 2);
+        assert_eq!(e.disjuncts().len(), 1);
+    }
+
+    #[test]
+    fn negation_pushes_to_literals() {
+        let (comp, x, flag) = setup();
+        let cut = Cut::bottom(2);
+        let st = GlobalState::new(&comp, &cut);
+        // ¬(x > 1 && f) = (x <= 1) || !f — and semantics agree.
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::Bin(
+                BinOp::Gt,
+                Box::new(Expr::Var(x, "x".into())),
+                Box::new(Expr::Int(1)),
+            )),
+            Box::new(Expr::Var(flag, "f".into())),
+        );
+        let n = e.negated();
+        assert_eq!(n.to_string(), "((x@0 <= 1) || !(f@1))");
+        let ev = e.eval(&st).unwrap().expect_bool();
+        let nv = n.eval(&st).unwrap().expect_bool();
+        assert_eq!(ev, !nv);
+        // Double negation is the identity modulo structure.
+        let nn = n.negated();
+        assert_eq!(
+            nn.eval(&st).unwrap().expect_bool(),
+            e.eval(&st).unwrap().expect_bool()
+        );
+        // All comparison flips.
+        for (op, flipped) in [
+            (BinOp::Lt, BinOp::Ge),
+            (BinOp::Le, BinOp::Gt),
+            (BinOp::Gt, BinOp::Le),
+            (BinOp::Ge, BinOp::Lt),
+            (BinOp::Eq, BinOp::Ne),
+            (BinOp::Ne, BinOp::Eq),
+        ] {
+            let e = Expr::Bin(op, Box::new(Expr::Int(1)), Box::new(Expr::Int(2)));
+            match e.negated() {
+                Expr::Bin(got, _, _) => assert_eq!(got, flipped),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(
+            Expr::Bool(true).negated().eval(&st).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-boolean")]
+    fn negating_arithmetic_atom_panics() {
+        let _ = Expr::Int(3).negated();
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let (_, x, _) = setup();
+        let e = Expr::Bin(
+            BinOp::Le,
+            Box::new(Expr::Var(x, "x".into())),
+            Box::new(Expr::Int(3)),
+        );
+        assert_eq!(e.to_string(), "(x@0 <= 3)");
+    }
+}

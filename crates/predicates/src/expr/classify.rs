@@ -1,0 +1,239 @@
+//! Turning parsed expressions into predicate objects and recognizing
+//! sliceable structure.
+
+use std::fmt;
+use std::sync::Arc;
+
+use slicing_computation::{GlobalState, ProcSet, Value, VarRef};
+
+use super::ast::Expr;
+use crate::conjunctive::Conjunctive;
+use crate::klocal::KLocalPredicate;
+use crate::local::LocalPredicate;
+use crate::predicate::Predicate;
+
+/// A [`Predicate`] backed by a parsed boolean [`Expr`].
+///
+/// # Panics
+///
+/// `eval` panics if the expression hits a runtime type mismatch, which can
+/// only happen when a variable changes type mid-computation (the parser
+/// type-checks against initial values).
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::test_fixtures::figure1;
+/// use slicing_computation::{Cut, GlobalState};
+/// use slicing_predicates::expr::{parse_predicate, ExprPredicate};
+/// use slicing_predicates::Predicate;
+///
+/// let comp = figure1();
+/// let pred = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3")?;
+/// let cut = Cut::from(vec![1, 2, 2]);
+/// assert!(pred.eval(&GlobalState::new(&comp, &cut)));
+/// // The expression has conjunctive structure, so it slices in O(|E|).
+/// assert!(pred.to_conjunctive().is_some());
+/// # Ok::<(), slicing_predicates::expr::ParseError>(())
+/// ```
+#[derive(Clone)]
+pub struct ExprPredicate {
+    expr: Arc<Expr>,
+    source: String,
+}
+
+impl ExprPredicate {
+    /// Wraps a boolean expression.
+    pub fn new(expr: Expr) -> Self {
+        let source = expr.to_string();
+        ExprPredicate {
+            expr: Arc::new(expr),
+            source,
+        }
+    }
+
+    /// The wrapped expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The rendered source of the expression.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// If every top-level conjunct reads a single process, rewrites the
+    /// expression as a [`Conjunctive`] predicate (sliceable in `O(|E|)`).
+    ///
+    /// Conjuncts reading *no* process (constant subexpressions) are folded
+    /// onto an arbitrary process only if other conjuncts exist; a fully
+    /// constant expression yields `None`.
+    pub fn to_conjunctive(&self) -> Option<Conjunctive> {
+        let conjuncts = self.expr.conjuncts();
+        let mut locals = Vec::with_capacity(conjuncts.len());
+        for c in conjuncts {
+            let support = c.support();
+            if support.len() != 1 {
+                return None;
+            }
+            locals.push(local_from_expr(c));
+        }
+        Some(Conjunctive::new(locals))
+    }
+
+    /// Rewrites the expression as a [`KLocalPredicate`] over its variables,
+    /// suitable for the Stoller–Schneider DNF transform when the support is
+    /// small.
+    ///
+    /// Returns `None` if the expression reads no variables at all.
+    pub fn to_klocal(&self) -> Option<KLocalPredicate> {
+        let vars = self.expr.variables();
+        if vars.is_empty() {
+            return None;
+        }
+        let expr = Arc::clone(&self.expr);
+        let vars_key = vars.clone();
+        Some(KLocalPredicate::new(
+            vars,
+            self.source.clone(),
+            move |vals| {
+                let lookup = |v: VarRef| {
+                    let i = vars_key
+                        .iter()
+                        .position(|&u| u == v)
+                        .expect("expression variables enumerated exhaustively");
+                    vals[i]
+                };
+                match expr.eval_with(&lookup) {
+                    Ok(Value::Bool(b)) => b,
+                    Ok(other) => panic!("predicate expression evaluated to non-boolean {other}"),
+                    Err(e) => panic!("predicate expression failed: {e}"),
+                }
+            },
+        ))
+    }
+}
+
+/// Builds a [`LocalPredicate`] from a single-process boolean expression.
+///
+/// # Panics
+///
+/// Panics if the expression does not read exactly one process.
+pub fn local_from_expr(expr: &Expr) -> LocalPredicate {
+    let support = expr.support();
+    assert_eq!(
+        support.len(),
+        1,
+        "local_from_expr needs a single-process expression, got support {support}"
+    );
+    let vars = expr.variables();
+    let vars_key = vars.clone();
+    let expr = expr.clone();
+    let label = expr.to_string();
+    LocalPredicate::new(vars, label, move |vals| {
+        let lookup = |v: VarRef| {
+            let i = vars_key
+                .iter()
+                .position(|&u| u == v)
+                .expect("expression variables enumerated exhaustively");
+            vals[i]
+        };
+        match expr.eval_with(&lookup) {
+            Ok(Value::Bool(b)) => b,
+            Ok(other) => panic!("local expression evaluated to non-boolean {other}"),
+            Err(e) => panic!("local expression failed: {e}"),
+        }
+    })
+}
+
+impl fmt::Debug for ExprPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExprPredicate({})", self.source)
+    }
+}
+
+impl Predicate for ExprPredicate {
+    fn support(&self) -> ProcSet {
+        self.expr.support()
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        match self.expr.eval(state) {
+            Ok(Value::Bool(b)) => b,
+            Ok(other) => panic!("predicate expression evaluated to non-boolean {other}"),
+            Err(e) => panic!("predicate expression failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse_predicate;
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_computation::test_fixtures::figure1;
+    use slicing_computation::Cut;
+
+    #[test]
+    fn conjunctive_recognition() {
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+        let conj = pred.to_conjunctive().expect("conjunctive structure");
+        assert_eq!(conj.clauses().len(), 2);
+        // Semantics agree everywhere.
+        for cut in all_cuts(&comp) {
+            let st = GlobalState::new(&comp, &cut);
+            assert_eq!(pred.eval(&st), conj.eval(&st), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn cross_process_conjunct_blocks_conjunctive_form() {
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "x1@0 > x2@1 && x3@2 <= 3").unwrap();
+        assert!(pred.to_conjunctive().is_none());
+        // But the k-local view still works and agrees.
+        let kl = pred.to_klocal().expect("reads variables");
+        assert_eq!(kl.locality(), 3);
+        for cut in all_cuts(&comp) {
+            let st = GlobalState::new(&comp, &cut);
+            assert_eq!(pred.eval(&st), kl.eval(&st));
+        }
+    }
+
+    #[test]
+    fn multi_clause_per_process_conjunctive() {
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "x1@0 > 1 && x1@0 < 3 && x3@2 <= 3").unwrap();
+        let conj = pred.to_conjunctive().unwrap();
+        assert_eq!(conj.clauses().len(), 3);
+        assert_eq!(conj.clauses_on(comp.process(0)).count(), 2);
+    }
+
+    #[test]
+    fn constant_expression_has_no_klocal_form() {
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "1 < 2").unwrap();
+        assert!(pred.to_klocal().is_none());
+        let cut = Cut::bottom(3);
+        assert!(pred.eval(&GlobalState::new(&comp, &cut)));
+    }
+
+    #[test]
+    fn accessors_and_debug() {
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "x1@0 > 1").unwrap();
+        assert!(pred.source().contains("x1@0"));
+        assert!(format!("{pred:?}").contains("x1@0"));
+        assert_eq!(pred.support().len(), 1);
+        assert!(matches!(pred.expr(), Expr::Bin(..)));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-process")]
+    fn local_from_expr_rejects_multi_process() {
+        let comp = figure1();
+        let pred = parse_predicate(&comp, "x1@0 > x2@1").unwrap();
+        let _ = local_from_expr(pred.expr());
+    }
+}

@@ -1,0 +1,74 @@
+//! A small expression language for writing global predicates as text.
+//!
+//! Predicates like the paper's `(x1 > 1) ∧ (x3 ≤ 3)` can be written as
+//! `"x1@0 > 1 && x3@2 <= 3"` (the `@n` suffix names the hosting process),
+//! parsed against a computation, and then classified: conjunctions of
+//! single-process clauses become [`Conjunctive`](crate::Conjunctive)
+//! predicates (sliceable in `O(|E|)`), everything else falls back to a
+//! [`KLocalPredicate`](crate::KLocalPredicate) over the referenced
+//! variables.
+//!
+//! See [`parse_expr`] for the grammar and [`ExprPredicate`] for the
+//! classification entry points.
+
+mod ast;
+mod classify;
+mod parser;
+
+pub use ast::{BinOp, EvalError, Expr};
+pub use classify::{local_from_expr, ExprPredicate};
+pub use parser::{parse_expr, ParseError};
+
+use slicing_computation::Computation;
+
+/// Parses a boolean expression and wraps it as a [`Predicate`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax or type errors, and if the expression
+/// is not boolean-valued.
+///
+/// [`Predicate`]: crate::Predicate
+pub fn parse_predicate(comp: &Computation, src: &str) -> Result<ExprPredicate, ParseError> {
+    let expr = parse_expr(comp, src)?;
+    // Reject non-boolean expressions up front.
+    match &expr {
+        Expr::Bool(_) | Expr::Not(_) => {}
+        Expr::Bin(op, _, _)
+            if !matches!(
+                op,
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+            ) => {}
+        Expr::Var(v, _) if comp.value_at(*v, 0).as_bool().is_some() => {}
+        other => {
+            return Err(ParseError {
+                offset: 0,
+                message: format!("expression `{other}` is not boolean-valued"),
+            });
+        }
+    }
+    Ok(ExprPredicate::new(expr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::test_fixtures::figure1;
+
+    #[test]
+    fn non_boolean_rejected() {
+        let comp = figure1();
+        assert!(parse_predicate(&comp, "x1@0 + 1").is_err());
+        assert!(parse_predicate(&comp, "42").is_err());
+        assert!(parse_predicate(&comp, "p1").is_err());
+        assert!(parse_predicate(&comp, "x1@0").is_err()); // int variable
+    }
+
+    #[test]
+    fn boolean_forms_accepted() {
+        let comp = figure1();
+        assert!(parse_predicate(&comp, "true").is_ok());
+        assert!(parse_predicate(&comp, "!(x1@0 > 1)").is_ok());
+        assert!(parse_predicate(&comp, "x1@0 == 2 || x2@1 == 1").is_ok());
+    }
+}

@@ -1,0 +1,631 @@
+//! Recursive-descent parser for the predicate expression language.
+//!
+//! Grammar (standard precedence, lowest first):
+//!
+//! ```text
+//! expr  := or
+//! or    := and ('||' and)*
+//! and   := cmp ('&&' cmp)*
+//! cmp   := sum (('<' | '<=' | '>' | '>=' | '==' | '!=') sum)?
+//! sum   := prod (('+' | '-') prod)*
+//! prod  := unary (('*' | '/' | '%') unary)*
+//! unary := '-' unary | '!' unary | atom
+//! atom  := int | 'true' | 'false' | pid | varref | '(' expr ')'
+//! pid   := 'p' digits              (e.g. p2)
+//! varref:= ident '@' digits        (e.g. x1@0 — variable x1 of process 0)
+//! ```
+//!
+//! Variables are resolved and the expression is type-checked against the
+//! computation at parse time (using the type of each variable's initial
+//! value).
+
+use std::error::Error;
+use std::fmt;
+
+use slicing_computation::{Computation, ProcessId, Value, VarRef};
+
+use super::ast::{BinOp, Expr};
+
+/// Error produced when parsing an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the source where the error was detected.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Int(i64),
+    True,
+    False,
+    Ident(String),
+    Pid(usize),
+    At,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Token)>, ParseError> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let c = self.bytes[self.pos];
+            match c {
+                b' ' | b'\t' | b'\n' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'(' => {
+                    self.pos += 1;
+                    out.push((start, Token::LParen));
+                }
+                b')' => {
+                    self.pos += 1;
+                    out.push((start, Token::RParen));
+                }
+                b'@' => {
+                    self.pos += 1;
+                    out.push((start, Token::At));
+                }
+                b'+' => {
+                    self.pos += 1;
+                    out.push((start, Token::Plus));
+                }
+                b'-' => {
+                    self.pos += 1;
+                    out.push((start, Token::Minus));
+                }
+                b'*' => {
+                    self.pos += 1;
+                    out.push((start, Token::Star));
+                }
+                b'/' => {
+                    self.pos += 1;
+                    out.push((start, Token::Slash));
+                }
+                b'%' => {
+                    self.pos += 1;
+                    out.push((start, Token::Percent));
+                }
+                b'<' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        out.push((start, Token::Le));
+                    } else {
+                        self.pos += 1;
+                        out.push((start, Token::Lt));
+                    }
+                }
+                b'>' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        out.push((start, Token::Ge));
+                    } else {
+                        self.pos += 1;
+                        out.push((start, Token::Gt));
+                    }
+                }
+                b'=' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        out.push((start, Token::EqEq));
+                    } else {
+                        return Err(self.error("expected `==`"));
+                    }
+                }
+                b'!' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        out.push((start, Token::Ne));
+                    } else {
+                        self.pos += 1;
+                        out.push((start, Token::Bang));
+                    }
+                }
+                b'&' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'&') {
+                        self.pos += 2;
+                        out.push((start, Token::AndAnd));
+                    } else {
+                        return Err(self.error("expected `&&`"));
+                    }
+                }
+                b'|' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'|') {
+                        self.pos += 2;
+                        out.push((start, Token::OrOr));
+                    } else {
+                        return Err(self.error("expected `||`"));
+                    }
+                }
+                b'0'..=b'9' => {
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                    let text = &self.src[self.pos..end];
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("integer literal {text:?} overflows")))?;
+                    self.pos = end;
+                    out.push((start, Token::Int(v)));
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let mut end = self.pos;
+                    while end < self.bytes.len()
+                        && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    let text = &self.src[self.pos..end];
+                    self.pos = end;
+                    // `p<digits>` not followed by `@` is a pid literal.
+                    let is_pid_literal = text.len() > 1
+                        && text.starts_with('p')
+                        && text[1..].bytes().all(|b| b.is_ascii_digit())
+                        && self.bytes.get(self.pos) != Some(&b'@');
+                    let tok = match text {
+                        "true" => Token::True,
+                        "false" => Token::False,
+                        // An unparseable index (overflow) falls back to an
+                        // identifier, which fails later with a clearer error.
+                        _ if is_pid_literal => match text[1..].parse() {
+                            Ok(i) => Token::Pid(i),
+                            Err(_) => Token::Ident(text.to_owned()),
+                        },
+                        _ => Token::Ident(text.to_owned()),
+                    };
+                    out.push((start, tok));
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character {:?}", other as char)));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The inferred type of an expression, used for parse-time checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Int,
+    Bool,
+    Pid,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => f.write_str("int"),
+            Ty::Bool => f.write_str("bool"),
+            Ty::Pid => f.write_str("pid"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    comp: &'a Computation,
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error_at(&self, offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let offset = self
+            .tokens
+            .get(self.pos)
+            .map(|&(o, _)| o)
+            .unwrap_or(self.src_len);
+        self.error_at(offset, message)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn var_type(&self, v: VarRef) -> Ty {
+        match self.comp.value_at(v, 0) {
+            Value::Int(_) => Ty::Int,
+            Value::Bool(_) => Ty::Bool,
+            Value::Pid(_) => Ty::Pid,
+        }
+    }
+
+    fn type_of(&self, e: &Expr) -> Ty {
+        match e {
+            Expr::Int(_) => Ty::Int,
+            Expr::Bool(_) => Ty::Bool,
+            Expr::Pid(_) => Ty::Pid,
+            Expr::Var(v, _) => self.var_type(*v),
+            Expr::Neg(_) => Ty::Int,
+            Expr::Not(_) => Ty::Bool,
+            Expr::Bin(op, _, _) => match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => Ty::Int,
+                _ => Ty::Bool,
+            },
+        }
+    }
+
+    fn expect_ty(&self, e: &Expr, want: Ty) -> Result<(), ParseError> {
+        let got = self.type_of(e);
+        if got != want {
+            return Err(self.error(format!("type error: expected {want}, found {got} in `{e}`")));
+        }
+        Ok(())
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&Token::OrOr) {
+            self.expect_ty(&lhs, Ty::Bool)?;
+            let rhs = self.parse_and()?;
+            self.expect_ty(&rhs, Ty::Bool)?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.eat(&Token::AndAnd) {
+            self.expect_ty(&lhs, Ty::Bool)?;
+            let rhs = self.parse_cmp()?;
+            self.expect_ty(&rhs, Ty::Bool)?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_sum()?;
+        let op = match self.peek() {
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            Some(Token::EqEq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.parse_sum()?;
+        match op {
+            BinOp::Eq | BinOp::Ne => {
+                let (lt, rt) = (self.type_of(&lhs), self.type_of(&rhs));
+                if lt != rt {
+                    return Err(self.error(format!("type error: cannot compare {lt} with {rt}")));
+                }
+            }
+            _ => {
+                self.expect_ty(&lhs, Ty::Int)?;
+                self.expect_ty(&rhs, Ty::Int)?;
+            }
+        }
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_sum(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_prod()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            self.expect_ty(&lhs, Ty::Int)?;
+            let rhs = self.parse_prod()?;
+            self.expect_ty(&rhs, Ty::Int)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_prod(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            self.expect_ty(&lhs, Ty::Int)?;
+            let rhs = self.parse_unary()?;
+            self.expect_ty(&rhs, Ty::Int)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Minus) {
+            let e = self.parse_unary()?;
+            self.expect_ty(&e, Ty::Int)?;
+            return Ok(Expr::Neg(Box::new(e)));
+        }
+        if self.eat(&Token::Bang) {
+            let e = self.parse_unary()?;
+            self.expect_ty(&e, Ty::Bool)?;
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::True) => Ok(Expr::Bool(true)),
+            Some(Token::False) => Ok(Expr::Bool(false)),
+            Some(Token::Pid(i)) => {
+                if i >= self.comp.num_processes() {
+                    return Err(self.error(format!("process p{i} does not exist")));
+                }
+                Ok(Expr::Pid(ProcessId::new(i)))
+            }
+            Some(Token::LParen) => {
+                let e = self.parse_or()?;
+                if !self.eat(&Token::RParen) {
+                    return Err(self.error("expected `)`"));
+                }
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if !self.eat(&Token::At) {
+                    return Err(self.error(format!(
+                        "variable {name:?} needs a process: write `{name}@<proc>`"
+                    )));
+                }
+                match self.bump() {
+                    Some(Token::Int(idx)) if idx >= 0 => {
+                        let idx = idx as usize;
+                        if idx >= self.comp.num_processes() {
+                            return Err(self.error(format!("process {idx} does not exist")));
+                        }
+                        let p = self.comp.process(idx);
+                        match self.comp.var(p, &name) {
+                            Some(v) => Ok(Expr::Var(v, name)),
+                            None => Err(self
+                                .error(format!("process p{idx} has no variable named {name:?}"))),
+                        }
+                    }
+                    _ => Err(self.error("expected a process index after `@`")),
+                }
+            }
+            Some(other) => Err(self.error(format!("unexpected token {other:?}"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+}
+
+/// Parses an expression against `comp`, resolving variables (`x@0`) and
+/// type-checking with the variables' initial-value types.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax errors, unknown variables/processes,
+/// and type mismatches.
+pub fn parse_expr(comp: &Computation, src: &str) -> Result<Expr, ParseError> {
+    let tokens = Lexer::new(src).tokens()?;
+    let mut p = Parser {
+        comp,
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let e = p.parse_or()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::test_fixtures::figure1;
+    use slicing_computation::{Cut, GlobalState};
+
+    #[test]
+    fn parses_the_paper_predicate() {
+        let comp = figure1();
+        let e = parse_expr(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+        let cut = Cut::from(vec![1, 2, 2]);
+        let st = GlobalState::new(&comp, &cut);
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true));
+        let bottom = Cut::bottom(3);
+        let st = GlobalState::new(&comp, &bottom);
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn parses_full_intro_predicate() {
+        let comp = figure1();
+        let e = parse_expr(&comp, "x1@0 * x2@1 + x3@2 < 5 && (x1@0 > 1) && (x3@2 <= 3)").unwrap();
+        assert_eq!(e.support().len(), 3);
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let comp = figure1();
+        // * binds tighter than +, + tighter than <, < tighter than &&.
+        let e = parse_expr(&comp, "1 + 2 * 3 < 8 && true").unwrap();
+        let cut = Cut::bottom(3);
+        let st = GlobalState::new(&comp, &cut);
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true)); // 7 < 8
+        let e = parse_expr(&comp, "2 - 1 - 1 == 0").unwrap(); // left assoc
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn unary_operators() {
+        let comp = figure1();
+        let cut = Cut::bottom(3);
+        let st = GlobalState::new(&comp, &cut);
+        let e = parse_expr(&comp, "-x1@0 == 0 - 2").unwrap();
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true));
+        let e = parse_expr(&comp, "!(x1@0 > 1)").unwrap();
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(false));
+        let e = parse_expr(&comp, "!!true").unwrap();
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn pid_literals_and_vars() {
+        let comp = figure1();
+        let e = parse_expr(&comp, "p1 == p1").unwrap();
+        let cut = Cut::bottom(3);
+        assert_eq!(
+            e.eval(&GlobalState::new(&comp, &cut)).unwrap(),
+            Value::Bool(true)
+        );
+        // p99 is out of range.
+        assert!(parse_expr(&comp, "p99 == p1").is_err());
+        // A variable named p-something still works with @.
+        assert!(parse_expr(&comp, "x1@0 == 2").is_ok());
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let comp = figure1();
+        assert!(parse_expr(&comp, "nope@0 > 1").is_err());
+        assert!(parse_expr(&comp, "x1@9 > 1").is_err());
+        assert!(parse_expr(&comp, "x1 > 1").is_err()); // missing @proc
+    }
+
+    #[test]
+    fn type_errors_at_parse_time() {
+        let comp = figure1();
+        assert!(parse_expr(&comp, "x1@0 && true").is_err()); // int as bool
+        assert!(parse_expr(&comp, "true + 1").is_err());
+        assert!(parse_expr(&comp, "p1 < p1").is_err()); // pids not ordered
+        assert!(parse_expr(&comp, "x1@0 == true").is_err()); // mixed eq
+        assert!(parse_expr(&comp, "-true").is_err());
+        assert!(parse_expr(&comp, "!3").is_err());
+    }
+
+    #[test]
+    fn syntax_errors_are_reported_with_offsets() {
+        let comp = figure1();
+        let err = parse_expr(&comp, "x1@0 >").unwrap_err();
+        assert!(err.offset >= 5);
+        assert!(parse_expr(&comp, "(x1@0 > 1").is_err()); // unclosed paren
+        assert!(parse_expr(&comp, "x1@0 > 1 extra").is_err()); // trailing
+        assert!(parse_expr(&comp, "x1@0 = 1").is_err()); // single =
+        assert!(parse_expr(&comp, "x1@0 & true").is_err()); // single &
+        assert!(parse_expr(&comp, "x1@0 | true").is_err()); // single |
+        assert!(parse_expr(&comp, "$").is_err());
+        assert!(parse_expr(&comp, "").is_err());
+    }
+
+    #[test]
+    fn integer_overflow_is_rejected() {
+        let comp = figure1();
+        assert!(parse_expr(&comp, "99999999999999999999999 > 1").is_err());
+    }
+
+    #[test]
+    fn division_and_remainder() {
+        let comp = figure1();
+        let cut = Cut::bottom(3);
+        let st = GlobalState::new(&comp, &cut);
+        let e = parse_expr(&comp, "7 / 2 == 3 && 7 % 2 == 1").unwrap();
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true));
+        // Same precedence tier as `*`, left associative.
+        let e = parse_expr(&comp, "8 / 2 * 2 == 8").unwrap();
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true));
+        let e = parse_expr(&comp, "1 + 6 / 3 == 3").unwrap();
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true));
+        // Negative truncation follows Rust semantics.
+        let e = parse_expr(&comp, "-7 / 2 == -3 && -7 % 2 == -1").unwrap();
+        assert_eq!(e.eval(&st).unwrap(), Value::Bool(true));
+        // Type checking applies.
+        assert!(parse_expr(&comp, "true / 2").is_err());
+        assert!(parse_expr(&comp, "1 % false").is_err());
+    }
+
+    #[test]
+    fn division_by_zero_is_a_runtime_error() {
+        let comp = figure1();
+        let cut = Cut::bottom(3);
+        let st = GlobalState::new(&comp, &cut);
+        // x1 at bottom is 2; (x1 - 2) is 0 only dynamically.
+        let e = parse_expr(&comp, "1 / (x1@0 - 2) == 0").unwrap();
+        let err = e.eval(&st).unwrap_err();
+        assert!(err.to_string().contains("division by zero"));
+        let e = parse_expr(&comp, "1 % (x1@0 - 2) == 0").unwrap();
+        assert!(e.eval(&st).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Arbitrary function predicates.
+
+use std::fmt;
+use std::sync::Arc;
+
+use slicing_computation::{GlobalState, ProcSet};
+
+use crate::predicate::Predicate;
+
+type GlobalFn = dyn for<'a, 'b> Fn(&'a GlobalState<'b>) -> bool + Send + Sync;
+
+/// A predicate given by an arbitrary closure over the global state.
+///
+/// `FnPredicate` makes no structural promises (it is neither linear nor
+/// regular), so it cannot be sliced exactly — but it is exactly what the
+/// slice-then-search pipeline needs for the *residual* predicate: slice with
+/// respect to a tractable weakening, then evaluate the full predicate on
+/// the few remaining cuts. The paper's introduction does precisely this
+/// with `(x1*x2 + x3 < 5) ∧ (x1 > 1) ∧ (x3 ≤ 3)`.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::{ComputationBuilder, Cut, GlobalState, ProcSet, Value};
+/// use slicing_predicates::{FnPredicate, Predicate};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// let x = b.declare_var(b.process(0), "x", Value::Int(2));
+/// let y = b.declare_var(b.process(1), "y", Value::Int(3));
+/// let comp = b.build()?;
+///
+/// let pred = FnPredicate::new(ProcSet::all(2), "x * y < 5", move |st| {
+///     st.get(x).expect_int() * st.get(y).expect_int() < 5
+/// });
+/// let bottom = Cut::bottom(2);
+/// assert!(!pred.eval(&GlobalState::new(&comp, &bottom)));
+/// # Ok::<(), slicing_computation::BuildError>(())
+/// ```
+#[derive(Clone)]
+pub struct FnPredicate {
+    support: ProcSet,
+    label: String,
+    f: Arc<GlobalFn>,
+}
+
+impl FnPredicate {
+    /// Creates a predicate from a closure. `support` must cover every
+    /// process whose variables or channels the closure reads.
+    pub fn new(
+        support: ProcSet,
+        label: impl Into<String>,
+        f: impl for<'a, 'b> Fn(&'a GlobalState<'b>) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        FnPredicate {
+            support,
+            label: label.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// The human-readable label used in `Debug` output.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Debug for FnPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnPredicate({})", self.label)
+    }
+}
+
+impl Predicate for FnPredicate {
+    fn support(&self) -> ProcSet {
+        self.support
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        (self.f)(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::test_fixtures::figure1;
+    use slicing_computation::Cut;
+
+    #[test]
+    fn evaluates_closure() {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let x2 = comp.var(comp.process(1), "x2").unwrap();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        // The paper's full introduction predicate.
+        let pred = FnPredicate::new(ProcSet::all(3), "x1*x2 + x3 < 5", move |st| {
+            st.get(x1).expect_int() * st.get(x2).expect_int() + st.get(x3).expect_int() < 5
+        });
+        // Bottom: 2*2 + 4 = 8, not < 5.
+        let bottom = Cut::bottom(3);
+        assert!(!pred.eval(&GlobalState::new(&comp, &bottom)));
+        // (1,2,2): 2*1 + 1 = 3 < 5.
+        let cut = Cut::from(vec![1, 2, 2]);
+        assert!(pred.eval(&GlobalState::new(&comp, &cut)));
+        assert_eq!(pred.support().len(), 3);
+        assert_eq!(pred.label(), "x1*x2 + x3 < 5");
+        assert!(format!("{pred:?}").contains("x1*x2"));
+    }
+}

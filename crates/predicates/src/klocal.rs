@@ -1,0 +1,375 @@
+//! k-local predicates and the Stoller–Schneider DNF transform.
+
+use std::fmt;
+use std::sync::Arc;
+
+use slicing_computation::{Computation, GlobalState, ProcSet, ProcessId, Value, VarRef};
+
+use crate::conjunctive::Conjunctive;
+use crate::local::LocalPredicate;
+use crate::predicate::Predicate;
+
+type TupleFn = dyn Fn(&[Value]) -> bool + Send + Sync;
+
+/// A predicate over the variables of at most `k` processes, with no other
+/// structure assumed (it need not be regular or linear) — Section 4.2.
+///
+/// Using Stoller and Schneider's technique, a k-local predicate can be
+/// rewritten, *for a given computation*, into a disjunction of at most
+/// `m^(k-1)` conjunctive predicates (`m` = events per process): fix the
+/// observed value tuples of `k-1` of the processes and fold them into a
+/// residual local predicate on the remaining process. Each disjunct is
+/// conjunctive, hence sliceable in `O(|E|)`; grafting the disjuncts back
+/// together yields the exact slice.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::{ComputationBuilder, Value};
+/// use slicing_predicates::KLocalPredicate;
+///
+/// let mut b = ComputationBuilder::new(2);
+/// let x = b.declare_var(b.process(0), "x", Value::Int(0));
+/// let y = b.declare_var(b.process(1), "y", Value::Int(0));
+/// b.step(b.process(0), &[(x, Value::Int(1))]);
+/// b.step(b.process(1), &[(y, Value::Int(1))]);
+/// let comp = b.build()?;
+///
+/// // The paper's example: x ≠ y.
+/// let pred = KLocalPredicate::new(vec![x, y], "x != y", |v| v[0] != v[1]);
+/// let dnf = pred.to_dnf(&comp);
+/// assert!(!dnf.is_empty());
+/// # Ok::<(), slicing_computation::BuildError>(())
+/// ```
+#[derive(Clone)]
+pub struct KLocalPredicate {
+    vars: Vec<VarRef>,
+    label: String,
+    f: Arc<TupleFn>,
+}
+
+impl KLocalPredicate {
+    /// Creates a k-local predicate reading `vars` (in order) and evaluated
+    /// by `f` on the corresponding values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty.
+    pub fn new(
+        vars: impl Into<Vec<VarRef>>,
+        label: impl Into<String>,
+        f: impl Fn(&[Value]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        let vars: Vec<VarRef> = vars.into();
+        assert!(
+            !vars.is_empty(),
+            "a k-local predicate reads at least one variable"
+        );
+        KLocalPredicate {
+            vars,
+            label: label.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// The variables read, in evaluation order.
+    pub fn vars(&self) -> &[VarRef] {
+        &self.vars
+    }
+
+    /// The human-readable label used in `Debug` output.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// `k`: the number of distinct processes read.
+    pub fn locality(&self) -> usize {
+        self.support().len()
+    }
+
+    /// Distinct value snapshots (tuples of `vars`) observed on process `p`
+    /// across its event positions.
+    fn distinct_snapshots(&self, comp: &Computation, p: ProcessId) -> Vec<Vec<Value>> {
+        let pvars: Vec<VarRef> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| v.process() == p)
+            .collect();
+        let mut seen: Vec<Vec<Value>> = Vec::new();
+        for pos in 0..comp.len(p) {
+            let snap: Vec<Value> = pvars.iter().map(|&v| comp.value_at(v, pos)).collect();
+            if !seen.contains(&snap) {
+                seen.push(snap);
+            }
+        }
+        seen
+    }
+
+    /// Upper bound on the number of DNF clauses [`to_dnf`](Self::to_dnf)
+    /// will produce for `comp` (the product of distinct-snapshot counts of
+    /// all non-pivot processes).
+    pub fn dnf_size(&self, comp: &Computation) -> u64 {
+        let procs: Vec<ProcessId> = self.support().iter().collect();
+        if procs.len() <= 1 {
+            return 1;
+        }
+        let mut counts: Vec<u64> = procs
+            .iter()
+            .map(|&p| self.distinct_snapshots(comp, p).len() as u64)
+            .collect();
+        // The pivot (largest count) is excluded from the product.
+        counts.sort_unstable();
+        counts.pop();
+        counts.iter().product()
+    }
+
+    /// Rewrites the predicate into an equivalent (for `comp`) disjunction
+    /// of conjunctive predicates, per Stoller–Schneider.
+    ///
+    /// The pivot process — the one whose values stay symbolic — is chosen
+    /// as the process with the most distinct snapshots, which minimizes the
+    /// clause count (the paper's Section 5.1 applies the same idea to
+    /// shrink `¬I_db`'s clause set by a factor of `n`). Clauses whose
+    /// residual pivot predicate never holds anywhere in `comp` are pruned.
+    pub fn to_dnf(&self, comp: &Computation) -> Vec<Conjunctive> {
+        let procs: Vec<ProcessId> = self.support().iter().collect();
+        if procs.len() == 1 {
+            // Already local: one clause with a single local conjunct.
+            let vars = self.vars.clone();
+            let f = Arc::clone(&self.f);
+            let local = LocalPredicate::new(vars, self.label.clone(), move |vals| f(vals));
+            return vec![Conjunctive::new(vec![local])];
+        }
+
+        // Pick the pivot: most distinct snapshots.
+        let snapshots: Vec<Vec<Vec<Value>>> = procs
+            .iter()
+            .map(|&p| self.distinct_snapshots(comp, p))
+            .collect();
+        let pivot_idx = (0..procs.len())
+            .max_by_key(|&i| snapshots[i].len())
+            .expect("at least two processes");
+        let pivot = procs[pivot_idx];
+        let pivot_vars: Vec<VarRef> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| v.process() == pivot)
+            .collect();
+
+        let others: Vec<usize> = (0..procs.len()).filter(|&i| i != pivot_idx).collect();
+
+        // Enumerate the cartesian product of the other processes' distinct
+        // snapshots with a positional odometer.
+        let mut clauses = Vec::new();
+        let mut odometer = vec![0usize; others.len()];
+        loop {
+            // Fixed values for this combination, aligned with self.vars.
+            let mut fixed: Vec<Option<Value>> = vec![None; self.vars.len()];
+            let mut locals = Vec::with_capacity(others.len() + 1);
+            for (slot, &oi) in others.iter().enumerate() {
+                let p = procs[oi];
+                let snap = &snapshots[oi][odometer[slot]];
+                let pvars: Vec<VarRef> = self
+                    .vars
+                    .iter()
+                    .copied()
+                    .filter(|v| v.process() == p)
+                    .collect();
+                for (vi, &var) in self.vars.iter().enumerate() {
+                    if var.process() == p {
+                        let k = pvars.iter().position(|&v| v == var).expect("var listed");
+                        fixed[vi] = Some(snap[k]);
+                    }
+                }
+                locals.push(LocalPredicate::equals_all(pvars, snap.clone()));
+            }
+
+            // Residual predicate on the pivot.
+            let f = Arc::clone(&self.f);
+            let vars_order = self.vars.clone();
+            let pivot_vars_c = pivot_vars.clone();
+            let fixed_c = fixed.clone();
+            let residual = LocalPredicate::new(
+                pivot_vars.clone(),
+                format!("{} | fixed", self.label),
+                move |pivot_vals| {
+                    let mut full = Vec::with_capacity(vars_order.len());
+                    for (vi, var) in vars_order.iter().enumerate() {
+                        match fixed_c[vi] {
+                            Some(v) => full.push(v),
+                            None => {
+                                let k = pivot_vars_c
+                                    .iter()
+                                    .position(|v| v == var)
+                                    .expect("pivot var listed");
+                                full.push(pivot_vals[k]);
+                            }
+                        }
+                    }
+                    f(&full)
+                },
+            );
+
+            // Prune clauses whose residual never holds on the pivot.
+            let feasible = (0..comp.len(pivot)).any(|pos| residual.holds_at(comp, pos));
+            if feasible {
+                locals.push(residual);
+                clauses.push(Conjunctive::new(locals));
+            }
+
+            // Advance the odometer.
+            let mut slot = 0;
+            loop {
+                if slot == others.len() {
+                    return clauses;
+                }
+                odometer[slot] += 1;
+                if odometer[slot] < snapshots[others[slot]].len() {
+                    break;
+                }
+                odometer[slot] = 0;
+                slot += 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for KLocalPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KLocal({}, k={})", self.label, self.locality())
+    }
+}
+
+impl Predicate for KLocalPredicate {
+    fn support(&self) -> ProcSet {
+        self.vars.iter().map(|v| v.process()).collect()
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        let vals: Vec<Value> = self.vars.iter().map(|&v| state.get(v)).collect();
+        (self.f)(&vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::lattice::all_cuts;
+    use slicing_computation::test_fixtures::{random_computation, RandomConfig};
+    use slicing_computation::{ComputationBuilder, GlobalState};
+
+    fn dnf_eval(dnf: &[Conjunctive], st: &GlobalState<'_>) -> bool {
+        dnf.iter().any(|c| c.eval(st))
+    }
+
+    #[test]
+    fn neq_transform_is_equivalent() {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        let y = b.declare_var(b.process(1), "y", Value::Int(0));
+        for v in [1, 0, 2] {
+            b.step(b.process(0), &[(x, Value::Int(v))]);
+        }
+        for v in [2, 0] {
+            b.step(b.process(1), &[(y, Value::Int(v))]);
+        }
+        let comp = b.build().unwrap();
+        let pred = KLocalPredicate::new(vec![x, y], "x != y", |v| v[0] != v[1]);
+        let dnf = pred.to_dnf(&comp);
+        for cut in all_cuts(&comp) {
+            let st = GlobalState::new(&comp, &cut);
+            assert_eq!(pred.eval(&st), dnf_eval(&dnf, &st), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn dnf_matches_on_random_computations() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 3,
+            value_range: 3,
+            ..RandomConfig::default()
+        };
+        for seed in 0..20 {
+            let comp = random_computation(seed, &cfg);
+            let vars: Vec<VarRef> = comp
+                .processes()
+                .map(|p| comp.var(p, "x").unwrap())
+                .collect();
+            // A genuinely non-regular 3-local predicate.
+            let pred = KLocalPredicate::new(vars, "x0 + x1 == x2 + 1", |v| {
+                v[0].expect_int() + v[1].expect_int() == v[2].expect_int() + 1
+            });
+            let dnf = pred.to_dnf(&comp);
+            for cut in all_cuts(&comp) {
+                let st = GlobalState::new(&comp, &cut);
+                assert_eq!(pred.eval(&st), dnf_eval(&dnf, &st), "seed {seed} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_process_predicate_degenerates_to_local() {
+        let mut b = ComputationBuilder::new(1);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        b.step(b.process(0), &[(x, Value::Int(1))]);
+        let comp = b.build().unwrap();
+        let pred = KLocalPredicate::new(vec![x], "x == 1", |v| v[0] == Value::Int(1));
+        assert_eq!(pred.locality(), 1);
+        let dnf = pred.to_dnf(&comp);
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf[0].clauses().len(), 1);
+        for cut in all_cuts(&comp) {
+            let st = GlobalState::new(&comp, &cut);
+            assert_eq!(pred.eval(&st), dnf_eval(&dnf, &st));
+        }
+    }
+
+    #[test]
+    fn dnf_size_bounds_clause_count() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 4,
+            value_range: 4,
+            ..RandomConfig::default()
+        };
+        let comp = random_computation(3, &cfg);
+        let vars: Vec<VarRef> = comp
+            .processes()
+            .map(|p| comp.var(p, "x").unwrap())
+            .collect();
+        let pred = KLocalPredicate::new(vars, "sum odd", |v| {
+            (v.iter().map(|x| x.expect_int()).sum::<i64>()) % 2 == 1
+        });
+        let dnf = pred.to_dnf(&comp);
+        assert!(dnf.len() as u64 <= pred.dnf_size(&comp));
+    }
+
+    #[test]
+    fn infeasible_clauses_are_pruned() {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        let y = b.declare_var(b.process(1), "y", Value::Int(0));
+        b.step(b.process(0), &[(x, Value::Int(1))]);
+        let comp = b.build().unwrap();
+        // Never true: y is always 0, x ∈ {0, 1}.
+        let pred = KLocalPredicate::new(vec![x, y], "x + y == 5", |v| {
+            v[0].expect_int() + v[1].expect_int() == 5
+        });
+        assert!(pred.to_dnf(&comp).is_empty());
+    }
+
+    #[test]
+    fn accessors() {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        let y = b.declare_var(b.process(1), "y", Value::Int(0));
+        let pred = KLocalPredicate::new(vec![x, y], "x != y", |v| v[0] != v[1]);
+        assert_eq!(pred.vars().len(), 2);
+        assert_eq!(pred.label(), "x != y");
+        assert_eq!(pred.locality(), 2);
+        assert!(format!("{pred:?}").contains("k=2"));
+    }
+}

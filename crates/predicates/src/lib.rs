@@ -1,0 +1,56 @@
+//! Global predicates over distributed computations.
+//!
+//! This crate defines the predicate classes whose structure the slicing
+//! algorithms in `slicing-core` exploit (following Mittal & Garg, ICDCS
+//! 2003):
+//!
+//! | Class | Closure of satisfying cuts | Trait / type |
+//! |---|---|---|
+//! | local | sublattice (one process) | [`LocalPredicate`] |
+//! | conjunctive | sublattice | [`Conjunctive`] |
+//! | regular | under ∩ and ∪ | [`RegularPredicate`] |
+//! | linear | under ∩ | [`LinearPredicate`] |
+//! | post-linear | under ∪ | [`PostLinearPredicate`] |
+//! | k-local | none assumed | [`KLocalPredicate`] |
+//! | arbitrary | none | [`FnPredicate`] |
+//!
+//! Concrete predicates include channel bounds ([`AtMostInTransit`],
+//! [`AtLeastInTransit`], [`PendingAtMost`]) and monotone-counter
+//! synchronization ([`BoundedDifference`]). The [`expr`] module adds a
+//! parsed expression language (`"x1@0 > 1 && x3@2 <= 3"`) with automatic
+//! classification into the table above.
+//!
+//! # Example
+//!
+//! ```
+//! use slicing_computation::test_fixtures::figure1;
+//! use slicing_computation::{Cut, GlobalState};
+//! use slicing_predicates::{expr::parse_predicate, Predicate};
+//!
+//! let comp = figure1();
+//! let pred = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3")?;
+//! let cut = Cut::from(vec![1, 2, 2]);
+//! assert!(pred.eval(&GlobalState::new(&comp, &cut)));
+//! # Ok::<(), slicing_predicates::expr::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod channel;
+mod conjunctive;
+mod counters;
+mod fnpred;
+mod klocal;
+mod local;
+mod predicate;
+
+pub mod expr;
+
+pub use channel::{AtLeastInTransit, AtMostInTransit, PendingAtMost, SentPendingAtMost};
+pub use conjunctive::Conjunctive;
+pub use counters::{approximately_synchronized, BoundedDifference};
+pub use fnpred::FnPredicate;
+pub use klocal::KLocalPredicate;
+pub use local::LocalPredicate;
+pub use predicate::{LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate};

@@ -1,0 +1,260 @@
+//! Local predicates: boolean functions of a single process's variables.
+
+use std::fmt;
+use std::sync::Arc;
+
+use slicing_computation::{Computation, GlobalState, ProcSet, ProcessId, Value, VarRef};
+
+use crate::predicate::{LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate};
+
+type LocalFn = dyn Fn(&[Value]) -> bool + Send + Sync;
+
+/// A predicate over the variables of a single process.
+///
+/// Local predicates are the building blocks of conjunctive predicates and
+/// of the Stoller–Schneider k-local transform. Because a local predicate
+/// depends only on one process's frontier event, it can be evaluated per
+/// event position without materializing cuts — which is what makes the
+/// `O(|E|)` conjunctive slicer possible.
+///
+/// Every local predicate is regular: its satisfying cuts are exactly those
+/// whose frontier on the process lies in a fixed set of positions, which is
+/// closed under componentwise min and max.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::{ComputationBuilder, Cut, GlobalState, Value};
+/// use slicing_predicates::{LocalPredicate, Predicate};
+///
+/// let mut b = ComputationBuilder::new(1);
+/// let x = b.declare_var(b.process(0), "x", Value::Int(0));
+/// b.step(b.process(0), &[(x, Value::Int(5))]);
+/// let comp = b.build()?;
+///
+/// let p = LocalPredicate::int(x, "x ≥ 5", |x| x >= 5);
+/// let top = comp.top_cut();
+/// assert!(p.eval(&GlobalState::new(&comp, &top)));
+/// assert!(!p.holds_at(&comp, 0));
+/// assert!(p.holds_at(&comp, 1));
+/// # Ok::<(), slicing_computation::BuildError>(())
+/// ```
+#[derive(Clone)]
+pub struct LocalPredicate {
+    process: ProcessId,
+    vars: Arc<[VarRef]>,
+    f: Arc<LocalFn>,
+    label: String,
+}
+
+impl LocalPredicate {
+    /// Creates a local predicate reading the given variables (all on the
+    /// same process) and evaluated by `f`, which receives the values in the
+    /// order of `vars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or the variables span multiple processes.
+    pub fn new(
+        vars: impl Into<Vec<VarRef>>,
+        label: impl Into<String>,
+        f: impl Fn(&[Value]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        let vars: Vec<VarRef> = vars.into();
+        assert!(
+            !vars.is_empty(),
+            "a local predicate needs at least one variable"
+        );
+        let process = vars[0].process();
+        assert!(
+            vars.iter().all(|v| v.process() == process),
+            "local predicate variables must live on one process"
+        );
+        LocalPredicate {
+            process,
+            vars: vars.into(),
+            f: Arc::new(f),
+            label: label.into(),
+        }
+    }
+
+    /// Convenience constructor for a predicate over one integer variable.
+    ///
+    /// # Panics
+    ///
+    /// Evaluation panics if the variable does not hold an integer.
+    pub fn int(
+        var: VarRef,
+        label: impl Into<String>,
+        f: impl Fn(i64) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        LocalPredicate::new(vec![var], label, move |vals| f(vals[0].expect_int()))
+    }
+
+    /// Convenience constructor for a predicate over one boolean variable.
+    ///
+    /// # Panics
+    ///
+    /// Evaluation panics if the variable does not hold a boolean.
+    pub fn bool(var: VarRef, label: impl Into<String>) -> Self {
+        LocalPredicate::new(vec![var], label, |vals| vals[0].expect_bool())
+    }
+
+    /// Convenience constructor: the variable equals the given value.
+    pub fn equals(var: VarRef, value: Value) -> Self {
+        LocalPredicate::new(vec![var], format!("v == {value}"), move |vals| {
+            vals[0] == value
+        })
+    }
+
+    /// Convenience constructor: all listed variables equal the given values
+    /// simultaneously (used by the k-local DNF transform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` and `values` differ in length (or `vars` spans
+    /// multiple processes, per [`LocalPredicate::new`]).
+    pub fn equals_all(vars: Vec<VarRef>, values: Vec<Value>) -> Self {
+        assert_eq!(vars.len(), values.len());
+        let label = format!("locals == {values:?}");
+        LocalPredicate::new(vars, label, move |vals| {
+            vals.iter().zip(&values).all(|(a, b)| a == b)
+        })
+    }
+
+    /// The process this predicate reads.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// The variables this predicate reads.
+    pub fn vars(&self) -> &[VarRef] {
+        &self.vars
+    }
+
+    /// The human-readable label used in `Debug` output.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Evaluates the predicate at event position `pos` of its process: the
+    /// truth value any cut whose frontier on the process is `pos` observes.
+    pub fn holds_at(&self, comp: &Computation, pos: u32) -> bool {
+        let values: Vec<Value> = self.vars.iter().map(|&v| comp.value_at(v, pos)).collect();
+        (self.f)(&values)
+    }
+}
+
+impl fmt::Debug for LocalPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Local({} @ {})", self.label, self.process)
+    }
+}
+
+impl Predicate for LocalPredicate {
+    fn support(&self) -> ProcSet {
+        ProcSet::singleton(self.process)
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        self.holds_at(state.computation(), state.cut().frontier_pos(self.process))
+    }
+}
+
+impl LinearPredicate for LocalPredicate {
+    fn forbidden_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        debug_assert!(!self.eval(state));
+        self.process
+    }
+}
+
+impl PostLinearPredicate for LocalPredicate {
+    fn retreat_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        debug_assert!(!self.eval(state));
+        self.process
+    }
+}
+
+impl RegularPredicate for LocalPredicate {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::oracle::{satisfying_cuts, sublattice_closure};
+    use slicing_computation::test_fixtures::figure1;
+    use slicing_computation::{ComputationBuilder, Cut};
+
+    #[test]
+    fn evaluates_frontier_values() {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let p = LocalPredicate::int(x1, "x1 > 1", |x| x > 1);
+        // x1 values by position: 2, 3, -1, 0.
+        assert!(p.holds_at(&comp, 0));
+        assert!(p.holds_at(&comp, 1));
+        assert!(!p.holds_at(&comp, 2));
+        assert!(!p.holds_at(&comp, 3));
+        let cut = Cut::from(vec![2, 1, 1]);
+        assert!(p.eval(&GlobalState::new(&comp, &cut)));
+    }
+
+    #[test]
+    fn multi_variable_local() {
+        let mut b = ComputationBuilder::new(1);
+        let p0 = b.process(0);
+        let x = b.declare_var(p0, "x", Value::Int(1));
+        let y = b.declare_var(p0, "y", Value::Int(2));
+        b.step(p0, &[(x, Value::Int(5))]);
+        let comp = b.build().unwrap();
+        let p = LocalPredicate::new(vec![x, y], "x < y", |v| {
+            v[0].expect_int() < v[1].expect_int()
+        });
+        assert!(p.holds_at(&comp, 0));
+        assert!(!p.holds_at(&comp, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one process")]
+    fn cross_process_variables_rejected() {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        let y = b.declare_var(b.process(1), "y", Value::Int(0));
+        let _ = LocalPredicate::new(vec![x, y], "bad", |_| true);
+    }
+
+    #[test]
+    fn equality_constructors() {
+        let comp = figure1();
+        let x2 = comp.var(comp.process(1), "x2").unwrap();
+        let p = LocalPredicate::equals(x2, Value::Int(4));
+        // x2 values: 2, 1, 4, 0 → only position 2 matches.
+        assert!((0..4).filter(|&pos| p.holds_at(&comp, pos)).eq([2]));
+        let q = LocalPredicate::equals_all(vec![x2], vec![Value::Int(1)]);
+        assert!(q.holds_at(&comp, 1));
+        assert!(!q.holds_at(&comp, 0));
+    }
+
+    #[test]
+    fn local_predicates_are_regular_by_oracle() {
+        // The satisfying cuts of a local predicate form a sublattice.
+        let comp = figure1();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        let p = LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3);
+        let sat = satisfying_cuts(&comp, |st| p.eval(st));
+        let closed = sublattice_closure(&sat);
+        assert_eq!(closed.len(), sat.len(), "local predicate must be regular");
+    }
+
+    #[test]
+    fn accessors() {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let p = LocalPredicate::int(x1, "x1 > 1", |x| x > 1);
+        assert_eq!(p.process(), comp.process(0));
+        assert_eq!(p.vars(), &[x1]);
+        assert_eq!(p.label(), "x1 > 1");
+        assert!(format!("{p:?}").contains("x1 > 1"));
+        assert!(p.support().contains(comp.process(0)));
+        assert_eq!(p.support().len(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Core predicate traits: evaluation, linearity, post-linearity,
+//! regularity.
+
+use std::fmt;
+use std::sync::Arc;
+
+use slicing_computation::{GlobalState, ProcSet, ProcessId};
+
+/// A global predicate: a boolean function of the global state reached at a
+/// consistent cut.
+///
+/// Predicates are evaluated on the values of process variables (and channel
+/// contents) *after* executing all events in the cut, matching the paper's
+/// Section 2.
+pub trait Predicate: fmt::Debug + Send + Sync {
+    /// The processes whose variables (or channels) the predicate reads.
+    /// Detection and slicing use this to bound work: a predicate is
+    /// *k-local* when its support has at most `k` processes.
+    fn support(&self) -> ProcSet;
+
+    /// Evaluates the predicate at a global state.
+    fn eval(&self, state: &GlobalState<'_>) -> bool;
+}
+
+impl<P: Predicate + ?Sized> Predicate for &P {
+    fn support(&self) -> ProcSet {
+        (**self).support()
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        (**self).eval(state)
+    }
+}
+
+impl<P: Predicate + ?Sized> Predicate for Arc<P> {
+    fn support(&self) -> ProcSet {
+        (**self).support()
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        (**self).eval(state)
+    }
+}
+
+impl<P: Predicate + ?Sized> Predicate for Box<P> {
+    fn support(&self) -> ProcSet {
+        (**self).support()
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        (**self).eval(state)
+    }
+}
+
+/// A *linear* predicate: its set of satisfying consistent cuts is closed
+/// under set intersection (Chase–Garg).
+///
+/// Linearity is witnessed operationally by the *forbidden process*: when the
+/// predicate is false at a cut `C`, there is a process `p` such that **no**
+/// consistent cut `D ⊇ C` with the same frontier event of `p` satisfies the
+/// predicate — so any search (and the slicer's `J_b` computation) must
+/// advance `p` past its current event. This is the "crucial element" that
+/// makes the `O(n²|E|)` slicing algorithm of Section 4.3 work.
+pub trait LinearPredicate: Predicate {
+    /// Returns a forbidden process of `state`.
+    ///
+    /// Only called when `self.eval(state)` is false; implementations may
+    /// panic otherwise.
+    fn forbidden_process(&self, state: &GlobalState<'_>) -> ProcessId;
+}
+
+impl<P: LinearPredicate + ?Sized> LinearPredicate for &P {
+    fn forbidden_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        (**self).forbidden_process(state)
+    }
+}
+
+impl<P: LinearPredicate + ?Sized> LinearPredicate for Arc<P> {
+    fn forbidden_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        (**self).forbidden_process(state)
+    }
+}
+
+impl<P: LinearPredicate + ?Sized> LinearPredicate for Box<P> {
+    fn forbidden_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        (**self).forbidden_process(state)
+    }
+}
+
+/// A *post-linear* predicate: its set of satisfying consistent cuts is
+/// closed under set union — the order dual of [`LinearPredicate`].
+///
+/// Dually to the forbidden process, when the predicate is false at `C`
+/// there is a process `p` such that no satisfying `D ⊆ C` keeps the same
+/// frontier event of `p`; any satisfying subset must *retreat* `p`.
+pub trait PostLinearPredicate: Predicate {
+    /// Returns a process that must retreat below its current frontier event
+    /// in any satisfying cut `D ⊆ state.cut()`.
+    ///
+    /// Only called when `self.eval(state)` is false; implementations may
+    /// panic otherwise.
+    fn retreat_process(&self, state: &GlobalState<'_>) -> ProcessId;
+}
+
+impl<P: PostLinearPredicate + ?Sized> PostLinearPredicate for &P {
+    fn retreat_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        (**self).retreat_process(state)
+    }
+}
+
+impl<P: PostLinearPredicate + ?Sized> PostLinearPredicate for Arc<P> {
+    fn retreat_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        (**self).retreat_process(state)
+    }
+}
+
+impl<P: PostLinearPredicate + ?Sized> PostLinearPredicate for Box<P> {
+    fn retreat_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        (**self).retreat_process(state)
+    }
+}
+
+/// A *regular* predicate: its set of satisfying consistent cuts is closed
+/// under both set intersection and set union — a sublattice of the cut
+/// lattice (Definition 2 of the paper). The slice of a regular predicate is
+/// *lean*: it contains exactly the satisfying cuts.
+///
+/// Every regular predicate is both linear and post-linear; the supertrait
+/// bounds make that explicit. This trait is a semantic marker: implementing
+/// it asserts the closure property, which the slicers rely on (e.g. to
+/// promise lean slices). Implementations that violate the property produce
+/// approximate slices rather than unsound ones, but the leanness guarantee
+/// is lost.
+pub trait RegularPredicate: LinearPredicate + PostLinearPredicate {}
+
+impl<P: RegularPredicate + ?Sized> RegularPredicate for &P {}
+impl<P: RegularPredicate + ?Sized> RegularPredicate for Arc<P> {}
+impl<P: RegularPredicate + ?Sized> RegularPredicate for Box<P> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalPredicate;
+    use slicing_computation::{ComputationBuilder, Cut, Value};
+
+    #[test]
+    fn trait_objects_and_smart_pointers_compose() {
+        let mut b = ComputationBuilder::new(1);
+        let x = b.declare_var(b.process(0), "x", Value::Int(1));
+        let comp = b.build().unwrap();
+        let local = LocalPredicate::int(x, "x>0", |v| v > 0);
+
+        let by_ref: &dyn Predicate = &local;
+        let arc: Arc<dyn Predicate> = Arc::new(local.clone());
+        let boxed: Box<dyn Predicate> = Box::new(local.clone());
+
+        let cut = Cut::bottom(1);
+        let st = GlobalState::new(&comp, &cut);
+        assert!(by_ref.eval(&st));
+        assert!(arc.eval(&st));
+        assert!(boxed.eval(&st));
+        assert_eq!(arc.support().len(), 1);
+        // Blanket impls let references to trait objects be used generically.
+        fn takes_pred<P: Predicate>(p: P, st: &GlobalState<'_>) -> bool {
+            p.eval(st)
+        }
+        assert!(takes_pred(&arc, &st));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the expression language: the printer and parser are
+//! mutually consistent, and evaluation is total modulo reported errors.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use slicing_computation::lattice::all_cuts;
+use slicing_computation::test_fixtures::figure1;
+use slicing_computation::{Computation, GlobalState, VarRef};
+use slicing_predicates::expr::{parse_expr, BinOp, Expr};
+
+fn comp() -> &'static Computation {
+    static C: OnceLock<Computation> = OnceLock::new();
+    C.get_or_init(figure1)
+}
+
+fn int_vars() -> Vec<(VarRef, String)> {
+    let c = comp();
+    vec![
+        (c.var(c.process(0), "x1").unwrap(), "x1".to_owned()),
+        (c.var(c.process(1), "x2").unwrap(), "x2".to_owned()),
+        (c.var(c.process(2), "x3").unwrap(), "x3".to_owned()),
+    ]
+}
+
+/// Strategy for integer-typed expressions.
+fn int_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-3i64..=3).prop_map(Expr::Int),
+        (0usize..3).prop_map(|i| {
+            let (v, name) = int_vars()[i].clone();
+            Expr::Var(v, name)
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Mod)
+                ],
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(op, l, r)| Expr::Bin(op, Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+/// Strategy for boolean-typed expressions.
+fn bool_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Bool),
+        (
+            prop_oneof![
+                Just(BinOp::Lt),
+                Just(BinOp::Le),
+                Just(BinOp::Gt),
+                Just(BinOp::Ge),
+                Just(BinOp::Eq),
+                Just(BinOp::Ne)
+            ],
+            int_expr(),
+            int_expr()
+        )
+            .prop_map(|(op, l, r)| Expr::Bin(op, Box::new(l), Box::new(r))),
+    ];
+    leaf.prop_recursive(3, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (
+                prop_oneof![Just(BinOp::And), Just(BinOp::Or)],
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(op, l, r)| Expr::Bin(op, Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Printing and re-parsing an expression preserves its value at every
+    /// cut (including which evaluations error).
+    #[test]
+    fn display_parse_round_trip(e in bool_expr()) {
+        let c = comp();
+        let printed = e.to_string();
+        let reparsed = parse_expr(c, &printed)
+            .unwrap_or_else(|err| panic!("printed form {printed:?} failed to parse: {err}"));
+        for cut in all_cuts(c) {
+            let st = GlobalState::new(c, &cut);
+            let a = e.eval(&st);
+            let b = reparsed.eval(&st);
+            match (&a, &b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "cut {} of {}", cut, printed),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "eval divergence at {} for {}", cut, printed),
+            }
+        }
+    }
+
+    /// `negated` is a semantic complement wherever evaluation succeeds.
+    #[test]
+    fn negated_complements(e in bool_expr()) {
+        let c = comp();
+        let n = e.negated();
+        for cut in all_cuts(c) {
+            let st = GlobalState::new(c, &cut);
+            if let (Ok(a), Ok(b)) = (e.eval(&st), n.eval(&st)) {
+                prop_assert_eq!(
+                    a.expect_bool(),
+                    !b.expect_bool(),
+                    "cut {} of {}",
+                    cut,
+                    e
+                );
+            }
+        }
+    }
+
+    /// Support and variables are consistent: every variable's process is
+    /// in the support, and the counts line up.
+    #[test]
+    fn support_covers_variables(e in bool_expr()) {
+        let support = e.support();
+        for v in e.variables() {
+            prop_assert!(support.contains(v.process()));
+        }
+        prop_assert!(support.len() <= 3);
+    }
+
+    /// The parser never panics on arbitrary printable input (errors are
+    /// returned, not thrown).
+    #[test]
+    fn parser_is_panic_free(src in "[ -~]{0,40}") {
+        let _ = parse_expr(comp(), &src);
+    }
+}

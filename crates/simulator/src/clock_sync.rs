@@ -1,0 +1,208 @@
+//! A logical-clock synchronization protocol — the workload behind the
+//! paper's Section 4.1 running example, "counters of all processes are
+//! approximately synchronized" (`∀ i,j: |cᵢ − cⱼ| ≤ Δ`), the canonical
+//! *decomposable regular predicate* (clause span k = 2, s = n clauses per
+//! process).
+//!
+//! Every process ticks a monotonically non-decreasing counter and
+//! gossips it; receivers fast-forward to any larger value they hear.
+//! With gossip flowing the counters stay within a small drift.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use slicing_computation::{Computation, ComputationBuilder, Value, VarRef};
+use slicing_core::PredicateSpec;
+use slicing_predicates::{approximately_synchronized, BoundedDifference, KLocalPredicate};
+
+use crate::runtime::{Actions, MsgPayload, Protocol};
+
+const MSG_GOSSIP: u32 = 0;
+
+/// The clock-synchronization protocol (see module docs).
+#[derive(Debug)]
+pub struct ClockSync {
+    n: usize,
+    clocks: Vec<i64>,
+    vars: Vec<Option<VarRef>>,
+    /// Probability (percent) that a tick also gossips.
+    gossip_percent: u32,
+}
+
+impl ClockSync {
+    /// Creates the protocol over `n ≥ 2` processes, all starting at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "clock synchronization needs at least two processes");
+        ClockSync {
+            n,
+            clocks: vec![0; n],
+            vars: vec![None; n],
+            gossip_percent: 40,
+        }
+    }
+}
+
+impl Protocol for ClockSync {
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn declare_vars(&mut self, p: usize, b: &mut ComputationBuilder) {
+        let pid = b.process(p);
+        self.vars[p] = Some(b.declare_var(pid, "c", Value::Int(0)));
+    }
+
+    fn step(&mut self, p: usize, rng: &mut StdRng, out: &mut Actions) {
+        self.clocks[p] += 1;
+        out.set(self.vars[p].expect("declared"), self.clocks[p]);
+        if rng.random_range(0..100u32) < self.gossip_percent {
+            let peer = {
+                let mut q = rng.random_range(0..self.n);
+                if q == p {
+                    q = (q + 1) % self.n;
+                }
+                q
+            };
+            out.send(peer, (MSG_GOSSIP, self.clocks[p]));
+        }
+    }
+
+    fn on_message(&mut self, p: usize, _from: usize, payload: MsgPayload, out: &mut Actions) {
+        debug_assert_eq!(payload.0, MSG_GOSSIP);
+        // Fast-forward, preserving monotonicity.
+        if payload.1 > self.clocks[p] {
+            self.clocks[p] = payload.1;
+        }
+        out.set(self.vars[p].expect("declared"), self.clocks[p]);
+    }
+}
+
+/// The counter variables of a recorded run, in process order.
+pub fn clock_vars(comp: &Computation) -> Vec<VarRef> {
+    comp.processes()
+        .map(|p| comp.var(p, "c").expect("protocol variable"))
+        .collect()
+}
+
+/// The Section 4.1 predicate as decomposable clauses: `|cᵢ − cⱼ| ≤ delta`
+/// for all pairs — feed to
+/// [`slice_decomposable`](slicing_core::slice_decomposable).
+pub fn synchronized_clauses(comp: &Computation, delta: i64) -> Vec<BoundedDifference> {
+    approximately_synchronized(&clock_vars(comp), delta)
+}
+
+/// The *drift fault* `∃ i,j: |cᵢ − cⱼ| > delta` as a sliceable
+/// specification: a disjunction of 2-local leaves.
+pub fn drift_spec(comp: &Computation, delta: i64) -> PredicateSpec {
+    let vars = clock_vars(comp);
+    let mut disjuncts = Vec::new();
+    for (i, &a) in vars.iter().enumerate() {
+        for &b in &vars[i + 1..] {
+            disjuncts.push(PredicateSpec::klocal(KLocalPredicate::new(
+                vec![a, b],
+                format!("|c{}-c{}| > {delta}", a.process(), b.process()),
+                move |v| (v[0].expect_int() - v[1].expect_int()).abs() > delta,
+            )));
+        }
+    }
+    PredicateSpec::or(disjuncts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run, SimConfig};
+    use slicing_computation::lattice::for_each_cut;
+    use slicing_computation::oracle::expected_slice_cuts;
+    use slicing_computation::{Cut, GlobalState};
+    use slicing_core::slice_decomposable;
+    use slicing_predicates::Predicate;
+    use std::collections::BTreeSet;
+
+    fn small_run(seed: u64, n: usize, events: u32) -> Computation {
+        let cfg = SimConfig {
+            seed,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        run(&mut ClockSync::new(n), &cfg).expect("protocol run builds")
+    }
+
+    #[test]
+    fn clocks_are_monotone() {
+        let comp = small_run(1, 3, 15);
+        for p in comp.processes() {
+            let c = comp.var(p, "c").unwrap();
+            let mut last = -1;
+            for pos in 0..comp.len(p) {
+                let v = comp.value_at(c, pos).expect_int();
+                assert!(v >= last, "{p} position {pos}");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn decomposable_slice_matches_oracle_on_runs() {
+        for seed in 0..5 {
+            let comp = small_run(seed, 3, 5);
+            let clauses = synchronized_clauses(&comp, 1);
+            let slice = slice_decomposable(&comp, &clauses);
+            let got: BTreeSet<Cut> = slicing_computation::lattice::all_cuts(&slice)
+                .into_iter()
+                .collect();
+            let (want, sat) = expected_slice_cuts(&comp, |st| clauses.iter().all(|c| c.eval(st)));
+            assert_eq!(got, want, "seed {seed}");
+            assert_eq!(want.len(), sat.len(), "seed {seed}: leanness");
+        }
+    }
+
+    #[test]
+    fn drift_spec_matches_clause_negation() {
+        let comp = small_run(4, 3, 6);
+        let clauses = synchronized_clauses(&comp, 1);
+        let drift = drift_spec(&comp, 1);
+        for_each_cut(&comp, |cut| {
+            let st = GlobalState::new(&comp, cut);
+            let in_sync = clauses.iter().all(|c| c.eval(&st));
+            assert_eq!(drift.eval(&st), !in_sync, "cut {cut}");
+            true
+        });
+    }
+
+    #[test]
+    fn drift_detectable_without_gossip() {
+        // Isolated clocks drift arbitrarily: a delta-0 drift fault must
+        // appear as soon as one process ticks twice.
+        let mut proto = ClockSync::new(2);
+        proto.gossip_percent = 0;
+        let cfg = SimConfig {
+            seed: 2,
+            max_events_per_process: 4,
+            ..SimConfig::default()
+        };
+        let comp = run(&mut proto, &cfg).unwrap();
+        let spec = drift_spec(&comp, 1);
+        let slice = spec.slice(&comp);
+        assert!(!slice.is_empty_slice());
+        let mut found = false;
+        for_each_cut(&slice, |cut| {
+            if spec.eval(&GlobalState::new(&comp, cut)) {
+                found = true;
+                return false;
+            }
+            true
+        });
+        assert!(found, "isolated clocks must drift past Δ = 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "two processes")]
+    fn rejects_single_process() {
+        let _ = ClockSync::new(1);
+    }
+}

@@ -1,0 +1,341 @@
+//! The *database partitioning* protocol of the paper's second experiment
+//! (Section 5.1, after Stoller–Unnikrishnan–Liu).
+//!
+//! A database is partitioned among processes `p1..pn-1` while process `p0`
+//! assigns tasks based on the current partition. Any holder may suggest a
+//! new partition by raising its `change` flag and broadcasting the
+//! proposal; the coordinator serializes proposals so that, in fault-free
+//! runs, the invariant `I_db` — *if no process is changing the partition,
+//! all processes agree on it* — holds at every consistent cut.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use slicing_computation::{Computation, ComputationBuilder, ProcSet, Value, VarRef};
+use slicing_core::PredicateSpec;
+use slicing_predicates::{Conjunctive, FnPredicate, LocalPredicate};
+
+use crate::runtime::{Actions, MsgPayload, Protocol};
+
+const MSG_REQUEST: u32 = 0;
+const MSG_GRANT: u32 = 1;
+const MSG_PROPOSE: u32 = 2;
+const MSG_ADOPT_ACK: u32 = 3;
+const MSG_DONE: u32 = 4;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum HolderState {
+    Idle,
+    Requested,
+    /// Proposed a new partition; counting adoption acks.
+    Proposing {
+        acks_missing: u32,
+    },
+}
+
+/// The database-partitioning protocol. Process 0 is the task-assigning
+/// coordinator; processes `1..n` hold `partition` and `change` variables.
+#[derive(Debug)]
+pub struct DatabasePartitioning {
+    n: usize,
+    change_vars: Vec<Option<VarRef>>,
+    partition_vars: Vec<Option<VarRef>>,
+    tasks_var: Option<VarRef>,
+    state: Vec<HolderState>,
+    partition: Vec<i64>,
+    next_value: i64,
+    /// Coordinator: queue of holders waiting for a grant, and whether a
+    /// grant is outstanding.
+    waiting: Vec<usize>,
+    granted: bool,
+    tasks: i64,
+    /// Probability (percent) that an idle holder requests a change.
+    change_percent: u32,
+}
+
+impl DatabasePartitioning {
+    /// Creates the protocol over `n ≥ 3` processes (one coordinator, at
+    /// least two partition holders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n >= 3,
+            "database partitioning needs a coordinator and two holders"
+        );
+        DatabasePartitioning {
+            n,
+            change_vars: vec![None; n],
+            partition_vars: vec![None; n],
+            tasks_var: None,
+            state: vec![HolderState::Idle; n],
+            partition: vec![0; n],
+            next_value: 1,
+            waiting: Vec::new(),
+            granted: false,
+            tasks: 0,
+            change_percent: 20,
+        }
+    }
+
+    /// Indices of the partition-holder processes.
+    fn holders(&self) -> std::ops::Range<usize> {
+        1..self.n
+    }
+}
+
+impl Protocol for DatabasePartitioning {
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn declare_vars(&mut self, p: usize, b: &mut ComputationBuilder) {
+        let pid = b.process(p);
+        if p == 0 {
+            self.tasks_var = Some(b.declare_var(pid, "tasks", Value::Int(0)));
+        } else {
+            self.change_vars[p] = Some(b.declare_var(pid, "change", Value::Bool(false)));
+            self.partition_vars[p] = Some(b.declare_var(pid, "partition", Value::Int(0)));
+        }
+    }
+
+    fn step(&mut self, p: usize, rng: &mut StdRng, out: &mut Actions) {
+        if p == 0 {
+            // The coordinator assigns a task (a work event).
+            self.tasks += 1;
+            out.set(self.tasks_var.unwrap(), self.tasks);
+            return;
+        }
+        if self.state[p] == HolderState::Idle && rng.random_range(0..100u32) < self.change_percent {
+            self.state[p] = HolderState::Requested;
+            out.send(0, (MSG_REQUEST, 0));
+        } else {
+            // Holders do internal work too, so events accumulate on all
+            // processes like in the paper's runs.
+            out.internal();
+        }
+    }
+
+    fn on_message(&mut self, p: usize, from: usize, payload: MsgPayload, out: &mut Actions) {
+        match payload.0 {
+            MSG_REQUEST => {
+                debug_assert_eq!(p, 0);
+                if self.granted {
+                    self.waiting.push(from);
+                    out.internal();
+                } else {
+                    self.granted = true;
+                    out.send(from, (MSG_GRANT, 0));
+                }
+            }
+            MSG_GRANT => {
+                // Raise the flag, adopt locally, and broadcast.
+                let v = self.next_value;
+                self.next_value += 1;
+                self.partition[p] = v;
+                self.state[p] = HolderState::Proposing {
+                    acks_missing: (self.n - 2) as u32,
+                };
+                out.set(self.change_vars[p].unwrap(), true);
+                out.set(self.partition_vars[p].unwrap(), v);
+                for q in self.holders() {
+                    if q != p {
+                        out.send(q, (MSG_PROPOSE, v));
+                    }
+                }
+            }
+            MSG_PROPOSE => {
+                self.partition[p] = payload.1;
+                out.set(self.partition_vars[p].unwrap(), payload.1);
+                out.send(from, (MSG_ADOPT_ACK, 0));
+            }
+            MSG_ADOPT_ACK => {
+                let HolderState::Proposing { acks_missing } = self.state[p] else {
+                    panic!("unexpected adoption ack at holder {p}");
+                };
+                if acks_missing == 1 {
+                    // Everyone adopted: lower the flag, tell the
+                    // coordinator.
+                    self.state[p] = HolderState::Idle;
+                    out.set(self.change_vars[p].unwrap(), false);
+                    out.send(0, (MSG_DONE, 0));
+                } else {
+                    self.state[p] = HolderState::Proposing {
+                        acks_missing: acks_missing - 1,
+                    };
+                    out.internal();
+                }
+            }
+            MSG_DONE => {
+                debug_assert_eq!(p, 0);
+                self.granted = false;
+                if let Some(next) = if self.waiting.is_empty() {
+                    None
+                } else {
+                    Some(self.waiting.remove(0))
+                } {
+                    self.granted = true;
+                    out.send(next, (MSG_GRANT, 0));
+                } else {
+                    out.internal();
+                }
+            }
+            other => panic!("unknown database-partitioning message tag {other}"),
+        }
+    }
+}
+
+/// The invariant `I_db`: if no holder's `change` flag is raised, all
+/// partitions agree.
+pub fn invariant(comp: &Computation) -> FnPredicate {
+    let n = comp.num_processes();
+    let handles: Vec<(VarRef, VarRef)> = (1..n)
+        .map(|i| {
+            let p = comp.process(i);
+            (
+                comp.var(p, "change").expect("protocol variable"),
+                comp.var(p, "partition").expect("protocol variable"),
+            )
+        })
+        .collect();
+    FnPredicate::new(ProcSet::all(n), "I_db", move |st| {
+        let changing = handles.iter().any(|&(c, _)| st.get(c).expect_bool());
+        if changing {
+            return true;
+        }
+        let first = st.get(handles[0].1).expect_int();
+        handles
+            .iter()
+            .all(|&(_, v)| st.get(v).expect_int() == first)
+    })
+}
+
+/// The global fault `¬I_db` as a sliceable specification:
+///
+/// ```text
+/// ¬change_1 ∧ … ∧ ¬change_{n-1} ∧ (∨_{i≠j} partition_i ≠ partition_j)
+/// ```
+///
+/// Following Section 5.1, the last clause is rewritten against the values
+/// `V` that the *first holder's* partition takes in this computation:
+/// `∨_{v ∈ V} ∨_{i>1} (partition_1 = v ∧ partition_i ≠ v)`, reducing the
+/// clause count from `O(n|E|)` to `O(n|V|)`. Every disjunct is
+/// conjunctive, so each slices in `O(|E|)`.
+pub fn violation_spec(comp: &Computation) -> PredicateSpec {
+    let n = comp.num_processes();
+    let mut conjuncts: Vec<PredicateSpec> = Vec::new();
+    // ¬change_i for every holder.
+    for i in 1..n {
+        let p = comp.process(i);
+        let change = comp.var(p, "change").expect("protocol variable");
+        conjuncts.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+            LocalPredicate::new(vec![change], format!("!change_{i}"), |vals| {
+                !vals[0].expect_bool()
+            }),
+        ])));
+    }
+    // The disagreement clause, pivoted on holder 1.
+    let pivot = comp
+        .var(comp.process(1), "partition")
+        .expect("protocol variable");
+    let values = comp.distinct_values(pivot);
+    let mut disjuncts = Vec::new();
+    for v in values {
+        for i in 2..n {
+            let part_i = comp
+                .var(comp.process(i), "partition")
+                .expect("protocol variable");
+            disjuncts.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+                LocalPredicate::equals(pivot, v),
+                LocalPredicate::new(vec![part_i], format!("partition_{i} != {v}"), move |vals| {
+                    vals[0] != v
+                }),
+            ])));
+        }
+    }
+    conjuncts.push(PredicateSpec::or(disjuncts));
+    PredicateSpec::and(conjuncts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run, SimConfig};
+    use slicing_computation::lattice::for_each_cut;
+    use slicing_computation::GlobalState;
+    use slicing_predicates::Predicate;
+
+    fn small_run(seed: u64, n: usize, events: u32) -> Computation {
+        let cfg = SimConfig {
+            seed,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        run(&mut DatabasePartitioning::new(n), &cfg).expect("protocol run builds")
+    }
+
+    #[test]
+    fn fault_free_runs_satisfy_the_invariant_at_every_cut() {
+        for seed in 0..6 {
+            let comp = small_run(seed, 4, 8);
+            let inv = invariant(&comp);
+            for_each_cut(&comp, |cut| {
+                assert!(
+                    inv.eval(&GlobalState::new(&comp, cut)),
+                    "seed {seed} cut {cut}"
+                );
+                true
+            });
+        }
+    }
+
+    #[test]
+    fn violation_spec_matches_negated_invariant() {
+        for seed in 0..4 {
+            let comp = small_run(seed, 4, 7);
+            let inv = invariant(&comp);
+            let spec = violation_spec(&comp);
+            for_each_cut(&comp, |cut| {
+                let st = GlobalState::new(&comp, cut);
+                assert_eq!(spec.eval(&st), !inv.eval(&st), "seed {seed} cut {cut}");
+                true
+            });
+        }
+    }
+
+    #[test]
+    fn partitions_actually_change() {
+        let comp = small_run(9, 4, 20);
+        let part = comp.var(comp.process(1), "partition").unwrap();
+        assert!(
+            comp.distinct_values(part).len() > 1,
+            "no proposal ever completed"
+        );
+    }
+
+    #[test]
+    fn fault_free_slice_finds_no_violation() {
+        for seed in 0..4 {
+            let comp = small_run(seed, 4, 8);
+            let spec = violation_spec(&comp);
+            let slice = spec.slice(&comp);
+            let mut found = false;
+            for_each_cut(&slice, |cut| {
+                if spec.eval(&GlobalState::new(&comp, cut)) {
+                    found = true;
+                    return false;
+                }
+                true
+            });
+            assert!(!found, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinator and two holders")]
+    fn rejects_too_few_processes() {
+        let _ = DatabasePartitioning::new(2);
+    }
+}

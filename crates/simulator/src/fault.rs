@@ -1,0 +1,370 @@
+//! Fault injection: perturb a fault-free computation so that a global
+//! fault (a consistent cut violating the invariant) may appear — the
+//! paper's "faulty scenario" methodology.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use slicing_computation::{BuildError, Computation, ComputationBuilder, ProcessId, Value};
+
+/// A single injected fault: variable `var_name` of `process` reads `value`
+/// immediately after the event at `position`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The faulty process.
+    pub process: ProcessId,
+    /// Event position at which the corruption takes effect (0 = initial).
+    pub position: u32,
+    /// Name of the corrupted variable.
+    pub var_name: String,
+    /// The corrupted value.
+    pub value: Value,
+    /// `true`: the original value is restored at the next event (a
+    /// transient bit-flip); `false`: the corruption persists until the
+    /// protocol's next write.
+    pub transient: bool,
+}
+
+/// Rebuilds `comp` with `fault` applied.
+///
+/// The event structure (processes, positions, messages, labels) is
+/// unchanged; only the recorded variable snapshots differ.
+///
+/// # Errors
+///
+/// Returns an error if the fault references an unknown variable or
+/// out-of-range position.
+pub fn inject(comp: &Computation, fault: &FaultSpec) -> Result<Computation, FaultError> {
+    comp.var(fault.process, &fault.var_name)
+        .ok_or_else(|| FaultError::UnknownVariable {
+            process: fault.process,
+            name: fault.var_name.clone(),
+        })?;
+    if fault.position >= comp.len(fault.process) {
+        return Err(FaultError::PositionOutOfRange {
+            process: fault.process,
+            position: fault.position,
+        });
+    }
+
+    let n = comp.num_processes();
+    let mut b = ComputationBuilder::new(n);
+
+    // Re-declare all variables, applying the fault to initial values if it
+    // targets position 0.
+    for p in comp.processes() {
+        let names: Vec<String> = comp.var_names(p).map(str::to_owned).collect();
+        for name in names {
+            let v = comp.var(p, &name).expect("listed name resolves");
+            let mut initial = comp.value_at(v, 0);
+            if p == fault.process && fault.position == 0 && name == fault.var_name {
+                initial = fault.value;
+            }
+            b.try_declare_var(p, &name, initial)
+                .map_err(FaultError::Build)?;
+        }
+    }
+
+    // Replay events in original append order (event ids are dense in that
+    // order), rewriting the affected snapshots.
+    for e in comp.events() {
+        if comp.is_initial(e) {
+            continue;
+        }
+        let p = comp.process_of(e);
+        let pos = comp.position_of(e);
+        let ne = b.append_event(p);
+        let names: Vec<String> = comp.var_names(p).map(str::to_owned).collect();
+        for name in names {
+            let orig_var = comp.var(p, &name).expect("listed name resolves");
+            let new_var = b.var(p, &name).expect("declared above");
+            let mut value = comp.value_at(orig_var, pos);
+            if p == fault.process && name == fault.var_name {
+                if pos == fault.position {
+                    value = fault.value;
+                } else if fault.transient && pos == fault.position + 1 {
+                    // Restore explicitly: the carried-forward value would
+                    // otherwise keep the corruption.
+                    value = comp.value_at(orig_var, pos);
+                } else if !fault.transient && pos > fault.position {
+                    // Persist until the protocol writes a different value
+                    // than it originally carried forward.
+                    let orig_now = comp.value_at(orig_var, pos);
+                    let orig_prev = comp.value_at(orig_var, pos - 1);
+                    if orig_now == orig_prev {
+                        value = fault.value;
+                    }
+                }
+            }
+            b.assign(ne, new_var, value).map_err(FaultError::Build)?;
+        }
+        if let Some(l) = comp.label(e) {
+            let l = l.to_owned();
+            b.set_label(ne, &l);
+        }
+    }
+
+    for m in comp.messages() {
+        let send = b.event_at(comp.process_of(m.send), comp.position_of(m.send));
+        let recv = b.event_at(comp.process_of(m.recv), comp.position_of(m.recv));
+        b.message(send, recv).map_err(FaultError::Build)?;
+    }
+
+    b.build().map_err(FaultError::Build)
+}
+
+/// Errors from [`inject`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// The fault names a variable the process does not have.
+    UnknownVariable {
+        /// Target process.
+        process: ProcessId,
+        /// Unresolved name.
+        name: String,
+    },
+    /// The fault position exceeds the process's event count.
+    PositionOutOfRange {
+        /// Target process.
+        process: ProcessId,
+        /// Offending position.
+        position: u32,
+    },
+    /// Reconstruction failed (cannot happen for valid inputs).
+    Build(BuildError),
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::UnknownVariable { process, name } => {
+                write!(f, "process {process} has no variable {name:?}")
+            }
+            FaultError::PositionOutOfRange { process, position } => {
+                write!(f, "position {position} out of range on {process}")
+            }
+            FaultError::Build(e) => write!(f, "fault injection rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Injects a transient "secondary dropped its role" fault into a
+/// primary–secondary run: at a random event where some process is acting
+/// as secondary, its `isSecondary` flag reads `false` — the classic bug
+/// the paper's first experiment hunts.
+///
+/// Returns the faulty computation and the chosen fault, or `None` if the
+/// run has no event at which any process is a secondary.
+pub fn inject_primary_secondary_fault(
+    comp: &Computation,
+    seed: u64,
+) -> Option<(Computation, FaultSpec)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut candidates: Vec<(ProcessId, u32)> = Vec::new();
+    for p in comp.processes() {
+        let Some(var) = comp.var(p, "isSecondary") else {
+            continue;
+        };
+        for pos in 1..comp.len(p) {
+            if comp.value_at(var, pos).expect_bool() {
+                candidates.push((p, pos));
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let (process, position) = candidates[rng.random_range(0..candidates.len())];
+    let fault = FaultSpec {
+        process,
+        position,
+        var_name: "isSecondary".to_owned(),
+        value: Value::Bool(false),
+        transient: true,
+    };
+    let faulty = inject(comp, &fault).expect("candidate positions are valid");
+    Some((faulty, fault))
+}
+
+/// Injects a transient partition corruption into a database-partitioning
+/// run: at a random event of a random holder, its `partition` variable
+/// reads a value nobody proposed.
+///
+/// Returns `None` if the computation has no holder events.
+pub fn inject_database_fault(comp: &Computation, seed: u64) -> Option<(Computation, FaultSpec)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut candidates: Vec<(ProcessId, u32)> = Vec::new();
+    for p in comp.processes() {
+        if comp.var(p, "partition").is_none() {
+            continue;
+        }
+        for pos in 1..comp.len(p) {
+            candidates.push((p, pos));
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let (process, position) = candidates[rng.random_range(0..candidates.len())];
+    let fault = FaultSpec {
+        process,
+        position,
+        var_name: "partition".to_owned(),
+        value: Value::Int(-1),
+        transient: true,
+    };
+    let faulty = inject(comp, &fault).expect("candidate positions are valid");
+    Some((faulty, fault))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primary_secondary::{self, PrimarySecondary};
+    use crate::runtime::{run, SimConfig};
+    use slicing_computation::lattice::for_each_cut;
+    use slicing_computation::GlobalState;
+    use slicing_predicates::Predicate;
+
+    fn ps_run(seed: u64) -> Computation {
+        let cfg = SimConfig {
+            seed,
+            max_events_per_process: 8,
+            ..SimConfig::default()
+        };
+        run(&mut PrimarySecondary::new(3), &cfg).unwrap()
+    }
+
+    #[test]
+    fn transient_fault_changes_exactly_one_snapshot() {
+        let comp = ps_run(1);
+        let p = comp.process(1);
+        let fault = FaultSpec {
+            process: p,
+            position: 2,
+            var_name: "work".to_owned(),
+            value: Value::Int(999),
+            transient: true,
+        };
+        let faulty = inject(&comp, &fault).unwrap();
+        let orig = comp.var(p, "work").unwrap();
+        let new = faulty.var(p, "work").unwrap();
+        for pos in 0..comp.len(p) {
+            let want = if pos == 2 {
+                Value::Int(999)
+            } else {
+                comp.value_at(orig, pos)
+            };
+            assert_eq!(faulty.value_at(new, pos), want, "pos {pos}");
+        }
+        // Structure unchanged.
+        assert_eq!(faulty.num_events(), comp.num_events());
+        assert_eq!(faulty.messages(), comp.messages());
+    }
+
+    #[test]
+    fn persistent_fault_sticks_until_next_write() {
+        let comp = ps_run(2);
+        let p = comp.process(2);
+        let orig = comp.var(p, "work").unwrap();
+        // `work` increments on every work event, so a persistent fault is
+        // overwritten at the next work event; `isSecondary` is rarely
+        // written, so corrupt that instead.
+        let var = comp.var(p, "isSecondary").unwrap();
+        let fault = FaultSpec {
+            process: p,
+            position: 1,
+            var_name: "isSecondary".to_owned(),
+            value: Value::Bool(true),
+            transient: false,
+        };
+        let faulty = inject(&comp, &fault).unwrap();
+        let fvar = faulty.var(p, "isSecondary").unwrap();
+        // Corruption persists while the original carried the value
+        // forward.
+        let mut pos = 1;
+        while pos < comp.len(p)
+            && (pos == 1 || comp.value_at(var, pos) == comp.value_at(var, pos - 1))
+        {
+            assert_eq!(faulty.value_at(fvar, pos), Value::Bool(true), "pos {pos}");
+            pos += 1;
+        }
+        let _ = orig;
+    }
+
+    #[test]
+    fn ps_fault_creates_detectable_violation_for_some_seed() {
+        // Random injection does not guarantee a violating cut, but across
+        // a handful of seeds at least one must appear.
+        let comp = ps_run(3);
+        let mut any = false;
+        for fseed in 0..10 {
+            let Some((faulty, _)) = inject_primary_secondary_fault(&comp, fseed) else {
+                continue;
+            };
+            let inv = primary_secondary::invariant(&faulty);
+            let mut violated = false;
+            for_each_cut(&faulty, |cut| {
+                if !inv.eval(&GlobalState::new(&faulty, cut)) {
+                    violated = true;
+                    return false;
+                }
+                true
+            });
+            if violated {
+                any = true;
+                break;
+            }
+        }
+        assert!(any, "no fault seed produced a violating cut");
+    }
+
+    #[test]
+    fn database_fault_injects() {
+        use crate::database::DatabasePartitioning;
+        let cfg = SimConfig {
+            seed: 4,
+            max_events_per_process: 8,
+            ..SimConfig::default()
+        };
+        let comp = run(&mut DatabasePartitioning::new(4), &cfg).unwrap();
+        let (faulty, fault) = inject_database_fault(&comp, 1).unwrap();
+        assert_eq!(fault.var_name, "partition");
+        assert_eq!(faulty.num_events(), comp.num_events());
+    }
+
+    #[test]
+    fn errors_on_bad_fault_specs() {
+        let comp = ps_run(5);
+        let bad_var = FaultSpec {
+            process: comp.process(0),
+            position: 1,
+            var_name: "nope".to_owned(),
+            value: Value::Int(0),
+            transient: true,
+        };
+        assert!(matches!(
+            inject(&comp, &bad_var),
+            Err(FaultError::UnknownVariable { .. })
+        ));
+        let bad_pos = FaultSpec {
+            process: comp.process(0),
+            position: 10_000,
+            var_name: "work".to_owned(),
+            value: Value::Int(0),
+            transient: true,
+        };
+        let err = inject(&comp, &bad_pos).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,256 @@
+//! A centralized mutual-exclusion protocol: a coordinator grants a single
+//! lock; holders work in their critical section and release. The safety
+//! property is classic — *at most one process is in its critical section
+//! at any consistent cut* — and its violation
+//! `∃ i<j: in_cs_i ∧ in_cs_j` is a disjunction of 2-local conjunctive
+//! predicates, sliced exactly by the Section 4.2 machinery.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use slicing_computation::{Computation, ComputationBuilder, Value, VarRef};
+use slicing_core::PredicateSpec;
+use slicing_predicates::{Conjunctive, LocalPredicate};
+
+use crate::runtime::{Actions, MsgPayload, Protocol};
+
+const MSG_REQUEST: u32 = 0;
+const MSG_GRANT: u32 = 1;
+const MSG_RELEASE: u32 = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ClientState {
+    Idle,
+    Waiting,
+    InCs { remaining_work: u32 },
+}
+
+/// The centralized-mutex protocol. Process 0 coordinates; processes
+/// `1..n` compete for the critical section.
+#[derive(Debug)]
+pub struct CentralMutex {
+    n: usize,
+    state: Vec<ClientState>,
+    cs_vars: Vec<Option<VarRef>>,
+    /// Coordinator bookkeeping.
+    queue: Vec<usize>,
+    granted: bool,
+    /// Probability (percent) that an idle client requests the lock.
+    request_percent: u32,
+}
+
+impl CentralMutex {
+    /// Creates the protocol over `n ≥ 3` processes (coordinator + two
+    /// competitors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "central mutex needs a coordinator and two clients");
+        CentralMutex {
+            n,
+            state: vec![ClientState::Idle; n],
+            cs_vars: vec![None; n],
+            queue: Vec::new(),
+            granted: false,
+            request_percent: 30,
+        }
+    }
+}
+
+impl Protocol for CentralMutex {
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn declare_vars(&mut self, p: usize, b: &mut ComputationBuilder) {
+        if p == 0 {
+            return; // the coordinator exposes no monitored state
+        }
+        let pid = b.process(p);
+        self.cs_vars[p] = Some(b.declare_var(pid, "in_cs", Value::Bool(false)));
+    }
+
+    fn step(&mut self, p: usize, rng: &mut StdRng, out: &mut Actions) {
+        if p == 0 {
+            return; // the coordinator only reacts
+        }
+        match self.state[p] {
+            ClientState::Idle => {
+                if rng.random_range(0..100u32) < self.request_percent {
+                    self.state[p] = ClientState::Waiting;
+                    out.send(0, (MSG_REQUEST, 0));
+                }
+            }
+            ClientState::InCs { remaining_work } => {
+                if remaining_work == 0 {
+                    self.state[p] = ClientState::Idle;
+                    out.set(self.cs_vars[p].expect("declared"), false);
+                    out.send(0, (MSG_RELEASE, 0));
+                } else {
+                    self.state[p] = ClientState::InCs {
+                        remaining_work: remaining_work - 1,
+                    };
+                    out.internal(); // critical-section work event
+                }
+            }
+            ClientState::Waiting => {}
+        }
+    }
+
+    fn on_message(&mut self, p: usize, from: usize, payload: MsgPayload, out: &mut Actions) {
+        match (p, payload.0) {
+            (0, MSG_REQUEST) => {
+                if self.granted {
+                    self.queue.push(from);
+                    out.internal();
+                } else {
+                    self.granted = true;
+                    out.send(from, (MSG_GRANT, 0));
+                }
+            }
+            (0, MSG_RELEASE) => {
+                if self.queue.is_empty() {
+                    self.granted = false;
+                    out.internal();
+                } else {
+                    let next = self.queue.remove(0);
+                    out.send(next, (MSG_GRANT, 0));
+                }
+            }
+            (_, MSG_GRANT) => {
+                self.state[p] = ClientState::InCs { remaining_work: 2 };
+                out.set(self.cs_vars[p].expect("declared"), true);
+            }
+            other => panic!("unexpected mutex message {other:?}"),
+        }
+    }
+}
+
+/// The safety violation `∃ i < j: in_cs_i ∧ in_cs_j` as a sliceable
+/// specification — a disjunction of 2-local conjunctive clauses (each
+/// clause is a conjunction of two booleans on different processes, so
+/// every disjunct slices in `O(|E|)`).
+pub fn violation_spec(comp: &Computation) -> PredicateSpec {
+    let vars: Vec<VarRef> = comp
+        .processes()
+        .filter_map(|p| comp.var(p, "in_cs"))
+        .collect();
+    let mut disjuncts = Vec::new();
+    for (i, &a) in vars.iter().enumerate() {
+        for &b in &vars[i + 1..] {
+            disjuncts.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+                LocalPredicate::bool(a, format!("in_cs_{}", a.process())),
+                LocalPredicate::bool(b, format!("in_cs_{}", b.process())),
+            ])));
+        }
+    }
+    PredicateSpec::or(disjuncts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{inject, FaultSpec};
+    use crate::runtime::{run, SimConfig};
+    use slicing_computation::lattice::for_each_cut;
+    use slicing_computation::GlobalState;
+
+    fn small_run(seed: u64, n: usize, events: u32) -> Computation {
+        let cfg = SimConfig {
+            seed,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        run(&mut CentralMutex::new(n), &cfg).expect("protocol run builds")
+    }
+
+    #[test]
+    fn mutual_exclusion_holds_at_every_cut() {
+        for seed in 0..6 {
+            let comp = small_run(seed, 4, 10);
+            let spec = violation_spec(&comp);
+            for_each_cut(&comp, |cut| {
+                assert!(
+                    !spec.eval(&GlobalState::new(&comp, cut)),
+                    "seed {seed}: two holders at {cut}"
+                );
+                true
+            });
+        }
+    }
+
+    #[test]
+    fn clients_actually_enter_the_critical_section() {
+        let comp = small_run(1, 4, 15);
+        let entered = comp
+            .processes()
+            .filter_map(|p| comp.var(p, "in_cs"))
+            .filter(|&v| (0..comp.len(v.process())).any(|pos| comp.value_at(v, pos).expect_bool()))
+            .count();
+        assert!(entered >= 2, "only {entered} clients ever held the lock");
+    }
+
+    #[test]
+    fn fault_free_slice_is_empty() {
+        for seed in 0..5 {
+            let comp = small_run(seed, 4, 10);
+            let slice = violation_spec(&comp).slice(&comp);
+            assert!(
+                slice.is_empty_slice(),
+                "seed {seed}: safety slice should be empty on correct runs"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_double_grant_is_detected() {
+        // Force a second holder by flipping a waiting client's in_cs flag
+        // while another client is inside.
+        let comp = small_run(2, 4, 12);
+        // Find a cut where someone is in the CS, then corrupt another
+        // client at a concurrent position.
+        let mut injected = None;
+        'outer: for victim in 1..4usize {
+            let p = comp.process(victim);
+            let var = comp.var(p, "in_cs").unwrap();
+            for pos in 1..comp.len(p) {
+                if !comp.value_at(var, pos).expect_bool() {
+                    let fault = FaultSpec {
+                        process: p,
+                        position: pos,
+                        var_name: "in_cs".to_owned(),
+                        value: Value::Bool(true),
+                        transient: true,
+                    };
+                    let faulty = inject(&comp, &fault).unwrap();
+                    let spec = violation_spec(&faulty);
+                    let slice = spec.slice(&faulty);
+                    let mut found = false;
+                    for_each_cut(&slice, |cut| {
+                        if spec.eval(&GlobalState::new(&faulty, cut)) {
+                            found = true;
+                            return false;
+                        }
+                        true
+                    });
+                    if found {
+                        injected = Some(fault);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(
+            injected.is_some(),
+            "no injection position produced a detectable violation"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two clients")]
+    fn rejects_too_few_processes() {
+        let _ = CentralMutex::new(2);
+    }
+}

@@ -1,0 +1,339 @@
+//! The *primary–secondary* protocol of the paper's first experiment
+//! (Section 5.1, after Stoller–Unnikrishnan–Liu).
+//!
+//! The system must always contain a pair of processes acting together as
+//! primary and secondary: a process `i` that is primary and correctly
+//! thinks `j` is its secondary, while `j` is secondary and correctly
+//! thinks `i` is its primary. Both roles may migrate at any time; the
+//! protocol coordinates migrations so that the invariant `I_ps` holds at
+//! **every** consistent cut of a fault-free run. A global fault is a
+//! consistent cut satisfying `¬I_ps`.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use slicing_computation::{Computation, ComputationBuilder, ProcSet, ProcessId, Value, VarRef};
+use slicing_core::PredicateSpec;
+use slicing_predicates::{Conjunctive, FnPredicate, LocalPredicate};
+
+use crate::runtime::{Actions, MsgPayload, Protocol};
+
+const MSG_BECOME_SECONDARY: u32 = 0;
+const MSG_ACK_SECONDARY: u32 = 1;
+const MSG_RELEASE: u32 = 2;
+const MSG_TAKE_PRIMARY: u32 = 3;
+const MSG_ACK_PRIMARY: u32 = 4;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pending {
+    None,
+    /// Waiting for the candidate's `AckSecondary`; remembers the old
+    /// secondary to release.
+    SecondaryChange {
+        old: usize,
+    },
+    /// Waiting for the secondary's `AckPrimary`.
+    PrimaryHandoff,
+}
+
+/// Variable handles of one process.
+#[derive(Debug, Clone, Copy)]
+struct Vars {
+    is_primary: VarRef,
+    is_secondary: VarRef,
+    primary: VarRef,
+    secondary: VarRef,
+    work: VarRef,
+}
+
+/// The primary–secondary protocol (see module docs). Process 0 starts as
+/// primary with process 1 as its secondary.
+#[derive(Debug)]
+pub struct PrimarySecondary {
+    n: usize,
+    vars: Vec<Option<Vars>>,
+    /// Mirror of the exposed state, used by the state machine.
+    is_primary: Vec<bool>,
+    secondary_of: Vec<usize>,
+    pending: Vec<Pending>,
+    work: Vec<i64>,
+    /// Probability (percent) that an idle primary starts a migration on a
+    /// spontaneous step.
+    change_percent: u32,
+}
+
+impl PrimarySecondary {
+    /// Creates the protocol over `n ≥ 2` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "the primary-secondary protocol needs two processes");
+        PrimarySecondary {
+            n,
+            vars: vec![None; n],
+            is_primary: (0..n).map(|i| i == 0).collect(),
+            secondary_of: (0..n).map(|_| 1).collect(),
+            pending: vec![Pending::None; n],
+            work: vec![0; n],
+            change_percent: 25,
+        }
+    }
+
+    fn v(&self, p: usize) -> Vars {
+        self.vars[p].expect("declare_vars ran for every process")
+    }
+}
+
+impl Protocol for PrimarySecondary {
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn declare_vars(&mut self, p: usize, b: &mut ComputationBuilder) {
+        let pid = b.process(p);
+        let vars = Vars {
+            is_primary: b.declare_var(pid, "isPrimary", Value::Bool(p == 0)),
+            is_secondary: b.declare_var(pid, "isSecondary", Value::Bool(p == 1)),
+            primary: b.declare_var(pid, "primary", Value::Pid(ProcessId::new(0))),
+            secondary: b.declare_var(pid, "secondary", Value::Pid(ProcessId::new(1))),
+            work: b.declare_var(pid, "work", Value::Int(0)),
+        };
+        self.vars[p] = Some(vars);
+    }
+
+    fn step(&mut self, p: usize, rng: &mut StdRng, out: &mut Actions) {
+        let vars = self.v(p);
+        // Primaries occasionally migrate a role; everyone does local work.
+        if self.is_primary[p]
+            && self.pending[p] == Pending::None
+            && rng.random_range(0..100u32) < self.change_percent
+        {
+            let sec = self.secondary_of[p];
+            if rng.random_bool(0.5) && self.n > 2 {
+                // Secondary change: pick a fresh candidate.
+                let mut q = rng.random_range(0..self.n);
+                while q == p || q == sec {
+                    q = rng.random_range(0..self.n);
+                }
+                self.pending[p] = Pending::SecondaryChange { old: sec };
+                out.send(q, (MSG_BECOME_SECONDARY, 0));
+            } else {
+                // Primary handoff to the current secondary.
+                self.pending[p] = Pending::PrimaryHandoff;
+                out.send(sec, (MSG_TAKE_PRIMARY, 0));
+            }
+            return;
+        }
+        // A local work event.
+        self.work[p] += 1;
+        out.set(vars.work, self.work[p]);
+    }
+
+    fn on_message(&mut self, p: usize, from: usize, payload: MsgPayload, out: &mut Actions) {
+        let vars = self.v(p);
+        match payload.0 {
+            MSG_BECOME_SECONDARY => {
+                out.set(vars.is_secondary, true);
+                out.set(vars.primary, Value::Pid(ProcessId::new(from)));
+                out.send(from, (MSG_ACK_SECONDARY, 0));
+            }
+            MSG_ACK_SECONDARY => {
+                // The candidate (sender) is in place; switch the pointer,
+                // then release the old secondary.
+                let Pending::SecondaryChange { old } = self.pending[p] else {
+                    // Stale ack (role moved on); treat as internal.
+                    out.internal();
+                    return;
+                };
+                self.pending[p] = Pending::None;
+                self.secondary_of[p] = from;
+                out.set(vars.secondary, Value::Pid(ProcessId::new(from)));
+                out.send(old, (MSG_RELEASE, 0));
+            }
+            MSG_RELEASE => {
+                out.set(vars.is_secondary, false);
+            }
+            MSG_TAKE_PRIMARY => {
+                // The old primary `from` becomes our secondary.
+                self.is_primary[p] = true;
+                self.secondary_of[p] = from;
+                out.set(vars.is_primary, true);
+                out.set(vars.secondary, Value::Pid(ProcessId::new(from)));
+                out.send(from, (MSG_ACK_PRIMARY, 0));
+            }
+            MSG_ACK_PRIMARY => {
+                // Stop being primary; become the new primary's secondary.
+                self.is_primary[p] = false;
+                self.pending[p] = Pending::None;
+                out.set(vars.is_primary, false);
+                out.set(vars.is_secondary, true);
+                out.set(vars.primary, Value::Pid(ProcessId::new(from)));
+            }
+            other => panic!("unknown primary-secondary message tag {other}"),
+        }
+    }
+}
+
+/// Variable handles resolved against a recorded computation.
+fn resolved(comp: &Computation, p: ProcessId) -> (VarRef, VarRef, VarRef, VarRef) {
+    (
+        comp.var(p, "isPrimary").expect("protocol variable"),
+        comp.var(p, "isSecondary").expect("protocol variable"),
+        comp.var(p, "primary").expect("protocol variable"),
+        comp.var(p, "secondary").expect("protocol variable"),
+    )
+}
+
+/// The invariant `I_ps`: some pair `(i, j)` forms a correct
+/// primary–secondary pair.
+pub fn invariant(comp: &Computation) -> FnPredicate {
+    let n = comp.num_processes();
+    let handles: Vec<_> = comp.processes().map(|p| resolved(comp, p)).collect();
+    FnPredicate::new(ProcSet::all(n), "I_ps", move |st| {
+        for i in 0..n {
+            let (ip, _, _, sec_i) = handles[i];
+            if !st.get(ip).expect_bool() {
+                continue;
+            }
+            let j = st.get(sec_i).expect_pid().as_usize();
+            if j == i || j >= n {
+                continue;
+            }
+            let (_, js, j_primary, _) = handles[j];
+            if st.get(js).expect_bool() && st.get(j_primary).expect_pid().as_usize() == i {
+                return true;
+            }
+        }
+        false
+    })
+}
+
+/// The global fault `¬I_ps` as a sliceable specification: a conjunction
+/// over ordered pairs `(i, j)` of clauses
+/// `(¬isPrimary_i ∨ secondary_i ≠ j) ∨ (¬isSecondary_j ∨ primary_j ≠ i)`,
+/// each a disjunction of two local predicates — exactly the CNF of
+/// 2-local clauses described in Section 5.1, whose approximate slice is
+/// computable in `O(n³|E|)`.
+pub fn violation_spec(comp: &Computation) -> PredicateSpec {
+    let mut clauses = Vec::new();
+    for i in comp.processes() {
+        for j in comp.processes() {
+            if i == j {
+                continue;
+            }
+            let (ip, _, _, sec_i) = resolved(comp, i);
+            let (_, js, j_primary, _) = resolved(comp, j);
+            let left = LocalPredicate::new(
+                vec![ip, sec_i],
+                format!("!isPrimary_{i} || secondary_{i} != {j}"),
+                move |vals| !vals[0].expect_bool() || vals[1].expect_pid() != j,
+            );
+            let right = LocalPredicate::new(
+                vec![js, j_primary],
+                format!("!isSecondary_{j} || primary_{j} != {i}"),
+                move |vals| !vals[0].expect_bool() || vals[1].expect_pid() != i,
+            );
+            clauses.push(PredicateSpec::or(vec![
+                PredicateSpec::conjunctive(Conjunctive::new(vec![left])),
+                PredicateSpec::conjunctive(Conjunctive::new(vec![right])),
+            ]));
+        }
+    }
+    PredicateSpec::and(clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run, SimConfig};
+    use slicing_computation::lattice::for_each_cut;
+    use slicing_computation::GlobalState;
+    use slicing_predicates::Predicate;
+
+    fn small_run(seed: u64, n: usize, events: u32) -> Computation {
+        let cfg = SimConfig {
+            seed,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        run(&mut PrimarySecondary::new(n), &cfg).expect("protocol run builds")
+    }
+
+    #[test]
+    fn fault_free_runs_satisfy_the_invariant_at_every_cut() {
+        for seed in 0..6 {
+            let comp = small_run(seed, 4, 8);
+            let inv = invariant(&comp);
+            let mut violations = 0u32;
+            for_each_cut(&comp, |cut| {
+                if !inv.eval(&GlobalState::new(&comp, cut)) {
+                    violations += 1;
+                }
+                true
+            });
+            assert_eq!(violations, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn violation_spec_matches_negated_invariant() {
+        for seed in 0..4 {
+            let comp = small_run(seed, 3, 6);
+            let inv = invariant(&comp);
+            let spec = violation_spec(&comp);
+            for_each_cut(&comp, |cut| {
+                let st = GlobalState::new(&comp, cut);
+                assert_eq!(spec.eval(&st), !inv.eval(&st), "seed {seed} cut {cut}");
+                true
+            });
+        }
+    }
+
+    #[test]
+    fn fault_free_slice_is_empty_or_fault_less() {
+        // The approximate slice for ¬I_ps on a fault-free run: searching
+        // it must find nothing (soundness lets us trust emptiness).
+        for seed in 0..4 {
+            let comp = small_run(seed, 3, 8);
+            let spec = violation_spec(&comp);
+            let slice = spec.slice(&comp);
+            let mut found = false;
+            for_each_cut(&slice, |cut| {
+                if spec.eval(&GlobalState::new(&comp, cut)) {
+                    found = true;
+                    return false;
+                }
+                true
+            });
+            assert!(!found, "seed {seed}: fault detected in fault-free run");
+        }
+    }
+
+    #[test]
+    fn roles_migrate_over_time() {
+        // In a long enough run someone other than p0 becomes primary, and
+        // the secondary pointer moves.
+        let comp = small_run(2, 4, 25);
+        let mut primary_seen = std::collections::HashSet::new();
+        for p in comp.processes() {
+            let ip = comp.var(p, "isPrimary").unwrap();
+            for pos in 0..comp.len(p) {
+                if comp.value_at(ip, pos).expect_bool() {
+                    primary_seen.insert(p.as_usize());
+                }
+            }
+        }
+        assert!(
+            primary_seen.len() >= 2,
+            "primary never migrated: {primary_seen:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs two processes")]
+    fn rejects_single_process() {
+        let _ = PrimarySecondary::new(1);
+    }
+}

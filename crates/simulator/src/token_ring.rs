@@ -1,0 +1,148 @@
+//! A token-ring mutual-exclusion protocol — the workload behind the
+//! paper's introductory predicate "no process has the token"
+//! (`no_token_1 ∧ … ∧ no_token_n`), which is conjunctive and holds exactly
+//! when the token is in transit.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use slicing_computation::{Computation, ComputationBuilder, Value, VarRef};
+use slicing_core::PredicateSpec;
+use slicing_predicates::{Conjunctive, LocalPredicate};
+
+use crate::runtime::{Actions, MsgPayload, Protocol};
+
+const MSG_TOKEN: u32 = 0;
+
+/// The token-ring protocol: one token circulates; the holder performs some
+/// critical-section work and passes the token to its right neighbour.
+#[derive(Debug)]
+pub struct TokenRing {
+    n: usize,
+    has_token: Vec<bool>,
+    token_vars: Vec<Option<VarRef>>,
+    work_vars: Vec<Option<VarRef>>,
+    work: Vec<i64>,
+    /// Probability (percent) that the holder passes the token on a step.
+    pass_percent: u32,
+}
+
+impl TokenRing {
+    /// Creates a ring of `n ≥ 2` processes; process 0 starts with the
+    /// token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "a token ring needs at least two processes");
+        TokenRing {
+            n,
+            has_token: (0..n).map(|i| i == 0).collect(),
+            token_vars: vec![None; n],
+            work_vars: vec![None; n],
+            work: vec![0; n],
+            pass_percent: 40,
+        }
+    }
+}
+
+impl Protocol for TokenRing {
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn declare_vars(&mut self, p: usize, b: &mut ComputationBuilder) {
+        let pid = b.process(p);
+        self.token_vars[p] = Some(b.declare_var(pid, "has_token", Value::Bool(p == 0)));
+        self.work_vars[p] = Some(b.declare_var(pid, "work", Value::Int(0)));
+    }
+
+    fn step(&mut self, p: usize, rng: &mut StdRng, out: &mut Actions) {
+        if self.has_token[p] && rng.random_range(0..100u32) < self.pass_percent {
+            self.has_token[p] = false;
+            out.set(self.token_vars[p].unwrap(), false);
+            out.send((p + 1) % self.n, (MSG_TOKEN, 0));
+        } else {
+            self.work[p] += 1;
+            out.set(self.work_vars[p].unwrap(), self.work[p]);
+        }
+    }
+
+    fn on_message(&mut self, p: usize, _from: usize, payload: MsgPayload, out: &mut Actions) {
+        debug_assert_eq!(payload.0, MSG_TOKEN);
+        self.has_token[p] = true;
+        out.set(self.token_vars[p].unwrap(), true);
+    }
+}
+
+/// The conjunctive predicate "no process has the token" — true exactly at
+/// cuts where the token is in some channel.
+pub fn no_token_spec(comp: &Computation) -> PredicateSpec {
+    let clauses = comp
+        .processes()
+        .map(|p| {
+            let var = comp.var(p, "has_token").expect("protocol variable");
+            LocalPredicate::new(vec![var], format!("!has_token_{p}"), |vals| {
+                !vals[0].expect_bool()
+            })
+        })
+        .collect();
+    PredicateSpec::conjunctive(Conjunctive::new(clauses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run, SimConfig};
+    use slicing_computation::lattice::{count_cuts, for_each_cut};
+    use slicing_computation::GlobalState;
+
+    fn small_run(seed: u64, n: usize, events: u32) -> Computation {
+        let cfg = SimConfig {
+            seed,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        run(&mut TokenRing::new(n), &cfg).expect("protocol run builds")
+    }
+
+    #[test]
+    fn at_most_one_process_holds_the_token_at_every_cut() {
+        for seed in 0..5 {
+            let comp = small_run(seed, 3, 8);
+            let vars: Vec<VarRef> = comp
+                .processes()
+                .map(|p| comp.var(p, "has_token").unwrap())
+                .collect();
+            for_each_cut(&comp, |cut| {
+                let st = GlobalState::new(&comp, cut);
+                let holders = vars.iter().filter(|&&v| st.get(v).expect_bool()).count();
+                assert!(holders <= 1, "seed {seed} cut {cut}: {holders} holders");
+                true
+            });
+        }
+    }
+
+    #[test]
+    fn no_token_detectable_iff_token_in_transit() {
+        let comp = small_run(3, 3, 10);
+        let spec = no_token_spec(&comp);
+        let slice = spec.slice(&comp);
+        // The token was passed at least once in this run, so "no process
+        // has the token" is detectable.
+        assert!(!slice.is_empty_slice());
+        // And the slice is lean (conjunctive): every cut satisfies it.
+        for_each_cut(&slice, |cut| {
+            assert!(spec.eval(&GlobalState::new(&comp, cut)));
+            true
+        });
+        // Exponentially fewer cuts than the computation.
+        assert!(
+            slice.count_cuts(None).value() < count_cuts(&comp, None).value() / 2,
+            "slice {} vs computation {}",
+            slice.count_cuts(None).value(),
+            count_cuts(&comp, None).value()
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Writing your own protocol against the simulator's `Protocol` trait and
+//! monitoring it with slicing: a request–reply client/server pair whose
+//! safety property is "the client never has two requests outstanding".
+//!
+//! ```text
+//! cargo run --example custom_protocol
+//! ```
+
+use computation_slicing::sim::{run, Actions, MsgPayload, Protocol, SimConfig};
+use computation_slicing::{
+    detect_with_slicing, ComputationBuilder, Limits, PendingAtMost, PredicateSpec, Value, VarRef,
+};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+const MSG_REQUEST: u32 = 0;
+const MSG_REPLY: u32 = 1;
+
+/// Process 0 is a client firing requests at process 1 whenever it believes
+/// none is outstanding; the server replies. The `outstanding` counter is
+/// the client's *belief* — the network can still hold a request and a
+/// reply at once only if the protocol is buggy.
+struct RequestReply {
+    outstanding: i64,
+    out_var: Option<VarRef>,
+    served_var: Option<VarRef>,
+    served: i64,
+    /// Injected bug: fire even when a request is outstanding.
+    buggy: bool,
+}
+
+impl RequestReply {
+    fn new(buggy: bool) -> Self {
+        RequestReply {
+            outstanding: 0,
+            out_var: None,
+            served_var: None,
+            served: 0,
+            buggy,
+        }
+    }
+}
+
+impl Protocol for RequestReply {
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn declare_vars(&mut self, p: usize, b: &mut ComputationBuilder) {
+        let pid = b.process(p);
+        if p == 0 {
+            self.out_var = Some(b.declare_var(pid, "outstanding", Value::Int(0)));
+        } else {
+            self.served_var = Some(b.declare_var(pid, "served", Value::Int(0)));
+        }
+    }
+
+    fn step(&mut self, p: usize, rng: &mut StdRng, out: &mut Actions) {
+        if p != 0 {
+            return; // the server only reacts
+        }
+        let may_fire = self.outstanding == 0 || (self.buggy && rng.random_bool(0.3));
+        if may_fire && rng.random_bool(0.6) {
+            self.outstanding += 1;
+            out.set(self.out_var.unwrap(), self.outstanding);
+            out.send(1, (MSG_REQUEST, self.outstanding));
+        }
+    }
+
+    fn on_message(&mut self, p: usize, _from: usize, payload: MsgPayload, out: &mut Actions) {
+        match (p, payload.0) {
+            (1, MSG_REQUEST) => {
+                self.served += 1;
+                out.set(self.served_var.unwrap(), self.served);
+                out.send(0, (MSG_REPLY, 0));
+            }
+            (0, MSG_REPLY) => {
+                self.outstanding -= 1;
+                out.set(self.out_var.unwrap(), self.outstanding);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+}
+
+fn monitor(label: &str, buggy: bool) {
+    let cfg = SimConfig {
+        seed: 77,
+        max_events_per_process: 20,
+        ..SimConfig::default()
+    };
+    let comp = run(&mut RequestReply::new(buggy), &cfg).expect("protocol run builds");
+
+    // The fault: more than one message outstanding anywhere toward the
+    // server — PendingAtMost is the paper's linear (non-regular) channel
+    // predicate, so its slice is computed with the Section 4.3 algorithm.
+    let fault = PredicateSpec::linear(Negated(PendingAtMost::new(comp.process(1), 1, 2)));
+    let outcome = detect_with_slicing(&comp, &fault, &Limits::none());
+    println!(
+        "{label}: {} events, fault {} (examined {} cuts in {:?})",
+        comp.num_events(),
+        if outcome.detected() {
+            "DETECTED"
+        } else {
+            "absent"
+        },
+        outcome.search.cuts_explored,
+        outcome.total_elapsed(),
+    );
+    if let Some(cut) = &outcome.search.found {
+        println!("  two requests in flight at cut {cut}");
+    }
+}
+
+/// `¬(pending ≤ 1)` = "at least two requests in transit". With a single
+/// sender this is linear: when too few messages are in flight, only new
+/// sends by the client can raise the count, so the client is the
+/// forbidden process.
+#[derive(Debug)]
+struct Negated(PendingAtMost);
+
+impl computation_slicing::Predicate for Negated {
+    fn support(&self) -> computation_slicing::ProcSet {
+        computation_slicing::Predicate::support(&self.0)
+    }
+    fn eval(&self, st: &computation_slicing::GlobalState<'_>) -> bool {
+        !computation_slicing::Predicate::eval(&self.0, st)
+    }
+}
+
+impl computation_slicing::LinearPredicate for Negated {
+    fn forbidden_process(
+        &self,
+        _st: &computation_slicing::GlobalState<'_>,
+    ) -> computation_slicing::ProcessId {
+        // Too few in transit: only new sends from the client can raise it.
+        computation_slicing::ProcessId::new(0)
+    }
+}
+
+fn main() {
+    monitor("correct protocol", false);
+    monitor("buggy protocol  ", true);
+}

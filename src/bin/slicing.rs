@@ -1,0 +1,269 @@
+//! `slicing` — command-line predicate detection over recorded traces.
+//!
+//! ```text
+//! slicing fixture figure1 > run.trace
+//! slicing stats   run.trace "x1@0 > 1 && x3@2 <= 3"
+//! slicing detect  run.trace "x1@0 > 1 && x3@2 <= 3" --engine slice
+//! slicing modality run.trace "x1@0 > 1" --mode definitely
+//! slicing cuts    run.trace --limit 40
+//! slicing dot     run.trace "x1@0 > 1 && x3@2 <= 3" | dot -Tsvg > slice.svg
+//! ```
+//!
+//! Traces use the line format of `slicing_computation::trace`; predicates
+//! use the `var@process` expression language.
+
+use std::process::ExitCode;
+
+use computation_slicing::computation::lattice::{count_cuts, for_each_cut};
+use computation_slicing::computation::test_fixtures;
+use computation_slicing::computation::trace::from_text;
+use computation_slicing::predicates::expr::parse_predicate;
+use computation_slicing::slicer::dot::{computation_to_dot, slice_to_dot};
+use computation_slicing::slicer::{compile_predicate, SliceStats};
+use computation_slicing::{
+    definitely, detect, detect_bfs, detect_dfs, detect_pom, detect_reverse_search,
+    detect_with_slicing, Computation, GlobalState, Limits,
+};
+
+fn usage() -> &'static str {
+    "usage:
+  slicing stats   <trace> <predicate>
+  slicing detect  <trace> <predicate> [--engine slice|bfs|dfs|pom|reverse|parallel|hybrid]
+                  [--max-cuts N] [--cap-kb N] [--threads N]
+  slicing modality <trace> <predicate> --mode possibly|definitely|invariant|controllable
+  slicing show    <trace> [<cut as comma list, e.g. 2,2,1>]
+  slicing cuts    <trace> [--limit N]
+  slicing dot     <trace> [<predicate>]
+  slicing fixture figure1
+
+<trace> is a file path or `-` for stdin; predicates use the expression
+language, e.g. \"x1@0 > 1 && x3@2 <= 3\"."
+}
+
+fn load_trace(path: &str) -> Result<Computation, String> {
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    from_text(&text).map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err(usage().to_owned());
+    };
+
+    match command.as_str() {
+        "fixture" => match args.get(1).map(String::as_str) {
+            Some("figure1") => {
+                print!(
+                    "{}",
+                    computation_slicing::computation::trace::to_text(&test_fixtures::figure1())
+                );
+                Ok(())
+            }
+            other => Err(format!("unknown fixture {other:?}; available: figure1")),
+        },
+        "stats" => {
+            let (trace, pred_src) = two_args(&args)?;
+            let comp = load_trace(trace)?;
+            let pred = parse_predicate(&comp, pred_src).map_err(|e| e.to_string())?;
+            let spec = compile_predicate(&comp, &pred);
+            let slice = spec.slice(&comp);
+            let stats = SliceStats::gather(&comp, &slice, Some(5_000_000));
+            println!("{stats}");
+            println!("meta-events:");
+            for (i, meta) in slice.meta_events().iter().enumerate() {
+                let names: Vec<String> = meta.iter().map(|&e| comp.describe_event(e)).collect();
+                println!("  M{i}: {{{}}}", names.join(", "));
+            }
+            Ok(())
+        }
+        "detect" => {
+            let (trace, pred_src) = two_args(&args)?;
+            let mut engine = "slice".to_owned();
+            let mut limits = Limits::none();
+            let mut threads = 4usize;
+            let mut it = args[3..].iter();
+            while let Some(flag) = it.next() {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag.as_str() {
+                    "--engine" => engine = value.clone(),
+                    "--max-cuts" => {
+                        limits.max_cuts = Some(value.parse().map_err(|e| format!("{e}"))?)
+                    }
+                    "--cap-kb" => {
+                        let kb: u64 = value.parse().map_err(|e| format!("{e}"))?;
+                        limits.max_bytes = Some(kb * 1024);
+                    }
+                    "--threads" => threads = value.parse().map_err(|e| format!("{e}"))?,
+                    other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+                }
+            }
+            let comp = load_trace(trace)?;
+            let pred = parse_predicate(&comp, pred_src).map_err(|e| e.to_string())?;
+
+            let outcome = match engine.as_str() {
+                "slice" => {
+                    let spec = compile_predicate(&comp, &pred);
+                    let r = detect_with_slicing(&comp, &spec, &limits);
+                    println!(
+                        "slicing: {} (slice {} bytes, computed in {:?})",
+                        r.search, r.slice_bytes, r.slicing_elapsed
+                    );
+                    r.search
+                }
+                "bfs" => detect_bfs(&comp, &comp, &pred, &limits),
+                "dfs" => detect_dfs(&comp, &comp, &pred, &limits),
+                "pom" => detect_pom(&comp, &pred, &limits),
+                "reverse" => detect_reverse_search(&comp, &pred, &limits),
+                "parallel" => detect::detect_bfs_parallel(&comp, &comp, &pred, &limits, threads),
+                "hybrid" => {
+                    let spec = compile_predicate(&comp, &pred);
+                    let budget = detect::suggested_pom_budget(&comp, 4);
+                    let h = detect::detect_hybrid(&comp, &spec, budget, &limits);
+                    println!(
+                        "hybrid: answered by {:?} (POM budget {budget} bytes)",
+                        h.phase
+                    );
+                    match (h.phase, h.slicing) {
+                        (detect::HybridPhase::Slicing, Some(s)) => s.search,
+                        _ => h.pom,
+                    }
+                }
+                other => return Err(format!("unknown engine {other}\n\n{}", usage())),
+            };
+            if engine != "slice" {
+                println!("{engine}: {outcome}");
+            }
+            match &outcome.found {
+                Some(cut) => {
+                    println!("witness cut: {cut}");
+                    let st = GlobalState::new(&comp, cut);
+                    for p in comp.processes() {
+                        let vals: Vec<String> = comp
+                            .var_names(p)
+                            .map(|n| format!("{n}={}", st.get_named(p, n).expect("listed")))
+                            .collect();
+                        println!(
+                            "  {p} @ {}: {}",
+                            comp.describe_event(st.frontier(p)),
+                            vals.join(", ")
+                        );
+                    }
+                }
+                None if outcome.completed() => println!("predicate does not hold anywhere"),
+                None => println!("undecided: search hit a resource limit"),
+            }
+            Ok(())
+        }
+        "modality" => {
+            let (trace, pred_src) = two_args(&args)?;
+            let mode = match (args.get(3).map(String::as_str), args.get(4)) {
+                (Some("--mode"), Some(m)) => m.clone(),
+                _ => return Err(format!("modality needs --mode\n\n{}", usage())),
+            };
+            let comp = load_trace(trace)?;
+            let pred = parse_predicate(&comp, pred_src).map_err(|e| e.to_string())?;
+            let limits = Limits::none();
+            let verdict = match mode.as_str() {
+                "possibly" => detect_bfs(&comp, &comp, &pred, &limits).detected(),
+                "definitely" => definitely(&comp, &pred, &limits),
+                "invariant" => detect::invariant(&comp, &pred, &limits),
+                "controllable" => detect::controllable(&comp, &pred, &limits),
+                other => return Err(format!("unknown mode {other}\n\n{}", usage())),
+            };
+            println!("{mode}: {verdict}");
+            Ok(())
+        }
+        "show" => {
+            let trace = args.get(1).ok_or_else(|| usage().to_owned())?;
+            let comp = load_trace(trace)?;
+            let cut = match args.get(2) {
+                Some(spec) => {
+                    let counts: Result<Vec<u32>, _> =
+                        spec.split(',').map(|t| t.trim().parse()).collect();
+                    let cut = computation_slicing::Cut::from(
+                        counts.map_err(|e| format!("invalid cut: {e}"))?,
+                    );
+                    if !comp.is_consistent(&cut) {
+                        return Err(format!("{cut} is not a consistent cut of this trace"));
+                    }
+                    Some(cut)
+                }
+                None => None,
+            };
+            print!(
+                "{}",
+                computation_slicing::computation::render::render_space_time(&comp, cut.as_ref())
+            );
+            Ok(())
+        }
+        "cuts" => {
+            let trace = args.get(1).ok_or_else(|| usage().to_owned())?;
+            let mut limit = 100u64;
+            if let (Some(flag), Some(value)) = (args.get(2), args.get(3)) {
+                if flag == "--limit" {
+                    limit = value.parse().map_err(|e| format!("{e}"))?;
+                }
+            }
+            let comp = load_trace(trace)?;
+            let mut shown = 0u64;
+            for_each_cut(&comp, |cut| {
+                println!("{cut}");
+                shown += 1;
+                shown < limit
+            });
+            let total = count_cuts(&comp, Some(5_000_000));
+            println!(
+                "# shown {shown} of {}{}",
+                total.value(),
+                if total.is_exact() { "" } else { "+" }
+            );
+            Ok(())
+        }
+        "dot" => {
+            let trace = args.get(1).ok_or_else(|| usage().to_owned())?;
+            let comp = load_trace(trace)?;
+            match args.get(2) {
+                Some(pred_src) => {
+                    let pred = parse_predicate(&comp, pred_src).map_err(|e| e.to_string())?;
+                    let spec = compile_predicate(&comp, &pred);
+                    let slice = spec.slice(&comp);
+                    print!("{}", slice_to_dot(&slice));
+                }
+                None => print!("{}", computation_to_dot(&comp)),
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+fn two_args(args: &[String]) -> Result<(&str, &str), String> {
+    match (args.get(1), args.get(2)) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(usage().to_owned()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

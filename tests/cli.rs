@@ -1,0 +1,164 @@
+//! End-to-end tests of the `slicing` command-line tool.
+
+use std::process::{Command, Output, Stdio};
+
+fn slicing(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_slicing"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn slicing_with_stdin(args: &[&str], stdin: &str) -> Output {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_slicing"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin written");
+    child.wait_with_output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn figure1_trace() -> String {
+    let out = slicing(&["fixture", "figure1"]);
+    assert!(out.status.success());
+    stdout(&out)
+}
+
+#[test]
+fn fixture_emits_a_parsable_trace() {
+    let trace = figure1_trace();
+    assert!(trace.contains("procs 3"));
+    assert!(trace.contains("var 0 x1 2"));
+    // Round-trip through the library parser.
+    let comp = computation_slicing::computation::trace::from_text(&trace).unwrap();
+    assert_eq!(comp.num_events(), 12);
+}
+
+#[test]
+fn stats_reports_the_figure1_reduction() {
+    let trace = figure1_trace();
+    let out = slicing_with_stdin(&["stats", "-", "x1@0 > 1 && x3@2 <= 3"], &trace);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("28 → 6"), "{text}");
+    assert!(text.contains("M3"), "{text}");
+}
+
+#[test]
+fn detect_engines_agree() {
+    let trace = figure1_trace();
+    let pred = "x1@0 * x2@1 + x3@2 < 5 && x1@0 > 1 && x3@2 <= 3";
+    for engine in [
+        "slice", "bfs", "dfs", "pom", "reverse", "parallel", "hybrid",
+    ] {
+        let out = slicing_with_stdin(&["detect", "-", pred, "--engine", engine], &trace);
+        assert!(out.status.success(), "{engine}");
+        let text = stdout(&out);
+        assert!(text.contains("witness cut"), "{engine}: {text}");
+    }
+}
+
+#[test]
+fn detect_reports_absence() {
+    let trace = figure1_trace();
+    let out = slicing_with_stdin(&["detect", "-", "x1@0 > 99"], &trace);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("does not hold anywhere"));
+}
+
+#[test]
+fn modalities_answer() {
+    let trace = figure1_trace();
+    for (mode, expect) in [
+        ("possibly", "possibly: true"),
+        ("definitely", "definitely: false"),
+        ("invariant", "invariant: false"),
+        ("controllable", "controllable: false"),
+    ] {
+        let out = slicing_with_stdin(
+            &["modality", "-", "x1@0 > 1 && x3@2 <= 3", "--mode", mode],
+            &trace,
+        );
+        assert!(out.status.success(), "{mode}");
+        assert!(stdout(&out).contains(expect), "{mode}: {}", stdout(&out));
+    }
+}
+
+#[test]
+fn show_renders_space_time() {
+    let trace = figure1_trace();
+    let out = slicing_with_stdin(&["show", "-"], &trace);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains('⊥'));
+    assert!(text.contains("[s1]"));
+    // With a cut fence.
+    let out = slicing_with_stdin(&["show", "-", "2,2,2"], &trace);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains('|'));
+    // Inconsistent cuts are rejected.
+    let out = slicing_with_stdin(&["show", "-", "1,1,2"], &trace);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cuts_lists_with_limit() {
+    let trace = figure1_trace();
+    let out = slicing_with_stdin(&["cuts", "-", "--limit", "5"], &trace);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("# shown 5 of 28"), "{text}");
+}
+
+#[test]
+fn dot_outputs_graphviz() {
+    let trace = figure1_trace();
+    let out = slicing_with_stdin(&["dot", "-"], &trace);
+    assert!(out.status.success());
+    assert!(stdout(&out).starts_with("digraph computation"));
+    let out = slicing_with_stdin(&["dot", "-", "x1@0 > 1 && x3@2 <= 3"], &trace);
+    assert!(out.status.success());
+    assert!(stdout(&out).starts_with("digraph slice"));
+}
+
+#[test]
+fn errors_exit_nonzero_with_usage() {
+    let out = slicing(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = slicing(&["bogus"]);
+    assert!(!out.status.success());
+
+    let trace = figure1_trace();
+    let out = slicing_with_stdin(&["detect", "-", "nope@0 > 1"], &trace);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no variable"));
+
+    let out = slicing_with_stdin(&["detect", "-", "x1@0 > 1", "--engine", "warp"], &trace);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = slicing(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("usage:"));
+}

@@ -1,0 +1,109 @@
+//! End-to-end monitoring of the extension workloads: central mutex and
+//! clock synchronization.
+
+use computation_slicing::computation::lattice::for_each_cut;
+use computation_slicing::sim::clock_sync::{self, ClockSync};
+use computation_slicing::sim::fault::{inject, FaultSpec};
+use computation_slicing::sim::mutex::{self, CentralMutex};
+use computation_slicing::sim::{run, SimConfig};
+use computation_slicing::{
+    detect_pom, detect_with_slicing, Computation, FnPredicate, GlobalState, Limits, ProcSet, Value,
+};
+
+fn mutex_run(seed: u64, n: usize, events: u32) -> Computation {
+    let cfg = SimConfig {
+        seed,
+        max_events_per_process: events,
+        ..SimConfig::default()
+    };
+    run(&mut CentralMutex::new(n), &cfg).unwrap()
+}
+
+fn clock_run(seed: u64, n: usize, events: u32) -> Computation {
+    let cfg = SimConfig {
+        seed,
+        max_events_per_process: events,
+        ..SimConfig::default()
+    };
+    run(&mut ClockSync::new(n), &cfg).unwrap()
+}
+
+#[test]
+fn mutex_monitoring_is_clean_and_cheap_fault_free() {
+    for seed in 0..6 {
+        let comp = mutex_run(seed, 4, 12);
+        let spec = mutex::violation_spec(&comp);
+        let outcome = detect_with_slicing(&comp, &spec, &Limits::none());
+        assert!(!outcome.detected(), "seed {seed}");
+        // The violation is rare, so the slice search is (near) free.
+        assert_eq!(outcome.search.cuts_explored, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn mutex_detectors_agree_on_corrupted_runs() {
+    let comp = mutex_run(3, 4, 12);
+    // Corrupt a client's in_cs flag at an arbitrary mid-run event.
+    let p = comp.process(2);
+    let fault = FaultSpec {
+        process: p,
+        position: comp.len(p) / 2,
+        var_name: "in_cs".to_owned(),
+        value: Value::Bool(true),
+        transient: true,
+    };
+    let faulty = inject(&comp, &fault).unwrap();
+    let spec = mutex::violation_spec(&faulty);
+    let sliced = detect_with_slicing(&faulty, &spec, &Limits::none());
+
+    let n = faulty.num_processes();
+    let vars: Vec<_> = faulty
+        .processes()
+        .filter_map(|q| faulty.var(q, "in_cs"))
+        .collect();
+    let pred = FnPredicate::new(ProcSet::all(n), "two holders", move |st| {
+        vars.iter().filter(|&&v| st.get(v).expect_bool()).count() >= 2
+    });
+    let pom = detect_pom(&faulty, &pred, &Limits::none());
+    assert_eq!(sliced.detected(), pom.detected());
+    if let Some(cut) = &sliced.search.found {
+        assert!(spec.eval(&GlobalState::new(&faulty, cut)));
+    }
+}
+
+#[test]
+fn clock_sync_keeps_drift_bounded_with_gossip() {
+    // With the default gossip rate and a modest delta the drift fault is
+    // usually absent; when the slice is non-empty the residual search
+    // still answers exactly.
+    for seed in 0..5 {
+        let comp = clock_run(seed, 3, 10);
+        let delta = 20; // generous: a run can't tick that far apart
+        let spec = clock_sync::drift_spec(&comp, delta);
+        let outcome = detect_with_slicing(&comp, &spec, &Limits::none());
+        assert!(
+            !outcome.detected(),
+            "seed {seed}: impossible drift detected"
+        );
+    }
+}
+
+#[test]
+fn clock_sync_drift_detection_matches_enumeration() {
+    for seed in 0..5 {
+        let comp = clock_run(seed, 3, 8);
+        for delta in [0i64, 1, 2] {
+            let spec = clock_sync::drift_spec(&comp, delta);
+            let sliced = detect_with_slicing(&comp, &spec, &Limits::none());
+            let mut brute = false;
+            for_each_cut(&comp, |cut| {
+                if spec.eval(&GlobalState::new(&comp, cut)) {
+                    brute = true;
+                    return false;
+                }
+                true
+            });
+            assert_eq!(sliced.detected(), brute, "seed {seed} delta {delta}");
+        }
+    }
+}

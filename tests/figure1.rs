@@ -1,0 +1,89 @@
+//! End-to-end reproduction of the paper's Figure 1 and the surrounding
+//! introduction narrative.
+
+use computation_slicing::computation::lattice::{all_cuts, count_cuts};
+use computation_slicing::computation::test_fixtures::figure1;
+use computation_slicing::predicates::expr::parse_predicate;
+use computation_slicing::{
+    detect_bfs, detect_with_slicing, slice_conjunctive, Cut, GlobalState, Limits, Predicate,
+    PredicateSpec, SliceStats,
+};
+
+#[test]
+fn computation_has_twenty_eight_cuts() {
+    let comp = figure1();
+    assert_eq!(count_cuts(&comp, None).value(), 28);
+}
+
+#[test]
+fn slice_has_six_cuts_and_four_meta_events() {
+    let comp = figure1();
+    let weak = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+    let slice = slice_conjunctive(&comp, &weak.to_conjunctive().unwrap());
+    assert_eq!(slice.count_cuts(None).value(), 6);
+    let metas = slice.meta_events();
+    assert_eq!(metas.len(), 4);
+    // The bottom meta-event groups the initial events with f and v —
+    // Figure 1(b)'s {a, e, f, u, v}.
+    assert_eq!(metas[0].len(), 5);
+    let f = comp.event_by_label("f").unwrap();
+    let v = comp.event_by_label("v").unwrap();
+    assert!(metas[0].contains(&f));
+    assert!(metas[0].contains(&v));
+    // The remaining meta-events are singletons {w}, {g}, {b}.
+    let singles: Vec<_> = metas[1..]
+        .iter()
+        .map(|m| comp.label(m[0]).unwrap().to_owned())
+        .collect();
+    let mut sorted = singles.clone();
+    sorted.sort();
+    assert_eq!(sorted, vec!["b", "g", "w"]);
+}
+
+#[test]
+fn slice_cuts_are_exactly_the_satisfying_cuts() {
+    let comp = figure1();
+    let weak = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+    let slice = slice_conjunctive(&comp, &weak.to_conjunctive().unwrap());
+    for cut in all_cuts(&slice) {
+        assert!(weak.eval(&GlobalState::new(&comp, &cut)), "cut {cut}");
+    }
+    for cut in all_cuts(&comp) {
+        let sat = weak.eval(&GlobalState::new(&comp, &cut));
+        assert_eq!(slice.contains_cut(&cut), sat, "cut {cut}");
+    }
+}
+
+#[test]
+fn full_intro_predicate_detected_within_six_cuts() {
+    let comp = figure1();
+    let weak = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+    let full = parse_predicate(&comp, "x1@0 * x2@1 + x3@2 < 5 && x1@0 > 1 && x3@2 <= 3").unwrap();
+    let slice = slice_conjunctive(&comp, &weak.to_conjunctive().unwrap());
+    let outcome = detect_bfs(&slice, &comp, &full, &Limits::none());
+    assert!(outcome.detected());
+    assert!(outcome.cuts_explored <= 6);
+    // BFS reaches the earliest such state: {a, e, f, u, v} = ⟨1, 2, 2⟩.
+    assert_eq!(outcome.found.unwrap(), Cut::from(vec![1, 2, 2]));
+}
+
+#[test]
+fn pipeline_via_predicate_spec_matches() {
+    let comp = figure1();
+    let weak = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+    let spec = PredicateSpec::conjunctive(weak.to_conjunctive().unwrap());
+    let outcome = detect_with_slicing(&comp, &spec, &Limits::none());
+    assert!(outcome.detected());
+    assert!(outcome.search.cuts_explored <= 6);
+}
+
+#[test]
+fn stats_report_the_reduction() {
+    let comp = figure1();
+    let weak = parse_predicate(&comp, "x1@0 > 1 && x3@2 <= 3").unwrap();
+    let slice = slice_conjunctive(&comp, &weak.to_conjunctive().unwrap());
+    let stats = SliceStats::gather(&comp, &slice, None);
+    assert_eq!(stats.computation_cuts.value(), 28);
+    assert_eq!(stats.slice_cuts.value(), 6);
+    assert!(stats.reduction_factor() > 4.0);
+}

@@ -1,0 +1,142 @@
+//! Replaying recorded protocol runs through the online monitor and
+//! checking it against offline detection at every prefix.
+
+use std::collections::HashMap;
+
+use computation_slicing::detect::OnlineMonitor;
+use computation_slicing::sim::token_ring::{no_token_spec, TokenRing};
+use computation_slicing::sim::{run, SimConfig};
+use computation_slicing::{detect_with_slicing, Computation, EventId, Limits};
+
+fn token_run(seed: u64, n: usize, events: u32) -> Computation {
+    let cfg = SimConfig {
+        seed,
+        max_events_per_process: events,
+        ..SimConfig::default()
+    };
+    run(&mut TokenRing::new(n), &cfg).unwrap()
+}
+
+/// Streams each original event (with its recorded values and messages)
+/// into a monitor watching "no process has the token", checking after
+/// every step that the monitor agrees with offline slice-then-search on
+/// the same prefix — including the exact alarm cut.
+#[test]
+fn monitor_agrees_with_offline_detection_at_every_prefix() {
+    for seed in [3u64, 5, 9] {
+        let comp = token_run(seed, 3, 8);
+        let n = comp.num_processes();
+        let mut m = OnlineMonitor::new(n);
+        let mut mon_vars = Vec::new();
+        for i in 0..n {
+            let p = comp.process(i);
+            let v = comp.var(p, "has_token").unwrap();
+            mon_vars.push(m.declare_var(i, "has_token", comp.value_at(v, 0)).unwrap());
+        }
+        for &v in &mon_vars {
+            m.watch(v, "token absent", |val| !val.expect_bool());
+        }
+
+        // Original event id → monitor event id, filled as we stream.
+        let mut mapped: HashMap<EventId, EventId> = HashMap::new();
+        let mut alarmed = false;
+        for e in comp.events() {
+            if comp.is_initial(e) {
+                continue;
+            }
+            let p = comp.process_of(e);
+            let pos = comp.position_of(e);
+            let var_orig = comp.var(p, "has_token").unwrap();
+            let value = comp.value_at(var_orig, pos);
+            let ne = m
+                .observe(p.as_usize(), &[(mon_vars[p.as_usize()], value)])
+                .unwrap();
+            mapped.insert(e, ne);
+            // Append order is a valid observation order for the simulator's
+            // runs, so every receive's send is already mapped.
+            for msg in comp.messages_into(e).collect::<Vec<_>>() {
+                m.message(mapped[&msg.send], ne).unwrap();
+            }
+
+            // Offline ground truth on the same prefix.
+            let history = m.history().unwrap();
+            let spec = no_token_spec(&history);
+            let offline = detect_with_slicing(&history, &spec, &Limits::none());
+            let online = m.check().unwrap();
+            if !alarmed {
+                assert_eq!(
+                    online.is_some(),
+                    offline.detected(),
+                    "seed {seed}: prefix after {}",
+                    comp.describe_event(e)
+                );
+                if let Some(cut) = online {
+                    assert_eq!(Some(&cut), offline.search.found.as_ref(), "seed {seed}");
+                    alarmed = true;
+                }
+            } else {
+                // `possibly` is monotone over growing histories: offline
+                // keeps detecting; the monitor reports the alarm once.
+                assert!(offline.detected(), "seed {seed}");
+            }
+        }
+        assert!(alarmed, "seed {seed}: the token never travelled");
+    }
+}
+
+/// The monitor's history snapshot equals the original computation once the
+/// whole run has been streamed.
+#[test]
+fn full_replay_reconstructs_the_run() {
+    let comp = token_run(5, 3, 10);
+    let n = comp.num_processes();
+    let mut m = OnlineMonitor::new(n);
+    let mut mon_vars = Vec::new();
+    for i in 0..n {
+        let p = comp.process(i);
+        for name in ["has_token", "work"] {
+            let v = comp.var(p, name).unwrap();
+            let mv = m.declare_var(i, name, comp.value_at(v, 0)).unwrap();
+            mon_vars.push((i, name, mv));
+        }
+    }
+
+    let mut mapped: HashMap<EventId, EventId> = HashMap::new();
+    for e in comp.events() {
+        if comp.is_initial(e) {
+            continue;
+        }
+        let p = comp.process_of(e);
+        let pos = comp.position_of(e);
+        let writes: Vec<_> = mon_vars
+            .iter()
+            .filter(|&&(i, _, _)| i == p.as_usize())
+            .map(|&(_, name, mv)| {
+                let orig = comp.var(p, name).unwrap();
+                (mv, comp.value_at(orig, pos))
+            })
+            .collect();
+        let ne = m.observe(p.as_usize(), &writes).unwrap();
+        mapped.insert(e, ne);
+        for msg in comp.messages_into(e).collect::<Vec<_>>() {
+            m.message(mapped[&msg.send], ne).unwrap();
+        }
+    }
+
+    let history = m.history().unwrap();
+    assert_eq!(history.num_events(), comp.num_events());
+    assert_eq!(history.messages().len(), comp.messages().len());
+    for p in comp.processes() {
+        for name in ["has_token", "work"] {
+            let a = comp.var(p, name).unwrap();
+            let b = history.var(p, name).unwrap();
+            for pos in 0..comp.len(p) {
+                assert_eq!(
+                    history.value_at(b, pos),
+                    comp.value_at(a, pos),
+                    "{p} {name} @ {pos}"
+                );
+            }
+        }
+    }
+}

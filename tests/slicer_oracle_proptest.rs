@@ -1,0 +1,133 @@
+//! Property-based validation of every slicing algorithm against the
+//! brute-force lattice oracles, on randomly generated computations.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use computation_slicing::computation::lattice::all_cuts;
+use computation_slicing::computation::oracle::{expected_slice_cuts, is_sublattice};
+use computation_slicing::computation::test_fixtures::{random_computation, RandomConfig};
+use computation_slicing::slicer::{
+    graft_and, graft_or, slice_co_regular, slice_conjunctive, slice_klocal, slice_linear,
+    slice_postlinear,
+};
+use computation_slicing::{
+    Computation, Conjunctive, Cut, KLocalPredicate, LocalPredicate, Predicate,
+};
+
+/// Strategy: a small random computation described by (seed, processes,
+/// events per process, message density).
+fn computations() -> impl Strategy<Value = Computation> {
+    (any::<u64>(), 2usize..=4, 2u32..=4, 0u64..=70).prop_map(|(seed, n, m, msg)| {
+        let cfg = RandomConfig {
+            processes: n,
+            events_per_process: m,
+            send_percent: msg,
+            recv_percent: msg,
+            value_range: 3,
+        };
+        random_computation(seed, &cfg)
+    })
+}
+
+fn threshold_conjunctive(comp: &Computation, t: i64) -> Conjunctive {
+    let clauses = comp
+        .processes()
+        .map(|p| {
+            let x = comp.var(p, "x").unwrap();
+            LocalPredicate::int(x, format!("x >= {t}"), move |v| v >= t)
+        })
+        .collect();
+    Conjunctive::new(clauses)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The conjunctive slicer is lean and equals the oracle closure.
+    #[test]
+    fn conjunctive_slicer_is_exact(comp in computations(), t in 0i64..3) {
+        let pred = threshold_conjunctive(&comp, t);
+        let slice = slice_conjunctive(&comp, &pred);
+        let got: BTreeSet<Cut> = all_cuts(&slice).into_iter().collect();
+        let (closure, sat) = expected_slice_cuts(&comp, |st| pred.eval(st));
+        prop_assert_eq!(&got, &closure);
+        prop_assert_eq!(closure.len(), sat.len(), "regular predicates slice lean");
+    }
+
+    /// The generic linear slicer agrees with the fast conjunctive slicer.
+    #[test]
+    fn linear_equals_conjunctive_on_conjunctive_inputs(comp in computations(), t in 0i64..3) {
+        let pred = threshold_conjunctive(&comp, t);
+        let fast: BTreeSet<Cut> = all_cuts(&slice_conjunctive(&comp, &pred)).into_iter().collect();
+        let gen: BTreeSet<Cut> = all_cuts(&slice_linear(&comp, &pred)).into_iter().collect();
+        prop_assert_eq!(fast, gen);
+    }
+
+    /// The post-linear slicer matches the oracle on regular predicates.
+    #[test]
+    fn postlinear_slicer_matches_oracle(comp in computations(), t in 0i64..3) {
+        let pred = threshold_conjunctive(&comp, t);
+        let got: BTreeSet<Cut> = all_cuts(&slice_postlinear(&comp, &pred)).into_iter().collect();
+        let (closure, _) = expected_slice_cuts(&comp, |st| pred.eval(st));
+        prop_assert_eq!(got, closure);
+    }
+
+    /// The co-regular slicer computes the exact complement closure.
+    #[test]
+    fn coregular_slicer_matches_oracle(comp in computations(), t in 0i64..3) {
+        let pred = threshold_conjunctive(&comp, t);
+        let got: BTreeSet<Cut> = all_cuts(&slice_co_regular(&comp, &pred)).into_iter().collect();
+        let (closure, _) = expected_slice_cuts(&comp, |st| !pred.eval(st));
+        prop_assert_eq!(got, closure);
+    }
+
+    /// The k-local slicer is exact for 2-local inequality predicates.
+    #[test]
+    fn klocal_slicer_matches_oracle(comp in computations()) {
+        let x0 = comp.var(comp.process(0), "x").unwrap();
+        let x1 = comp.var(comp.process(1), "x").unwrap();
+        let pred = KLocalPredicate::new(vec![x0, x1], "x0 != x1", |v| v[0] != v[1]);
+        let got: BTreeSet<Cut> = all_cuts(&slice_klocal(&comp, &pred)).into_iter().collect();
+        let (closure, _) = expected_slice_cuts(&comp, |st| pred.eval(st));
+        prop_assert_eq!(got, closure);
+    }
+
+    /// Grafts compute intersection and union-closure of cut sets.
+    #[test]
+    fn grafting_matches_set_semantics(comp in computations(), t1 in 0i64..3, t2 in 0i64..3) {
+        let x0 = comp.var(comp.process(0), "x").unwrap();
+        let x1 = comp.var(comp.process(1), "x").unwrap();
+        let p1 = Conjunctive::new(vec![LocalPredicate::int(x0, "a", move |v| v >= t1)]);
+        let p2 = Conjunctive::new(vec![LocalPredicate::int(x1, "b", move |v| v <= t2)]);
+        let s1 = slice_conjunctive(&comp, &p1);
+        let s2 = slice_conjunctive(&comp, &p2);
+        let c1: BTreeSet<Cut> = all_cuts(&s1).into_iter().collect();
+        let c2: BTreeSet<Cut> = all_cuts(&s2).into_iter().collect();
+
+        let anded: BTreeSet<Cut> = all_cuts(&graft_and(&s1, &s2)).into_iter().collect();
+        let want_and: BTreeSet<Cut> = c1.intersection(&c2).cloned().collect();
+        prop_assert_eq!(anded, want_and);
+
+        let ored: BTreeSet<Cut> = all_cuts(&graft_or(&s1, &s2)).into_iter().collect();
+        let union: Vec<Cut> = c1.union(&c2).cloned().collect();
+        let want_or = computation_slicing::computation::oracle::sublattice_closure(&union);
+        prop_assert_eq!(ored, want_or);
+    }
+
+    /// Every slice's cut set is a sublattice — the structural invariant
+    /// behind Birkhoff's representation.
+    #[test]
+    fn slices_are_always_sublattices(comp in computations(), t in 0i64..3) {
+        let pred = threshold_conjunctive(&comp, t);
+        for slice in [
+            slice_linear(&comp, &pred),
+            slice_co_regular(&comp, &pred),
+            slice_postlinear(&comp, &pred),
+        ] {
+            let cuts: BTreeSet<Cut> = all_cuts(&slice).into_iter().collect();
+            prop_assert!(is_sublattice(&cuts));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Trace serialization round-trips on real protocol runs, and sliced
+//! results survive the round trip.
+
+use computation_slicing::computation::lattice::count_cuts;
+use computation_slicing::computation::trace::{from_text, to_text};
+use computation_slicing::sim::primary_secondary::{self, PrimarySecondary};
+use computation_slicing::sim::token_ring::{no_token_spec, TokenRing};
+use computation_slicing::sim::{run, SimConfig};
+use computation_slicing::{detect_with_slicing, Limits};
+
+#[test]
+fn protocol_runs_round_trip_through_the_trace_format() {
+    let cfg = SimConfig {
+        seed: 13,
+        max_events_per_process: 12,
+        ..SimConfig::default()
+    };
+    let comp = run(&mut PrimarySecondary::new(4), &cfg).unwrap();
+    let text = to_text(&comp);
+    let parsed = from_text(&text).unwrap();
+
+    assert_eq!(parsed.num_processes(), comp.num_processes());
+    assert_eq!(parsed.num_events(), comp.num_events());
+    assert_eq!(parsed.messages(), comp.messages());
+    for e in comp.events() {
+        let p = comp.process_of(e);
+        for name in comp.var_names(p) {
+            let a = comp.var(p, name).unwrap();
+            let b = parsed.var(p, name).unwrap();
+            assert_eq!(
+                comp.value_at(a, comp.position_of(e)),
+                parsed.value_at(b, comp.position_of(e)),
+                "event {e} var {name}"
+            );
+        }
+    }
+    // Emitting the parsed computation again is a fixpoint.
+    assert_eq!(to_text(&parsed), text);
+}
+
+#[test]
+fn detection_results_survive_the_round_trip() {
+    let cfg = SimConfig {
+        seed: 21,
+        max_events_per_process: 10,
+        ..SimConfig::default()
+    };
+    let comp = run(&mut TokenRing::new(3), &cfg).unwrap();
+    let parsed = from_text(&to_text(&comp)).unwrap();
+    assert_eq!(
+        count_cuts(&comp, Some(100_000)),
+        count_cuts(&parsed, Some(100_000))
+    );
+
+    let a = detect_with_slicing(&comp, &no_token_spec(&comp), &Limits::none());
+    let b = detect_with_slicing(&parsed, &no_token_spec(&parsed), &Limits::none());
+    assert_eq!(a.detected(), b.detected());
+    assert_eq!(a.search.cuts_explored, b.search.cuts_explored);
+    assert_eq!(a.search.found, b.search.found);
+}
+
+#[test]
+fn violation_spec_rebuilds_against_parsed_computation() {
+    let cfg = SimConfig {
+        seed: 30,
+        max_events_per_process: 8,
+        ..SimConfig::default()
+    };
+    let comp = run(&mut PrimarySecondary::new(3), &cfg).unwrap();
+    let parsed = from_text(&to_text(&comp)).unwrap();
+    let spec = primary_secondary::violation_spec(&parsed);
+    let outcome = detect_with_slicing(&parsed, &spec, &Limits::none());
+    assert!(!outcome.detected(), "fault-free round trip raised an alarm");
+}
