@@ -4,17 +4,22 @@
 //!
 //! ```text
 //! cargo run --release -p slicing-bench --bin fig2_primary_secondary -- \
-//!     [--min-procs 4] [--max-procs 8] [--events 20] [--seeds 5] \
-//!     [--cap-mb 64] [--max-cuts 2000000]
+//!     [--procs 6 | --min-procs 4 --max-procs 8] [--events 20] [--seeds 5] \
+//!     [--cap-mb 64] [--max-cuts 2000000] [--report fig2.json]
 //! ```
+//!
+//! `--procs n` runs a single process count (shorthand for
+//! `--min-procs n --max-procs n`); `--report <path>` additionally writes
+//! every per-seed run as a `slicing.bench-report/v1` JSON document.
 //!
 //! The paper runs n = 6..12 with up to 90 events per process on 2003-era
 //! hardware; the defaults here are scaled so the exponential baseline
 //! finishes quickly. Pass larger `--events`/`--max-procs` for paper-scale
 //! sweeps.
 
-use slicing_bench::{kib, measure_pom, measure_slicing, ms, sweep, Workload};
+use slicing_bench::{kib, measure_pom, measure_slicing, ms, sweep_samples, Aggregate, Workload};
 use slicing_detect::Limits;
+use slicing_observe::RunReportSet;
 
 struct Args {
     min_procs: usize,
@@ -23,6 +28,7 @@ struct Args {
     seeds: u64,
     cap_mb: u64,
     max_cuts: u64,
+    report: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -33,17 +39,24 @@ fn parse_args() -> Args {
         seeds: 5,
         cap_mb: 64,
         max_cuts: 2_000_000,
+        report: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let value = it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
         match flag.as_str() {
+            "--procs" => {
+                let n = value.parse().expect("integer");
+                args.min_procs = n;
+                args.max_procs = n;
+            }
             "--min-procs" => args.min_procs = value.parse().expect("integer"),
             "--max-procs" => args.max_procs = value.parse().expect("integer"),
             "--events" => args.events = value.parse().expect("integer"),
             "--seeds" => args.seeds = value.parse().expect("integer"),
             "--cap-mb" => args.cap_mb = value.parse().expect("integer"),
             "--max-cuts" => args.max_cuts = value.parse().expect("integer"),
+            "--report" => args.report = Some(value),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -57,6 +70,7 @@ fn main() {
         max_cuts: Some(args.max_cuts),
     };
     let w = Workload::PrimarySecondary;
+    let mut report = RunReportSet::new("fig2_primary_secondary");
 
     println!(
         "# Figure 2 — primary-secondary, events/process = {}, seeds = {}",
@@ -82,7 +96,7 @@ fn main() {
             "pom_oom%"
         );
         for n in args.min_procs..=args.max_procs {
-            let s = sweep(
+            let s_runs = sweep_samples(
                 w,
                 n,
                 args.events,
@@ -91,7 +105,7 @@ fn main() {
                 &limits,
                 measure_slicing,
             );
-            let p = sweep(
+            let p_runs = sweep_samples(
                 w,
                 n,
                 args.events,
@@ -100,6 +114,17 @@ fn main() {
                 &limits,
                 measure_pom,
             );
+            if args.report.is_some() {
+                for (engine, runs) in [("slice", &s_runs), ("pom", &p_runs)] {
+                    for (seed, sample) in runs {
+                        let mut r = sample.to_report(w, engine, n, args.events, *seed);
+                        r = r.counter("faults_injected", u64::from(faults));
+                        report.push(r);
+                    }
+                }
+            }
+            let s = Aggregate::of(&s_runs.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>());
+            let p = Aggregate::of(&p_runs.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>());
             println!(
                 "{:>5} {:>14} {:>14} {:>12.1} {:>10} {:>14} {:>14} {:>12.1} {:>10} {:>8.1}",
                 n,
@@ -118,4 +143,8 @@ fn main() {
     println!("\n# Expected shape (paper): slicing grows polynomially in n on both");
     println!("# panels; partial-order methods grow (almost) exponentially and may");
     println!("# hit the memory cap at the largest n.");
+    if let Some(path) = &args.report {
+        report.write_to(path).expect("write report");
+        eprintln!("# wrote {} runs to {path}", report.runs.len());
+    }
 }

@@ -6,22 +6,30 @@
 //!
 //! ```text
 //! cargo run --release -p slicing-bench --bin table_oom_rate -- \
-//!     [--procs 7] [--events 22] [--seeds 20] [--cap-kb 256] [--faults 1]
+//!     [--procs 7] [--events 22] [--seeds 20] [--cap-kb 256] \
+//!     [--max-cuts 5000000] [--faults 1] [--report oom.json]
 //! ```
 //!
 //! The cap defaults to a deliberately small value so the effect shows at
 //! laptop scale; the paper's absolute 100 MB corresponds to much larger
-//! runs.
+//! runs. `--max-cuts` adds a state-count cap on top of the byte cap (both
+//! are enforced together); `--report <path>` writes every per-seed run as
+//! a `slicing.bench-report/v1` JSON document.
 
-use slicing_bench::{measure_hybrid, measure_pom, measure_slicing, sweep, Workload};
+use slicing_bench::{
+    measure_hybrid, measure_pom, measure_slicing, sweep_samples, Aggregate, Workload,
+};
 use slicing_detect::Limits;
+use slicing_observe::RunReportSet;
 
 fn main() {
     let mut procs: usize = 7;
     let mut events: u32 = 22;
     let mut seeds: u64 = 20;
     let mut cap_kb: u64 = 256;
+    let mut max_cuts: u64 = 5_000_000;
     let mut faults: u32 = 1;
+    let mut report_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let value = it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
@@ -30,11 +38,15 @@ fn main() {
             "--events" => events = value.parse().expect("integer"),
             "--seeds" => seeds = value.parse().expect("integer"),
             "--cap-kb" => cap_kb = value.parse().expect("integer"),
+            "--max-cuts" => max_cuts = value.parse().expect("integer"),
             "--faults" => faults = value.parse().expect("integer"),
+            "--report" => report_path = Some(value),
             other => panic!("unknown flag {other}"),
         }
     }
-    let limits = Limits::bytes(cap_kb * 1024);
+    // Both caps at once: a run aborts on whichever budget it hits first.
+    let limits = Limits::new(Some(cap_kb * 1024), Some(max_cuts));
+    let mut report = RunReportSet::new("table_oom_rate");
 
     println!(
         "# Out-of-memory rates under a {cap_kb} KiB cap — n = {procs}, events/process = {events}, {seeds} seeds, {faults} fault(s)"
@@ -44,9 +56,19 @@ fn main() {
         "workload", "slice_oom%", "pom_oom%", "hybrid_oom%", "slice_det", "pom_det", "hybrid_det"
     );
     for w in [Workload::PrimarySecondary, Workload::DatabasePartitioning] {
-        let s = sweep(w, procs, events, 0..seeds, faults, &limits, measure_slicing);
-        let p = sweep(w, procs, events, 0..seeds, faults, &limits, measure_pom);
-        let h = sweep(w, procs, events, 0..seeds, faults, &limits, measure_hybrid);
+        let s_runs = sweep_samples(w, procs, events, 0..seeds, faults, &limits, measure_slicing);
+        let p_runs = sweep_samples(w, procs, events, 0..seeds, faults, &limits, measure_pom);
+        let h_runs = sweep_samples(w, procs, events, 0..seeds, faults, &limits, measure_hybrid);
+        if report_path.is_some() {
+            for (engine, runs) in [("slice", &s_runs), ("pom", &p_runs), ("hybrid", &h_runs)] {
+                for (seed, sample) in runs {
+                    report.push(sample.to_report(w, engine, procs, events, *seed));
+                }
+            }
+        }
+        let s = Aggregate::of(&s_runs.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>());
+        let p = Aggregate::of(&p_runs.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>());
+        let h = Aggregate::of(&h_runs.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>());
         println!(
             "{:<24} {:>11.1}% {:>11.1}% {:>11.1}% {:>11} {:>11} {:>11}",
             w.name(),
@@ -61,4 +83,8 @@ fn main() {
     println!("\n# Expected shape (paper): the baseline hits the cap on a fraction");
     println!("# of runs (its memory depends on where — and whether — the fault");
     println!("# occurs), while slicing's footprint is stable and cap-free.");
+    if let Some(path) = &report_path {
+        report.write_to(path).expect("write report");
+        eprintln!("# wrote {} runs to {path}", report.runs.len());
+    }
 }

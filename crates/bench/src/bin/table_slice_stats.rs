@@ -4,12 +4,19 @@
 //! the workloads in this repository.
 //!
 //! ```text
-//! cargo run --release -p slicing-bench --bin table_slice_stats -- [--events 14] [--cap 5000000]
+//! cargo run --release -p slicing-bench --bin table_slice_stats -- \
+//!     [--events 14] [--cap 5000000] [--report stats.json]
 //! ```
+//!
+//! `--report <path>` writes one `slicing.bench-report/v1` run per table
+//! row, with the cut counts as counters.
+
+use std::cell::RefCell;
 
 use slicing_bench::Workload;
 use slicing_computation::test_fixtures::figure1;
 use slicing_core::{slice_decomposable, SliceStats};
+use slicing_observe::{RunReport, RunReportSet};
 use slicing_sim::clock_sync::{self, ClockSync};
 use slicing_sim::token_ring::{no_token_spec, TokenRing};
 use slicing_sim::{run, SimConfig};
@@ -17,15 +24,18 @@ use slicing_sim::{run, SimConfig};
 fn main() {
     let mut events: u32 = 14;
     let mut cap: u64 = 5_000_000;
+    let mut report_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let value = it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
         match flag.as_str() {
             "--events" => events = value.parse().expect("integer"),
             "--cap" => cap = value.parse().expect("integer"),
+            "--report" => report_path = Some(value),
             other => panic!("unknown flag {other}"),
         }
     }
+    let report = RefCell::new(RunReportSet::new("table_slice_stats"));
 
     println!(
         "{:<34} {:>8} {:>14} {:>12} {:>10} {:>12}",
@@ -52,6 +62,13 @@ fn main() {
             stats.num_meta_events,
             stats.reduction_factor(),
         );
+        let mut r = RunReport::new(name, "slice-stats");
+        r.events = Some(stats.num_events as u64);
+        let r = r
+            .counter("computation_cuts", stats.computation_cuts.value())
+            .counter("slice_cuts", stats.slice_cuts.value())
+            .counter("meta_events", stats.num_meta_events as u64);
+        report.borrow_mut().push(r);
     };
 
     // Figure 1.
@@ -117,4 +134,9 @@ fn main() {
     }
 
     println!("\n(+ marks a capped count: the true value is at least the shown one; cap = {cap})");
+    if let Some(path) = &report_path {
+        let report = report.borrow();
+        report.write_to(path).expect("write report");
+        eprintln!("# wrote {} runs to {path}", report.runs.len());
+    }
 }

@@ -14,6 +14,7 @@ use slicing_core::PredicateSpec;
 use slicing_detect::{
     detect_hybrid, detect_pom, detect_with_slicing, suggested_pom_budget, Limits,
 };
+use slicing_observe::RunReport;
 use slicing_predicates::{FnPredicate, Predicate};
 use slicing_sim::database::{self, DatabasePartitioning};
 use slicing_sim::fault::{inject_database_fault, inject_primary_secondary_fault};
@@ -109,6 +110,34 @@ pub struct Sample {
     pub cuts: u64,
     /// Whether the run hit a resource limit.
     pub aborted: bool,
+    /// Per-phase wall-time breakdown, when the engine reports one.
+    pub phases: Vec<(String, Duration)>,
+}
+
+impl Sample {
+    /// Converts the sample into a [`RunReport`] row for `--report` output.
+    pub fn to_report(
+        &self,
+        workload: Workload,
+        engine: &str,
+        procs: usize,
+        events: u32,
+        seed: u64,
+    ) -> RunReport {
+        let mut r = RunReport::new(workload.name(), engine);
+        r.seed = Some(seed);
+        r.procs = Some(procs as u64);
+        r.events = Some(u64::from(events));
+        r.detected = Some(self.detected);
+        r.aborted = self.aborted.then(|| "limit".to_owned());
+        r.cuts_explored = Some(self.cuts);
+        r.peak_bytes = Some(self.bytes);
+        r.elapsed_secs = Some(self.time.as_secs_f64());
+        for (name, d) in &self.phases {
+            r = r.phase(name.clone(), d.as_secs_f64());
+        }
+        r
+    }
 }
 
 /// Runs the computation-slicing approach on one computation.
@@ -121,6 +150,7 @@ pub fn measure_slicing(workload: Workload, comp: &Computation, limits: &Limits) 
         bytes: outcome.total_peak_bytes(),
         cuts: outcome.search.cuts_explored,
         aborted: !outcome.search.completed(),
+        phases: outcome.search.phases.clone(),
     }
 }
 
@@ -150,6 +180,7 @@ pub fn measure_hybrid(workload: Workload, comp: &Computation, limits: &Limits) -
                 .map(|s| s.search.cuts_explored)
                 .unwrap_or(0),
         aborted,
+        phases: outcome.pom.phases.clone(),
     }
 }
 
@@ -163,6 +194,7 @@ pub fn measure_pom(workload: Workload, comp: &Computation, limits: &Limits) -> S
         bytes: outcome.peak_bytes,
         cuts: outcome.cuts_explored,
         aborted: !outcome.completed(),
+        phases: outcome.phases.clone(),
     }
 }
 
@@ -227,6 +259,29 @@ impl Aggregate {
     }
 }
 
+/// Runs one approach over seeds for a fixed (workload, n, events),
+/// returning the per-seed samples — for `--report` output and for
+/// aggregation via [`Aggregate::of`].
+pub fn sweep_samples(
+    workload: Workload,
+    procs: usize,
+    events: u32,
+    seeds: std::ops::Range<u64>,
+    faults: u32,
+    limits: &Limits,
+    approach: fn(Workload, &Computation, &Limits) -> Sample,
+) -> Vec<(u64, Sample)> {
+    seeds
+        .map(|seed| {
+            let mut comp = workload.simulate(procs, events, seed);
+            for f in 0..faults {
+                comp = workload.inject_fault(&comp, seed.wrapping_mul(1009) + u64::from(f));
+            }
+            (seed, approach(workload, &comp, limits))
+        })
+        .collect()
+}
+
 /// Sweeps one approach over seeds for a fixed (workload, n, events).
 pub fn sweep(
     workload: Workload,
@@ -237,15 +292,11 @@ pub fn sweep(
     limits: &Limits,
     approach: fn(Workload, &Computation, &Limits) -> Sample,
 ) -> Aggregate {
-    let samples: Vec<Sample> = seeds
-        .map(|seed| {
-            let mut comp = workload.simulate(procs, events, seed);
-            for f in 0..faults {
-                comp = workload.inject_fault(&comp, seed.wrapping_mul(1009) + u64::from(f));
-            }
-            approach(workload, &comp, limits)
-        })
-        .collect();
+    let samples: Vec<Sample> =
+        sweep_samples(workload, procs, events, seeds, faults, limits, approach)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
     Aggregate::of(&samples)
 }
 
@@ -307,6 +358,7 @@ mod tests {
                 bytes: 100,
                 cuts: 10,
                 aborted: false,
+                phases: Vec::new(),
             },
             Sample {
                 detected: false,
@@ -314,6 +366,7 @@ mod tests {
                 bytes: 300,
                 cuts: 30,
                 aborted: false,
+                phases: Vec::new(),
             },
             Sample {
                 detected: false,
@@ -321,6 +374,7 @@ mod tests {
                 bytes: 0,
                 cuts: 0,
                 aborted: true,
+                phases: Vec::new(),
             },
         ];
         let agg = Aggregate::of(&samples);

@@ -113,6 +113,16 @@ impl PredicateSpec {
 
     /// Computes the (possibly approximate) slice for the whole tree.
     pub fn slice<'a>(&self, comp: &'a Computation) -> Slice<'a> {
+        let _span = slicing_observe::span(match self {
+            PredicateSpec::Conjunctive(_) => "slice.spec.conjunctive",
+            PredicateSpec::Regular(_) => "slice.spec.regular",
+            PredicateSpec::CoRegular(_) => "slice.spec.co_regular",
+            PredicateSpec::Linear(_) => "slice.spec.linear",
+            PredicateSpec::PostLinear(_) => "slice.spec.post_linear",
+            PredicateSpec::KLocal(_) => "slice.spec.klocal",
+            PredicateSpec::And(_) => "slice.spec.and",
+            PredicateSpec::Or(_) => "slice.spec.or",
+        });
         match self {
             PredicateSpec::Conjunctive(p) => slice_conjunctive(comp, p),
             PredicateSpec::Regular(p) => slice_regular(comp, p.as_ref()),

@@ -22,6 +22,7 @@ use crate::slice::{Edge, Node, Slice};
 /// satisfying cuts (conjunctive predicates are regular) — this is the
 /// optimal algorithm the paper's Section 4.2 invokes for each DNF clause.
 pub fn slice_conjunctive<'a>(comp: &'a Computation, pred: &Conjunctive) -> Slice<'a> {
+    let _span = slicing_observe::span("slice.conjunctive");
     let mut edges: Vec<Edge> = Vec::new();
     for p in comp.processes() {
         // Skip processes hosting no conjunct entirely.

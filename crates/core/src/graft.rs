@@ -23,6 +23,7 @@ fn assert_same_computation(a: &Slice<'_>, b: &Slice<'_>) {
 ///
 /// Panics if the slices derive from different computations.
 pub fn graft_and<'a>(a: &Slice<'a>, b: &Slice<'a>) -> Slice<'a> {
+    let _span = slicing_observe::span("slice.graft_and");
     assert_same_computation(a, b);
     let mut edges: Vec<Edge> = Vec::with_capacity(a.edges().len() + b.edges().len());
     edges.extend_from_slice(a.edges());
@@ -37,6 +38,7 @@ pub fn graft_and<'a>(a: &Slice<'a>, b: &Slice<'a>) -> Slice<'a> {
 /// Panics if `slices` is empty or the slices derive from different
 /// computations.
 pub fn graft_and_all<'a>(slices: &[Slice<'a>]) -> Slice<'a> {
+    let _span = slicing_observe::span("slice.graft_and");
     assert!(!slices.is_empty(), "graft_and_all needs at least one slice");
     let comp = slices[0].computation();
     let mut edges = Vec::new();
@@ -79,6 +81,7 @@ pub(crate) fn graft_or_fold<'a, 'b>(
 where
     'a: 'b,
 {
+    let _span = slicing_observe::span("slice.graft_or");
     let num_events = comp.num_events();
     // Accumulated least cut per event across the disjuncts (None =
     // contained in no disjunct so far).

@@ -277,10 +277,17 @@ fn build_graph(comp: &Computation, edges: &[Edge]) -> (Digraph, usize) {
 /// Computes the `J` table: for every event, the least slice cut containing
 /// it (`None` if unreachable without ⊤). Runs in `O(n·(|E| + |edges|))`.
 fn compute_j_table(comp: &Computation, edges: &[Edge]) -> Vec<Option<Cut>> {
+    let _span = slicing_observe::span("slice.j_table");
     let (graph, num_events) = build_graph(comp, edges);
-    let scc = graph.tarjan_scc();
-    let cond = scc.condensation(&graph);
+    let (scc, cond) = {
+        let _span = slicing_observe::span("slice.scc");
+        let scc = graph.tarjan_scc();
+        let cond = scc.condensation(&graph);
+        (scc, cond)
+    };
     let top_comp = scc.component_of(num_events as u32);
+    slicing_observe::gauge("slice.constraint_edges", edges.len() as u64);
+    slicing_observe::gauge("slice.scc_components", scc.num_components() as u64);
 
     let n = comp.num_processes();
     // Per-SCC least cuts, built in topological (sources-first) order.

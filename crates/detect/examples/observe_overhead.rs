@@ -1,0 +1,50 @@
+//! Spot-check of the tracing layer's disabled-path overhead: times the
+//! same BFS detection sweep with (a) no recorder installed — every
+//! instrumentation call is one relaxed atomic load — and (b) a
+//! [`NullRecorder`](slicing_observe::NullRecorder) installed, which forces
+//! the slow enabled-check but still admits nothing.
+//!
+//! ```text
+//! cargo run --release -p slicing-detect --example observe_overhead
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use slicing_computation::test_fixtures::grid;
+use slicing_computation::ProcSet;
+use slicing_detect::{detect_bfs, Limits};
+use slicing_predicates::FnPredicate;
+
+fn sweep(reps: u32) -> std::time::Duration {
+    let comp = grid(40, 40);
+    let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let d = detect_bfs(&comp, &comp, &never, &Limits::none());
+        assert_eq!(d.cuts_explored, 41 * 41);
+    }
+    t0.elapsed()
+}
+
+fn main() {
+    const REPS: u32 = 200;
+    sweep(10); // warm-up
+
+    let disabled = sweep(REPS);
+    slicing_observe::install(Arc::new(slicing_observe::NullRecorder));
+    let with_null = sweep(REPS);
+    slicing_observe::uninstall();
+    let disabled2 = sweep(REPS);
+
+    let per = |d: std::time::Duration| d.as_secs_f64() * 1e6 / f64::from(REPS);
+    println!("BFS over a 40x40 grid (1681 cuts), {REPS} reps per row:");
+    println!("  no recorder:        {:9.1} us/run", per(disabled));
+    println!("  NullRecorder:       {:9.1} us/run", per(with_null));
+    println!("  no recorder again:  {:9.1} us/run", per(disabled2));
+    let base = per(disabled).min(per(disabled2));
+    println!(
+        "  NullRecorder overhead: {:+.1}% vs. best disabled run",
+        (per(with_null) / base - 1.0) * 100.0
+    );
+}

@@ -10,6 +10,11 @@ use slicing_predicates::Predicate;
 
 use crate::metrics::{Detection, Limits, Tracker};
 
+/// How often (in explored cuts) the enumeration engines sample their
+/// frontier/visited gauges. Sampling keeps the Trace-level stream bounded
+/// on big lattices without touching the per-cut fast path.
+const GAUGE_SAMPLE_EVERY: u64 = 1024;
+
 /// Detects `possibly: pred` by breadth-first enumeration of the cuts of
 /// `space`, evaluating the predicate against `comp` (the computation the
 /// cuts refer to — for a slice, its underlying computation).
@@ -23,6 +28,7 @@ pub fn detect_bfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
     pred: &P,
     limits: &Limits,
 ) -> Detection {
+    let _span = slicing_observe::span("detect.bfs");
     let start = Instant::now();
     let mut tracker = Tracker::default();
     let entry_bytes = Tracker::hash_entry_bytes(space.num_processes());
@@ -42,6 +48,10 @@ pub fn detect_bfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
     while let Some(cut) = queue.pop_front() {
         tracker.release(entry_bytes);
         tracker.cuts_explored += 1;
+        if tracker.cuts_explored % GAUGE_SAMPLE_EVERY == 0 {
+            slicing_observe::gauge("detect.bfs.frontier", queue.len() as u64);
+            slicing_observe::gauge("detect.bfs.visited", visited.len() as u64);
+        }
         if pred.eval(&GlobalState::new(comp, &cut)) {
             return tracker.finish(Some(cut), start.elapsed(), None);
         }
@@ -71,6 +81,7 @@ pub fn detect_dfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
     pred: &P,
     limits: &Limits,
 ) -> Detection {
+    let _span = slicing_observe::span("detect.dfs");
     let start = Instant::now();
     let mut tracker = Tracker::default();
     let entry_bytes = Tracker::hash_entry_bytes(space.num_processes());
@@ -90,6 +101,10 @@ pub fn detect_dfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
     while let Some(cut) = stack.pop() {
         tracker.release(entry_bytes);
         tracker.cuts_explored += 1;
+        if tracker.cuts_explored % GAUGE_SAMPLE_EVERY == 0 {
+            slicing_observe::gauge("detect.dfs.frontier", stack.len() as u64);
+            slicing_observe::gauge("detect.dfs.visited", visited.len() as u64);
+        }
         if pred.eval(&GlobalState::new(comp, &cut)) {
             return tracker.finish(Some(cut), start.elapsed(), None);
         }

@@ -6,6 +6,7 @@
 
 use slicing_computation::Computation;
 use slicing_core::PredicateSpec;
+use slicing_observe::Level;
 
 use crate::metrics::Limits;
 use crate::pom::detect_pom;
@@ -86,19 +87,33 @@ pub fn detect_hybrid(
         }
     }
 
+    let _span = slicing_observe::span("detect.hybrid");
     let pom_limits = Limits {
         max_bytes: Some(pom_budget_bytes.min(limits.max_bytes.unwrap_or(u64::MAX))),
         max_cuts: limits.max_cuts,
     };
-    let pom = detect_pom(comp, &SpecPred(spec), &pom_limits);
+    let mut pom = detect_pom(comp, &SpecPred(spec), &pom_limits);
     if pom.completed() {
+        pom.phases = vec![("pom".to_owned(), pom.elapsed)];
         return HybridDetection {
             phase: HybridPhase::PartialOrder,
             pom,
             slicing: None,
         };
     }
-    let slicing = detect_with_slicing(comp, spec, limits);
+    slicing_observe::counter("detect.hybrid.switch_over", 1);
+    slicing_observe::message(Level::Info, || {
+        format!(
+            "hybrid: partial-order aborted ({}) after {} cuts; switching to slicing",
+            pom.aborted.map(|r| r.to_string()).unwrap_or_default(),
+            pom.cuts_explored,
+        )
+    });
+    let mut slicing = detect_with_slicing(comp, spec, limits);
+    let mut phases = vec![("pom".to_owned(), pom.elapsed)];
+    phases.append(&mut slicing.search.phases);
+    slicing.search.phases = phases.clone();
+    pom.phases = phases;
     HybridDetection {
         phase: HybridPhase::Slicing,
         pom,

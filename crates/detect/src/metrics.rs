@@ -40,20 +40,35 @@ impl Limits {
         Limits::default()
     }
 
+    /// Both limits at once; `None` leaves the corresponding resource
+    /// unbounded.
+    pub fn new(max_bytes: Option<u64>, max_cuts: Option<u64>) -> Self {
+        Limits {
+            max_bytes,
+            max_cuts,
+        }
+    }
+
     /// Limit tracked memory only.
     pub fn bytes(max: u64) -> Self {
-        Limits {
-            max_bytes: Some(max),
-            max_cuts: None,
-        }
+        Limits::none().with_bytes(max)
     }
 
     /// Limit explored cuts only.
     pub fn cuts(max: u64) -> Self {
-        Limits {
-            max_bytes: None,
-            max_cuts: Some(max),
-        }
+        Limits::none().with_cuts(max)
+    }
+
+    /// Adds (or replaces) a memory limit, keeping any cut limit.
+    pub fn with_bytes(mut self, max: u64) -> Self {
+        self.max_bytes = Some(max);
+        self
+    }
+
+    /// Adds (or replaces) a cut limit, keeping any memory limit.
+    pub fn with_cuts(mut self, max: u64) -> Self {
+        self.max_cuts = Some(max);
+        self
     }
 }
 
@@ -76,6 +91,10 @@ pub struct Detection {
     pub elapsed: Duration,
     /// Set when the search stopped early on a limit.
     pub aborted: Option<AbortReason>,
+    /// Named wall-time phases of the run, in order. Single-phase engines
+    /// leave this empty; composite engines (slice-then-search, hybrid)
+    /// record one entry per stage, e.g. `("slice", …), ("search", …)`.
+    pub phases: Vec<(String, Duration)>,
 }
 
 impl Detection {
@@ -88,6 +107,62 @@ impl Detection {
     /// exhausted the space) without hitting a limit.
     pub fn completed(&self) -> bool {
         self.aborted.is_none()
+    }
+
+    /// The duration of the named phase, if recorded.
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().find(|(n, _)| n == name).map(|&(_, d)| d)
+    }
+
+    /// Renders the detection as one JSON object with a stable field set:
+    ///
+    /// ```json
+    /// {"detected":true,"witness":[1,2,2],"cuts_explored":9,
+    ///  "max_stored_cuts":4,"peak_bytes":256,"elapsed_secs":0.001,
+    ///  "aborted":null,"phases":[{"name":"slice","secs":0.0004}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        use slicing_observe::json::{JsonArray, JsonObject};
+        let mut obj = JsonObject::new().bool("detected", self.detected());
+        obj = match &self.found {
+            Some(cut) => {
+                let witness = (0..cut.num_processes())
+                    .fold(JsonArray::new(), |arr, p| {
+                        arr.push_raw(
+                            &cut.count(slicing_computation::ProcessId::new(p))
+                                .to_string(),
+                        )
+                    })
+                    .finish();
+                obj.raw("witness", &witness)
+            }
+            None => obj.raw("witness", "null"),
+        };
+        obj = obj
+            .u64("cuts_explored", self.cuts_explored)
+            .u64("max_stored_cuts", self.max_stored_cuts)
+            .u64("peak_bytes", self.peak_bytes)
+            .f64("elapsed_secs", self.elapsed.as_secs_f64())
+            .opt_str(
+                "aborted",
+                self.aborted.map(|r| match r {
+                    AbortReason::MemoryLimit => "memory",
+                    AbortReason::CutLimit => "cuts",
+                }),
+            );
+        let phases = self
+            .phases
+            .iter()
+            .fold(JsonArray::new(), |arr, (name, d)| {
+                arr.push_raw(
+                    &JsonObject::new()
+                        .str("name", name)
+                        .f64("secs", d.as_secs_f64())
+                        .finish(),
+                )
+            })
+            .finish();
+        obj.raw("phases", &phases).finish()
     }
 }
 
@@ -170,6 +245,12 @@ impl Tracker {
         elapsed: Duration,
         aborted: Option<AbortReason>,
     ) -> Detection {
+        // Counter totals are emitted once per run rather than per step, so
+        // the hot loops stay allocation- and branch-free while a trace
+        // recorder still reconstructs exact totals from the stream.
+        slicing_observe::counter("detect.cuts_explored", self.cuts_explored);
+        slicing_observe::gauge("detect.max_stored_cuts", self.max_stored_cuts);
+        slicing_observe::gauge("detect.peak_bytes", self.peak_bytes);
         Detection {
             found,
             cuts_explored: self.cuts_explored,
@@ -177,6 +258,7 @@ impl Tracker {
             peak_bytes: self.peak_bytes,
             elapsed,
             aborted,
+            phases: Vec::new(),
         }
     }
 }
@@ -189,7 +271,36 @@ mod tests {
     fn limits_constructors() {
         assert_eq!(Limits::none().max_bytes, None);
         assert_eq!(Limits::bytes(10).max_bytes, Some(10));
+        assert_eq!(Limits::bytes(10).max_cuts, None);
         assert_eq!(Limits::cuts(5).max_cuts, Some(5));
+        assert_eq!(Limits::cuts(5).max_bytes, None);
+    }
+
+    #[test]
+    fn limits_combine_bytes_and_cuts() {
+        // The historical `bytes()`/`cuts()` constructors could not express
+        // a joint limit; `new` and the `with_*` builders can.
+        let l = Limits::new(Some(1024), Some(99));
+        assert_eq!(l.max_bytes, Some(1024));
+        assert_eq!(l.max_cuts, Some(99));
+
+        let l = Limits::bytes(2048).with_cuts(7);
+        assert_eq!(l.max_bytes, Some(2048));
+        assert_eq!(l.max_cuts, Some(7));
+
+        // Both limits are live simultaneously in over_limit checks.
+        let mut t = Tracker::default();
+        t.charge(4096);
+        assert_eq!(t.over_limit(&l), Some(AbortReason::MemoryLimit));
+        let t = Tracker {
+            cuts_explored: 8,
+            ..Tracker::default()
+        };
+        assert_eq!(t.over_limit(&l), Some(AbortReason::CutLimit));
+        let mut t = Tracker::default();
+        t.charge(10);
+        t.cuts_explored = 3;
+        assert_eq!(t.over_limit(&l), None);
     }
 
     #[test]
@@ -228,6 +339,7 @@ mod tests {
             peak_bytes: 64,
             elapsed: Duration::from_millis(1),
             aborted: None,
+            phases: Vec::new(),
         };
         assert!(d.detected());
         assert!(d.completed());
@@ -239,5 +351,31 @@ mod tests {
         };
         assert!(!a.completed());
         assert!(a.to_string().contains("memory limit"));
+    }
+
+    #[test]
+    fn detection_json_is_stable() {
+        let mut d = Detection {
+            found: Some(Cut::from(vec![1, 2, 2])),
+            cuts_explored: 9,
+            max_stored_cuts: 4,
+            peak_bytes: 256,
+            elapsed: Duration::from_millis(2),
+            aborted: None,
+            phases: vec![("slice".to_owned(), Duration::from_millis(1))],
+        };
+        let json = d.to_json();
+        assert!(json.starts_with("{\"detected\":true,\"witness\":[1,2,2],"));
+        assert!(json.contains("\"cuts_explored\":9"));
+        assert!(json.contains("\"aborted\":null"));
+        assert!(json.contains("{\"name\":\"slice\",\"secs\":0.001}"));
+        assert_eq!(d.phase("slice"), Some(Duration::from_millis(1)));
+        assert_eq!(d.phase("missing"), None);
+
+        d.found = None;
+        d.aborted = Some(AbortReason::CutLimit);
+        let json = d.to_json();
+        assert!(json.contains("\"detected\":false,\"witness\":null"));
+        assert!(json.contains("\"aborted\":\"cuts\""));
     }
 }

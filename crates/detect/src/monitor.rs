@@ -109,7 +109,13 @@ impl OnlineMonitor {
         process: usize,
         assignments: &[(VarRef, Value)],
     ) -> Result<EventId, BuildError> {
-        self.slicer.observe(process, assignments)
+        if !slicing_observe::enabled(slicing_observe::Level::Trace) {
+            return self.slicer.observe(process, assignments);
+        }
+        let t0 = std::time::Instant::now();
+        let id = self.slicer.observe(process, assignments);
+        slicing_observe::gauge("monitor.observe_nanos", t0.elapsed().as_nanos() as u64);
+        id
     }
 
     /// Records a message between two observed events.
@@ -140,6 +146,9 @@ impl OnlineMonitor {
     /// Returns [`BuildError::CyclicOrder`] if observed messages formed a
     /// cycle.
     pub fn check_detailed(&mut self) -> Result<Detection, BuildError> {
+        let _span = slicing_observe::span("monitor.check");
+        let timed = slicing_observe::enabled(slicing_observe::Level::Trace);
+        let t0 = timed.then(std::time::Instant::now);
         let comp = self.slicer.snapshot_computation()?;
         let slice = self.slicer.slice_of(&comp);
         // The slice of a conjunctive predicate is lean: its bottom cut, if
@@ -150,6 +159,10 @@ impl OnlineMonitor {
             outcome.found = None;
         } else if outcome.found.is_some() {
             self.last_alarm.clone_from(&outcome.found);
+            slicing_observe::counter("monitor.alarms", 1);
+        }
+        if let Some(t0) = t0 {
+            slicing_observe::gauge("monitor.check_nanos", t0.elapsed().as_nanos() as u64);
         }
         Ok(outcome)
     }

@@ -38,6 +38,7 @@ where
     if threads < 2 {
         return crate::enumerate::detect_bfs(space, comp, pred, limits);
     }
+    let _span = slicing_observe::span("detect.bfs_parallel");
     let start = Instant::now();
     let mut tracker = Tracker::default();
     let entry_bytes = Tracker::hash_entry_bytes(space.num_processes());
@@ -52,7 +53,11 @@ where
     let mut frontier: Vec<Cut> = vec![bottom];
     tracker.charge(entry_bytes);
 
+    let mut layer = 0u64;
     while !frontier.is_empty() {
+        layer += 1;
+        slicing_observe::gauge("detect.parallel.layer", layer);
+        slicing_observe::gauge("detect.parallel.layer_width", frontier.len() as u64);
         // Evaluate and expand the layer in parallel.
         let chunk = frontier.len().div_ceil(threads);
         let results: Vec<(Option<usize>, Vec<Cut>)> = std::thread::scope(|scope| {

@@ -113,10 +113,20 @@ pub fn detect_pom<P: Predicate + ?Sized>(
     pred: &P,
     limits: &Limits,
 ) -> Detection {
+    let _span = slicing_observe::span("detect.pom");
     let start = Instant::now();
     let mut tracker = Tracker::default();
     let n = comp.num_processes();
     let entry_bytes = Tracker::hash_entry_bytes(n) + 8; // + sleep mask
+
+    // Pruning totals, accumulated locally and emitted once per run so the
+    // Trace stream stays O(1) regardless of lattice size.
+    let mut sleep_skips = 0u64;
+    let mut persistent_pruned = 0u64;
+    let emit_pruning = |sleep_skips: u64, persistent_pruned: u64| {
+        slicing_observe::counter("detect.pom.sleep_set_skips", sleep_skips);
+        slicing_observe::counter("detect.pom.persistent_pruned", persistent_pruned);
+    };
 
     let deps = Dependencies::new(comp, pred.support());
 
@@ -146,9 +156,11 @@ pub fn detect_pom<P: Predicate + ?Sized>(
                 tracker.store_cut(entry_bytes);
                 tracker.cuts_explored += 1;
                 if pred.eval(&GlobalState::new(comp, &cut)) {
+                    emit_pruning(sleep_skips, persistent_pruned);
                     return tracker.finish(Some(cut), start.elapsed(), None);
                 }
                 if let Some(reason) = tracker.over_limit(limits) {
+                    emit_pruning(sleep_skips, persistent_pruned);
                     return tracker.finish(None, start.elapsed(), Some(reason));
                 }
             }
@@ -162,11 +174,16 @@ pub fn detect_pom<P: Predicate + ?Sized>(
             continue;
         }
         let persistent = deps.persistent_set(&cut, enabled);
+        persistent_pruned += enabled.iter().filter(|&p| !persistent.contains(p)).count() as u64;
 
         // Explore enabled persistent transitions not in the sleep set.
         let mut explored_mask = 0u64;
         for p in persistent {
-            if !enabled.contains(p) || sleep & (1 << p.as_usize()) != 0 {
+            if !enabled.contains(p) {
+                continue;
+            }
+            if sleep & (1 << p.as_usize()) != 0 {
+                sleep_skips += 1;
                 continue;
             }
             let mut child = cut.clone();
@@ -185,6 +202,7 @@ pub fn detect_pom<P: Predicate + ?Sized>(
             explored_mask |= 1 << p.as_usize();
         }
     }
+    emit_pruning(sleep_skips, persistent_pruned);
     tracker.finish(None, start.elapsed(), None)
 }
 

@@ -52,6 +52,7 @@ pub fn detect_reverse_search<P: Predicate + ?Sized>(
     pred: &P,
     limits: &Limits,
 ) -> Detection {
+    let _span = slicing_observe::span("detect.reverse");
     let start = Instant::now();
     let mut tracker = Tracker::default();
     let n = comp.num_processes();
@@ -98,6 +99,7 @@ pub fn detect_reverse_search<P: Predicate + ?Sized>(
                 tracker.store_cut(frame_bytes);
             }
             None => {
+                slicing_observe::counter("detect.reverse.backtracks", 1);
                 stack.pop();
                 tracker.drop_cut(frame_bytes);
             }
@@ -120,6 +122,7 @@ pub fn detect_reverse_search_slice<P: Predicate + ?Sized>(
     pred: &P,
     limits: &Limits,
 ) -> Detection {
+    let _span = slicing_observe::span("detect.reverse_slice");
     let start = Instant::now();
     let mut tracker = Tracker::default();
     let comp = slice.computation();
@@ -259,6 +262,7 @@ pub fn detect_reverse_search_slice<P: Predicate + ?Sized>(
                 tracker.store_cut(frame_bytes);
             }
             None => {
+                slicing_observe::counter("detect.reverse.backtracks", 1);
                 stack.pop();
                 tracker.drop_cut(frame_bytes);
             }

@@ -53,8 +53,12 @@ pub fn detect_with_slicing(
     spec: &PredicateSpec,
     limits: &Limits,
 ) -> SliceDetection {
+    let _span = slicing_observe::span("detect.slice_then_search");
     let t0 = Instant::now();
-    let slice = spec.slice(comp);
+    let slice = {
+        let _span = slicing_observe::span("detect.slice_phase");
+        spec.slice(comp)
+    };
     let slicing_elapsed = t0.elapsed();
     detect_on_slice(comp, &slice, spec, slicing_elapsed, limits)
 }
@@ -84,7 +88,14 @@ pub fn detect_on_slice(
         }
     }
 
-    let search = detect_bfs(slice, comp, &SpecPred(spec), limits);
+    let mut search = {
+        let _span = slicing_observe::span("detect.search_phase");
+        detect_bfs(slice, comp, &SpecPred(spec), limits)
+    };
+    search.phases = vec![
+        ("slice".to_owned(), slicing_elapsed),
+        ("search".to_owned(), search.elapsed),
+    ];
     SliceDetection {
         slicing_elapsed,
         slice_bytes: slice.approx_bytes() as u64,

@@ -1,0 +1,236 @@
+//! Hand-rolled JSON emission: string escaping plus tiny object/array
+//! builders. The workspace keeps its dependency closure at zero external
+//! crates, so this module is the single place JSON text is produced —
+//! sinks and report types build on it rather than re-implementing
+//! escaping.
+//!
+//! Only emission is provided; nothing in the workspace needs to *parse*
+//! JSON.
+
+/// Appends `s` to `out` as a JSON string literal, including the
+/// surrounding quotes.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a standalone JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+/// A finite `f64` rendered as a JSON number. Non-finite values (which
+/// JSON cannot represent) become `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a decimal
+        // point or exponent, so the output re-parses as a float.
+        format!("{v:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Incremental builder for one JSON object.
+#[derive(Debug, Clone)]
+pub struct JsonObject {
+    buf: String,
+    empty: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            empty: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        escape_into(&mut self.buf, value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, key: &str, value: i64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a floating-point field (`null` if non-finite).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON (a nested object
+    /// or array).
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Adds a string field, or `null` when absent.
+    pub fn opt_str(self, key: &str, value: Option<&str>) -> Self {
+        match value {
+            Some(v) => self.str(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+/// Incremental builder for one JSON array.
+#[derive(Debug, Clone)]
+pub struct JsonArray {
+    buf: String,
+    empty: bool,
+}
+
+impl JsonArray {
+    /// Starts an empty array.
+    pub fn new() -> Self {
+        JsonArray {
+            buf: String::from("["),
+            empty: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+    }
+
+    /// Appends an already-rendered JSON value.
+    pub fn push_raw(mut self, json: &str) -> Self {
+        self.sep();
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Appends a string element.
+    pub fn push_str(mut self, value: &str) -> Self {
+        self.sep();
+        escape_into(&mut self.buf, value);
+        self
+    }
+
+    /// Closes the array and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+impl Default for JsonArray {
+    fn default() -> Self {
+        JsonArray::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials_and_controls() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(
+            escape("line\nbreak\ttab\rret"),
+            "\"line\\nbreak\\ttab\\rret\""
+        );
+        assert_eq!(escape("\u{1}\u{1f}"), "\"\\u0001\\u001f\"");
+        assert_eq!(escape("unicode: é λ 🦀"), "\"unicode: é λ 🦀\"");
+    }
+
+    #[test]
+    fn numbers_reparse_as_floats() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(2.0), "2.0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn objects_and_arrays_compose() {
+        let inner = JsonObject::new().u64("id", 7).finish();
+        let arr = JsonArray::new().push_raw(&inner).push_str("x\"y").finish();
+        let obj = JsonObject::new()
+            .str("name", "a\nb")
+            .i64("neg", -3)
+            .f64("ratio", 0.5)
+            .bool("ok", true)
+            .opt_str("missing", None)
+            .raw("items", &arr)
+            .finish();
+        assert_eq!(
+            obj,
+            "{\"name\":\"a\\nb\",\"neg\":-3,\"ratio\":0.5,\"ok\":true,\
+             \"missing\":null,\"items\":[{\"id\":7},\"x\\\"y\"]}"
+        );
+    }
+
+    #[test]
+    fn empty_builders() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(JsonArray::new().finish(), "[]");
+    }
+}

@@ -1,0 +1,272 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] captures one detection (or simulation) run — workload,
+//! engine, scale parameters, the detection outcome, a per-phase time
+//! breakdown, and any end-of-run counters — in a stable JSON schema so
+//! that benchmark results can be regenerated and diffed mechanically. A
+//! [`RunReportSet`] wraps the runs a binary produced into a single
+//! document.
+//!
+//! Schema (`slicing.run-report/v1`); absent optional fields are omitted:
+//!
+//! ```json
+//! {
+//!   "schema": "slicing.run-report/v1",
+//!   "workload": "primary-secondary",
+//!   "engine": "slice",
+//!   "seed": 7,
+//!   "procs": 4,
+//!   "events": 40,
+//!   "detected": true,
+//!   "aborted": null,
+//!   "cuts_explored": 512,
+//!   "max_stored_cuts": 128,
+//!   "peak_bytes": 16384,
+//!   "elapsed_secs": 0.0123,
+//!   "phases": [{"name":"slice","secs":0.004},{"name":"search","secs":0.008}],
+//!   "counters": [{"name":"detect.cuts_explored","value":512}]
+//! }
+//! ```
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::json::{JsonArray, JsonObject};
+
+/// Identifies the per-run schema emitted by [`RunReport::to_json`].
+pub const RUN_REPORT_SCHEMA: &str = "slicing.run-report/v1";
+
+/// Identifies the document schema emitted by [`RunReportSet::to_json`].
+pub const REPORT_SET_SCHEMA: &str = "slicing.bench-report/v1";
+
+/// One run's report; see the module docs for the JSON shape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Workload name (e.g. `"primary-secondary"`, `"figure1"`).
+    pub workload: String,
+    /// Detection engine (e.g. `"slice"`, `"bfs"`, `"hybrid"`).
+    pub engine: String,
+    /// RNG seed of the simulated run, when one was used.
+    pub seed: Option<u64>,
+    /// Number of processes in the computation.
+    pub procs: Option<u64>,
+    /// Events per process (or total events, per the binary's convention).
+    pub events: Option<u64>,
+    /// Whether the predicate was detected.
+    pub detected: Option<bool>,
+    /// Abort reason when the engine hit a resource limit.
+    pub aborted: Option<String>,
+    /// Global states examined.
+    pub cuts_explored: Option<u64>,
+    /// High-water mark of simultaneously stored cuts.
+    pub max_stored_cuts: Option<u64>,
+    /// Estimated peak memory of the engine's working set, in bytes.
+    pub peak_bytes: Option<u64>,
+    /// Total wall time of the run, in seconds.
+    pub elapsed_secs: Option<f64>,
+    /// Ordered per-phase wall-time breakdown, in seconds.
+    pub phases: Vec<(String, f64)>,
+    /// End-of-run counter totals.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RunReport {
+    /// A report for `workload` run under `engine`; everything else is
+    /// filled in by the caller.
+    pub fn new(workload: impl Into<String>, engine: impl Into<String>) -> Self {
+        RunReport {
+            workload: workload.into(),
+            engine: engine.into(),
+            ..RunReport::default()
+        }
+    }
+
+    /// Adds a named phase duration (builder style).
+    pub fn phase(mut self, name: impl Into<String>, secs: f64) -> Self {
+        self.phases.push((name.into(), secs));
+        self
+    }
+
+    /// Adds a named counter total (builder style).
+    pub fn counter(mut self, name: impl Into<String>, value: u64) -> Self {
+        self.counters.push((name.into(), value));
+        self
+    }
+
+    /// Renders the report as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new()
+            .str("schema", RUN_REPORT_SCHEMA)
+            .str("workload", &self.workload)
+            .str("engine", &self.engine);
+        if let Some(v) = self.seed {
+            obj = obj.u64("seed", v);
+        }
+        if let Some(v) = self.procs {
+            obj = obj.u64("procs", v);
+        }
+        if let Some(v) = self.events {
+            obj = obj.u64("events", v);
+        }
+        if let Some(v) = self.detected {
+            obj = obj.bool("detected", v);
+        }
+        if self.detected.is_some() || self.aborted.is_some() {
+            obj = obj.opt_str("aborted", self.aborted.as_deref());
+        }
+        if let Some(v) = self.cuts_explored {
+            obj = obj.u64("cuts_explored", v);
+        }
+        if let Some(v) = self.max_stored_cuts {
+            obj = obj.u64("max_stored_cuts", v);
+        }
+        if let Some(v) = self.peak_bytes {
+            obj = obj.u64("peak_bytes", v);
+        }
+        if let Some(v) = self.elapsed_secs {
+            obj = obj.f64("elapsed_secs", v);
+        }
+        let phases = self
+            .phases
+            .iter()
+            .fold(JsonArray::new(), |arr, (name, secs)| {
+                arr.push_raw(
+                    &JsonObject::new()
+                        .str("name", name)
+                        .f64("secs", *secs)
+                        .finish(),
+                )
+            })
+            .finish();
+        obj = obj.raw("phases", &phases);
+        let counters = self
+            .counters
+            .iter()
+            .fold(JsonArray::new(), |arr, (name, value)| {
+                arr.push_raw(
+                    &JsonObject::new()
+                        .str("name", name)
+                        .u64("value", *value)
+                        .finish(),
+                )
+            })
+            .finish();
+        obj = obj.raw("counters", &counters);
+        obj.finish()
+    }
+}
+
+/// A document collecting every run a binary produced.
+#[derive(Debug, Clone, Default)]
+pub struct RunReportSet {
+    /// Name of the producing binary (e.g. `"fig2_primary_secondary"`).
+    pub binary: String,
+    /// The collected runs, in production order.
+    pub runs: Vec<RunReport>,
+}
+
+impl RunReportSet {
+    /// An empty report set for `binary`.
+    pub fn new(binary: impl Into<String>) -> Self {
+        RunReportSet {
+            binary: binary.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Appends one run.
+    pub fn push(&mut self, run: RunReport) {
+        self.runs.push(run);
+    }
+
+    /// Renders the whole set as one JSON document.
+    pub fn to_json(&self) -> String {
+        let runs = self
+            .runs
+            .iter()
+            .fold(JsonArray::new(), |arr, run| arr.push_raw(&run.to_json()))
+            .finish();
+        JsonObject::new()
+            .str("schema", REPORT_SET_SCHEMA)
+            .str("binary", &self.binary)
+            .raw("runs", &runs)
+            .finish()
+    }
+
+    /// Writes the document to `path`, trailing newline included.
+    pub fn write_to<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        writeln!(file, "{}", self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_report_omits_absent_fields() {
+        let json = RunReport::new("figure1", "bfs").to_json();
+        assert_eq!(
+            json,
+            "{\"schema\":\"slicing.run-report/v1\",\"workload\":\"figure1\",\
+             \"engine\":\"bfs\",\"phases\":[],\"counters\":[]}"
+        );
+    }
+
+    #[test]
+    fn full_report_round_trips_every_field() {
+        let mut r = RunReport::new("primary-secondary", "slice");
+        r.seed = Some(7);
+        r.procs = Some(4);
+        r.events = Some(40);
+        r.detected = Some(true);
+        r.cuts_explored = Some(512);
+        r.max_stored_cuts = Some(128);
+        r.peak_bytes = Some(16384);
+        r.elapsed_secs = Some(0.5);
+        let r = r
+            .phase("slice", 0.25)
+            .phase("search", 0.25)
+            .counter("detect.cuts_explored", 512);
+        let json = r.to_json();
+        assert!(json.contains("\"seed\":7"));
+        assert!(json.contains("\"detected\":true"));
+        assert!(json.contains("\"aborted\":null"));
+        assert!(json.contains("{\"name\":\"slice\",\"secs\":0.25}"));
+        assert!(json.contains("{\"name\":\"detect.cuts_explored\",\"value\":512}"));
+    }
+
+    #[test]
+    fn aborted_runs_carry_the_reason() {
+        let mut r = RunReport::new("db", "pom");
+        r.detected = Some(false);
+        r.aborted = Some("memory".to_owned());
+        assert!(r.to_json().contains("\"aborted\":\"memory\""));
+    }
+
+    #[test]
+    fn report_set_wraps_runs() {
+        let mut set = RunReportSet::new("fig2_primary_secondary");
+        set.push(RunReport::new("primary-secondary", "slice"));
+        set.push(RunReport::new("primary-secondary", "pom"));
+        let json = set.to_json();
+        assert!(json.starts_with("{\"schema\":\"slicing.bench-report/v1\""));
+        assert!(json.contains("\"binary\":\"fig2_primary_secondary\""));
+        assert_eq!(json.matches("slicing.run-report/v1").count(), 2);
+    }
+
+    #[test]
+    fn write_to_emits_parseable_line() {
+        let dir = std::env::temp_dir().join("slicing-observe-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let mut set = RunReportSet::new("t");
+        set.push(RunReport::new("w", "e"));
+        set.write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        assert!(text.trim_end().starts_with('{') && text.trim_end().ends_with('}'));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -35,6 +35,20 @@ pub struct FaultSpec {
 /// Returns an error if the fault references an unknown variable or
 /// out-of-range position.
 pub fn inject(comp: &Computation, fault: &FaultSpec) -> Result<Computation, FaultError> {
+    slicing_observe::counter("sim.faults_injected", 1);
+    slicing_observe::message(slicing_observe::Level::Debug, || {
+        format!(
+            "fault: {} of process {} corrupted at position {} ({})",
+            fault.var_name,
+            fault.process.as_usize(),
+            fault.position,
+            if fault.transient {
+                "transient"
+            } else {
+                "persistent"
+            },
+        )
+    });
     comp.var(fault.process, &fault.var_name)
         .ok_or_else(|| FaultError::UnknownVariable {
             process: fault.process,

@@ -119,6 +119,7 @@ struct InFlight {
 /// Propagates [`BuildError`]s; these indicate a protocol bug (e.g. writing
 /// another process's variable).
 pub fn run<P: Protocol>(protocol: &mut P, config: &SimConfig) -> Result<Computation, BuildError> {
+    let _span = slicing_observe::span("sim.run");
     let n = protocol.num_processes();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut builder = ComputationBuilder::new(n);
@@ -161,6 +162,7 @@ pub fn run<P: Protocol>(protocol: &mut P, config: &SimConfig) -> Result<Computat
         let pid = ProcessId::new(acting);
         let event = builder.append_event(pid);
         events_on[acting] += 1;
+        slicing_observe::counter("sim.events", 1);
         for (var, value) in actions.writes.drain(..) {
             builder.assign(event, var, value)?;
         }
@@ -174,7 +176,9 @@ pub fn run<P: Protocol>(protocol: &mut P, config: &SimConfig) -> Result<Computat
                 payload,
                 send_event: event,
             });
+            slicing_observe::counter("sim.messages_sent", 1);
         }
+        slicing_observe::gauge("sim.in_flight", network.len() as u64);
     }
 
     builder.build()

@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn no_token_detectable_iff_token_in_transit() {
-        let comp = small_run(3, 3, 10);
+        let comp = small_run(2, 3, 10);
         let spec = no_token_spec(&comp);
         let slice = spec.slice(&comp);
         // The token was passed at least once in this run, so "no process

@@ -27,6 +27,8 @@ use computation_slicing::{
 
 fn usage() -> &'static str {
     "usage:
+  slicing [--log off|error|warn|info|debug|trace] [--report <path>] <command> ...
+
   slicing stats   <trace> <predicate>
   slicing detect  <trace> <predicate> [--engine slice|bfs|dfs|pom|reverse|parallel|hybrid]
                   [--max-cuts N] [--cap-kb N] [--threads N]
@@ -35,6 +37,11 @@ fn usage() -> &'static str {
   slicing cuts    <trace> [--limit N]
   slicing dot     <trace> [<predicate>]
   slicing fixture figure1
+
+--log mirrors the SLICING_LOG environment variable (the flag wins) and
+prints leveled span/counter traces to stderr. --report writes the detect
+outcome as one `slicing.run-report/v1` JSON object to <path> (`-` for
+stdout).
 
 <trace> is a file path or `-` for stdin; predicates use the expression
 language, e.g. \"x1@0 > 1 && x3@2 <= 3\"."
@@ -54,11 +61,48 @@ fn load_trace(path: &str) -> Result<Computation, String> {
     from_text(&text).map_err(|e| e.to_string())
 }
 
+/// Strips the global `--log`/`--report` flags (valid before or after the
+/// subcommand), installs the stderr logger, and returns the remaining args
+/// plus the report path.
+fn global_flags(raw: Vec<String>) -> Result<(Vec<String>, Option<String>), String> {
+    let mut args = Vec::with_capacity(raw.len());
+    let mut log_level = None;
+    let mut report = None;
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--log" => {
+                let value = it.next().ok_or("--log needs a level")?;
+                log_level =
+                    Some(slicing_observe::Level::parse(&value).ok_or_else(|| {
+                        format!("unknown log level {value:?} (try debug or trace)")
+                    })?);
+            }
+            "--report" => report = Some(it.next().ok_or("--report needs a path")?),
+            _ => args.push(arg),
+        }
+    }
+    match log_level {
+        Some(level) => slicing_observe::install(std::sync::Arc::new(
+            slicing_observe::StderrLogger::new(level),
+        )),
+        None => {
+            if let Some(logger) = slicing_observe::StderrLogger::from_env() {
+                slicing_observe::install(std::sync::Arc::new(logger));
+            }
+        }
+    }
+    Ok((args, report))
+}
+
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, report) = global_flags(std::env::args().skip(1).collect())?;
     let Some(command) = args.first() else {
         return Err(usage().to_owned());
     };
+    if report.is_some() && command != "detect" {
+        eprintln!("note: --report only applies to `slicing detect`; ignoring");
+    }
 
     match command.as_str() {
         "fixture" => match args.get(1).map(String::as_str) {
@@ -142,6 +186,15 @@ fn run() -> Result<(), String> {
             };
             if engine != "slice" {
                 println!("{engine}: {outcome}");
+            }
+            if let Some(path) = &report {
+                let json = outcome.to_json();
+                if path == "-" {
+                    println!("{json}");
+                } else {
+                    std::fs::write(path, format!("{json}\n"))
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                }
             }
             match &outcome.found {
                 Some(cut) => {

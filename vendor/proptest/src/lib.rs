@@ -1,0 +1,832 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the subset of the proptest 1.x API the workspace's property
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`,
+//! `prop_flat_map`, `prop_recursive`, and `boxed`; tuple, range, `Just`,
+//! `any`, union, collection, and regex-lite string strategies; and the
+//! `proptest!`, `prop_oneof!`, `prop_assert!`, and `prop_assert_eq!`
+//! macros. Sampling is deterministic — each test derives its RNG seed from
+//! its own name — so failures reproduce exactly across runs. There is no
+//! shrinking: a failing case panics with the generated value's `Debug`
+//! output instead of a minimized counterexample.
+
+#![warn(missing_docs)]
+
+/// Deterministic random source behind every strategy.
+pub mod test_runner {
+    use crate::config::ProptestConfig;
+
+    /// A splitmix64 generator: small, fast, and uniform enough for test
+    /// data.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with an explicit seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+
+    /// Drives one `proptest!` test: holds the configured case count and the
+    /// per-test deterministic generator.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        cases: u32,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner for the named test. The seed is an FNV-1a hash of the
+        /// test name, so every test gets its own reproducible stream.
+        pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                cases: config.cases,
+                rng: TestRng::new(seed),
+            }
+        }
+
+        /// How many cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The runner's generator.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Test-run configuration.
+pub mod config {
+    /// The subset of proptest's configuration the workspace uses.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// The `Strategy` trait and its combinators.
+pub mod strategy {
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike real proptest there is no value tree or shrinking —
+    /// `generate` directly produces a sample.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy producing `f` applied to this strategy's values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// A strategy that draws a value, builds a second strategy from it,
+        /// and draws from that.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// A recursive strategy: `self` is the leaf case and `recurse`
+        /// wraps an inner strategy into a deeper construct. Depth is
+        /// bounded by `depth`; `desired_size` and `expected_branch_size`
+        /// are accepted for API compatibility but unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            // Level 0 is the leaf; level k draws either from level k-1 or
+            // from one application of `recurse` over level k-1, so nesting
+            // never exceeds `depth`.
+            let mut level = self.boxed();
+            for _ in 0..depth {
+                level = Union::new(vec![level.clone(), recurse(level).boxed()]).boxed();
+            }
+            level
+        }
+
+        /// Type-erases the strategy behind a cheap `Clone`.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// The [`Strategy::prop_flat_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies ([`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    #[derive(Debug, Clone)]
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.end > self.start, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + offset) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(hi >= lo, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// The `any::<T>()` entry point for type-default strategies.
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait ArbitraryValue: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// A strategy over all values of `T`.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.end > self.size.start, "empty vec size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors of `element` with a length drawn from
+    /// `size` (half-open, like proptest's `SizeRange` from a `Range`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Regex-lite string strategies: `&str` patterns generate matching strings.
+pub mod string {
+    use std::iter::Peekable;
+    use std::str::Chars;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// One parsed pattern atom with its repetition bounds.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        node: Node,
+        min: usize,
+        max: usize,
+    }
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Atom>),
+    }
+
+    /// A compiled regex-lite pattern. Supports literals, escapes (`\n`,
+    /// `\t`, `\\` and friends), character classes of ranges and single
+    /// characters (`[ -~]`, `[a-z0-9_]`), groups, and the repetition
+    /// operators `{m,n}`, `{n}`, `*`, `+`, `?` (unbounded forms capped at
+    /// eight repeats). This covers the patterns used in the workspace's
+    /// panic-freedom tests; anything fancier is rejected at parse time.
+    #[derive(Debug, Clone)]
+    pub struct RegexLite {
+        atoms: Vec<Atom>,
+    }
+
+    impl RegexLite {
+        /// Compiles `pattern`, panicking on unsupported syntax (a test
+        /// authoring error, not a runtime condition).
+        pub fn compile(pattern: &str) -> Self {
+            let mut chars = pattern.chars().peekable();
+            let atoms = parse_seq(&mut chars, pattern);
+            assert!(
+                chars.next().is_none(),
+                "unbalanced ')' in pattern {pattern:?}"
+            );
+            RegexLite { atoms }
+        }
+    }
+
+    fn parse_seq(chars: &mut Peekable<Chars>, pattern: &str) -> Vec<Atom> {
+        let mut out = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if c == ')' {
+                break;
+            }
+            chars.next();
+            let node = match c {
+                '(' => {
+                    let inner = parse_seq(chars, pattern);
+                    assert_eq!(
+                        chars.next(),
+                        Some(')'),
+                        "unclosed group in pattern {pattern:?}"
+                    );
+                    Node::Group(inner)
+                }
+                '[' => Node::Class(parse_class(chars, pattern)),
+                '\\' => {
+                    Node::Lit(unescape(chars.next().unwrap_or_else(|| {
+                        panic!("dangling escape in pattern {pattern:?}")
+                    })))
+                }
+                '|' | '*' | '+' | '?' | '{' => {
+                    panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+                }
+                _ => Node::Lit(c),
+            };
+            let (min, max) = parse_repeat(chars, pattern);
+            out.push(Atom { node, min, max });
+        }
+        out
+    }
+
+    fn parse_class(chars: &mut Peekable<Chars>, pattern: &str) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        loop {
+            let lo =
+                match chars.next() {
+                    Some(']') if !ranges.is_empty() => return ranges,
+                    Some('\\') => unescape(chars.next().unwrap_or_else(|| {
+                        panic!("dangling escape in class of pattern {pattern:?}")
+                    })),
+                    Some(c) => c,
+                    None => panic!("unclosed class in pattern {pattern:?}"),
+                };
+            // `a-b` is a range unless the '-' is the closing position.
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next();
+                if ahead.peek() != Some(&']') {
+                    chars.next();
+                    let hi = match chars.next() {
+                        Some('\\') => unescape(chars.next().unwrap_or_else(|| {
+                            panic!("dangling escape in class of pattern {pattern:?}")
+                        })),
+                        Some(c) => c,
+                        None => panic!("unclosed class in pattern {pattern:?}"),
+                    };
+                    assert!(hi >= lo, "inverted class range in pattern {pattern:?}");
+                    ranges.push((lo, hi));
+                    continue;
+                }
+            }
+            ranges.push((lo, lo));
+        }
+    }
+
+    fn parse_repeat(chars: &mut Peekable<Chars>, pattern: &str) -> (usize, usize) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        let (min, max) = match spec.split_once(',') {
+                            Some((a, b)) => (
+                                a.parse().unwrap_or_else(|_| {
+                                    panic!("bad repeat {spec:?} in pattern {pattern:?}")
+                                }),
+                                b.parse().unwrap_or_else(|_| {
+                                    panic!("bad repeat {spec:?} in pattern {pattern:?}")
+                                }),
+                            ),
+                            None => {
+                                let n = spec.parse().unwrap_or_else(|_| {
+                                    panic!("bad repeat {spec:?} in pattern {pattern:?}")
+                                });
+                                (n, n)
+                            }
+                        };
+                        assert!(max >= min, "inverted repeat in pattern {pattern:?}");
+                        return (min, max);
+                    }
+                    spec.push(c);
+                }
+                panic!("unclosed repeat in pattern {pattern:?}")
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn gen_atoms(atoms: &[Atom], rng: &mut TestRng, out: &mut String) {
+        for atom in atoms {
+            let span = (atom.max - atom.min) as u64 + 1;
+            let reps = atom.min + rng.below(span) as usize;
+            for _ in 0..reps {
+                match &atom.node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|&(lo, hi)| u64::from(hi) - u64::from(lo) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for &(lo, hi) in ranges {
+                            let size = u64::from(hi) - u64::from(lo) + 1;
+                            if pick < size {
+                                out.push(
+                                    char::from_u32(lo as u32 + pick as u32)
+                                        .expect("class stays in scalar range"),
+                                );
+                                break;
+                            }
+                            pick -= size;
+                        }
+                    }
+                    Node::Group(inner) => gen_atoms(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            // Compilation per draw keeps the impl simple; patterns are a
+            // few dozen characters, so this is noise next to the test body.
+            let compiled = RegexLite::compile(self);
+            let mut out = String::new();
+            gen_atoms(&compiled.atoms, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// Everything a property test needs, glob-imported.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test]` functions whose arguments are drawn from
+/// strategies with `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::config::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner =
+                    $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+                let strategy = ($($strat,)+);
+                for _ in 0..runner.cases() {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&strategy, runner.rng());
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("proptest case failed: {}", format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property test, reporting both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left != *right {
+                    panic!(
+                        "proptest case failed: {:?} != {:?}",
+                        left, right
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left != *right {
+                    panic!(
+                        "proptest case failed: {:?} != {:?}: {}",
+                        left, right, format!($($fmt)+)
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let strat = (0usize..5, 2u32..=4, -3i64..=3, any::<bool>());
+        for _ in 0..500 {
+            let (a, b, c, _) = strat.generate(&mut rng);
+            assert!(a < 5);
+            assert!((2..=4).contains(&b));
+            assert!((-3..=3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn maps_and_flat_maps_compose() {
+        let mut rng = TestRng::new(2);
+        let strat = (1usize..4)
+            .prop_flat_map(|n| (Just(n), prop::collection::vec(0u8..10, 0..5)))
+            .prop_map(|(n, v)| (n * 2, v));
+        for _ in 0..200 {
+            let (n, v) = strat.generate(&mut rng);
+            assert!(n % 2 == 0 && (2..8).contains(&n));
+            assert!(v.len() < 5);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_draws_every_arm() {
+        let mut rng = TestRng::new(3);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strat = (-3i64..=3)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            });
+        let mut rng = TestRng::new(4);
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            max_depth = max_depth.max(depth(&strat.generate(&mut rng)));
+        }
+        assert!(max_depth > 0, "recursion never fired");
+        assert!(max_depth <= 3, "depth bound exceeded: {max_depth}");
+    }
+
+    #[test]
+    fn string_patterns_match_their_shape() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let s = "[ -~]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+
+            let t = "([ -~]{0,30}\n){0,6}".generate(&mut rng);
+            assert!(t.lines().count() <= 6);
+            assert!(t.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn seeds_derive_from_test_names() {
+        use crate::config::ProptestConfig;
+        use crate::test_runner::TestRunner;
+        let mut a = TestRunner::new(ProptestConfig::with_cases(8), "alpha");
+        let mut b = TestRunner::new(ProptestConfig::with_cases(8), "alpha");
+        let mut c = TestRunner::new(ProptestConfig::with_cases(8), "beta");
+        let (x, y, z) = (a.rng().next_u64(), b.rng().next_u64(), c.rng().next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro front-end itself: tuple patterns, multiple args.
+        #[test]
+        fn macro_front_end_works((n, v) in (1usize..4).prop_flat_map(|n| (Just(n), prop::collection::vec(0u8..10, 0..5))), flag in any::<bool>()) {
+            prop_assert!(n < 4, "n was {}", n);
+            prop_assert_eq!(v.iter().filter(|&&x| x >= 10).count(), 0);
+            let _ = flag;
+        }
+    }
+}

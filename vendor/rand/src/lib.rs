@@ -1,0 +1,156 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the (small) subset of the `rand 0.10` API the workspace
+//! actually uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`RngExt`] sampling helpers. The generator is a fixed splitmix64-seeded
+//! xoshiro256++, so simulations remain deterministic per seed — the only
+//! property the simulator relies on. It makes no cryptographic claims.
+
+#![warn(missing_docs)]
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random number generators: sources of uniform 64-bit values.
+pub trait RngCore {
+    /// The next raw 64-bit value of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sampling helpers layered over any [`RngCore`] (the `rand 0.10` names).
+pub trait RngExt: RngCore {
+    /// A uniform value in `range` (half-open `a..b`; `b > a` required).
+    fn random_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self.next_u64(), range.start, range.end)
+    }
+
+    /// A Bernoulli trial: `true` with probability `p` (clamped to `[0,1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 bits of the stream give a uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Integer types uniformly sampleable from a 64-bit source.
+pub trait SampleRange: Copy {
+    /// Maps a raw 64-bit value into `[lo, hi)`.
+    fn sample(raw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(raw: u64, lo: Self, hi: Self) -> Self {
+                assert!(hi > lo, "empty sample range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (raw as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded through splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000u32), b.random_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let av: Vec<u32> = (0..16).map(|_| a.random_range(0..u32::MAX)).collect();
+        let bv: Vec<u32> = (0..16).map(|_| b.random_range(0..u32::MAX)).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(5..17usize);
+            assert!((5..17).contains(&v));
+            let w = r.random_range(-3i64..4);
+            assert!((-3..4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+        let hits = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "hits {hits}");
+    }
+}
