@@ -28,6 +28,7 @@ struct Args {
     seeds: u64,
     cap_mb: u64,
     max_cuts: u64,
+    timeout_ms: Option<u64>,
     report: Option<String>,
 }
 
@@ -39,6 +40,7 @@ fn parse_args() -> Args {
         seeds: 5,
         cap_mb: 64,
         max_cuts: 2_000_000,
+        timeout_ms: None,
         report: None,
     };
     let mut it = std::env::args().skip(1);
@@ -56,6 +58,7 @@ fn parse_args() -> Args {
             "--seeds" => args.seeds = value.parse().expect("integer"),
             "--cap-mb" => args.cap_mb = value.parse().expect("integer"),
             "--max-cuts" => args.max_cuts = value.parse().expect("integer"),
+            "--timeout-ms" => args.timeout_ms = Some(value.parse().expect("integer")),
             "--report" => args.report = Some(value),
             other => panic!("unknown flag {other}"),
         }
@@ -68,6 +71,7 @@ fn main() {
     let limits = Limits {
         max_bytes: Some(args.cap_mb * 1024 * 1024),
         max_cuts: Some(args.max_cuts),
+        max_elapsed: args.timeout_ms.map(std::time::Duration::from_millis),
     };
     let w = Workload::PrimarySecondary;
     let mut report = RunReportSet::new("fig2_primary_secondary");

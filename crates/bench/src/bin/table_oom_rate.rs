@@ -29,6 +29,7 @@ fn main() {
     let mut cap_kb: u64 = 256;
     let mut max_cuts: u64 = 5_000_000;
     let mut faults: u32 = 1;
+    let mut timeout_ms: Option<u64> = None;
     let mut report_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -40,12 +41,16 @@ fn main() {
             "--cap-kb" => cap_kb = value.parse().expect("integer"),
             "--max-cuts" => max_cuts = value.parse().expect("integer"),
             "--faults" => faults = value.parse().expect("integer"),
+            "--timeout-ms" => timeout_ms = Some(value.parse().expect("integer")),
             "--report" => report_path = Some(value),
             other => panic!("unknown flag {other}"),
         }
     }
-    // Both caps at once: a run aborts on whichever budget it hits first.
-    let limits = Limits::new(Some(cap_kb * 1024), Some(max_cuts));
+    // All caps at once: a run aborts on whichever budget it hits first.
+    let mut limits = Limits::new(Some(cap_kb * 1024), Some(max_cuts));
+    if let Some(t) = timeout_ms {
+        limits = limits.with_deadline(std::time::Duration::from_millis(t));
+    }
     let mut report = RunReportSet::new("table_oom_rate");
 
     println!(

@@ -1,0 +1,201 @@
+//! Measures the full fault-tolerance loop the paper motivates (Section 1):
+//! inject a fault, detect it through the graceful-degradation engine
+//! chain, compute the recovery line from the slice, roll back, and replay
+//! until the invariant holds — reporting detect+recover latency, retry
+//! counts, and verdict rates per workload × fault kind.
+//!
+//! ```text
+//! cargo run --release -p slicing-bench --bin table_recovery -- \
+//!     [--procs 4] [--events 12] [--seeds 10] [--attempts 3] \
+//!     [--timeout-ms N] [--report recovery.json]
+//! ```
+//!
+//! `--report <path>` writes every per-seed run as a
+//! `slicing.bench-report/v1` JSON document whose engine field is
+//! `recover/<fault-kind>`; failing verdicts land in the run's `aborted`
+//! field so downstream tooling can gate on them.
+
+use std::time::Instant;
+
+use slicing_bench::Workload;
+use slicing_observe::{RunReport, RunReportSet};
+use slicing_recover::{recover, RecoverConfig, RecoveryOutcome, RecoveryVerdict};
+use slicing_sim::database::{self, DatabasePartitioning};
+use slicing_sim::primary_secondary::{self, PrimarySecondary};
+use slicing_sim::{inject_plan, run, sample_fault_plan, SimConfig};
+
+const FAULT_KINDS: [&str; 6] = [
+    "corrupt",
+    "drop-message",
+    "duplicate-message",
+    "delay-delivery",
+    "crash-stop",
+    "burst",
+];
+
+/// Clean run → sampled fault of `kind` → full recovery loop. `None` when
+/// the run offers no injection site of that kind.
+fn run_one(
+    workload: Workload,
+    procs: usize,
+    kind: &str,
+    cfg: &RecoverConfig,
+) -> Option<(RecoveryOutcome, f64)> {
+    let clean = match workload {
+        Workload::PrimarySecondary => run(&mut PrimarySecondary::new(procs), &cfg.sim),
+        Workload::DatabasePartitioning => run(&mut DatabasePartitioning::new(procs), &cfg.sim),
+    }
+    .expect("simulation succeeds");
+    let plan = (0..16).find_map(|o| sample_fault_plan(&clean, kind, cfg.sim.seed + o))?;
+    let faulty = inject_plan(&clean, &plan).ok()?;
+    let start = Instant::now();
+    let outcome = match workload {
+        Workload::PrimarySecondary => recover(
+            || PrimarySecondary::new(procs),
+            primary_secondary::violation_spec,
+            &faulty,
+            cfg,
+        ),
+        Workload::DatabasePartitioning => recover(
+            || DatabasePartitioning::new(procs),
+            database::violation_spec,
+            &faulty,
+            cfg,
+        ),
+    };
+    Some((outcome, start.elapsed().as_secs_f64()))
+}
+
+fn main() {
+    // Honor SLICING_LOG so CI can grep the counter stream (e.g. failing
+    // the soak on any `recover.fallback_exhausted`).
+    if let Some(logger) = slicing_observe::StderrLogger::from_env() {
+        slicing_observe::install(std::sync::Arc::new(logger));
+    }
+    let mut procs: usize = 4;
+    let mut events: u32 = 12;
+    let mut seeds: u64 = 10;
+    let mut attempts: u32 = 3;
+    let mut timeout_ms: Option<u64> = None;
+    let mut report_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--procs" => procs = value.parse().expect("integer"),
+            "--events" => events = value.parse().expect("integer"),
+            "--seeds" => seeds = value.parse().expect("integer"),
+            "--attempts" => attempts = value.parse().expect("integer"),
+            "--timeout-ms" => timeout_ms = Some(value.parse().expect("integer")),
+            "--report" => report_path = Some(value),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let mut report = RunReportSet::new("table_recovery");
+
+    println!(
+        "# Detect → recovery-line → rollback → replay — n = {procs}, events/process = {events}, {seeds} seeds, {attempts} attempt(s)"
+    );
+    println!(
+        "{:<24} {:<18} {:>4} {:>9} {:>10} {:>7} {:>7} {:>8} {:>9}",
+        "workload",
+        "fault",
+        "runs",
+        "detected",
+        "recovered",
+        "clean",
+        "failed",
+        "replays",
+        "avg_ms"
+    );
+    let mut failures = 0u64;
+    for workload in [Workload::PrimarySecondary, Workload::DatabasePartitioning] {
+        for kind in FAULT_KINDS {
+            let mut injected = 0u64;
+            let mut detected = 0u64;
+            let mut recovered = 0u64;
+            let mut clean = 0u64;
+            let mut failed = 0u64;
+            let mut replays = 0u64;
+            let mut elapsed = 0.0f64;
+            for seed in 0..seeds {
+                let mut cfg = RecoverConfig {
+                    sim: SimConfig {
+                        seed,
+                        max_events_per_process: events,
+                        ..SimConfig::default()
+                    },
+                    ..RecoverConfig::default()
+                };
+                cfg.retry.max_attempts = attempts;
+                if let Some(ms) = timeout_ms {
+                    cfg.detect = cfg
+                        .detect
+                        .with_total_deadline(std::time::Duration::from_millis(ms));
+                }
+                let Some((outcome, secs)) = run_one(workload, procs, kind, &cfg) else {
+                    continue;
+                };
+                injected += 1;
+                elapsed += secs;
+                replays += outcome.attempts.len() as u64;
+                if outcome.detected {
+                    detected += 1;
+                }
+                match outcome.verdict {
+                    RecoveryVerdict::Recovered => recovered += 1,
+                    RecoveryVerdict::CleanAlready => clean += 1,
+                    _ => failed += 1,
+                }
+                if report_path.is_some() {
+                    let mut run_report = RunReport::new(workload.name(), format!("recover/{kind}"));
+                    run_report.seed = Some(seed);
+                    run_report.procs = Some(procs as u64);
+                    run_report.events = Some(events as u64);
+                    run_report.detected = Some(outcome.detected);
+                    run_report.elapsed_secs = Some(secs);
+                    if !matches!(
+                        outcome.verdict,
+                        RecoveryVerdict::Recovered | RecoveryVerdict::CleanAlready
+                    ) {
+                        run_report.aborted = Some(outcome.verdict.name().to_owned());
+                    }
+                    report.push(
+                        run_report
+                            .counter("replays", outcome.attempts.len() as u64)
+                            .counter("engine_fallbacks", outcome.engine_fallbacks as u64)
+                            .counter(
+                                "recovered",
+                                u64::from(outcome.verdict == RecoveryVerdict::Recovered),
+                            ),
+                    );
+                }
+            }
+            failures += failed;
+            println!(
+                "{:<24} {:<18} {:>4} {:>9} {:>10} {:>7} {:>7} {:>8} {:>9.2}",
+                workload.name(),
+                kind,
+                injected,
+                detected,
+                recovered,
+                clean,
+                failed,
+                replays,
+                if injected > 0 {
+                    elapsed * 1000.0 / injected as f64
+                } else {
+                    0.0
+                },
+            );
+        }
+    }
+    println!("\n# `clean` runs carried a fault that never produced a violating cut");
+    println!("# (structural faults are often absorbed); `failed` counts verdicts");
+    println!("# other than recovered/clean-already and should be zero.");
+    if let Some(path) = &report_path {
+        report.write_to(path).expect("write report");
+        eprintln!("# wrote {} runs to {path}", report.runs.len());
+    }
+    assert_eq!(failures, 0, "some runs failed to recover");
+}

@@ -157,6 +157,41 @@ impl PredicateSpec {
         }
     }
 
+    /// The logical complement of the tree, when it stays sliceable.
+    ///
+    /// Regular and conjunctive leaves flip to co-regular and back
+    /// (a conjunctive predicate is regular, so its complement slices with
+    /// the Section 5 co-regular algorithm), and interior nodes apply
+    /// De Morgan. Linear, post-linear, and k-local leaves have no
+    /// polynomial-time sliceable complement, so a tree containing one
+    /// returns `None` — callers fall back to searching the negation
+    /// directly. Recovery-line computation uses this to slice "the fault
+    /// never happened" regions without hand-writing negated specs.
+    pub fn complement(&self) -> Option<PredicateSpec> {
+        match self {
+            PredicateSpec::Conjunctive(p) => Some(PredicateSpec::CoRegular(Arc::new(p.clone()))),
+            PredicateSpec::Regular(p) => Some(PredicateSpec::CoRegular(p.clone())),
+            PredicateSpec::CoRegular(p) => Some(PredicateSpec::Regular(p.clone())),
+            PredicateSpec::Linear(_) | PredicateSpec::PostLinear(_) | PredicateSpec::KLocal(_) => {
+                None
+            }
+            PredicateSpec::And(children) => {
+                let flipped: Option<Vec<PredicateSpec>> =
+                    children.iter().map(PredicateSpec::complement).collect();
+                Some(PredicateSpec::Or(flipped?))
+            }
+            PredicateSpec::Or(children) => {
+                // ¬(∅-ary ∨) is the constant true, which has no spec form.
+                if children.is_empty() {
+                    return None;
+                }
+                let flipped: Option<Vec<PredicateSpec>> =
+                    children.iter().map(PredicateSpec::complement).collect();
+                Some(PredicateSpec::And(flipped?))
+            }
+        }
+    }
+
     /// The processes read anywhere in the tree.
     pub fn support(&self) -> ProcSet {
         match self {
@@ -278,6 +313,52 @@ mod tests {
                 &sat.iter().cloned().collect::<Vec<_>>()
             )
         );
+    }
+
+    /// `complement()` negates `eval` everywhere and its slice stays sound.
+    #[test]
+    fn complement_negates_eval_and_slices_soundly() {
+        let cfg = RandomConfig {
+            processes: 3,
+            events_per_process: 3,
+            value_range: 3,
+            ..RandomConfig::default()
+        };
+        for seed in 0..10 {
+            let comp = random_computation(seed, &cfg);
+            let spec = PredicateSpec::and(vec![
+                PredicateSpec::or(vec![local_spec(&comp, 0, 1), local_spec(&comp, 1, 2)]),
+                local_spec(&comp, 2, 1),
+            ]);
+            let neg = spec.complement().expect("regular tree complements");
+            let slice = neg.slice(&comp);
+            let slice_cuts: BTreeSet<Cut> = all_cuts(&slice).into_iter().collect();
+            for cut in all_cuts(&comp) {
+                let st = GlobalState::new(&comp, &cut);
+                assert_eq!(neg.eval(&st), !spec.eval(&st), "seed {seed}: {cut}");
+                if neg.eval(&st) {
+                    assert!(slice_cuts.contains(&cut), "seed {seed}: missing {cut}");
+                }
+            }
+        }
+    }
+
+    /// Unsliceable leaves and the empty disjunction refuse to complement.
+    #[test]
+    fn complement_refuses_unsliceable_trees() {
+        let comp = random_computation(3, &RandomConfig::default());
+        let x = comp.var(comp.process(0), "x").unwrap();
+        let linear = PredicateSpec::linear(Conjunctive::new(vec![LocalPredicate::int(
+            x,
+            "x >= 1",
+            |v| v >= 1,
+        )]));
+        assert!(linear.complement().is_none());
+        assert!(PredicateSpec::or(vec![]).complement().is_none());
+        // And([]) is constant-true; its complement is the empty Or, which
+        // both evaluates false and slices empty.
+        let falsum = PredicateSpec::and(vec![]).complement().unwrap();
+        assert!(falsum.slice(&comp).is_empty_slice());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub fn detect_not_definitely<P: Predicate + ?Sized>(
             // Reached the final cut through ¬pred cuts only.
             return tracker.finish(Some(cut), start.elapsed(), None);
         }
-        if let Some(reason) = tracker.over_limit(limits) {
+        if let Some(reason) = tracker.over_limit(limits, start) {
             return tracker.finish(None, start.elapsed(), Some(reason));
         }
         succ.clear();

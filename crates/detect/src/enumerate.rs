@@ -55,7 +55,7 @@ pub fn detect_bfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
         if pred.eval(&GlobalState::new(comp, &cut)) {
             return tracker.finish(Some(cut), start.elapsed(), None);
         }
-        if let Some(reason) = tracker.over_limit(limits) {
+        if let Some(reason) = tracker.over_limit(limits, start) {
             return tracker.finish(None, start.elapsed(), Some(reason));
         }
         succ.clear();
@@ -108,7 +108,7 @@ pub fn detect_dfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
         if pred.eval(&GlobalState::new(comp, &cut)) {
             return tracker.finish(Some(cut), start.elapsed(), None);
         }
-        if let Some(reason) = tracker.over_limit(limits) {
+        if let Some(reason) = tracker.over_limit(limits, start) {
             return tracker.finish(None, start.elapsed(), Some(reason));
         }
         succ.clear();

@@ -17,7 +17,9 @@
 //!   a [`PredicateSpec`](slicing_core::PredicateSpec), then search its few
 //!   cuts evaluating the exact predicate;
 //! - [`definitely`]: the `definitely` modality (every observation passes
-//!   through a satisfying cut), as an extension.
+//!   through a satisfying cut), as an extension;
+//! - [`detect_resilient`]: graceful degradation — a chain of the above
+//!   engines under per-engine budgets, falling through on exhaustion.
 //!
 //! # Example
 //!
@@ -49,6 +51,7 @@ mod modalities;
 mod monitor;
 mod parallel;
 mod pom;
+mod resilient;
 mod reverse_search;
 mod slicing;
 
@@ -60,6 +63,7 @@ pub use modalities::{controllable, detect_controllable, invariant, invariant_via
 pub use monitor::OnlineMonitor;
 pub use parallel::detect_bfs_parallel;
 pub use pom::detect_pom;
+pub use resilient::{detect_resilient, Engine, ResilientConfig, ResilientDetection};
 pub use reverse_search::{detect_reverse_search, detect_reverse_search_slice};
 pub use slicing::{detect_on_slice, detect_with_slicing, SliceDetection};
 

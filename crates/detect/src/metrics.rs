@@ -2,7 +2,7 @@
 //! search-effort accounting.
 
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use slicing_computation::Cut;
 
@@ -14,6 +14,8 @@ pub enum AbortReason {
     MemoryLimit,
     /// More than [`Limits::max_cuts`] cuts were explored.
     CutLimit,
+    /// Wall-clock time exceeded [`Limits::max_elapsed`].
+    Deadline,
 }
 
 impl fmt::Display for AbortReason {
@@ -21,6 +23,7 @@ impl fmt::Display for AbortReason {
         match self {
             AbortReason::MemoryLimit => f.write_str("memory limit exceeded"),
             AbortReason::CutLimit => f.write_str("explored-cut limit exceeded"),
+            AbortReason::Deadline => f.write_str("deadline exceeded"),
         }
     }
 }
@@ -32,6 +35,8 @@ pub struct Limits {
     pub max_bytes: Option<u64>,
     /// Abort after exploring this many cuts.
     pub max_cuts: Option<u64>,
+    /// Abort once the run's wall clock exceeds this deadline.
+    pub max_elapsed: Option<Duration>,
 }
 
 impl Limits {
@@ -40,12 +45,13 @@ impl Limits {
         Limits::default()
     }
 
-    /// Both limits at once; `None` leaves the corresponding resource
-    /// unbounded.
+    /// Byte and cut limits at once; `None` leaves the corresponding
+    /// resource unbounded (no deadline).
     pub fn new(max_bytes: Option<u64>, max_cuts: Option<u64>) -> Self {
         Limits {
             max_bytes,
             max_cuts,
+            max_elapsed: None,
         }
     }
 
@@ -68,6 +74,17 @@ impl Limits {
     /// Adds (or replaces) a cut limit, keeping any memory limit.
     pub fn with_cuts(mut self, max: u64) -> Self {
         self.max_cuts = Some(max);
+        self
+    }
+
+    /// Limit wall-clock time only.
+    pub fn deadline(max: Duration) -> Self {
+        Limits::none().with_deadline(max)
+    }
+
+    /// Adds (or replaces) a wall-clock deadline, keeping other limits.
+    pub fn with_deadline(mut self, max: Duration) -> Self {
+        self.max_elapsed = Some(max);
         self
     }
 }
@@ -148,6 +165,7 @@ impl Detection {
                 self.aborted.map(|r| match r {
                     AbortReason::MemoryLimit => "memory",
                     AbortReason::CutLimit => "cuts",
+                    AbortReason::Deadline => "deadline",
                 }),
             );
         let phases = self
@@ -225,7 +243,9 @@ impl Tracker {
         self.release(entry_bytes);
     }
 
-    pub fn over_limit(&self, limits: &Limits) -> Option<AbortReason> {
+    /// Checks resource limits against the tracked totals and, when a
+    /// deadline is set, against the wall clock since `start`.
+    pub fn over_limit(&self, limits: &Limits, start: Instant) -> Option<AbortReason> {
         if let Some(max) = limits.max_bytes {
             if self.peak_bytes > max {
                 return Some(AbortReason::MemoryLimit);
@@ -234,6 +254,11 @@ impl Tracker {
         if let Some(max) = limits.max_cuts {
             if self.cuts_explored > max {
                 return Some(AbortReason::CutLimit);
+            }
+        }
+        if let Some(max) = limits.max_elapsed {
+            if start.elapsed() > max {
+                return Some(AbortReason::Deadline);
             }
         }
         None
@@ -289,18 +314,19 @@ mod tests {
         assert_eq!(l.max_cuts, Some(7));
 
         // Both limits are live simultaneously in over_limit checks.
+        let now = Instant::now();
         let mut t = Tracker::default();
         t.charge(4096);
-        assert_eq!(t.over_limit(&l), Some(AbortReason::MemoryLimit));
+        assert_eq!(t.over_limit(&l, now), Some(AbortReason::MemoryLimit));
         let t = Tracker {
             cuts_explored: 8,
             ..Tracker::default()
         };
-        assert_eq!(t.over_limit(&l), Some(AbortReason::CutLimit));
+        assert_eq!(t.over_limit(&l, now), Some(AbortReason::CutLimit));
         let mut t = Tracker::default();
         t.charge(10);
         t.cuts_explored = 3;
-        assert_eq!(t.over_limit(&l), None);
+        assert_eq!(t.over_limit(&l, now), None);
     }
 
     #[test]
@@ -318,16 +344,38 @@ mod tests {
 
     #[test]
     fn tracker_limits() {
+        let now = Instant::now();
         let mut t = Tracker::default();
         t.charge(50);
         assert_eq!(
-            t.over_limit(&Limits::bytes(49)),
+            t.over_limit(&Limits::bytes(49), now),
             Some(AbortReason::MemoryLimit)
         );
-        assert_eq!(t.over_limit(&Limits::bytes(51)), None);
+        assert_eq!(t.over_limit(&Limits::bytes(51), now), None);
         t.cuts_explored = 10;
-        assert_eq!(t.over_limit(&Limits::cuts(9)), Some(AbortReason::CutLimit));
-        assert_eq!(t.over_limit(&Limits::none()), None);
+        assert_eq!(
+            t.over_limit(&Limits::cuts(9), now),
+            Some(AbortReason::CutLimit)
+        );
+        assert_eq!(t.over_limit(&Limits::none(), now), None);
+    }
+
+    #[test]
+    fn deadline_limit_trips_on_elapsed_time() {
+        let t = Tracker::default();
+        let l = Limits::deadline(Duration::ZERO);
+        let past = Instant::now() - Duration::from_millis(5);
+        assert_eq!(t.over_limit(&l, past), Some(AbortReason::Deadline));
+        let generous = Limits::deadline(Duration::from_secs(3600));
+        assert_eq!(t.over_limit(&generous, Instant::now()), None);
+        assert_eq!(generous.max_elapsed, Some(Duration::from_secs(3600)));
+        let joint = Limits::bytes(1).with_deadline(Duration::from_secs(3600));
+        let mut t = Tracker::default();
+        t.charge(2);
+        assert_eq!(
+            t.over_limit(&joint, Instant::now()),
+            Some(AbortReason::MemoryLimit)
+        );
     }
 
     #[test]

@@ -108,7 +108,7 @@ pub fn detect_controllable<P: Predicate + ?Sized>(
         if cut == top {
             return tracker.finish(Some(cut), start.elapsed(), None);
         }
-        if let Some(reason) = tracker.over_limit(limits) {
+        if let Some(reason) = tracker.over_limit(limits, start) {
             return tracker.finish(None, start.elapsed(), Some(reason));
         }
         succ.clear();

@@ -95,7 +95,7 @@ where
         }
         tracker.cuts_explored += frontier.len() as u64;
         tracker.release(entry_bytes * frontier.len() as u64);
-        if let Some(reason) = tracker.over_limit(limits) {
+        if let Some(reason) = tracker.over_limit(limits, start) {
             return tracker.finish(None, start.elapsed(), Some(reason));
         }
 
@@ -111,7 +111,7 @@ where
             }
         }
         tracker.charge(entry_bytes * next.len() as u64);
-        if let Some(reason) = tracker.over_limit(limits) {
+        if let Some(reason) = tracker.over_limit(limits, start) {
             return tracker.finish(None, start.elapsed(), Some(reason));
         }
         frontier = next;

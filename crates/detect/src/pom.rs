@@ -159,7 +159,7 @@ pub fn detect_pom<P: Predicate + ?Sized>(
                     emit_pruning(sleep_skips, persistent_pruned);
                     return tracker.finish(Some(cut), start.elapsed(), None);
                 }
-                if let Some(reason) = tracker.over_limit(limits) {
+                if let Some(reason) = tracker.over_limit(limits, start) {
                     emit_pruning(sleep_skips, persistent_pruned);
                     return tracker.finish(None, start.elapsed(), Some(reason));
                 }

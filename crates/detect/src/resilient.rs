@@ -1,0 +1,391 @@
+//! Graceful degradation across detection engines: try the cheapest
+//! suitable engine first and fall through to progressively more general
+//! ones whenever a budget (memory, cut count, or deadline) is exhausted,
+//! so a single engine hitting its limit degrades the run instead of
+//! failing it.
+//!
+//! The default chain mirrors the paper's preference order: slice-then-
+//! search (exponentially cheaper when the predicate slices well), the
+//! hybrid strategy of Section 5.1, the partial-order-methods baseline,
+//! and finally plain breadth-first enumeration as the engine of last
+//! resort.
+
+use std::time::Duration;
+
+use slicing_computation::Computation;
+use slicing_core::PredicateSpec;
+use slicing_observe::Level;
+
+use crate::enumerate::detect_bfs;
+use crate::hybrid::{detect_hybrid, suggested_pom_budget, HybridPhase};
+use crate::metrics::{AbortReason, Detection, Limits};
+use crate::pom::detect_pom;
+use crate::slicing::detect_with_slicing;
+
+/// One engine in the degradation chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Slice-then-search ([`detect_with_slicing`]).
+    Slicing,
+    /// The paper's hybrid strategy ([`detect_hybrid`]).
+    Hybrid,
+    /// Partial-order methods ([`detect_pom`]).
+    Pom,
+    /// Plain breadth-first lattice enumeration ([`detect_bfs`]).
+    Bfs,
+}
+
+impl Engine {
+    /// Stable lowercase name, used in counters and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Slicing => "slicing",
+            Engine::Hybrid => "hybrid",
+            Engine::Pom => "pom",
+            Engine::Bfs => "bfs",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-engine budgets for a [`detect_resilient`] run. `None` disables the
+/// engine entirely (it is skipped, not attempted).
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    /// Budget of the slice-then-search attempt.
+    pub slicing: Option<Limits>,
+    /// Budget of the hybrid attempt.
+    pub hybrid: Option<Limits>,
+    /// Byte budget handed to the hybrid's partial-order phase; `None`
+    /// means [`suggested_pom_budget`] with the paper's small constant.
+    pub hybrid_pom_budget: Option<u64>,
+    /// Budget of the partial-order-methods attempt.
+    pub pom: Option<Limits>,
+    /// Budget of the last-resort breadth-first attempt.
+    pub bfs: Option<Limits>,
+}
+
+impl Default for ResilientConfig {
+    /// Every engine enabled and unlimited: the chain then always answers
+    /// on its first engine. Tighten individual budgets to exercise the
+    /// fallbacks.
+    fn default() -> Self {
+        ResilientConfig::uniform(Limits::none())
+    }
+}
+
+impl ResilientConfig {
+    /// The same budget for every engine in the chain.
+    pub fn uniform(limits: Limits) -> Self {
+        ResilientConfig {
+            slicing: Some(limits),
+            hybrid: Some(limits),
+            hybrid_pom_budget: None,
+            pom: Some(limits),
+            bfs: Some(limits),
+        }
+    }
+
+    /// Splits a wall-clock budget evenly over the enabled engines, on top
+    /// of the existing per-engine limits.
+    pub fn with_total_deadline(mut self, total: Duration) -> Self {
+        let enabled = [
+            self.slicing.is_some(),
+            self.hybrid.is_some(),
+            self.pom.is_some(),
+            self.bfs.is_some(),
+        ]
+        .iter()
+        .filter(|&&on| on)
+        .count() as u32;
+        if enabled == 0 {
+            return self;
+        }
+        let share = total / enabled;
+        for slot in [
+            &mut self.slicing,
+            &mut self.hybrid,
+            &mut self.pom,
+            &mut self.bfs,
+        ] {
+            if let Some(l) = slot.take() {
+                *slot = Some(l.with_deadline(share));
+            }
+        }
+        self
+    }
+}
+
+/// The outcome of a [`detect_resilient`] run.
+#[derive(Debug, Clone)]
+pub struct ResilientDetection {
+    /// The engine that produced the final verdict (the first one to finish
+    /// within budget, or the last attempted engine when all exhausted).
+    pub engine: Engine,
+    /// Every attempt in order, with the abort reason of the ones that fell
+    /// through (`None` marks the engine that completed).
+    pub attempts: Vec<(Engine, Option<AbortReason>)>,
+    /// The final engine's detection result.
+    pub detection: Detection,
+    /// `true` when every enabled engine exhausted its budget; the
+    /// `detection` verdict is then *inconclusive*, not a clean "absent".
+    pub exhausted: bool,
+}
+
+impl ResilientDetection {
+    /// `true` if a violating cut was found by any engine.
+    pub fn detected(&self) -> bool {
+        self.detection.detected()
+    }
+
+    /// Number of engines that fell through before the final one.
+    pub fn fallbacks(&self) -> usize {
+        self.attempts.len().saturating_sub(1)
+    }
+}
+
+/// Detects `possibly: spec` with graceful degradation: each enabled engine
+/// runs under its own budget from [`ResilientConfig`], and a budget
+/// exhaustion falls through to the next engine instead of aborting the
+/// run. Every fallback increments the `detect.resilient.fallback` counter;
+/// if the whole chain exhausts, `detect.resilient.exhausted` is bumped and
+/// the result is marked inconclusive.
+pub fn detect_resilient(
+    comp: &Computation,
+    spec: &PredicateSpec,
+    config: &ResilientConfig,
+) -> ResilientDetection {
+    struct SpecPred<'s>(&'s PredicateSpec);
+    impl std::fmt::Debug for SpecPred<'_> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{:?}", self.0)
+        }
+    }
+    impl slicing_predicates::Predicate for SpecPred<'_> {
+        fn support(&self) -> slicing_computation::ProcSet {
+            self.0.support()
+        }
+        fn eval(&self, state: &slicing_computation::GlobalState<'_>) -> bool {
+            self.0.eval(state)
+        }
+    }
+
+    let _span = slicing_observe::span("detect.resilient");
+    let chain: [(Engine, &Option<Limits>); 4] = [
+        (Engine::Slicing, &config.slicing),
+        (Engine::Hybrid, &config.hybrid),
+        (Engine::Pom, &config.pom),
+        (Engine::Bfs, &config.bfs),
+    ];
+    let mut attempts: Vec<(Engine, Option<AbortReason>)> = Vec::new();
+    let mut last: Option<(Engine, Detection)> = None;
+    for (engine, limits) in chain {
+        let Some(limits) = limits else { continue };
+        let detection = match engine {
+            Engine::Slicing => detect_with_slicing(comp, spec, limits).search,
+            Engine::Hybrid => {
+                let budget = config
+                    .hybrid_pom_budget
+                    .unwrap_or_else(|| suggested_pom_budget(comp, 4));
+                let h = detect_hybrid(comp, spec, budget, limits);
+                match h.phase {
+                    HybridPhase::PartialOrder => h.pom,
+                    HybridPhase::Slicing => h.slicing.expect("slicing phase ran").search,
+                }
+            }
+            Engine::Pom => detect_pom(comp, &SpecPred(spec), limits),
+            Engine::Bfs => detect_bfs(comp, comp, &SpecPred(spec), limits),
+        };
+        let aborted = detection.aborted;
+        attempts.push((engine, aborted));
+        if aborted.is_none() {
+            return ResilientDetection {
+                engine,
+                attempts,
+                detection,
+                exhausted: false,
+            };
+        }
+        slicing_observe::counter("detect.resilient.fallback", 1);
+        slicing_observe::message(Level::Info, || {
+            format!(
+                "resilient: {engine} aborted ({}) after {} cuts; falling through",
+                aborted.map(|r| r.to_string()).unwrap_or_default(),
+                detection.cuts_explored,
+            )
+        });
+        last = Some((engine, detection));
+    }
+    slicing_observe::counter("detect.resilient.exhausted", 1);
+    let (engine, detection) = last.expect("at least one engine must be enabled");
+    ResilientDetection {
+        engine,
+        attempts,
+        detection,
+        exhausted: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::test_fixtures::figure1;
+    use slicing_computation::GlobalState;
+    use slicing_predicates::{Conjunctive, LocalPredicate};
+    use slicing_sim::fault::inject_primary_secondary_fault;
+    use slicing_sim::primary_secondary::{self, PrimarySecondary};
+    use slicing_sim::{run, SimConfig};
+
+    fn figure1_spec(comp: &Computation) -> PredicateSpec {
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        PredicateSpec::conjunctive(Conjunctive::new(vec![
+            LocalPredicate::int(x1, "x1 > 1", |x| x > 1),
+            LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3),
+        ]))
+    }
+
+    #[test]
+    fn first_engine_answers_when_unlimited() {
+        let comp = figure1();
+        let spec = figure1_spec(&comp);
+        let r = detect_resilient(&comp, &spec, &ResilientConfig::default());
+        assert_eq!(r.engine, Engine::Slicing);
+        assert_eq!(r.fallbacks(), 0);
+        assert!(r.detected() && !r.exhausted);
+        let cut = r.detection.found.as_ref().unwrap();
+        assert!(spec.eval(&GlobalState::new(&comp, cut)));
+    }
+
+    /// A faulty run on which every engine starves under a one-cut budget:
+    /// the slice is non-empty but its bottom does not satisfy (so
+    /// slice-then-search aborts rather than answering on its first cut),
+    /// and the computation's bottom does not satisfy either (so POM/BFS
+    /// abort too). Probed with the starved engine itself, which makes the
+    /// choice self-validating.
+    fn starvable_input() -> (Computation, PredicateSpec) {
+        let starved = Limits::new(None, Some(1));
+        for seed in 0..80u64 {
+            let cfg = SimConfig {
+                seed,
+                max_events_per_process: 8,
+                ..SimConfig::default()
+            };
+            let comp = run(&mut PrimarySecondary::new(4), &cfg).unwrap();
+            let Some((faulty, _)) = inject_primary_secondary_fault(&comp, seed) else {
+                continue;
+            };
+            let spec = primary_secondary::violation_spec(&faulty);
+            let bottom = slicing_computation::Cut::bottom(4);
+            if spec.eval(&GlobalState::new(&faulty, &bottom)) {
+                continue;
+            }
+            if detect_with_slicing(&faulty, &spec, &starved)
+                .search
+                .aborted
+                .is_some()
+            {
+                return (faulty, spec);
+            }
+        }
+        panic!("no faulty run starves the slicing engine at one cut");
+    }
+
+    #[test]
+    fn starved_engines_fall_through_in_chain_order() {
+        let (comp, spec) = starvable_input();
+        // Starve everything upstream of BFS: one cut of budget forces each
+        // engine to abort immediately.
+        let starved = Limits::new(None, Some(1));
+        let config = ResilientConfig {
+            slicing: Some(starved),
+            hybrid: Some(starved),
+            hybrid_pom_budget: None,
+            pom: Some(starved),
+            bfs: Some(Limits::none()),
+        };
+        let r = detect_resilient(&comp, &spec, &config);
+        assert_eq!(r.engine, Engine::Bfs);
+        assert_eq!(r.fallbacks(), 3);
+        assert!(!r.exhausted);
+        let engines: Vec<Engine> = r.attempts.iter().map(|&(e, _)| e).collect();
+        assert_eq!(
+            engines,
+            vec![Engine::Slicing, Engine::Hybrid, Engine::Pom, Engine::Bfs]
+        );
+        for (e, reason) in &r.attempts[..3] {
+            assert!(reason.is_some(), "{e} should have aborted");
+        }
+    }
+
+    #[test]
+    fn exhausted_chain_is_flagged_inconclusive() {
+        let (comp, spec) = starvable_input();
+        let starved = Limits::new(None, Some(1));
+        let r = detect_resilient(&comp, &spec, &ResilientConfig::uniform(starved));
+        assert!(r.exhausted);
+        assert!(!r.detected());
+        assert_eq!(r.attempts.len(), 4);
+        assert!(r.attempts.iter().all(|&(_, reason)| reason.is_some()));
+    }
+
+    #[test]
+    fn disabled_engines_are_skipped() {
+        let comp = figure1();
+        let spec = figure1_spec(&comp);
+        let config = ResilientConfig {
+            slicing: None,
+            hybrid: None,
+            hybrid_pom_budget: None,
+            pom: None,
+            bfs: Some(Limits::none()),
+        };
+        let r = detect_resilient(&comp, &spec, &config);
+        assert_eq!(r.engine, Engine::Bfs);
+        assert_eq!(r.attempts.len(), 1);
+        assert!(r.detected());
+    }
+
+    #[test]
+    fn total_deadline_splits_over_enabled_engines() {
+        let config = ResilientConfig {
+            slicing: Some(Limits::none()),
+            hybrid: None,
+            hybrid_pom_budget: None,
+            pom: None,
+            bfs: Some(Limits::none()),
+        }
+        .with_total_deadline(Duration::from_millis(100));
+        assert_eq!(
+            config.slicing.as_ref().unwrap().max_elapsed,
+            Some(Duration::from_millis(50))
+        );
+        assert_eq!(
+            config.bfs.as_ref().unwrap().max_elapsed,
+            Some(Duration::from_millis(50))
+        );
+        assert!(config.hybrid.is_none());
+    }
+
+    #[test]
+    fn resilient_verdict_matches_direct_slicing() {
+        for seed in [3u64, 8, 13] {
+            let cfg = SimConfig {
+                seed,
+                max_events_per_process: 8,
+                ..SimConfig::default()
+            };
+            let comp = run(&mut PrimarySecondary::new(3), &cfg).unwrap();
+            let (faulty, _) = inject_primary_secondary_fault(&comp, seed).unwrap();
+            let spec = primary_secondary::violation_spec(&faulty);
+            let direct = detect_with_slicing(&faulty, &spec, &Limits::none());
+            let resilient = detect_resilient(&faulty, &spec, &ResilientConfig::default());
+            assert_eq!(direct.detected(), resilient.detected(), "seed {seed}");
+        }
+    }
+}

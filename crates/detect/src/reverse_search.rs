@@ -92,7 +92,7 @@ pub fn detect_reverse_search<P: Predicate + ?Sized>(
                 if pred.eval(&GlobalState::new(comp, &child)) {
                     return tracker.finish(Some(child), start.elapsed(), None);
                 }
-                if let Some(reason) = tracker.over_limit(limits) {
+                if let Some(reason) = tracker.over_limit(limits, start) {
                     return tracker.finish(None, start.elapsed(), Some(reason));
                 }
                 stack.push((child, 0));
@@ -255,7 +255,7 @@ pub fn detect_reverse_search_slice<P: Predicate + ?Sized>(
                 if pred.eval(&GlobalState::new(comp, &child)) {
                     return tracker.finish(Some(child), start.elapsed(), None);
                 }
-                if let Some(reason) = tracker.over_limit(limits) {
+                if let Some(reason) = tracker.over_limit(limits, start) {
                     return tracker.finish(None, start.elapsed(), Some(reason));
                 }
                 stack.push((child, 0));

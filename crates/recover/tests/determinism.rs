@@ -1,0 +1,65 @@
+//! Determinism regression: the same seed and the same `FaultPlan` must
+//! reproduce byte-identical computations and identical recovery outcomes,
+//! guarding the re-seeded replay path against hidden nondeterminism
+//! (iteration order, uncontrolled RNG, wall-clock leakage).
+
+use slicing_computation::trace::to_text;
+use slicing_recover::{recover, RecoverConfig, RecoveryOutcome};
+use slicing_sim::primary_secondary::{self, PrimarySecondary};
+use slicing_sim::{inject_plan, run, sample_fault_plan, FaultPlan, SimConfig};
+
+/// One full inject → detect → rollback → replay pass; returns the faulty
+/// trace text and the outcome.
+fn full_pass(seed: u64) -> (String, RecoveryOutcome) {
+    let mut cfg = RecoverConfig {
+        sim: SimConfig {
+            seed,
+            max_events_per_process: 8,
+            ..SimConfig::default()
+        },
+        ..RecoverConfig::default()
+    };
+    let clean = run(&mut PrimarySecondary::new(3), &cfg.sim).expect("simulation succeeds");
+    let plan: FaultPlan = (0..16)
+        .find_map(|o| sample_fault_plan(&clean, "corrupt", seed + o))
+        .expect("a corrupt fault is injectable");
+    let faulty = inject_plan(&clean, &plan).expect("injection succeeds");
+    cfg.retry.reinject_attempts = 1;
+    cfg.reinject = Some(plan);
+    let outcome = recover(
+        || PrimarySecondary::new(3),
+        primary_secondary::violation_spec,
+        &faulty,
+        &cfg,
+    );
+    (to_text(&faulty), outcome)
+}
+
+#[test]
+fn same_seed_and_plan_reproduce_the_entire_loop_bit_for_bit() {
+    for seed in [0u64, 3, 7, 11] {
+        let (trace_a, out_a) = full_pass(seed);
+        let (trace_b, out_b) = full_pass(seed);
+        assert_eq!(trace_a, trace_b, "seed {seed}: faulty traces diverge");
+        assert_eq!(out_a.verdict, out_b.verdict, "seed {seed}");
+        assert_eq!(out_a.detected, out_b.detected, "seed {seed}");
+        assert_eq!(out_a.engine, out_b.engine, "seed {seed}");
+        assert_eq!(out_a.witness, out_b.witness, "seed {seed}");
+        assert_eq!(out_a.line, out_b.line, "seed {seed}");
+        assert_eq!(out_a.attempts, out_b.attempts, "seed {seed}");
+        assert_eq!(
+            out_a.to_json(),
+            out_b.to_json(),
+            "seed {seed}: reports diverge"
+        );
+        match (&out_a.recovered, &out_b.recovered) {
+            (Some(a), Some(b)) => assert_eq!(
+                to_text(a),
+                to_text(b),
+                "seed {seed}: recovered traces diverge"
+            ),
+            (None, None) => {}
+            other => panic!("seed {seed}: recovered presence diverges: {other:?}"),
+        }
+    }
+}

@@ -44,6 +44,11 @@ pub struct DatabasePartitioning {
     state: Vec<HolderState>,
     partition: Vec<i64>,
     next_value: i64,
+    /// Holders whose `change` flag was raised at a rollback's recovery
+    /// line: their proposal handshake was lost, so they re-request a grant
+    /// on their next step, which re-runs the proposal to completion and
+    /// lowers the flag through the normal protocol path.
+    needs_repropose: Vec<bool>,
     /// Coordinator: queue of holders waiting for a grant, and whether a
     /// grant is outstanding.
     waiting: Vec<usize>,
@@ -73,6 +78,7 @@ impl DatabasePartitioning {
             state: vec![HolderState::Idle; n],
             partition: vec![0; n],
             next_value: 1,
+            needs_repropose: vec![false; n],
             waiting: Vec::new(),
             granted: false,
             tasks: 0,
@@ -106,6 +112,12 @@ impl Protocol for DatabasePartitioning {
             // The coordinator assigns a task (a work event).
             self.tasks += 1;
             out.set(self.tasks_var.unwrap(), self.tasks);
+            return;
+        }
+        if self.needs_repropose[p] {
+            self.needs_repropose[p] = false;
+            self.state[p] = HolderState::Requested;
+            out.send(0, (MSG_REQUEST, 0));
             return;
         }
         if self.state[p] == HolderState::Idle && rng.random_range(0..100u32) < self.change_percent {
@@ -184,6 +196,35 @@ impl Protocol for DatabasePartitioning {
             }
             other => panic!("unknown database-partitioning message tag {other}"),
         }
+    }
+
+    fn restore(&mut self, base: &Computation, line: &slicing_computation::Cut) {
+        let p0 = base.process(0);
+        let tasks = base.var(p0, "tasks").expect("protocol variable");
+        self.tasks = base.value_at(tasks, line.frontier_pos(p0)).expect_int();
+        // Any outstanding grant (and its queue) belongs to a proposal whose
+        // messages were lost in the rollback; start from a free coordinator
+        // and let stuck holders re-request.
+        self.granted = false;
+        self.waiting.clear();
+        let mut max_partition = 0i64;
+        for i in self.holders() {
+            let p = base.process(i);
+            let pos = line.frontier_pos(p);
+            let change = base.var(p, "change").expect("protocol variable");
+            let part = base.var(p, "partition").expect("protocol variable");
+            let v = base.value_at(part, pos).expect_int();
+            self.partition[i] = v;
+            max_partition = max_partition.max(v);
+            self.state[i] = HolderState::Idle;
+            // A raised flag at the line means a half-done proposal. While
+            // it stays raised `I_db` holds vacuously; re-proposing drives
+            // every partition to one fresh value and lowers the flag via
+            // the ordinary ack path.
+            self.needs_repropose[i] = base.value_at(change, pos).expect_bool();
+        }
+        // Fresh proposals must not alias a value already in the prefix.
+        self.next_value = max_partition + 1;
     }
 }
 

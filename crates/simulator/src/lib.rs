@@ -40,5 +40,8 @@ pub mod primary_secondary;
 pub mod runtime;
 pub mod token_ring;
 
-pub use fault::{inject, FaultError, FaultSpec};
-pub use runtime::{run, Actions, MsgPayload, Protocol, SimConfig};
+pub use fault::{
+    inject, inject_kind, inject_plan, sample_fault_plan, FaultError, FaultKind, FaultPlan,
+    FaultSpec,
+};
+pub use runtime::{resume, run, Actions, MsgPayload, Protocol, SimConfig};

@@ -174,6 +174,22 @@ impl Protocol for PrimarySecondary {
             other => panic!("unknown primary-secondary message tag {other}"),
         }
     }
+
+    fn restore(&mut self, base: &Computation, line: &slicing_computation::Cut) {
+        for p in base.processes() {
+            let i = p.as_usize();
+            let pos = line.frontier_pos(p);
+            let (ip, _, _, sec) = resolved(base, p);
+            let work = base.var(p, "work").expect("protocol variable");
+            self.is_primary[i] = base.value_at(ip, pos).expect_bool();
+            self.secondary_of[i] = base.value_at(sec, pos).expect_pid().as_usize();
+            self.work[i] = base.value_at(work, pos).expect_int();
+            // Any in-flight migration handshake was lost with the channel
+            // contents; restart quiescent so a primary can initiate a
+            // fresh migration instead of waiting forever for an ack.
+            self.pending[i] = Pending::None;
+        }
+    }
 }
 
 /// Variable handles resolved against a recorded computation.

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use slicing_computation::{
-    BuildError, Computation, ComputationBuilder, EventId, ProcessId, Value, VarRef,
+    BuildError, Computation, ComputationBuilder, Cut, EventId, ProcessId, Value, VarRef,
 };
 
 /// Configuration of a simulation run.
@@ -96,6 +96,20 @@ pub trait Protocol {
 
     /// Delivery of a message to `p`. Must act (a receive is an event).
     fn on_message(&mut self, p: usize, from: usize, payload: MsgPayload, out: &mut Actions);
+
+    /// Re-initialises internal per-process state from the variable
+    /// snapshots recorded in `base` at the consistent cut `line`, so the
+    /// protocol can continue a run resumed by [`resume`] after a rollback.
+    ///
+    /// The default does nothing, which is only correct for protocols whose
+    /// behaviour depends solely on what they observe after the restore
+    /// point; protocols with internal state mirrored in their recorded
+    /// variables must override it. Implementations should also re-derive
+    /// any state that was carried by in-transit messages: rollback drops
+    /// the channel contents.
+    fn restore(&mut self, base: &Computation, line: &Cut) {
+        let _ = (base, line);
+    }
 }
 
 /// A message sitting in the simulated network.
@@ -126,9 +140,112 @@ pub fn run<P: Protocol>(protocol: &mut P, config: &SimConfig) -> Result<Computat
     for p in 0..n {
         protocol.declare_vars(p, &mut builder);
     }
+    drive(protocol, config, &mut rng, builder, vec![0u32; n])
+}
 
-    let mut network: Vec<InFlight> = Vec::new();
+/// Resumes a run from the consistent cut `line` of `base`: the events at
+/// or below the line are copied into the new computation verbatim (same
+/// snapshots, labels, and messages), the protocol's internal state is
+/// re-initialised via [`Protocol::restore`], and the scheduler then
+/// continues with a fresh RNG stream seeded from `config.seed` until the
+/// usual event bound is reached.
+///
+/// Messages in transit *at the line* (sent inside, received outside) are
+/// dropped, exactly as a crash-recovery rollback loses channel contents;
+/// `restore` implementations must leave the protocol in a state that
+/// tolerates this (e.g. no process blocked waiting for a rolled-back
+/// reply). Initial variable values come from the protocol's own
+/// `declare_vars`, so a corruption of an initial value in `base` is
+/// repaired rather than replayed.
+///
+/// # Panics
+///
+/// Panics if `line` is not a consistent cut of `base` or the process
+/// counts disagree — both indicate a caller bug, not a runtime condition.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`]s from the replayed protocol.
+pub fn resume<P: Protocol>(
+    protocol: &mut P,
+    base: &Computation,
+    line: &Cut,
+    config: &SimConfig,
+) -> Result<Computation, BuildError> {
+    let _span = slicing_observe::span("sim.resume");
+    let n = protocol.num_processes();
+    assert_eq!(
+        n,
+        base.num_processes(),
+        "protocol and computation disagree on process count"
+    );
+    assert!(
+        base.is_consistent(line),
+        "recovery line {line} is not a consistent cut"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = ComputationBuilder::new(n);
+    for p in 0..n {
+        protocol.declare_vars(p, &mut builder);
+    }
+
+    // Copy the safe prefix verbatim instead of re-simulating it: replaying
+    // the scheduler against an edited computation would diverge (the RNG
+    // stream is consumed in a different order), while a copy preserves the
+    // exact states the recovery line was computed from.
     let mut events_on = vec![0u32; n];
+    for p in base.processes() {
+        let names: Vec<String> = base.var_names(p).map(str::to_owned).collect();
+        for pos in 1..line.count(p) {
+            let e = builder.append_event(p);
+            for name in &names {
+                let orig = base.var(p, name).expect("listed name resolves");
+                let var = builder
+                    .var(p, name)
+                    .unwrap_or_else(|| panic!("protocol did not declare {name:?} on {p}"));
+                builder.assign(e, var, base.value_at(orig, pos))?;
+            }
+            if let Some(l) = base.label(base.event_at(p, pos)) {
+                let l = l.to_owned();
+                builder.set_label(e, &l);
+            }
+        }
+        events_on[p.as_usize()] = line.frontier_pos(p);
+    }
+    let mut dropped = 0u64;
+    for m in base.messages() {
+        let (sp, rp) = (base.process_of(m.send), base.process_of(m.recv));
+        let inside = |e, p: ProcessId| base.position_of(e) < line.count(p);
+        if inside(m.send, sp) && inside(m.recv, rp) {
+            let send = builder.event_at(sp, base.position_of(m.send));
+            let recv = builder.event_at(rp, base.position_of(m.recv));
+            builder.message(send, recv)?;
+        } else if inside(m.send, sp) {
+            // In transit at the line: lost by the rollback.
+            dropped += 1;
+        }
+    }
+    if dropped > 0 {
+        slicing_observe::counter("sim.resume.dropped_in_transit", dropped);
+    }
+
+    protocol.restore(base, line);
+    drive(protocol, config, &mut rng, builder, events_on)
+}
+
+/// The scheduler shared by [`run`] and [`resume`]: drives `protocol` until
+/// some process accumulates `max_events_per_process` real events, starting
+/// from whatever `builder` already contains (with `events_on` counting the
+/// pre-existing real events) and an empty network.
+fn drive<P: Protocol>(
+    protocol: &mut P,
+    config: &SimConfig,
+    rng: &mut StdRng,
+    mut builder: ComputationBuilder,
+    mut events_on: Vec<u32>,
+) -> Result<Computation, BuildError> {
+    let n = protocol.num_processes();
+    let mut network: Vec<InFlight> = Vec::new();
     let mut iterations = 0u64;
 
     while events_on.iter().max().copied().unwrap_or(0) < config.max_events_per_process
@@ -152,7 +269,7 @@ pub fn run<P: Protocol>(protocol: &mut P, config: &SimConfig) -> Result<Computat
             (msg.to, Some(msg))
         } else {
             let p = rng.random_range(0..n);
-            protocol.step(p, &mut rng, &mut actions);
+            protocol.step(p, rng, &mut actions);
             (p, None)
         };
 
@@ -313,6 +430,128 @@ mod tests {
         };
         let comp = run(&mut Idle, &cfg).unwrap();
         assert!(comp.is_empty());
+    }
+
+    #[test]
+    fn resume_copies_the_prefix_verbatim_and_extends_it() {
+        use crate::primary_secondary::{self, PrimarySecondary};
+        let cfg = SimConfig {
+            seed: 9,
+            max_events_per_process: 10,
+            ..SimConfig::default()
+        };
+        let base = run(&mut PrimarySecondary::new(3), &cfg).unwrap();
+        // A non-trivial consistent cut: the causal past of a mid-run event.
+        let p1 = base.process(1);
+        let line = base.min_cut(base.event_at(p1, base.len(p1) / 2)).clone();
+        let mut fresh = PrimarySecondary::new(3);
+        let resumed = resume(&mut fresh, &base, &line, &cfg).unwrap();
+
+        // The prefix matches event-for-event and value-for-value.
+        for p in base.processes() {
+            assert!(resumed.len(p) >= line.count(p));
+            let names: Vec<String> = base.var_names(p).map(str::to_owned).collect();
+            for name in &names {
+                let old = base.var(p, name).unwrap();
+                let new = resumed.var(p, name).unwrap();
+                for pos in 1..line.count(p) {
+                    assert_eq!(
+                        base.value_at(old, pos),
+                        resumed.value_at(new, pos),
+                        "{name} of {p} at {pos}"
+                    );
+                }
+            }
+        }
+        // The run continued past the line up to the configured bound.
+        let max = resumed
+            .processes()
+            .map(|p| resumed.len(p) - 1)
+            .max()
+            .unwrap();
+        assert_eq!(max, cfg.max_events_per_process);
+        // Restoring from a fault-free prefix keeps the run fault-free.
+        let inv = primary_secondary::invariant(&resumed);
+        slicing_computation::lattice::for_each_cut(&resumed, |cut| {
+            assert!(
+                slicing_predicates::Predicate::eval(
+                    &inv,
+                    &slicing_computation::GlobalState::new(&resumed, cut)
+                ),
+                "invariant violated at {cut} after resume"
+            );
+            true
+        });
+    }
+
+    #[test]
+    fn resume_is_deterministic() {
+        use crate::primary_secondary::PrimarySecondary;
+        let cfg = SimConfig {
+            seed: 4,
+            max_events_per_process: 8,
+            ..SimConfig::default()
+        };
+        let base = run(&mut PrimarySecondary::new(3), &cfg).unwrap();
+        let line = Cut::bottom(3);
+        let a = resume(&mut PrimarySecondary::new(3), &base, &line, &cfg).unwrap();
+        let b = resume(&mut PrimarySecondary::new(3), &base, &line, &cfg).unwrap();
+        assert_eq!(
+            slicing_computation::trace::to_text(&a),
+            slicing_computation::trace::to_text(&b)
+        );
+    }
+
+    #[test]
+    fn database_resume_reproposes_after_a_mid_proposal_rollback() {
+        use crate::database::{self, DatabasePartitioning};
+        // Find a run and a line that cuts through an active proposal (some
+        // holder's change flag raised at its frontier).
+        'seeds: for seed in 0..20u64 {
+            let cfg = SimConfig {
+                seed,
+                max_events_per_process: 14,
+                ..SimConfig::default()
+            };
+            let base = run(&mut DatabasePartitioning::new(4), &cfg).unwrap();
+            for i in 1..4usize {
+                let p = base.process(i);
+                let change = base.var(p, "change").unwrap();
+                for pos in 1..base.len(p) {
+                    if !base.value_at(change, pos).expect_bool() {
+                        continue;
+                    }
+                    let line = base.min_cut(base.event_at(p, pos)).clone();
+                    let resumed =
+                        resume(&mut DatabasePartitioning::new(4), &base, &line, &cfg).unwrap();
+                    // The re-proposal path must keep the invariant intact
+                    // at every cut of the resumed run.
+                    let inv = database::invariant(&resumed);
+                    slicing_computation::lattice::for_each_cut(&resumed, |cut| {
+                        assert!(
+                            slicing_predicates::Predicate::eval(
+                                &inv,
+                                &slicing_computation::GlobalState::new(&resumed, cut)
+                            ),
+                            "seed {seed}: invariant violated at {cut}"
+                        );
+                        true
+                    });
+                    // And the stuck flag must come down by the end.
+                    let new_change = resumed.var(p, "change").unwrap();
+                    assert!(
+                        !resumed
+                            .value_at(new_change, resumed.len(p) - 1)
+                            .expect_bool(),
+                        "seed {seed}: change flag never lowered after resume"
+                    );
+                    break 'seeds;
+                }
+            }
+            if seed == 19 {
+                panic!("no seed produced a mid-proposal cut");
+            }
+        }
     }
 
     #[test]

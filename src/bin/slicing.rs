@@ -18,11 +18,14 @@ use computation_slicing::computation::lattice::{count_cuts, for_each_cut};
 use computation_slicing::computation::test_fixtures;
 use computation_slicing::computation::trace::from_text;
 use computation_slicing::predicates::expr::parse_predicate;
+use computation_slicing::recovery::RecoveryOutcome;
+use computation_slicing::sim::{self, Protocol};
 use computation_slicing::slicer::dot::{computation_to_dot, slice_to_dot};
 use computation_slicing::slicer::{compile_predicate, SliceStats};
 use computation_slicing::{
     definitely, detect, detect_bfs, detect_dfs, detect_pom, detect_reverse_search,
-    detect_with_slicing, Computation, GlobalState, Limits,
+    detect_with_slicing, recover, Computation, GlobalState, Limits, PredicateSpec, RecoverConfig,
+    RecoveryVerdict, ResilientConfig,
 };
 
 fn usage() -> &'static str {
@@ -31,8 +34,11 @@ fn usage() -> &'static str {
 
   slicing stats   <trace> <predicate>
   slicing detect  <trace> <predicate> [--engine slice|bfs|dfs|pom|reverse|parallel|hybrid]
-                  [--max-cuts N] [--cap-kb N] [--threads N]
+                  [--max-cuts N] [--cap-kb N] [--threads N] [--timeout-ms N]
   slicing modality <trace> <predicate> --mode possibly|definitely|invariant|controllable
+  slicing recover --protocol ps|db [--procs N] [--events N] [--seed S]
+                  [--fault corrupt|drop-message|duplicate-message|delay-delivery|crash-stop|burst|none]
+                  [--attempts N] [--reinject N] [--no-backoff] [--timeout-ms N]
   slicing show    <trace> [<cut as comma list, e.g. 2,2,1>]
   slicing cuts    <trace> [--limit N]
   slicing dot     <trace> [<predicate>]
@@ -41,7 +47,9 @@ fn usage() -> &'static str {
 --log mirrors the SLICING_LOG environment variable (the flag wins) and
 prints leveled span/counter traces to stderr. --report writes the detect
 outcome as one `slicing.run-report/v1` JSON object to <path> (`-` for
-stdout).
+stdout); on `recover` it writes the `slicing.recovery-report/v1` outcome
+instead. `recover` simulates a protocol run, injects the chosen fault,
+and drives the full detect → recovery line → rollback → replay loop.
 
 <trace> is a file path or `-` for stdin; predicates use the expression
 language, e.g. \"x1@0 > 1 && x3@2 <= 3\"."
@@ -100,8 +108,10 @@ fn run() -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err(usage().to_owned());
     };
-    if report.is_some() && command != "detect" {
-        eprintln!("note: --report only applies to `slicing detect`; ignoring");
+    if report.is_some() && command != "detect" && command != "recover" {
+        eprintln!(
+            "note: --report only applies to `slicing detect` and `slicing recover`; ignoring"
+        );
     }
 
     match command.as_str() {
@@ -148,6 +158,10 @@ fn run() -> Result<(), String> {
                         limits.max_bytes = Some(kb * 1024);
                     }
                     "--threads" => threads = value.parse().map_err(|e| format!("{e}"))?,
+                    "--timeout-ms" => {
+                        let ms: u64 = value.parse().map_err(|e| format!("{e}"))?;
+                        limits.max_elapsed = Some(std::time::Duration::from_millis(ms));
+                    }
                     other => return Err(format!("unknown flag {other}\n\n{}", usage())),
                 }
             }
@@ -216,6 +230,112 @@ fn run() -> Result<(), String> {
                 None => println!("undecided: search hit a resource limit"),
             }
             Ok(())
+        }
+        "recover" => {
+            let mut protocol = None;
+            let mut procs = 4usize;
+            let mut events = 12u32;
+            let mut seed = 1u64;
+            let mut fault = "corrupt".to_owned();
+            let mut attempts = 3u32;
+            let mut reinject = 0u32;
+            let mut backoff = true;
+            let mut timeout_ms = None;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                if flag == "--no-backoff" {
+                    backoff = false;
+                    continue;
+                }
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag.as_str() {
+                    "--protocol" => protocol = Some(value.clone()),
+                    "--procs" => procs = value.parse().map_err(|e| format!("{e}"))?,
+                    "--events" => events = value.parse().map_err(|e| format!("{e}"))?,
+                    "--seed" => seed = value.parse().map_err(|e| format!("{e}"))?,
+                    "--fault" => fault = value.clone(),
+                    "--attempts" => attempts = value.parse().map_err(|e| format!("{e}"))?,
+                    "--reinject" => reinject = value.parse().map_err(|e| format!("{e}"))?,
+                    "--timeout-ms" => timeout_ms = Some(value.parse().map_err(|e| format!("{e}"))?),
+                    other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+                }
+            }
+            let protocol =
+                protocol.ok_or_else(|| format!("recover needs --protocol\n\n{}", usage()))?;
+
+            let mut cfg = RecoverConfig {
+                sim: sim::SimConfig {
+                    seed,
+                    max_events_per_process: events,
+                    ..sim::SimConfig::default()
+                },
+                ..RecoverConfig::default()
+            };
+            cfg.retry.max_attempts = attempts;
+            cfg.retry.backoff = backoff;
+            cfg.retry.reinject_attempts = reinject;
+            if let Some(ms) = timeout_ms {
+                cfg.detect = ResilientConfig::default()
+                    .with_total_deadline(std::time::Duration::from_millis(ms));
+            }
+
+            let outcome = match protocol.as_str() {
+                "ps" => recover_protocol(
+                    || sim::primary_secondary::PrimarySecondary::new(procs),
+                    sim::primary_secondary::violation_spec,
+                    &fault,
+                    &mut cfg,
+                )?,
+                "db" => recover_protocol(
+                    || sim::database::DatabasePartitioning::new(procs),
+                    sim::database::violation_spec,
+                    &fault,
+                    &mut cfg,
+                )?,
+                other => return Err(format!("unknown protocol {other:?} (try ps or db)")),
+            };
+
+            println!("verdict: {}", outcome.verdict);
+            if let Some(engine) = outcome.engine {
+                println!(
+                    "detected by: {engine} ({} engine fallback(s))",
+                    outcome.engine_fallbacks
+                );
+            }
+            if let Some(witness) = &outcome.witness {
+                println!("witness cut: {witness}");
+            }
+            if let Some(line) = &outcome.line {
+                let method = outcome.line_method.map_or("?", |m| m.name());
+                println!("recovery line: {line} (method {method})");
+            }
+            for (i, a) in outcome.attempts.iter().enumerate() {
+                println!(
+                    "attempt {}: seed {} deliver-weight {}{}{}",
+                    i + 1,
+                    a.seed,
+                    a.deliver_weight,
+                    if a.reinjected { " reinjected" } else { "" },
+                    if a.violation_found {
+                        " -> violation recurred"
+                    } else {
+                        " -> clean"
+                    },
+                );
+            }
+            if let Some(path) = &report {
+                let json = outcome.to_json();
+                if path == "-" {
+                    println!("{json}");
+                } else {
+                    std::fs::write(path, format!("{json}\n"))
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                }
+            }
+            match outcome.verdict {
+                RecoveryVerdict::CleanAlready | RecoveryVerdict::Recovered => Ok(()),
+                other => Err(format!("recovery failed: {other}")),
+            }
         }
         "modality" => {
             let (trace, pred_src) = two_args(&args)?;
@@ -302,6 +422,32 @@ fn run() -> Result<(), String> {
         }
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
+}
+
+/// Runs the protocol clean, injects the requested fault kind (scanning a
+/// few seeds for an injectable site), and drives the recovery loop.
+fn recover_protocol<P: Protocol>(
+    mut make: impl FnMut() -> P,
+    spec_of: fn(&Computation) -> PredicateSpec,
+    fault: &str,
+    cfg: &mut RecoverConfig,
+) -> Result<RecoveryOutcome, String> {
+    let clean = sim::run(&mut make(), &cfg.sim).map_err(|e| e.to_string())?;
+    let subject = if fault == "none" {
+        clean
+    } else {
+        let plan = (0..16)
+            .find_map(|offset| sim::sample_fault_plan(&clean, fault, cfg.sim.seed + offset))
+            .ok_or_else(|| {
+                format!("no injectable {fault:?} fault in this run (try another --seed)")
+            })?;
+        let faulty = sim::inject_plan(&clean, &plan).map_err(String::from)?;
+        if cfg.retry.reinject_attempts > 0 {
+            cfg.reinject = Some(plan);
+        }
+        faulty
+    };
+    Ok(recover(make, spec_of, &subject, cfg))
 }
 
 fn two_args(args: &[String]) -> Result<(&str, &str), String> {

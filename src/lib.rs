@@ -17,8 +17,9 @@
 //! | [`computation`] | `slicing-computation` | events, vector clocks, cuts, the cut lattice, oracles, traces |
 //! | [`predicates`] | `slicing-predicates` | predicate classes (local, conjunctive, regular, linear, k-local, …) and the expression language |
 //! | [`slicer`] | `slicing-core` | the slicing algorithms and grafting |
-//! | [`detect`] | `slicing-detect` | detection engines: enumeration, partial-order methods, reverse search, slice-then-search |
+//! | [`detect`] | `slicing-detect` | detection engines: enumeration, partial-order methods, reverse search, slice-then-search, graceful degradation |
 //! | [`sim`] | `slicing-sim` | protocol simulators (primary–secondary, database partitioning, token ring) and fault injection |
+//! | [`recovery`] | `slicing-recover` | recovery lines, rollback and controlled replay — the paper's fault-tolerance loop |
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
@@ -51,6 +52,7 @@ pub use slicing_computation as computation;
 pub use slicing_core as slicer;
 pub use slicing_detect as detect;
 pub use slicing_predicates as predicates;
+pub use slicing_recover as recovery;
 pub use slicing_sim as sim;
 
 pub use slicing_computation::{
@@ -62,11 +64,16 @@ pub use slicing_core::{
     slice_postlinear, slice_regular, OnlineSlicer, PredicateSpec, Slice, SliceStats,
 };
 pub use slicing_detect::{
-    definitely, detect_bfs, detect_dfs, detect_hybrid, detect_pom, detect_reverse_search,
-    detect_with_slicing, Detection, HybridDetection, Limits, OnlineMonitor, SliceDetection,
+    definitely, detect_bfs, detect_dfs, detect_hybrid, detect_pom, detect_resilient,
+    detect_reverse_search, detect_with_slicing, Detection, HybridDetection, Limits, OnlineMonitor,
+    ResilientConfig, ResilientDetection, SliceDetection,
 };
 pub use slicing_predicates::{
     AtLeastInTransit, AtMostInTransit, BoundedDifference, Conjunctive, FnPredicate,
     KLocalPredicate, LinearPredicate, LocalPredicate, PendingAtMost, PostLinearPredicate,
     Predicate, RegularPredicate, SentPendingAtMost,
+};
+pub use slicing_recover::{
+    recover, recovery_line, RecoverConfig, RecoveryLine, RecoveryOutcome, RecoveryVerdict,
+    RetryPolicy,
 };

@@ -162,3 +162,79 @@ fn help_prints_usage() {
     assert!(out.status.success());
     assert!(stdout(&out).contains("usage:"));
 }
+
+#[test]
+fn detect_accepts_a_timeout() {
+    let trace = figure1_trace();
+    let out = slicing_with_stdin(
+        &[
+            "detect",
+            "-",
+            "x1@0 > 1 && x3@2 <= 3",
+            "--timeout-ms",
+            "60000",
+        ],
+        &trace,
+    );
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("witness cut"));
+}
+
+#[test]
+fn recover_runs_the_loop_and_reports() {
+    let out = slicing(&[
+        "--report",
+        "-",
+        "recover",
+        "--protocol",
+        "ps",
+        "--procs",
+        "3",
+        "--events",
+        "8",
+        "--seed",
+        "5",
+        "--fault",
+        "corrupt",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("verdict: recovered"), "{text}");
+    assert!(text.contains("recovery line:"), "{text}");
+    assert!(text.contains("slicing.recovery-report/v1"), "{text}");
+}
+
+#[test]
+fn recover_with_no_fault_is_clean() {
+    let out = slicing(&[
+        "recover",
+        "--protocol",
+        "db",
+        "--procs",
+        "3",
+        "--events",
+        "8",
+        "--fault",
+        "none",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("verdict: clean-already"));
+}
+
+#[test]
+fn recover_rejects_unknown_protocols_and_faults() {
+    let out = slicing(&["recover", "--protocol", "warp"]);
+    assert!(!out.status.success());
+
+    let out = slicing(&["recover"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--protocol"));
+}
