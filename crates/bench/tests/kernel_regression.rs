@@ -1,0 +1,167 @@
+//! Fixed-seed engine regression suite for the cut kernel.
+//!
+//! The expected values below were captured from the pre-kernel
+//! implementation (every engine backed by `std::collections::HashSet<Cut>`
+//! with heap-allocated `Cut(Vec<u32>)` payloads). The pooled `CutSet` /
+//! `CutMap64` kernel, the `Arc`-shared slice J-table, and the sharded
+//! parallel BFS must reproduce them bit-for-bit: same verdict, same
+//! witness size, same number of cuts explored. Any divergence means the
+//! optimization changed semantics, not just speed.
+
+use slicing_bench::Workload;
+use slicing_computation::test_fixtures::{figure1, grid, random_computation, RandomConfig};
+use slicing_computation::{Computation, ProcSet};
+use slicing_detect::{
+    detect_bfs, detect_bfs_parallel, detect_dfs, detect_pom, detect_reverse_search,
+    detect_with_slicing, Limits,
+};
+use slicing_predicates::{expr::parse_predicate, FnPredicate};
+use slicing_sim::primary_secondary;
+
+/// (detected, witness size, cuts explored) for one engine run.
+type Row = (bool, Option<u64>, u64);
+
+fn check(
+    tag: &str,
+    comp: &Computation,
+    pred: &FnPredicate,
+    expect: [Row; 4],
+    par_size: Option<u64>,
+) {
+    let l = Limits::none();
+    let rows = [
+        ("bfs", detect_bfs(comp, comp, pred, &l)),
+        ("dfs", detect_dfs(comp, comp, pred, &l)),
+        ("pom", detect_pom(comp, pred, &l)),
+        ("rev", detect_reverse_search(comp, pred, &l)),
+    ];
+    for ((name, d), want) in rows.into_iter().zip(expect) {
+        let got = (
+            d.detected(),
+            d.found.as_ref().map(|c| c.size()),
+            d.cuts_explored,
+        );
+        assert_eq!(got, want, "{tag} {name}");
+    }
+    for threads in [2, 4] {
+        let par = detect_bfs_parallel(comp, comp, pred, &l, threads);
+        assert_eq!(par.detected(), par_size.is_some(), "{tag} par t{threads}");
+        assert_eq!(
+            par.found.as_ref().map(|c| c.size()),
+            par_size,
+            "{tag} par t{threads}"
+        );
+    }
+}
+
+#[test]
+fn random_computations_match_the_old_kernel() {
+    let cfg = RandomConfig {
+        processes: 4,
+        events_per_process: 4,
+        value_range: 3,
+        send_percent: 40,
+        recv_percent: 40,
+    };
+    // seed → (bfs, dfs, pom, rev) rows + parallel witness size.
+    let table: [(u64, [Row; 4], Option<u64>); 4] = [
+        (
+            1,
+            [
+                (true, Some(7), 25),
+                (true, Some(13), 27),
+                (true, Some(13), 27),
+                (true, Some(8), 160),
+            ],
+            Some(7),
+        ),
+        (
+            7,
+            [
+                (true, Some(6), 8),
+                (true, Some(11), 8),
+                (true, Some(11), 8),
+                (true, Some(11), 8),
+            ],
+            Some(6),
+        ),
+        (
+            13,
+            [
+                (true, Some(7), 29),
+                (true, Some(7), 4),
+                (true, Some(7), 4),
+                (true, Some(8), 5),
+            ],
+            Some(7),
+        ),
+        (
+            42,
+            [
+                (true, Some(4), 1),
+                (true, Some(4), 1),
+                (true, Some(4), 1),
+                (true, Some(4), 1),
+            ],
+            Some(4),
+        ),
+    ];
+    for (seed, expect, par_size) in table {
+        let comp = random_computation(seed, &cfg);
+        let vars: Vec<_> = comp
+            .processes()
+            .map(|p| comp.var(p, "x").unwrap())
+            .collect();
+        let t = (seed % 5) as i64;
+        let pred = FnPredicate::new(ProcSet::all(4), "sum == t", move |st| {
+            vars.iter().map(|&v| st.get(v).expect_int()).sum::<i64>() == t
+        });
+        check(&format!("rand{seed}"), &comp, &pred, expect, par_size);
+    }
+}
+
+#[test]
+fn figure1_paper_predicate_matches_the_old_kernel() {
+    let comp = figure1();
+    let pred = parse_predicate(&comp, "x1@0 * x2@1 + x3@2 < 5 && x1@0 > 1 && x3@2 <= 3").unwrap();
+    let d = detect_bfs(&comp, &comp, &pred, &Limits::none());
+    assert!(d.detected());
+    assert_eq!(d.found.as_ref().map(|c| c.size()), Some(5));
+    assert_eq!(d.cuts_explored, 6);
+}
+
+#[test]
+fn exhaustive_grid_sweep_matches_the_old_kernel() {
+    // Unsatisfiable predicate: every engine sweeps all 13×13 = 169 cuts.
+    let comp = grid(12, 12);
+    let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+    check(
+        "grid12",
+        &comp,
+        &never,
+        [
+            (false, None, 169),
+            (false, None, 169),
+            (false, None, 169),
+            (false, None, 169),
+        ],
+        None,
+    );
+}
+
+#[test]
+fn protocol_slicing_pipeline_matches_the_old_kernel() {
+    for (seed, size) in [(3u64, 10), (8, 8)] {
+        let comp = Workload::PrimarySecondary.simulate(5, 10, seed);
+        let faulty = Workload::PrimarySecondary.inject_fault(&comp, seed);
+        let spec = primary_secondary::violation_spec(&faulty);
+        let s = detect_with_slicing(&faulty, &spec, &Limits::none());
+        assert!(s.detected(), "seed {seed}");
+        assert_eq!(
+            s.search.found.as_ref().map(|c| c.size()),
+            Some(size),
+            "seed {seed}"
+        );
+        assert_eq!(s.search.cuts_explored, 1, "seed {seed}");
+    }
+}

@@ -1,8 +1,48 @@
 //! Consistent cuts represented as per-process prefix vectors.
+//!
+//! `Cut` is the hottest data structure in the workspace: every visited-set
+//! probe, successor expansion, and lattice join manipulates one. To keep
+//! those inner loops allocation-free, the per-process counts live inline in
+//! the struct for computations of up to [`Cut::INLINE_PROCESSES`] processes
+//! and spill to the heap only beyond that. Cloning an inline cut is a plain
+//! stack copy; heap spills are counted in a process-wide counter
+//! ([`cut_heap_allocs`]) so tests and benches can assert that hot paths do
+//! not allocate.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::process::ProcessId;
+
+/// Number of `Cut`s that allocated a heap buffer since process start.
+///
+/// Incremented (relaxed) on every spill: constructing, cloning, or
+/// combining a cut that spans more than [`Cut::INLINE_PROCESSES`]
+/// processes. Converting an existing `Vec<u32>` into a `Cut` reuses the
+/// vector's buffer and does not count.
+static CUT_HEAP_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the process-wide count of heap-allocating cut constructions.
+///
+/// Deltas of this counter bound the deep-clone traffic of an algorithm on
+/// wide computations; for `<= INLINE_PROCESSES` processes it never moves.
+pub fn cut_heap_allocs() -> u64 {
+    CUT_HEAP_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Storage for the per-process counts: inline up to
+/// [`Cut::INLINE_PROCESSES`] entries, heap-spilled beyond. The invariant
+/// is strict — `len <= INLINE_PROCESSES` is *always* `Inline` — so
+/// equality, ordering, and hashing can compare count slices without
+/// normalizing representations.
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [u32; Cut::INLINE_PROCESSES],
+    },
+    Spilled(Vec<u32>),
+}
 
 /// A (candidate) consistent cut of a computation.
 ///
@@ -35,139 +75,271 @@ use crate::process::ProcessId;
 /// assert_eq!(a.meet(&b), Cut::from(vec![1, 1, 2]));
 /// assert!(a.meet(&b).leq(&a));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Cut(Vec<u32>);
+pub struct Cut(Repr);
 
 impl Cut {
+    /// Widest cut stored without heap allocation. Computations up to this
+    /// many processes pay no allocation for cut clones, joins, or meets.
+    pub const INLINE_PROCESSES: usize = 16;
+
+    /// Builds a cut with every process at `value`.
+    fn filled(num_processes: usize, value: u32) -> Self {
+        if num_processes <= Self::INLINE_PROCESSES {
+            Cut(Repr::Inline {
+                len: num_processes as u8,
+                buf: [value; Self::INLINE_PROCESSES],
+            })
+        } else {
+            CUT_HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            Cut(Repr::Spilled(vec![value; num_processes]))
+        }
+    }
+
+    /// Builds a cut from a count slice (copies; spills iff too wide).
+    pub fn from_counts(counts: &[u32]) -> Self {
+        if counts.len() <= Self::INLINE_PROCESSES {
+            let mut buf = [0u32; Self::INLINE_PROCESSES];
+            buf[..counts.len()].copy_from_slice(counts);
+            Cut(Repr::Inline {
+                len: counts.len() as u8,
+                buf,
+            })
+        } else {
+            CUT_HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            Cut(Repr::Spilled(counts.to_vec()))
+        }
+    }
+
     /// The bottom element of the lattice of non-trivial cuts: each process
     /// has executed only its initial event.
     pub fn bottom(num_processes: usize) -> Self {
-        Cut(vec![1; num_processes])
+        Cut::filled(num_processes, 1)
+    }
+
+    /// `true` if the counts live inline (no heap buffer).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
     }
 
     /// Number of processes this cut spans.
     pub fn num_processes(&self) -> usize {
-        self.0.len()
+        self.counts().len()
     }
 
     /// Number of events of process `p` included in the cut (counting the
     /// initial event at position 0).
     pub fn count(&self, p: ProcessId) -> u32 {
-        self.0[p.as_usize()]
+        self.counts()[p.as_usize()]
     }
 
     /// Position (0-based) of the frontier event of process `p`: the last
     /// event of `p` inside the cut.
     pub fn frontier_pos(&self, p: ProcessId) -> u32 {
-        debug_assert!(self.0[p.as_usize()] >= 1, "cut excludes an initial event");
-        self.0[p.as_usize()] - 1
+        debug_assert!(self.count(p) >= 1, "cut excludes an initial event");
+        self.count(p) - 1
     }
 
     /// Sets the number of included events of process `p`.
     pub fn set_count(&mut self, p: ProcessId, count: u32) {
-        self.0[p.as_usize()] = count;
+        self.counts_mut()[p.as_usize()] = count;
+    }
+
+    /// Overwrites this cut's counts from a slice of the same width.
+    ///
+    /// The allocation-free way to re-point a scratch cut at new counts in
+    /// a hot loop: unlike [`from_counts`](Cut::from_counts) it copies only
+    /// `counts.len()` words instead of initializing a whole inline buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[inline]
+    pub fn copy_from_counts(&mut self, counts: &[u32]) {
+        self.counts_mut().copy_from_slice(counts);
     }
 
     /// Componentwise maximum: the set union of the two cuts (the lattice
     /// *join*).
     #[must_use]
     pub fn join(&self, other: &Cut) -> Cut {
-        debug_assert_eq!(self.0.len(), other.0.len());
-        Cut(self
-            .0
-            .iter()
-            .zip(&other.0)
-            .map(|(&a, &b)| a.max(b))
-            .collect())
+        let mut out = self.clone();
+        out.join_in_place(other);
+        out
     }
 
     /// Componentwise minimum: the set intersection of the two cuts (the
     /// lattice *meet*).
     #[must_use]
     pub fn meet(&self, other: &Cut) -> Cut {
-        debug_assert_eq!(self.0.len(), other.0.len());
-        Cut(self
-            .0
-            .iter()
-            .zip(&other.0)
-            .map(|(&a, &b)| a.min(b))
-            .collect())
+        let mut out = self.clone();
+        out.meet_in_place(other);
+        out
     }
 
     /// In-place join: grows `self` to include everything in `other`.
-    pub fn join_assign(&mut self, other: &Cut) {
-        debug_assert_eq!(self.0.len(), other.0.len());
-        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+    /// Allocation-free for every width.
+    pub fn join_in_place(&mut self, other: &Cut) {
+        let b = other.counts();
+        let a = self.counts_mut();
+        debug_assert_eq!(a.len(), b.len());
+        for (a, &b) in a.iter_mut().zip(b) {
             *a = (*a).max(b);
         }
     }
 
     /// In-place meet: shrinks `self` to its intersection with `other`.
-    pub fn meet_assign(&mut self, other: &Cut) {
-        debug_assert_eq!(self.0.len(), other.0.len());
-        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+    /// Allocation-free for every width.
+    pub fn meet_in_place(&mut self, other: &Cut) {
+        let b = other.counts();
+        let a = self.counts_mut();
+        debug_assert_eq!(a.len(), b.len());
+        for (a, &b) in a.iter_mut().zip(b) {
             *a = (*a).min(b);
         }
     }
 
+    /// In-place join (historical name; see [`join_in_place`](Cut::join_in_place)).
+    pub fn join_assign(&mut self, other: &Cut) {
+        self.join_in_place(other);
+    }
+
+    /// In-place meet (historical name; see [`meet_in_place`](Cut::meet_in_place)).
+    pub fn meet_assign(&mut self, other: &Cut) {
+        self.meet_in_place(other);
+    }
+
     /// Set inclusion: `true` if every event in `self` is also in `other`.
     pub fn leq(&self, other: &Cut) -> bool {
-        debug_assert_eq!(self.0.len(), other.0.len());
-        self.0.iter().zip(&other.0).all(|(&a, &b)| a <= b)
+        let (a, b) = (self.counts(), other.counts());
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).all(|(&a, &b)| a <= b)
     }
 
     /// Strict inclusion.
     pub fn lt(&self, other: &Cut) -> bool {
-        self.leq(other) && self.0 != other.0
+        self.leq(other) && self.counts() != other.counts()
     }
 
     /// Total number of events in the cut.
     pub fn size(&self) -> u64 {
-        self.0.iter().map(|&c| u64::from(c)).sum()
+        self.counts().iter().map(|&c| u64::from(c)).sum()
     }
 
     /// Returns the per-process counts as a slice.
     pub fn counts(&self) -> &[u32] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Mutable view of the per-process counts.
+    fn counts_mut(&mut self) -> &mut [u32] {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
     }
 
     /// Iterates over `(process, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, u32)> + '_ {
-        self.0
+        self.counts()
             .iter()
             .enumerate()
             .map(|(i, &c)| (ProcessId::new(i), c))
     }
 }
 
+impl Clone for Cut {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            Repr::Inline { len, buf } => Cut(Repr::Inline {
+                len: *len,
+                buf: *buf,
+            }),
+            Repr::Spilled(v) => {
+                CUT_HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+                Cut(Repr::Spilled(v.clone()))
+            }
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Reuse an existing spilled buffer instead of reallocating; all
+        // other combinations fall back to a fresh clone.
+        match (&mut self.0, &source.0) {
+            (Repr::Spilled(dst), Repr::Spilled(src)) if dst.len() == src.len() => {
+                dst.copy_from_slice(src);
+            }
+            (dst, _) => *dst = source.clone().0,
+        }
+    }
+}
+
+impl PartialEq for Cut {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts() == other.counts()
+    }
+}
+
+impl Eq for Cut {}
+
+impl PartialOrd for Cut {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cut {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.counts().cmp(other.counts())
+    }
+}
+
+impl std::hash::Hash for Cut {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash as the count slice: identical to the historical
+        // `Cut(Vec<u32>)` derive and independent of the storage variant.
+        self.counts().hash(state);
+    }
+}
+
 impl From<Vec<u32>> for Cut {
     fn from(counts: Vec<u32>) -> Self {
-        Cut(counts)
+        if counts.len() <= Cut::INLINE_PROCESSES {
+            Cut::from_counts(&counts)
+        } else {
+            // Take over the existing buffer: no new allocation.
+            Cut(Repr::Spilled(counts))
+        }
     }
 }
 
 impl From<Cut> for Vec<u32> {
     fn from(cut: Cut) -> Vec<u32> {
-        cut.0
+        match cut.0 {
+            Repr::Inline { len, buf } => buf[..len as usize].to_vec(),
+            Repr::Spilled(v) => v,
+        }
     }
 }
 
 impl AsRef<[u32]> for Cut {
     fn as_ref(&self) -> &[u32] {
-        &self.0
+        self.counts()
     }
 }
 
 impl fmt::Debug for Cut {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Cut{:?}", self.0)
+        write!(f, "Cut{:?}", self.counts())
     }
 }
 
 impl fmt::Display for Cut {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "⟨")?;
-        for (i, c) in self.0.iter().enumerate() {
+        for (i, c) in self.counts().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -248,5 +420,101 @@ mod tests {
         let c = Cut::from(vec![1, 2]);
         assert_eq!(c.to_string(), "⟨1, 2⟩");
         assert_eq!(format!("{c:?}"), "Cut[1, 2]");
+    }
+
+    #[test]
+    fn storage_spills_exactly_beyond_inline_width() {
+        assert!(Cut::bottom(Cut::INLINE_PROCESSES).is_inline());
+        assert!(!Cut::bottom(Cut::INLINE_PROCESSES + 1).is_inline());
+        // Round trip both representations.
+        for n in [1, 15, 16, 17, 40] {
+            let counts: Vec<u32> = (1..=n as u32).collect();
+            let c = Cut::from(counts.clone());
+            assert_eq!(c.counts(), &counts[..], "width {n}");
+            assert_eq!(Vec::<u32>::from(c.clone()), counts, "width {n}");
+            assert_eq!(c.is_inline(), n <= Cut::INLINE_PROCESSES);
+        }
+    }
+
+    #[test]
+    fn lattice_ops_agree_across_the_spill_boundary() {
+        for n in [15usize, 16, 17, 19] {
+            let a: Vec<u32> = (0..n).map(|i| 1 + (i as u32 * 7) % 5).collect();
+            let b: Vec<u32> = (0..n).map(|i| 1 + (i as u32 * 3) % 5).collect();
+            let (ca, cb) = (Cut::from(a.clone()), Cut::from(b.clone()));
+            let join: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| x.max(y)).collect();
+            let meet: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| x.min(y)).collect();
+            assert_eq!(ca.join(&cb).counts(), &join[..], "width {n}");
+            assert_eq!(ca.meet(&cb).counts(), &meet[..], "width {n}");
+            let mut j = ca.clone();
+            j.join_in_place(&cb);
+            assert_eq!(j.counts(), &join[..], "width {n}");
+            let mut m = ca.clone();
+            m.meet_in_place(&cb);
+            assert_eq!(m.counts(), &meet[..], "width {n}");
+        }
+    }
+
+    #[test]
+    fn hash_and_ord_are_representation_independent() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |c: &Cut| {
+            let mut s = DefaultHasher::new();
+            c.hash(&mut s);
+            s.finish()
+        };
+        // Equality and hashing depend only on the counts; the old
+        // Vec-backed Cut hashed as a slice, matched here byte for byte.
+        let v: Vec<u32> = (1..=16).collect();
+        let inline = Cut::from_counts(&v);
+        assert!(inline.is_inline());
+        assert_eq!(h(&inline), {
+            let mut s = DefaultHasher::new();
+            v[..].hash(&mut s);
+            s.finish()
+        });
+        // Ord is lexicographic like Vec<u32>.
+        let a = Cut::from(vec![1, 2, 9]);
+        let b = Cut::from(vec![1, 3, 0]);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn inline_cuts_never_touch_the_heap() {
+        let before = cut_heap_allocs();
+        let a = Cut::bottom(Cut::INLINE_PROCESSES);
+        let b = a.clone();
+        let j = a.join(&b);
+        let m = a.meet(&j);
+        let mut s = m.clone();
+        s.join_in_place(&a);
+        assert_eq!(cut_heap_allocs(), before, "inline ops allocated");
+    }
+
+    #[test]
+    fn spilled_ops_count_heap_allocations() {
+        let n = Cut::INLINE_PROCESSES + 4;
+        let before = cut_heap_allocs();
+        let a = Cut::bottom(n); // +1
+        let b = a.clone(); // +1
+        let _j = a.join(&b); // +1 (clone inside join)
+        assert_eq!(cut_heap_allocs() - before, 3);
+        // From<Vec> adopts the buffer: no new allocation.
+        let before = cut_heap_allocs();
+        let big = Cut::from(vec![1u32; n]);
+        assert!(!big.is_inline());
+        assert_eq!(cut_heap_allocs(), before);
+    }
+
+    #[test]
+    fn clone_from_reuses_spilled_buffers() {
+        let n = Cut::INLINE_PROCESSES + 2;
+        let src = Cut::from(vec![3u32; n]);
+        let mut dst = Cut::from(vec![1u32; n]);
+        let before = cut_heap_allocs();
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(cut_heap_allocs(), before, "clone_from reallocated");
     }
 }

@@ -1,0 +1,567 @@
+//! The cut kernel's visited-set machinery: a fast FxHash-style hasher for
+//! cuts and pooled hash containers that store cut payloads in one bump
+//! arena.
+//!
+//! `std::collections::HashSet<Cut>` pays three costs per probe that none of
+//! the search loops need: SipHash (DoS resistance is irrelevant for
+//! in-process search state), a heap-allocated `Cut` per entry, and pointer
+//! chasing across scattered allocations. [`CutSet`] and [`CutMap64`]
+//! replace it with open addressing over a contiguous `Vec<u32>` arena —
+//! one multiply-xor hash over the count words, no per-entry allocation,
+//! and cache-friendly linear probing. Both containers keep deterministic
+//! [probe/hit statistics](CutSetStats) so benchmarks can gate on search
+//! effort instead of wall-clock noise.
+
+use std::hash::{BuildHasher, Hasher};
+
+use crate::cut::Cut;
+
+/// Multiplier from the Firefox/rustc `FxHash` function: a single odd
+/// constant with good avalanche behaviour under `(rotl ^ word) * K`.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn fx_mix(state: u64, word: u64) -> u64 {
+    (state.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// Folds the high bits into the low bits after the last multiply.
+///
+/// `fx_mix` ends on a multiplication, which only carries entropy *upward*:
+/// the low bits of the state depend on nothing above them in the last
+/// word mixed. Open addressing and sharding both index with `hash & mask`,
+/// so without this finalizer all cuts agreeing on their first count land
+/// in one probe cluster (and one shard).
+#[inline]
+fn fx_fold(state: u64) -> u64 {
+    let mut h = state ^ (state >> 32);
+    h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+    h ^ (h >> 32)
+}
+
+/// Hashes a cut's count slice with the FxHash word mix.
+///
+/// This is the hash every pooled container and the sharded parallel BFS
+/// use, exposed so callers shard consistently with the containers.
+#[inline]
+pub fn hash_counts(counts: &[u32]) -> u64 {
+    let mut state = fx_mix(0, counts.len() as u64);
+    // Two counts per 64-bit mix: cuts are word pairs most of the time.
+    let mut chunks = counts.chunks_exact(2);
+    for pair in &mut chunks {
+        state = fx_mix(state, u64::from(pair[0]) | (u64::from(pair[1]) << 32));
+    }
+    if let [last] = chunks.remainder() {
+        state = fx_mix(state, u64::from(*last));
+    }
+    fx_fold(state)
+}
+
+/// An [`FxHash`-style](https://github.com/rust-lang/rustc-hash) streaming
+/// hasher: one rotate-xor-multiply per written word, no finalization.
+///
+/// Std-only stand-in for the `fxhash`/`rustc-hash` crates (the workspace
+/// vendors no external dependencies). Use through [`CutBuildHasher`] with
+/// `HashMap`/`HashSet` when a map keyed by cuts needs values the pooled
+/// containers do not support.
+#[derive(Debug, Default, Clone)]
+pub struct CutHasher {
+    state: u64,
+}
+
+impl Hasher for CutHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        fx_fold(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.state = fx_mix(self.state, u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.state = fx_mix(self.state, u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.state = fx_mix(self.state, u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.state = fx_mix(self.state, u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = fx_mix(self.state, v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.state = fx_mix(self.state, v as u64);
+    }
+}
+
+/// [`BuildHasher`] producing [`CutHasher`]s, for `HashMap`/`HashSet` keyed
+/// by cuts (or other small integer keys).
+#[derive(Debug, Default, Clone)]
+pub struct CutBuildHasher;
+
+impl BuildHasher for CutBuildHasher {
+    type Hasher = CutHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> CutHasher {
+        CutHasher::default()
+    }
+}
+
+/// Deterministic effort counters of a pooled container.
+///
+/// All three counters are exact functions of the insertion sequence (no
+/// timing or addresses involved), so they are stable across runs and
+/// machines — the regression gate in `table_speedup` compares them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CutSetStats {
+    /// Table slots inspected across all operations (≥ one per lookup).
+    pub probes: u64,
+    /// Lookups that found the cut already present.
+    pub hits: u64,
+    /// Cuts stored (distinct keys).
+    pub inserts: u64,
+}
+
+/// Empty-slot marker in the open-addressing table.
+const EMPTY: u32 = u32::MAX;
+
+/// Open-addressing core shared by [`CutSet`] and [`CutMap64`]: a power-of-
+/// two slot table indexing into a bump arena of fixed-width cut payloads.
+#[derive(Debug, Clone)]
+struct Pool {
+    /// Counts per cut; every arena entry has exactly this many words.
+    width: usize,
+    /// Concatenated payloads: entry `i` is `arena[i*width .. (i+1)*width]`.
+    arena: Vec<u32>,
+    /// Slot → entry index, or [`EMPTY`].
+    table: Vec<u32>,
+    mask: usize,
+    stats: CutSetStats,
+}
+
+impl Pool {
+    fn new(width: usize) -> Self {
+        const INITIAL_SLOTS: usize = 64;
+        Pool {
+            width,
+            arena: Vec::new(),
+            table: vec![EMPTY; INITIAL_SLOTS],
+            mask: INITIAL_SLOTS - 1,
+            stats: CutSetStats::default(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self.arena.len().checked_div(self.width) {
+            Some(n) => n,
+            // Width-0 cuts are all equal; the arena cannot measure them.
+            None => usize::from(self.stats.inserts > 0),
+        }
+    }
+
+    #[inline]
+    fn entry(&self, idx: u32) -> &[u32] {
+        let base = idx as usize * self.width;
+        &self.arena[base..base + self.width]
+    }
+
+    /// Finds `counts`: `Ok(entry index)` if present, `Err(slot)` at the
+    /// first empty slot otherwise. Counts probes.
+    #[inline]
+    fn find(&mut self, counts: &[u32]) -> Result<u32, usize> {
+        self.find_hashed(counts, hash_counts(counts))
+    }
+
+    /// [`find`](Pool::find) with the key's hash already computed.
+    #[inline]
+    fn find_hashed(&mut self, counts: &[u32], hash: u64) -> Result<u32, usize> {
+        debug_assert_eq!(counts.len(), self.width);
+        debug_assert_eq!(hash, hash_counts(counts));
+        let mut slot = hash as usize & self.mask;
+        loop {
+            self.stats.probes += 1;
+            let idx = self.table[slot];
+            if idx == EMPTY {
+                return Err(slot);
+            }
+            if self.entry(idx) == counts {
+                return Ok(idx);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Appends a payload (the caller has already verified absence at
+    /// `slot`) and grows the table past 7/8 load.
+    fn push(&mut self, counts: &[u32], slot: usize) -> u32 {
+        let idx = self.len() as u32;
+        self.arena.extend_from_slice(counts);
+        self.table[slot] = idx;
+        self.stats.inserts += 1;
+        // Cap load at 1/2: without SIMD group probing, linear probing
+        // degrades sharply past that, and slots cost only 4 bytes each.
+        if (self.len() + 1) * 2 > self.table.len() {
+            self.grow();
+        }
+        idx
+    }
+
+    /// Doubles the slot table, rehashing from the (untouched) arena.
+    fn grow(&mut self) {
+        let new_slots = self.table.len() * 2;
+        self.mask = new_slots - 1;
+        self.table.clear();
+        self.table.resize(new_slots, EMPTY);
+        for idx in 0..self.len() as u32 {
+            let mut slot = hash_counts(self.entry(idx)) as usize & self.mask;
+            while self.table[slot] != EMPTY {
+                slot = (slot + 1) & self.mask;
+            }
+            self.table[slot] = idx;
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + 4 * (self.arena.capacity() + self.table.capacity())
+    }
+}
+
+/// A pooled visited set of cuts: the drop-in replacement for
+/// `HashSet<Cut>` in the search engines.
+///
+/// All cuts must span the same number of processes (fixed at
+/// construction). Payloads live in one contiguous arena, so inserting a
+/// cut copies its counts and allocates only when the arena doubles —
+/// never per entry.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::{Cut, CutSet};
+///
+/// let mut seen = CutSet::new(3);
+/// assert!(seen.insert(&Cut::bottom(3)));
+/// assert!(!seen.insert(&Cut::bottom(3))); // already present
+/// assert!(seen.contains(&Cut::bottom(3)));
+/// assert_eq!(seen.len(), 1);
+/// assert_eq!(seen.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CutSet {
+    pool: Pool,
+}
+
+impl CutSet {
+    /// An empty set for cuts spanning `num_processes` processes.
+    pub fn new(num_processes: usize) -> Self {
+        CutSet {
+            pool: Pool::new(num_processes),
+        }
+    }
+
+    /// Inserts the cut; `true` if it was not yet present.
+    #[inline]
+    pub fn insert(&mut self, cut: &Cut) -> bool {
+        self.insert_counts(cut.counts())
+    }
+
+    /// Inserts a cut given as its raw count slice.
+    #[inline]
+    pub fn insert_counts(&mut self, counts: &[u32]) -> bool {
+        self.insert_hashed(counts, hash_counts(counts))
+    }
+
+    /// Inserts a cut whose [`hash_counts`] value the caller already knows
+    /// (the parallel engine hashes successors once on the worker threads
+    /// and reuses the hash for sharding and insertion).
+    #[inline]
+    pub fn insert_hashed(&mut self, counts: &[u32], hash: u64) -> bool {
+        match self.pool.find_hashed(counts, hash) {
+            Ok(_) => {
+                self.pool.stats.hits += 1;
+                false
+            }
+            Err(slot) => {
+                self.pool.push(counts, slot);
+                true
+            }
+        }
+    }
+
+    /// Inserts the cut, returning its arena index if it was newly added.
+    ///
+    /// Arena indices are dense (0, 1, 2, … in insertion order) and stable:
+    /// growth rebuilds only the slot table, never moves payloads. Search
+    /// frontiers queue these 4-byte indices instead of whole cuts and
+    /// reread the counts through [`counts_at`](CutSet::counts_at).
+    #[inline]
+    pub fn insert_indexed(&mut self, cut: &Cut) -> Option<u32> {
+        let counts = cut.counts();
+        match self.pool.find(counts) {
+            Ok(_) => {
+                self.pool.stats.hits += 1;
+                None
+            }
+            Err(slot) => Some(self.pool.push(counts, slot)),
+        }
+    }
+
+    /// The count slice of the entry at `idx` (an index returned by
+    /// [`insert_indexed`](CutSet::insert_indexed)).
+    #[inline]
+    pub fn counts_at(&self, idx: u32) -> &[u32] {
+        self.pool.entry(idx)
+    }
+
+    /// `true` if the cut is present.
+    pub fn contains(&self, cut: &Cut) -> bool {
+        // `find` needs `&mut` only for stats; clone-free read-only probe.
+        let counts = cut.counts();
+        let mut slot = hash_counts(counts) as usize & self.pool.mask;
+        loop {
+            let idx = self.pool.table[slot];
+            if idx == EMPTY {
+                return false;
+            }
+            if self.pool.entry(idx) == counts {
+                return true;
+            }
+            slot = (slot + 1) & self.pool.mask;
+        }
+    }
+
+    /// Number of distinct cuts stored.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// `true` if no cut was inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deterministic probe/hit/insert counters since construction.
+    pub fn stats(&self) -> CutSetStats {
+        self.pool.stats
+    }
+
+    /// Actual heap footprint (arena + slot table), for memory accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.pool.approx_bytes()
+    }
+}
+
+/// A pooled map from cuts to one `u64` of per-state search metadata (the
+/// partial-order engine's sleep masks): the drop-in replacement for
+/// `HashMap<Cut, u64>`.
+#[derive(Debug, Clone)]
+pub struct CutMap64 {
+    pool: Pool,
+    values: Vec<u64>,
+}
+
+impl CutMap64 {
+    /// An empty map for cuts spanning `num_processes` processes.
+    pub fn new(num_processes: usize) -> Self {
+        CutMap64 {
+            pool: Pool::new(num_processes),
+            values: Vec::new(),
+        }
+    }
+
+    /// Looks up the cut, inserting `default` if absent. Returns whether
+    /// the cut was newly inserted, and the (mutable) stored value.
+    #[inline]
+    pub fn insert_or_get(&mut self, cut: &Cut, default: u64) -> (bool, &mut u64) {
+        match self.pool.find(cut.counts()) {
+            Ok(idx) => {
+                self.pool.stats.hits += 1;
+                (false, &mut self.values[idx as usize])
+            }
+            Err(slot) => {
+                let idx = self.pool.push(cut.counts(), slot);
+                debug_assert_eq!(idx as usize, self.values.len());
+                self.values.push(default);
+                (true, &mut self.values[idx as usize])
+            }
+        }
+    }
+
+    /// Number of distinct cuts stored.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// `true` if no cut was inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deterministic probe/hit/insert counters since construction.
+    pub fn stats(&self) -> CutSetStats {
+        self.pool.stats
+    }
+
+    /// Actual heap footprint (arena + slot table + values).
+    pub fn approx_bytes(&self) -> usize {
+        self.pool.approx_bytes() + 8 * self.values.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn key(seed: u64, width: usize, i: u64) -> Cut {
+        // Deterministic pseudo-random count vectors with many collisions.
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i;
+        let counts: Vec<u32> = (0..width)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                1 + (x % 4) as u32
+            })
+            .collect();
+        Cut::from(counts)
+    }
+
+    #[test]
+    fn matches_std_hashset_across_widths() {
+        for width in [1usize, 2, 5, 15, 16, 17, 24] {
+            let mut pooled = CutSet::new(width);
+            let mut std_set: HashSet<Cut> = HashSet::new();
+            for i in 0..500 {
+                let c = key(width as u64, width, i % 170);
+                assert_eq!(
+                    pooled.insert(&c),
+                    std_set.insert(c.clone()),
+                    "width {width} i {i}"
+                );
+                assert!(pooled.contains(&c));
+            }
+            assert_eq!(pooled.len(), std_set.len(), "width {width}");
+            assert!(!pooled.contains(&Cut::from(vec![99; width])));
+        }
+    }
+
+    #[test]
+    fn growth_preserves_membership() {
+        let mut set = CutSet::new(2);
+        let mut inserted = Vec::new();
+        for a in 1..60u32 {
+            for b in 1..60u32 {
+                let c = Cut::from(vec![a, b]);
+                assert!(set.insert(&c));
+                inserted.push(c);
+            }
+        }
+        assert_eq!(set.len(), 59 * 59);
+        for c in &inserted {
+            assert!(set.contains(c));
+            assert!(!set.insert(c));
+        }
+    }
+
+    #[test]
+    fn stats_are_deterministic_and_meaningful() {
+        let run = || {
+            let mut set = CutSet::new(3);
+            for i in 0..100 {
+                set.insert(&key(7, 3, i % 40));
+            }
+            set.stats()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.inserts, a.inserts.min(40));
+        assert_eq!(a.hits, 100 - a.inserts);
+        assert!(a.probes >= 100);
+    }
+
+    #[test]
+    fn map_stores_and_updates_values() {
+        let mut map = CutMap64::new(2);
+        let c = Cut::from(vec![1, 2]);
+        let (new, v) = map.insert_or_get(&c, 0b1010);
+        assert!(new);
+        assert_eq!(*v, 0b1010);
+        *v = 0b0010;
+        let (new, v) = map.insert_or_get(&c, 0b1111);
+        assert!(!new);
+        assert_eq!(*v, 0b0010);
+        assert_eq!(map.len(), 1);
+        assert!(!map.is_empty());
+        assert_eq!(map.stats().hits, 1);
+        // Survives growth.
+        for i in 0..500u32 {
+            map.insert_or_get(&Cut::from(vec![10 + i, 1]), u64::from(i));
+        }
+        for i in 0..500u32 {
+            let (new, v) = map.insert_or_get(&Cut::from(vec![10 + i, 1]), 0);
+            assert!(!new);
+            assert_eq!(*v, u64::from(i), "value survived growth");
+        }
+        assert_eq!(*map.insert_or_get(&c, 9).1, 0b0010);
+    }
+
+    #[test]
+    fn hasher_streams_like_slice_hash() {
+        use std::hash::{BuildHasher, Hasher};
+        // CutBuildHasher is usable as a HashMap hasher and discriminates.
+        let h = |counts: &[u32]| CutBuildHasher.hash_one(counts);
+        assert_ne!(h(&[1, 2, 3]), h(&[1, 2, 4]));
+        assert_ne!(h(&[1, 2]), h(&[1, 2, 0]));
+        assert_eq!(h(&[5, 6, 7]), h(&[5, 6, 7]));
+        // Byte-stream writes cover the generic write() path.
+        let mut a = CutHasher::default();
+        a.write(b"0123456789abcdef");
+        let mut b = CutHasher::default();
+        b.write(b"0123456789abcdeX");
+        assert_ne!(a.finish(), b.finish());
+        let mut c = CutHasher::default();
+        c.write_u8(1);
+        c.write_u64(2);
+        assert_ne!(c.finish(), 0);
+    }
+
+    #[test]
+    fn hash_counts_covers_odd_and_even_widths() {
+        assert_ne!(hash_counts(&[1, 2, 3]), hash_counts(&[1, 2]));
+        assert_ne!(hash_counts(&[1, 2, 3]), hash_counts(&[3, 2, 1]));
+        assert_eq!(hash_counts(&[4, 4, 4, 4]), hash_counts(&[4, 4, 4, 4]));
+        // Length is mixed in: a zero tail is not the same key.
+        assert_ne!(hash_counts(&[]), hash_counts(&[0]));
+    }
+
+    #[test]
+    fn empty_set_and_bytes() {
+        let set = CutSet::new(4);
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert!(!set.contains(&Cut::bottom(4)));
+        assert!(set.approx_bytes() > 0);
+        let map = CutMap64::new(4);
+        assert!(map.is_empty());
+        assert!(map.approx_bytes() > 0);
+    }
+}

@@ -1,9 +1,10 @@
 //! The lattice of consistent cuts, and generic traversal over it.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::computation::Computation;
 use crate::cut::Cut;
+use crate::cutset::CutSet;
 use crate::process::ProcessId;
 
 /// A state space whose states are consistent cuts.
@@ -29,6 +30,24 @@ pub trait CutSpace {
     /// allowed; callers dedup).
     fn successors(&self, cut: &Cut, out: &mut Vec<Cut>);
 
+    /// Calls `f` with every immediate successor of `cut`, in the same
+    /// order [`successors`](CutSpace::successors) would produce them.
+    ///
+    /// The hot-loop variant: each successor is lent to the consumer as it
+    /// is built, skipping the cut moves (clone, push into the buffer,
+    /// drain back out) a `Vec` round-trip costs; the borrow only lives for
+    /// the call, so implementors may reuse one scratch cut across
+    /// successors. Consumers that keep a successor must clone it.
+    /// Implementors should override the default, which materializes
+    /// through `successors` and allocates per call.
+    fn for_each_successor(&self, cut: &Cut, f: &mut dyn FnMut(&Cut)) {
+        let mut succ = Vec::new();
+        self.successors(cut, &mut succ);
+        for next in &succ {
+            f(next);
+        }
+    }
+
     /// An estimate of the bytes needed to store one cut, used by the
     /// detection metrics to reproduce the paper's memory measurements.
     fn bytes_per_cut(&self) -> usize {
@@ -47,12 +66,20 @@ impl CutSpace for Computation {
     }
 
     fn successors(&self, cut: &Cut, out: &mut Vec<Cut>) {
+        self.for_each_successor(cut, &mut |next| out.push(next.clone()));
+    }
+
+    fn for_each_successor(&self, cut: &Cut, f: &mut dyn FnMut(&Cut)) {
+        // One scratch cut for the whole call: each successor differs from
+        // `cut` in a single count, so advance it, lend it out, revert.
+        let mut next = cut.clone();
         for i in 0..Computation::num_processes(self) {
             let p = ProcessId::new(i);
             if self.can_advance(cut, p) {
-                let mut next = cut.clone();
-                next.set_count(p, cut.count(p) + 1);
-                out.push(next);
+                let c = cut.count(p);
+                next.set_count(p, c + 1);
+                f(&next);
+                next.set_count(p, c);
             }
         }
     }
@@ -91,7 +118,7 @@ impl CutCount {
 #[derive(Debug)]
 pub struct Cuts<'a, S: ?Sized> {
     space: &'a S,
-    visited: HashSet<Cut>,
+    visited: CutSet,
     queue: VecDeque<Cut>,
     succ: Vec<Cut>,
 }
@@ -104,7 +131,7 @@ impl<S: CutSpace + ?Sized> Iterator for Cuts<'_, S> {
         self.succ.clear();
         self.space.successors(&cut, &mut self.succ);
         for next in self.succ.drain(..) {
-            if self.visited.insert(next.clone()) {
+            if self.visited.insert(&next) {
                 self.queue.push_back(next);
             }
         }
@@ -126,10 +153,10 @@ impl<S: CutSpace + ?Sized> Iterator for Cuts<'_, S> {
 /// assert_eq!(sizes, vec![2, 3, 3, 4]); // layered by event count
 /// ```
 pub fn cuts<S: CutSpace + ?Sized>(space: &S) -> Cuts<'_, S> {
-    let mut visited = HashSet::new();
+    let mut visited = CutSet::new(space.num_processes());
     let mut queue = VecDeque::new();
     if let Some(bottom) = space.bottom() {
-        visited.insert(bottom.clone());
+        visited.insert(&bottom);
         queue.push_back(bottom);
     }
     Cuts {
@@ -148,10 +175,10 @@ pub fn for_each_cut<S: CutSpace + ?Sized>(space: &S, mut visit: impl FnMut(&Cut)
     let Some(bottom) = space.bottom() else {
         return 0;
     };
-    let mut visited: HashSet<Cut> = HashSet::new();
+    let mut visited = CutSet::new(space.num_processes());
     let mut queue: VecDeque<Cut> = VecDeque::new();
     let mut succ = Vec::new();
-    visited.insert(bottom.clone());
+    visited.insert(&bottom);
     queue.push_back(bottom);
     let mut count = 0u64;
     while let Some(cut) = queue.pop_front() {
@@ -162,7 +189,7 @@ pub fn for_each_cut<S: CutSpace + ?Sized>(space: &S, mut visit: impl FnMut(&Cut)
         succ.clear();
         space.successors(&cut, &mut succ);
         for next in succ.drain(..) {
-            if visited.insert(next.clone()) {
+            if visited.insert(&next) {
                 queue.push_back(next);
             }
         }

@@ -54,6 +54,7 @@
 mod builder;
 mod computation;
 mod cut;
+mod cutset;
 mod event;
 mod process;
 mod state;
@@ -68,7 +69,8 @@ pub mod trace;
 
 pub use builder::{BuildError, ComputationBuilder};
 pub use computation::{Computation, VarRef};
-pub use cut::Cut;
+pub use cut::{cut_heap_allocs, Cut};
+pub use cutset::{hash_counts, CutBuildHasher, CutHasher, CutMap64, CutSet, CutSetStats};
 pub use event::{EventId, Message};
 pub use lattice::CutSpace;
 pub use process::{ProcSet, ProcSetIter, ProcessId};

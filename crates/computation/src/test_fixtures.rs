@@ -127,6 +127,20 @@ pub fn grid(a: u32, b: u32) -> Computation {
     bld.build().expect("grid computation is acyclic")
 }
 
+/// `processes` independent processes with `events` real events each and no
+/// messages: the cut lattice is a `(events+1)^processes` hypercube. Its
+/// middle layers are wide (multinomial in `processes`), which makes it the
+/// workload of choice for exercising parallel layer expansion.
+pub fn hypercube(processes: usize, events: u32) -> Computation {
+    let mut bld = ComputationBuilder::new(processes);
+    for p in 0..processes {
+        for _ in 0..events {
+            bld.append_event(bld.process(p));
+        }
+    }
+    bld.build().expect("hypercube computation is acyclic")
+}
+
 /// Configuration for [`random_computation`].
 #[derive(Debug, Clone)]
 pub struct RandomConfig {

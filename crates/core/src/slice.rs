@@ -2,6 +2,7 @@
 //! whose consistent cuts form a sublattice of the computation's cut lattice.
 
 use std::fmt;
+use std::sync::Arc;
 
 use slicing_computation::graph::Digraph;
 use slicing_computation::{Computation, Cut, CutSpace, EventId, ProcessId};
@@ -77,10 +78,15 @@ pub struct Slice<'a> {
     comp: &'a Computation,
     edges: Vec<Edge>,
     /// Least slice cut containing each event; `None` = the event is in no
-    /// non-trivial slice cut.
-    j_table: Vec<Option<Cut>>,
-    /// Least non-trivial slice cut (`None` = the slice is empty).
-    bottom: Option<Cut>,
+    /// non-trivial slice cut. Events of one strongly connected component
+    /// share the *same* `Arc`'d cut — the table holds one cut payload per
+    /// SCC, not per event.
+    j_table: Vec<Option<Arc<Cut>>>,
+    /// Number of distinct (per-SCC) cut payloads behind the table.
+    distinct_j_cuts: usize,
+    /// Least non-trivial slice cut (`None` = the slice is empty). Shares
+    /// the initial SCC's payload with `j_table`.
+    bottom: Option<Arc<Cut>>,
 }
 
 impl<'a> Slice<'a> {
@@ -89,9 +95,11 @@ impl<'a> Slice<'a> {
     /// The base happened-before edges of the computation are always
     /// implied and need not be listed.
     pub fn new(comp: &'a Computation, edges: Vec<Edge>) -> Self {
-        let j_table = compute_j_table(comp, &edges);
+        let (j_table, distinct_j_cuts) = compute_j_table(comp, &edges);
         let bottom = {
-            // The least slice cut is J(⊥₀) (all initial events share it).
+            // The least slice cut is J(⊥₀) (all initial events share it) —
+            // a reference count bump on the shared per-SCC cut, not a
+            // recomputation or deep clone.
             let init = comp.event_at(ProcessId::new(0), 0);
             j_table[init.as_usize()].clone()
         };
@@ -99,6 +107,7 @@ impl<'a> Slice<'a> {
             comp,
             edges,
             j_table,
+            distinct_j_cuts,
             bottom,
         }
     }
@@ -133,13 +142,13 @@ impl<'a> Slice<'a> {
 
     /// The least non-trivial consistent cut of the slice, if any.
     pub fn bottom_cut(&self) -> Option<&Cut> {
-        self.bottom.as_ref()
+        self.bottom.as_deref()
     }
 
     /// The least slice cut containing event `e`, or `None` if no
     /// non-trivial slice cut contains `e` (the paper's `J_b(e) = E` case).
     pub fn least_cut(&self, e: EventId) -> Option<&Cut> {
-        self.j_table[e.as_usize()].as_ref()
+        self.j_table[e.as_usize()].as_deref()
     }
 
     /// Checks whether `cut` is a consistent cut of the slice.
@@ -194,8 +203,11 @@ impl<'a> Slice<'a> {
     pub fn approx_bytes(&self) -> usize {
         let n = self.comp.num_processes();
         let cut_bytes = std::mem::size_of::<Cut>() + 4 * n;
+        // Cut payloads are shared per SCC, so they are counted once per
+        // distinct cut; the per-event table holds only `Arc` pointers.
         self.edges.len() * std::mem::size_of::<Edge>()
-            + self.j_table.len() * (std::mem::size_of::<Option<Cut>>() + cut_bytes)
+            + self.j_table.len() * std::mem::size_of::<Option<Arc<Cut>>>()
+            + self.distinct_j_cuts * cut_bytes
     }
 }
 
@@ -215,10 +227,15 @@ impl CutSpace for Slice<'_> {
     }
 
     fn bottom(&self) -> Option<Cut> {
-        self.bottom.clone()
+        self.bottom.as_deref().cloned()
     }
 
     fn successors(&self, cut: &Cut, out: &mut Vec<Cut>) {
+        self.for_each_successor(cut, &mut |next| out.push(next.clone()));
+    }
+
+    fn for_each_successor(&self, cut: &Cut, f: &mut dyn FnMut(&Cut)) {
+        let mut succ = cut.clone();
         for p in self.comp.processes() {
             let c = cut.count(p);
             if c >= self.comp.len(p) {
@@ -226,7 +243,12 @@ impl CutSpace for Slice<'_> {
             }
             let next = self.comp.event_at(p, c);
             if let Some(j) = self.least_cut(next) {
-                out.push(cut.join(j));
+                // Rebuild the scratch in place (stack copies for
+                // inline-width cuts), join in the event's least cut, and
+                // lend it out — no allocation, no per-successor clone.
+                succ.copy_from_counts(cut.counts());
+                succ.join_in_place(j);
+                f(&succ);
             }
         }
     }
@@ -271,12 +293,18 @@ fn build_graph(comp: &Computation, edges: &[Edge]) -> (Digraph, usize) {
     for &(u, v) in edges {
         g.add_edge(node_index(u), node_index(v));
     }
+    // Predicate slicers routinely emit constraint edges that duplicate the
+    // base happened-before edges (or each other); collapse them so the SCC
+    // and condensation passes scale with distinct edges only.
+    g.dedup_edges();
     (g, num_events)
 }
 
 /// Computes the `J` table: for every event, the least slice cut containing
-/// it (`None` if unreachable without ⊤). Runs in `O(n·(|E| + |edges|))`.
-fn compute_j_table(comp: &Computation, edges: &[Edge]) -> Vec<Option<Cut>> {
+/// it (`None` if unreachable without ⊤), sharing one `Arc`'d cut among all
+/// events of an SCC. Also returns the number of distinct cuts allocated.
+/// Runs in `O(n·(|E| + |edges|))`.
+fn compute_j_table(comp: &Computation, edges: &[Edge]) -> (Vec<Option<Arc<Cut>>>, usize) {
     let _span = slicing_observe::span("slice.j_table");
     let (graph, num_events) = build_graph(comp, edges);
     let (scc, cond) = {
@@ -334,14 +362,20 @@ fn compute_j_table(comp: &Computation, edges: &[Edge]) -> Vec<Option<Cut>> {
         j_scc[cid as usize] = Some(j);
     }
 
-    (0..num_events)
-        .map(|v| {
-            let cid = scc.component_of(v as u32);
-            j_scc[cid as usize]
-                .clone()
-                .expect("all components computed in topological order")
+    // Wrap each component's final cut once; events alias their SCC's Arc.
+    let mut distinct = 0usize;
+    let per_scc: Vec<Option<Arc<Cut>>> = j_scc
+        .into_iter()
+        .map(|j| {
+            let cut = j.expect("all components computed in topological order")?;
+            distinct += 1;
+            Some(Arc::new(cut))
         })
-        .collect()
+        .collect();
+    let table = (0..num_events)
+        .map(|v| per_scc[scc.component_of(v as u32) as usize].clone())
+        .collect();
+    (table, distinct)
 }
 
 #[cfg(test)]
@@ -470,6 +504,44 @@ mod tests {
         for c in &cuts {
             assert!(slice.contains_cut(c));
         }
+    }
+
+    #[test]
+    fn j_table_shares_cuts_per_scc_without_deep_clones() {
+        use slicing_computation::{cut_heap_allocs, ComputationBuilder};
+
+        // 20 processes — past the inline width, so any cut copy would have
+        // to touch the heap — with 3 real events each and no messages.
+        let mut b = ComputationBuilder::new(20);
+        for i in 0..20 {
+            for _ in 0..3 {
+                b.append_event(b.process(i));
+            }
+        }
+        let comp = b.build().unwrap();
+        let slice = Slice::full(&comp);
+
+        // All initial events form one SCC and alias one `Arc`'d cut; the
+        // bottom cut is another handle on that same payload, not a copy.
+        let init0 = comp.event_at(ProcessId::new(0), 0);
+        let init7 = comp.event_at(ProcessId::new(7), 0);
+        let j0 = slice.j_table[init0.as_usize()].as_ref().unwrap();
+        let j7 = slice.j_table[init7.as_usize()].as_ref().unwrap();
+        assert!(Arc::ptr_eq(j0, j7));
+        assert!(Arc::ptr_eq(j0, slice.bottom.as_ref().unwrap()));
+        // One payload per SCC with slice cuts: the initial meta-event plus
+        // 20 × 3 singleton components (⊤'s component stores none).
+        assert_eq!(slice.distinct_j_cuts, 61);
+
+        // Queries and whole-slice clones only bump reference counts: zero
+        // cut heap allocations even though every payload is spilled.
+        let before = cut_heap_allocs();
+        let dup = slice.clone();
+        assert!(dup.bottom_cut().is_some());
+        for e in comp.events() {
+            let _ = slice.least_cut(e);
+        }
+        assert_eq!(cut_heap_allocs() - before, 0);
     }
 
     #[test]

@@ -12,8 +12,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use slicing_computation::test_fixtures::grid;
-use slicing_computation::ProcSet;
+use slicing_computation::{cut_heap_allocs, ProcSet};
 use slicing_detect::{detect_bfs, Limits};
+use slicing_observe::{Level, MemoryRecorder};
 use slicing_predicates::FnPredicate;
 
 fn sweep(reps: u32) -> std::time::Duration {
@@ -47,4 +48,32 @@ fn main() {
         "  NullRecorder overhead: {:+.1}% vs. best disabled run",
         (per(with_null) / base - 1.0) * 100.0
     );
+
+    // One traced run surfaces the visited-set work the timing rows hide:
+    // hash-table probes, duplicate hits, fresh inserts, and whether the
+    // cut kernel touched the heap at all (it should not at this width).
+    let rec = Arc::new(MemoryRecorder::new(Level::Trace));
+    let comp = grid(40, 40);
+    let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+    let allocs_before = cut_heap_allocs();
+    {
+        let _guard = slicing_observe::scoped(rec.clone());
+        let d = detect_bfs(&comp, &comp, &never, &Limits::none());
+        assert_eq!(d.cuts_explored, 41 * 41);
+    }
+    let heap_allocs = cut_heap_allocs() - allocs_before;
+    println!("visited-set counters for one traced run:");
+    println!(
+        "  probes:  {:7}  ({:.2} per operation)",
+        rec.counter_total("detect.visited.probes"),
+        rec.counter_total("detect.visited.probes") as f64
+            / (rec.counter_total("detect.visited.hits")
+                + rec.counter_total("detect.visited.inserts")) as f64
+    );
+    println!("  hits:    {:7}", rec.counter_total("detect.visited.hits"));
+    println!(
+        "  inserts: {:7}",
+        rec.counter_total("detect.visited.inserts")
+    );
+    println!("  cut heap allocations: {heap_allocs}");
 }

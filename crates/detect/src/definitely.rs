@@ -6,13 +6,13 @@
 //! `possibly: b`. The paper notes slicing applies to this modality too;
 //! here we provide the classic lattice algorithm as an extension.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::time::Instant;
 
-use slicing_computation::{Computation, Cut, CutSpace, GlobalState};
+use slicing_computation::{Computation, Cut, CutSet, CutSpace, GlobalState};
 use slicing_predicates::Predicate;
 
-use crate::metrics::{Detection, Limits, Tracker};
+use crate::metrics::{emit_visited_stats, Detection, Limits, Tracker};
 
 /// Decides `definitely: pred` by searching for a `¬pred` path from the
 /// initial cut to the final cut: such a path exists iff the predicate is
@@ -40,21 +40,25 @@ pub fn detect_not_definitely<P: Predicate + ?Sized>(
         return tracker.finish(None, start.elapsed(), None);
     }
 
-    let mut visited: HashSet<Cut> = HashSet::new();
+    let mut visited = CutSet::new(n);
     let mut queue: VecDeque<Cut> = VecDeque::new();
-    visited.insert(bottom.clone());
+    visited.insert(&bottom);
     tracker.store_cut(entry_bytes);
     queue.push_back(bottom);
 
     let mut succ = Vec::new();
+    let mut found = None;
+    let mut aborted = None;
     while let Some(cut) = queue.pop_front() {
         tracker.cuts_explored += 1;
         if cut == top {
             // Reached the final cut through ¬pred cuts only.
-            return tracker.finish(Some(cut), start.elapsed(), None);
+            found = Some(cut);
+            break;
         }
         if let Some(reason) = tracker.over_limit(limits, start) {
-            return tracker.finish(None, start.elapsed(), Some(reason));
+            aborted = Some(reason);
+            break;
         }
         succ.clear();
         CutSpace::successors(comp, &cut, &mut succ);
@@ -62,13 +66,14 @@ pub fn detect_not_definitely<P: Predicate + ?Sized>(
             if pred.eval(&GlobalState::new(comp, &next)) {
                 continue; // paths through satisfying cuts don't refute
             }
-            if visited.insert(next.clone()) {
+            if visited.insert(&next) {
                 tracker.store_cut(entry_bytes);
                 queue.push_back(next);
             }
         }
     }
-    tracker.finish(None, start.elapsed(), None)
+    emit_visited_stats(visited.stats());
+    tracker.finish(found, start.elapsed(), aborted)
 }
 
 /// Boolean form of [`detect_not_definitely`]: `true` iff every observation

@@ -2,13 +2,13 @@
 //! enumeration (Cooper–Marzullo style), over any [`CutSpace`] — a
 //! computation or a slice.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::time::Instant;
 
-use slicing_computation::{Computation, Cut, CutSpace, GlobalState};
+use slicing_computation::{Computation, CutSet, CutSpace, GlobalState};
 use slicing_predicates::Predicate;
 
-use crate::metrics::{Detection, Limits, Tracker};
+use crate::metrics::{emit_visited_stats, Detection, Limits, Tracker};
 
 /// How often (in explored cuts) the enumeration engines sample their
 /// frontier/visited gauges. Sampling keeps the Trace-level stream bounded
@@ -37,15 +37,21 @@ pub fn detect_bfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
         return tracker.finish(None, start.elapsed(), None);
     };
 
-    let mut visited: HashSet<Cut> = HashSet::new();
-    let mut queue: VecDeque<Cut> = VecDeque::new();
-    visited.insert(bottom.clone());
+    // The frontier holds 4-byte arena indices into the visited set — every
+    // enqueued cut is in the arena already, so queueing whole `Cut`s would
+    // only memcpy the same counts a second time.
+    let mut visited = CutSet::new(space.num_processes());
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let bottom_idx = visited.insert_indexed(&bottom).expect("empty set");
     tracker.store_cut(entry_bytes);
-    queue.push_back(bottom);
+    queue.push_back(bottom_idx);
     tracker.charge(entry_bytes);
 
-    let mut succ = Vec::new();
-    while let Some(cut) = queue.pop_front() {
+    let mut found = None;
+    let mut aborted = None;
+    let mut cut = bottom;
+    while let Some(idx) = queue.pop_front() {
+        cut.copy_from_counts(visited.counts_at(idx));
         tracker.release(entry_bytes);
         tracker.cuts_explored += 1;
         if tracker.cuts_explored % GAUGE_SAMPLE_EVERY == 0 {
@@ -53,22 +59,23 @@ pub fn detect_bfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
             slicing_observe::gauge("detect.bfs.visited", visited.len() as u64);
         }
         if pred.eval(&GlobalState::new(comp, &cut)) {
-            return tracker.finish(Some(cut), start.elapsed(), None);
+            found = Some(cut);
+            break;
         }
         if let Some(reason) = tracker.over_limit(limits, start) {
-            return tracker.finish(None, start.elapsed(), Some(reason));
+            aborted = Some(reason);
+            break;
         }
-        succ.clear();
-        space.successors(&cut, &mut succ);
-        for next in succ.drain(..) {
-            if visited.insert(next.clone()) {
+        space.for_each_successor(&cut, &mut |next| {
+            if let Some(next_idx) = visited.insert_indexed(next) {
                 tracker.store_cut(entry_bytes);
-                queue.push_back(next);
+                queue.push_back(next_idx);
                 tracker.charge(entry_bytes);
             }
-        }
+        });
     }
-    tracker.finish(None, start.elapsed(), None)
+    emit_visited_stats(visited.stats());
+    tracker.finish(found, start.elapsed(), aborted)
 }
 
 /// Depth-first variant of [`detect_bfs`]. Explores the same cut set and
@@ -90,15 +97,19 @@ pub fn detect_dfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
         return tracker.finish(None, start.elapsed(), None);
     };
 
-    let mut visited: HashSet<Cut> = HashSet::new();
-    let mut stack: Vec<Cut> = Vec::new();
-    visited.insert(bottom.clone());
+    // Same arena-index frontier as BFS (see above), LIFO order.
+    let mut visited = CutSet::new(space.num_processes());
+    let mut stack: Vec<u32> = Vec::new();
+    let bottom_idx = visited.insert_indexed(&bottom).expect("empty set");
     tracker.store_cut(entry_bytes);
-    stack.push(bottom);
+    stack.push(bottom_idx);
     tracker.charge(entry_bytes);
 
-    let mut succ = Vec::new();
-    while let Some(cut) = stack.pop() {
+    let mut found = None;
+    let mut aborted = None;
+    let mut cut = bottom;
+    while let Some(idx) = stack.pop() {
+        cut.copy_from_counts(visited.counts_at(idx));
         tracker.release(entry_bytes);
         tracker.cuts_explored += 1;
         if tracker.cuts_explored % GAUGE_SAMPLE_EVERY == 0 {
@@ -106,22 +117,23 @@ pub fn detect_dfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
             slicing_observe::gauge("detect.dfs.visited", visited.len() as u64);
         }
         if pred.eval(&GlobalState::new(comp, &cut)) {
-            return tracker.finish(Some(cut), start.elapsed(), None);
+            found = Some(cut);
+            break;
         }
         if let Some(reason) = tracker.over_limit(limits, start) {
-            return tracker.finish(None, start.elapsed(), Some(reason));
+            aborted = Some(reason);
+            break;
         }
-        succ.clear();
-        space.successors(&cut, &mut succ);
-        for next in succ.drain(..) {
-            if visited.insert(next.clone()) {
+        space.for_each_successor(&cut, &mut |next| {
+            if let Some(next_idx) = visited.insert_indexed(next) {
                 tracker.store_cut(entry_bytes);
-                stack.push(next);
+                stack.push(next_idx);
                 tracker.charge(entry_bytes);
             }
-        }
+        });
     }
-    tracker.finish(None, start.elapsed(), None)
+    emit_visited_stats(visited.stats());
+    tracker.finish(found, start.elapsed(), aborted)
 }
 
 #[cfg(test)]
@@ -129,6 +141,7 @@ mod tests {
     use super::*;
     use slicing_computation::oracle::satisfying_cuts;
     use slicing_computation::test_fixtures::{figure1, grid, random_computation, RandomConfig};
+    use slicing_computation::Cut;
     use slicing_computation::ProcSet;
     use slicing_predicates::{expr::parse_predicate, FnPredicate};
 

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use slicing_computation::Cut;
+use slicing_computation::{Cut, CutSetStats};
 
 /// Why a detection run stopped before exhausting the state space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,6 +204,18 @@ impl fmt::Display for Detection {
         }
         Ok(())
     }
+}
+
+/// Emits a visited-set's deterministic effort counters once per run.
+///
+/// The pooled containers count probes/hits/inserts as exact functions of
+/// the insertion sequence, so these counters are comparable across
+/// machines; `table_speedup` gates regressions on them instead of
+/// wall-clock time.
+pub(crate) fn emit_visited_stats(stats: CutSetStats) {
+    slicing_observe::counter("detect.visited.probes", stats.probes);
+    slicing_observe::counter("detect.visited.hits", stats.hits);
+    slicing_observe::counter("detect.visited.inserts", stats.inserts);
 }
 
 /// Incremental byte/count tracker used by the engines.

@@ -11,14 +11,14 @@
 //!   final cut) passes only through cuts satisfying `b`, so a controller
 //!   that schedules the execution can *maintain* `b`.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::time::Instant;
 
-use slicing_computation::{Computation, Cut, CutSpace, GlobalState};
+use slicing_computation::{Computation, Cut, CutSet, CutSpace, GlobalState};
 use slicing_core::PredicateSpec;
 use slicing_predicates::Predicate;
 
-use crate::metrics::{Detection, Limits, Tracker};
+use crate::metrics::{emit_visited_stats, Detection, Limits, Tracker};
 use crate::slicing::detect_with_slicing;
 
 /// Decides `invariant: b` by slicing and searching its complement
@@ -30,16 +30,17 @@ use crate::slicing::detect_with_slicing;
 ///
 /// # Errors
 ///
-/// Returns the inner [`Detection`] as `Err` if the search aborted on a
+/// Returns the inner [`Detection`] as `Err` (boxed — it carries a witness
+/// cut and is much larger than the `Ok` bool) if the search aborted on a
 /// limit, leaving the question unanswered.
 pub fn invariant_via_slicing(
     comp: &Computation,
     spec_of_not_b: &PredicateSpec,
     limits: &Limits,
-) -> Result<bool, Detection> {
+) -> Result<bool, Box<Detection>> {
     let outcome = detect_with_slicing(comp, spec_of_not_b, limits);
     if !outcome.search.completed() {
-        return Err(outcome.search);
+        return Err(Box::new(outcome.search));
     }
     Ok(!outcome.detected())
 }
@@ -96,20 +97,24 @@ pub fn detect_controllable<P: Predicate + ?Sized>(
         return tracker.finish(None, start.elapsed(), None);
     }
 
-    let mut visited: HashSet<Cut> = HashSet::new();
+    let mut visited = CutSet::new(n);
     let mut queue: VecDeque<Cut> = VecDeque::new();
-    visited.insert(bottom.clone());
+    visited.insert(&bottom);
     tracker.store_cut(entry_bytes);
     queue.push_back(bottom);
 
     let mut succ = Vec::new();
+    let mut found = None;
+    let mut aborted = None;
     while let Some(cut) = queue.pop_front() {
         tracker.cuts_explored += 1;
         if cut == top {
-            return tracker.finish(Some(cut), start.elapsed(), None);
+            found = Some(cut);
+            break;
         }
         if let Some(reason) = tracker.over_limit(limits, start) {
-            return tracker.finish(None, start.elapsed(), Some(reason));
+            aborted = Some(reason);
+            break;
         }
         succ.clear();
         CutSpace::successors(comp, &cut, &mut succ);
@@ -117,13 +122,14 @@ pub fn detect_controllable<P: Predicate + ?Sized>(
             if !pred.eval(&GlobalState::new(comp, &next)) {
                 continue;
             }
-            if visited.insert(next.clone()) {
+            if visited.insert(&next) {
                 tracker.store_cut(entry_bytes);
                 queue.push_back(next);
             }
         }
     }
-    tracker.finish(None, start.elapsed(), None)
+    emit_visited_stats(visited.stats());
+    tracker.finish(found, start.elapsed(), aborted)
 }
 
 /// Boolean form of [`detect_controllable`].

@@ -3,18 +3,107 @@
 //! The paper observes that complementary state-space techniques compose
 //! with slicing; so does parallelism. This engine runs a layer-synchronous
 //! BFS: each lattice level is partitioned across worker threads that
-//! evaluate the predicate and expand successors, while the main thread
-//! owns the visited set. Results are deterministic — the witness (if any)
-//! is the first satisfying cut in BFS layer order, independent of thread
-//! count.
+//! evaluate the predicate and expand successors, and the visited set is
+//! *sharded by cut hash* so the merge phase runs in parallel too — no
+//! single-threaded merge barrier. Results are deterministic — the witness
+//! (if any) is the first satisfying cut in the canonical frontier order,
+//! independent of thread count.
+//!
+//! # Why sharding keeps determinism
+//!
+//! Workers expand their chunk of the frontier in order, so concatenating
+//! the per-chunk successor sequences reproduces the exact successor stream
+//! a sequential pass would generate — regardless of how many chunks it was
+//! split into. Every shard scans that stream in order and keeps the cuts
+//! hashing to it, so each shard's output order, and therefore the next
+//! frontier (shard 0's news, then shard 1's, …), is a pure function of the
+//! current frontier.
 
-use std::collections::HashSet;
 use std::time::Instant;
 
-use slicing_computation::{Computation, Cut, CutSpace, GlobalState};
+use slicing_computation::{
+    hash_counts, Computation, Cut, CutSet, CutSetStats, CutSpace, GlobalState,
+};
 use slicing_predicates::Predicate;
 
-use crate::metrics::{Detection, Limits, Tracker};
+use crate::metrics::{emit_visited_stats, Detection, Limits, Tracker};
+
+/// Number of visited-set shards. Fixed (not derived from `threads`) so the
+/// shard assignment — and with it the canonical frontier order — is
+/// identical for every thread count.
+const SHARDS: usize = 16;
+
+/// Shard selector. Uses *high* hash bits: the shard tables index their
+/// slots with the low bits of the same hash, so sharding by the low bits
+/// would leave each shard's entries agreeing on them — collapsing its
+/// usable home slots 16-fold and turning probes into long linear scans.
+#[inline]
+fn shard_of(hash: u64) -> usize {
+    (hash >> 60) as usize
+}
+
+/// Below this many successors in a layer, the merge runs on the calling
+/// thread: spawning costs more than the scan, and the output is identical
+/// either way.
+const PARALLEL_MERGE_MIN: usize = 512;
+
+/// Below this many frontier cuts, the layer is evaluated and expanded on
+/// the calling thread. Spawning a scoped worker costs tens of
+/// microseconds; narrow layers (every layer of a two-process lattice is
+/// ≤ events+1 wide) finish faster than the spawn. The successor stream —
+/// a concatenation of per-chunk streams — is identical either way, so
+/// verdict, witness, and visited statistics do not depend on which path
+/// ran.
+const PARALLEL_EXPAND_MIN: usize = 128;
+
+/// Hashed successors routed to one visited shard, in generation order:
+/// `buckets[s]` holds the `(hash, cut)` pairs bound for shard `s`.
+type ShardBuckets = Vec<Vec<(u64, Cut)>>;
+
+/// Evaluates one chunk of the frontier, expanding non-matching cuts.
+/// Returns the offset of the first match (if any) and the successor
+/// stream generated before it, hashed and bucketed by destination shard —
+/// so each merge worker later touches only its own shard's cuts instead
+/// of filtering the full stream.
+fn expand_chunk<S, P>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    cuts: &[Cut],
+) -> (Option<usize>, ShardBuckets)
+where
+    S: CutSpace + Sync + ?Sized,
+    P: Predicate + Sync + ?Sized,
+{
+    let mut found = None;
+    let mut buckets: ShardBuckets = (0..SHARDS).map(|_| Vec::new()).collect();
+    for (i, cut) in cuts.iter().enumerate() {
+        if pred.eval(&GlobalState::new(comp, cut)) {
+            found = Some(i);
+            break;
+        }
+        space.for_each_successor(cut, &mut |next| {
+            let hash = hash_counts(next.as_ref());
+            buckets[shard_of(hash)].push((hash, next.clone()));
+        });
+    }
+    (found, buckets)
+}
+
+/// Drains one shard's successor buckets (chunk-major, stream order) into
+/// its visited shard, returning the newly discovered cuts in stream order.
+/// Consumes the buckets so new cuts move — never clone — into the output.
+fn merge_into_shard(stream: ShardBuckets, shard: &mut CutSet) -> Vec<Cut> {
+    let mut out = Vec::new();
+    for bucket in stream {
+        for (hash, cut) in bucket {
+            if shard.insert_hashed(cut.as_ref(), hash) {
+                out.push(cut);
+            }
+        }
+    }
+    out
+}
 
 /// Detects `possibly: pred` with a parallel layered BFS over `space`,
 /// using up to `threads` worker threads (values < 2 fall back to the
@@ -47,83 +136,130 @@ where
         return tracker.finish(None, start.elapsed(), None);
     };
 
-    let mut visited: HashSet<Cut> = HashSet::new();
-    visited.insert(bottom.clone());
+    let mut shards: Vec<CutSet> = (0..SHARDS)
+        .map(|_| CutSet::new(space.num_processes()))
+        .collect();
+    shards[shard_of(hash_counts(bottom.as_ref()))].insert(&bottom);
     tracker.store_cut(entry_bytes);
     let mut frontier: Vec<Cut> = vec![bottom];
     tracker.charge(entry_bytes);
 
+    let mut found = None;
+    let mut aborted = None;
     let mut layer = 0u64;
-    while !frontier.is_empty() {
+    'search: while !frontier.is_empty() {
         layer += 1;
         slicing_observe::gauge("detect.parallel.layer", layer);
         slicing_observe::gauge("detect.parallel.layer_width", frontier.len() as u64);
-        // Evaluate and expand the layer in parallel.
+        // Evaluate and expand the layer in parallel. Successors carry their
+        // hash so the merge shards don't rehash on every scan.
         let chunk = frontier.len().div_ceil(threads);
-        let results: Vec<(Option<usize>, Vec<Cut>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = frontier
-                .chunks(chunk)
-                .map(|cuts| {
-                    scope.spawn(move || {
-                        let mut found = None;
-                        let mut succ = Vec::new();
-                        for (i, cut) in cuts.iter().enumerate() {
-                            if pred.eval(&GlobalState::new(comp, cut)) {
-                                found = Some(i);
-                                break;
-                            }
-                            space.successors(cut, &mut succ);
-                        }
-                        (found, succ)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
+        type ChunkResult = (Option<usize>, ShardBuckets);
+        let results: Vec<ChunkResult> = if frontier.len() < PARALLEL_EXPAND_MIN {
+            vec![expand_chunk(space, comp, pred, &frontier)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk)
+                    .map(|cuts| scope.spawn(move || expand_chunk(space, comp, pred, cuts)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            })
+        };
 
         // First match in layer order wins (deterministic).
-        for (chunk_idx, (found, _)) in results.iter().enumerate() {
-            if let Some(offset) = found {
+        for (chunk_idx, (found_at, _)) in results.iter().enumerate() {
+            if let Some(offset) = found_at {
                 let idx = chunk_idx * chunk + offset;
                 tracker.cuts_explored += idx as u64 + 1;
-                let witness = frontier[idx].clone();
-                return tracker.finish(Some(witness), start.elapsed(), None);
+                found = Some(frontier[idx].clone());
+                break 'search;
             }
         }
         tracker.cuts_explored += frontier.len() as u64;
         tracker.release(entry_bytes * frontier.len() as u64);
         if let Some(reason) = tracker.over_limit(limits, start) {
-            return tracker.finish(None, start.elapsed(), Some(reason));
+            aborted = Some(reason);
+            break;
         }
 
-        // Merge successors (single-threaded: the visited set is the shared
-        // structure, and merging is cheap relative to evaluation).
-        let mut next: Vec<Cut> = Vec::new();
-        for (_, succ) in results {
-            for cut in succ {
-                if visited.insert(cut.clone()) {
-                    tracker.store_cut(entry_bytes);
-                    next.push(cut);
-                }
+        // Merge successors into the sharded visited set. Transpose the
+        // chunk-major buckets into one stream per shard (chunk order — and
+        // thus canonical stream order — preserved); shards then proceed
+        // independently, in parallel when the layer is wide enough.
+        let mut streams: Vec<ShardBuckets> = (0..SHARDS).map(|_| Vec::new()).collect();
+        let mut total = 0usize;
+        for (_, buckets) in results {
+            for (sid, bucket) in buckets.into_iter().enumerate() {
+                total += bucket.len();
+                streams[sid].push(bucket);
+            }
+        }
+        let parts: Vec<Vec<Cut>> = if total < PARALLEL_MERGE_MIN {
+            shards
+                .iter_mut()
+                .zip(streams)
+                .map(|(shard, stream)| merge_into_shard(stream, shard))
+                .collect()
+        } else {
+            let group = SHARDS.div_ceil(threads.min(SHARDS));
+            let mut jobs: Vec<(&mut CutSet, ShardBuckets)> =
+                shards.iter_mut().zip(streams).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .chunks_mut(group)
+                    .map(|job_group| {
+                        scope.spawn(move || {
+                            job_group
+                                .iter_mut()
+                                .map(|(shard, stream)| {
+                                    merge_into_shard(std::mem::take(stream), shard)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("merge thread panicked"))
+                    .collect()
+            })
+        };
+
+        // Canonical next frontier: shard outputs in shard index order.
+        let mut next: Vec<Cut> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in parts {
+            for cut in part {
+                tracker.store_cut(entry_bytes);
+                next.push(cut);
             }
         }
         tracker.charge(entry_bytes * next.len() as u64);
         if let Some(reason) = tracker.over_limit(limits, start) {
-            return tracker.finish(None, start.elapsed(), Some(reason));
+            aborted = Some(reason);
+            break;
         }
         frontier = next;
     }
-    tracker.finish(None, start.elapsed(), None)
+    let mut stats = CutSetStats::default();
+    for shard in &shards {
+        let s = shard.stats();
+        stats.probes += s.probes;
+        stats.hits += s.hits;
+        stats.inserts += s.inserts;
+    }
+    emit_visited_stats(stats);
+    tracker.finish(found, start.elapsed(), aborted)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::detect_bfs;
-    use slicing_computation::test_fixtures::{grid, random_computation, RandomConfig};
+    use slicing_computation::test_fixtures::{grid, hypercube, random_computation, RandomConfig};
     use slicing_computation::ProcSet;
     use slicing_predicates::{expr::parse_predicate, FnPredicate};
 
@@ -161,6 +297,52 @@ mod tests {
         for w in &results {
             assert_eq!(w, &results[0]);
         }
+    }
+
+    #[test]
+    fn explored_sets_match_sequential_bfs_exactly() {
+        // Unsatisfiable predicate: every engine must sweep the whole
+        // lattice, and the sharded visited set must count each cut once.
+        let cfg = RandomConfig {
+            processes: 4,
+            events_per_process: 4,
+            send_percent: 40,
+            recv_percent: 40,
+            ..RandomConfig::default()
+        };
+        for seed in [1, 7, 13] {
+            let comp = random_computation(seed, &cfg);
+            let never = FnPredicate::new(ProcSet::all(4), "false", |_| false);
+            let seq = detect_bfs(&comp, &comp, &never, &Limits::none());
+            for threads in [2, 3, 4, 8] {
+                let par = detect_bfs_parallel(&comp, &comp, &never, &Limits::none(), threads);
+                assert_eq!(
+                    par.cuts_explored, seq.cuts_explored,
+                    "seed {seed} t{threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_layers_take_the_parallel_merge_path() {
+        // A 4-process hypercube reaches layer widths in the hundreds:
+        // past PARALLEL_EXPAND_MIN (scoped worker expansion) and past
+        // PARALLEL_MERGE_MIN in total successors (scoped shard merge).
+        // Verdict, witness layer, and explored count still match
+        // sequential BFS.
+        let comp = hypercube(4, 7);
+        let pred = FnPredicate::new(ProcSet::all(4), "top", |st| {
+            st.cut().counts() == [8, 8, 8, 8]
+        });
+        let par = detect_bfs_parallel(&comp, &comp, &pred, &Limits::none(), 4);
+        let seq = detect_bfs(&comp, &comp, &pred, &Limits::none());
+        assert_eq!(par.detected(), seq.detected());
+        assert_eq!(
+            par.found.as_ref().map(Cut::size),
+            seq.found.as_ref().map(Cut::size)
+        );
+        assert_eq!(par.cuts_explored, seq.cuts_explored);
     }
 
     #[test]

@@ -11,13 +11,12 @@
 //! and mutually dependent, which preserves detection (the cut lattice is
 //! acyclic, so the ignoring problem does not arise).
 
-use std::collections::HashMap;
 use std::time::Instant;
 
-use slicing_computation::{Computation, Cut, GlobalState, ProcSet, ProcessId};
+use slicing_computation::{Computation, Cut, CutMap64, GlobalState, ProcSet, ProcessId};
 use slicing_predicates::Predicate;
 
-use crate::metrics::{Detection, Limits, Tracker};
+use crate::metrics::{emit_visited_stats, Detection, Limits, Tracker};
 
 /// Dependency analysis for transitions, fixed per computation + predicate.
 struct Dependencies<'a> {
@@ -123,46 +122,41 @@ pub fn detect_pom<P: Predicate + ?Sized>(
     // Trace stream stays O(1) regardless of lattice size.
     let mut sleep_skips = 0u64;
     let mut persistent_pruned = 0u64;
-    let emit_pruning = |sleep_skips: u64, persistent_pruned: u64| {
-        slicing_observe::counter("detect.pom.sleep_set_skips", sleep_skips);
-        slicing_observe::counter("detect.pom.persistent_pruned", persistent_pruned);
-    };
 
     let deps = Dependencies::new(comp, pred.support());
 
     // Visited cache: cut → sleep mask it was (or is being) explored with.
     // Re-exploration is needed only with a strictly smaller sleep set; we
     // then continue with the intersection.
-    let mut visited: HashMap<Cut, u64> = HashMap::new();
+    let mut visited = CutMap64::new(n);
 
     // DFS stack: (cut, sleep mask).
     let bottom = Cut::bottom(n);
     let mut stack: Vec<(Cut, u64)> = vec![(bottom.clone(), 0)];
     tracker.charge(entry_bytes);
 
+    let mut found = None;
+    let mut aborted = None;
     while let Some((cut, sleep)) = stack.pop() {
         tracker.release(entry_bytes);
-        match visited.get_mut(&cut) {
-            Some(prev) => {
-                // Already explored with sleep set `*prev`; only transitions
-                // sleeping there but awake now need exploration.
-                if *prev & !sleep == 0 {
-                    continue;
-                }
-                *prev &= sleep;
+        let (inserted, prev) = visited.insert_or_get(&cut, sleep);
+        if !inserted {
+            // Already explored with sleep set `*prev`; only transitions
+            // sleeping there but awake now need exploration.
+            if *prev & !sleep == 0 {
+                continue;
             }
-            None => {
-                visited.insert(cut.clone(), sleep);
-                tracker.store_cut(entry_bytes);
-                tracker.cuts_explored += 1;
-                if pred.eval(&GlobalState::new(comp, &cut)) {
-                    emit_pruning(sleep_skips, persistent_pruned);
-                    return tracker.finish(Some(cut), start.elapsed(), None);
-                }
-                if let Some(reason) = tracker.over_limit(limits, start) {
-                    emit_pruning(sleep_skips, persistent_pruned);
-                    return tracker.finish(None, start.elapsed(), Some(reason));
-                }
+            *prev &= sleep;
+        } else {
+            tracker.store_cut(entry_bytes);
+            tracker.cuts_explored += 1;
+            if pred.eval(&GlobalState::new(comp, &cut)) {
+                found = Some(cut);
+                break;
+            }
+            if let Some(reason) = tracker.over_limit(limits, start) {
+                aborted = Some(reason);
+                break;
             }
         }
 
@@ -202,8 +196,10 @@ pub fn detect_pom<P: Predicate + ?Sized>(
             explored_mask |= 1 << p.as_usize();
         }
     }
-    emit_pruning(sleep_skips, persistent_pruned);
-    tracker.finish(None, start.elapsed(), None)
+    slicing_observe::counter("detect.pom.sleep_set_skips", sleep_skips);
+    slicing_observe::counter("detect.pom.persistent_pruned", persistent_pruned);
+    emit_visited_stats(visited.stats());
+    tracker.finish(found, start.elapsed(), aborted)
 }
 
 #[cfg(test)]

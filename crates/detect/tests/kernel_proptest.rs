@@ -1,0 +1,108 @@
+//! Property tests pinning the fast cut kernel to the brute-force lattice
+//! oracle: BFS, DFS, and the sharded parallel BFS must return the same
+//! verdict as exhaustive enumeration on arbitrary computations — including
+//! ones wide enough to spill the `Cut` inline buffer (more than 16
+//! processes), where the pooled arena and hashing take the heap path.
+
+use proptest::prelude::*;
+
+use slicing_computation::oracle::satisfying_cuts;
+use slicing_computation::test_fixtures::{random_computation, RandomConfig};
+use slicing_computation::{Computation, Cut, GlobalState, ProcSet};
+use slicing_detect::{detect_bfs, detect_bfs_parallel, detect_dfs, Limits};
+use slicing_predicates::{FnPredicate, Predicate};
+
+/// Narrow-but-deep computations: few processes, several events each.
+fn narrow() -> impl Strategy<Value = Computation> {
+    (any::<u64>(), 1usize..=5, 1u32..=4, 0u64..=80).prop_map(|(seed, n, m, msg)| {
+        let cfg = RandomConfig {
+            processes: n,
+            events_per_process: m,
+            send_percent: msg,
+            recv_percent: msg,
+            value_range: 3,
+        };
+        random_computation(seed, &cfg)
+    })
+}
+
+/// Wide-but-shallow computations that cross the 16-process inline-cut
+/// boundary. One event per process and a high message rate keep the
+/// lattice small enough for the exhaustive oracle.
+fn wide() -> impl Strategy<Value = Computation> {
+    (any::<u64>(), 15usize..=17).prop_map(|(seed, n)| {
+        let cfg = RandomConfig {
+            processes: n,
+            events_per_process: 1,
+            send_percent: 70,
+            recv_percent: 70,
+            value_range: 2,
+        };
+        random_computation(seed, &cfg)
+    })
+}
+
+fn sum_equals(comp: &Computation, target: i64) -> FnPredicate {
+    let n = comp.num_processes();
+    let vars: Vec<_> = comp
+        .processes()
+        .map(|p| comp.var(p, "x").unwrap())
+        .collect();
+    FnPredicate::new(ProcSet::all(n), "sum == target", move |st| {
+        vars.iter().map(|&v| st.get(v).expect_int()).sum::<i64>() == target
+    })
+}
+
+/// Checks all three kernel-backed engines against the oracle verdict and
+/// validates any witness they return.
+fn check_engines(comp: &Computation, pred: &FnPredicate) {
+    let limits = Limits::none();
+    let expected = !satisfying_cuts(comp, |st| pred.eval(st)).is_empty();
+    let bfs = detect_bfs(comp, comp, pred, &limits);
+    let dfs = detect_dfs(comp, comp, pred, &limits);
+    let par = detect_bfs_parallel(comp, comp, pred, &limits, 4);
+    prop_assert_eq!(bfs.detected(), expected, "bfs verdict");
+    prop_assert_eq!(dfs.detected(), expected, "dfs verdict");
+    prop_assert_eq!(par.detected(), expected, "parallel verdict");
+    for d in [&bfs, &dfs, &par] {
+        if let Some(cut) = &d.found {
+            prop_assert!(pred.eval(&GlobalState::new(comp, cut)));
+        }
+    }
+    // BFS witnesses are minimal-depth; the parallel engine preserves the
+    // layer-order guarantee, so its witness sits in the same layer.
+    if expected {
+        let (b, p) = (bfs.found.as_ref().unwrap(), par.found.as_ref().unwrap());
+        prop_assert_eq!(b.size(), p.size(), "parallel witness depth");
+    }
+    // On a miss every engine exhausts the same lattice.
+    if !expected {
+        prop_assert_eq!(bfs.cuts_explored, dfs.cuts_explored);
+        prop_assert_eq!(bfs.cuts_explored, par.cuts_explored);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engines_match_oracle_on_narrow_computations(
+        comp in narrow(),
+        target in 0i64..8,
+    ) {
+        let pred = sum_equals(&comp, target);
+        check_engines(&comp, &pred);
+    }
+
+    #[test]
+    fn engines_match_oracle_past_the_inline_boundary(
+        comp in wide(),
+        target in 0i64..10,
+    ) {
+        // Spilled representation really is in play at these widths.
+        let bottom = Cut::bottom(comp.num_processes());
+        prop_assert_eq!(bottom.counts().len(), comp.num_processes());
+        let pred = sum_equals(&comp, target);
+        check_engines(&comp, &pred);
+    }
+}
