@@ -72,6 +72,7 @@ fn main() {
         max_bytes: Some(args.cap_mb * 1024 * 1024),
         max_cuts: Some(args.max_cuts),
         max_elapsed: args.timeout_ms.map(std::time::Duration::from_millis),
+        ..Limits::none()
     };
     let w = Workload::PrimarySecondary;
     let mut report = RunReportSet::new("fig2_primary_secondary");

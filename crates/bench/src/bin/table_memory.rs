@@ -1,0 +1,234 @@
+//! Peak-live-memory table for the traversal engines: full-visited-set BFS
+//! against the bounded-memory lean engine on fixed workloads. The
+//! committed artifact — `BENCH_memory.json` (schema
+//! `slicing.bench-memory/v1`) — is the baseline CI gates against.
+//!
+//! ```text
+//! cargo run --release -p slicing-bench --bin table_memory -- \
+//!     [--quick] [--grid 40] [--out BENCH_memory.json]
+//! ```
+//!
+//! Every reported number is a **deterministic counter** — a pure function
+//! of the workload, identical on every machine:
+//!
+//! - **peak_live_cuts** — the engine's high-water mark of simultaneously
+//!   stored cuts (`Detection::max_stored_cuts`). For BFS this is the whole
+//!   visited set; for lean it is two lattice layers.
+//! - **visited_inserts / layers / regen_probes** — the visited-set and
+//!   layer-regeneration effort counters.
+//! - **heap_allocs** — spilled-cut heap allocations during the run.
+//!
+//! Wall-clock is intentionally absent: this table exists to gate memory
+//! semantics, and wall-clock is never gated. `--quick` is accepted for CLI
+//! symmetry with the other tables but changes nothing — with no
+//! repetitions to trim, the quick run **is** the full run.
+
+use std::sync::Arc;
+
+use slicing_bench::Workload;
+use slicing_computation::test_fixtures::{grid, hypercube};
+use slicing_computation::{cut_heap_allocs, ProcSet};
+use slicing_detect::{detect_bfs, detect_lean, Detection, Limits};
+use slicing_observe::json::{JsonArray, JsonObject};
+use slicing_observe::{Level, MemoryRecorder};
+use slicing_predicates::FnPredicate;
+
+struct Entry {
+    name: String,
+    workload: String,
+    engine: &'static str,
+    detected: bool,
+    witness_size: u64,
+    cuts: u64,
+    peak_live_cuts: u64,
+    visited_inserts: u64,
+    layers: u64,
+    regen_probes: u64,
+    heap_allocs: u64,
+}
+
+impl Entry {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("name", &self.name)
+            .str("workload", &self.workload)
+            .str("engine", self.engine)
+            .bool("detected", self.detected)
+            .u64("witness_size", self.witness_size)
+            .u64("cuts_explored", self.cuts)
+            .u64("peak_live_cuts", self.peak_live_cuts)
+            .u64("visited_inserts", self.visited_inserts)
+            .u64("layers", self.layers)
+            .u64("regen_probes", self.regen_probes)
+            .u64("heap_allocs", self.heap_allocs)
+            .finish()
+    }
+}
+
+/// Runs one engine once under a trace recorder and captures the
+/// deterministic memory counters.
+fn measure<F: FnOnce() -> Detection>(workload: &str, engine: &'static str, f: F) -> Entry {
+    let rec = Arc::new(MemoryRecorder::new(Level::Trace));
+    let allocs_before = cut_heap_allocs();
+    let d = {
+        let _guard = slicing_observe::scoped(rec.clone());
+        f()
+    };
+    assert!(
+        d.completed(),
+        "{workload}.{engine} aborted under no limits: {:?}",
+        d.aborted
+    );
+    if engine == "lean" {
+        // The gauge stream and the tracker must agree on the high-water
+        // mark — a cheap cross-check of the instrumentation itself.
+        assert_eq!(
+            rec.gauge_max("detect.lean.peak_live_cuts"),
+            Some(d.max_stored_cuts),
+            "{workload}: peak gauge disagrees with the tracker"
+        );
+    }
+    Entry {
+        name: format!("{engine}.{workload}"),
+        workload: workload.to_string(),
+        engine,
+        detected: d.detected(),
+        witness_size: d.found.as_ref().map_or(0, |c| c.size()),
+        cuts: d.cuts_explored,
+        peak_live_cuts: d.max_stored_cuts,
+        visited_inserts: rec.counter_total("detect.visited.inserts"),
+        layers: rec.counter_total("detect.lean.layers"),
+        regen_probes: rec.counter_total("detect.lean.regen_probes"),
+        heap_allocs: cut_heap_allocs() - allocs_before,
+    }
+}
+
+/// Runs both engines on one workload and asserts the lean contract: same
+/// verdict, same witness size, same explored count — only the live set may
+/// differ.
+fn measure_pair<F>(entries: &mut Vec<Entry>, workload: &str, run: F)
+where
+    F: Fn(&'static str) -> Detection,
+{
+    let bfs = measure(workload, "bfs", || run("bfs"));
+    let lean = measure(workload, "lean", || run("lean"));
+    assert_eq!(bfs.detected, lean.detected, "{workload}: verdict differs");
+    assert_eq!(
+        bfs.witness_size, lean.witness_size,
+        "{workload}: witness differs"
+    );
+    assert_eq!(bfs.cuts, lean.cuts, "{workload}: explored count differs");
+    entries.push(bfs);
+    entries.push(lean);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut grid_size: u32 = 40;
+    let mut out = String::from("BENCH_memory.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--grid" => grid_size = it.next().expect("--grid N").parse().expect("integer"),
+            "--out" => out = it.next().expect("--out PATH"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let limits = Limits::none();
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Exhaustive sweep: the never-predicate forces both engines through
+    // all (grid+1)² cuts, so BFS stores the whole lattice while lean
+    // retains two 41-cut layers.
+    let comp = grid(grid_size, grid_size);
+    let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+    measure_pair(
+        &mut entries,
+        &format!("grid{grid_size}"),
+        |engine| match engine {
+            "bfs" => detect_bfs(&comp, &comp, &never, &limits),
+            _ => detect_lean(&comp, &comp, &never, &limits),
+        },
+    );
+
+    // Wide middle layers: the 5-process hypercube's widest layer is a
+    // multinomial peak, the shape the O(widest layer) bound is about.
+    let cube = hypercube(5, 8);
+    let never5 = FnPredicate::new(ProcSet::all(5), "false", |_| false);
+    measure_pair(&mut entries, "cube5x8", |engine| match engine {
+        "bfs" => detect_bfs(&cube, &cube, &never5, &limits),
+        _ => detect_lean(&cube, &cube, &never5, &limits),
+    });
+
+    // The paper's protocol workloads with an injected fault: detection
+    // stops at the earliest witness, so both engines walk the same short
+    // prefix of layers.
+    for w in [Workload::PrimarySecondary, Workload::DatabasePartitioning] {
+        let seed = 3;
+        let healthy = w.simulate(5, 10, seed);
+        let faulty = w.inject_fault(&healthy, seed);
+        let pred = w.violation_pred(&faulty);
+        measure_pair(&mut entries, w.name(), |engine| match engine {
+            "bfs" => detect_bfs(&faulty, &faulty, &pred, &limits),
+            _ => detect_lean(&faulty, &faulty, &pred, &limits),
+        });
+    }
+
+    // The acceptance bar: on the exhaustive grid sweep the lean engine's
+    // live set must be at most 10% of the BFS visited set.
+    let grid_tag = format!("grid{grid_size}");
+    let bfs_visited = entries
+        .iter()
+        .find(|e| e.workload == grid_tag && e.engine == "bfs")
+        .map(|e| e.visited_inserts)
+        .expect("grid bfs entry");
+    let lean_peak = entries
+        .iter()
+        .find(|e| e.workload == grid_tag && e.engine == "lean")
+        .map(|e| e.peak_live_cuts)
+        .expect("grid lean entry");
+    assert!(
+        lean_peak * 10 <= bfs_visited,
+        "lean peak {lean_peak} exceeds 10% of BFS visited set {bfs_visited}"
+    );
+
+    println!("# Peak-live-memory — grid {grid_size}×{grid_size}, fixed seeds");
+    println!(
+        "{:<28} {:>8} {:>10} {:>10} {:>10} {:>8} {:>12} {:>6}",
+        "entry", "detected", "cuts", "peak live", "visited", "layers", "regen probes", "alloc"
+    );
+    for e in &entries {
+        println!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>8} {:>12} {:>6}",
+            e.name,
+            e.detected,
+            e.cuts,
+            e.peak_live_cuts,
+            e.visited_inserts,
+            e.layers,
+            e.regen_probes,
+            e.heap_allocs
+        );
+    }
+    println!(
+        "# grid{grid_size}: lean peak {lean_peak} cuts = {:.1}% of BFS visited set {bfs_visited}",
+        100.0 * lean_peak as f64 / bfs_visited as f64
+    );
+
+    let doc = JsonObject::new()
+        .str("schema", "slicing.bench-memory/v1")
+        .str("binary", "table_memory")
+        .bool("quick", quick)
+        .u64("grid", u64::from(grid_size))
+        .raw(
+            "entries",
+            &entries
+                .iter()
+                .fold(JsonArray::new(), |arr, e| arr.push_raw(&e.to_json()))
+                .finish(),
+        )
+        .finish();
+    std::fs::write(&out, format!("{doc}\n")).expect("write bench artifact");
+    eprintln!("# wrote {} entries to {out}", entries.len());
+}

@@ -154,6 +154,9 @@ struct Pool {
     table: Vec<u32>,
     mask: usize,
     stats: CutSetStats,
+    /// `stats.inserts` at the last [`reset`](Pool::reset); width-0 pools
+    /// (whose arena cannot measure occupancy) compare against this.
+    inserts_at_reset: u64,
 }
 
 impl Pool {
@@ -165,6 +168,7 @@ impl Pool {
             table: vec![EMPTY; INITIAL_SLOTS],
             mask: INITIAL_SLOTS - 1,
             stats: CutSetStats::default(),
+            inserts_at_reset: 0,
         }
     }
 
@@ -172,8 +176,18 @@ impl Pool {
         match self.arena.len().checked_div(self.width) {
             Some(n) => n,
             // Width-0 cuts are all equal; the arena cannot measure them.
-            None => usize::from(self.stats.inserts > 0),
+            None => usize::from(self.stats.inserts > self.inserts_at_reset),
         }
+    }
+
+    /// Empties the pool while keeping every allocation: the arena's and
+    /// slot table's capacities survive, so refilling to the previous
+    /// occupancy touches the allocator zero times. Cumulative stats are
+    /// preserved (they count effort since construction).
+    fn reset(&mut self) {
+        self.arena.clear();
+        self.table.fill(EMPTY);
+        self.inserts_at_reset = self.stats.inserts;
     }
 
     #[inline]
@@ -332,19 +346,42 @@ impl CutSet {
 
     /// `true` if the cut is present.
     pub fn contains(&self, cut: &Cut) -> bool {
-        // `find` needs `&mut` only for stats; clone-free read-only probe.
-        let counts = cut.counts();
+        self.get_index(cut.counts()).is_some()
+    }
+
+    /// Looks up a cut by its raw count slice, returning its arena index if
+    /// present — the index [`insert_indexed`](CutSet::insert_indexed)
+    /// returned when the cut was stored, i.e. its insertion rank.
+    ///
+    /// Read-only (no `&mut`, no stats): the lean traversal engine probes a
+    /// layer's set once per candidate predecessor and counts that
+    /// regeneration work itself, so the container's own probe counters keep
+    /// meaning "insertion effort".
+    #[inline]
+    pub fn get_index(&self, counts: &[u32]) -> Option<u32> {
+        debug_assert_eq!(counts.len(), self.pool.width);
         let mut slot = hash_counts(counts) as usize & self.pool.mask;
         loop {
             let idx = self.pool.table[slot];
             if idx == EMPTY {
-                return false;
+                return None;
             }
             if self.pool.entry(idx) == counts {
-                return true;
+                return Some(idx);
             }
             slot = (slot + 1) & self.pool.mask;
         }
+    }
+
+    /// Empties the set while keeping its allocations, so the next fill of
+    /// similar size performs no heap traffic. Stats stay cumulative.
+    ///
+    /// The search engines historically built a fresh `CutSet` per
+    /// detection call, reallocating the arena and slot table every run;
+    /// engines that hold a reusable scratch (see `LeanArena` in
+    /// `slicing-detect`) call this between runs instead.
+    pub fn reset(&mut self) {
+        self.pool.reset();
     }
 
     /// Number of distinct cuts stored.
@@ -551,6 +588,68 @@ mod tests {
         assert_eq!(hash_counts(&[4, 4, 4, 4]), hash_counts(&[4, 4, 4, 4]));
         // Length is mixed in: a zero tail is not the same key.
         assert_ne!(hash_counts(&[]), hash_counts(&[0]));
+    }
+
+    #[test]
+    fn get_index_reports_insertion_rank() {
+        let mut set = CutSet::new(3);
+        let cuts: Vec<Cut> = (0..40).map(|i| key(11, 3, i)).collect();
+        let mut expect = Vec::new();
+        for c in &cuts {
+            if let Some(idx) = set.insert_indexed(c) {
+                expect.push((c.clone(), idx));
+            }
+        }
+        let probes_before = set.stats().probes;
+        for (c, idx) in &expect {
+            assert_eq!(set.get_index(c.counts()), Some(*idx));
+            assert_eq!(set.counts_at(*idx), c.counts());
+        }
+        assert_eq!(set.get_index(Cut::from(vec![77, 77, 77]).counts()), None);
+        // Read-only probes leave the effort counters untouched.
+        assert_eq!(set.stats().probes, probes_before);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_clears_membership() {
+        let mut set = CutSet::new(2);
+        for a in 1..40u32 {
+            for b in 1..40u32 {
+                set.insert(&Cut::from(vec![a, b]));
+            }
+        }
+        let filled_bytes = set.approx_bytes();
+        let inserts_before = set.stats().inserts;
+        set.reset();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert!(!set.contains(&Cut::from(vec![1, 1])));
+        // Capacity survives: the emptied set still owns its buffers, and
+        // refilling to the same occupancy neither grows nor shrinks them.
+        assert_eq!(set.approx_bytes(), filled_bytes);
+        for a in 1..40u32 {
+            for b in 1..40u32 {
+                assert!(set.insert(&Cut::from(vec![a, b])), "fresh after reset");
+            }
+        }
+        assert_eq!(set.approx_bytes(), filled_bytes);
+        assert_eq!(set.len(), 39 * 39);
+        // Stats are cumulative across resets.
+        assert!(set.stats().inserts >= inserts_before * 2);
+        // Indices restart from zero after a reset.
+        set.reset();
+        assert_eq!(set.insert_indexed(&Cut::from(vec![9, 9])), Some(0));
+    }
+
+    #[test]
+    fn reset_handles_width_zero() {
+        let mut set = CutSet::new(0);
+        assert!(set.insert(&Cut::from(Vec::new())));
+        assert_eq!(set.len(), 1);
+        set.reset();
+        assert_eq!(set.len(), 0);
+        assert!(set.insert(&Cut::from(Vec::new())));
+        assert_eq!(set.len(), 1);
     }
 
     #[test]

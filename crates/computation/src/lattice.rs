@@ -54,6 +54,29 @@ pub trait CutSpace {
         // Vec header + one u32 per process.
         std::mem::size_of::<Cut>() + 4 * self.num_processes()
     }
+
+    /// Unit-step successor enumeration, the layer-regeneration hook of the
+    /// lean (bounded-memory) traversal: calls `f` with every process whose
+    /// single-event advance of `cut` stays in the space, in ascending
+    /// process order, and returns `true`.
+    ///
+    /// A space may support this only when it is *unit-step*: every
+    /// successor of every cut adds exactly one event, so the cut lattice is
+    /// layered by event count and each layer's successors all land in the
+    /// next layer. Spaces whose successors can add several events at once
+    /// (a slice advances by meta-events/J-closures) must return `false`
+    /// without calling `f` — the default — and the lean engine then falls
+    /// back to size-bucketed pending sets instead of layer regeneration.
+    ///
+    /// Implementations must enumerate in the same process order
+    /// [`for_each_successor`](CutSpace::for_each_successor) uses, so that
+    /// `advance(cut, p)` over the enumeration reproduces the exact
+    /// successor stream — the property that makes the lean engine's
+    /// verdict, witness, and explored-cut count identical to the global-
+    /// visited-set BFS.
+    fn for_each_advance(&self, _cut: &Cut, _f: &mut dyn FnMut(ProcessId)) -> bool {
+        false
+    }
 }
 
 impl CutSpace for Computation {
@@ -62,7 +85,11 @@ impl CutSpace for Computation {
     }
 
     fn bottom(&self) -> Option<Cut> {
-        Some(Cut::bottom(Computation::num_processes(self)))
+        // Adopt a `Vec` instead of calling `Cut::bottom`: for wide
+        // computations the adoption path does not count a heap spill, so a
+        // detection run that otherwise reuses arena scratch (the lean
+        // engine) keeps `cut_heap_allocs()` flat across calls.
+        Some(Cut::from(vec![1u32; Computation::num_processes(self)]))
     }
 
     fn successors(&self, cut: &Cut, out: &mut Vec<Cut>) {
@@ -82,6 +109,19 @@ impl CutSpace for Computation {
                 next.set_count(p, c);
             }
         }
+    }
+
+    fn for_each_advance(&self, cut: &Cut, f: &mut dyn FnMut(ProcessId)) -> bool {
+        // A computation's successors always add exactly one enabled event,
+        // so the space is unit-step; same process order as
+        // `for_each_successor`, without materializing any cut.
+        for i in 0..Computation::num_processes(self) {
+            let p = ProcessId::new(i);
+            if self.can_advance(cut, p) {
+                f(p);
+            }
+        }
+        true
     }
 }
 
@@ -327,6 +367,47 @@ mod tests {
             fn successors(&self, _: &Cut, _: &mut Vec<Cut>) {}
         }
         assert_eq!(cuts(&Empty).count(), 0);
+    }
+
+    #[test]
+    fn advance_enumeration_matches_successor_stream() {
+        // On a computation (unit-step), advancing each enumerated process
+        // by one event reproduces `for_each_successor` exactly — same
+        // cuts, same order.
+        let comp = crate::test_fixtures::figure1();
+        let mut checked = 0;
+        for_each_cut(&comp, |cut| {
+            let mut via_succ = Vec::new();
+            comp.for_each_successor(cut, &mut |next| via_succ.push(next.clone()));
+            let mut via_advance = Vec::new();
+            let supported = comp.for_each_advance(cut, &mut |p| {
+                let mut next = cut.clone();
+                next.set_count(p, cut.count(p) + 1);
+                via_advance.push(next);
+            });
+            assert!(supported);
+            assert_eq!(via_succ, via_advance, "at {cut}");
+            checked += 1;
+            true
+        });
+        assert_eq!(checked, 28);
+    }
+
+    #[test]
+    fn advance_enumeration_defaults_to_unsupported() {
+        struct Opaque;
+        impl CutSpace for Opaque {
+            fn num_processes(&self) -> usize {
+                1
+            }
+            fn bottom(&self) -> Option<Cut> {
+                Some(Cut::bottom(1))
+            }
+            fn successors(&self, _: &Cut, _: &mut Vec<Cut>) {}
+        }
+        let mut called = false;
+        assert!(!Opaque.for_each_advance(&Cut::bottom(1), &mut |_| called = true));
+        assert!(!called);
     }
 
     #[test]

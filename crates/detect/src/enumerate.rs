@@ -54,7 +54,7 @@ pub fn detect_bfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
         cut.copy_from_counts(visited.counts_at(idx));
         tracker.release(entry_bytes);
         tracker.cuts_explored += 1;
-        if tracker.cuts_explored % GAUGE_SAMPLE_EVERY == 0 {
+        if tracker.cuts_explored.is_multiple_of(GAUGE_SAMPLE_EVERY) {
             slicing_observe::gauge("detect.bfs.frontier", queue.len() as u64);
             slicing_observe::gauge("detect.bfs.visited", visited.len() as u64);
         }
@@ -112,7 +112,7 @@ pub fn detect_dfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
         cut.copy_from_counts(visited.counts_at(idx));
         tracker.release(entry_bytes);
         tracker.cuts_explored += 1;
-        if tracker.cuts_explored % GAUGE_SAMPLE_EVERY == 0 {
+        if tracker.cuts_explored.is_multiple_of(GAUGE_SAMPLE_EVERY) {
             slicing_observe::gauge("detect.dfs.frontier", stack.len() as u64);
             slicing_observe::gauge("detect.dfs.visited", visited.len() as u64);
         }

@@ -90,8 +90,7 @@ pub fn detect_hybrid(
     let _span = slicing_observe::span("detect.hybrid");
     let pom_limits = Limits {
         max_bytes: Some(pom_budget_bytes.min(limits.max_bytes.unwrap_or(u64::MAX))),
-        max_cuts: limits.max_cuts,
-        max_elapsed: limits.max_elapsed,
+        ..*limits
     };
     let mut pom = detect_pom(comp, &SpecPred(spec), &pom_limits);
     if pom.completed() {

@@ -16,10 +16,19 @@
 //! - [`detect_with_slicing`]: the paper's pipeline — compute the slice for
 //!   a [`PredicateSpec`](slicing_core::PredicateSpec), then search its few
 //!   cuts evaluating the exact predicate;
+//! - [`detect_lean`]: bounded-memory layered enumeration — BFS-identical
+//!   verdict, witness, and explored count while keeping only two lattice
+//!   layers of cuts alive (peak memory O(widest layer), not O(lattice)),
+//!   with a sharded parallel variant ([`detect_lean_parallel`]);
 //! - [`definitely`]: the `definitely` modality (every observation passes
 //!   through a satisfying cut), as an extension;
 //! - [`detect_resilient`]: graceful degradation — a chain of the above
 //!   engines under per-engine budgets, falling through on exhaustion.
+//!
+//! The [`testkit`] module (and the [`engine_matrix!`](engine_matrix)
+//! macro) run any of these engines against the brute-force lattice oracle
+//! on a shared corpus — the differential harness the engines are locked
+//! down by.
 //!
 //! # Example
 //!
@@ -46,6 +55,7 @@
 mod definitely;
 mod enumerate;
 mod hybrid;
+mod lean;
 mod metrics;
 mod modalities;
 mod monitor;
@@ -54,12 +64,16 @@ mod pom;
 mod resilient;
 mod reverse_search;
 mod slicing;
+pub mod testkit;
 
 pub use definitely::{definitely, detect_not_definitely};
 pub use enumerate::{detect_bfs, detect_dfs};
 pub use hybrid::{detect_hybrid, suggested_pom_budget, HybridDetection, HybridPhase};
+pub use lean::{detect_lean, detect_lean_parallel, detect_lean_with, LeanArena};
 pub use metrics::{AbortReason, Detection, Limits};
-pub use modalities::{controllable, detect_controllable, invariant, invariant_via_slicing};
+pub use modalities::{
+    controllable, detect_controllable, invariant, invariant_lean, invariant_via_slicing,
+};
 pub use monitor::OnlineMonitor;
 pub use parallel::detect_bfs_parallel;
 pub use pom::detect_pom;

@@ -14,6 +14,11 @@ pub enum AbortReason {
     MemoryLimit,
     /// More than [`Limits::max_cuts`] cuts were explored.
     CutLimit,
+    /// More than [`Limits::max_live_cuts`] cuts were stored at once. The
+    /// budget the lean traversal is designed around: its live set is the
+    /// current layer plus the one under construction, so it stays under
+    /// caps that abort the global-visited-set engines almost immediately.
+    LiveCutLimit,
     /// Wall-clock time exceeded [`Limits::max_elapsed`].
     Deadline,
 }
@@ -23,6 +28,7 @@ impl fmt::Display for AbortReason {
         match self {
             AbortReason::MemoryLimit => f.write_str("memory limit exceeded"),
             AbortReason::CutLimit => f.write_str("explored-cut limit exceeded"),
+            AbortReason::LiveCutLimit => f.write_str("live-cut limit exceeded"),
             AbortReason::Deadline => f.write_str("deadline exceeded"),
         }
     }
@@ -35,6 +41,14 @@ pub struct Limits {
     pub max_bytes: Option<u64>,
     /// Abort after exploring this many cuts.
     pub max_cuts: Option<u64>,
+    /// Abort when more than this many cuts are stored *simultaneously*.
+    ///
+    /// Unlike [`max_cuts`](Limits::max_cuts) (total work) this caps the
+    /// peak of the live set: for the global-visited engines the whole
+    /// visited set is live, while the lean traversal keeps only two
+    /// lattice layers alive and can finish huge lattices under a cap of a
+    /// few times the widest layer.
+    pub max_live_cuts: Option<u64>,
     /// Abort once the run's wall clock exceeds this deadline.
     pub max_elapsed: Option<Duration>,
 }
@@ -51,6 +65,7 @@ impl Limits {
         Limits {
             max_bytes,
             max_cuts,
+            max_live_cuts: None,
             max_elapsed: None,
         }
     }
@@ -74,6 +89,17 @@ impl Limits {
     /// Adds (or replaces) a cut limit, keeping any memory limit.
     pub fn with_cuts(mut self, max: u64) -> Self {
         self.max_cuts = Some(max);
+        self
+    }
+
+    /// Limit simultaneously stored (live) cuts only.
+    pub fn live_cuts(max: u64) -> Self {
+        Limits::none().with_live_cuts(max)
+    }
+
+    /// Adds (or replaces) a live-cut cap, keeping other limits.
+    pub fn with_live_cuts(mut self, max: u64) -> Self {
+        self.max_live_cuts = Some(max);
         self
     }
 
@@ -165,6 +191,7 @@ impl Detection {
                 self.aborted.map(|r| match r {
                     AbortReason::MemoryLimit => "memory",
                     AbortReason::CutLimit => "cuts",
+                    AbortReason::LiveCutLimit => "live-cuts",
                     AbortReason::Deadline => "deadline",
                 }),
             );
@@ -263,6 +290,11 @@ impl Tracker {
                 return Some(AbortReason::MemoryLimit);
             }
         }
+        if let Some(max) = limits.max_live_cuts {
+            if self.stored_cuts > max {
+                return Some(AbortReason::LiveCutLimit);
+            }
+        }
         if let Some(max) = limits.max_cuts {
             if self.cuts_explored > max {
                 return Some(AbortReason::CutLimit);
@@ -339,6 +371,26 @@ mod tests {
         t.charge(10);
         t.cuts_explored = 3;
         assert_eq!(t.over_limit(&l, now), None);
+    }
+
+    #[test]
+    fn live_cut_limit_caps_stored_not_explored() {
+        let now = Instant::now();
+        let l = Limits::live_cuts(2);
+        assert_eq!(l.max_live_cuts, Some(2));
+        assert_eq!(Limits::none().with_live_cuts(7).max_live_cuts, Some(7));
+        let mut t = Tracker::default();
+        t.store_cut(10);
+        t.store_cut(10);
+        t.cuts_explored = 1_000_000; // total work is not what this caps
+        assert_eq!(t.over_limit(&l, now), None);
+        t.store_cut(10);
+        assert_eq!(t.over_limit(&l, now), Some(AbortReason::LiveCutLimit));
+        // Dropping back under the cap clears the condition: the limit
+        // tracks the live set, not its historical peak.
+        t.drop_cut(10);
+        assert_eq!(t.over_limit(&l, now), None);
+        assert!(AbortReason::LiveCutLimit.to_string().contains("live-cut"));
     }
 
     #[test]
@@ -437,5 +489,8 @@ mod tests {
         let json = d.to_json();
         assert!(json.contains("\"detected\":false,\"witness\":null"));
         assert!(json.contains("\"aborted\":\"cuts\""));
+
+        d.aborted = Some(AbortReason::LiveCutLimit);
+        assert!(d.to_json().contains("\"aborted\":\"live-cuts\""));
     }
 }

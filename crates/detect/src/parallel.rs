@@ -30,22 +30,23 @@ use crate::metrics::{emit_visited_stats, Detection, Limits, Tracker};
 
 /// Number of visited-set shards. Fixed (not derived from `threads`) so the
 /// shard assignment — and with it the canonical frontier order — is
-/// identical for every thread count.
-const SHARDS: usize = 16;
+/// identical for every thread count. Shared with the lean layered engine,
+/// which runs the same sharding with per-layer resets.
+pub(crate) const SHARDS: usize = 16;
 
 /// Shard selector. Uses *high* hash bits: the shard tables index their
 /// slots with the low bits of the same hash, so sharding by the low bits
 /// would leave each shard's entries agreeing on them — collapsing its
 /// usable home slots 16-fold and turning probes into long linear scans.
 #[inline]
-fn shard_of(hash: u64) -> usize {
+pub(crate) fn shard_of(hash: u64) -> usize {
     (hash >> 60) as usize
 }
 
 /// Below this many successors in a layer, the merge runs on the calling
 /// thread: spawning costs more than the scan, and the output is identical
 /// either way.
-const PARALLEL_MERGE_MIN: usize = 512;
+pub(crate) const PARALLEL_MERGE_MIN: usize = 512;
 
 /// Below this many frontier cuts, the layer is evaluated and expanded on
 /// the calling thread. Spawning a scoped worker costs tens of
@@ -54,7 +55,7 @@ const PARALLEL_MERGE_MIN: usize = 512;
 /// a concatenation of per-chunk streams — is identical either way, so
 /// verdict, witness, and visited statistics do not depend on which path
 /// ran.
-const PARALLEL_EXPAND_MIN: usize = 128;
+pub(crate) const PARALLEL_EXPAND_MIN: usize = 128;
 
 /// Hashed successors routed to one visited shard, in generation order:
 /// `buckets[s]` holds the `(hash, cut)` pairs bound for shard `s`.

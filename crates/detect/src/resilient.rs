@@ -7,8 +7,9 @@
 //! The default chain mirrors the paper's preference order: slice-then-
 //! search (exponentially cheaper when the predicate slices well), the
 //! hybrid strategy of Section 5.1, the partial-order-methods baseline,
-//! and finally plain breadth-first enumeration as the engine of last
-//! resort.
+//! then the bounded-memory lean traversal (BFS semantics at two layers of
+//! live cuts), and finally plain breadth-first enumeration as the engine
+//! of last resort.
 
 use std::time::Duration;
 
@@ -18,6 +19,7 @@ use slicing_observe::Level;
 
 use crate::enumerate::detect_bfs;
 use crate::hybrid::{detect_hybrid, suggested_pom_budget, HybridPhase};
+use crate::lean::detect_lean;
 use crate::metrics::{AbortReason, Detection, Limits};
 use crate::pom::detect_pom;
 use crate::slicing::detect_with_slicing;
@@ -31,6 +33,10 @@ pub enum Engine {
     Hybrid,
     /// Partial-order methods ([`detect_pom`]).
     Pom,
+    /// Bounded-memory layered enumeration ([`detect_lean`]): BFS-identical
+    /// verdict and witness at O(widest layer) live cuts, tried before the
+    /// full-memory enumeration of last resort.
+    Lean,
     /// Plain breadth-first lattice enumeration ([`detect_bfs`]).
     Bfs,
 }
@@ -42,6 +48,7 @@ impl Engine {
             Engine::Slicing => "slicing",
             Engine::Hybrid => "hybrid",
             Engine::Pom => "pom",
+            Engine::Lean => "lean",
             Engine::Bfs => "bfs",
         }
     }
@@ -66,6 +73,10 @@ pub struct ResilientConfig {
     pub hybrid_pom_budget: Option<u64>,
     /// Budget of the partial-order-methods attempt.
     pub pom: Option<Limits>,
+    /// Budget of the bounded-memory layered attempt. Pairs naturally with
+    /// [`Limits::max_live_cuts`]: caps that abort the global-visited
+    /// engines almost immediately still let this one finish.
+    pub lean: Option<Limits>,
     /// Budget of the last-resort breadth-first attempt.
     pub bfs: Option<Limits>,
 }
@@ -87,6 +98,7 @@ impl ResilientConfig {
             hybrid: Some(limits),
             hybrid_pom_budget: None,
             pom: Some(limits),
+            lean: Some(limits),
             bfs: Some(limits),
         }
     }
@@ -98,6 +110,7 @@ impl ResilientConfig {
             self.slicing.is_some(),
             self.hybrid.is_some(),
             self.pom.is_some(),
+            self.lean.is_some(),
             self.bfs.is_some(),
         ]
         .iter()
@@ -111,6 +124,7 @@ impl ResilientConfig {
             &mut self.slicing,
             &mut self.hybrid,
             &mut self.pom,
+            &mut self.lean,
             &mut self.bfs,
         ] {
             if let Some(l) = slot.take() {
@@ -176,10 +190,11 @@ pub fn detect_resilient(
     }
 
     let _span = slicing_observe::span("detect.resilient");
-    let chain: [(Engine, &Option<Limits>); 4] = [
+    let chain: [(Engine, &Option<Limits>); 5] = [
         (Engine::Slicing, &config.slicing),
         (Engine::Hybrid, &config.hybrid),
         (Engine::Pom, &config.pom),
+        (Engine::Lean, &config.lean),
         (Engine::Bfs, &config.bfs),
     ];
     let mut attempts: Vec<(Engine, Option<AbortReason>)> = Vec::new();
@@ -199,6 +214,7 @@ pub fn detect_resilient(
                 }
             }
             Engine::Pom => detect_pom(comp, &SpecPred(spec), limits),
+            Engine::Lean => detect_lean(comp, comp, &SpecPred(spec), limits),
             Engine::Bfs => detect_bfs(comp, comp, &SpecPred(spec), limits),
         };
         let aborted = detection.aborted;
@@ -307,18 +323,25 @@ mod tests {
             hybrid: Some(starved),
             hybrid_pom_budget: None,
             pom: Some(starved),
+            lean: Some(starved),
             bfs: Some(Limits::none()),
         };
         let r = detect_resilient(&comp, &spec, &config);
         assert_eq!(r.engine, Engine::Bfs);
-        assert_eq!(r.fallbacks(), 3);
+        assert_eq!(r.fallbacks(), 4);
         assert!(!r.exhausted);
         let engines: Vec<Engine> = r.attempts.iter().map(|&(e, _)| e).collect();
         assert_eq!(
             engines,
-            vec![Engine::Slicing, Engine::Hybrid, Engine::Pom, Engine::Bfs]
+            vec![
+                Engine::Slicing,
+                Engine::Hybrid,
+                Engine::Pom,
+                Engine::Lean,
+                Engine::Bfs
+            ]
         );
-        for (e, reason) in &r.attempts[..3] {
+        for (e, reason) in &r.attempts[..4] {
             assert!(reason.is_some(), "{e} should have aborted");
         }
     }
@@ -330,7 +353,7 @@ mod tests {
         let r = detect_resilient(&comp, &spec, &ResilientConfig::uniform(starved));
         assert!(r.exhausted);
         assert!(!r.detected());
-        assert_eq!(r.attempts.len(), 4);
+        assert_eq!(r.attempts.len(), 5);
         assert!(r.attempts.iter().all(|&(_, reason)| reason.is_some()));
     }
 
@@ -343,11 +366,56 @@ mod tests {
             hybrid: None,
             hybrid_pom_budget: None,
             pom: None,
+            lean: None,
             bfs: Some(Limits::none()),
         };
         let r = detect_resilient(&comp, &spec, &config);
         assert_eq!(r.engine, Engine::Bfs);
         assert_eq!(r.attempts.len(), 1);
+        assert!(r.detected());
+    }
+
+    #[test]
+    fn lean_live_cut_exhaustion_falls_through_with_counter() {
+        // A live-cut cap of 1 starves lean before it can answer; the abort
+        // is a clean budget verdict (not a wrong answer), the chain falls
+        // through to BFS, and exactly one fallback is counted.
+        let comp = figure1();
+        let spec = figure1_spec(&comp);
+        let config = ResilientConfig {
+            slicing: None,
+            hybrid: None,
+            hybrid_pom_budget: None,
+            pom: None,
+            lean: Some(Limits::live_cuts(1)),
+            bfs: Some(Limits::none()),
+        };
+        let rec = std::sync::Arc::new(slicing_observe::MemoryRecorder::new(
+            slicing_observe::Level::Trace,
+        ));
+        let r = {
+            let _g = slicing_observe::scoped(rec.clone());
+            detect_resilient(&comp, &spec, &config)
+        };
+        assert_eq!(
+            r.attempts,
+            vec![
+                (Engine::Lean, Some(AbortReason::LiveCutLimit)),
+                (Engine::Bfs, None)
+            ]
+        );
+        assert_eq!(r.engine, Engine::Bfs);
+        assert!(r.detected() && !r.exhausted);
+        assert_eq!(rec.counter_total("detect.resilient.fallback"), 1);
+        assert_eq!(rec.counter_total("detect.resilient.exhausted"), 0);
+        // A cap sized for two lattice layers lets lean answer in place.
+        let roomy = ResilientConfig {
+            lean: Some(Limits::live_cuts(64)),
+            ..config
+        };
+        let r = detect_resilient(&comp, &spec, &roomy);
+        assert_eq!(r.engine, Engine::Lean);
+        assert_eq!(r.fallbacks(), 0);
         assert!(r.detected());
     }
 
@@ -358,6 +426,7 @@ mod tests {
             hybrid: None,
             hybrid_pom_budget: None,
             pom: None,
+            lean: None,
             bfs: Some(Limits::none()),
         }
         .with_total_deadline(Duration::from_millis(100));

@@ -1,0 +1,214 @@
+//! Differential-test harness shared by the engine test suites.
+//!
+//! Every detection engine in this crate answers the same question —
+//! `possibly: spec` — so they can all be checked the same way: against the
+//! brute-force lattice oracle
+//! ([`satisfying_cuts`]) on a
+//! common corpus of cases. [`check_engine`] runs one engine on one
+//! [`Case`] and asserts the invariants every engine must uphold;
+//! [`engine_matrix!`](crate::engine_matrix) stamps out one `#[test]` per
+//! engine over a case-producing function, so adding a corpus locks **all**
+//! engines to the oracle at once.
+
+use slicing_computation::oracle::satisfying_cuts;
+use slicing_computation::{Computation, Cut, GlobalState};
+use slicing_core::PredicateSpec;
+
+use crate::metrics::Limits;
+
+/// One differential test case: a computation, a specification to detect,
+/// and a tag naming the case in assertion messages.
+#[derive(Debug)]
+pub struct Case {
+    /// Label shown in failure messages (e.g. `"figure1"`, `"seed 7"`).
+    pub tag: String,
+    /// The computation to search.
+    pub comp: Computation,
+    /// The specification whose `possibly:` verdict is checked.
+    pub spec: PredicateSpec,
+}
+
+impl Case {
+    /// Builds a case.
+    pub fn new(tag: impl Into<String>, comp: Computation, spec: PredicateSpec) -> Self {
+        Case {
+            tag: tag.into(),
+            comp,
+            spec,
+        }
+    }
+}
+
+/// A [`PredicateSpec`] viewed as a plain
+/// [`Predicate`](slicing_predicates::Predicate), for the engines that take
+/// one (the spec-taking engines slice it instead).
+#[derive(Debug)]
+pub struct SpecPredicate<'s>(pub &'s PredicateSpec);
+
+impl slicing_predicates::Predicate for SpecPredicate<'_> {
+    fn support(&self) -> slicing_computation::ProcSet {
+        self.0.support()
+    }
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        self.0.eval(state)
+    }
+}
+
+/// The engine names [`check_engine`] understands — the rows of the
+/// differential matrix.
+pub const ENGINES: [&str; 7] = [
+    "bfs",
+    "dfs",
+    "pom",
+    "slicing",
+    "hybrid",
+    "lean",
+    "parallel_lean",
+];
+
+/// Runs the named engine on `case` (unlimited budget) and asserts the
+/// contract every engine shares:
+///
+/// - the verdict equals the brute-force oracle's;
+/// - a returned witness satisfies the spec and is a consistent cut;
+/// - level-order engines (`bfs`, `lean`, `parallel_lean`) return a witness
+///   of *minimum size* among all satisfying cuts.
+///
+/// # Panics
+///
+/// Panics on any violated invariant, and on an unknown engine name.
+pub fn check_engine(name: &str, case: &Case) {
+    let Case { tag, comp, spec } = case;
+    let pred = SpecPredicate(spec);
+    let limits = Limits::none();
+    let detection = match name {
+        "bfs" => crate::detect_bfs(comp, comp, &pred, &limits),
+        "dfs" => crate::detect_dfs(comp, comp, &pred, &limits),
+        "pom" => crate::detect_pom(comp, &pred, &limits),
+        "slicing" => crate::detect_with_slicing(comp, spec, &limits).search,
+        "hybrid" => {
+            let budget = crate::suggested_pom_budget(comp, 4);
+            let h = crate::detect_hybrid(comp, spec, budget, &limits);
+            // Normalize to a (detected, witness) view shared with the rest.
+            let found = h.found().cloned();
+            assert_eq!(h.detected(), found.is_some(), "[{tag}] hybrid view");
+            let mut d = h.pom.clone();
+            d.found = found;
+            d.aborted = None;
+            d
+        }
+        "lean" => crate::detect_lean(comp, comp, &pred, &limits),
+        "parallel_lean" => crate::detect_lean_parallel(comp, comp, &pred, &limits, 4),
+        other => panic!("unknown engine {other:?} (expected one of {ENGINES:?})"),
+    };
+    assert!(
+        detection.completed(),
+        "[{tag}] {name}: aborted under no limits: {:?}",
+        detection.aborted
+    );
+
+    let oracle = satisfying_cuts(comp, |st| spec.eval(st));
+    assert_eq!(
+        detection.detected(),
+        !oracle.is_empty(),
+        "[{tag}] {name}: verdict disagrees with the lattice oracle"
+    );
+    if let Some(witness) = &detection.found {
+        assert!(
+            spec.eval(&GlobalState::new(comp, witness)),
+            "[{tag}] {name}: witness {witness} does not satisfy the spec"
+        );
+        assert!(
+            comp.is_consistent(witness),
+            "[{tag}] {name}: witness {witness} is not a consistent cut"
+        );
+        if matches!(name, "bfs" | "lean" | "parallel_lean") {
+            let min_size = oracle.iter().map(Cut::size).min().expect("non-empty");
+            assert_eq!(
+                witness.size(),
+                min_size,
+                "[{tag}] {name}: level-order engine returned a non-minimal witness"
+            );
+        }
+    }
+}
+
+/// Stamps out one `#[test]` per detection engine, each running
+/// [`check_engine`](crate::testkit::check_engine) over every [`Case`]
+/// (`crate::testkit::Case`) returned by the given function:
+///
+/// ```
+/// use slicing_detect::{engine_matrix, testkit::Case};
+/// use slicing_computation::test_fixtures::figure1;
+/// use slicing_core::PredicateSpec;
+/// use slicing_predicates::{Conjunctive, LocalPredicate};
+///
+/// fn cases() -> Vec<Case> {
+///     let comp = figure1();
+///     let x1 = comp.var(comp.process(0), "x1").unwrap();
+///     let spec = PredicateSpec::conjunctive(Conjunctive::new(vec![
+///         LocalPredicate::int(x1, "x1 > 1", |x| x > 1),
+///     ]));
+///     vec![Case::new("figure1", comp, spec)]
+/// }
+///
+/// mod matrix {
+///     slicing_detect::engine_matrix!(super::cases);
+/// }
+/// # fn main() { assert_eq!(cases().len(), 1); }
+/// ```
+///
+/// The generated test names are the engine names (`bfs`, `dfs`, `pom`,
+/// `slicing`, `hybrid`, `lean`, `parallel_lean`), so a failing row is
+/// visible directly in the test report.
+#[macro_export]
+macro_rules! engine_matrix {
+    ($case_fn:path) => {
+        $crate::engine_matrix!(@tests $case_fn, bfs dfs pom slicing hybrid lean parallel_lean);
+    };
+    (@tests $case_fn:path, $($engine:ident)+) => {
+        $(
+            #[test]
+            pub fn $engine() {
+                for case in $case_fn() {
+                    $crate::testkit::check_engine(stringify!($engine), &case);
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_computation::test_fixtures::figure1;
+    use slicing_predicates::{Conjunctive, LocalPredicate};
+
+    fn figure1_case(detectable: bool) -> Case {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let threshold = if detectable { 1 } else { 99 };
+        let spec = PredicateSpec::conjunctive(Conjunctive::new(vec![LocalPredicate::int(
+            x1,
+            "x1 > t",
+            move |x| x > threshold,
+        )]));
+        Case::new(format!("figure1 t{threshold}"), comp, spec)
+    }
+
+    #[test]
+    fn every_engine_passes_on_the_paper_fixture() {
+        for detectable in [true, false] {
+            let case = figure1_case(detectable);
+            for engine in ENGINES {
+                check_engine(engine, &case);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown engine")]
+    fn unknown_engine_is_rejected() {
+        check_engine("quantum", &figure1_case(true));
+    }
+}

@@ -1,0 +1,115 @@
+//! Differential property tests for the lean (bounded-memory) traversal:
+//! on arbitrary computations — including ones crossing the 16-process
+//! inline→spill boundary — `detect_lean` and the sharded
+//! `detect_lean_parallel` must return the *identical* verdict, the
+//! *identical* earliest witness cut, and the identical explored count as
+//! the global-visited-set `detect_bfs`, all while agreeing with the
+//! brute-force lattice oracle.
+
+use proptest::prelude::*;
+
+use slicing_computation::oracle::satisfying_cuts;
+use slicing_computation::test_fixtures::{random_computation, RandomConfig};
+use slicing_computation::{Computation, Cut, GlobalState, ProcSet};
+use slicing_detect::{detect_bfs, detect_lean, detect_lean_parallel, Limits};
+use slicing_predicates::{FnPredicate, Predicate};
+
+/// Narrow-but-deep computations: few processes, several events each.
+fn narrow() -> impl Strategy<Value = Computation> {
+    (any::<u64>(), 1usize..=5, 1u32..=4, 0u64..=80).prop_map(|(seed, n, m, msg)| {
+        let cfg = RandomConfig {
+            processes: n,
+            events_per_process: m,
+            send_percent: msg,
+            recv_percent: msg,
+            value_range: 3,
+        };
+        random_computation(seed, &cfg)
+    })
+}
+
+/// Wide-but-shallow computations that cross the 16-process inline-cut
+/// boundary, so every layer set and scratch cut takes the spilled path.
+fn wide() -> impl Strategy<Value = Computation> {
+    (any::<u64>(), 15usize..=17).prop_map(|(seed, n)| {
+        let cfg = RandomConfig {
+            processes: n,
+            events_per_process: 1,
+            send_percent: 70,
+            recv_percent: 70,
+            value_range: 2,
+        };
+        random_computation(seed, &cfg)
+    })
+}
+
+fn sum_equals(comp: &Computation, target: i64) -> FnPredicate {
+    let n = comp.num_processes();
+    let vars: Vec<_> = comp
+        .processes()
+        .map(|p| comp.var(p, "x").unwrap())
+        .collect();
+    FnPredicate::new(ProcSet::all(n), "sum == target", move |st| {
+        vars.iter().map(|&v| st.get(v).expect_int()).sum::<i64>() == target
+    })
+}
+
+/// The lean engines' contract: BFS equivalence down to the exact witness
+/// and explored count, oracle-checked verdict, and a strictly smaller live
+/// set whenever the lattice has more than a couple of layers.
+fn check_lean(comp: &Computation, pred: &FnPredicate) {
+    let limits = Limits::none();
+    let expected = !satisfying_cuts(comp, |st| pred.eval(st)).is_empty();
+    let bfs = detect_bfs(comp, comp, pred, &limits);
+    let lean = detect_lean(comp, comp, pred, &limits);
+    prop_assert_eq!(bfs.detected(), expected, "bfs vs oracle");
+    prop_assert_eq!(lean.detected(), expected, "lean vs oracle");
+    // Identical earliest witness, not just the same layer.
+    prop_assert_eq!(&lean.found, &bfs.found, "lean witness");
+    prop_assert_eq!(lean.cuts_explored, bfs.cuts_explored, "lean explored");
+    prop_assert!(
+        lean.max_stored_cuts <= bfs.max_stored_cuts,
+        "lean live set exceeded BFS: {} > {}",
+        lean.max_stored_cuts,
+        bfs.max_stored_cuts
+    );
+    if let Some(cut) = &lean.found {
+        prop_assert!(pred.eval(&GlobalState::new(comp, cut)));
+        prop_assert!(comp.is_consistent(cut), "lean witness consistency");
+    }
+    for threads in [2, 4] {
+        let par = detect_lean_parallel(comp, comp, pred, &limits, threads);
+        prop_assert_eq!(&par.found, &bfs.found, "parallel lean witness t{}", threads);
+        prop_assert_eq!(
+            par.cuts_explored,
+            bfs.cuts_explored,
+            "parallel lean explored t{}",
+            threads
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lean_matches_bfs_and_oracle_on_narrow_computations(
+        comp in narrow(),
+        target in 0i64..8,
+    ) {
+        let pred = sum_equals(&comp, target);
+        check_lean(&comp, &pred);
+    }
+
+    #[test]
+    fn lean_matches_bfs_and_oracle_past_the_inline_boundary(
+        comp in wide(),
+        target in 0i64..10,
+    ) {
+        // Spilled representation really is in play at these widths.
+        let bottom = Cut::bottom(comp.num_processes());
+        prop_assert_eq!(bottom.counts().len(), comp.num_processes());
+        let pred = sum_equals(&comp, target);
+        check_lean(&comp, &pred);
+    }
+}

@@ -291,6 +291,24 @@ impl MemoryRecorder {
             })
     }
 
+    /// The maximum value recorded for gauge `name`, if any.
+    ///
+    /// The natural reduction for peak-style gauges sampled mid-run (e.g.
+    /// `detect.lean.live_cuts`), where [`gauge_last`](Self::gauge_last)
+    /// would report the value at the final sample instead of the high-water
+    /// mark.
+    pub fn gauge_max(&self, name: &str) -> Option<u64> {
+        self.events
+            .lock()
+            .expect("memory recorder lock")
+            .iter()
+            .filter_map(|e| match e {
+                OwnedEvent::Gauge { name: n, value } if n == name => Some(*value),
+                _ => None,
+            })
+            .max()
+    }
+
     /// Span names seen in enter events, with enter/exit counts.
     pub fn span_counts(&self) -> HashMap<String, (u64, u64)> {
         let mut counts: HashMap<String, (u64, u64)> = HashMap::new();
@@ -411,6 +429,10 @@ mod tests {
         });
         mem.record(&Event::Gauge {
             name: "g",
+            value: 12,
+        });
+        mem.record(&Event::Gauge {
+            name: "g",
             value: 9,
         });
         assert!(!mem.spans_balanced(), "span 1 still open");
@@ -423,6 +445,8 @@ mod tests {
         assert_eq!(mem.counter_total("c"), 7);
         assert_eq!(mem.counter_total("missing"), 0);
         assert_eq!(mem.gauge_last("g"), Some(9));
+        assert_eq!(mem.gauge_max("g"), Some(12), "high-water mark, not last");
+        assert_eq!(mem.gauge_max("missing"), None);
         assert_eq!(mem.span_counts().get("s"), Some(&(1, 1)));
         mem.clear();
         assert!(mem.events().is_empty());

@@ -33,8 +33,9 @@ fn usage() -> &'static str {
   slicing [--log off|error|warn|info|debug|trace] [--report <path>] <command> ...
 
   slicing stats   <trace> <predicate>
-  slicing detect  <trace> <predicate> [--engine slice|bfs|dfs|pom|reverse|parallel|hybrid]
-                  [--max-cuts N] [--cap-kb N] [--threads N] [--timeout-ms N]
+  slicing detect  <trace> <predicate>
+                  [--engine slice|bfs|dfs|pom|reverse|parallel|hybrid|lean|lean-parallel]
+                  [--max-cuts N] [--max-live-cuts N] [--cap-kb N] [--threads N] [--timeout-ms N]
   slicing modality <trace> <predicate> --mode possibly|definitely|invariant|controllable
   slicing recover --protocol ps|db [--procs N] [--events N] [--seed S]
                   [--fault corrupt|drop-message|duplicate-message|delay-delivery|crash-stop|burst|none]
@@ -153,6 +154,10 @@ fn run() -> Result<(), String> {
                     "--max-cuts" => {
                         limits.max_cuts = Some(value.parse().map_err(|e| format!("{e}"))?)
                     }
+                    "--max-live-cuts" => {
+                        let n: u64 = value.parse().map_err(|e| format!("{e}"))?;
+                        limits = limits.with_live_cuts(n);
+                    }
                     "--cap-kb" => {
                         let kb: u64 = value.parse().map_err(|e| format!("{e}"))?;
                         limits.max_bytes = Some(kb * 1024);
@@ -183,6 +188,10 @@ fn run() -> Result<(), String> {
                 "pom" => detect_pom(&comp, &pred, &limits),
                 "reverse" => detect_reverse_search(&comp, &pred, &limits),
                 "parallel" => detect::detect_bfs_parallel(&comp, &comp, &pred, &limits, threads),
+                "lean" => detect::detect_lean(&comp, &comp, &pred, &limits),
+                "lean-parallel" => {
+                    detect::detect_lean_parallel(&comp, &comp, &pred, &limits, threads)
+                }
                 "hybrid" => {
                     let spec = compile_predicate(&comp, &pred);
                     let budget = detect::suggested_pom_budget(&comp, 4);
