@@ -53,6 +53,26 @@ pub enum BuildError {
         /// The variable name.
         name: String,
     },
+    /// An observed value's runtime type differs from the type the variable
+    /// was declared with (online observers validate every observation
+    /// against the declared initial value before accepting it).
+    TypeMismatch {
+        /// The process owning the variable.
+        process: ProcessId,
+        /// The variable name.
+        name: String,
+        /// Type of the declared initial value.
+        expected: &'static str,
+        /// Type of the rejected observation.
+        got: &'static str,
+    },
+    /// A watch (predicate conjunct) was registered after its process had
+    /// already observed real events, so earlier events could not be
+    /// classified under it.
+    LateWatch {
+        /// The process the watch targeted.
+        process: ProcessId,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -87,6 +107,23 @@ impl fmt::Display for BuildError {
                 write!(
                     f,
                     "variable {name} declared on {process} after events were appended"
+                )
+            }
+            BuildError::TypeMismatch {
+                process,
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "variable {name} on {process} was declared {expected} but observed {got}"
+                )
+            }
+            BuildError::LateWatch { process } => {
+                write!(
+                    f,
+                    "watch registered on {process} after its events were observed"
                 )
             }
         }
@@ -198,6 +235,33 @@ impl ComputationBuilder {
     /// The event of process `p` at position `pos`, if it has been appended.
     pub fn event_at(&self, p: ProcessId, pos: u32) -> EventId {
         self.per_process[p.as_usize()][pos as usize]
+    }
+
+    /// The process event `e` belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` was not appended by this builder.
+    pub fn process_of(&self, e: EventId) -> ProcessId {
+        self.proc_of[e.as_usize()]
+    }
+
+    /// The position of event `e` on its process (0 = the initial event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` was not appended by this builder.
+    pub fn position_of(&self, e: EventId) -> u32 {
+        self.pos_of[e.as_usize()]
+    }
+
+    /// The declared name of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not declared on this builder.
+    pub fn var_name(&self, var: VarRef) -> &str {
+        &self.vars[var.process().as_usize()].names[var.index()]
     }
 
     /// Value of `var` immediately after the event of its process at `pos`

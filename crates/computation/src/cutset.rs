@@ -142,6 +142,13 @@ pub struct CutSetStats {
 /// Empty-slot marker in the open-addressing table.
 const EMPTY: u32 = u32::MAX;
 
+/// Hard entry ceiling: arena indices are `u32` and [`EMPTY`] is reserved,
+/// so a pool may never hand out index `u32::MAX - 1 + 1`. Inserting past
+/// this used to wrap the index space and silently collide with the
+/// sentinel; pools now refuse the insert and latch
+/// [`saturated`](CutSet::saturated) instead.
+const MAX_ENTRIES: u32 = EMPTY - 1;
+
 /// Open-addressing core shared by [`CutSet`] and [`CutMap64`]: a power-of-
 /// two slot table indexing into a bump arena of fixed-width cut payloads.
 #[derive(Debug, Clone)]
@@ -157,10 +164,19 @@ struct Pool {
     /// `stats.inserts` at the last [`reset`](Pool::reset); width-0 pools
     /// (whose arena cannot measure occupancy) compare against this.
     inserts_at_reset: u64,
+    /// Entry ceiling (≤ [`MAX_ENTRIES`]); inserts at the ceiling are
+    /// refused and latch `saturated`.
+    max_entries: u32,
+    /// `true` once an insert was refused because the pool was full.
+    saturated: bool,
 }
 
 impl Pool {
     fn new(width: usize) -> Self {
+        Pool::with_max_entries(width, MAX_ENTRIES)
+    }
+
+    fn with_max_entries(width: usize, max_entries: u32) -> Self {
         const INITIAL_SLOTS: usize = 64;
         Pool {
             width,
@@ -169,6 +185,8 @@ impl Pool {
             mask: INITIAL_SLOTS - 1,
             stats: CutSetStats::default(),
             inserts_at_reset: 0,
+            max_entries: max_entries.min(MAX_ENTRIES),
+            saturated: false,
         }
     }
 
@@ -188,6 +206,7 @@ impl Pool {
         self.arena.clear();
         self.table.fill(EMPTY);
         self.inserts_at_reset = self.stats.inserts;
+        self.saturated = false;
     }
 
     #[inline]
@@ -223,8 +242,15 @@ impl Pool {
     }
 
     /// Appends a payload (the caller has already verified absence at
-    /// `slot`) and grows the table past 7/8 load.
+    /// `slot`) and grows the table past 1/2 load. Returns [`EMPTY`] —
+    /// storing nothing and latching `saturated` — once the pool holds
+    /// `max_entries` cuts, so index arithmetic can never wrap into the
+    /// sentinel.
     fn push(&mut self, counts: &[u32], slot: usize) -> u32 {
+        if self.len() as u64 >= u64::from(self.max_entries) {
+            self.saturated = true;
+            return EMPTY;
+        }
         let idx = self.len() as u32;
         self.arena.extend_from_slice(counts);
         self.table[slot] = idx;
@@ -290,6 +316,27 @@ impl CutSet {
         }
     }
 
+    /// An empty set that refuses inserts past `max_entries` cuts.
+    ///
+    /// Inserts at the ceiling are dropped (they return `false`/`None` as
+    /// if nothing happened) and latch [`saturated`](CutSet::saturated);
+    /// the search engines translate that flag into a budget-exhausted
+    /// abort rather than ever producing a wrong answer. The default
+    /// ceiling is `u32::MAX - 1`, the last arena index distinguishable
+    /// from the empty-slot sentinel; tests mock a tiny ceiling to
+    /// exercise the guard.
+    pub fn with_max_entries(num_processes: usize, max_entries: u32) -> Self {
+        CutSet {
+            pool: Pool::with_max_entries(num_processes, max_entries),
+        }
+    }
+
+    /// `true` once an insert was refused because the set reached its
+    /// entry ceiling. Latched until [`reset`](CutSet::reset).
+    pub fn saturated(&self) -> bool {
+        self.pool.saturated
+    }
+
     /// Inserts the cut; `true` if it was not yet present.
     #[inline]
     pub fn insert(&mut self, cut: &Cut) -> bool {
@@ -312,10 +359,7 @@ impl CutSet {
                 self.pool.stats.hits += 1;
                 false
             }
-            Err(slot) => {
-                self.pool.push(counts, slot);
-                true
-            }
+            Err(slot) => self.pool.push(counts, slot) != EMPTY,
         }
     }
 
@@ -333,7 +377,10 @@ impl CutSet {
                 self.pool.stats.hits += 1;
                 None
             }
-            Err(slot) => Some(self.pool.push(counts, slot)),
+            Err(slot) => match self.pool.push(counts, slot) {
+                EMPTY => None,
+                idx => Some(idx),
+            },
         }
     }
 
@@ -412,19 +459,40 @@ impl CutSet {
 pub struct CutMap64 {
     pool: Pool,
     values: Vec<u64>,
+    /// Scratch value handed out when an insert is refused at the entry
+    /// ceiling, so `insert_or_get` keeps its signature on the guard path.
+    overflow: u64,
 }
 
 impl CutMap64 {
     /// An empty map for cuts spanning `num_processes` processes.
     pub fn new(num_processes: usize) -> Self {
+        CutMap64::with_max_entries(num_processes, MAX_ENTRIES)
+    }
+
+    /// An empty map that refuses inserts past `max_entries` cuts; see
+    /// [`CutSet::with_max_entries`].
+    pub fn with_max_entries(num_processes: usize, max_entries: u32) -> Self {
         CutMap64 {
-            pool: Pool::new(num_processes),
+            pool: Pool::with_max_entries(num_processes, max_entries),
             values: Vec::new(),
+            overflow: 0,
         }
+    }
+
+    /// `true` once an insert was refused because the map reached its
+    /// entry ceiling.
+    pub fn saturated(&self) -> bool {
+        self.pool.saturated
     }
 
     /// Looks up the cut, inserting `default` if absent. Returns whether
     /// the cut was newly inserted, and the (mutable) stored value.
+    ///
+    /// At the entry ceiling the cut is *not* stored: the call returns
+    /// `(false, scratch)` where the scratch value reads as `default`, and
+    /// [`saturated`](CutMap64::saturated) latches so the caller can abort
+    /// with a budget verdict instead of computing on a lie.
     #[inline]
     pub fn insert_or_get(&mut self, cut: &Cut, default: u64) -> (bool, &mut u64) {
         match self.pool.find(cut.counts()) {
@@ -432,12 +500,17 @@ impl CutMap64 {
                 self.pool.stats.hits += 1;
                 (false, &mut self.values[idx as usize])
             }
-            Err(slot) => {
-                let idx = self.pool.push(cut.counts(), slot);
-                debug_assert_eq!(idx as usize, self.values.len());
-                self.values.push(default);
-                (true, &mut self.values[idx as usize])
-            }
+            Err(slot) => match self.pool.push(cut.counts(), slot) {
+                EMPTY => {
+                    self.overflow = default;
+                    (false, &mut self.overflow)
+                }
+                idx => {
+                    debug_assert_eq!(idx as usize, self.values.len());
+                    self.values.push(default);
+                    (true, &mut self.values[idx as usize])
+                }
+            },
         }
     }
 
@@ -650,6 +723,51 @@ mod tests {
         assert_eq!(set.len(), 0);
         assert!(set.insert(&Cut::from(Vec::new())));
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn saturation_refuses_inserts_instead_of_wrapping() {
+        // A mocked 3-entry ceiling stands in for the real u32::MAX - 1
+        // one: the 4th distinct cut must be refused, never aliased onto
+        // the EMPTY sentinel.
+        let mut set = CutSet::with_max_entries(2, 3);
+        for a in 1..=3u32 {
+            assert!(set.insert(&Cut::from(vec![a, 1])));
+            assert!(!set.saturated());
+        }
+        assert!(!set.insert(&Cut::from(vec![4, 1])), "insert at cap");
+        assert!(set.saturated());
+        assert_eq!(set.insert_indexed(&Cut::from(vec![5, 1])), None);
+        assert_eq!(set.len(), 3);
+        // The refused cuts were dropped, not stored under a bogus index.
+        assert!(!set.contains(&Cut::from(vec![4, 1])));
+        assert!(!set.contains(&Cut::from(vec![5, 1])));
+        // Existing entries stay intact and re-findable.
+        for a in 1..=3u32 {
+            assert!(set.contains(&Cut::from(vec![a, 1])));
+            assert!(!set.insert(&Cut::from(vec![a, 1])));
+        }
+        // Reset clears the latch along with membership.
+        set.reset();
+        assert!(!set.saturated());
+        assert!(set.insert(&Cut::from(vec![4, 1])));
+    }
+
+    #[test]
+    fn saturated_map_hands_out_scratch_values() {
+        let mut map = CutMap64::with_max_entries(2, 2);
+        *map.insert_or_get(&Cut::from(vec![1, 1]), 10).1 = 11;
+        *map.insert_or_get(&Cut::from(vec![2, 1]), 20).1 = 21;
+        assert!(!map.saturated());
+        // Third distinct cut: refused, scratch reads as the default.
+        let (new, v) = map.insert_or_get(&Cut::from(vec![3, 1]), 30);
+        assert!(!new);
+        assert_eq!(*v, 30);
+        assert!(map.saturated());
+        assert_eq!(map.len(), 2);
+        // Stored values are untouched by the overflow traffic.
+        assert_eq!(*map.insert_or_get(&Cut::from(vec![1, 1]), 0).1, 11);
+        assert_eq!(*map.insert_or_get(&Cut::from(vec![2, 1]), 0).1, 21);
     }
 
     #[test]

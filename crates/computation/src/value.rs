@@ -92,6 +92,23 @@ impl Value {
         }
     }
 
+    /// The value's type as a short lowercase noun (`"int"`, `"bool"`,
+    /// `"pid"`), for error messages about runtime type mismatches.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Pid(_) => "pid",
+        }
+    }
+
+    /// `true` if `self` and `other` carry the same [`Value`] variant — the
+    /// type-compatibility check online observers run before accepting a
+    /// new observation for a declared variable.
+    pub fn same_type(self, other: Value) -> bool {
+        std::mem::discriminant(&self) == std::mem::discriminant(&other)
+    }
+
     /// Returns `true` if the value is "truthy": a true boolean or a non-zero
     /// integer. Process ids are never truthy.
     pub fn is_truthy(self) -> bool {

@@ -1,10 +1,20 @@
 //! Incremental (online) conjunctive slicing — the paper's future-work
 //! direction: update the slice as new events arrive instead of recomputing
 //! it from scratch.
+//!
+//! Besides the constraint edges (which are purely local for conjunctive
+//! predicates), the slicer maintains the *least-cut table* incrementally: a
+//! vector clock per event, extended in `O(n)` when the event is observed
+//! and repaired by a monotone worklist pass when a late message tightens
+//! the causal order. The clocks give an `O(1)` cycle check at
+//! [`message`](OnlineSlicer::message) time — a cyclic observation is
+//! rejected *before* it corrupts the history — and power the amortized
+//! `O(1)` checks of [`OnlineMonitor`](../../slicing_detect/struct.OnlineMonitor.html).
 
 use slicing_computation::{
-    BuildError, Computation, ComputationBuilder, EventId, ProcessId, Value, VarRef,
+    BuildError, Computation, ComputationBuilder, Cut, EventId, ProcessId, Value, VarRef,
 };
+use slicing_predicates::LocalPredicate;
 
 use crate::slice::{Edge, Node, Slice};
 
@@ -14,10 +24,18 @@ use crate::slice::{Edge, Node, Slice};
 /// message edges); the slicer maintains the conjunctive constraint edges
 /// *incrementally* — `O(1)` extra work per event, since the conjunctive
 /// slicer's edges are purely local (a false event points at its process
-/// successor). [`snapshot_computation`](OnlineSlicer::snapshot_computation) materializes the
-/// computation-so-far and its slice; treating the not-yet-followed last
-/// event of each process exactly like the offline slicer treats it keeps
-/// every snapshot equal to the offline result.
+/// successor) — together with a per-event vector clock (the least-cut
+/// table). [`snapshot_computation`](OnlineSlicer::snapshot_computation)
+/// materializes the computation-so-far and its slice; treating the
+/// not-yet-followed last event of each process exactly like the offline
+/// slicer treats it keeps every snapshot equal to the offline result.
+///
+/// Every observation is validated before it is recorded: assignments are
+/// type-checked against the declared initial value
+/// ([`BuildError::TypeMismatch`]), messages that would bend time are
+/// rejected with [`BuildError::CyclicOrder`] in `O(1)`, and watches
+/// registered after their process moved return [`BuildError::LateWatch`].
+/// A failed call leaves the observed history exactly as it was.
 ///
 /// # Examples
 ///
@@ -28,8 +46,8 @@ use crate::slice::{Edge, Node, Slice};
 /// let mut s = OnlineSlicer::new(2);
 /// let x = s.declare_var(0, "x", Value::Int(0))?;
 /// let y = s.declare_var(1, "y", Value::Int(0))?;
-/// s.watch_int(x, "x > 0", |v| v > 0);
-/// s.watch_int(y, "y > 0", |v| v > 0);
+/// s.watch_int(x, "x > 0", |v| v > 0)?;
+/// s.watch_int(y, "y > 0", |v| v > 0)?;
 /// s.observe(0, &[(x, Value::Int(1))])?;
 /// s.observe(1, &[(y, Value::Int(2))])?;
 /// let comp = s.snapshot_computation()?;
@@ -41,22 +59,50 @@ use crate::slice::{Edge, Node, Slice};
 pub struct OnlineSlicer {
     builder: ComputationBuilder,
     watches: Vec<Watch>,
+    /// Per process: whether at least one watch targets it.
+    watched: Vec<bool>,
     /// Constraint edges already finalized (their event has a successor, or
     /// the edge is local-false → successor pending).
     settled_edges: Vec<(EventId, EventId)>,
     /// Last event per process together with whether its conjuncts hold.
     frontier: Vec<(EventId, bool)>,
+    /// Per event: its vector clock — the least consistent cut containing
+    /// it. Kept current under late messages by [`propagate`](Self::propagate).
+    clocks: Vec<Cut>,
+    /// Per event: whether its process's conjuncts hold at it.
+    holds: Vec<bool>,
+    /// Per event: message edges out of it, for clock propagation.
+    msgs_out: Vec<Vec<EventId>>,
+    /// Bumped whenever a late message changes an already-assigned clock;
+    /// consumers cache it to know when cached consistency facts expire.
+    clock_revision: u64,
+    /// Scratch for the propagation worklist.
+    worklist: Vec<EventId>,
+    /// Scratch for an event's successors during propagation.
+    succ_scratch: Vec<EventId>,
+    /// Scratch for clause evaluation.
+    values_scratch: Vec<Value>,
 }
 
-struct Watch {
-    var: VarRef,
-    label: String,
-    f: Box<dyn Fn(Value) -> bool + Send + Sync>,
+enum Watch {
+    Var {
+        var: VarRef,
+        label: String,
+        f: Box<dyn Fn(Value) -> bool + Send + Sync>,
+    },
+    Clause(LocalPredicate),
 }
 
 impl std::fmt::Debug for Watch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Watch({} on {})", self.label, self.var.process())
+        match self {
+            Watch::Var { var, label, .. } => {
+                write!(f, "Watch({} on {})", label, var.process())
+            }
+            Watch::Clause(clause) => {
+                write!(f, "Watch({} on {})", clause.label(), clause.process())
+            }
+        }
     }
 }
 
@@ -69,14 +115,37 @@ impl OnlineSlicer {
     /// [`ComputationBuilder::new`].
     pub fn new(num_processes: usize) -> Self {
         let builder = ComputationBuilder::new(num_processes);
-        let frontier = (0..num_processes)
+        let frontier: Vec<(EventId, bool)> = (0..num_processes)
             .map(|i| (builder.event_at(ProcessId::new(i), 0), true))
             .collect();
-        OnlineSlicer {
+        let mut slicer = OnlineSlicer {
             builder,
             watches: Vec::new(),
+            watched: vec![false; num_processes],
             settled_edges: Vec::new(),
-            frontier,
+            frontier: frontier.clone(),
+            clocks: Vec::new(),
+            holds: Vec::new(),
+            msgs_out: Vec::new(),
+            clock_revision: 0,
+            worklist: Vec::new(),
+            succ_scratch: Vec::new(),
+            values_scratch: Vec::new(),
+        };
+        // Initial events sit in every consistent cut: clock = ⊥ (all ones).
+        for &(e, _) in &frontier {
+            slicer.ensure_slot(e);
+        }
+        slicer
+    }
+
+    fn ensure_slot(&mut self, e: EventId) {
+        let need = e.as_usize() + 1;
+        if self.clocks.len() < need {
+            let n = self.builder.num_processes();
+            self.clocks.resize_with(need, || Cut::bottom(n));
+            self.holds.resize(need, true);
+            self.msgs_out.resize_with(need, Vec::new);
         }
     }
 
@@ -97,104 +166,330 @@ impl OnlineSlicer {
         Ok(v)
     }
 
-    /// Adds a conjunct: the predicate being sliced is the conjunction of
-    /// all watches. Watches must be registered before the first `observe`
-    /// on the variable's process (so initial-event truth is tracked).
+    /// Adds an integer conjunct. See [`watch`](OnlineSlicer::watch).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the variable's process already observed real events.
+    /// Returns [`BuildError::TypeMismatch`] if `var` was not declared with
+    /// an integer initial value (so the closure can never see a non-integer
+    /// observation), or [`BuildError::LateWatch`] if the variable's process
+    /// already observed real events.
     pub fn watch_int(
         &mut self,
         var: VarRef,
         label: impl Into<String>,
         f: impl Fn(i64) -> bool + Send + Sync + 'static,
-    ) {
-        self.watch(var, label, move |v| f(v.expect_int()));
+    ) -> Result<(), BuildError> {
+        self.check_watch_type(var, "int", |v| matches!(v, Value::Int(_)))?;
+        self.watch(var, label, move |v| f(v.expect_int()))
     }
 
-    /// General form of [`watch_int`](OnlineSlicer::watch_int).
+    /// Adds a boolean conjunct. See [`watch`](OnlineSlicer::watch).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the variable's process already observed real events.
+    /// Returns [`BuildError::TypeMismatch`] if `var` was not declared with
+    /// a boolean initial value, or [`BuildError::LateWatch`] if the
+    /// variable's process already observed real events.
+    pub fn watch_bool(
+        &mut self,
+        var: VarRef,
+        label: impl Into<String>,
+        f: impl Fn(bool) -> bool + Send + Sync + 'static,
+    ) -> Result<(), BuildError> {
+        self.check_watch_type(var, "bool", |v| matches!(v, Value::Bool(_)))?;
+        self.watch(var, label, move |v| f(v.expect_bool()))
+    }
+
+    fn check_watch_type(
+        &self,
+        var: VarRef,
+        expected: &'static str,
+        ok: impl Fn(Value) -> bool,
+    ) -> Result<(), BuildError> {
+        let declared = self.builder.value_at(var, 0);
+        if ok(declared) {
+            Ok(())
+        } else {
+            Err(BuildError::TypeMismatch {
+                process: var.process(),
+                name: self.builder.var_name(var).to_owned(),
+                expected,
+                got: declared.type_name(),
+            })
+        }
+    }
+
+    /// Adds a conjunct: the predicate being sliced is the conjunction of
+    /// all watches. Watches must be registered before the first `observe`
+    /// on the variable's process (so initial-event truth is tracked).
+    ///
+    /// The closure receives whatever [`Value`] was observed; use
+    /// [`watch_int`](OnlineSlicer::watch_int) /
+    /// [`watch_bool`](OnlineSlicer::watch_bool) for typed variants that are
+    /// validated up front and can never see a wrong-typed value (every
+    /// observation is checked against the declared initial value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::LateWatch`] if the variable's process already
+    /// observed real events.
     pub fn watch(
         &mut self,
         var: VarRef,
         label: impl Into<String>,
         f: impl Fn(Value) -> bool + Send + Sync + 'static,
-    ) {
-        assert!(
-            self.builder.len(var.process()) == 1,
-            "watches must be registered before events of the process"
-        );
-        self.watches.push(Watch {
-            var,
-            label: label.into(),
-            f: Box::new(f),
-        });
+    ) -> Result<(), BuildError> {
+        self.register(
+            var.process(),
+            Watch::Var {
+                var,
+                label: label.into(),
+                f: Box::new(f),
+            },
+        )
+    }
+
+    /// Adds a whole local clause (possibly over several variables of one
+    /// process) as a conjunct — the bridge from
+    /// [`Conjunctive`](slicing_predicates::Conjunctive) specifications to
+    /// the online slicer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::LateWatch`] if the clause's process already
+    /// observed real events.
+    pub fn watch_clause(&mut self, clause: LocalPredicate) -> Result<(), BuildError> {
+        self.register(clause.process(), Watch::Clause(clause))
+    }
+
+    fn register(&mut self, p: ProcessId, w: Watch) -> Result<(), BuildError> {
+        if self.builder.len(p) != 1 {
+            return Err(BuildError::LateWatch { process: p });
+        }
+        self.watches.push(w);
+        self.watched[p.as_usize()] = true;
         // Re-evaluate the initial event's truth.
-        let p = var.process();
         let holds = self.holds_at_frontier(p);
-        let idx = p.as_usize();
-        self.frontier[idx].1 = holds;
+        self.frontier[p.as_usize()].1 = holds;
+        let init = self.builder.event_at(p, 0);
+        self.holds[init.as_usize()] = holds;
+        Ok(())
     }
 
-    fn holds_at_frontier(&self, p: ProcessId) -> bool {
+    fn holds_at_frontier(&mut self, p: ProcessId) -> bool {
         let pos = self.builder.len(p) - 1;
-        self.watches
-            .iter()
-            .filter(|w| w.var.process() == p)
-            .all(|w| {
-                let snapshot_value = self.builder_value(w.var, pos);
-                (w.f)(snapshot_value)
-            })
-    }
-
-    /// Reads the value of `var` at position `pos` from the builder's
-    /// snapshots by replaying declarations — the builder tracks snapshots
-    /// internally, so this just defers to the eventual computation. For
-    /// the frontier (the only position queried) the last assigned value is
-    /// what `observe` recorded.
-    fn builder_value(&self, var: VarRef, pos: u32) -> Value {
-        self.builder.value_at(var, pos)
+        for i in 0..self.watches.len() {
+            let ok = match &self.watches[i] {
+                Watch::Var { var, f, .. } if var.process() == p => {
+                    f(self.builder.value_at(*var, pos))
+                }
+                Watch::Clause(clause) if clause.process() == p => {
+                    self.values_scratch.clear();
+                    for &v in clause.vars() {
+                        self.values_scratch.push(self.builder.value_at(v, pos));
+                    }
+                    clause.eval_values(&self.values_scratch)
+                }
+                _ => true,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
     }
 
     /// Observes a new event on `process` with the given assignments.
     /// Returns the event id for later [`message`](OnlineSlicer::message)
     /// calls.
     ///
+    /// Assignments are validated *before* the event is recorded: a value
+    /// whose runtime type differs from the variable's declared initial
+    /// value is rejected with [`BuildError::TypeMismatch`], and an
+    /// assignment to another process's variable with
+    /// [`BuildError::StaleAssignment`]. On error no event is appended.
+    ///
     /// # Errors
     ///
-    /// Propagates builder errors (stale assignments).
+    /// [`BuildError::TypeMismatch`] / [`BuildError::StaleAssignment`], as
+    /// above.
     pub fn observe(
         &mut self,
         process: usize,
         assignments: &[(VarRef, Value)],
     ) -> Result<EventId, BuildError> {
         let p = self.builder.process(process);
+        for &(var, value) in assignments {
+            if var.process() != p {
+                return Err(BuildError::StaleAssignment {
+                    event: self.frontier[var.process().as_usize()].0,
+                });
+            }
+            let declared = self.builder.value_at(var, 0);
+            if !declared.same_type(value) {
+                return Err(BuildError::TypeMismatch {
+                    process: p,
+                    name: self.builder.var_name(var).to_owned(),
+                    expected: declared.type_name(),
+                    got: value.type_name(),
+                });
+            }
+        }
         let e = self.builder.append_event(p);
         for &(var, value) in assignments {
             self.builder.assign(e, var, value)?;
         }
+        // Clock: the previous frontier event's clock advanced by one step
+        // of `p` — message joins were already folded into the predecessor.
+        let pos = self.builder.position_of(e);
+        let (prev, prev_holds) = self.frontier[process];
+        self.ensure_slot(e);
+        let mut clock = self.clocks[prev.as_usize()].clone();
+        clock.set_count(p, pos + 1);
+        self.clocks[e.as_usize()] = clock;
         // The previous frontier event now has a successor: settle its edge
         // if its conjuncts were false.
-        let (prev, prev_holds) = self.frontier[process];
         if !prev_holds {
             self.settled_edges.push((e, prev));
         }
         let holds = self.holds_at_frontier(p);
+        self.holds[e.as_usize()] = holds;
         self.frontier[process] = (e, holds);
         Ok(e)
     }
 
-    /// Observes a message between two already-observed events.
+    /// Observes a batch of events, in order: each element is a process and
+    /// its assignments. Returns the new event ids.
     ///
     /// # Errors
     ///
-    /// Propagates [`BuildError`]s (self message, duplicates, ...).
+    /// Stops at the first failing observation (events observed before the
+    /// error remain part of the history, exactly as if
+    /// [`observe`](OnlineSlicer::observe) had been called in a loop).
+    pub fn observe_batch(
+        &mut self,
+        batch: &[(usize, Vec<(VarRef, Value)>)],
+    ) -> Result<Vec<EventId>, BuildError> {
+        let mut ids = Vec::with_capacity(batch.len());
+        for (process, assignments) in batch {
+            ids.push(self.observe(*process, assignments)?);
+        }
+        Ok(ids)
+    }
+
+    /// Observes a message between two already-observed events.
+    ///
+    /// A message that would create a causal cycle is rejected — in `O(1)`,
+    /// by a clock comparison — *before* anything is recorded, so
+    /// [`snapshot_computation`](OnlineSlicer::snapshot_computation) never
+    /// fails on a history this method accepted. Messages that arrive late
+    /// (after their endpoints gained successors) trigger a monotone
+    /// worklist repair of downstream clocks;
+    /// [`clock_revision`](OnlineSlicer::clock_revision) is bumped when any
+    /// clock actually changed.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::CyclicOrder`] for time-bending messages, plus the
+    /// builder's own validations (self messages, duplicates, initial
+    /// events).
     pub fn message(&mut self, send: EventId, recv: EventId) -> Result<(), BuildError> {
-        self.builder.message(send, recv)
+        if send.as_usize() < self.clocks.len() && recv.as_usize() < self.clocks.len() {
+            let sp = self.builder.process_of(send);
+            let rp = self.builder.process_of(recv);
+            // recv →* send iff send's clock already covers recv; initial
+            // events are left to the builder's own validation.
+            if sp != rp
+                && self.builder.position_of(send) >= 1
+                && self.builder.position_of(recv) >= 1
+                && self.clocks[send.as_usize()].count(rp) > self.builder.position_of(recv)
+            {
+                return Err(BuildError::CyclicOrder);
+            }
+        }
+        self.builder.message(send, recv)?;
+        self.msgs_out[send.as_usize()].push(recv);
+        self.propagate(send, recv);
+        Ok(())
+    }
+
+    /// Folds the new `send → recv` edge into downstream clocks: a monotone
+    /// worklist pass that touches only events whose clock actually grows.
+    fn propagate(&mut self, send: EventId, recv: EventId) {
+        if self.clocks[send.as_usize()].leq(&self.clocks[recv.as_usize()]) {
+            return; // the edge was already implied by the order so far
+        }
+        self.clock_revision += 1;
+        let src = self.clocks[send.as_usize()].clone();
+        self.clocks[recv.as_usize()].join_assign(&src);
+        self.worklist.clear();
+        self.worklist.push(recv);
+        while let Some(e) = self.worklist.pop() {
+            let p = self.builder.process_of(e);
+            let pos = self.builder.position_of(e);
+            self.succ_scratch.clear();
+            if pos + 1 < self.builder.len(p) {
+                self.succ_scratch.push(self.builder.event_at(p, pos + 1));
+            }
+            self.succ_scratch
+                .extend_from_slice(&self.msgs_out[e.as_usize()]);
+            for i in 0..self.succ_scratch.len() {
+                let s = self.succ_scratch[i];
+                if !self.clocks[e.as_usize()].leq(&self.clocks[s.as_usize()]) {
+                    let src = self.clocks[e.as_usize()].clone();
+                    self.clocks[s.as_usize()].join_assign(&src);
+                    self.worklist.push(s);
+                }
+            }
+        }
+    }
+
+    /// The number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.builder.num_processes()
+    }
+
+    /// Events observed on `process` so far, *including* the fictitious
+    /// initial event (so a fresh slicer reports 1 per process).
+    pub fn events_on(&self, process: usize) -> u32 {
+        self.builder.len(self.builder.process(process))
+    }
+
+    /// Total events observed, including the initial events.
+    pub fn num_events(&self) -> u32 {
+        (0..self.num_processes()).map(|i| self.events_on(i)).sum()
+    }
+
+    /// The event at `pos` on `process` (position 0 is the initial event).
+    pub fn event_at(&self, process: usize, pos: u32) -> EventId {
+        self.builder.event_at(self.builder.process(process), pos)
+    }
+
+    /// The vector clock of `e`: the least consistent cut containing it,
+    /// kept current as messages arrive. Equals
+    /// [`Computation::min_cut`](slicing_computation::Computation::min_cut)
+    /// of any snapshot.
+    pub fn clock(&self, e: EventId) -> &Cut {
+        &self.clocks[e.as_usize()]
+    }
+
+    /// Bumped whenever a late message changed an already-assigned clock.
+    /// Consumers caching consistency facts derived from clocks must
+    /// invalidate them when this moves.
+    pub fn clock_revision(&self) -> u64 {
+        self.clock_revision
+    }
+
+    /// Whether the conjuncts of `e`'s process hold at `e`.
+    pub fn event_holds(&self, e: EventId) -> bool {
+        self.holds[e.as_usize()]
+    }
+
+    /// Whether at least one watch targets `process`. Unwatched processes
+    /// hold vacuously-true conjuncts at every event.
+    pub fn is_watched(&self, process: usize) -> bool {
+        self.watched[process]
     }
 
     /// Materializes the computation observed so far. Pair with
@@ -203,7 +498,9 @@ impl OnlineSlicer {
     /// # Errors
     ///
     /// Returns [`BuildError::CyclicOrder`] if observed messages formed a
-    /// cycle.
+    /// cycle — unreachable for histories assembled through
+    /// [`message`](OnlineSlicer::message), which rejects such messages up
+    /// front.
     pub fn snapshot_computation(&self) -> Result<Computation, BuildError> {
         self.builder.clone().build()
     }
@@ -219,12 +516,9 @@ impl OnlineSlicer {
     ///
     /// Panics if `comp` has a different number of events than observed.
     pub fn slice_of<'a>(&self, comp: &'a Computation) -> Slice<'a> {
-        let observed: u32 = (0..self.builder.num_processes())
-            .map(|i| self.builder.len(ProcessId::new(i)))
-            .sum();
         assert_eq!(
             comp.num_events() as u32,
-            observed,
+            self.num_events(),
             "computation does not match the observed prefix"
         );
         let mut edges: Vec<Edge> = self
@@ -257,8 +551,8 @@ mod tests {
         let mut s = OnlineSlicer::new(2);
         let x = s.declare_var(0, "x", Value::Int(0)).unwrap();
         let y = s.declare_var(1, "y", Value::Int(1)).unwrap();
-        s.watch_int(x, "x > 0", |v| v > 0);
-        s.watch_int(y, "y > 0", |v| v > 0);
+        s.watch_int(x, "x > 0", |v| v > 0).unwrap();
+        s.watch_int(y, "y > 0", |v| v > 0).unwrap();
 
         let script: Vec<(usize, VarRef, i64)> =
             vec![(0, x, 1), (1, y, 0), (0, x, 0), (1, y, 2), (0, x, 3)];
@@ -299,7 +593,7 @@ mod tests {
     fn initial_false_watch_constrains_bottom() {
         let mut s = OnlineSlicer::new(1);
         let x = s.declare_var(0, "x", Value::Int(0)).unwrap();
-        s.watch_int(x, "x > 0", |v| v > 0);
+        s.watch_int(x, "x > 0", |v| v > 0).unwrap();
         // Initially false: with no events yet, the slice is empty.
         let comp = s.snapshot_computation().unwrap();
         assert!(s.slice_of(&comp).is_empty_slice());
@@ -310,11 +604,153 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before events")]
-    fn late_watch_rejected() {
+    fn late_watch_is_an_error_not_a_panic() {
         let mut s = OnlineSlicer::new(1);
         let x = s.declare_var(0, "x", Value::Int(0)).unwrap();
         s.observe(0, &[]).unwrap();
-        s.watch_int(x, "x > 0", |v| v > 0);
+        let err = s.watch_int(x, "x > 0", |v| v > 0).unwrap_err();
+        assert!(matches!(err, BuildError::LateWatch { .. }));
+        // The slicer stays usable.
+        s.observe(0, &[(x, Value::Int(1))]).unwrap();
+        assert_eq!(s.events_on(0), 3);
+    }
+
+    #[test]
+    fn mistyped_observation_is_rejected_without_corrupting_history() {
+        let mut s = OnlineSlicer::new(1);
+        let x = s.declare_var(0, "x", Value::Int(0)).unwrap();
+        s.watch_int(x, "x > 0", |v| v > 0).unwrap();
+        let err = s.observe(0, &[(x, Value::Bool(true))]).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::TypeMismatch {
+                expected: "int",
+                got: "bool",
+                ..
+            }
+        ));
+        // No half-observed event: the rejected observation left nothing.
+        assert_eq!(s.events_on(0), 1);
+        s.observe(0, &[(x, Value::Int(2))]).unwrap();
+        let comp = s.snapshot_computation().unwrap();
+        assert_eq!(comp.num_events(), 2);
+    }
+
+    #[test]
+    fn mistyped_watch_is_rejected_up_front() {
+        let mut s = OnlineSlicer::new(1);
+        let b = s.declare_var(0, "flag", Value::Bool(false)).unwrap();
+        let err = s.watch_int(b, "flag > 0", |v| v > 0).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::TypeMismatch {
+                expected: "int",
+                got: "bool",
+                ..
+            }
+        ));
+        let err = s.watch_bool(b, "flag", |v| v).err();
+        assert!(err.is_none());
+    }
+
+    #[test]
+    fn cyclic_message_is_rejected_in_constant_time() {
+        let mut s = OnlineSlicer::new(2);
+        let a1 = s.observe(0, &[]).unwrap();
+        let b1 = s.observe(1, &[]).unwrap();
+        let b2 = s.observe(1, &[]).unwrap();
+        s.message(a1, b1).unwrap();
+        // b2 follows b1 which follows a1: a message b2 → a1 bends time.
+        let err = s.message(b2, a1).unwrap_err();
+        assert_eq!(err, BuildError::CyclicOrder);
+        // Nothing was recorded: the snapshot still builds and has one message.
+        let comp = s.snapshot_computation().unwrap();
+        assert_eq!(comp.messages().len(), 1);
+    }
+
+    #[test]
+    fn clocks_equal_offline_min_cuts_even_with_late_messages() {
+        let mut s = OnlineSlicer::new(3);
+        let mut events = Vec::new();
+        for round in 0..4 {
+            for p in 0..3 {
+                events.push(s.observe(p, &[]).unwrap());
+            }
+            if round == 2 {
+                // Late cross-process messages between events observed long
+                // before: clocks must be repaired downstream.
+                s.message(events[0], events[4]).unwrap();
+                s.message(events[4], events[8]).unwrap();
+            }
+        }
+        s.message(events[1], events[9]).unwrap();
+        let comp = s.snapshot_computation().unwrap();
+        for e in comp.events() {
+            assert_eq!(
+                s.clock(e).counts(),
+                comp.min_cut(e).counts(),
+                "clock of {e} diverged from the offline least-cut table"
+            );
+        }
+        assert!(
+            s.clock_revision() > 0,
+            "late messages must bump the revision"
+        );
+    }
+
+    #[test]
+    fn observe_batch_matches_single_observes() {
+        let mut a = OnlineSlicer::new(2);
+        let xa = a.declare_var(0, "x", Value::Int(0)).unwrap();
+        let ya = a.declare_var(1, "y", Value::Int(0)).unwrap();
+        let ids = a
+            .observe_batch(&[
+                (0, vec![(xa, Value::Int(1))]),
+                (1, vec![(ya, Value::Int(2))]),
+                (0, vec![(xa, Value::Int(3))]),
+            ])
+            .unwrap();
+        assert_eq!(ids.len(), 3);
+        let mut b = OnlineSlicer::new(2);
+        let xb = b.declare_var(0, "x", Value::Int(0)).unwrap();
+        let yb = b.declare_var(1, "y", Value::Int(0)).unwrap();
+        b.observe(0, &[(xb, Value::Int(1))]).unwrap();
+        b.observe(1, &[(yb, Value::Int(2))]).unwrap();
+        b.observe(0, &[(xb, Value::Int(3))]).unwrap();
+        let ca = a.snapshot_computation().unwrap();
+        let cb = b.snapshot_computation().unwrap();
+        assert_eq!(ca.num_events(), cb.num_events());
+        let va = ca.var(ca.process(0), "x").unwrap();
+        let vb = cb.var(cb.process(0), "x").unwrap();
+        assert_eq!(ca.value_at(va, 2), cb.value_at(vb, 2));
+    }
+
+    #[test]
+    fn clause_watches_match_var_watches() {
+        let mut with_clause = OnlineSlicer::new(2);
+        let x = with_clause.declare_var(0, "x", Value::Int(0)).unwrap();
+        let y = with_clause.declare_var(1, "y", Value::Int(0)).unwrap();
+        with_clause
+            .watch_clause(LocalPredicate::int(x, "x > 0", |v| v > 0))
+            .unwrap();
+        with_clause
+            .watch_clause(LocalPredicate::int(y, "y > 0", |v| v > 0))
+            .unwrap();
+        let mut with_vars = OnlineSlicer::new(2);
+        let x2 = with_vars.declare_var(0, "x", Value::Int(0)).unwrap();
+        let y2 = with_vars.declare_var(1, "y", Value::Int(0)).unwrap();
+        with_vars.watch_int(x2, "x > 0", |v| v > 0).unwrap();
+        with_vars.watch_int(y2, "y > 0", |v| v > 0).unwrap();
+
+        for (p, var1, var2, val) in [(0, x, x2, 1), (1, y, y2, 0), (1, y, y2, 3)] {
+            with_clause.observe(p, &[(var1, Value::Int(val))]).unwrap();
+            with_vars.observe(p, &[(var2, Value::Int(val))]).unwrap();
+            let c1 = with_clause.snapshot_computation().unwrap();
+            let c2 = with_vars.snapshot_computation().unwrap();
+            assert_eq!(
+                all_cuts(&with_clause.slice_of(&c1)),
+                all_cuts(&with_vars.slice_of(&c2))
+            );
+        }
     }
 }

@@ -26,7 +26,10 @@
 //! union (Section 3.4).
 //!
 //! [`OnlineSlicer`] maintains a conjunctive slice incrementally as events
-//! arrive — the paper's future-work direction.
+//! arrive — the paper's future-work direction. Each observation updates a
+//! least-cut clock in O(n); messages (including late, out-of-order ones)
+//! re-time only the affected part of history, and cyclic ones are
+//! rejected in O(1) with a typed error.
 //!
 //! # Example: Figure 1
 //!

@@ -46,7 +46,9 @@ proptest! {
             .collect();
         for &v in &vars {
             let t = threshold;
-            online.watch_int(v, format!("x >= {t}"), move |x| x >= t);
+            online
+                .watch_int(v, format!("x >= {t}"), move |x| x >= t)
+                .expect("watch before events");
         }
 
         let mut pending_send: Option<(EventId, usize)> = None;
@@ -82,5 +84,101 @@ proptest! {
                 comp.num_events()
             );
         }
+    }
+}
+
+/// Wide scripts straddle the 16-process inline→spilled cut boundary, so the
+/// incremental clock table runs on heap-backed cuts too. Exhaustive cut
+/// enumeration is hopeless at this width; instead we compare the least-cut
+/// table (per-event clocks vs the offline `min_cut`) and the slice's
+/// structure (meta-events, least cut, emptiness) at every prefix.
+fn wide_scripts() -> impl Strategy<Value = (usize, Vec<Step>, i64, Vec<(usize, usize)>)> {
+    (15usize..=17).prop_flat_map(|n| {
+        let steps = prop::collection::vec(
+            (0..n, -1i64..=2, any::<bool>(), any::<bool>()).prop_map(
+                |(process, value, send, recv)| Step {
+                    process,
+                    value,
+                    send,
+                    recv,
+                },
+            ),
+            0..32,
+        );
+        // Late-message attempts between arbitrary earlier events, declared
+        // only after the whole script ran: out-of-order delivery.
+        let late = prop::collection::vec((0usize..32, 0usize..32), 0..6);
+        (Just(n), steps, 0i64..=2, late)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wide_online_matches_offline_structure((n, script, threshold, late) in wide_scripts()) {
+        let mut online = OnlineSlicer::new(n);
+        let vars: Vec<_> = (0..n)
+            .map(|i| online.declare_var(i, "x", Value::Int(0)).expect("fresh var"))
+            .collect();
+        for &v in &vars {
+            let t = threshold;
+            online
+                .watch_int(v, format!("x >= {t}"), move |x| x >= t)
+                .expect("watch before events");
+        }
+
+        let mut events: Vec<EventId> = Vec::new();
+        let mut pending_send: Option<(EventId, usize)> = None;
+        for step in &script {
+            let e = online
+                .observe(step.process, &[(vars[step.process], Value::Int(step.value))])
+                .expect("observe succeeds");
+            events.push(e);
+            match pending_send {
+                Some((send, from)) if step.recv && from != step.process => {
+                    online.message(send, e).expect("forward message");
+                    pending_send = None;
+                }
+                None if step.send => pending_send = Some((e, step.process)),
+                _ => {}
+            }
+        }
+        // Out-of-order deliveries between events observed long ago. The
+        // slicer must either reject them (cycles, duplicates, self
+        // messages) or fold them into the clock table; both paths leave
+        // the history consistent.
+        for &(i, j) in &late {
+            if i < events.len() && j < events.len() && i != j {
+                let _ = online.message(events[i], events[j]);
+            }
+        }
+
+        let comp = online.snapshot_computation().expect("acyclic history");
+        for e in comp.events() {
+            prop_assert_eq!(
+                online.clock(e).counts(),
+                comp.min_cut(e).counts(),
+                "clock of {} diverged from the offline least-cut table",
+                e
+            );
+        }
+
+        let online_slice = online.slice_of(&comp);
+        let clauses: Vec<LocalPredicate> = comp
+            .processes()
+            .map(|p| {
+                let x = comp.var(p, "x").unwrap();
+                let t = threshold;
+                LocalPredicate::int(x, format!("x >= {t}"), move |v| v >= t)
+            })
+            .collect();
+        let offline = slice_conjunctive(&comp, &Conjunctive::new(clauses));
+        prop_assert_eq!(online_slice.is_empty_slice(), offline.is_empty_slice());
+        prop_assert_eq!(online_slice.bottom_cut(), offline.bottom_cut());
+        for e in comp.events() {
+            prop_assert_eq!(online_slice.least_cut(e), offline.least_cut(e));
+        }
+        prop_assert_eq!(online_slice.meta_events(), offline.meta_events());
     }
 }

@@ -12,7 +12,7 @@ use std::time::Instant;
 use slicing_computation::{Computation, Cut, CutSet, CutSpace, GlobalState};
 use slicing_predicates::Predicate;
 
-use crate::metrics::{emit_visited_stats, Detection, Limits, Tracker};
+use crate::metrics::{emit_visited_stats, AbortReason, Detection, Limits, Tracker};
 
 /// Decides `definitely: pred` by searching for a `¬pred` path from the
 /// initial cut to the final cut: such a path exists iff the predicate is
@@ -36,8 +36,10 @@ pub fn detect_not_definitely<P: Predicate + ?Sized>(
     let bottom = Cut::bottom(n);
     // If the initial cut satisfies pred, every observation starts with a
     // satisfying cut: definitely holds, no counter-path exists.
-    if pred.eval(&GlobalState::new(comp, &bottom)) {
-        return tracker.finish(None, start.elapsed(), None);
+    match pred.try_eval(&GlobalState::new(comp, &bottom)) {
+        Ok(true) => return tracker.finish(None, start.elapsed(), None),
+        Ok(false) => {}
+        Err(_) => return tracker.finish(None, start.elapsed(), Some(AbortReason::PredicateError)),
     }
 
     let mut visited = CutSet::new(n);
@@ -49,7 +51,7 @@ pub fn detect_not_definitely<P: Predicate + ?Sized>(
     let mut succ = Vec::new();
     let mut found = None;
     let mut aborted = None;
-    while let Some(cut) = queue.pop_front() {
+    'search: while let Some(cut) = queue.pop_front() {
         tracker.cuts_explored += 1;
         if cut == top {
             // Reached the final cut through ¬pred cuts only.
@@ -63,13 +65,22 @@ pub fn detect_not_definitely<P: Predicate + ?Sized>(
         succ.clear();
         CutSpace::successors(comp, &cut, &mut succ);
         for next in succ.drain(..) {
-            if pred.eval(&GlobalState::new(comp, &next)) {
-                continue; // paths through satisfying cuts don't refute
+            match pred.try_eval(&GlobalState::new(comp, &next)) {
+                Ok(true) => continue, // paths through satisfying cuts don't refute
+                Ok(false) => {}
+                Err(_) => {
+                    aborted = Some(AbortReason::PredicateError);
+                    break 'search;
+                }
             }
             if visited.insert(&next) {
                 tracker.store_cut(entry_bytes);
                 queue.push_back(next);
             }
+        }
+        if visited.saturated() {
+            aborted = Some(AbortReason::ArenaFull);
+            break;
         }
     }
     emit_visited_stats(visited.stats());

@@ -8,7 +8,7 @@ use std::time::Instant;
 use slicing_computation::{Computation, CutSet, CutSpace, GlobalState};
 use slicing_predicates::Predicate;
 
-use crate::metrics::{emit_visited_stats, Detection, Limits, Tracker};
+use crate::metrics::{emit_visited_stats, AbortReason, Detection, Limits, Tracker};
 
 /// How often (in explored cuts) the enumeration engines sample their
 /// frontier/visited gauges. Sampling keeps the Trace-level stream bounded
@@ -28,6 +28,22 @@ pub fn detect_bfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
     pred: &P,
     limits: &Limits,
 ) -> Detection {
+    detect_bfs_capped(space, comp, pred, limits, u32::MAX - 1)
+}
+
+/// [`detect_bfs`] with an explicit visited-set entry ceiling.
+///
+/// The public entry point uses the containers' natural `u32::MAX - 1`
+/// ceiling; unit tests mock a tiny one to pin the
+/// [`AbortReason::ArenaFull`] guard path without inserting four billion
+/// cuts.
+pub(crate) fn detect_bfs_capped<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+    max_entries: u32,
+) -> Detection {
     let _span = slicing_observe::span("detect.bfs");
     let start = Instant::now();
     let mut tracker = Tracker::default();
@@ -40,7 +56,7 @@ pub fn detect_bfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
     // The frontier holds 4-byte arena indices into the visited set — every
     // enqueued cut is in the arena already, so queueing whole `Cut`s would
     // only memcpy the same counts a second time.
-    let mut visited = CutSet::new(space.num_processes());
+    let mut visited = CutSet::with_max_entries(space.num_processes(), max_entries);
     let mut queue: VecDeque<u32> = VecDeque::new();
     let bottom_idx = visited.insert_indexed(&bottom).expect("empty set");
     tracker.store_cut(entry_bytes);
@@ -58,9 +74,16 @@ pub fn detect_bfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
             slicing_observe::gauge("detect.bfs.frontier", queue.len() as u64);
             slicing_observe::gauge("detect.bfs.visited", visited.len() as u64);
         }
-        if pred.eval(&GlobalState::new(comp, &cut)) {
-            found = Some(cut);
-            break;
+        match pred.try_eval(&GlobalState::new(comp, &cut)) {
+            Ok(true) => {
+                found = Some(cut);
+                break;
+            }
+            Ok(false) => {}
+            Err(_) => {
+                aborted = Some(AbortReason::PredicateError);
+                break;
+            }
         }
         if let Some(reason) = tracker.over_limit(limits, start) {
             aborted = Some(reason);
@@ -73,6 +96,13 @@ pub fn detect_bfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
                 tracker.charge(entry_bytes);
             }
         });
+        if visited.saturated() {
+            // A refused insert means unseen successors were dropped: the
+            // sweep can no longer prove absence, so stop with a budget
+            // verdict instead of silently under-exploring.
+            aborted = Some(AbortReason::ArenaFull);
+            break;
+        }
     }
     emit_visited_stats(visited.stats());
     tracker.finish(found, start.elapsed(), aborted)
@@ -116,9 +146,16 @@ pub fn detect_dfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
             slicing_observe::gauge("detect.dfs.frontier", stack.len() as u64);
             slicing_observe::gauge("detect.dfs.visited", visited.len() as u64);
         }
-        if pred.eval(&GlobalState::new(comp, &cut)) {
-            found = Some(cut);
-            break;
+        match pred.try_eval(&GlobalState::new(comp, &cut)) {
+            Ok(true) => {
+                found = Some(cut);
+                break;
+            }
+            Ok(false) => {}
+            Err(_) => {
+                aborted = Some(AbortReason::PredicateError);
+                break;
+            }
         }
         if let Some(reason) = tracker.over_limit(limits, start) {
             aborted = Some(reason);
@@ -131,6 +168,10 @@ pub fn detect_dfs<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
                 tracker.charge(entry_bytes);
             }
         });
+        if visited.saturated() {
+            aborted = Some(AbortReason::ArenaFull);
+            break;
+        }
     }
     emit_visited_stats(visited.stats());
     tracker.finish(found, start.elapsed(), aborted)
@@ -225,6 +266,44 @@ mod tests {
         let d = detect_bfs(&comp, &comp, &pred, &Limits::cuts(5));
         assert_eq!(d.aborted, Some(crate::AbortReason::CutLimit));
         assert!(d.cuts_explored <= 7);
+    }
+
+    #[test]
+    fn arena_full_aborts_instead_of_wrapping() {
+        // A mocked 4-entry visited-set ceiling stands in for the real
+        // u32::MAX - 1: the sweep must stop with a budget verdict, never
+        // report "not detected" off a silently truncated search.
+        let comp = grid(6, 6);
+        let pred = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        let d = detect_bfs_capped(&comp, &comp, &pred, &Limits::none(), 4);
+        assert!(!d.detected());
+        assert!(!d.completed());
+        assert_eq!(d.aborted, Some(crate::AbortReason::ArenaFull));
+        assert!(d.cuts_explored <= 5);
+        // A witness inside the budget is still found and completes.
+        let hit = FnPredicate::new(ProcSet::all(2), "true", |_| true);
+        let d = detect_bfs_capped(&comp, &comp, &hit, &Limits::none(), 4);
+        assert!(d.detected());
+        assert!(d.completed());
+    }
+
+    #[test]
+    fn predicate_error_aborts_bfs_and_dfs() {
+        use slicing_computation::{ComputationBuilder, Value};
+        // x declared Int, flipped to Bool: the expression errors at the
+        // second cut of the sweep.
+        let mut b = ComputationBuilder::new(1);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        b.step(b.process(0), &[(x, Value::Bool(true))]);
+        let comp = b.build().unwrap();
+        let pred = parse_predicate(&comp, "x@0 > 1").unwrap();
+        for d in [
+            detect_bfs(&comp, &comp, &pred, &Limits::none()),
+            detect_dfs(&comp, &comp, &pred, &Limits::none()),
+        ] {
+            assert!(!d.detected());
+            assert_eq!(d.aborted, Some(crate::AbortReason::PredicateError));
+        }
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use metrics::{AbortReason, Detection, Limits};
 pub use modalities::{
     controllable, detect_controllable, invariant, invariant_lean, invariant_via_slicing,
 };
-pub use monitor::OnlineMonitor;
+pub use monitor::{MonitorStats, OnlineMonitor};
 pub use parallel::detect_bfs_parallel;
 pub use pom::detect_pom;
 pub use resilient::{detect_resilient, Engine, ResilientConfig, ResilientDetection};

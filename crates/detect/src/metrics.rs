@@ -21,6 +21,16 @@ pub enum AbortReason {
     LiveCutLimit,
     /// Wall-clock time exceeded [`Limits::max_elapsed`].
     Deadline,
+    /// A pooled visited set reached its `u32` index ceiling and refused
+    /// further inserts. The search cannot continue soundly (unseen cuts
+    /// would alias seen ones), so the run stops with a budget-exhausted
+    /// verdict rather than ever producing a wrong answer.
+    ArenaFull,
+    /// The predicate hit a runtime evaluation error (a variable changed
+    /// type mid-computation, or an expression produced a non-boolean).
+    /// Any witness found *before* the error is still genuine; a "not
+    /// detected" sweep that crossed an error is downgraded to this abort.
+    PredicateError,
 }
 
 impl fmt::Display for AbortReason {
@@ -30,6 +40,8 @@ impl fmt::Display for AbortReason {
             AbortReason::CutLimit => f.write_str("explored-cut limit exceeded"),
             AbortReason::LiveCutLimit => f.write_str("live-cut limit exceeded"),
             AbortReason::Deadline => f.write_str("deadline exceeded"),
+            AbortReason::ArenaFull => f.write_str("visited-set index space exhausted"),
+            AbortReason::PredicateError => f.write_str("predicate evaluation error"),
         }
     }
 }
@@ -193,6 +205,8 @@ impl Detection {
                     AbortReason::CutLimit => "cuts",
                     AbortReason::LiveCutLimit => "live-cuts",
                     AbortReason::Deadline => "deadline",
+                    AbortReason::ArenaFull => "arena-full",
+                    AbortReason::PredicateError => "predicate",
                 }),
             );
         let phases = self

@@ -18,7 +18,7 @@ use slicing_computation::{Computation, Cut, CutSet, CutSpace, GlobalState};
 use slicing_core::PredicateSpec;
 use slicing_predicates::Predicate;
 
-use crate::metrics::{emit_visited_stats, Detection, Limits, Tracker};
+use crate::metrics::{emit_visited_stats, AbortReason, Detection, Limits, Tracker};
 use crate::slicing::detect_with_slicing;
 
 /// Decides `invariant: b` by slicing and searching its complement
@@ -95,6 +95,13 @@ impl<P: Predicate + ?Sized> Predicate for Negated<'_, P> {
     fn eval(&self, state: &GlobalState<'_>) -> bool {
         !self.0.eval(state)
     }
+
+    fn try_eval(
+        &self,
+        state: &GlobalState<'_>,
+    ) -> Result<bool, slicing_predicates::expr::EvalError> {
+        self.0.try_eval(state).map(|b| !b)
+    }
 }
 
 /// Detects `controllable: b`: searches for a path from the initial cut to
@@ -114,9 +121,11 @@ pub fn detect_controllable<P: Predicate + ?Sized>(
     let top = comp.top_cut();
 
     let bottom = Cut::bottom(n);
-    if !pred.eval(&GlobalState::new(comp, &bottom)) {
+    match pred.try_eval(&GlobalState::new(comp, &bottom)) {
+        Ok(true) => {}
         // Every observation starts at the initial cut.
-        return tracker.finish(None, start.elapsed(), None);
+        Ok(false) => return tracker.finish(None, start.elapsed(), None),
+        Err(_) => return tracker.finish(None, start.elapsed(), Some(AbortReason::PredicateError)),
     }
 
     let mut visited = CutSet::new(n);
@@ -128,7 +137,7 @@ pub fn detect_controllable<P: Predicate + ?Sized>(
     let mut succ = Vec::new();
     let mut found = None;
     let mut aborted = None;
-    while let Some(cut) = queue.pop_front() {
+    'search: while let Some(cut) = queue.pop_front() {
         tracker.cuts_explored += 1;
         if cut == top {
             found = Some(cut);
@@ -141,13 +150,22 @@ pub fn detect_controllable<P: Predicate + ?Sized>(
         succ.clear();
         CutSpace::successors(comp, &cut, &mut succ);
         for next in succ.drain(..) {
-            if !pred.eval(&GlobalState::new(comp, &next)) {
-                continue;
+            match pred.try_eval(&GlobalState::new(comp, &next)) {
+                Ok(true) => {}
+                Ok(false) => continue,
+                Err(_) => {
+                    aborted = Some(AbortReason::PredicateError);
+                    break 'search;
+                }
             }
             if visited.insert(&next) {
                 tracker.store_cut(entry_bytes);
                 queue.push_back(next);
             }
+        }
+        if visited.saturated() {
+            aborted = Some(AbortReason::ArenaFull);
+            break;
         }
     }
     emit_visited_stats(visited.stats());

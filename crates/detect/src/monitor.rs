@@ -7,22 +7,65 @@
 //! a *conjunction of local predicates* (e.g. "no process holds the token",
 //! or any single clause of a CNF invariant — run one monitor per clause
 //! for full CNF coverage).
+//!
+//! Checks are incremental in the weak-conjunctive-predicate style: each
+//! watched process keeps a FIFO queue of *candidate* positions (events
+//! where its conjuncts hold); a check only re-examines heads whose queue
+//! changed since the previous check (plus everything, once, after a late
+//! message re-times the history). Each candidate is eliminated at most
+//! once ever, so for a fixed number of processes the per-event check cost
+//! is amortized `O(1)` — *independent of the history length* — and the
+//! steady state allocates no cut storage at all.
 
-use slicing_computation::{BuildError, Computation, Cut, EventId, GlobalState, Value, VarRef};
+use std::collections::VecDeque;
+
+use slicing_computation::{
+    BuildError, Computation, Cut, EventId, GlobalState, ProcessId, Value, VarRef,
+};
 use slicing_core::OnlineSlicer;
-use slicing_predicates::Predicate;
+use slicing_predicates::{LocalPredicate, Predicate};
 
 use crate::enumerate::detect_bfs;
 use crate::metrics::{Detection, Limits};
+
+/// Deterministic counters describing a monitor's work so far. Every field
+/// is a pure event/probe count — no wall-clock — so the numbers are
+/// reproducible run-to-run and can gate CI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Events observed (excluding the fictitious initial events).
+    pub events: u64,
+    /// Messages recorded.
+    pub messages: u64,
+    /// Calls to [`check`](OnlineMonitor::check) /
+    /// [`check_detailed`](OnlineMonitor::check_detailed).
+    pub checks: u64,
+    /// Distinct alarms reported.
+    pub alarms: u64,
+    /// Total check work: candidate-pair probes plus alarm joins, summed
+    /// over all checks. The amortized-`O(1)` claim is about this counter:
+    /// it grows linearly in events observed, not quadratically.
+    pub check_cost: u64,
+    /// The work of the most recent check alone.
+    pub last_check_cost: u64,
+    /// Candidate cuts unlocked by observations: events whose local
+    /// conjuncts held when observed on a watched process.
+    pub delta_cuts: u64,
+    /// Peak number of simultaneously queued candidates.
+    pub peak_candidates: u64,
+}
 
 /// An online monitor for a conjunctive global fault.
 ///
 /// Feed events and messages as they are observed;
 /// [`check`](OnlineMonitor::check) reports the earliest consistent cut of
-/// the observed history that satisfies every watched conjunct, if any. The
-/// constraint edges are maintained incrementally (`O(1)` per event); each
-/// check costs one least-cut-table rebuild plus a search of the (usually
-/// tiny or empty) slice.
+/// the observed history that satisfies every watched conjunct, if any.
+/// Both the constraint edges and the least-cut table are maintained
+/// incrementally by the underlying [`OnlineSlicer`], and each check
+/// examines only the *delta* since the last check — new candidate events
+/// and the eliminations they trigger — so steady-state monitoring costs
+/// amortized `O(1)` per event and performs no cut allocations (for up to
+/// 16 processes, where cuts are stored inline).
 ///
 /// `possibly: fault` over a growing history is monotone — once a
 /// satisfying cut exists it exists forever — so the earliest witness is
@@ -41,8 +84,8 @@ use crate::metrics::{Detection, Limits};
 /// let mut m = OnlineMonitor::new(2);
 /// let a = m.declare_var(0, "up", Value::Bool(true))?;
 /// let b = m.declare_var(1, "up", Value::Bool(true))?;
-/// m.watch(a, "!up_0", |v| !v.expect_bool());
-/// m.watch(b, "!up_1", |v| !v.expect_bool());
+/// m.watch_bool(a, "!up_0", |v| !v)?;
+/// m.watch_bool(b, "!up_1", |v| !v)?;
 ///
 /// m.observe(0, &[(a, Value::Bool(false))])?;
 /// assert!(m.check()?.is_none()); // p1 still up
@@ -53,8 +96,26 @@ use crate::metrics::{Detection, Limits};
 #[derive(Debug)]
 pub struct OnlineMonitor {
     slicer: OnlineSlicer,
+    /// Per process: queued candidate positions — events whose local
+    /// conjuncts hold, in observation order. Only consulted for watched
+    /// processes. Each position enters and leaves its queue at most once.
+    queues: Vec<VecDeque<u32>>,
+    /// Per process: whether its queue head changed since the last settle.
+    dirty: Vec<bool>,
+    /// Whether any queue head changed since the last settle.
+    dirty_any: bool,
+    /// The slicer's clock revision at the last settle; a bump means late
+    /// messages re-timed history and cached consistency facts expired.
+    seen_revision: u64,
+    /// The settled verdict: the least satisfying cut of the history so
+    /// far, if any. Valid while `!dirty_any` and the revision is unchanged.
+    current_alarm: Option<Cut>,
+    /// Scratch cut for the alarm join; reused across checks so the warm
+    /// path allocates nothing.
+    alarm_scratch: Cut,
     /// Cuts already reported; `check` returns each alarm once.
     last_alarm: Option<Cut>,
+    stats: MonitorStats,
 }
 
 impl OnlineMonitor {
@@ -67,7 +128,15 @@ impl OnlineMonitor {
     pub fn new(num_processes: usize) -> Self {
         OnlineMonitor {
             slicer: OnlineSlicer::new(num_processes),
+            // Initial events hold vacuously until a watch says otherwise.
+            queues: (0..num_processes).map(|_| VecDeque::from([0u32])).collect(),
+            dirty: vec![true; num_processes],
+            dirty_any: true,
+            seen_revision: 0,
+            current_alarm: None,
+            alarm_scratch: Cut::bottom(num_processes),
             last_alarm: None,
+            stats: MonitorStats::default(),
         }
     }
 
@@ -87,44 +156,159 @@ impl OnlineMonitor {
 
     /// Adds a conjunct of the fault predicate.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the variable's process already observed events.
+    /// Returns [`BuildError::LateWatch`] if the variable's process already
+    /// observed events; the history is left untouched.
     pub fn watch(
         &mut self,
         var: VarRef,
         label: impl Into<String>,
         f: impl Fn(Value) -> bool + Send + Sync + 'static,
-    ) {
-        self.slicer.watch(var, label, f);
+    ) -> Result<(), BuildError> {
+        let p = var.process().as_usize();
+        self.slicer.watch(var, label, f)?;
+        self.rescan_initial(p);
+        Ok(())
     }
 
-    /// Records a new event with its variable writes.
+    /// Adds an integer conjunct, validated against the declared type up
+    /// front so the closure can never observe a non-integer value.
     ///
     /// # Errors
     ///
-    /// Propagates builder errors.
+    /// [`BuildError::TypeMismatch`] for a non-integer variable,
+    /// [`BuildError::LateWatch`] after the process's first event.
+    pub fn watch_int(
+        &mut self,
+        var: VarRef,
+        label: impl Into<String>,
+        f: impl Fn(i64) -> bool + Send + Sync + 'static,
+    ) -> Result<(), BuildError> {
+        let p = var.process().as_usize();
+        self.slicer.watch_int(var, label, f)?;
+        self.rescan_initial(p);
+        Ok(())
+    }
+
+    /// Adds a boolean conjunct, validated against the declared type up
+    /// front so the closure can never observe a non-boolean value.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::TypeMismatch`] for a non-boolean variable,
+    /// [`BuildError::LateWatch`] after the process's first event.
+    pub fn watch_bool(
+        &mut self,
+        var: VarRef,
+        label: impl Into<String>,
+        f: impl Fn(bool) -> bool + Send + Sync + 'static,
+    ) -> Result<(), BuildError> {
+        let p = var.process().as_usize();
+        self.slicer.watch_bool(var, label, f)?;
+        self.rescan_initial(p);
+        Ok(())
+    }
+
+    /// Adds a whole local clause (possibly over several variables of one
+    /// process) as a conjunct — the bridge from CNF specifications.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::LateWatch`] if the clause's process already
+    /// observed events.
+    pub fn watch_clause(&mut self, clause: LocalPredicate) -> Result<(), BuildError> {
+        let p = clause.process().as_usize();
+        self.slicer.watch_clause(clause)?;
+        self.rescan_initial(p);
+        Ok(())
+    }
+
+    /// A new watch may flip the initial event's truth; rebuild the (at
+    /// most one-element) queue and force a re-settle.
+    fn rescan_initial(&mut self, process: usize) {
+        self.queues[process].clear();
+        let init = self.slicer.event_at(process, 0);
+        if self.slicer.event_holds(init) {
+            self.queues[process].push_back(0);
+        }
+        for d in &mut self.dirty {
+            *d = true;
+        }
+        self.dirty_any = true;
+    }
+
+    /// Records a new event with its variable writes. `O(1)` monitor work
+    /// on top of the slicer's clock extension: if the event's conjuncts
+    /// hold it joins its process's candidate queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the slicer's validation errors
+    /// ([`BuildError::TypeMismatch`], [`BuildError::StaleAssignment`]);
+    /// on error nothing is recorded.
     pub fn observe(
         &mut self,
         process: usize,
         assignments: &[(VarRef, Value)],
     ) -> Result<EventId, BuildError> {
-        if !slicing_observe::enabled(slicing_observe::Level::Trace) {
-            return self.slicer.observe(process, assignments);
+        let timed = slicing_observe::enabled(slicing_observe::Level::Trace);
+        let t0 = timed.then(std::time::Instant::now);
+        let e = self.slicer.observe(process, assignments)?;
+        self.stats.events += 1;
+        slicing_observe::counter("monitor.events", 1);
+        if self.slicer.is_watched(process) && self.slicer.event_holds(e) {
+            let pos = self.slicer.events_on(process) - 1;
+            if self.queues[process].is_empty() {
+                // The head changed: the settled verdict may be stale.
+                self.dirty[process] = true;
+                self.dirty_any = true;
+            }
+            self.queues[process].push_back(pos);
+            self.stats.delta_cuts += 1;
+            slicing_observe::counter("monitor.delta_cuts", 1);
+            let queued: u64 = self.queues.iter().map(|q| q.len() as u64).sum();
+            if queued > self.stats.peak_candidates {
+                self.stats.peak_candidates = queued;
+                slicing_observe::gauge("monitor.peak_candidates", queued);
+            }
         }
-        let t0 = std::time::Instant::now();
-        let id = self.slicer.observe(process, assignments);
-        slicing_observe::gauge("monitor.observe_nanos", t0.elapsed().as_nanos() as u64);
-        id
+        if let Some(t0) = t0 {
+            slicing_observe::gauge("monitor.observe_nanos", t0.elapsed().as_nanos() as u64);
+        }
+        Ok(e)
+    }
+
+    /// Observes a batch of events in order; each element is a process and
+    /// its assignments. Returns the new event ids.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing observation; earlier events of the batch
+    /// remain part of the history.
+    pub fn observe_batch(
+        &mut self,
+        batch: &[(usize, Vec<(VarRef, Value)>)],
+    ) -> Result<Vec<EventId>, BuildError> {
+        let mut ids = Vec::with_capacity(batch.len());
+        for (process, assignments) in batch {
+            ids.push(self.observe(*process, assignments)?);
+        }
+        Ok(ids)
     }
 
     /// Records a message between two observed events.
     ///
     /// # Errors
     ///
-    /// Propagates builder errors (duplicates, self-messages).
+    /// [`BuildError::CyclicOrder`] for a time-bending message (rejected in
+    /// `O(1)` before anything is recorded), plus the builder's own
+    /// validations (duplicates, self-messages).
     pub fn message(&mut self, send: EventId, recv: EventId) -> Result<(), BuildError> {
-        self.slicer.message(send, recv)
+        self.slicer.message(send, recv)?;
+        self.stats.messages += 1;
+        slicing_observe::counter("monitor.messages", 1);
+        Ok(())
     }
 
     /// Checks the observed history: returns the earliest consistent cut
@@ -133,38 +317,161 @@ impl OnlineMonitor {
     ///
     /// # Errors
     ///
-    /// Returns [`BuildError::CyclicOrder`] if observed messages formed a
-    /// cycle.
+    /// Never fails on a history assembled through this monitor (cyclic
+    /// messages are rejected at [`message`](OnlineMonitor::message) time);
+    /// the `Result` is kept for interface stability.
     pub fn check(&mut self) -> Result<Option<Cut>, BuildError> {
         Ok(self.check_detailed()?.found)
     }
 
-    /// [`check`](OnlineMonitor::check) with full search metrics.
+    /// [`check`](OnlineMonitor::check) with full search metrics:
+    /// `cuts_explored` counts candidate probes and alarm joins this check
+    /// performed, `max_stored_cuts` the candidates currently queued.
     ///
     /// # Errors
     ///
-    /// Returns [`BuildError::CyclicOrder`] if observed messages formed a
-    /// cycle.
+    /// Never fails on a history assembled through this monitor; see
+    /// [`check`](OnlineMonitor::check).
     pub fn check_detailed(&mut self) -> Result<Detection, BuildError> {
         let _span = slicing_observe::span("monitor.check");
         let timed = slicing_observe::enabled(slicing_observe::Level::Trace);
         let t0 = timed.then(std::time::Instant::now);
-        let comp = self.slicer.snapshot_computation()?;
-        let slice = self.slicer.slice_of(&comp);
-        // The slice of a conjunctive predicate is lean: its bottom cut, if
-        // any, already satisfies the fault. Searching keeps the metrics
-        // honest and reuses the dedup against last_alarm.
-        let mut outcome = detect_bfs(&slice, &comp, &LeanTrue, &Limits::none());
-        if outcome.found.is_some() && outcome.found == self.last_alarm {
-            outcome.found = None;
-        } else if outcome.found.is_some() {
-            self.last_alarm.clone_from(&outcome.found);
-            slicing_observe::counter("monitor.alarms", 1);
+        let start = std::time::Instant::now();
+
+        if self.slicer.clock_revision() != self.seen_revision {
+            // Late messages re-timed history: cached consistency facts are
+            // void. Re-probe every watched head.
+            self.seen_revision = self.slicer.clock_revision();
+            for d in &mut self.dirty {
+                *d = true;
+            }
+            self.dirty_any = true;
         }
+        let work = if self.dirty_any { self.settle() } else { 0 };
+
+        self.stats.checks += 1;
+        self.stats.check_cost += work;
+        self.stats.last_check_cost = work;
+        slicing_observe::counter("monitor.check_cost", work);
+
+        let found = if self.current_alarm.is_some() && self.current_alarm != self.last_alarm {
+            self.last_alarm.clone_from(&self.current_alarm);
+            self.stats.alarms += 1;
+            slicing_observe::counter("monitor.alarms", 1);
+            self.current_alarm.clone()
+        } else {
+            None
+        };
+        let max_stored_cuts = self.queues.iter().map(|q| q.len() as u64).sum();
         if let Some(t0) = t0 {
             slicing_observe::gauge("monitor.check_nanos", t0.elapsed().as_nanos() as u64);
         }
-        Ok(outcome)
+        Ok(Detection {
+            found,
+            cuts_explored: work,
+            max_stored_cuts,
+            peak_bytes: 0,
+            elapsed: start.elapsed(),
+            aborted: None,
+            phases: Vec::new(),
+        })
+    }
+
+    /// Candidate elimination à la weak-conjunctive-predicate detection:
+    /// pop queue heads that can never front a satisfying consistent cut,
+    /// until the heads are mutually consistent (alarm: their clocks' join
+    /// is the least satisfying cut) or some watched queue runs dry (no
+    /// alarm yet). Only dirty heads are probed; each elimination is
+    /// permanent, so total work is linear in candidates ever queued.
+    /// Returns the number of probes + joins performed.
+    fn settle(&mut self) -> u64 {
+        let n = self.slicer.num_processes();
+        let mut work = 0u64;
+        'outer: loop {
+            for p in 0..n {
+                if self.slicer.is_watched(p) && self.queues[p].is_empty() {
+                    // Some conjunct has no viable candidate: no satisfying
+                    // cut exists yet. New candidates re-dirty the process.
+                    for d in &mut self.dirty {
+                        *d = false;
+                    }
+                    self.dirty_any = false;
+                    self.current_alarm = None;
+                    return work;
+                }
+            }
+            for p in 0..n {
+                if !self.dirty[p] || !self.slicer.is_watched(p) {
+                    continue;
+                }
+                let head_p = *self.queues[p].front().expect("checked non-empty");
+                let e_p = self.slicer.event_at(p, head_p);
+                for q in 0..n {
+                    if q == p || !self.slicer.is_watched(q) {
+                        continue;
+                    }
+                    let head_q = *self.queues[q].front().expect("checked non-empty");
+                    let e_q = self.slicer.event_at(q, head_q);
+                    work += 2;
+                    // e_q happened before e_p: every cut containing e_p has
+                    // its q-frontier strictly after e_q, so e_q can never
+                    // front a satisfying cut. The pop is permanent — clocks
+                    // only grow, so the inequality can only strengthen.
+                    if self.slicer.clock(e_p).count(ProcessId::new(q)) > head_q + 1 {
+                        self.queues[q].pop_front();
+                        self.dirty[q] = true;
+                        continue 'outer;
+                    }
+                    if self.slicer.clock(e_q).count(ProcessId::new(p)) > head_p + 1 {
+                        self.queues[p].pop_front();
+                        continue 'outer;
+                    }
+                }
+                self.dirty[p] = false;
+            }
+            break;
+        }
+        // All watched heads are mutually consistent: the join of their
+        // clocks is the least consistent cut satisfying every conjunct.
+        work += 1;
+        for p in 0..n {
+            self.alarm_scratch.set_count(ProcessId::new(p), 1);
+        }
+        for p in 0..n {
+            if !self.slicer.is_watched(p) {
+                continue;
+            }
+            let head = *self.queues[p].front().expect("checked non-empty");
+            let e = self.slicer.event_at(p, head);
+            self.alarm_scratch.join_assign(self.slicer.clock(e));
+        }
+        match &mut self.current_alarm {
+            Some(cut) => cut.clone_from(&self.alarm_scratch),
+            None => self.current_alarm = Some(self.alarm_scratch.clone()),
+        }
+        self.dirty_any = false;
+        work
+    }
+
+    /// Deterministic work counters accumulated so far.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// Reference check: materializes the history, slices it, and searches
+    /// the slice with the offline engine — no incremental state, no alarm
+    /// dedup. Used by differential tests to pin
+    /// [`check`](OnlineMonitor::check) to the offline semantics; costs
+    /// `O(history)` per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::CyclicOrder`] if observed messages formed a
+    /// cycle (unreachable for histories assembled through this monitor).
+    pub fn check_offline(&self) -> Result<Detection, BuildError> {
+        let comp = self.slicer.snapshot_computation()?;
+        let slice = self.slicer.slice_of(&comp);
+        Ok(detect_bfs(&slice, &comp, &LeanTrue, &Limits::none()))
     }
 
     /// The computation observed so far (for recovery-line analysis or
@@ -173,7 +480,7 @@ impl OnlineMonitor {
     /// # Errors
     ///
     /// Returns [`BuildError::CyclicOrder`] if observed messages formed a
-    /// cycle.
+    /// cycle (unreachable for histories assembled through this monitor).
     pub fn history(&self) -> Result<Computation, BuildError> {
         self.slicer.snapshot_computation()
     }
@@ -204,8 +511,8 @@ mod tests {
         let mut m = OnlineMonitor::new(2);
         let t0 = m.declare_var(0, "has_token", Value::Bool(true)).unwrap();
         let t1 = m.declare_var(1, "has_token", Value::Bool(false)).unwrap();
-        m.watch(t0, "!t0", |v| !v.expect_bool());
-        m.watch(t1, "!t1", |v| !v.expect_bool());
+        m.watch_bool(t0, "!t0", |v| !v).unwrap();
+        m.watch_bool(t1, "!t1", |v| !v).unwrap();
 
         assert_eq!(m.check().unwrap(), None);
 
@@ -229,8 +536,8 @@ mod tests {
         let mut m = OnlineMonitor::new(2);
         let a = m.declare_var(0, "f", Value::Bool(false)).unwrap();
         let b = m.declare_var(1, "f", Value::Bool(false)).unwrap();
-        m.watch(a, "a", |v| v.expect_bool());
-        m.watch(b, "b", |v| v.expect_bool());
+        m.watch_bool(a, "a", |v| v).unwrap();
+        m.watch_bool(b, "b", |v| v).unwrap();
 
         m.observe(0, &[(a, Value::Bool(true))]).unwrap();
         m.observe(1, &[(b, Value::Bool(false))]).unwrap();
@@ -244,7 +551,7 @@ mod tests {
     fn metrics_variant_reports_search_effort() {
         let mut m = OnlineMonitor::new(1);
         let x = m.declare_var(0, "x", Value::Int(0)).unwrap();
-        m.watch(x, "x > 1", |v| v.expect_int() > 1);
+        m.watch_int(x, "x > 1", |v| v > 1).unwrap();
         m.observe(0, &[(x, Value::Int(2))]).unwrap();
         let d = m.check_detailed().unwrap();
         assert!(d.detected());
@@ -259,12 +566,161 @@ mod tests {
         let mut m = OnlineMonitor::new(2);
         let a = m.declare_var(0, "f", Value::Bool(true)).unwrap();
         let b = m.declare_var(1, "f", Value::Bool(false)).unwrap();
-        m.watch(a, "a", |v| v.expect_bool());
-        m.watch(b, "b", |v| v.expect_bool());
+        m.watch_bool(a, "a", |v| v).unwrap();
+        m.watch_bool(b, "b", |v| v).unwrap();
 
         let down = m.observe(0, &[(a, Value::Bool(false))]).unwrap();
         let up = m.observe(1, &[(b, Value::Bool(true))]).unwrap();
         m.message(down, up).unwrap();
         assert_eq!(m.check().unwrap(), None, "flags were never up together");
+    }
+
+    #[test]
+    fn incremental_check_matches_offline_reference() {
+        // A 3-process script with messages; the incremental alarm must
+        // equal the offline slice-and-search verdict at every prefix.
+        let mut m = OnlineMonitor::new(3);
+        let vars: Vec<VarRef> = (0..3)
+            .map(|i| m.declare_var(i, "x", Value::Int(0)).unwrap())
+            .collect();
+        for &v in &vars {
+            m.watch_int(v, "x > 0", |x| x > 0).unwrap();
+        }
+        let script: [(usize, i64); 9] = [
+            (0, 1),
+            (1, 0),
+            (2, 2),
+            (1, 3),
+            (0, 0),
+            (2, 0),
+            (1, 1),
+            (0, 2),
+            (2, 1),
+        ];
+        let mut events = Vec::new();
+        for (i, &(p, val)) in script.iter().enumerate() {
+            let e = m.observe(p, &[(vars[p], Value::Int(val))]).unwrap();
+            events.push(e);
+            if i == 4 {
+                m.message(events[0], events[3]).unwrap();
+            }
+            if i == 7 {
+                m.message(events[2], events[7]).unwrap();
+            }
+            let offline = m.check_offline().unwrap();
+            let d = m.check_detailed().unwrap();
+            if let Some(cut) = &d.found {
+                assert_eq!(Some(cut), offline.found.as_ref(), "prefix {i}");
+            } else {
+                // No *new* alarm: either nothing exists offline, or the
+                // previously reported cut is still the verdict.
+                let prev = m.last_alarm.as_ref();
+                assert_eq!(offline.found.as_ref(), prev, "prefix {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_checks_allocate_no_cuts() {
+        let mut m = OnlineMonitor::new(2);
+        let a = m.declare_var(0, "x", Value::Int(0)).unwrap();
+        let b = m.declare_var(1, "x", Value::Int(0)).unwrap();
+        m.watch_int(a, "x > 0", |v| v > 0).unwrap();
+        m.watch_int(b, "x > 0", |v| v > 0).unwrap();
+        // Warm up: first alarm materializes the scratch and dedup cuts.
+        m.observe(0, &[(a, Value::Int(1))]).unwrap();
+        m.observe(1, &[(b, Value::Int(1))]).unwrap();
+        m.check().unwrap();
+        // Steady state: every observe+check must run cut-allocation-free
+        // (2 processes ⇒ inline cuts; the delta search reuses scratch).
+        let before = slicing_computation::cut_heap_allocs();
+        for i in 0..200i64 {
+            m.observe(
+                (i % 2) as usize,
+                &[(if i % 2 == 0 { a } else { b }, Value::Int(i))],
+            )
+            .unwrap();
+            m.check().unwrap();
+        }
+        assert_eq!(
+            slicing_computation::cut_heap_allocs() - before,
+            0,
+            "warm monitor checks must not allocate cut storage"
+        );
+    }
+
+    #[test]
+    fn check_cost_is_flat_in_history_length() {
+        // Feed k events, checking after each; total probe work must stay
+        // linear in k (amortized O(1) per event), not quadratic.
+        let mut m = OnlineMonitor::new(3);
+        let vars: Vec<VarRef> = (0..3)
+            .map(|i| m.declare_var(i, "x", Value::Int(0)).unwrap())
+            .collect();
+        for &v in &vars {
+            m.watch_int(v, "x > 0", |x| x > 0).unwrap();
+        }
+        let k = 600i64;
+        for i in 0..k {
+            let p = (i % 3) as usize;
+            // Alternate satisfying / violating values to keep queues busy.
+            m.observe(p, &[(vars[p], Value::Int(if i % 5 == 0 { 0 } else { 1 }))])
+                .unwrap();
+            m.check().unwrap();
+        }
+        let stats = m.stats();
+        assert_eq!(stats.events as i64, k);
+        assert_eq!(stats.checks as i64, k);
+        // Generous constant: with 3 processes, each check is a handful of
+        // probes; anything quadratic would blow past this immediately.
+        assert!(
+            stats.check_cost < 20 * k as u64,
+            "check cost {} not linear in {} events",
+            stats.check_cost,
+            k
+        );
+    }
+
+    #[test]
+    fn errors_do_not_poison_the_monitor() {
+        let mut m = OnlineMonitor::new(2);
+        let a = m.declare_var(0, "x", Value::Int(0)).unwrap();
+        let b = m.declare_var(1, "x", Value::Int(0)).unwrap();
+        m.watch_int(a, "x > 0", |v| v > 0).unwrap();
+        m.watch_int(b, "x > 0", |v| v > 0).unwrap();
+        // A mistyped observation is rejected without panicking …
+        let err = m.observe(0, &[(a, Value::Bool(true))]).unwrap_err();
+        assert!(matches!(err, BuildError::TypeMismatch { .. }));
+        // … a late watch is rejected without panicking …
+        let e0 = m.observe(0, &[(a, Value::Int(1))]).unwrap();
+        assert!(matches!(
+            m.watch_int(a, "late", |v| v > 1),
+            Err(BuildError::LateWatch { .. })
+        ));
+        // … and a cyclic message is rejected before corrupting history.
+        let e1 = m.observe(1, &[(b, Value::Int(1))]).unwrap();
+        m.message(e0, e1).unwrap();
+        let e2 = m.observe(1, &[(b, Value::Int(2))]).unwrap();
+        assert_eq!(m.message(e2, e0), Err(BuildError::CyclicOrder));
+        // The monitor still detects on the clean history.
+        assert!(m.check().unwrap().is_some());
+        assert_eq!(m.stats().messages, 1);
+    }
+
+    #[test]
+    fn observe_batch_streams_like_single_observes() {
+        let mut m = OnlineMonitor::new(2);
+        let a = m.declare_var(0, "x", Value::Int(0)).unwrap();
+        let b = m.declare_var(1, "x", Value::Int(0)).unwrap();
+        m.watch_int(a, "x > 0", |v| v > 0).unwrap();
+        m.watch_int(b, "x > 0", |v| v > 0).unwrap();
+        let ids = m
+            .observe_batch(&[(0, vec![(a, Value::Int(2))]), (1, vec![(b, Value::Int(3))])])
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        let alarm = m.check().unwrap().expect("both positive");
+        assert_eq!(alarm.counts(), &[2, 2]);
+        assert_eq!(m.stats().events, 2);
+        assert_eq!(m.stats().delta_cuts, 2);
     }
 }

@@ -26,7 +26,7 @@ use slicing_computation::{
 };
 use slicing_predicates::Predicate;
 
-use crate::metrics::{emit_visited_stats, Detection, Limits, Tracker};
+use crate::metrics::{emit_visited_stats, AbortReason, Detection, Limits, Tracker};
 
 /// Number of visited-set shards. Fixed (not derived from `threads`) so the
 /// shard assignment — and with it the canonical frontier order — is
@@ -71,24 +71,33 @@ fn expand_chunk<S, P>(
     comp: &Computation,
     pred: &P,
     cuts: &[Cut],
-) -> (Option<usize>, ShardBuckets)
+) -> (Option<(usize, bool)>, ShardBuckets)
 where
     S: CutSpace + Sync + ?Sized,
     P: Predicate + Sync + ?Sized,
 {
-    let mut found = None;
+    // The stop marker is (offset, matched): matched=false means the scan
+    // stopped on a predicate evaluation error at that offset.
+    let mut stop = None;
     let mut buckets: ShardBuckets = (0..SHARDS).map(|_| Vec::new()).collect();
     for (i, cut) in cuts.iter().enumerate() {
-        if pred.eval(&GlobalState::new(comp, cut)) {
-            found = Some(i);
-            break;
+        match pred.try_eval(&GlobalState::new(comp, cut)) {
+            Ok(true) => {
+                stop = Some((i, true));
+                break;
+            }
+            Ok(false) => {}
+            Err(_) => {
+                stop = Some((i, false));
+                break;
+            }
         }
         space.for_each_successor(cut, &mut |next| {
             let hash = hash_counts(next.as_ref());
             buckets[shard_of(hash)].push((hash, next.clone()));
         });
     }
-    (found, buckets)
+    (stop, buckets)
 }
 
 /// Drains one shard's successor buckets (chunk-major, stream order) into
@@ -155,7 +164,7 @@ where
         // Evaluate and expand the layer in parallel. Successors carry their
         // hash so the merge shards don't rehash on every scan.
         let chunk = frontier.len().div_ceil(threads);
-        type ChunkResult = (Option<usize>, ShardBuckets);
+        type ChunkResult = (Option<(usize, bool)>, ShardBuckets);
         let results: Vec<ChunkResult> = if frontier.len() < PARALLEL_EXPAND_MIN {
             vec![expand_chunk(space, comp, pred, &frontier)]
         } else {
@@ -171,12 +180,16 @@ where
             })
         };
 
-        // First match in layer order wins (deterministic).
-        for (chunk_idx, (found_at, _)) in results.iter().enumerate() {
-            if let Some(offset) = found_at {
+        // First stop in layer order wins (deterministic).
+        for (chunk_idx, (stopped_at, _)) in results.iter().enumerate() {
+            if let Some((offset, matched)) = stopped_at {
                 let idx = chunk_idx * chunk + offset;
                 tracker.cuts_explored += idx as u64 + 1;
-                found = Some(frontier[idx].clone());
+                if *matched {
+                    found = Some(frontier[idx].clone());
+                } else {
+                    aborted = Some(AbortReason::PredicateError);
+                }
                 break 'search;
             }
         }

@@ -16,7 +16,7 @@ use std::time::Instant;
 use slicing_computation::{Computation, Cut, CutMap64, GlobalState, ProcSet, ProcessId};
 use slicing_predicates::Predicate;
 
-use crate::metrics::{emit_visited_stats, Detection, Limits, Tracker};
+use crate::metrics::{emit_visited_stats, AbortReason, Detection, Limits, Tracker};
 
 /// Dependency analysis for transitions, fixed per computation + predicate.
 struct Dependencies<'a> {
@@ -150,14 +150,25 @@ pub fn detect_pom<P: Predicate + ?Sized>(
         } else {
             tracker.store_cut(entry_bytes);
             tracker.cuts_explored += 1;
-            if pred.eval(&GlobalState::new(comp, &cut)) {
-                found = Some(cut);
-                break;
+            match pred.try_eval(&GlobalState::new(comp, &cut)) {
+                Ok(true) => {
+                    found = Some(cut);
+                    break;
+                }
+                Ok(false) => {}
+                Err(_) => {
+                    aborted = Some(AbortReason::PredicateError);
+                    break;
+                }
             }
             if let Some(reason) = tracker.over_limit(limits, start) {
                 aborted = Some(reason);
                 break;
             }
+        }
+        if visited.saturated() {
+            aborted = Some(AbortReason::ArenaFull);
+            break;
         }
 
         let enabled: ProcSet = comp

@@ -14,7 +14,7 @@ use std::time::Instant;
 use slicing_computation::{Computation, Cut, GlobalState, ProcessId};
 use slicing_predicates::Predicate;
 
-use crate::metrics::{Detection, Limits, Tracker};
+use crate::metrics::{AbortReason, Detection, Limits, Tracker};
 
 /// `true` if the frontier event of `p` in `cut` is maximal: no other event
 /// of the cut causally follows it.
@@ -65,8 +65,10 @@ pub fn detect_reverse_search<P: Predicate + ?Sized>(
 
     // Visit the bottom cut.
     tracker.cuts_explored += 1;
-    if pred.eval(&GlobalState::new(comp, &Cut::bottom(n))) {
-        return tracker.finish(Some(Cut::bottom(n)), start.elapsed(), None);
+    match pred.try_eval(&GlobalState::new(comp, &Cut::bottom(n))) {
+        Ok(true) => return tracker.finish(Some(Cut::bottom(n)), start.elapsed(), None),
+        Ok(false) => {}
+        Err(_) => return tracker.finish(None, start.elapsed(), Some(AbortReason::PredicateError)),
     }
 
     while let Some((cut, next_p)) = stack.last_mut() {
@@ -89,8 +91,16 @@ pub fn detect_reverse_search<P: Predicate + ?Sized>(
         match advanced {
             Some(child) => {
                 tracker.cuts_explored += 1;
-                if pred.eval(&GlobalState::new(comp, &child)) {
-                    return tracker.finish(Some(child), start.elapsed(), None);
+                match pred.try_eval(&GlobalState::new(comp, &child)) {
+                    Ok(true) => return tracker.finish(Some(child), start.elapsed(), None),
+                    Ok(false) => {}
+                    Err(_) => {
+                        return tracker.finish(
+                            None,
+                            start.elapsed(),
+                            Some(AbortReason::PredicateError),
+                        )
+                    }
                 }
                 if let Some(reason) = tracker.over_limit(limits, start) {
                     return tracker.finish(None, start.elapsed(), Some(reason));
@@ -232,8 +242,10 @@ pub fn detect_reverse_search_slice<P: Predicate + ?Sized>(
     let mut stack: Vec<(Cut, usize)> = vec![(bottom.clone(), 0)];
     tracker.store_cut(frame_bytes);
     tracker.cuts_explored += 1;
-    if pred.eval(&GlobalState::new(comp, &bottom)) {
-        return tracker.finish(Some(bottom), start.elapsed(), None);
+    match pred.try_eval(&GlobalState::new(comp, &bottom)) {
+        Ok(true) => return tracker.finish(Some(bottom), start.elapsed(), None),
+        Ok(false) => {}
+        Err(_) => return tracker.finish(None, start.elapsed(), Some(AbortReason::PredicateError)),
     }
 
     while let Some((cut, next_i)) = stack.last_mut() {
@@ -252,8 +264,16 @@ pub fn detect_reverse_search_slice<P: Predicate + ?Sized>(
         match advanced {
             Some(child) => {
                 tracker.cuts_explored += 1;
-                if pred.eval(&GlobalState::new(comp, &child)) {
-                    return tracker.finish(Some(child), start.elapsed(), None);
+                match pred.try_eval(&GlobalState::new(comp, &child)) {
+                    Ok(true) => return tracker.finish(Some(child), start.elapsed(), None),
+                    Ok(false) => {}
+                    Err(_) => {
+                        return tracker.finish(
+                            None,
+                            start.elapsed(),
+                            Some(AbortReason::PredicateError),
+                        )
+                    }
                 }
                 if let Some(reason) = tracker.over_limit(limits, start) {
                     return tracker.finish(None, start.elapsed(), Some(reason));

@@ -6,7 +6,7 @@ use slicing_computation::Computation;
 use slicing_core::{PredicateSpec, Slice};
 
 use crate::enumerate::detect_bfs;
-use crate::metrics::{Detection, Limits};
+use crate::metrics::{AbortReason, Detection, Limits};
 
 /// The outcome of slice-based detection: slicing cost plus the (usually
 /// tiny) residual search.
@@ -54,13 +54,33 @@ pub fn detect_with_slicing(
     limits: &Limits,
 ) -> SliceDetection {
     let _span = slicing_observe::span("detect.slice_then_search");
+    // The slicing phase evaluates spec-derived local closures that absorb
+    // runtime type errors as `false` (counted, not panicking); watch the
+    // counter so a fault-free verdict over a malformed trace is downgraded
+    // rather than trusted.
+    let errors_before = slicing_predicates::eval_type_errors();
     let t0 = Instant::now();
     let slice = {
         let _span = slicing_observe::span("detect.slice_phase");
         spec.slice(comp)
     };
     let slicing_elapsed = t0.elapsed();
-    detect_on_slice(comp, &slice, spec, slicing_elapsed, limits)
+    let mut outcome = detect_on_slice(comp, &slice, spec, slicing_elapsed, limits);
+    downgrade_on_eval_errors(&mut outcome.search, errors_before);
+    outcome
+}
+
+/// Downgrades a "not detected" verdict to a [`AbortReason::PredicateError`]
+/// abort when predicate evaluation tripped type errors during the run: the
+/// `false`s those evaluations produced cannot support a clean sweep. A
+/// found witness is left untouched — it satisfied the predicate for real.
+fn downgrade_on_eval_errors(search: &mut Detection, errors_before: u64) {
+    if search.aborted.is_none()
+        && !search.detected()
+        && slicing_predicates::eval_type_errors() > errors_before
+    {
+        search.aborted = Some(AbortReason::PredicateError);
+    }
 }
 
 /// Variant of [`detect_with_slicing`] for a precomputed slice (e.g. from
@@ -88,10 +108,12 @@ pub fn detect_on_slice(
         }
     }
 
+    let errors_before = slicing_predicates::eval_type_errors();
     let mut search = {
         let _span = slicing_observe::span("detect.search_phase");
         detect_bfs(slice, comp, &SpecPred(spec), limits)
     };
+    downgrade_on_eval_errors(&mut search, errors_before);
     search.phases = vec![
         ("slice".to_owned(), slicing_elapsed),
         ("search".to_owned(), search.elapsed),

@@ -1,0 +1,110 @@
+//! Differential property test: the incremental monitor's alarms equal the
+//! offline slice-and-search verdict at every prefix of random observation
+//! scripts — including randomized message interleavings and out-of-order
+//! (late) deliveries.
+
+use proptest::prelude::*;
+
+use slicing_computation::{Cut, EventId, Value};
+use slicing_detect::OnlineMonitor;
+
+/// One scripted action: which process steps, the value it writes, and
+/// whether it offers/accepts a message.
+#[derive(Debug, Clone)]
+struct Step {
+    process: usize,
+    value: i64,
+    send: bool,
+    recv: bool,
+}
+
+#[allow(clippy::type_complexity)]
+fn scripts() -> impl Strategy<Value = (usize, Vec<Step>, i64, Vec<(usize, usize)>)> {
+    (2usize..=4).prop_flat_map(|n| {
+        let steps = prop::collection::vec(
+            (0..n, -1i64..=2, any::<bool>(), any::<bool>()).prop_map(
+                |(process, value, send, recv)| Step {
+                    process,
+                    value,
+                    send,
+                    recv,
+                },
+            ),
+            0..14,
+        );
+        // Late deliveries between arbitrary earlier events, attempted at
+        // the end of the script with checks in between.
+        let late = prop::collection::vec((0usize..14, 0usize..14), 0..4);
+        (Just(n), steps, 0i64..=2, late)
+    })
+}
+
+/// One differential step: the monitor's (deduplicated) alarm against the
+/// offline reference. A fresh alarm must equal the offline least cut; no
+/// alarm means the offline verdict is unchanged from the last report.
+fn assert_agrees(m: &mut OnlineMonitor, last: &mut Option<Cut>, ctx: &str) {
+    let offline = m.check_offline().expect("acyclic history").found;
+    let online = m.check().expect("check never fails");
+    match online {
+        Some(cut) => {
+            assert_eq!(Some(&cut), offline.as_ref(), "{ctx}: fresh alarm diverged");
+            *last = Some(cut);
+        }
+        None => {
+            // No fresh alarm is right in exactly two situations: the
+            // offline verdict is unchanged from the last report, or a late
+            // message retracted it entirely (message additions remove
+            // consistent cuts, so `possibly` is not monotone under them).
+            // A *different* satisfying cut, however, must be reported.
+            assert!(
+                offline.is_none() || offline.as_ref() == last.as_ref(),
+                "{ctx}: offline verdict moved to {offline:?} without a fresh alarm"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn monitor_matches_offline_at_every_prefix((n, script, threshold, late) in scripts()) {
+        let mut m = OnlineMonitor::new(n);
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.declare_var(i, "x", Value::Int(0)).expect("fresh var"))
+            .collect();
+        for &v in &vars {
+            let t = threshold;
+            m.watch_int(v, format!("x >= {t}"), move |x| x >= t)
+                .expect("watch before events");
+        }
+
+        let mut last: Option<Cut> = None;
+        let mut events: Vec<EventId> = Vec::new();
+        let mut pending_send: Option<(EventId, usize)> = None;
+        for (i, step) in script.iter().enumerate() {
+            let e = m
+                .observe(step.process, &[(vars[step.process], Value::Int(step.value))])
+                .expect("observe succeeds");
+            events.push(e);
+            match pending_send {
+                Some((send, from)) if step.recv && from != step.process => {
+                    m.message(send, e).expect("forward message");
+                    pending_send = None;
+                }
+                None if step.send => pending_send = Some((e, step.process)),
+                _ => {}
+            }
+            assert_agrees(&mut m, &mut last, &format!("prefix {i}"));
+        }
+        // Late deliveries: each accepted message re-times history; the
+        // monitor must still agree with the offline reference afterwards
+        // (and rejected ones must leave the history untouched).
+        for (i, &(a, b)) in late.iter().enumerate() {
+            if a < events.len() && b < events.len() && a != b {
+                let _ = m.message(events[a], events[b]);
+                assert_agrees(&mut m, &mut last, &format!("late message {i}"));
+            }
+        }
+    }
+}

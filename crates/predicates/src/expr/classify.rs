@@ -6,19 +6,23 @@ use std::sync::Arc;
 
 use slicing_computation::{GlobalState, ProcSet, Value, VarRef};
 
-use super::ast::Expr;
+use super::ast::{EvalError, Expr};
 use crate::conjunctive::Conjunctive;
 use crate::klocal::KLocalPredicate;
 use crate::local::LocalPredicate;
-use crate::predicate::Predicate;
+use crate::predicate::{note_eval_type_error, Predicate};
 
 /// A [`Predicate`] backed by a parsed boolean [`Expr`].
 ///
-/// # Panics
+/// # Runtime type errors
 ///
-/// `eval` panics if the expression hits a runtime type mismatch, which can
-/// only happen when a variable changes type mid-computation (the parser
-/// type-checks against initial values).
+/// The parser type-checks against initial values, but a variable can still
+/// change type mid-computation (a malformed trace). Evaluation never
+/// panics on that: [`Predicate::try_eval`] returns the underlying
+/// [`EvalError`], and the infallible [`Predicate::eval`] coerces the
+/// failure to `false` while bumping the process-wide
+/// [`eval_type_errors`](crate::eval_type_errors) counter — so detection
+/// reports an error verdict instead of aborting the process.
 ///
 /// # Examples
 ///
@@ -106,8 +110,10 @@ impl ExprPredicate {
                 };
                 match expr.eval_with(&lookup) {
                     Ok(Value::Bool(b)) => b,
-                    Ok(other) => panic!("predicate expression evaluated to non-boolean {other}"),
-                    Err(e) => panic!("predicate expression failed: {e}"),
+                    Ok(_) | Err(_) => {
+                        note_eval_type_error();
+                        false
+                    }
                 }
             },
         ))
@@ -140,8 +146,12 @@ pub fn local_from_expr(expr: &Expr) -> LocalPredicate {
         };
         match expr.eval_with(&lookup) {
             Ok(Value::Bool(b)) => b,
-            Ok(other) => panic!("local expression evaluated to non-boolean {other}"),
-            Err(e) => panic!("local expression failed: {e}"),
+            // False-with-counter: a type-flipped observation makes the
+            // clause unsatisfied rather than aborting the process.
+            Ok(_) | Err(_) => {
+                note_eval_type_error();
+                false
+            }
         }
     })
 }
@@ -160,8 +170,22 @@ impl Predicate for ExprPredicate {
     fn eval(&self, state: &GlobalState<'_>) -> bool {
         match self.expr.eval(state) {
             Ok(Value::Bool(b)) => b,
-            Ok(other) => panic!("predicate expression evaluated to non-boolean {other}"),
-            Err(e) => panic!("predicate expression failed: {e}"),
+            Ok(_) | Err(_) => {
+                note_eval_type_error();
+                false
+            }
+        }
+    }
+
+    fn try_eval(&self, state: &GlobalState<'_>) -> Result<bool, EvalError> {
+        match self.expr.eval(state)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(EvalError {
+                message: format!(
+                    "predicate expression {} evaluated to non-boolean {other}",
+                    self.source
+                ),
+            }),
         }
     }
 }
@@ -235,5 +259,62 @@ mod tests {
         let comp = figure1();
         let pred = parse_predicate(&comp, "x1@0 > x2@1").unwrap();
         let _ = local_from_expr(pred.expr());
+    }
+
+    /// A computation whose variable `x` is declared `Int` but flips to
+    /// `Bool` at its first event — the malformed-trace shape the parser's
+    /// initial-value type check cannot see.
+    fn type_flipped() -> slicing_computation::Computation {
+        use slicing_computation::{ComputationBuilder, Value};
+        let mut b = ComputationBuilder::new(1);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        b.step(b.process(0), &[(x, Value::Bool(true))]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn type_flip_errors_instead_of_panicking() {
+        let comp = type_flipped();
+        let pred = parse_predicate(&comp, "x@0 > 1").unwrap();
+        // At bottom the variable still holds its declared Int: fine.
+        let bottom = Cut::bottom(1);
+        assert_eq!(pred.try_eval(&GlobalState::new(&comp, &bottom)), Ok(false));
+        // Past the flip, try_eval surfaces the mismatch...
+        let top = comp.top_cut();
+        let st = GlobalState::new(&comp, &top);
+        assert!(pred.try_eval(&st).is_err());
+        // ...and the infallible path coerces to false, counting the error.
+        let before = crate::eval_type_errors();
+        assert!(!pred.eval(&st));
+        assert!(crate::eval_type_errors() > before);
+    }
+
+    #[test]
+    fn type_flip_in_local_and_klocal_closures_is_false_with_counter() {
+        let comp = type_flipped();
+        let pred = parse_predicate(&comp, "x@0 > 1").unwrap();
+        let local = local_from_expr(pred.expr());
+        let kl = pred.to_klocal().unwrap();
+        let before = crate::eval_type_errors();
+        assert!(!local.holds_at(&comp, 1));
+        let top = comp.top_cut();
+        assert!(!kl.eval(&GlobalState::new(&comp, &top)));
+        assert!(crate::eval_type_errors() >= before + 2);
+    }
+
+    #[test]
+    fn non_boolean_result_is_an_error_not_a_panic() {
+        use super::super::parse_expr;
+        let comp = figure1();
+        // Bypass parse_predicate's boolean check to force a non-boolean
+        // result at evaluation time.
+        let pred = ExprPredicate::new(parse_expr(&comp, "x1@0 + 1").unwrap());
+        let cut = Cut::bottom(3);
+        let st = GlobalState::new(&comp, &cut);
+        let err = pred.try_eval(&st).unwrap_err();
+        assert!(err.message.contains("non-boolean"));
+        let before = crate::eval_type_errors();
+        assert!(!pred.eval(&st));
+        assert!(crate::eval_type_errors() > before);
     }
 }

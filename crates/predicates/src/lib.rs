@@ -53,4 +53,6 @@ pub use counters::{approximately_synchronized, BoundedDifference};
 pub use fnpred::FnPredicate;
 pub use klocal::KLocalPredicate;
 pub use local::LocalPredicate;
-pub use predicate::{LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate};
+pub use predicate::{
+    eval_type_errors, LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate,
+};

@@ -143,6 +143,14 @@ impl LocalPredicate {
         let values: Vec<Value> = self.vars.iter().map(|&v| comp.value_at(v, pos)).collect();
         (self.f)(&values)
     }
+
+    /// Evaluates the predicate directly on a value tuple (in the order of
+    /// [`vars`](LocalPredicate::vars)), without a computation — the entry
+    /// point online monitors use to test a clause against the values they
+    /// track themselves.
+    pub fn eval_values(&self, values: &[Value]) -> bool {
+        (self.f)(values)
+    }
 }
 
 impl fmt::Debug for LocalPredicate {

@@ -2,9 +2,35 @@
 //! regularity.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use slicing_computation::{GlobalState, ProcSet, ProcessId};
+
+use crate::expr::EvalError;
+
+/// Process-wide count of predicate evaluations that hit a runtime type
+/// error and fell back to `false` (the documented false-with-counter
+/// policy of the infallible [`Predicate::eval`] path).
+static EVAL_TYPE_ERRORS: AtomicU64 = AtomicU64::new(0);
+
+/// Total predicate evaluations, process-wide, that hit a runtime type
+/// error (a variable changed type mid-computation, or an expression
+/// evaluated to a non-boolean) and were coerced to `false`.
+///
+/// The fallible entry point [`Predicate::try_eval`] surfaces these as
+/// [`EvalError`]s instead and does not touch this counter; engines that
+/// must go through the infallible path (the slicers' forbidden-process
+/// machinery) snapshot the counter around a run to downgrade "not
+/// detected" verdicts into predicate-error aborts.
+pub fn eval_type_errors() -> u64 {
+    EVAL_TYPE_ERRORS.load(Ordering::Relaxed)
+}
+
+/// Records one false-coerced type error; see [`eval_type_errors`].
+pub(crate) fn note_eval_type_error() {
+    EVAL_TYPE_ERRORS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// A global predicate: a boolean function of the global state reached at a
 /// consistent cut.
@@ -19,7 +45,28 @@ pub trait Predicate: fmt::Debug + Send + Sync {
     fn support(&self) -> ProcSet;
 
     /// Evaluates the predicate at a global state.
+    ///
+    /// This entry point is infallible: predicates whose evaluation can
+    /// fail at runtime (parsed expressions over type-flipping traces)
+    /// coerce the failure to `false` and bump the process-wide
+    /// [`eval_type_errors`] counter. Detection engines prefer
+    /// [`try_eval`](Predicate::try_eval), which surfaces the failure.
     fn eval(&self, state: &GlobalState<'_>) -> bool;
+
+    /// Evaluates the predicate, surfacing runtime evaluation failures.
+    ///
+    /// The default forwards to [`eval`](Predicate::eval) and never fails —
+    /// correct for every predicate whose closure arithmetic cannot hit a
+    /// type error. Predicates backed by interpreted expressions override
+    /// this to return the underlying [`EvalError`] so a malformed trace
+    /// yields an abort verdict instead of a process panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] when evaluation hits a runtime type mismatch.
+    fn try_eval(&self, state: &GlobalState<'_>) -> Result<bool, EvalError> {
+        Ok(self.eval(state))
+    }
 }
 
 impl<P: Predicate + ?Sized> Predicate for &P {
@@ -29,6 +76,10 @@ impl<P: Predicate + ?Sized> Predicate for &P {
 
     fn eval(&self, state: &GlobalState<'_>) -> bool {
         (**self).eval(state)
+    }
+
+    fn try_eval(&self, state: &GlobalState<'_>) -> Result<bool, EvalError> {
+        (**self).try_eval(state)
     }
 }
 
@@ -40,6 +91,10 @@ impl<P: Predicate + ?Sized> Predicate for Arc<P> {
     fn eval(&self, state: &GlobalState<'_>) -> bool {
         (**self).eval(state)
     }
+
+    fn try_eval(&self, state: &GlobalState<'_>) -> Result<bool, EvalError> {
+        (**self).try_eval(state)
+    }
 }
 
 impl<P: Predicate + ?Sized> Predicate for Box<P> {
@@ -49,6 +104,10 @@ impl<P: Predicate + ?Sized> Predicate for Box<P> {
 
     fn eval(&self, state: &GlobalState<'_>) -> bool {
         (**self).eval(state)
+    }
+
+    fn try_eval(&self, state: &GlobalState<'_>) -> Result<bool, EvalError> {
+        (**self).try_eval(state)
     }
 }
 

@@ -43,8 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut online = OnlineSlicer::new(2);
     let t0 = online.declare_var(0, "has_token", Value::Bool(true))?;
     let t1 = online.declare_var(1, "has_token", Value::Bool(false))?;
-    online.watch(t0, "!has_token_0", |v| !v.expect_bool());
-    online.watch(t1, "!has_token_1", |v| !v.expect_bool());
+    online.watch_bool(t0, "!has_token_0", |v| !v)?;
+    online.watch_bool(t1, "!has_token_1", |v| !v)?;
 
     let send = online.observe(0, &[(t0, Value::Bool(false))])?;
     let snapshot = online.snapshot_computation()?;

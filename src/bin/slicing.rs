@@ -37,6 +37,7 @@ fn usage() -> &'static str {
                   [--engine slice|bfs|dfs|pom|reverse|parallel|hybrid|lean|lean-parallel]
                   [--max-cuts N] [--max-live-cuts N] [--cap-kb N] [--threads N] [--timeout-ms N]
   slicing modality <trace> <predicate> --mode possibly|definitely|invariant|controllable
+  slicing monitor <trace> <predicate> [--check-every N]
   slicing recover --protocol ps|db [--procs N] [--events N] [--seed S]
                   [--fault corrupt|drop-message|duplicate-message|delay-delivery|crash-stop|burst|none]
                   [--attempts N] [--reinject N] [--no-backoff] [--timeout-ms N]
@@ -48,9 +49,13 @@ fn usage() -> &'static str {
 --log mirrors the SLICING_LOG environment variable (the flag wins) and
 prints leveled span/counter traces to stderr. --report writes the detect
 outcome as one `slicing.run-report/v1` JSON object to <path> (`-` for
-stdout); on `recover` it writes the `slicing.recovery-report/v1` outcome
-instead. `recover` simulates a protocol run, injects the chosen fault,
-and drives the full detect → recovery line → rollback → replay loop.
+stdout); on `recover` it writes the `slicing.recovery-report/v1` outcome,
+and on `monitor` the `slicing.monitor-report/v1` stream summary.
+`recover` simulates a protocol run, injects the chosen fault, and drives
+the full detect → recovery line → rollback → replay loop. `monitor`
+replays the trace through the incremental online monitor (amortized O(1)
+per check), reporting every distinct alarm cut as it appears; the
+predicate must be a conjunction of local clauses.
 
 <trace> is a file path or `-` for stdin; predicates use the expression
 language, e.g. \"x1@0 > 1 && x3@2 <= 3\"."
@@ -109,9 +114,10 @@ fn run() -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err(usage().to_owned());
     };
-    if report.is_some() && command != "detect" && command != "recover" {
+    if report.is_some() && command != "detect" && command != "recover" && command != "monitor" {
         eprintln!(
-            "note: --report only applies to `slicing detect` and `slicing recover`; ignoring"
+            "note: --report only applies to `slicing detect`, `slicing recover`, and \
+             `slicing monitor`; ignoring"
         );
     }
 
@@ -345,6 +351,144 @@ fn run() -> Result<(), String> {
                 RecoveryVerdict::CleanAlready | RecoveryVerdict::Recovered => Ok(()),
                 other => Err(format!("recovery failed: {other}")),
             }
+        }
+        "monitor" => {
+            let (trace, pred_src) = two_args(&args)?;
+            let mut check_every: u64 = 1;
+            let mut it = args[3..].iter();
+            while let Some(flag) = it.next() {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag.as_str() {
+                    "--check-every" => check_every = value.parse().map_err(|e| format!("{e}"))?,
+                    other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+                }
+            }
+            let check_every = check_every.max(1);
+            let comp = load_trace(trace)?;
+            let pred = parse_predicate(&comp, pred_src).map_err(|e| e.to_string())?;
+            let conj = pred.to_conjunctive().ok_or_else(|| {
+                "monitor needs a conjunctive predicate (local clauses joined by &&)".to_owned()
+            })?;
+
+            // Mirror the trace's variables process by process, in
+            // declaration order, so the recorded `VarRef`s line up with
+            // the monitor's own builder.
+            let mut m = computation_slicing::detect::OnlineMonitor::new(comp.num_processes());
+            let mut mon_vars: Vec<Vec<computation_slicing::VarRef>> = Vec::new();
+            for i in 0..comp.num_processes() {
+                let p = comp.process(i);
+                let names: Vec<String> = comp.var_names(p).map(str::to_owned).collect();
+                let mut row = Vec::with_capacity(names.len());
+                for name in &names {
+                    let orig = comp.var(p, name).expect("listed variable");
+                    let mv = m
+                        .declare_var(i, name, comp.value_at(orig, 0))
+                        .map_err(|e| e.to_string())?;
+                    row.push(mv);
+                }
+                mon_vars.push(row);
+            }
+            for clause in conj.clauses() {
+                m.watch_clause(clause.clone()).map_err(|e| e.to_string())?;
+            }
+
+            // Stream the recorded events in order; a message is declared
+            // as soon as both endpoints have been replayed.
+            let mut mapped: std::collections::HashMap<
+                computation_slicing::EventId,
+                computation_slicing::EventId,
+            > = std::collections::HashMap::new();
+            let mut pending: Vec<computation_slicing::computation::Message> = Vec::new();
+            let mut observed = 0u64;
+            let mut alarms: Vec<computation_slicing::Cut> = Vec::new();
+            let check = |m: &mut computation_slicing::detect::OnlineMonitor,
+                         alarms: &mut Vec<computation_slicing::Cut>,
+                         observed: u64|
+             -> Result<(), String> {
+                if let Some(cut) = m.check().map_err(|e| e.to_string())? {
+                    println!("alarm after {observed} events: fault possible at cut {cut}");
+                    alarms.push(cut);
+                }
+                Ok(())
+            };
+            for e in comp.events() {
+                if comp.is_initial(e) {
+                    continue;
+                }
+                let p = comp.process_of(e);
+                let pos = comp.position_of(e);
+                let writes: Vec<_> = mon_vars[p.as_usize()]
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, &mv)| {
+                        let name = comp.var_names(p).nth(idx).expect("listed variable");
+                        let orig = comp.var(p, name).expect("listed variable");
+                        (mv, comp.value_at(orig, pos))
+                    })
+                    .collect();
+                let ne = m
+                    .observe(p.as_usize(), &writes)
+                    .map_err(|e| e.to_string())?;
+                mapped.insert(e, ne);
+                pending.extend(comp.messages_into(e));
+                pending.retain(|msg| match (mapped.get(&msg.send), mapped.get(&msg.recv)) {
+                    (Some(&s), Some(&r)) => {
+                        if let Err(err) = m.message(s, r) {
+                            eprintln!("warning: skipped message {s} -> {r}: {err}");
+                        }
+                        false
+                    }
+                    _ => true,
+                });
+                observed += 1;
+                if observed.is_multiple_of(check_every) {
+                    check(&mut m, &mut alarms, observed)?;
+                }
+            }
+            if !observed.is_multiple_of(check_every) {
+                check(&mut m, &mut alarms, observed)?;
+            }
+
+            let stats = m.stats();
+            println!(
+                "monitored {} events, {} messages: {} distinct alarm cut(s)",
+                stats.events, stats.messages, stats.alarms
+            );
+            println!(
+                "check work: {} probes over {} checks ({} milliprobe/event), peak {} queued candidates",
+                stats.check_cost,
+                stats.checks,
+                stats.check_cost * 1000 / stats.events.max(1),
+                stats.peak_candidates
+            );
+            if let Some(path) = &report {
+                let json = slicing_observe::json::JsonObject::new()
+                    .str("schema", "slicing.monitor-report/v1")
+                    .u64("events", stats.events)
+                    .u64("messages", stats.messages)
+                    .u64("checks", stats.checks)
+                    .u64("alarms", stats.alarms)
+                    .u64("check_cost", stats.check_cost)
+                    .u64("delta_cuts", stats.delta_cuts)
+                    .u64("peak_candidates", stats.peak_candidates)
+                    .raw(
+                        "alarm_cuts",
+                        &alarms
+                            .iter()
+                            .fold(slicing_observe::json::JsonArray::new(), |arr, c| {
+                                arr.push_str(&c.to_string())
+                            })
+                            .finish(),
+                    )
+                    .finish();
+                if path == "-" {
+                    println!("{json}");
+                } else {
+                    std::fs::write(path, format!("{json}\n"))
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                }
+            }
+            Ok(())
         }
         "modality" => {
             let (trace, pred_src) = two_args(&args)?;

@@ -34,7 +34,7 @@ fn monitor_agrees_with_offline_detection_at_every_prefix() {
             mon_vars.push(m.declare_var(i, "has_token", comp.value_at(v, 0)).unwrap());
         }
         for &v in &mon_vars {
-            m.watch(v, "token absent", |val| !val.expect_bool());
+            m.watch_bool(v, "token absent", |val| !val).unwrap();
         }
 
         // Original event id → monitor event id, filled as we stream.
