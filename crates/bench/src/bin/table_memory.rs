@@ -217,7 +217,7 @@ fn main() {
     );
 
     let doc = JsonObject::new()
-        .str("schema", "slicing.bench-memory/v1")
+        .str("schema", slicing_observe::schema::BENCH_MEMORY)
         .str("binary", "table_memory")
         .bool("quick", quick)
         .u64("grid", u64::from(grid_size))

@@ -22,6 +22,12 @@
 //! - **heap_allocs** — spilled-cut allocations during the segment's
 //!   observe/check loop; must be zero (the soak stays at ≤ 16 processes,
 //!   and the warm monitor reuses its scratch cut).
+//! - **cost_p50/p90/p99/max** — the per-check cost distribution inside
+//!   the segment, summarized with log-bucketed histograms whose
+//!   percentile figures are bucket upper bounds: deterministic,
+//!   order-independent, and machine-independent, so they are safe to
+//!   compare across runs (though CI gates only the scale-invariant
+//!   columns).
 //!
 //! Recorded segments start only after a warm-up phase (`--warmup` events,
 //! streamed but not tabulated): during cold start many candidate queues
@@ -49,6 +55,14 @@ struct Segment {
     messages: u64,
     heap_allocs: u64,
     peak_candidates: u64,
+    /// Per-check cost distribution (log-bucketed percentiles, so the
+    /// figures are deterministic and machine-independent like every
+    /// other column): p50/p90/p99/max of `monitor.check.cost` samples
+    /// recorded during the segment.
+    cost_p50: u64,
+    cost_p90: u64,
+    cost_p99: u64,
+    cost_max: u64,
 }
 
 impl Segment {
@@ -60,6 +74,10 @@ impl Segment {
             .u64("checks", self.checks)
             .u64("check_cost", self.check_cost)
             .u64("cost_per_event_milli", self.cost_per_event_milli)
+            .u64("cost_p50", self.cost_p50)
+            .u64("cost_p90", self.cost_p90)
+            .u64("cost_p99", self.cost_p99)
+            .u64("cost_max", self.cost_max)
             .u64("delta_cuts", self.delta_cuts)
             .u64("alarms", self.alarms)
             .u64("messages", self.messages)
@@ -162,10 +180,20 @@ fn main() {
 
     for seg in 1..=segments {
         let allocs_before = cut_heap_allocs();
+        // A scoped recorder catches the segment's `monitor.check.cost`
+        // samples for the percentile columns. Scoped to the segment so
+        // each row summarizes its own distribution.
+        let mem = std::sync::Arc::new(slicing_observe::MemoryRecorder::new(
+            slicing_observe::Level::Trace,
+        ));
+        let recording = slicing_observe::scoped(mem.clone());
         for _ in 0..events_per_segment {
             step(&mut m, &vars, &mut rng, &mut last_event, &mut last_alarm);
         }
+        drop(recording);
         let heap_allocs = cut_heap_allocs() - allocs_before;
+        let (_, cost_p50, cost_p90, cost_p99, cost_max) =
+            mem.sample_histogram("monitor.check.cost").summary();
 
         // Differential sanity at the segment boundary: the offline
         // reference must agree with the monitor's settled verdict.
@@ -190,6 +218,10 @@ fn main() {
             messages: cur.messages - prev.messages,
             heap_allocs,
             peak_candidates: cur.peak_candidates,
+            cost_p50,
+            cost_p90,
+            cost_p99,
+            cost_max,
         });
         prev = cur;
     }
@@ -218,11 +250,14 @@ fn main() {
         "# Online-monitor soak — {procs} procs, {warmup} warm-up + {segments}×{events_per_segment} events, fixed seed"
     );
     println!(
-        "{:<10} {:>8} {:>10} {:>12} {:>10} {:>8} {:>9} {:>6} {:>10}",
+        "{:<10} {:>8} {:>10} {:>12} {:>5} {:>5} {:>5} {:>10} {:>8} {:>9} {:>6} {:>10}",
         "segment",
         "events",
         "cost",
         "milli/event",
+        "p50",
+        "p99",
+        "max",
         "delta",
         "alarms",
         "messages",
@@ -231,11 +266,14 @@ fn main() {
     );
     for r in &rows {
         println!(
-            "{:<10} {:>8} {:>10} {:>12} {:>10} {:>8} {:>9} {:>6} {:>10}",
+            "{:<10} {:>8} {:>10} {:>12} {:>5} {:>5} {:>5} {:>10} {:>8} {:>9} {:>6} {:>10}",
             r.name,
             r.events,
             r.check_cost,
             r.cost_per_event_milli,
+            r.cost_p50,
+            r.cost_p99,
+            r.cost_max,
             r.delta_cuts,
             r.alarms,
             r.messages,
@@ -249,7 +287,7 @@ fn main() {
     );
 
     let doc = JsonObject::new()
-        .str("schema", "slicing.bench-online/v1")
+        .str("schema", slicing_observe::schema::BENCH_ONLINE)
         .str("binary", "table_online")
         .bool("quick", quick)
         .u64("procs", procs as u64)

@@ -239,7 +239,7 @@ fn main() {
     }
 
     let doc = JsonObject::new()
-        .str("schema", "slicing.bench-detect/v1")
+        .str("schema", slicing_observe::schema::BENCH_DETECT)
         .str("binary", "table_speedup")
         .bool("quick", quick)
         .u64("grid", u64::from(grid_size))

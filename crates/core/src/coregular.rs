@@ -39,6 +39,7 @@ pub fn slice_co_regular<'a, P: RegularPredicate + ?Sized>(
 /// see [`slice_co_regular`]. Useful directly for `definitely`-modality
 /// detection, which searches the complement of a slice.
 pub fn slice_complement_of<'a>(comp: &'a Computation, slice: &Slice<'a>) -> Slice<'a> {
+    let _span = slicing_observe::span("slice.co_regular");
     let anchor = Node::Event(comp.event_at(comp.process(0), 0));
     let mut violations: Vec<Slice<'a>> = Vec::new();
 
@@ -63,6 +64,7 @@ pub fn slice_complement_of<'a>(comp: &'a Computation, slice: &Slice<'a>) -> Slic
         }
     }
 
+    slicing_observe::counter("slice.co_regular.violations", violations.len() as u64);
     graft_or_fold(comp, violations.iter())
 }
 

@@ -35,6 +35,8 @@ pub fn slice_decomposable<'a, P: RegularPredicate>(
         !clauses.is_empty(),
         "slice_decomposable needs at least one clause; use Slice::full for `true`"
     );
+    let _span = slicing_observe::span("slice.decomposable");
+    slicing_observe::counter("slice.decomposable.clauses", clauses.len() as u64);
     // Conjunction grafting is edge union, so collect every clause's edges
     // (each computed on its clause's processes only) and build one slice.
     let mut edges = Vec::new();

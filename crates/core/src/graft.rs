@@ -28,6 +28,7 @@ pub fn graft_and<'a>(a: &Slice<'a>, b: &Slice<'a>) -> Slice<'a> {
     let mut edges: Vec<Edge> = Vec::with_capacity(a.edges().len() + b.edges().len());
     edges.extend_from_slice(a.edges());
     edges.extend_from_slice(b.edges());
+    slicing_observe::counter("slice.graft.edges_merged", edges.len() as u64);
     Slice::new(a.computation(), edges)
 }
 
@@ -46,6 +47,7 @@ pub fn graft_and_all<'a>(slices: &[Slice<'a>]) -> Slice<'a> {
         assert_same_computation(&slices[0], s);
         edges.extend_from_slice(s.edges());
     }
+    slicing_observe::counter("slice.graft.edges_merged", edges.len() as u64);
     Slice::new(comp, edges)
 }
 
@@ -86,13 +88,13 @@ where
     // Accumulated least cut per event across the disjuncts (None =
     // contained in no disjunct so far).
     let mut jvee: Vec<Option<Cut>> = vec![None; num_events];
-    let mut any = false;
+    let mut disjuncts = 0u64;
     for s in slices {
         assert!(
             std::ptr::eq(s.computation(), comp),
             "grafted slices must derive from the given computation"
         );
-        any = true;
+        disjuncts += 1;
         for e in comp.events() {
             if let Some(j) = s.least_cut(e) {
                 match &mut jvee[e.as_usize()] {
@@ -102,7 +104,8 @@ where
             }
         }
     }
-    if !any {
+    slicing_observe::counter("slice.graft.disjuncts", disjuncts);
+    if disjuncts == 0 {
         return Slice::empty(comp);
     }
     slice_from_least_cuts(comp, &jvee)

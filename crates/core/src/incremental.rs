@@ -356,6 +356,7 @@ impl OnlineSlicer {
         let holds = self.holds_at_frontier(p);
         self.holds[e.as_usize()] = holds;
         self.frontier[process] = (e, holds);
+        slicing_observe::counter("online.events_observed", 1);
         Ok(e)
     }
 
@@ -516,11 +517,13 @@ impl OnlineSlicer {
     ///
     /// Panics if `comp` has a different number of events than observed.
     pub fn slice_of<'a>(&self, comp: &'a Computation) -> Slice<'a> {
+        let _span = slicing_observe::span("slice.online_snapshot");
         assert_eq!(
             comp.num_events() as u32,
             self.num_events(),
             "computation does not match the observed prefix"
         );
+        slicing_observe::counter("online.settled_edges", self.settled_edges.len() as u64);
         let mut edges: Vec<Edge> = self
             .settled_edges
             .iter()

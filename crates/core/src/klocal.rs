@@ -20,7 +20,9 @@ use crate::slice::Slice;
 /// satisfying cut (each clause's slice is lean, and disjunction grafting
 /// produces the smallest sublattice containing the union).
 pub fn slice_klocal<'a>(comp: &'a Computation, pred: &KLocalPredicate) -> Slice<'a> {
+    let _span = slicing_observe::span("slice.klocal");
     let dnf = pred.to_dnf(comp);
+    slicing_observe::counter("slice.klocal.clauses", dnf.len() as u64);
     // Slicing clause-by-clause and folding keeps memory at O(n|E|)
     // regardless of the clause count.
     graft_or_fold(

@@ -53,6 +53,7 @@ pub fn slice_linear_restricted<'a, P: LinearPredicate + ?Sized>(
     pred: &P,
     procs: ProcSet,
 ) -> Slice<'a> {
+    let _span = slicing_observe::span("slice.linear");
     Slice::new(comp, linear_constraint_edges(comp, pred, procs))
 }
 
@@ -72,6 +73,10 @@ pub(crate) fn linear_constraint_edges<P: LinearPredicate + ?Sized>(
     let n = comp.num_processes();
     let proc_list: Vec<ProcessId> = procs.iter().collect();
     let mut edges: Vec<Edge> = Vec::new();
+    // Work accounting, emitted once at the end so the hot loop stays
+    // allocation- and dispatch-free.
+    let evals = std::cell::Cell::new(0u64);
+    let advances = std::cell::Cell::new(0u64);
 
     // Joins a cut with the restriction of `other` to `procs`.
     let join_masked = |cut: &mut Cut, other: &Cut| {
@@ -87,6 +92,7 @@ pub(crate) fn linear_constraint_edges<P: LinearPredicate + ?Sized>(
     let advance = |cut: &mut Cut| -> bool {
         loop {
             let st = GlobalState::new(comp, cut);
+            evals.set(evals.get() + 1);
             if pred.eval(&st) {
                 return true;
             }
@@ -97,6 +103,7 @@ pub(crate) fn linear_constraint_edges<P: LinearPredicate + ?Sized>(
             }
             let next = comp.event_at(p, cut.count(p));
             join_masked(cut, comp.min_cut(next));
+            advances.set(advances.get() + 1);
             // `min_cut(next)` includes `next` itself.
             debug_assert!(cut.count(p) > 0);
         }
@@ -132,6 +139,9 @@ pub(crate) fn linear_constraint_edges<P: LinearPredicate + ?Sized>(
         }
     }
 
+    slicing_observe::counter("slice.linear.evals", evals.get());
+    slicing_observe::counter("slice.linear.advances", advances.get());
+    slicing_observe::counter("slice.linear.edges", edges.len() as u64);
     edges
 }
 

@@ -27,6 +27,7 @@ pub fn detect_not_definitely<P: Predicate + ?Sized>(
     pred: &P,
     limits: &Limits,
 ) -> Detection {
+    let _span = slicing_observe::span("detect.definitely");
     let start = Instant::now();
     let mut tracker = Tracker::default();
     let n = comp.num_processes();

@@ -66,6 +66,10 @@ pub(crate) fn detect_bfs_capped<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
     let mut found = None;
     let mut aborted = None;
     let mut cut = bottom;
+    // Per-expansion probe-length samples only when a Trace sink listens:
+    // the delta of the visited set's probe counter across one expansion.
+    let sampling = slicing_observe::enabled(slicing_observe::Level::Trace);
+    let mut last_probes = visited.stats().probes;
     while let Some(idx) = queue.pop_front() {
         cut.copy_from_counts(visited.counts_at(idx));
         tracker.release(entry_bytes);
@@ -96,6 +100,11 @@ pub(crate) fn detect_bfs_capped<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
                 tracker.charge(entry_bytes);
             }
         });
+        if sampling {
+            let probes = visited.stats().probes;
+            slicing_observe::sample("detect.bfs.probe_len", probes - last_probes);
+            last_probes = probes;
+        }
         if visited.saturated() {
             // A refused insert means unseen successors were dropped: the
             // sweep can no longer prove absence, so stop with a budget

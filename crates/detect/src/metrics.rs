@@ -33,6 +33,21 @@ pub enum AbortReason {
     PredicateError,
 }
 
+impl AbortReason {
+    /// The short stable token used in JSON reports (`"memory"`,
+    /// `"cuts"`, …) — part of the `slicing.run-report/v1` contract.
+    pub fn code(self) -> &'static str {
+        match self {
+            AbortReason::MemoryLimit => "memory",
+            AbortReason::CutLimit => "cuts",
+            AbortReason::LiveCutLimit => "live-cuts",
+            AbortReason::Deadline => "deadline",
+            AbortReason::ArenaFull => "arena-full",
+            AbortReason::PredicateError => "predicate",
+        }
+    }
+}
+
 impl fmt::Display for AbortReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -198,17 +213,7 @@ impl Detection {
             .u64("max_stored_cuts", self.max_stored_cuts)
             .u64("peak_bytes", self.peak_bytes)
             .f64("elapsed_secs", self.elapsed.as_secs_f64())
-            .opt_str(
-                "aborted",
-                self.aborted.map(|r| match r {
-                    AbortReason::MemoryLimit => "memory",
-                    AbortReason::CutLimit => "cuts",
-                    AbortReason::LiveCutLimit => "live-cuts",
-                    AbortReason::Deadline => "deadline",
-                    AbortReason::ArenaFull => "arena-full",
-                    AbortReason::PredicateError => "predicate",
-                }),
-            );
+            .opt_str("aborted", self.aborted.map(AbortReason::code));
         let phases = self
             .phases
             .iter()

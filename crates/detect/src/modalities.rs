@@ -38,6 +38,7 @@ pub fn invariant_via_slicing(
     spec_of_not_b: &PredicateSpec,
     limits: &Limits,
 ) -> Result<bool, Box<Detection>> {
+    let _span = slicing_observe::span("detect.invariant");
     let outcome = detect_with_slicing(comp, spec_of_not_b, limits);
     if !outcome.search.completed() {
         return Err(Box::new(outcome.search));
@@ -114,6 +115,7 @@ pub fn detect_controllable<P: Predicate + ?Sized>(
     pred: &P,
     limits: &Limits,
 ) -> Detection {
+    let _span = slicing_observe::span("detect.controllable");
     let start = Instant::now();
     let mut tracker = Tracker::default();
     let n = comp.num_processes();

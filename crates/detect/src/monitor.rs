@@ -353,6 +353,7 @@ impl OnlineMonitor {
         self.stats.check_cost += work;
         self.stats.last_check_cost = work;
         slicing_observe::counter("monitor.check_cost", work);
+        slicing_observe::sample("monitor.check.cost", work);
 
         let found = if self.current_alarm.is_some() && self.current_alarm != self.last_alarm {
             self.last_alarm.clone_from(&self.current_alarm);

@@ -161,6 +161,7 @@ where
         layer += 1;
         slicing_observe::gauge("detect.parallel.layer", layer);
         slicing_observe::gauge("detect.parallel.layer_width", frontier.len() as u64);
+        slicing_observe::sample("detect.parallel.layer_width", frontier.len() as u64);
         // Evaluate and expand the layer in parallel. Successors carry their
         // hash so the merge shards don't rehash on every scan.
         let chunk = frontier.len().div_ceil(threads);

@@ -1,0 +1,246 @@
+//! Log-bucketed histograms for deterministic distribution summaries.
+//!
+//! A [`Histogram`] spreads `u64` samples over 65 buckets: bucket 0 holds
+//! the value 0 and bucket `i` (1..=64) holds values whose highest set bit
+//! is `i - 1`, i.e. the range `[2^(i-1), 2^i)`. Quantiles are reported as
+//! the *upper bound* of the bucket containing the requested rank, so two
+//! runs that feed the same samples — on any machine, in any order —
+//! report byte-identical percentiles. That determinism is what lets the
+//! soak benches gate on p99 figures in CI; the price is that a reported
+//! percentile may overshoot the true order statistic by at most 2×.
+
+/// Number of buckets: one for zero plus one per possible highest bit.
+const BUCKETS: usize = 65;
+
+/// A fixed-size, allocation-free, power-of-two-bucketed histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket holding `value`.
+    fn bucket(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i` (the reported quantile value).
+    fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The deterministic `q`-quantile (`q` in `[0, 1]`): the upper bound
+    /// of the bucket holding the sample of rank `ceil(q * count)`.
+    ///
+    /// Exception: the bucket holding the true maximum reports `max`
+    /// itself rather than its bound, so `quantile(1.0) == max()` and a
+    /// p99 never exceeds the largest value actually observed.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand for the 50th percentile.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Shorthand for the 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// Shorthand for the 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// `(count, p50, p90, p99, max)` — the standard summary row the
+    /// benches print.
+    pub fn summary(&self) -> (u64, u64, u64, u64, u64) {
+        (self.count, self.p50(), self.p90(), self.p99(), self.max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 1);
+        assert_eq!(Histogram::bucket(2), 2);
+        assert_eq!(Histogram::bucket(3), 2);
+        assert_eq!(Histogram::bucket(4), 3);
+        assert_eq!(Histogram::bucket(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper(1), 1);
+        assert_eq!(Histogram::bucket_upper(2), 3);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        // Rank 50 is value 50 → bucket [32,64) → upper bound 63.
+        assert_eq!(h.p50(), 63);
+        // Ranks 90/99 land in bucket [64,128), capped at the true max.
+        assert_eq!(h.p90(), 100);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn quantiles_are_order_independent() {
+        let mut fwd = Histogram::new();
+        let mut rev = Histogram::new();
+        let samples = [5u64, 0, 9, 200, 3, 3, 77, 1024, 6];
+        for &v in &samples {
+            fwd.record(v);
+        }
+        for &v in samples.iter().rev() {
+            rev.record(v);
+        }
+        assert_eq!(fwd.summary(), rev.summary());
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1u64, 2, 3, 1000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 7, 7, 40] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), all.summary());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+    }
+
+    #[test]
+    fn zero_heavy_distributions() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(0);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p90(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 1_000_000);
+    }
+}

@@ -2,9 +2,9 @@
 //! workspace.
 //!
 //! The crate provides one small vocabulary — leveled [`Event`]s carrying
-//! spans (monotonic enter/exit timing), monotonic counters, gauges, and
-//! text messages — and a [`Recorder`] trait that sinks implement. Four
-//! sinks ship with the crate:
+//! spans (monotonic enter/exit timing), monotonic counters, gauges,
+//! histogram samples, and text messages — and a [`Recorder`] trait that
+//! sinks implement. Four sinks ship with the crate:
 //!
 //! * [`NullRecorder`] — discards everything; equivalent to the default
 //!   state where no recorder is installed at all.
@@ -17,7 +17,8 @@
 //! # Dispatch model
 //!
 //! Instrumentation sites call the free functions [`span`], [`counter`],
-//! [`gauge`], and [`message`]. Events reach two kinds of recorders:
+//! [`gauge`], [`sample`], and [`message`]. Events reach two kinds of
+//! recorders:
 //!
 //! * a single process-wide recorder installed with [`install`] (used by
 //!   binaries), and
@@ -28,8 +29,8 @@
 //! When no recorder is installed anywhere, every instrumentation call
 //! reduces to one relaxed atomic load — hot loops in the slicers and
 //! detectors pay effectively nothing for being instrumented. Spans are
-//! emitted at [`Level::Debug`]; counters and gauges at [`Level::Trace`];
-//! messages at their explicit level.
+//! emitted at [`Level::Debug`]; counters, gauges, and samples at
+//! [`Level::Trace`]; messages at their explicit level.
 //!
 //! Threads spawned by instrumented code (for example the parallel BFS
 //! detector) see the globally installed recorder but not the spawning
@@ -43,12 +44,20 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
+pub mod diff;
+pub mod histogram;
 pub mod json;
+pub mod profile;
 pub mod report;
+pub mod schema;
 pub mod sinks;
+pub mod snapshot;
 
+pub use histogram::Histogram;
+pub use profile::{ProfileReport, ProfileSpan, Profiler};
 pub use report::{RunReport, RunReportSet};
 pub use sinks::{JsonlWriter, MemoryRecorder, OwnedEvent, StderrLogger};
+pub use snapshot::MetricsSnapshotter;
 
 /// Verbosity levels, ordered from silent to most verbose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -137,6 +146,17 @@ pub enum Event<'a> {
         /// The sampled value.
         value: u64,
     },
+    /// One observation destined for a distribution summary (histogram).
+    ///
+    /// Unlike a [`Event::Gauge`] — where only the latest value and the
+    /// running maximum matter — every sample contributes to percentile
+    /// figures, so sinks that summarize must bucket each one.
+    Sample {
+        /// Dotted sample name, e.g. `"monitor.check.cost"`.
+        name: &'a str,
+        /// The observed value.
+        value: u64,
+    },
     /// A human-readable message at an explicit level.
     Message {
         /// Severity of the message.
@@ -151,7 +171,7 @@ impl Event<'_> {
     pub fn level(&self) -> Level {
         match self {
             Event::SpanEnter { .. } | Event::SpanExit { .. } => Level::Debug,
-            Event::Counter { .. } | Event::Gauge { .. } => Level::Trace,
+            Event::Counter { .. } | Event::Gauge { .. } | Event::Sample { .. } => Level::Trace,
             Event::Message { level, .. } => *level,
         }
     }
@@ -161,6 +181,27 @@ impl Event<'_> {
 ///
 /// Implementations must be cheap to call and internally synchronized:
 /// `record` may be invoked from multiple threads at once.
+///
+/// # Event semantics (the cross-sink contract)
+///
+/// Every sink must interpret the event kinds identically, so that two
+/// sinks fed the same event stream agree on derived values:
+///
+/// * **Counters** are monotonic: a sink's view of counter `n` is the sum
+///   of every `delta` recorded for `n`. Sinks never reset or overwrite.
+/// * **Gauges** are instantaneous: each [`Event::Gauge`] *replaces* the
+///   previous reading of that name. A sink may additionally track the
+///   running maximum (as [`MemoryRecorder::gauge_max`] does), but the
+///   primary value of a gauge is always its most recent reading —
+///   streaming sinks emit each reading in order, and a consumer that
+///   keeps only the last line per name reconstructs exactly what
+///   [`MemoryRecorder::gauge_last`] reports.
+/// * **Samples** feed distributions: every [`Event::Sample`] value
+///   contributes one observation to the named histogram; neither
+///   replacement (gauge) nor summation (counter) semantics apply.
+///
+/// `tests/` in this crate pin the contract with a cross-sink
+/// equivalence test (MemoryRecorder vs. a parsed-back JSONL stream).
 pub trait Recorder: Send + Sync {
     /// The most verbose level this recorder wants. Events above it are
     /// filtered out before `record` is called.
@@ -341,6 +382,17 @@ pub fn counter(name: &'static str, delta: u64) {
 pub fn gauge(name: &'static str, value: u64) {
     if enabled(Level::Trace) {
         dispatch(&Event::Gauge { name, value });
+    }
+}
+
+/// Records one observation of `name` for distribution summaries
+/// ([`Level::Trace`]). Use for quantities whose percentiles matter
+/// (per-event check cost, layer width, probe length); use [`gauge`] for
+/// quantities where only the latest/maximum reading matters.
+#[inline]
+pub fn sample(name: &'static str, value: u64) {
+    if enabled(Level::Trace) {
+        dispatch(&Event::Sample { name, value });
     }
 }
 

@@ -1,0 +1,673 @@
+//! The span profiler: a [`Recorder`] that folds the event stream into a
+//! merged call tree with per-span counter attribution.
+//!
+//! # Model
+//!
+//! Every [`Event::SpanEnter`]/[`Event::SpanExit`] pair contributes one
+//! *call* to a tree node identified by its path of span names from the
+//! root (two calls of `slice.scc` under `detect.slice_phase` merge into
+//! one node with `calls = 2`, exactly like a folded flamegraph). Spans
+//! nest per thread: each emitting thread has its own stack, and a span
+//! entered while another is open on the same thread becomes its child.
+//!
+//! Counters are attributed to the innermost span open **on the emitting
+//! thread** at the moment they are recorded; counters emitted outside
+//! any span (including from worker threads the profiler never saw a
+//! span-enter from) land on the synthetic `(unattributed)` root. Because
+//! every delta is credited to exactly one node, the per-span counter
+//! sums over the whole tree equal the flat totals a [`MemoryRecorder`]
+//! would report for the same run — the invariant the CLI's profile
+//! regression test pins.
+//!
+//! Samples feed profile-global histograms (distributions don't decompose
+//! by phase the way monotonic counters do).
+//!
+//! # Panic safety
+//!
+//! A [`crate::Span`] guard dropped during unwind emits its exit event
+//! normally, but exits can arrive out of LIFO order when a guard is
+//! moved or leaked across scopes. The profiler therefore closes spans by
+//! *id*, popping any still-open descendants first; an exit whose id was
+//! never entered (possible when the profiler was installed mid-span) is
+//! ignored. The tree never corrupts — at worst a leaked guard's node
+//! stays open and is closed implicitly when the report is built.
+//!
+//! [`Event::SpanEnter`]: crate::Event::SpanEnter
+//! [`Event::SpanExit`]: crate::Event::SpanExit
+//! [`MemoryRecorder`]: crate::MemoryRecorder
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+use crate::histogram::Histogram;
+use crate::json::{JsonArray, JsonObject};
+use crate::{Event, Level, Recorder};
+
+/// Name of the synthetic node that absorbs events outside any span.
+pub const UNATTRIBUTED: &str = "(unattributed)";
+
+/// Index of a node in [`Tree::nodes`]; the unattributed root is 0.
+type NodeIx = usize;
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    children: Vec<NodeIx>,
+    calls: u64,
+    wall_nanos: u64,
+    counters: Vec<(String, u64)>,
+}
+
+impl Node {
+    fn new(name: impl Into<String>) -> Self {
+        Node {
+            name: name.into(),
+            children: Vec::new(),
+            calls: 0,
+            wall_nanos: 0,
+            counters: Vec::new(),
+        }
+    }
+
+    fn add_counter(&mut self, name: &str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, total)) => *total += delta,
+            None => self.counters.push((name.to_owned(), delta)),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    id: u64,
+    node: NodeIx,
+}
+
+#[derive(Debug, Default)]
+struct Tree {
+    nodes: Vec<Node>,
+    /// Per-thread stacks of currently open spans.
+    stacks: HashMap<ThreadId, Vec<OpenSpan>>,
+    /// Profile-global sample histograms, insertion-ordered.
+    samples: Vec<(String, Histogram)>,
+}
+
+impl Tree {
+    fn new() -> Self {
+        Tree {
+            nodes: vec![Node::new(UNATTRIBUTED)],
+            stacks: HashMap::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The node a fresh event on the current thread attributes to.
+    fn current(&self, thread: ThreadId) -> NodeIx {
+        self.stacks
+            .get(&thread)
+            .and_then(|s| s.last())
+            .map_or(0, |open| open.node)
+    }
+
+    /// Finds or creates the child of `parent` named `name`.
+    fn child(&mut self, parent: NodeIx, name: &str) -> NodeIx {
+        if let Some(&ix) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return ix;
+        }
+        let ix = self.nodes.len();
+        self.nodes.push(Node::new(name));
+        self.nodes[parent].children.push(ix);
+        ix
+    }
+
+    fn enter(&mut self, thread: ThreadId, name: &str, id: u64) {
+        let parent = self.current(thread);
+        let node = self.child(parent, name);
+        self.stacks
+            .entry(thread)
+            .or_default()
+            .push(OpenSpan { id, node });
+    }
+
+    fn exit(&mut self, thread: ThreadId, id: u64, nanos: u64) {
+        let Some(stack) = self.stacks.get_mut(&thread) else {
+            return;
+        };
+        // Close by id, discarding still-open descendants above it: a
+        // guard dropped during unwind exits in order, but a moved or
+        // leaked guard can overtake its children.
+        let Some(pos) = stack.iter().rposition(|open| open.id == id) else {
+            return; // entered before the profiler was installed
+        };
+        let node = stack[pos].node;
+        stack.truncate(pos);
+        self.nodes[node].calls += 1;
+        self.nodes[node].wall_nanos += nanos;
+    }
+
+    fn counter(&mut self, thread: ThreadId, name: &str, delta: u64) {
+        let node = self.current(thread);
+        self.nodes[node].add_counter(name, delta);
+    }
+
+    fn sample(&mut self, name: &str, value: u64) {
+        match self.samples.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                self.samples.push((name.to_owned(), h));
+            }
+        }
+    }
+}
+
+/// A [`Recorder`] that accumulates the span/counter stream into a
+/// merged profile tree; see the module docs for the model.
+#[derive(Debug)]
+pub struct Profiler {
+    tree: Mutex<Tree>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::new()
+    }
+}
+
+impl Profiler {
+    /// An empty profiler; install it (globally or scoped) around the
+    /// region of interest, then call [`report`](Self::report).
+    pub fn new() -> Self {
+        Profiler {
+            tree: Mutex::new(Tree::new()),
+        }
+    }
+
+    /// Snapshots the accumulated profile. Spans still open (leaked
+    /// guards, or a report taken mid-run) appear in the tree with the
+    /// calls and wall time of their *completed* invocations only; their
+    /// attributed counters are always included.
+    pub fn report(&self) -> ProfileReport {
+        let tree = self.tree.lock().expect("profiler lock");
+        let mut spans = Vec::with_capacity(tree.nodes.len());
+        for node in &tree.nodes {
+            spans.push(ProfileSpan {
+                name: node.name.clone(),
+                calls: node.calls,
+                wall_nanos: node.wall_nanos,
+                counters: node.counters.clone(),
+                children: Vec::new(), // indices resolved below
+            });
+        }
+        // Materialize the tree bottom-up: children indices are always
+        // greater than their parent's (nodes are created on first enter,
+        // under an already-existing parent), so a reverse sweep moves
+        // each node into its parent exactly once.
+        let mut built: Vec<Option<ProfileSpan>> = spans.into_iter().map(Some).collect();
+        for ix in (1..tree.nodes.len()).rev() {
+            let mut span = built[ix].take().expect("node taken once");
+            // Collect this node's children (already built).
+            span.children = tree.nodes[ix]
+                .children
+                .iter()
+                .map(|&c| built[c].take().expect("child built"))
+                .collect();
+            built[ix] = Some(span);
+        }
+        let mut root = built[0].take().expect("root");
+        root.children = tree.nodes[0]
+            .children
+            .iter()
+            .map(|&c| built[c].take().expect("child built"))
+            .collect();
+        ProfileReport {
+            workload: String::new(),
+            predicate: String::new(),
+            engine: String::new(),
+            root,
+            samples: tree.samples.clone(),
+        }
+    }
+}
+
+impl Recorder for Profiler {
+    fn level(&self) -> Level {
+        Level::Trace
+    }
+
+    fn record(&self, event: &Event<'_>) {
+        let thread = std::thread::current().id();
+        let mut tree = self.tree.lock().expect("profiler lock");
+        match event {
+            Event::SpanEnter { name, id } => tree.enter(thread, name, *id),
+            Event::SpanExit { id, nanos, .. } => tree.exit(thread, *id, *nanos),
+            Event::Counter { name, delta } => tree.counter(thread, name, *delta),
+            Event::Sample { name, value } => tree.sample(name, *value),
+            Event::Gauge { .. } | Event::Message { .. } => {}
+        }
+    }
+}
+
+/// One node of a materialized profile tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSpan {
+    /// Span name (or [`UNATTRIBUTED`] for the synthetic root).
+    pub name: String,
+    /// Completed calls merged into this node.
+    pub calls: u64,
+    /// Total wall time across those calls, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Counter deltas attributed to this node (not including children).
+    pub counters: Vec<(String, u64)>,
+    /// Child spans, in first-entered order.
+    pub children: Vec<ProfileSpan>,
+}
+
+impl ProfileSpan {
+    /// Sums `counter` over this node and every descendant.
+    pub fn counter_total(&self, counter: &str) -> u64 {
+        let own = self
+            .counters
+            .iter()
+            .filter(|(n, _)| n == counter)
+            .map(|(_, v)| v)
+            .sum::<u64>();
+        own + self
+            .children
+            .iter()
+            .map(|c| c.counter_total(counter))
+            .sum::<u64>()
+    }
+
+    /// Every counter name in this subtree, each with its subtree total,
+    /// sorted by name.
+    pub fn counter_totals(&self) -> Vec<(String, u64)> {
+        fn walk(span: &ProfileSpan, into: &mut std::collections::BTreeMap<String, u64>) {
+            for (name, value) in &span.counters {
+                *into.entry(name.clone()).or_default() += value;
+            }
+            for child in &span.children {
+                walk(child, into);
+            }
+        }
+        let mut totals = std::collections::BTreeMap::new();
+        walk(self, &mut totals);
+        totals.into_iter().collect()
+    }
+}
+
+/// A finished profile: the span tree plus run identification, rendered
+/// as `slicing.profile/v1` JSON or folded-stack text.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Workload name (filled in by the caller; e.g. `"grid40"`).
+    pub workload: String,
+    /// Predicate source text the run detected.
+    pub predicate: String,
+    /// Detection engine used.
+    pub engine: String,
+    /// The synthetic root; real top-level spans are its children.
+    pub root: ProfileSpan,
+    /// Profile-global sample histograms.
+    pub samples: Vec<(String, Histogram)>,
+}
+
+impl ProfileReport {
+    /// Flat counter totals over the whole tree, sorted by name. These
+    /// equal what a [`crate::MemoryRecorder`] would report for the same
+    /// run — the invariant the regression tests pin.
+    pub fn totals(&self) -> Vec<(String, u64)> {
+        self.root.counter_totals()
+    }
+
+    /// Renders the profile as one `slicing.profile/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        fn span_json(span: &ProfileSpan) -> String {
+            let counters = span
+                .counters
+                .iter()
+                .fold(JsonArray::new(), |arr, (name, value)| {
+                    arr.push_raw(
+                        &JsonObject::new()
+                            .str("name", name)
+                            .u64("value", *value)
+                            .finish(),
+                    )
+                })
+                .finish();
+            let children = span
+                .children
+                .iter()
+                .fold(JsonArray::new(), |arr, child| {
+                    arr.push_raw(&span_json(child))
+                })
+                .finish();
+            JsonObject::new()
+                .str("name", &span.name)
+                .u64("calls", span.calls)
+                .u64("wall_nanos", span.wall_nanos)
+                .raw("counters", &counters)
+                .raw("children", &children)
+                .finish()
+        }
+        let totals = self
+            .totals()
+            .iter()
+            .fold(JsonArray::new(), |arr, (name, value)| {
+                arr.push_raw(
+                    &JsonObject::new()
+                        .str("name", name)
+                        .u64("value", *value)
+                        .finish(),
+                )
+            })
+            .finish();
+        let samples = self
+            .samples
+            .iter()
+            .fold(JsonArray::new(), |arr, (name, h)| {
+                let (count, p50, p90, p99, max) = h.summary();
+                arr.push_raw(
+                    &JsonObject::new()
+                        .str("name", name)
+                        .u64("count", count)
+                        .u64("p50", p50)
+                        .u64("p90", p90)
+                        .u64("p99", p99)
+                        .u64("max", max)
+                        .finish(),
+                )
+            })
+            .finish();
+        // The synthetic root is flattened away in JSON: its children are
+        // the document's top-level spans, and any counters it absorbed
+        // appear as an explicit (unattributed) root entry.
+        let mut roots = JsonArray::new();
+        if !self.root.counters.is_empty() || self.root.calls > 0 {
+            let mut orphan = self.root.clone();
+            orphan.children = Vec::new();
+            roots = roots.push_raw(&span_json(&orphan));
+        }
+        for child in &self.root.children {
+            roots = roots.push_raw(&span_json(child));
+        }
+        JsonObject::new()
+            .str("schema", crate::schema::PROFILE)
+            .str("workload", &self.workload)
+            .str("predicate", &self.predicate)
+            .str("engine", &self.engine)
+            .raw("totals", &totals)
+            .raw("samples", &samples)
+            .raw("roots", &roots.finish())
+            .finish()
+    }
+
+    /// Renders the profile as folded-stack text, one line per node:
+    /// `parent;child;grandchild <wall_nanos>` — the input format of
+    /// standard flamegraph tooling. Nodes with zero wall time still
+    /// appear (their counters may matter), weighted 0.
+    pub fn to_folded(&self) -> String {
+        fn walk(span: &ProfileSpan, prefix: &str, out: &mut String) {
+            let path = if prefix.is_empty() {
+                span.name.clone()
+            } else {
+                format!("{prefix};{}", span.name)
+            };
+            // Self time: wall time not covered by children (saturating,
+            // since merged child calls can overlap the parent's clock
+            // when threads interleave).
+            let child_nanos: u64 = span.children.iter().map(|c| c.wall_nanos).sum();
+            let self_nanos = span.wall_nanos.saturating_sub(child_nanos);
+            out.push_str(&format!("{path} {self_nanos}\n"));
+            for child in &span.children {
+                walk(child, &path, out);
+            }
+        }
+        let mut out = String::new();
+        if !self.root.counters.is_empty() || self.root.calls > 0 {
+            out.push_str(&format!("{} 0\n", self.root.name));
+        }
+        for child in &self.root.children {
+            walk(child, "", &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn enter(p: &Profiler, name: &'static str, id: u64) {
+        p.record(&Event::SpanEnter { name, id });
+    }
+
+    fn exit(p: &Profiler, name: &'static str, id: u64, nanos: u64) {
+        p.record(&Event::SpanExit { name, id, nanos });
+    }
+
+    fn count(p: &Profiler, name: &'static str, delta: u64) {
+        p.record(&Event::Counter { name, delta });
+    }
+
+    #[test]
+    fn nested_spans_merge_by_path() {
+        let p = Profiler::new();
+        for round in 0..2u64 {
+            enter(&p, "outer", round * 10 + 1);
+            enter(&p, "inner", round * 10 + 2);
+            count(&p, "work", 5);
+            exit(&p, "inner", round * 10 + 2, 100);
+            exit(&p, "outer", round * 10 + 1, 300);
+        }
+        let report = p.report();
+        assert_eq!(report.root.children.len(), 1);
+        let outer = &report.root.children[0];
+        assert_eq!(
+            (outer.name.as_str(), outer.calls, outer.wall_nanos),
+            ("outer", 2, 600)
+        );
+        let inner = &outer.children[0];
+        assert_eq!(
+            (inner.name.as_str(), inner.calls, inner.wall_nanos),
+            ("inner", 2, 200)
+        );
+        assert_eq!(inner.counters, vec![("work".to_owned(), 10)]);
+        assert!(outer.counters.is_empty());
+    }
+
+    #[test]
+    fn counters_attribute_to_innermost_open_span() {
+        let p = Profiler::new();
+        count(&p, "before", 1);
+        enter(&p, "a", 1);
+        count(&p, "in_a", 2);
+        enter(&p, "b", 2);
+        count(&p, "in_b", 3);
+        exit(&p, "b", 2, 10);
+        count(&p, "in_a", 4);
+        exit(&p, "a", 1, 50);
+        count(&p, "after", 8);
+        let report = p.report();
+        assert_eq!(
+            report.root.counters,
+            vec![("before".to_owned(), 1), ("after".to_owned(), 8)]
+        );
+        let a = &report.root.children[0];
+        assert_eq!(a.counters, vec![("in_a".to_owned(), 6)]);
+        assert_eq!(a.children[0].counters, vec![("in_b".to_owned(), 3)]);
+        // The tree-wide totals equal the flat sums.
+        assert_eq!(
+            report.totals(),
+            vec![
+                ("after".to_owned(), 8),
+                ("before".to_owned(), 1),
+                ("in_a".to_owned(), 6),
+                ("in_b".to_owned(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_order_exits_do_not_corrupt_the_tree() {
+        let p = Profiler::new();
+        enter(&p, "a", 1);
+        enter(&p, "b", 2);
+        // The outer guard exits first (moved/leaked guard): closing by
+        // id discards the still-open child.
+        exit(&p, "a", 1, 100);
+        // The late child exit has no open entry left; it is ignored.
+        exit(&p, "b", 2, 40);
+        count(&p, "after", 1);
+        let report = p.report();
+        let a = &report.root.children[0];
+        assert_eq!(a.calls, 1);
+        assert_eq!(report.root.counters, vec![("after".to_owned(), 1)]);
+        // An exit that was never entered is ignored too.
+        exit(&p, "ghost", 99, 5);
+    }
+
+    #[test]
+    fn threads_keep_independent_stacks() {
+        let p = Arc::new(Profiler::new());
+        enter(&p, "main_span", 1);
+        let p2 = p.clone();
+        std::thread::spawn(move || {
+            // No span open on this thread: counter lands unattributed.
+            count(&p2, "worker.count", 7);
+            enter(&p2, "worker_span", 100);
+            count(&p2, "worker.in_span", 1);
+            exit(&p2, "worker_span", 100, 9);
+        })
+        .join()
+        .unwrap();
+        count(&p, "main.count", 1);
+        exit(&p, "main_span", 1, 20);
+        let report = p.report();
+        assert_eq!(report.root.counters, vec![("worker.count".to_owned(), 7)]);
+        let names: Vec<&str> = report
+            .root
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert!(
+            names.contains(&"main_span") && names.contains(&"worker_span"),
+            "{names:?}"
+        );
+        assert_eq!(report.root.counter_total("main.count"), 1);
+        assert_eq!(report.root.counter_total("worker.in_span"), 1);
+    }
+
+    #[test]
+    fn samples_accumulate_globally() {
+        let p = Profiler::new();
+        enter(&p, "a", 1);
+        p.record(&Event::Sample {
+            name: "probe.len",
+            value: 4,
+        });
+        exit(&p, "a", 1, 1);
+        p.record(&Event::Sample {
+            name: "probe.len",
+            value: 90,
+        });
+        let report = p.report();
+        assert_eq!(report.samples.len(), 1);
+        assert_eq!(report.samples[0].1.count(), 2);
+        assert_eq!(report.samples[0].1.max(), 90);
+    }
+
+    #[test]
+    fn json_and_folded_render() {
+        let p = Profiler::new();
+        count(&p, "loose", 2);
+        enter(&p, "outer", 1);
+        enter(&p, "inner", 2);
+        exit(&p, "inner", 2, 100);
+        exit(&p, "outer", 1, 300);
+        p.record(&Event::Sample {
+            name: "s",
+            value: 3,
+        });
+        let mut report = p.report();
+        report.workload = "grid40".to_owned();
+        report.predicate = "x@0 > 999".to_owned();
+        report.engine = "bfs".to_owned();
+        let json = report.to_json();
+        let doc = crate::json::parse(&json).unwrap();
+        assert_eq!(
+            crate::schema::validate(&doc).unwrap(),
+            crate::schema::PROFILE
+        );
+        assert_eq!(doc.get("workload").unwrap().as_str(), Some("grid40"));
+        // Roots: the unattributed counters plus the real top-level span.
+        let roots = doc.get("roots").unwrap().as_array().unwrap();
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].get("name").unwrap().as_str(), Some(UNATTRIBUTED));
+        let folded = report.to_folded();
+        assert!(folded.contains("(unattributed) 0\n"), "{folded}");
+        assert!(folded.contains("outer 200\n"), "{folded}");
+        assert!(folded.contains("outer;inner 100\n"), "{folded}");
+    }
+
+    #[test]
+    fn profiler_as_scoped_recorder_end_to_end() {
+        let p = Arc::new(Profiler::new());
+        {
+            let _guard = crate::scoped(p.clone());
+            let _outer = crate::span("e2e.outer");
+            crate::counter("e2e.count", 3);
+            {
+                let _inner = crate::span("e2e.inner");
+                crate::counter("e2e.count", 4);
+                crate::sample("e2e.sample", 11);
+            }
+        }
+        let report = p.report();
+        assert_eq!(report.root.counter_total("e2e.count"), 7);
+        let outer = report
+            .root
+            .children
+            .iter()
+            .find(|c| c.name == "e2e.outer")
+            .expect("outer span recorded");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(outer.children[0].name, "e2e.inner");
+        assert_eq!(
+            outer.children[0].counters,
+            vec![("e2e.count".to_owned(), 4)]
+        );
+        assert_eq!(report.samples[0].0, "e2e.sample");
+    }
+
+    #[test]
+    fn panicking_span_still_balances() {
+        let p = Arc::new(Profiler::new());
+        let p2 = p.clone();
+        let result = std::thread::spawn(move || {
+            let _guard = crate::scoped(p2);
+            let _span = crate::span("panics.outer");
+            let _inner = crate::span("panics.inner");
+            panic!("unwind through span guards");
+        })
+        .join();
+        assert!(result.is_err());
+        let report = p.report();
+        let outer = report
+            .root
+            .children
+            .iter()
+            .find(|c| c.name == "panics.outer")
+            .expect("outer closed during unwind");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(outer.children[0].calls, 1, "inner closed first");
+    }
+}

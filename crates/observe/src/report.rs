@@ -34,10 +34,10 @@ use std::path::Path;
 use crate::json::{JsonArray, JsonObject};
 
 /// Identifies the per-run schema emitted by [`RunReport::to_json`].
-pub const RUN_REPORT_SCHEMA: &str = "slicing.run-report/v1";
+pub const RUN_REPORT_SCHEMA: &str = crate::schema::RUN_REPORT;
 
 /// Identifies the document schema emitted by [`RunReportSet::to_json`].
-pub const REPORT_SET_SCHEMA: &str = "slicing.bench-report/v1";
+pub const REPORT_SET_SCHEMA: &str = crate::schema::BENCH_REPORT;
 
 /// One run's report; see the module docs for the JSON shape.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -54,6 +54,8 @@ pub struct RunReport {
     pub events: Option<u64>,
     /// Whether the predicate was detected.
     pub detected: Option<bool>,
+    /// Witness cut (events included per process) when detected.
+    pub witness: Option<Vec<u64>>,
     /// Abort reason when the engine hit a resource limit.
     pub aborted: Option<String>,
     /// Global states examined.
@@ -110,6 +112,13 @@ impl RunReport {
         }
         if let Some(v) = self.detected {
             obj = obj.bool("detected", v);
+        }
+        if let Some(witness) = &self.witness {
+            let arr = witness
+                .iter()
+                .fold(JsonArray::new(), |arr, c| arr.push_raw(&c.to_string()))
+                .finish();
+            obj = obj.raw("witness", &arr);
         }
         if self.detected.is_some() || self.aborted.is_some() {
             obj = obj.opt_str("aborted", self.aborted.as_deref());

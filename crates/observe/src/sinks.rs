@@ -23,6 +23,7 @@ pub const LOG_ENV_VAR: &str = "SLICING_LOG";
 /// [debug] slice.j_table{3} exit 1.243ms
 /// [trace] detect.cuts_explored +294
 /// [trace] detect.bfs.frontier = 17
+/// [trace] monitor.check.cost ~ 5
 /// [info] engine bfs starting
 /// ```
 #[derive(Debug)]
@@ -75,6 +76,7 @@ impl Recorder for StderrLogger {
             }
             Event::Counter { name, delta } => format!("[trace] {name} +{delta}"),
             Event::Gauge { name, value } => format!("[trace] {name} = {value}"),
+            Event::Sample { name, value } => format!("[trace] {name} ~ {value}"),
             Event::Message { level, text } => format!("[{level}] {text}"),
         };
         eprintln!("{line}");
@@ -90,6 +92,7 @@ impl Recorder for StderrLogger {
 /// {"type":"span_exit","name":"slice.j_table","id":3,"nanos":1243000}
 /// {"type":"counter","name":"detect.cuts_explored","delta":294}
 /// {"type":"gauge","name":"detect.bfs.frontier","value":17}
+/// {"type":"sample","name":"monitor.check.cost","value":5}
 /// {"type":"message","level":"info","text":"engine bfs starting"}
 /// ```
 pub struct JsonlWriter<W: Write + Send> {
@@ -154,6 +157,11 @@ impl<W: Write + Send> Recorder for JsonlWriter<W> {
                 .str("name", name)
                 .u64("value", *value)
                 .finish(),
+            Event::Sample { name, value } => JsonObject::new()
+                .str("type", "sample")
+                .str("name", name)
+                .u64("value", *value)
+                .finish(),
             Event::Message { level, text } => JsonObject::new()
                 .str("type", "message")
                 .str("level", level.name())
@@ -201,6 +209,13 @@ pub enum OwnedEvent {
         /// Sampled value.
         value: u64,
     },
+    /// See [`Event::Sample`].
+    Sample {
+        /// Sample name.
+        name: String,
+        /// Observed value.
+        value: u64,
+    },
     /// See [`Event::Message`].
     Message {
         /// Severity.
@@ -227,6 +242,10 @@ impl OwnedEvent {
                 delta: *delta,
             },
             Event::Gauge { name, value } => OwnedEvent::Gauge {
+                name: (*name).to_owned(),
+                value: *value,
+            },
+            Event::Sample { name, value } => OwnedEvent::Sample {
                 name: (*name).to_owned(),
                 value: *value,
             },
@@ -307,6 +326,19 @@ impl MemoryRecorder {
                 _ => None,
             })
             .max()
+    }
+
+    /// A histogram over every value recorded for sample `name`.
+    pub fn sample_histogram(&self, name: &str) -> crate::Histogram {
+        let mut h = crate::Histogram::new();
+        for e in self.events.lock().expect("memory recorder lock").iter() {
+            if let OwnedEvent::Sample { name: n, value } = e {
+                if n == name {
+                    h.record(*value);
+                }
+            }
+        }
+        h
     }
 
     /// Span names seen in enter events, with enter/exit counts.
@@ -450,6 +482,36 @@ mod tests {
         assert_eq!(mem.span_counts().get("s"), Some(&(1, 1)));
         mem.clear();
         assert!(mem.events().is_empty());
+    }
+
+    #[test]
+    fn samples_flow_through_every_sink() {
+        let mem = MemoryRecorder::new(Level::Trace);
+        for v in [1u64, 2, 3, 100] {
+            mem.record(&Event::Sample {
+                name: "probe.len",
+                value: v,
+            });
+        }
+        mem.record(&Event::Sample {
+            name: "other",
+            value: 9,
+        });
+        let h = mem.sample_histogram("probe.len");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 100);
+        assert_eq!(mem.sample_histogram("missing").count(), 0);
+
+        let sink = JsonlWriter::new(Vec::new(), Level::Trace);
+        sink.record(&Event::Sample {
+            name: "probe.len",
+            value: 5,
+        });
+        let text = String::from_utf8(sink.out.into_inner().unwrap()).unwrap();
+        assert_eq!(
+            text.trim_end(),
+            "{\"type\":\"sample\",\"name\":\"probe.len\",\"value\":5}"
+        );
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Live metric streaming: periodic delta snapshots for long-running
+//! monitors.
+//!
+//! A [`MetricsSnapshotter`] is a [`Recorder`] that accumulates counters,
+//! gauges, and samples, and on demand emits a `slicing.metrics/v1` JSONL
+//! line describing what changed since the previous snapshot:
+//!
+//! * `counter_deltas` — per-counter increase since the last snapshot
+//!   (zero-delta counters are omitted, so an idle stream emits compact
+//!   lines);
+//! * `gauges` — the *latest* reading of every gauge seen so far (gauge
+//!   semantics per the [`Recorder`] contract: last write wins);
+//! * `samples` — cumulative histogram summaries (count/p50/p90/p99/max)
+//!   for every sample stream.
+//!
+//! The emitter is pull-based: the owner decides the cadence (the CLI
+//! monitor snapshots every N events) and calls
+//! [`write_snapshot`](MetricsSnapshotter::write_snapshot). This keeps
+//! the recorder free of clocks and threads, so snapshots are
+//! deterministic functions of the event stream and the chosen cut
+//! points.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::histogram::Histogram;
+use crate::json::{JsonArray, JsonObject};
+use crate::{Event, Level, Recorder};
+
+#[derive(Debug, Default)]
+struct State {
+    /// Cumulative counter totals.
+    counters: BTreeMap<String, u64>,
+    /// Counter totals as of the previous snapshot.
+    reported: BTreeMap<String, u64>,
+    /// Latest gauge readings.
+    gauges: BTreeMap<String, u64>,
+    /// Cumulative sample histograms.
+    samples: BTreeMap<String, Histogram>,
+    /// Snapshots emitted so far.
+    seq: u64,
+}
+
+/// A [`Recorder`] that turns the event stream into periodic
+/// `slicing.metrics/v1` delta lines; see the module docs.
+#[derive(Debug, Default)]
+pub struct MetricsSnapshotter {
+    state: Mutex<State>,
+}
+
+impl MetricsSnapshotter {
+    /// An empty snapshotter.
+    pub fn new() -> Self {
+        MetricsSnapshotter::default()
+    }
+
+    /// Current cumulative total of counter `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.state
+            .lock()
+            .expect("snapshotter lock")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Builds the next snapshot line and advances the delta baseline.
+    ///
+    /// `label` keys the snapshot to the owner's notion of progress
+    /// (typically the number of events consumed so far), so consumers
+    /// can align snapshots across runs without wall clocks.
+    pub fn snapshot(&self, label: u64) -> String {
+        let mut guard = self.state.lock().expect("snapshotter lock");
+        let state = &mut *guard;
+        state.seq += 1;
+        let seq = state.seq;
+        let mut deltas = JsonArray::new();
+        for (name, total) in &state.counters {
+            let prev = state.reported.get(name).copied().unwrap_or(0);
+            if *total > prev {
+                deltas = deltas.push_raw(
+                    &JsonObject::new()
+                        .str("name", name)
+                        .u64("value", total - prev)
+                        .finish(),
+                );
+            }
+        }
+        state.reported = state.counters.clone();
+        let mut gauges = JsonArray::new();
+        for (name, value) in &state.gauges {
+            gauges = gauges.push_raw(
+                &JsonObject::new()
+                    .str("name", name)
+                    .u64("value", *value)
+                    .finish(),
+            );
+        }
+        let mut samples = JsonArray::new();
+        for (name, h) in &state.samples {
+            let (count, p50, p90, p99, max) = h.summary();
+            samples = samples.push_raw(
+                &JsonObject::new()
+                    .str("name", name)
+                    .u64("count", count)
+                    .u64("p50", p50)
+                    .u64("p90", p90)
+                    .u64("p99", p99)
+                    .u64("max", max)
+                    .finish(),
+            );
+        }
+        JsonObject::new()
+            .str("schema", crate::schema::METRICS)
+            .u64("seq", seq)
+            .u64("at", label)
+            .raw("counter_deltas", &deltas.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("samples", &samples.finish())
+            .finish()
+    }
+
+    /// Emits the next snapshot line to `out` (JSONL: one object, one
+    /// newline). Write failures are reported, not swallowed — a metrics
+    /// stream the operator asked for should not silently go dark.
+    pub fn write_snapshot<W: Write>(&self, out: &mut W, label: u64) -> std::io::Result<()> {
+        writeln!(out, "{}", self.snapshot(label))
+    }
+}
+
+impl Recorder for MetricsSnapshotter {
+    fn level(&self) -> Level {
+        Level::Trace
+    }
+
+    fn record(&self, event: &Event<'_>) {
+        let mut state = self.state.lock().expect("snapshotter lock");
+        match event {
+            Event::Counter { name, delta } => {
+                *state.counters.entry((*name).to_owned()).or_default() += delta;
+            }
+            Event::Gauge { name, value } => {
+                state.gauges.insert((*name).to_owned(), *value);
+            }
+            Event::Sample { name, value } => {
+                state
+                    .samples
+                    .entry((*name).to_owned())
+                    .or_default()
+                    .record(*value);
+            }
+            Event::SpanEnter { .. } | Event::SpanExit { .. } | Event::Message { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::schema;
+
+    fn count(s: &MetricsSnapshotter, name: &'static str, delta: u64) {
+        s.record(&Event::Counter { name, delta });
+    }
+
+    #[test]
+    fn snapshots_carry_deltas_not_totals() {
+        let s = MetricsSnapshotter::new();
+        count(&s, "m.checks", 10);
+        let one = parse(&s.snapshot(100)).unwrap();
+        assert_eq!(schema::validate(&one).unwrap(), schema::METRICS);
+        assert_eq!(one.get("seq").unwrap().as_u64(), Some(1));
+        assert_eq!(one.get("at").unwrap().as_u64(), Some(100));
+        let deltas = one.get("counter_deltas").unwrap().as_array().unwrap();
+        assert_eq!(deltas[0].get("value").unwrap().as_u64(), Some(10));
+
+        count(&s, "m.checks", 3);
+        let two = parse(&s.snapshot(200)).unwrap();
+        let deltas = two.get("counter_deltas").unwrap().as_array().unwrap();
+        assert_eq!(deltas[0].get("value").unwrap().as_u64(), Some(3));
+        assert_eq!(s.counter_total("m.checks"), 13);
+
+        // Nothing changed: the delta list is empty.
+        let three = parse(&s.snapshot(300)).unwrap();
+        assert!(three
+            .get("counter_deltas")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn gauges_report_latest_and_samples_cumulate() {
+        let s = MetricsSnapshotter::new();
+        s.record(&Event::Gauge {
+            name: "g",
+            value: 5,
+        });
+        s.record(&Event::Gauge {
+            name: "g",
+            value: 2,
+        });
+        s.record(&Event::Sample {
+            name: "cost",
+            value: 7,
+        });
+        let one = parse(&s.snapshot(1)).unwrap();
+        let gauges = one.get("gauges").unwrap().as_array().unwrap();
+        assert_eq!(
+            gauges[0].get("value").unwrap().as_u64(),
+            Some(2),
+            "last write wins"
+        );
+        s.record(&Event::Sample {
+            name: "cost",
+            value: 100,
+        });
+        let two = parse(&s.snapshot(2)).unwrap();
+        let samples = two.get("samples").unwrap().as_array().unwrap();
+        assert_eq!(
+            samples[0].get("count").unwrap().as_u64(),
+            Some(2),
+            "cumulative"
+        );
+        assert_eq!(samples[0].get("max").unwrap().as_u64(), Some(100));
+    }
+
+    #[test]
+    fn jsonl_stream_is_parseable_line_by_line() {
+        let s = MetricsSnapshotter::new();
+        let mut out = Vec::new();
+        count(&s, "c", 1);
+        s.write_snapshot(&mut out, 10).unwrap();
+        count(&s, "c", 1);
+        s.write_snapshot(&mut out, 20).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let doc = parse(line).unwrap();
+            assert_eq!(schema::validate(&doc).unwrap(), schema::METRICS);
+        }
+    }
+}

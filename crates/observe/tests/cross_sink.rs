@@ -1,0 +1,130 @@
+//! Cross-sink equivalence: the contract documented on [`Recorder`] says
+//! every sink must agree on what the same event stream *means* —
+//! counters are monotonic sums, gauges are last-write-wins (with a max
+//! kept as a secondary), and every sample feeds a histogram. This test
+//! pins that promise by feeding one deterministic stream to a
+//! [`MemoryRecorder`] and a [`JsonlWriter`] simultaneously, parsing the
+//! JSONL back, and checking the reconstructed state matches the
+//! in-memory view figure for figure.
+//!
+//! [`Recorder`]: slicing_observe::Recorder
+//! [`MemoryRecorder`]: slicing_observe::MemoryRecorder
+//! [`JsonlWriter`]: slicing_observe::JsonlWriter
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use slicing_observe::{self as obs, Histogram, Level};
+
+/// Drive a deterministic stream through whatever recorders are scoped:
+/// two counters, two gauges (each written twice so last-write-wins is
+/// observable), one sample series spanning several histogram buckets,
+/// and a nested span pair so span events coexist with the metrics.
+fn emit_stream() {
+    let _outer = obs::span("xsink.outer");
+    obs::counter("xsink.cuts", 3);
+    obs::gauge("xsink.frontier", 7);
+    {
+        let _inner = obs::span("xsink.inner");
+        obs::counter("xsink.cuts", 4);
+        obs::counter("xsink.probes", 10);
+        obs::gauge("xsink.frontier", 2); // last write wins; max stays 7
+        obs::gauge("xsink.depth", 9);
+    }
+    for value in [1u64, 8, 3, 900, 0, 17] {
+        obs::sample("xsink.cost", value);
+    }
+}
+
+#[test]
+fn memory_and_parsed_back_jsonl_agree() {
+    let path =
+        std::env::temp_dir().join(format!("slicing-cross-sink-{}.jsonl", std::process::id()));
+    let mem = Arc::new(obs::MemoryRecorder::new(Level::Trace));
+    let jsonl = Arc::new(obs::JsonlWriter::create(&path).expect("temp jsonl"));
+    {
+        let _g_mem = obs::scoped(mem.clone());
+        let _g_jsonl = obs::scoped(jsonl.clone());
+        emit_stream();
+    }
+    drop(jsonl); // flush on drop
+
+    // Rebuild the three kinds of state from the JSONL text, applying the
+    // documented semantics and nothing else.
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauge_last: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauge_max: BTreeMap<String, u64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+    let mut span_events = 0u64;
+    let text = std::fs::read_to_string(&path).expect("stream written");
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let doc = obs::json::parse(line).expect("every line is one JSON object");
+        let kind = doc.get("type").unwrap().as_str().unwrap().to_owned();
+        let name = |field: &str| {
+            doc.get(field)
+                .and_then(|v| v.as_str())
+                .map(str::to_owned)
+                .unwrap()
+        };
+        match kind.as_str() {
+            "counter" => {
+                *counters.entry(name("name")).or_default() +=
+                    doc.get("delta").unwrap().as_u64().unwrap();
+            }
+            "gauge" => {
+                let value = doc.get("value").unwrap().as_u64().unwrap();
+                let key = name("name");
+                let max = gauge_max.entry(key.clone()).or_default();
+                *max = (*max).max(value);
+                gauge_last.insert(key, value);
+            }
+            "sample" => {
+                histograms
+                    .entry(name("name"))
+                    .or_default()
+                    .record(doc.get("value").unwrap().as_u64().unwrap());
+            }
+            "span_enter" | "span_exit" => span_events += 1,
+            other => panic!("unexpected event type {other:?} in {line}"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+
+    // Counters: monotonic sums.
+    assert_eq!(counters["xsink.cuts"], 7);
+    assert_eq!(counters["xsink.probes"], 10);
+    for (name, total) in &counters {
+        assert_eq!(
+            mem.counter_total(name),
+            *total,
+            "counter {name} diverged between sinks"
+        );
+    }
+
+    // Gauges: last write wins, max kept as the secondary aggregate.
+    assert_eq!(gauge_last["xsink.frontier"], 2);
+    assert_eq!(gauge_max["xsink.frontier"], 7);
+    for (name, last) in &gauge_last {
+        assert_eq!(mem.gauge_last(name), Some(*last), "gauge {name} (last)");
+        assert_eq!(
+            mem.gauge_max(name),
+            Some(gauge_max[name]),
+            "gauge {name} (max)"
+        );
+    }
+
+    // Samples: identical histograms, hence identical summaries.
+    assert_eq!(
+        histograms["xsink.cost"].summary(),
+        mem.sample_histogram("xsink.cost").summary(),
+        "sample histogram diverged between sinks"
+    );
+    assert_eq!(histograms["xsink.cost"].count(), 6);
+
+    // Both sinks saw the same balanced span traffic.
+    assert_eq!(span_events, 4, "two enters + two exits");
+    assert!(mem.spans_balanced());
+    let counts = mem.span_counts();
+    assert_eq!(counts["xsink.outer"], (1, 1));
+    assert_eq!(counts["xsink.inner"], (1, 1));
+}

@@ -163,7 +163,7 @@ impl RecoveryOutcome {
                 .finish()
         };
         let mut obj = JsonObject::new()
-            .str("schema", "slicing.recovery-report/v1")
+            .str("schema", slicing_observe::schema::RECOVERY_REPORT)
             .str("verdict", self.verdict.name())
             .bool("detected", self.detected)
             .opt_str("engine", self.engine.map(Engine::name))

@@ -38,24 +38,43 @@ fn usage() -> &'static str {
                   [--max-cuts N] [--max-live-cuts N] [--cap-kb N] [--threads N] [--timeout-ms N]
   slicing modality <trace> <predicate> --mode possibly|definitely|invariant|controllable
   slicing monitor <trace> <predicate> [--check-every N]
+                  [--metrics <path>] [--metrics-every N]
+  slicing profile <trace> <predicate>
+                  [--engine slice|bfs|dfs|pom|reverse|parallel|hybrid|lean|lean-parallel]
+                  [--threads N] [--folded] [--out <path>]
+  slicing bench-diff <baseline.json> <current.json> [--threshold T]
+  slicing validate <file>...
   slicing recover --protocol ps|db [--procs N] [--events N] [--seed S]
                   [--fault corrupt|drop-message|duplicate-message|delay-delivery|crash-stop|burst|none]
                   [--attempts N] [--reinject N] [--no-backoff] [--timeout-ms N]
   slicing show    <trace> [<cut as comma list, e.g. 2,2,1>]
   slicing cuts    <trace> [--limit N]
   slicing dot     <trace> [<predicate>]
-  slicing fixture figure1
+  slicing fixture figure1|grid40
 
 --log mirrors the SLICING_LOG environment variable (the flag wins) and
 prints leveled span/counter traces to stderr. --report writes the detect
 outcome as one `slicing.run-report/v1` JSON object to <path> (`-` for
 stdout); on `recover` it writes the `slicing.recovery-report/v1` outcome,
-and on `monitor` the `slicing.monitor-report/v1` stream summary.
+on `monitor` the `slicing.monitor-report/v1` stream summary, and on
+`bench-diff` the `slicing.bench-diff/v1` verdict document.
 `recover` simulates a protocol run, injects the chosen fault, and drives
 the full detect → recovery line → rollback → replay loop. `monitor`
 replays the trace through the incremental online monitor (amortized O(1)
 per check), reporting every distinct alarm cut as it appears; the
-predicate must be a conjunction of local clauses.
+predicate must be a conjunction of local clauses. `--metrics` streams
+`slicing.metrics/v1` delta snapshots (one JSONL line every N observed
+events, default 100) to <path> while the monitor runs.
+`profile` runs a detection with the span profiler installed and emits
+one `slicing.profile/v1` document: the merged span tree with wall time
+and per-span counter attribution (per-span counters sum to the flat
+totals). `--folded` prints folded-stack text for flamegraph tooling
+instead; `--out` writes the JSON document to a file in either mode.
+`bench-diff` compares two bench JSON documents of the same schema
+(deterministic counters only — wall-clock fields are never gated) and
+exits nonzero when any gated counter drifts more than T (default 0.25)
+or any exact field changes. `validate` parses each file (JSON or JSONL)
+and checks every document against the known `slicing.*/v1` schemas.
 
 <trace> is a file path or `-` for stdin; predicates use the expression
 language, e.g. \"x1@0 > 1 && x3@2 <= 3\"."
@@ -114,10 +133,15 @@ fn run() -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err(usage().to_owned());
     };
-    if report.is_some() && command != "detect" && command != "recover" && command != "monitor" {
+    if report.is_some()
+        && !matches!(
+            command.as_str(),
+            "detect" | "recover" | "monitor" | "bench-diff"
+        )
+    {
         eprintln!(
-            "note: --report only applies to `slicing detect`, `slicing recover`, and \
-             `slicing monitor`; ignoring"
+            "note: --report only applies to `slicing detect`, `slicing recover`, \
+             `slicing monitor`, and `slicing bench-diff`; ignoring"
         );
     }
 
@@ -130,7 +154,16 @@ fn run() -> Result<(), String> {
                 );
                 Ok(())
             }
-            other => Err(format!("unknown fixture {other:?}; available: figure1")),
+            Some("grid40") => {
+                print!(
+                    "{}",
+                    computation_slicing::computation::trace::to_text(&grid40_fixture())
+                );
+                Ok(())
+            }
+            other => Err(format!(
+                "unknown fixture {other:?}; available: figure1, grid40"
+            )),
         },
         "stats" => {
             let (trace, pred_src) = two_args(&args)?;
@@ -217,7 +250,28 @@ fn run() -> Result<(), String> {
                 println!("{engine}: {outcome}");
             }
             if let Some(path) = &report {
-                let json = outcome.to_json();
+                // A real slicing.run-report/v1 document (the same shape
+                // the bench binaries emit), so `slicing validate` and
+                // bench tooling can consume it.
+                let mut run =
+                    slicing_observe::RunReport::new(workload_name(trace), engine.as_str());
+                run.procs = Some(comp.num_processes() as u64);
+                run.events = Some(comp.num_events() as u64);
+                run.detected = Some(outcome.detected());
+                run.witness = outcome.found.as_ref().map(|cut| {
+                    (0..cut.num_processes())
+                        .map(|p| u64::from(cut.count(computation_slicing::ProcessId::new(p))))
+                        .collect()
+                });
+                run.aborted = outcome.aborted.map(|r| r.code().to_owned());
+                run.cuts_explored = Some(outcome.cuts_explored);
+                run.max_stored_cuts = Some(outcome.max_stored_cuts);
+                run.peak_bytes = Some(outcome.peak_bytes);
+                run.elapsed_secs = Some(outcome.elapsed.as_secs_f64());
+                for (name, d) in &outcome.phases {
+                    run = run.phase(name.as_str(), d.as_secs_f64());
+                }
+                let json = run.to_json();
                 if path == "-" {
                     println!("{json}");
                 } else {
@@ -355,15 +409,38 @@ fn run() -> Result<(), String> {
         "monitor" => {
             let (trace, pred_src) = two_args(&args)?;
             let mut check_every: u64 = 1;
+            let mut metrics_path: Option<String> = None;
+            let mut metrics_every: u64 = 100;
             let mut it = args[3..].iter();
             while let Some(flag) = it.next() {
                 let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
                 match flag.as_str() {
                     "--check-every" => check_every = value.parse().map_err(|e| format!("{e}"))?,
+                    "--metrics" => metrics_path = Some(value.clone()),
+                    "--metrics-every" => {
+                        metrics_every = value.parse().map_err(|e| format!("{e}"))?
+                    }
                     other => return Err(format!("unknown flag {other}\n\n{}", usage())),
                 }
             }
             let check_every = check_every.max(1);
+            let metrics_every = metrics_every.max(1);
+
+            // Live telemetry: a scoped snapshotter sees every counter,
+            // gauge, and sample the monitor emits on this thread and
+            // turns them into periodic `slicing.metrics/v1` delta lines.
+            let snapshotter = metrics_path
+                .as_ref()
+                .map(|_| std::sync::Arc::new(slicing_observe::MetricsSnapshotter::new()));
+            let mut metrics_out = match &metrics_path {
+                Some(path) => Some(std::io::BufWriter::new(
+                    std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+                )),
+                None => None,
+            };
+            let _metrics_guard = snapshotter
+                .as_ref()
+                .map(|s| slicing_observe::scoped(s.clone()));
             let comp = load_trace(trace)?;
             let pred = parse_predicate(&comp, pred_src).map_err(|e| e.to_string())?;
             let conj = pred.to_conjunctive().ok_or_else(|| {
@@ -444,9 +521,24 @@ fn run() -> Result<(), String> {
                 if observed.is_multiple_of(check_every) {
                     check(&mut m, &mut alarms, observed)?;
                 }
+                if observed.is_multiple_of(metrics_every) {
+                    if let (Some(s), Some(out)) = (&snapshotter, metrics_out.as_mut()) {
+                        s.write_snapshot(out, observed)
+                            .map_err(|e| format!("writing metrics: {e}"))?;
+                    }
+                }
             }
             if !observed.is_multiple_of(check_every) {
                 check(&mut m, &mut alarms, observed)?;
+            }
+            if let (Some(s), Some(out)) = (&snapshotter, metrics_out.as_mut()) {
+                // Final snapshot so the stream always covers the tail.
+                if !observed.is_multiple_of(metrics_every) || observed == 0 {
+                    s.write_snapshot(out, observed)
+                        .map_err(|e| format!("writing metrics: {e}"))?;
+                }
+                use std::io::Write;
+                out.flush().map_err(|e| format!("writing metrics: {e}"))?;
             }
 
             let stats = m.stats();
@@ -463,7 +555,7 @@ fn run() -> Result<(), String> {
             );
             if let Some(path) = &report {
                 let json = slicing_observe::json::JsonObject::new()
-                    .str("schema", "slicing.monitor-report/v1")
+                    .str("schema", slicing_observe::schema::MONITOR_REPORT)
                     .u64("events", stats.events)
                     .u64("messages", stats.messages)
                     .u64("checks", stats.checks)
@@ -489,6 +581,151 @@ fn run() -> Result<(), String> {
                 }
             }
             Ok(())
+        }
+        "profile" => {
+            let (trace, pred_src) = two_args(&args)?;
+            let mut engine = "slice".to_owned();
+            let mut threads = 4usize;
+            let mut folded = false;
+            let mut out = None;
+            let mut it = args[3..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--folded" => folded = true,
+                    "--engine" => {
+                        engine = it.next().ok_or("--engine needs a value")?.clone();
+                    }
+                    "--threads" => {
+                        threads = it
+                            .next()
+                            .ok_or("--threads needs a value")?
+                            .parse()
+                            .map_err(|e| format!("{e}"))?;
+                    }
+                    "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                    other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+                }
+            }
+            let comp = load_trace(trace)?;
+            let pred = parse_predicate(&comp, pred_src).map_err(|e| e.to_string())?;
+
+            // The profiler is the process-wide recorder for the run, so
+            // worker threads of the parallel engines report too. It
+            // replaces any --log stderr logger for the profiled region.
+            let profiler = std::sync::Arc::new(slicing_observe::Profiler::new());
+            slicing_observe::install(profiler.clone());
+            let outcome = run_engine(&comp, &pred, &engine, &Limits::none(), threads);
+            slicing_observe::uninstall();
+            let outcome = outcome?;
+
+            let mut profile = profiler.report();
+            profile.workload = workload_name(trace);
+            profile.predicate = pred_src.to_owned();
+            profile.engine = engine;
+            let json = profile.to_json();
+            if let Some(path) = &out {
+                std::fs::write(path, format!("{json}\n"))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+            }
+            if folded {
+                print!("{}", profile.to_folded());
+            } else if out.is_none() {
+                println!("{json}");
+            }
+            eprintln!("profiled: {outcome}");
+            Ok(())
+        }
+        "bench-diff" => {
+            let (base_path, cur_path) = two_args(&args)?;
+            let mut threshold = slicing_observe::diff::DEFAULT_THRESHOLD;
+            let mut it = args[3..].iter();
+            while let Some(flag) = it.next() {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag.as_str() {
+                    "--threshold" => threshold = value.parse().map_err(|e| format!("{e}"))?,
+                    other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+                }
+            }
+            let baseline = load_json_doc(base_path)?;
+            let current = load_json_doc(cur_path)?;
+            let verdict = slicing_observe::diff::diff(&baseline, &current, threshold)?;
+            print!("{}", verdict.render_text());
+            if let Some(path) = &report {
+                let json = verdict.to_json();
+                if path == "-" {
+                    println!("{json}");
+                } else {
+                    std::fs::write(path, format!("{json}\n"))
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                }
+            }
+            if verdict.pass() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "bench drift: {} check(s) over threshold {threshold}",
+                    verdict.failures().len()
+                ))
+            }
+        }
+        "validate" => {
+            let paths = &args[1..];
+            if paths.is_empty() {
+                return Err(format!("validate needs at least one file\n\n{}", usage()));
+            }
+            let mut problems = 0u64;
+            for path in paths {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                let mut schemas: Vec<&'static str> = Vec::new();
+                // A file is either one JSON document (possibly pretty,
+                // spanning lines) or JSONL; try whole-file first.
+                let docs: Vec<(usize, String)> = match slicing_observe::json::parse(&text) {
+                    Ok(_) => vec![(1, text.clone())],
+                    Err(_) => text
+                        .lines()
+                        .enumerate()
+                        .filter(|(_, l)| !l.trim().is_empty())
+                        .map(|(i, l)| (i + 1, l.to_owned()))
+                        .collect(),
+                };
+                if docs.is_empty() {
+                    eprintln!("{path}: empty file");
+                    problems += 1;
+                    continue;
+                }
+                let mut file_problems = 0u64;
+                for (line, doc_text) in &docs {
+                    match slicing_observe::json::parse(doc_text) {
+                        Ok(doc) => match slicing_observe::schema::validate(&doc) {
+                            Ok(name) => schemas.push(name),
+                            Err(e) => {
+                                eprintln!("{path}:{line}: {e}");
+                                file_problems += 1;
+                            }
+                        },
+                        Err(e) => {
+                            eprintln!("{path}:{line}: {e}");
+                            file_problems += 1;
+                        }
+                    }
+                }
+                problems += file_problems;
+                if file_problems == 0 {
+                    schemas.sort_unstable();
+                    schemas.dedup();
+                    println!(
+                        "{path}: {} document(s) ok ({})",
+                        docs.len(),
+                        schemas.join(", ")
+                    );
+                }
+            }
+            if problems == 0 {
+                Ok(())
+            } else {
+                Err(format!("validation failed: {problems} problem(s)"))
+            }
         }
         "modality" => {
             let (trace, pred_src) = two_args(&args)?;
@@ -601,6 +838,83 @@ fn recover_protocol<P: Protocol>(
         faulty
     };
     Ok(recover(make, spec_of, &subject, cfg))
+}
+
+/// Runs one detection engine by name, silently (no per-engine printing);
+/// shared by `slicing profile`.
+fn run_engine(
+    comp: &Computation,
+    pred: &computation_slicing::predicates::expr::ExprPredicate,
+    engine: &str,
+    limits: &Limits,
+    threads: usize,
+) -> Result<computation_slicing::Detection, String> {
+    Ok(match engine {
+        "slice" => {
+            let spec = compile_predicate(comp, pred);
+            detect_with_slicing(comp, &spec, limits).search
+        }
+        "bfs" => detect_bfs(comp, comp, pred, limits),
+        "dfs" => detect_dfs(comp, comp, pred, limits),
+        "pom" => detect_pom(comp, pred, limits),
+        "reverse" => detect_reverse_search(comp, pred, limits),
+        "parallel" => detect::detect_bfs_parallel(comp, comp, pred, limits, threads),
+        "lean" => detect::detect_lean(comp, comp, pred, limits),
+        "lean-parallel" => detect::detect_lean_parallel(comp, comp, pred, limits, threads),
+        "hybrid" => {
+            let spec = compile_predicate(comp, pred);
+            let budget = detect::suggested_pom_budget(comp, 4);
+            let h = detect::detect_hybrid(comp, &spec, budget, limits);
+            match (h.phase, h.slicing) {
+                (detect::HybridPhase::Slicing, Some(s)) => s.search,
+                _ => h.pom,
+            }
+        }
+        other => return Err(format!("unknown engine {other}\n\n{}", usage())),
+    })
+}
+
+/// The fixed profiling workload: a 40×40 grid (two processes, forty
+/// events each, no messages — a 41² = 1681-cut lattice) with a counter
+/// variable `x` per process so expression predicates parse. `x@0 > 999`
+/// never holds, making an exhaustive deterministic sweep.
+fn grid40_fixture() -> Computation {
+    let mut b = computation_slicing::ComputationBuilder::new(2);
+    let vars = [
+        b.declare_var(b.process(0), "x", computation_slicing::Value::Int(0)),
+        b.declare_var(b.process(1), "x", computation_slicing::Value::Int(0)),
+    ];
+    for (p, &var) in vars.iter().enumerate() {
+        for i in 1..=40i64 {
+            b.step(b.process(p), &[(var, computation_slicing::Value::Int(i))]);
+        }
+    }
+    b.build().expect("grid40 is acyclic")
+}
+
+/// Reads and parses one JSON document from a file (or stdin via `-`).
+fn load_json_doc(path: &str) -> Result<slicing_observe::json::JsonValue, String> {
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    slicing_observe::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Workload label for profile reports: the trace file's stem.
+fn workload_name(trace: &str) -> String {
+    if trace == "-" {
+        return "stdin".to_owned();
+    }
+    std::path::Path::new(trace)
+        .file_stem()
+        .map_or_else(|| trace.to_owned(), |s| s.to_string_lossy().into_owned())
 }
 
 fn two_args(args: &[String]) -> Result<(&str, &str), String> {

@@ -238,3 +238,307 @@ fn recover_rejects_unknown_protocols_and_faults() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--protocol"));
 }
+
+// ---------------------------------------------------------------------------
+// Observability surface: fixture grid40, profile, bench-diff, validate,
+// monitor --metrics.
+// ---------------------------------------------------------------------------
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("slicing-cli-{}-{name}", std::process::id()))
+}
+
+fn grid40_trace() -> String {
+    let out = slicing(&["fixture", "grid40"]);
+    assert!(out.status.success());
+    stdout(&out)
+}
+
+#[test]
+fn fixture_grid40_round_trips() {
+    let trace = grid40_trace();
+    let comp = computation_slicing::computation::trace::from_text(&trace).unwrap();
+    assert_eq!(
+        comp.num_events(),
+        82,
+        "2 procs x (initial event + 40 steps)"
+    );
+}
+
+/// The acceptance invariant of the profiler: the per-span counter sums in
+/// the `slicing.profile/v1` document equal the flat totals a
+/// [`MemoryRecorder`] reports for the very same deterministic run.
+#[test]
+fn profile_totals_match_flat_counters_on_grid40() {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    let trace = grid40_trace();
+    let trace_path = tmp_path("profile.trace");
+    let json_path = tmp_path("profile.json");
+    std::fs::write(&trace_path, &trace).unwrap();
+
+    let out = slicing(&[
+        "profile",
+        trace_path.to_str().unwrap(),
+        "x@0 > 999",
+        "--engine",
+        "bfs",
+        "--out",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let doc = slicing_observe::json::parse(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    assert_eq!(
+        slicing_observe::schema::validate(&doc).unwrap(),
+        slicing_observe::schema::PROFILE
+    );
+    assert_eq!(doc.get("engine").unwrap().as_str(), Some("bfs"));
+    let mut profile_totals: BTreeMap<String, u64> = BTreeMap::new();
+    for entry in doc.get("totals").unwrap().as_array().unwrap() {
+        profile_totals.insert(
+            entry.get("name").unwrap().as_str().unwrap().to_owned(),
+            entry.get("value").unwrap().as_u64().unwrap(),
+        );
+    }
+
+    // Replay the identical detection in-process under a flat recorder.
+    let comp = computation_slicing::computation::trace::from_text(&trace).unwrap();
+    let pred = computation_slicing::predicates::expr::parse_predicate(&comp, "x@0 > 999").unwrap();
+    let mem = Arc::new(slicing_observe::MemoryRecorder::new(
+        slicing_observe::Level::Trace,
+    ));
+    {
+        let _guard = slicing_observe::scoped(mem.clone());
+        let d = computation_slicing::detect_bfs(
+            &comp,
+            &comp,
+            &pred,
+            &computation_slicing::Limits::none(),
+        );
+        assert_eq!(d.cuts_explored, 41 * 41, "exhaustive sweep of the lattice");
+    }
+    let mut flat_totals: BTreeMap<String, u64> = BTreeMap::new();
+    for event in mem.events() {
+        if let slicing_observe::OwnedEvent::Counter { name, delta } = event {
+            *flat_totals.entry(name).or_default() += delta;
+        }
+    }
+
+    assert_eq!(
+        profile_totals, flat_totals,
+        "per-span sums must equal flat totals, counter for counter"
+    );
+    // Pin the headline figures so the workload can't silently change.
+    assert_eq!(profile_totals.get("detect.cuts_explored"), Some(&1681));
+    assert_eq!(profile_totals.get("detect.visited.inserts"), Some(&1681));
+
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&json_path).ok();
+}
+
+#[test]
+fn profile_folded_emits_span_paths() {
+    let trace = grid40_trace();
+    let trace_path = tmp_path("folded.trace");
+    std::fs::write(&trace_path, &trace).unwrap();
+    let out = slicing(&[
+        "profile",
+        trace_path.to_str().unwrap(),
+        "x@0 > 999",
+        "--engine",
+        "bfs",
+        "--folded",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    let bfs_line = text
+        .lines()
+        .find(|l| l.starts_with("detect.bfs "))
+        .unwrap_or_else(|| panic!("no detect.bfs stack line in:\n{text}"));
+    // `name <self_nanos>` — the weight must parse as an integer.
+    let weight = bfs_line.rsplit(' ').next().unwrap();
+    weight.parse::<u64>().expect("folded weight is integral");
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn bench_diff_accepts_a_baseline_against_itself() {
+    let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_detect.json");
+    let out = slicing(&["bench-diff", baseline, baseline]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("bench-diff OK"), "{}", stdout(&out));
+}
+
+#[test]
+fn bench_diff_flags_drift_past_threshold() {
+    let old = tmp_path("diff-old.json");
+    let new = tmp_path("diff-new.json");
+    std::fs::write(
+        &old,
+        r#"{"schema":"slicing.bench-detect/v1","binary":"table_speedup","entries":[{"name":"bfs.grid40","detected":false,"cuts_explored":1000,"probes":4000,"hits":900,"inserts":1000,"heap_allocs":0}]}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &new,
+        r#"{"schema":"slicing.bench-detect/v1","binary":"table_speedup","entries":[{"name":"bfs.grid40","detected":false,"cuts_explored":2000,"probes":4000,"hits":900,"inserts":1000,"heap_allocs":0}]}"#,
+    )
+    .unwrap();
+    let out = slicing(&["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(!out.status.success(), "100% drift must fail the gate");
+    let text = stdout(&out);
+    assert!(text.contains("cuts_explored"), "{text}");
+
+    // A generous threshold lets the same pair pass.
+    let out = slicing(&[
+        "bench-diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold",
+        "2.0",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&old).ok();
+    std::fs::remove_file(&new).ok();
+}
+
+#[test]
+fn bench_diff_rejects_mismatched_schemas() {
+    let old = tmp_path("diff-mismatch-old.json");
+    let new = tmp_path("diff-mismatch-new.json");
+    std::fs::write(
+        &old,
+        r#"{"schema":"slicing.bench-detect/v1","binary":"table_speedup","entries":[{"name":"a","detected":false,"cuts_explored":1,"probes":1,"hits":0,"inserts":1,"heap_allocs":0}]}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &new,
+        r#"{"schema":"slicing.bench-online/v1","binary":"table_online","entries":[{"name":"a","events":1,"checks":1,"check_cost":1,"cost_per_event_milli":1,"delta_cuts":0,"alarms":0,"messages":0,"heap_allocs":0,"peak_candidates":0}]}"#,
+    )
+    .unwrap();
+    let out = slicing(&["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("schema"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&old).ok();
+    std::fs::remove_file(&new).ok();
+}
+
+#[test]
+fn validate_accepts_committed_artifacts_and_rejects_junk() {
+    let out = slicing(&[
+        "validate",
+        concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_detect.json"),
+        concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_online.json"),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("slicing.bench-detect/v1"), "{text}");
+    assert!(text.contains("slicing.bench-online/v1"), "{text}");
+
+    let bad = tmp_path("validate-bad.json");
+    std::fs::write(&bad, r#"{"no_schema_here":true}"#).unwrap();
+    let out = slicing(&["validate", bad.to_str().unwrap()]);
+    assert!(!out.status.success(), "schema-less document must fail");
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn monitor_metrics_stream_is_valid_jsonl() {
+    let trace = figure1_trace();
+    let trace_path = tmp_path("metrics.trace");
+    let metrics_path = tmp_path("metrics.jsonl");
+    std::fs::write(&trace_path, &trace).unwrap();
+    let out = slicing(&[
+        "monitor",
+        trace_path.to_str().unwrap(),
+        "x1@0 > 1 && x3@2 <= 3",
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+        "--metrics-every",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stream = std::fs::read_to_string(&metrics_path).unwrap();
+    let lines: Vec<&str> = stream.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty(), "metrics stream is empty");
+    let mut prev_seq = 0;
+    for line in &lines {
+        let doc = slicing_observe::json::parse(line).unwrap();
+        assert_eq!(
+            slicing_observe::schema::validate(&doc).unwrap(),
+            slicing_observe::schema::METRICS
+        );
+        let seq = doc.get("seq").unwrap().as_u64().unwrap();
+        assert!(seq > prev_seq || prev_seq == 0, "snapshots in order");
+        prev_seq = seq;
+    }
+    // The tail snapshot labels the final observed-event count.
+    let last = slicing_observe::json::parse(lines.last().unwrap()).unwrap();
+    assert_eq!(last.get("at").unwrap().as_u64(), Some(9));
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&metrics_path).ok();
+}
+
+#[test]
+fn detect_report_is_a_valid_run_report() {
+    let trace = figure1_trace();
+    let out = slicing_with_stdin(
+        &["--report", "-", "detect", "-", "x1@0 > 1 && x3@2 <= 3"],
+        &trace,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    let line = text
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON report line in:\n{text}"));
+    let doc = slicing_observe::json::parse(line).unwrap();
+    assert_eq!(
+        slicing_observe::schema::validate(&doc).unwrap(),
+        slicing_observe::schema::RUN_REPORT
+    );
+    assert_eq!(doc.get("engine").unwrap().as_str(), Some("slice"));
+    assert_eq!(doc.get("detected").unwrap().as_bool(), Some(true));
+    let witness: Vec<u64> = doc
+        .get("witness")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(witness, vec![1, 2, 2], "earliest satisfying cut");
+}
