@@ -18,6 +18,55 @@ use slicing_predicates::LocalPredicate;
 
 use crate::slice::{Edge, Node, Slice};
 
+/// Statistics returned by [`OnlineSlicer::compact`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Events whose storage was reclaimed by this call.
+    pub dropped_events: u64,
+    /// Events still retained after the call (summary events included).
+    pub retained_events: u64,
+    /// The causal-stability frontier at the time of the call: per process
+    /// `q`, how many of `q`'s events are dominated by *every* process's
+    /// latest clock (the meet of the frontier clocks — itself a consistent
+    /// cut, so compacting below it can never affect a future verdict).
+    pub stable_frontier: Vec<u32>,
+}
+
+/// A serializable snapshot of an [`OnlineSlicer`]'s retained state —
+/// everything except the watch closures, which a checkpoint cannot carry
+/// and which the restoring side re-registers via
+/// [`OnlineSlicer::restore_watch_clause`].
+///
+/// Events are listed in observation (event-id) order; all event-valued
+/// fields are indices into that order. Positions and clock counts are
+/// *absolute* (they include the compacted prefix), so a restored slicer
+/// continues the stream with byte-identical clocks, alarms, and stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlicerState {
+    /// Number of processes.
+    pub num_processes: usize,
+    /// Per process: number of compacted leading positions (the retained
+    /// summary event sits at exactly this absolute position).
+    pub base: Vec<u32>,
+    /// Per retained event, in observation order: its process.
+    pub event_procs: Vec<u32>,
+    /// Per retained event: whether its process's conjuncts hold at it.
+    pub holds: Vec<bool>,
+    /// Per retained event: its vector clock (absolute counts).
+    pub clocks: Vec<Vec<u32>>,
+    /// Per process: declared variable names, in declaration order.
+    pub var_names: Vec<Vec<String>>,
+    /// Per process: variable snapshots of the retained positions
+    /// (`snapshots[p][k]` is the state after the `k`-th retained event).
+    pub snapshots: Vec<Vec<Vec<Value>>>,
+    /// Messages between retained events, as (send, recv) index pairs.
+    pub messages: Vec<(u32, u32)>,
+    /// Settled constraint edges, as (successor, false-event) index pairs.
+    pub settled_edges: Vec<(u32, u32)>,
+    /// The late-message re-timing revision counter.
+    pub clock_revision: u64,
+}
+
 /// An online slicer for conjunctive predicates.
 ///
 /// Events are observed one at a time (with their variable assignments and
@@ -76,6 +125,10 @@ pub struct OnlineSlicer {
     /// Bumped whenever a late message changes an already-assigned clock;
     /// consumers cache it to know when cached consistency facts expire.
     clock_revision: u64,
+    /// Mirrors the builder's id horizon: `clocks`/`holds`/`msgs_out` are
+    /// indexed by `id - id_base`; slots below were reclaimed by
+    /// [`compact`](Self::compact).
+    id_base: u32,
     /// Scratch for the propagation worklist.
     worklist: Vec<EventId>,
     /// Scratch for an event's successors during propagation.
@@ -128,6 +181,7 @@ impl OnlineSlicer {
             holds: Vec::new(),
             msgs_out: Vec::new(),
             clock_revision: 0,
+            id_base: 0,
             worklist: Vec::new(),
             succ_scratch: Vec::new(),
             values_scratch: Vec::new(),
@@ -139,8 +193,16 @@ impl OnlineSlicer {
         slicer
     }
 
+    /// Storage slot of event `e`, panicking with a clear message for
+    /// events whose storage was reclaimed by compaction.
+    fn slot(&self, e: EventId) -> usize {
+        e.as_usize()
+            .checked_sub(self.id_base as usize)
+            .unwrap_or_else(|| panic!("{e} was compacted away"))
+    }
+
     fn ensure_slot(&mut self, e: EventId) {
-        let need = e.as_usize() + 1;
+        let need = self.slot(e) + 1;
         if self.clocks.len() < need {
             let n = self.builder.num_processes();
             self.clocks.resize_with(need, || Cut::bottom(n));
@@ -207,7 +269,11 @@ impl OnlineSlicer {
         expected: &'static str,
         ok: impl Fn(Value) -> bool,
     ) -> Result<(), BuildError> {
-        let declared = self.builder.value_at(var, 0);
+        // The oldest retained snapshot carries the declared type (values
+        // never change type once declared).
+        let declared = self
+            .builder
+            .value_at(var, self.builder.base_of(var.process()));
         if ok(declared) {
             Ok(())
         } else {
@@ -273,7 +339,8 @@ impl OnlineSlicer {
         let holds = self.holds_at_frontier(p);
         self.frontier[p.as_usize()].1 = holds;
         let init = self.builder.event_at(p, 0);
-        self.holds[init.as_usize()] = holds;
+        let slot = self.slot(init);
+        self.holds[slot] = holds;
         Ok(())
     }
 
@@ -326,7 +393,7 @@ impl OnlineSlicer {
                     event: self.frontier[var.process().as_usize()].0,
                 });
             }
-            let declared = self.builder.value_at(var, 0);
+            let declared = self.builder.value_at(var, self.builder.base_of(p));
             if !declared.same_type(value) {
                 return Err(BuildError::TypeMismatch {
                     process: p,
@@ -345,16 +412,18 @@ impl OnlineSlicer {
         let pos = self.builder.position_of(e);
         let (prev, prev_holds) = self.frontier[process];
         self.ensure_slot(e);
-        let mut clock = self.clocks[prev.as_usize()].clone();
+        let mut clock = self.clocks[self.slot(prev)].clone();
         clock.set_count(p, pos + 1);
-        self.clocks[e.as_usize()] = clock;
+        let slot = self.slot(e);
+        self.clocks[slot] = clock;
         // The previous frontier event now has a successor: settle its edge
         // if its conjuncts were false.
         if !prev_holds {
             self.settled_edges.push((e, prev));
         }
         let holds = self.holds_at_frontier(p);
-        self.holds[e.as_usize()] = holds;
+        let slot = self.slot(e);
+        self.holds[slot] = holds;
         self.frontier[process] = (e, holds);
         slicing_observe::counter("online.events_observed", 1);
         Ok(e)
@@ -396,7 +465,17 @@ impl OnlineSlicer {
     /// builder's own validations (self messages, duplicates, initial
     /// events).
     pub fn message(&mut self, send: EventId, recv: EventId) -> Result<(), BuildError> {
-        if send.as_usize() < self.clocks.len() && recv.as_usize() < self.clocks.len() {
+        // Endpoints below the id horizon have no slot: let the builder
+        // report the typed compaction error before any clock is touched.
+        let (ss, rs) = (
+            send.as_usize().checked_sub(self.id_base as usize),
+            recv.as_usize().checked_sub(self.id_base as usize),
+        );
+        let (Some(ss), Some(rs)) = (ss, rs) else {
+            self.builder.message(send, recv)?;
+            unreachable!("builder accepts an endpoint below the id horizon");
+        };
+        if ss < self.clocks.len() && rs < self.clocks.len() {
             let sp = self.builder.process_of(send);
             let rp = self.builder.process_of(recv);
             // recv →* send iff send's clock already covers recv; initial
@@ -404,13 +483,13 @@ impl OnlineSlicer {
             if sp != rp
                 && self.builder.position_of(send) >= 1
                 && self.builder.position_of(recv) >= 1
-                && self.clocks[send.as_usize()].count(rp) > self.builder.position_of(recv)
+                && self.clocks[ss].count(rp) > self.builder.position_of(recv)
             {
                 return Err(BuildError::CyclicOrder);
             }
         }
         self.builder.message(send, recv)?;
-        self.msgs_out[send.as_usize()].push(recv);
+        self.msgs_out[ss].push(recv);
         self.propagate(send, recv);
         Ok(())
     }
@@ -418,28 +497,34 @@ impl OnlineSlicer {
     /// Folds the new `send → recv` edge into downstream clocks: a monotone
     /// worklist pass that touches only events whose clock actually grows.
     fn propagate(&mut self, send: EventId, recv: EventId) {
-        if self.clocks[send.as_usize()].leq(&self.clocks[recv.as_usize()]) {
+        let (ss, rs) = (self.slot(send), self.slot(recv));
+        if self.clocks[ss].leq(&self.clocks[rs]) {
             return; // the edge was already implied by the order so far
         }
         self.clock_revision += 1;
-        let src = self.clocks[send.as_usize()].clone();
-        self.clocks[recv.as_usize()].join_assign(&src);
+        let src = self.clocks[ss].clone();
+        self.clocks[rs].join_assign(&src);
         self.worklist.clear();
         self.worklist.push(recv);
+        // Every event this walk can reach lies strictly above the
+        // compaction base: messages into summary events are rejected, and a
+        // retained event's successors (process order or message) are
+        // themselves retained, so the slots below stay untouched.
         while let Some(e) = self.worklist.pop() {
             let p = self.builder.process_of(e);
             let pos = self.builder.position_of(e);
+            let es = self.slot(e);
             self.succ_scratch.clear();
             if pos + 1 < self.builder.len(p) {
                 self.succ_scratch.push(self.builder.event_at(p, pos + 1));
             }
-            self.succ_scratch
-                .extend_from_slice(&self.msgs_out[e.as_usize()]);
+            self.succ_scratch.extend_from_slice(&self.msgs_out[es]);
             for i in 0..self.succ_scratch.len() {
                 let s = self.succ_scratch[i];
-                if !self.clocks[e.as_usize()].leq(&self.clocks[s.as_usize()]) {
-                    let src = self.clocks[e.as_usize()].clone();
-                    self.clocks[s.as_usize()].join_assign(&src);
+                let sl = self.slot(s);
+                if !self.clocks[es].leq(&self.clocks[sl]) {
+                    let src = self.clocks[es].clone();
+                    self.clocks[sl].join_assign(&src);
                     self.worklist.push(s);
                 }
             }
@@ -467,12 +552,24 @@ impl OnlineSlicer {
         self.builder.event_at(self.builder.process(process), pos)
     }
 
+    /// The event at `pos` on `process`, or `None` if the position is out
+    /// of range or its storage was compacted away — the non-panicking
+    /// lookup for callers resolving positions from external input (e.g. a
+    /// resumed trace referring to pre-checkpoint events).
+    pub fn retained_event_at(&self, process: usize, pos: u32) -> Option<EventId> {
+        let p = self.builder.process(process);
+        if pos >= self.builder.len(p) {
+            return None;
+        }
+        self.builder.retained_event_at(p, pos)
+    }
+
     /// The vector clock of `e`: the least consistent cut containing it,
     /// kept current as messages arrive. Equals
     /// [`Computation::min_cut`](slicing_computation::Computation::min_cut)
     /// of any snapshot.
     pub fn clock(&self, e: EventId) -> &Cut {
-        &self.clocks[e.as_usize()]
+        &self.clocks[self.slot(e)]
     }
 
     /// Bumped whenever a late message changed an already-assigned clock.
@@ -484,7 +581,301 @@ impl OnlineSlicer {
 
     /// Whether the conjuncts of `e`'s process hold at `e`.
     pub fn event_holds(&self, e: EventId) -> bool {
-        self.holds[e.as_usize()]
+        self.holds[self.slot(e)]
+    }
+
+    /// Looks up a declared variable of `process` by name — the handle
+    /// restored monitors need to rebuild their watch clauses against a
+    /// slicer created by [`from_state`](OnlineSlicer::from_state).
+    pub fn var(&self, process: usize, name: &str) -> Option<VarRef> {
+        self.builder.var(self.builder.process(process), name)
+    }
+
+    /// Number of leading positions of `process` compacted away (0 until
+    /// [`compact`](OnlineSlicer::compact) first drops something).
+    pub fn base_of(&self, process: usize) -> u32 {
+        self.builder.base_of(self.builder.process(process))
+    }
+
+    /// Events whose storage is currently retained (summary and initial
+    /// events included). Under periodic compaction this tracks the
+    /// unstable suffix instead of the full history.
+    pub fn retained_events(&self) -> u64 {
+        self.builder.retained_events()
+    }
+
+    /// The causal-stability frontier: per process `q`, the number of `q`'s
+    /// events dominated by **every** process's latest clock. An event below
+    /// the frontier is in every process's causal past, so no late message
+    /// (which must be sent from some process's frontier-past) can ever
+    /// re-time it — it is safe to fold into a summary. The frontier is the
+    /// meet of the frontier clocks, hence itself a consistent cut; it only
+    /// moves forward as observations arrive, and late messages merely slow
+    /// its advance (they can never invalidate already-stable events).
+    pub fn stable_frontier(&self) -> Vec<u32> {
+        let n = self.num_processes();
+        let mut g = vec![u32::MAX; n];
+        for &(e, _) in &self.frontier {
+            let clk = &self.clocks[self.slot(e)];
+            for (q, slot) in g.iter_mut().enumerate() {
+                *slot = (*slot).min(clk.count(ProcessId::new(q)));
+            }
+        }
+        g
+    }
+
+    /// Reclaims the storage of stable history. The compaction cut starts
+    /// from the stability frontier, is capped by `lag` (always keep the
+    /// last `lag` positions of each process — headroom for protocols whose
+    /// lateness bound is known) and by `keep_floor` (never drop position
+    /// `keep_floor[q]` or anything after it — monitors pin their oldest
+    /// live candidates here), and is then rounded **down** to a consistent
+    /// cut so that no retained event can causally depend on a dropped one.
+    /// Everything strictly below the final cut is dropped; the cut's
+    /// frontier events remain as read-only summaries.
+    ///
+    /// Compaction never changes any retained clock, the verdicts of future
+    /// checks, or the acceptance of messages between retained non-summary
+    /// events; messages into dropped or summary events are rejected with
+    /// [`BuildError::CompactedEvent`].
+    pub fn compact(&mut self, keep_floor: &[u32], lag: u32) -> CompactionStats {
+        let n = self.num_processes();
+        assert_eq!(keep_floor.len(), n, "keep_floor has wrong arity");
+        let g = self.stable_frontier();
+        let mut cut: Vec<u32> = (0..n)
+            .map(|q| {
+                let p = self.builder.process(q);
+                let cap = g[q]
+                    .min(self.builder.len(p).saturating_sub(lag))
+                    .min(keep_floor[q].saturating_add(1));
+                cap.max(self.builder.base_of(p) + 1)
+            })
+            .collect();
+        // Round down to a consistent cut: if the frontier event of q's
+        // column causally depends on something outside the cut, retreat.
+        // Terminates because the current base cut is consistent (its
+        // events' clocks are frozen — summary events accept no messages).
+        loop {
+            let mut changed = false;
+            for q in 0..n {
+                let p = self.builder.process(q);
+                while cut[q] > self.builder.base_of(p) + 1 {
+                    let e = self.builder.event_at(p, cut[q] - 1);
+                    let clk = &self.clocks[self.slot(e)];
+                    let consistent = (0..n).all(|r| clk.count(ProcessId::new(r)) <= cut[r]);
+                    if consistent {
+                        break;
+                    }
+                    cut[q] -= 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let new_base: Vec<u32> = cut.iter().map(|&c| c - 1).collect();
+        // Constraint edges anchored at dropped events go with the prefix
+        // (their forbidden cuts are all below the summary now).
+        {
+            let builder = &self.builder;
+            self.settled_edges.retain(|&(_, e)| {
+                builder.position_of(e) >= new_base[builder.process_of(e).as_usize()]
+            });
+        }
+        let dropped = self.builder.compact(&new_base);
+        if dropped > 0 {
+            let new_id_base = (0..n)
+                .map(|q| {
+                    let p = self.builder.process(q);
+                    self.builder.event_at(p, new_base[q]).as_u32()
+                })
+                .min()
+                .expect("at least one process");
+            let delta = (new_id_base - self.id_base) as usize;
+            if delta > 0 {
+                self.clocks.drain(..delta);
+                self.holds.drain(..delta);
+                self.msgs_out.drain(..delta);
+                self.id_base = new_id_base;
+                maybe_shrink(&mut self.clocks);
+                maybe_shrink(&mut self.holds);
+                maybe_shrink(&mut self.msgs_out);
+                maybe_shrink(&mut self.settled_edges);
+            }
+            slicing_observe::counter("online.compacted_events", dropped);
+        }
+        CompactionStats {
+            dropped_events: dropped,
+            retained_events: self.builder.retained_events(),
+            stable_frontier: g,
+        }
+    }
+
+    /// Serializes the retained state (everything but the watch closures);
+    /// see [`SlicerState`]. Pair with
+    /// [`from_state`](OnlineSlicer::from_state) and
+    /// [`restore_watch_clause`](OnlineSlicer::restore_watch_clause).
+    pub fn export_state(&self) -> SlicerState {
+        let n = self.num_processes();
+        let order = self.builder.dense_order();
+        let rank = |e: EventId| -> u32 {
+            order
+                .binary_search_by_key(&e.as_u32(), |o| o.as_u32())
+                .expect("only retained events are referenced") as u32
+        };
+        SlicerState {
+            num_processes: n,
+            base: (0..n).map(|q| self.base_of(q)).collect(),
+            event_procs: order
+                .iter()
+                .map(|&e| self.builder.process_of(e).as_usize() as u32)
+                .collect(),
+            holds: order.iter().map(|&e| self.holds[self.slot(e)]).collect(),
+            clocks: order
+                .iter()
+                .map(|&e| self.clocks[self.slot(e)].counts().to_vec())
+                .collect(),
+            var_names: (0..n)
+                .map(|q| self.builder.var_names(self.builder.process(q)).to_vec())
+                .collect(),
+            snapshots: (0..n)
+                .map(|q| {
+                    let p = self.builder.process(q);
+                    (self.builder.base_of(p)..self.builder.len(p))
+                        .map(|pos| self.builder.snapshot_at(p, pos).to_vec())
+                        .collect()
+                })
+                .collect(),
+            messages: self
+                .builder
+                .messages()
+                .iter()
+                .map(|m| (rank(m.send), rank(m.recv)))
+                .collect(),
+            settled_edges: self
+                .settled_edges
+                .iter()
+                .map(|&(s, e)| (rank(s), rank(e)))
+                .collect(),
+            clock_revision: self.clock_revision,
+        }
+    }
+
+    /// Reconstructs a slicer from a checkpointed [`SlicerState`], with
+    /// fresh dense event ids (positions and clocks stay absolute). The
+    /// restored slicer has **no watches** — re-register each original
+    /// clause with [`restore_watch_clause`](OnlineSlicer::restore_watch_clause)
+    /// before observing further events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidState`] when the state is structurally
+    /// inconsistent (arity mismatches, out-of-range indices, clocks that
+    /// contradict their event's position).
+    pub fn from_state(state: &SlicerState) -> Result<OnlineSlicer, BuildError> {
+        let invalid = |detail: String| BuildError::InvalidState { detail };
+        let builder = ComputationBuilder::restore(
+            state.num_processes,
+            &state.base,
+            &state.event_procs,
+            state.var_names.clone(),
+            state.snapshots.clone(),
+            &state.messages,
+        )?;
+        let n = state.num_processes;
+        let count = state.event_procs.len();
+        if state.holds.len() != count || state.clocks.len() != count {
+            return Err(invalid(format!(
+                "{count} events but {} holds flags and {} clocks",
+                state.holds.len(),
+                state.clocks.len()
+            )));
+        }
+        let mut clocks = Vec::with_capacity(count);
+        for (i, counts) in state.clocks.iter().enumerate() {
+            if counts.len() != n {
+                return Err(invalid(format!("clock {i} has arity {}", counts.len())));
+            }
+            let e = EventId::new(i);
+            let own = counts[builder.process_of(e).as_usize()];
+            if own != builder.position_of(e) + 1 {
+                return Err(invalid(format!(
+                    "clock of event {i} counts {own} own events at position {}",
+                    builder.position_of(e)
+                )));
+            }
+            clocks.push(Cut::from_counts(counts));
+        }
+        let mut settled_edges = Vec::with_capacity(state.settled_edges.len());
+        for &(s, e) in &state.settled_edges {
+            if s as usize >= count || e as usize >= count {
+                return Err(invalid(format!("settled edge ({s}, {e}) out of range")));
+            }
+            settled_edges.push((EventId::new(s as usize), EventId::new(e as usize)));
+        }
+        let mut msgs_out: Vec<Vec<EventId>> = vec![Vec::new(); count];
+        for &(s, r) in &state.messages {
+            msgs_out[s as usize].push(EventId::new(r as usize));
+        }
+        let frontier = (0..n)
+            .map(|q| {
+                let p = builder.process(q);
+                let e = builder.event_at(p, builder.len(p) - 1);
+                (e, state.holds[e.as_usize()])
+            })
+            .collect();
+        Ok(OnlineSlicer {
+            builder,
+            watches: Vec::new(),
+            watched: vec![false; n],
+            settled_edges,
+            frontier,
+            clocks,
+            holds: state.holds.clone(),
+            msgs_out,
+            clock_revision: state.clock_revision,
+            id_base: 0,
+            worklist: Vec::new(),
+            succ_scratch: Vec::new(),
+            values_scratch: Vec::new(),
+        })
+    }
+
+    /// Re-registers a watch clause on a slicer restored with
+    /// [`from_state`](OnlineSlicer::from_state). Unlike
+    /// [`watch_clause`](OnlineSlicer::watch_clause) this accepts processes
+    /// with existing history: the checkpointed truth flags are kept, and
+    /// the clause is cross-checked against the retained snapshots (a
+    /// retained event recorded as satisfying the conjunction cannot fail a
+    /// re-registered conjunct — catching restores against the wrong
+    /// predicate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidState`] if the clause contradicts the
+    /// checkpointed truth of a retained event.
+    pub fn restore_watch_clause(&mut self, clause: LocalPredicate) -> Result<(), BuildError> {
+        let p = clause.process();
+        for pos in self.builder.base_of(p)..self.builder.len(p) {
+            let e = self.builder.event_at(p, pos);
+            self.values_scratch.clear();
+            for &v in clause.vars() {
+                self.values_scratch.push(self.builder.value_at(v, pos));
+            }
+            if !clause.eval_values(&self.values_scratch) && self.holds[self.slot(e)] {
+                return Err(BuildError::InvalidState {
+                    detail: format!(
+                        "checkpointed truth at position {pos} of {p} contradicts \
+                         re-registered clause {:?}",
+                        clause.label()
+                    ),
+                });
+            }
+        }
+        self.watches.push(Watch::Clause(clause));
+        self.watched[p.as_usize()] = true;
+        Ok(())
     }
 
     /// Whether at least one watch targets `process`. Unwatched processes
@@ -518,25 +909,58 @@ impl OnlineSlicer {
     /// Panics if `comp` has a different number of events than observed.
     pub fn slice_of<'a>(&self, comp: &'a Computation) -> Slice<'a> {
         let _span = slicing_observe::span("slice.online_snapshot");
-        assert_eq!(
-            comp.num_events() as u32,
-            self.num_events(),
-            "computation does not match the observed prefix"
-        );
         slicing_observe::counter("online.settled_edges", self.settled_edges.len() as u64);
+        // Under compaction the snapshot is the dense retained suffix, so
+        // edge endpoints must be translated from live ids to dense ranks.
+        let order: Option<Vec<EventId>> =
+            if self.id_base > 0 || (0..self.num_processes()).any(|q| self.base_of(q) > 0) {
+                Some(self.builder.dense_order())
+            } else {
+                None
+            };
+        match &order {
+            Some(order) => assert_eq!(
+                comp.num_events(),
+                order.len(),
+                "computation does not match the retained suffix"
+            ),
+            None => assert_eq!(
+                comp.num_events() as u32,
+                self.num_events(),
+                "computation does not match the observed prefix"
+            ),
+        }
+        let remap = |e: EventId| -> EventId {
+            match &order {
+                None => e,
+                Some(order) => EventId::new(
+                    order
+                        .binary_search_by_key(&e.as_u32(), |o| o.as_u32())
+                        .expect("only retained events appear in edges"),
+                ),
+            }
+        };
         let mut edges: Vec<Edge> = self
             .settled_edges
             .iter()
-            .map(|&(succ, e)| (Node::Event(succ), Node::Event(e)))
+            .map(|&(succ, e)| (Node::Event(remap(succ)), Node::Event(remap(e))))
             .collect();
         // Unsettled frontiers: a false last event is forbidden, exactly as
         // the offline slicer treats a false final event.
         for &(e, holds) in &self.frontier {
             if !holds {
-                edges.push((Node::Top, Node::Event(e)));
+                edges.push((Node::Top, Node::Event(remap(e))));
             }
         }
         Slice::new(comp, edges)
+    }
+}
+
+/// Returns over-sized spare capacity to the allocator once the live suffix
+/// is a small fraction of the high-water mark.
+fn maybe_shrink<T>(v: &mut Vec<T>) {
+    if v.capacity() > 2 * v.len() + 64 {
+        v.shrink_to_fit();
     }
 }
 
@@ -755,5 +1179,160 @@ mod tests {
                 all_cuts(&with_vars.slice_of(&c2))
             );
         }
+    }
+
+    /// A two-process ping-pong whose messages keep both frontier clocks
+    /// tight, so the stability frontier advances with the stream.
+    fn ping_pong(rounds: usize) -> (OnlineSlicer, Vec<EventId>, Vec<EventId>) {
+        let mut s = OnlineSlicer::new(2);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for i in 0..rounds {
+            a.push(s.observe(0, &[]).unwrap());
+            b.push(s.observe(1, &[]).unwrap());
+            s.message(a[i], b[i]).unwrap();
+            if i > 0 {
+                s.message(b[i - 1], a[i]).unwrap();
+            }
+        }
+        (s, a, b)
+    }
+
+    #[test]
+    fn compaction_reclaims_stable_history_without_touching_clocks() {
+        let (mut s, a, b) = ping_pong(10);
+        let g = s.stable_frontier();
+        assert!(g[0] > 2 && g[1] > 2, "ping-pong must stabilize: {g:?}");
+        // lag 2 keeps at least the last two positions of each process.
+        let before: Vec<Vec<u32>> = a[8..]
+            .iter()
+            .chain(&b[8..])
+            .map(|&e| s.clock(e).counts().to_vec())
+            .collect();
+        let total = s.retained_events();
+        let stats = s.compact(&[u32::MAX, u32::MAX], 2);
+        assert!(stats.dropped_events > 0, "{stats:?}");
+        assert_eq!(stats.retained_events + stats.dropped_events, total);
+        // Absolute bookkeeping is untouched; retained clocks are identical.
+        assert_eq!(s.events_on(0), 11);
+        let after: Vec<Vec<u32>> = a[8..]
+            .iter()
+            .chain(&b[8..])
+            .map(|&e| s.clock(e).counts().to_vec())
+            .collect();
+        assert_eq!(before, after);
+        // The suffix still snapshots and slices.
+        let comp = s.snapshot_computation().unwrap();
+        assert_eq!(comp.num_events() as u64, stats.retained_events);
+        let slice = s.slice_of(&comp);
+        assert!(slice.count_cuts(None).value() >= 1);
+        // Compacting again with nothing new to fold is a no-op.
+        let again = s.compact(&[u32::MAX, u32::MAX], 2);
+        assert_eq!(again.dropped_events, 0);
+    }
+
+    #[test]
+    fn messages_below_the_compaction_horizon_are_rejected() {
+        let (mut s, a, b) = ping_pong(10);
+        s.compact(&[u32::MAX, u32::MAX], 2);
+        let base = s.base_of(0);
+        assert!(base > 0);
+        // A very late message into reclaimed history cannot be accepted.
+        let err = s.message(b[9], a[0]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BuildError::CompactedEvent { .. } | BuildError::CyclicOrder
+            ),
+            "{err:?}"
+        );
+        // The summary events themselves are frozen too: a message between
+        // the two summaries is order-compatible with the clocks but still
+        // rejected as compacted.
+        let summary0 = s.event_at(0, base);
+        let summary1 = s.event_at(1, s.base_of(1));
+        let err = s.message(summary0, summary1).unwrap_err();
+        assert!(matches!(err, BuildError::CompactedEvent { .. }), "{err:?}");
+        // Fresh events above the horizon are unaffected.
+        let e = s.observe(0, &[]).unwrap();
+        s.message(b[9], e).unwrap();
+    }
+
+    #[test]
+    fn keep_floor_and_lag_pin_the_compaction_cut() {
+        let (mut s, _, _) = ping_pong(10);
+        // keep_floor pins position 3 of process 0.
+        let stats = s.compact(&[3, u32::MAX], 0);
+        assert!(s.base_of(0) <= 3, "floor violated: {stats:?}");
+        // A large lag suppresses compaction entirely.
+        let (mut s2, _, _) = ping_pong(10);
+        let stats = s2.compact(&[u32::MAX, u32::MAX], 100);
+        assert_eq!(stats.dropped_events, 0);
+    }
+
+    #[test]
+    fn exported_state_round_trips_through_restore() {
+        let mut s = OnlineSlicer::new(2);
+        let x = s.declare_var(0, "x", Value::Int(0)).unwrap();
+        let y = s.declare_var(1, "y", Value::Int(1)).unwrap();
+        s.watch_clause(LocalPredicate::int(x, "x > 0", |v| v > 0))
+            .unwrap();
+        s.watch_clause(LocalPredicate::int(y, "y > 0", |v| v > 0))
+            .unwrap();
+        let mut events = Vec::new();
+        for i in 0..6i64 {
+            events.push(s.observe(0, &[(x, Value::Int(i % 3))]).unwrap());
+            events.push(s.observe(1, &[(y, Value::Int(i))]).unwrap());
+        }
+        s.message(events[0], events[3]).unwrap();
+        s.message(events[5], events[8]).unwrap(); // late re-timing
+        s.compact(&[u32::MAX, u32::MAX], 4);
+
+        let state = s.export_state();
+        let mut r = OnlineSlicer::from_state(&state).unwrap();
+        let rx = r.var(0, "x").unwrap();
+        let ry = r.var(1, "y").unwrap();
+        r.restore_watch_clause(LocalPredicate::int(rx, "x > 0", |v| v > 0))
+            .unwrap();
+        r.restore_watch_clause(LocalPredicate::int(ry, "y > 0", |v| v > 0))
+            .unwrap();
+        assert_eq!(r.clock_revision(), s.clock_revision());
+        assert_eq!(r.retained_events(), s.retained_events());
+        assert_eq!(r.export_state(), state, "export is a fixpoint");
+
+        // Both continue identically.
+        let se = s.observe(0, &[(x, Value::Int(9))]).unwrap();
+        let re = r.observe(0, &[(rx, Value::Int(9))]).unwrap();
+        assert_eq!(s.clock(se).counts(), r.clock(re).counts());
+        assert_eq!(s.event_holds(se), r.event_holds(re));
+        let cs = s.snapshot_computation().unwrap();
+        let cr = r.snapshot_computation().unwrap();
+        assert_eq!(
+            all_cuts(&s.slice_of(&cs)),
+            all_cuts(&r.slice_of(&cr)),
+            "restored slice diverged"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_contradictory_clauses_and_corrupt_clocks() {
+        let mut s = OnlineSlicer::new(1);
+        let x = s.declare_var(0, "x", Value::Int(5)).unwrap();
+        s.watch_clause(LocalPredicate::int(x, "x > 0", |v| v > 0))
+            .unwrap();
+        s.observe(0, &[(x, Value::Int(7))]).unwrap();
+        let mut state = s.export_state();
+
+        let mut r = OnlineSlicer::from_state(&state).unwrap();
+        let rx = r.var(0, "x").unwrap();
+        // The checkpoint says the conjunction held; a clause the history
+        // falsifies cannot be the one that was checkpointed.
+        let err = r
+            .restore_watch_clause(LocalPredicate::int(rx, "x < 0", |v| v < 0))
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidState { .. }), "{err:?}");
+
+        state.clocks[1][0] = 99; // own-count must equal position + 1
+        let err = OnlineSlicer::from_state(&state).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidState { .. }), "{err:?}");
     }
 }

@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod definitely;
 mod enumerate;
 mod hybrid;
@@ -74,7 +75,7 @@ pub use metrics::{AbortReason, Detection, Limits};
 pub use modalities::{
     controllable, detect_controllable, invariant, invariant_lean, invariant_via_slicing,
 };
-pub use monitor::{MonitorStats, OnlineMonitor};
+pub use monitor::{GcConfig, MonitorState, MonitorStats, OnlineMonitor};
 pub use parallel::detect_bfs_parallel;
 pub use pom::detect_pom;
 pub use resilient::{detect_resilient, Engine, ResilientConfig, ResilientDetection};

@@ -22,11 +22,37 @@ use std::collections::VecDeque;
 use slicing_computation::{
     BuildError, Computation, Cut, EventId, GlobalState, ProcessId, Value, VarRef,
 };
-use slicing_core::OnlineSlicer;
+use slicing_core::{OnlineSlicer, SlicerState};
 use slicing_predicates::{LocalPredicate, Predicate};
 
 use crate::enumerate::detect_bfs;
 use crate::metrics::{Detection, Limits};
+
+/// Configuration for causal-stability garbage collection; see
+/// [`OnlineMonitor::with_gc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcConfig {
+    /// Always keep at least the last `lag` positions of every process,
+    /// even when stability would allow dropping more — headroom for
+    /// protocols whose message-lateness bound is known. Must exceed the
+    /// maximum lateness (in positions) of any message the stream will
+    /// deliver, or very late messages are rejected with
+    /// [`BuildError::CompactedEvent`].
+    pub lag: u32,
+    /// Run a compaction every `every` observed events.
+    pub every: u64,
+}
+
+impl Default for GcConfig {
+    /// A conservative default: keep the last 128 positions per process,
+    /// compact every 1024 events.
+    fn default() -> Self {
+        GcConfig {
+            lag: 128,
+            every: 1024,
+        }
+    }
+}
 
 /// Deterministic counters describing a monitor's work so far. Every field
 /// is a pure event/probe count — no wall-clock — so the numbers are
@@ -53,6 +79,13 @@ pub struct MonitorStats {
     pub delta_cuts: u64,
     /// Peak number of simultaneously queued candidates.
     pub peak_candidates: u64,
+    /// Garbage collections that actually reclaimed storage.
+    pub compactions: u64,
+    /// Events whose storage stability GC reclaimed.
+    pub dropped_events: u64,
+    /// Peak retained-event gauge observed across GC runs (0 until the
+    /// first GC). The "bounded memory" soak claim is about this number.
+    pub retained_peak: u64,
 }
 
 /// An online monitor for a conjunctive global fault.
@@ -116,6 +149,40 @@ pub struct OnlineMonitor {
     /// Cuts already reported; `check` returns each alarm once.
     last_alarm: Option<Cut>,
     stats: MonitorStats,
+    /// Stability GC configuration; `None` keeps full history (default).
+    gc: Option<GcConfig>,
+    /// Events observed since the last GC run.
+    since_gc: u64,
+}
+
+/// A serializable snapshot of an [`OnlineMonitor`] — the slicer state plus
+/// the candidate queues and settled verdict. Produced by
+/// [`OnlineMonitor::export_state`], consumed by
+/// [`OnlineMonitor::from_state`]; the JSON codec lives in
+/// [`checkpoint`](crate::checkpoint). Alarm cuts use absolute counts, so a
+/// restored monitor reports byte-identical alarms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorState {
+    /// The underlying slicer's retained state.
+    pub slicer: SlicerState,
+    /// Per process: queued candidate positions (absolute).
+    pub queues: Vec<Vec<u32>>,
+    /// Per process: whether its queue head changed since the last settle.
+    pub dirty: Vec<bool>,
+    /// Whether any queue head changed since the last settle.
+    pub dirty_any: bool,
+    /// The slicer clock revision at the last settle.
+    pub seen_revision: u64,
+    /// The settled verdict, if any (absolute counts).
+    pub current_alarm: Option<Vec<u32>>,
+    /// The last reported alarm, for dedup (absolute counts).
+    pub last_alarm: Option<Vec<u32>>,
+    /// Deterministic work counters.
+    pub stats: MonitorStats,
+    /// Stability GC configuration, if enabled.
+    pub gc: Option<GcConfig>,
+    /// Events observed since the last GC run.
+    pub since_gc: u64,
 }
 
 impl OnlineMonitor {
@@ -137,7 +204,27 @@ impl OnlineMonitor {
             alarm_scratch: Cut::bottom(num_processes),
             last_alarm: None,
             stats: MonitorStats::default(),
+            gc: None,
+            since_gc: 0,
         }
+    }
+
+    /// Enables causal-stability garbage collection: every
+    /// [`GcConfig::every`] events the monitor compacts the slicer below the
+    /// stability frontier (capped by [`GcConfig::lag`] and by the oldest
+    /// live candidate of each queue), keeping live state proportional to
+    /// the unstable suffix instead of the full history. Compaction never
+    /// changes verdicts, alarms, or deterministic counters other than the
+    /// GC counters themselves.
+    pub fn with_gc(mut self, config: GcConfig) -> Self {
+        assert!(config.every > 0, "GC cadence must be positive");
+        self.gc = Some(config);
+        self
+    }
+
+    /// The GC configuration, if stability GC is enabled.
+    pub fn gc_config(&self) -> Option<GcConfig> {
+        self.gc
     }
 
     /// Declares a monitored variable (before its process's first event).
@@ -273,10 +360,100 @@ impl OnlineMonitor {
                 slicing_observe::gauge("monitor.peak_candidates", queued);
             }
         }
+        if self.gc.is_some() {
+            self.since_gc += 1;
+            if self.since_gc >= self.gc.expect("checked").every {
+                self.since_gc = 0;
+                self.run_gc();
+            }
+        }
         if let Some(t0) = t0 {
             slicing_observe::gauge("monitor.observe_nanos", t0.elapsed().as_nanos() as u64);
         }
         Ok(e)
+    }
+
+    /// One stability-GC pass: compact the slicer below the stability
+    /// frontier, pinned by each queue's oldest live candidate (a candidate
+    /// must stay addressable until eliminated or folded into an alarm).
+    fn run_gc(&mut self) {
+        let config = self.gc.expect("run_gc requires GC to be enabled");
+        let n = self.slicer.num_processes();
+        let keep_floor: Vec<u32> = (0..n)
+            .map(|p| self.queues[p].front().copied().unwrap_or(u32::MAX))
+            .collect();
+        let result = self.slicer.compact(&keep_floor, config.lag);
+        let stable: u64 = result.stable_frontier.iter().map(|&g| g as u64).sum();
+        slicing_observe::gauge("monitor.stable_frontier", stable);
+        slicing_observe::gauge("monitor.retained_events", result.retained_events);
+        self.stats.retained_peak = self.stats.retained_peak.max(result.retained_events);
+        if result.dropped_events > 0 {
+            self.stats.compactions += 1;
+            self.stats.dropped_events += result.dropped_events;
+            slicing_observe::counter("monitor.compactions", 1);
+            for q in &mut self.queues {
+                if q.capacity() > 2 * q.len() + 64 {
+                    q.shrink_to_fit();
+                }
+            }
+        }
+    }
+
+    /// Acknowledges the currently settled alarm: the witnessing candidate
+    /// heads are consumed (each queue advances past its contribution to the
+    /// alarm cut) and monitoring continues, watching for the *next*
+    /// distinct fault instance. Returns `false` (and does nothing) if no
+    /// alarm is currently settled.
+    ///
+    /// A long-lived deployment should acknowledge every alarm it handles:
+    /// un-acknowledged alarm heads are pinned forever, which also pins the
+    /// GC floor and lets candidate queues grow without bound.
+    pub fn acknowledge_alarm(&mut self) -> bool {
+        if self.current_alarm.is_none() {
+            return false;
+        }
+        let n = self.slicer.num_processes();
+        for p in 0..n {
+            if self.slicer.is_watched(p) {
+                self.queues[p].pop_front();
+                self.dirty[p] = true;
+            }
+        }
+        self.current_alarm = None;
+        self.dirty_any = true;
+        slicing_observe::counter("monitor.alarms_acknowledged", 1);
+        true
+    }
+
+    /// The slicer's causal-stability frontier; see
+    /// [`OnlineSlicer::stable_frontier`].
+    pub fn stable_frontier(&self) -> Vec<u32> {
+        self.slicer.stable_frontier()
+    }
+
+    /// Events whose storage is currently retained by the slicer.
+    pub fn retained_events(&self) -> u64 {
+        self.slicer.retained_events()
+    }
+
+    /// Looks up a declared variable by process and name — the handle a
+    /// resuming caller needs to re-register watches after
+    /// [`from_state`](OnlineMonitor::from_state).
+    pub fn var(&self, process: usize, name: &str) -> Option<VarRef> {
+        self.slicer.var(process, name)
+    }
+
+    /// The event at `pos` on `process`, or `None` if the position is out
+    /// of range or compacted away. Lets a resuming driver translate
+    /// trace positions (which survive a restart) back into live event
+    /// handles for late message delivery.
+    pub fn event_at(&self, process: usize, pos: u32) -> Option<EventId> {
+        self.slicer.retained_event_at(process, pos)
+    }
+
+    /// Events observed on `process` so far, including the initial event.
+    pub fn events_on(&self, process: usize) -> u32 {
+        self.slicer.events_on(process)
     }
 
     /// Observes a batch of events in order; each element is a process and
@@ -457,6 +634,115 @@ impl OnlineMonitor {
     /// Deterministic work counters accumulated so far.
     pub fn stats(&self) -> MonitorStats {
         self.stats
+    }
+
+    /// Serializes the monitor's retained state (everything but the watch
+    /// closures); see [`MonitorState`]. Restore with
+    /// [`from_state`](OnlineMonitor::from_state) followed by one
+    /// [`restore_watch_clause`](OnlineMonitor::restore_watch_clause) per
+    /// original conjunct.
+    pub fn export_state(&self) -> MonitorState {
+        MonitorState {
+            slicer: self.slicer.export_state(),
+            queues: self
+                .queues
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+            dirty: self.dirty.clone(),
+            dirty_any: self.dirty_any,
+            seen_revision: self.seen_revision,
+            current_alarm: self.current_alarm.as_ref().map(|c| c.counts().to_vec()),
+            last_alarm: self.last_alarm.as_ref().map(|c| c.counts().to_vec()),
+            stats: self.stats,
+            gc: self.gc,
+            since_gc: self.since_gc,
+        }
+    }
+
+    /// Reconstructs a monitor from a checkpointed [`MonitorState`]. The
+    /// restored monitor has **no watches** — re-register every original
+    /// conjunct with
+    /// [`restore_watch_clause`](OnlineMonitor::restore_watch_clause) before
+    /// observing further events; then the continuation is byte-identical to
+    /// an uninterrupted run (same alarms, same deterministic counters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidState`] when the state is structurally
+    /// inconsistent.
+    pub fn from_state(state: &MonitorState) -> Result<OnlineMonitor, BuildError> {
+        let invalid = |detail: String| BuildError::InvalidState { detail };
+        let slicer = OnlineSlicer::from_state(&state.slicer)?;
+        let n = slicer.num_processes();
+        if state.queues.len() != n || state.dirty.len() != n {
+            return Err(invalid(format!(
+                "{n} processes but {} queues and {} dirty flags",
+                state.queues.len(),
+                state.dirty.len()
+            )));
+        }
+        for (p, q) in state.queues.iter().enumerate() {
+            let (base, len) = (slicer.base_of(p), slicer.events_on(p));
+            for &pos in q {
+                if pos < base || pos >= len {
+                    return Err(invalid(format!(
+                        "queued candidate {pos} of process {p} outside retained \
+                         range {base}..{len}"
+                    )));
+                }
+            }
+            if !q.windows(2).all(|w| w[0] < w[1]) {
+                return Err(invalid(format!(
+                    "candidate queue of process {p} is not strictly increasing"
+                )));
+            }
+        }
+        for (what, cut) in [
+            ("current_alarm", &state.current_alarm),
+            ("last_alarm", &state.last_alarm),
+        ] {
+            if let Some(counts) = cut {
+                if counts.len() != n {
+                    return Err(invalid(format!("{what} has arity {}", counts.len())));
+                }
+            }
+        }
+        if let Some(gc) = state.gc {
+            if gc.every == 0 {
+                return Err(invalid("GC cadence must be positive".into()));
+            }
+        }
+        Ok(OnlineMonitor {
+            slicer,
+            queues: state
+                .queues
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+            dirty: state.dirty.clone(),
+            dirty_any: state.dirty_any,
+            seen_revision: state.seen_revision,
+            current_alarm: state.current_alarm.as_deref().map(Cut::from_counts),
+            alarm_scratch: Cut::bottom(n),
+            last_alarm: state.last_alarm.as_deref().map(Cut::from_counts),
+            stats: state.stats,
+            gc: state.gc,
+            since_gc: state.since_gc,
+        })
+    }
+
+    /// Re-registers a watch clause on a monitor restored with
+    /// [`from_state`](OnlineMonitor::from_state); see
+    /// [`OnlineSlicer::restore_watch_clause`]. Candidate queues come from
+    /// the checkpoint, so no rescan happens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidState`] if the clause contradicts the
+    /// checkpointed truth of a retained event.
+    pub fn restore_watch_clause(&mut self, clause: LocalPredicate) -> Result<(), BuildError> {
+        self.slicer.restore_watch_clause(clause)
     }
 
     /// Reference check: materializes the history, slices it, and searches
@@ -706,6 +992,162 @@ mod tests {
         // The monitor still detects on the clean history.
         assert!(m.check().unwrap().is_some());
         assert_eq!(m.stats().messages, 1);
+    }
+
+    /// Drives a 2-process workload with periodic candidates, bidirectional
+    /// messages (so the stability frontier advances on both processes),
+    /// and an acknowledge after every alarm. Returns the verdict stream.
+    fn drive_rounds(m: &mut OnlineMonitor, rounds: usize) -> Vec<Option<Cut>> {
+        let a = m.var(0, "x").unwrap();
+        let b = m.var(1, "x").unwrap();
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        let mut verdicts = Vec::new();
+        for i in 0..rounds {
+            let va = if i % 5 == 0 { 1 } else { -1 };
+            let vb = if i % 7 == 0 { 1 } else { -1 };
+            ea.push(m.observe(0, &[(a, Value::Int(va))]).unwrap());
+            eb.push(m.observe(1, &[(b, Value::Int(vb))]).unwrap());
+            if i % 4 == 0 {
+                m.message(ea[i], eb[i]).unwrap();
+            }
+            if i % 4 == 2 {
+                m.message(eb[i - 1], ea[i]).unwrap();
+            }
+            let v = m.check().unwrap();
+            if v.is_some() {
+                assert!(m.acknowledge_alarm());
+            }
+            verdicts.push(v);
+        }
+        verdicts
+    }
+
+    fn watched_pair(m: &mut OnlineMonitor) {
+        let a = m.declare_var(0, "x", Value::Int(0)).unwrap();
+        let b = m.declare_var(1, "x", Value::Int(0)).unwrap();
+        m.watch_int(a, "x > 0", |v| v > 0).unwrap();
+        m.watch_int(b, "x > 0", |v| v > 0).unwrap();
+    }
+
+    #[test]
+    fn gc_preserves_every_verdict_while_bounding_retention() {
+        let mut plain = OnlineMonitor::new(2);
+        let mut gc = OnlineMonitor::new(2).with_gc(GcConfig { lag: 4, every: 8 });
+        watched_pair(&mut plain);
+        watched_pair(&mut gc);
+
+        let rounds = 200;
+        assert_eq!(
+            drive_rounds(&mut plain, rounds),
+            drive_rounds(&mut gc, rounds)
+        );
+
+        // Observable behavior is untouched by compaction...
+        let (p, g) = (plain.stats(), gc.stats());
+        assert_eq!(
+            (p.events, p.messages, p.checks, p.alarms),
+            (g.events, g.messages, g.checks, g.alarms)
+        );
+        assert_eq!(p.check_cost, g.check_cost, "GC must not change settle work");
+
+        // ...while storage is: the un-GC'd monitor holds the whole run,
+        // the GC'd one only the unstable suffix.
+        assert_eq!(plain.retained_events(), 2 * (rounds as u64 + 1));
+        assert!(g.compactions > 0 && g.dropped_events > 0);
+        assert!(
+            gc.retained_events() <= 60,
+            "retained {} events despite GC",
+            gc.retained_events()
+        );
+        assert!(g.retained_peak < plain.retained_events());
+        let frontier = gc.stable_frontier();
+        assert!(frontier.iter().all(|&g| g > 1), "both processes stabilized");
+    }
+
+    #[test]
+    fn unacknowledged_alarms_pin_retention_and_acks_release_it() {
+        let mut m = OnlineMonitor::new(2).with_gc(GcConfig { lag: 2, every: 4 });
+        let a = m.declare_var(0, "x", Value::Int(1)).unwrap();
+        let b = m.declare_var(1, "x", Value::Int(1)).unwrap();
+        m.watch_int(a, "x > 0", |v| v > 0).unwrap();
+        m.watch_int(b, "x > 0", |v| v > 0).unwrap();
+
+        // Every event is a candidate and no alarm is acknowledged: the
+        // alarm heads pin the GC floor at the start of history.
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        for i in 0..40usize {
+            ea.push(m.observe(0, &[(a, Value::Int(1))]).unwrap());
+            eb.push(m.observe(1, &[(b, Value::Int(1))]).unwrap());
+            if i % 2 == 0 {
+                m.message(ea[i], eb[i]).unwrap();
+            } else {
+                m.message(eb[i - 1], ea[i]).unwrap();
+            }
+            m.check().unwrap();
+        }
+        let pinned = m.retained_events();
+        assert!(pinned >= 80, "nothing should be dropped while heads pin");
+
+        // Handle the backlog: each ack consumes one fault instance, and
+        // the following check settles the next one (if any) so the loop
+        // keeps consuming until some queue runs dry.
+        while m.acknowledge_alarm() {
+            m.check().unwrap();
+        }
+        // A little more (non-candidate) traffic lets the stability
+        // frontier catch up and GC reclaim the acknowledged history.
+        for i in 40..60usize {
+            ea.push(m.observe(0, &[(a, Value::Int(0))]).unwrap());
+            eb.push(m.observe(1, &[(b, Value::Int(0))]).unwrap());
+            if i % 2 == 0 {
+                m.message(ea[i], eb[i]).unwrap();
+            } else {
+                m.message(eb[i - 1], ea[i]).unwrap();
+            }
+            m.check().unwrap();
+        }
+        let after = m.retained_events();
+        assert!(
+            after < pinned / 4,
+            "acknowledged history must be reclaimed: {pinned} -> {after}"
+        );
+    }
+
+    #[test]
+    fn from_state_rejects_corrupt_monitor_state() {
+        let mut m = OnlineMonitor::new(2).with_gc(GcConfig { lag: 4, every: 8 });
+        watched_pair(&mut m);
+        drive_rounds(&mut m, 30);
+        let good = m.export_state();
+        assert!(OnlineMonitor::from_state(&good).is_ok());
+
+        let mut s = good.clone();
+        s.queues[0].push(10_000); // position past the end of history
+        assert!(matches!(
+            OnlineMonitor::from_state(&s),
+            Err(BuildError::InvalidState { .. })
+        ));
+
+        let mut s = good.clone();
+        s.dirty.pop(); // arity mismatch
+        assert!(matches!(
+            OnlineMonitor::from_state(&s),
+            Err(BuildError::InvalidState { .. })
+        ));
+
+        let mut s = good.clone();
+        s.gc = Some(GcConfig { lag: 4, every: 0 });
+        assert!(matches!(
+            OnlineMonitor::from_state(&s),
+            Err(BuildError::InvalidState { .. })
+        ));
+
+        let mut s = good;
+        s.current_alarm = Some(vec![1, 1, 1]); // wrong arity
+        assert!(matches!(
+            OnlineMonitor::from_state(&s),
+            Err(BuildError::InvalidState { .. })
+        ));
     }
 
     #[test]

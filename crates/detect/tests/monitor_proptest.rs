@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use slicing_computation::{Cut, EventId, Value};
-use slicing_detect::OnlineMonitor;
+use slicing_detect::{GcConfig, OnlineMonitor};
 
 /// One scripted action: which process steps, the value it writes, and
 /// whether it offers/accepts a message.
@@ -106,5 +106,77 @@ proptest! {
                 assert_agrees(&mut m, &mut last, &format!("late message {i}"));
             }
         }
+    }
+
+    /// Stability GC is invisible: at every prefix of longer scripts with
+    /// bounded-lateness messages and acknowledged alarms, a GC'd monitor
+    /// reports exactly the verdicts (and costs) of an un-GC'd one, while
+    /// actually compacting. Lateness is bounded below the lag, matching
+    /// the GC contract that candidates and message targets stay
+    /// addressable until eliminated.
+    #[test]
+    fn gc_never_changes_observable_behavior(
+        (n, script, threshold) in (2usize..=3).prop_flat_map(|n| {
+            let steps = prop::collection::vec(
+                (0..n, -1i64..=2, any::<bool>(), any::<bool>()).prop_map(
+                    |(process, value, send, recv)| Step { process, value, send, recv },
+                ),
+                40..120,
+            );
+            (Just(n), steps, 0i64..=2)
+        }),
+        lag in 5u32..=8,
+        every in 2u64..=8,
+    ) {
+        let mut plain = OnlineMonitor::new(n);
+        let mut gcm = OnlineMonitor::new(n).with_gc(GcConfig { lag, every });
+        for m in [&mut plain, &mut gcm] {
+            for i in 0..n {
+                let v = m.declare_var(i, "x", Value::Int(0)).expect("fresh var");
+                let t = threshold;
+                m.watch_int(v, format!("x >= {t}"), move |x| x >= t)
+                    .expect("watch before events");
+            }
+        }
+
+        // EventIds are deterministic in the observation stream, so both
+        // monitors assign identical handles.
+        let mut events: Vec<EventId> = Vec::new();
+        let mut pending: Option<(usize, usize, u32)> = None;
+        for (i, step) in script.iter().enumerate() {
+            let e = plain
+                .observe(step.process, &[(plain.var(step.process, "x").unwrap(), Value::Int(step.value))])
+                .expect("observe succeeds");
+            let eg = gcm
+                .observe(step.process, &[(gcm.var(step.process, "x").unwrap(), Value::Int(step.value))])
+                .expect("observe succeeds");
+            prop_assert_eq!(e, eg);
+            events.push(e);
+            pending = match pending {
+                Some((idx, from, _)) if step.recv && from != step.process => {
+                    plain.message(events[idx], e).expect("bounded-lateness message");
+                    gcm.message(events[idx], e).expect("bounded-lateness message");
+                    None
+                }
+                // Expire held sends before they age past the lag bound.
+                Some((_, _, age)) if age >= 3 => None,
+                Some((idx, from, age)) => Some((idx, from, age + 1)),
+                None if step.send => Some((events.len() - 1, step.process, 0)),
+                None => None,
+            };
+            let vp = plain.check().expect("check never fails");
+            let vg = gcm.check().expect("check never fails");
+            prop_assert_eq!(&vp, &vg, "prefix {}: GC changed the verdict", i);
+            if vp.is_some() {
+                prop_assert!(plain.acknowledge_alarm());
+                prop_assert!(gcm.acknowledge_alarm());
+            }
+        }
+        let (p, g) = (plain.stats(), gcm.stats());
+        prop_assert_eq!(p.alarms, g.alarms);
+        prop_assert_eq!(p.checks, g.checks);
+        prop_assert_eq!(p.check_cost, g.check_cost, "GC changed settle work");
+        prop_assert_eq!(p.delta_cuts, g.delta_cuts);
+        prop_assert!(gcm.retained_events() <= plain.retained_events());
     }
 }

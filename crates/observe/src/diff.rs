@@ -52,6 +52,21 @@ pub fn rules_for(schema: &str) -> Option<DiffRules> {
             exact: &[],
             gated: &["cost_per_event_milli", "heap_allocs"],
         }),
+        s if s == crate::schema::BENCH_SOAK => Some(DiffRules {
+            // The soak workload is seeded, so verdict-like columns must
+            // reproduce exactly; bounded-resource counters are gated so a
+            // deliberate GC retune doesn't need a synchronized baseline.
+            exact: &["events", "messages", "alarms"],
+            gated: &[
+                "checks",
+                "check_cost",
+                "delta_cuts",
+                "compactions",
+                "dropped_events",
+                "retained_peak",
+                "heap_allocs",
+            ],
+        }),
         _ => None,
     }
 }

@@ -45,6 +45,13 @@ pub const METRICS: &str = "slicing.metrics/v1";
 /// The verdict document `slicing bench-diff` emits.
 pub const BENCH_DIFF: &str = "slicing.bench-diff/v1";
 
+/// A monitor + slicer checkpoint for mid-stream restart
+/// (`slicing monitor --checkpoint` / `--resume`).
+pub const CHECKPOINT: &str = "slicing.checkpoint/v1";
+
+/// `table_soak`'s long-run baseline (`BENCH_soak.json`).
+pub const BENCH_SOAK: &str = "slicing.bench-soak/v1";
+
 /// Every schema this workspace version knows, for enumeration in docs
 /// and tools.
 pub const ALL: &[&str] = &[
@@ -58,6 +65,8 @@ pub const ALL: &[&str] = &[
     PROFILE,
     METRICS,
     BENCH_DIFF,
+    CHECKPOINT,
+    BENCH_SOAK,
 ];
 
 /// Why [`validate`] rejected a document.
@@ -144,6 +153,8 @@ pub fn validate(doc: &JsonValue) -> Result<&'static str, SchemaError> {
         PROFILE => validate_profile(doc)?,
         METRICS => validate_metrics(doc)?,
         BENCH_DIFF => validate_bench_diff(doc)?,
+        CHECKPOINT => validate_checkpoint(doc)?,
+        BENCH_SOAK => validate_bench_soak(doc)?,
         _ => unreachable!("ALL and the match arms list the same schemas"),
     }
     Ok(known)
@@ -304,6 +315,87 @@ fn validate_metrics(doc: &JsonValue) -> Result<(), SchemaError> {
         }
     }
     Ok(())
+}
+
+fn validate_checkpoint(doc: &JsonValue) -> Result<(), SchemaError> {
+    let n = require_u64(doc, "processes", "document")?;
+    if n == 0 {
+        return Err(fail("document: \"processes\" must be positive".to_owned()));
+    }
+    require_u64(doc, "metrics_seq", "document")?;
+    require_u64(doc, "seen_revision", "document")?;
+    require_u64(doc, "clock_revision", "document")?;
+    require_u64(doc, "since_gc", "document")?;
+    require_bool(doc, "dirty_any", "document")?;
+    for field in ["base", "vars", "snapshots", "queues", "dirty"] {
+        let arr = require_array(doc, field, "document")?;
+        if arr.len() != n as usize {
+            return Err(fail(format!(
+                "document: field {field:?} must have one entry per process"
+            )));
+        }
+    }
+    let events = require_array(doc, "events", "document")?;
+    for (i, ev) in events.iter().enumerate() {
+        let eat = format!("events[{i}]");
+        require_u64(ev, "p", &eat)?;
+        require_bool(ev, "holds", &eat)?;
+        let clock = require_array(ev, "clock", &eat)?;
+        if clock.len() != n as usize {
+            return Err(fail(format!("{eat}: clock must have arity {n}")));
+        }
+    }
+    for field in ["messages", "settled_edges"] {
+        for (i, pair) in require_array(doc, field, "document")?.iter().enumerate() {
+            let ok = pair
+                .as_array()
+                .is_some_and(|p| p.len() == 2 && p.iter().all(|v| v.as_u64().is_some()));
+            if !ok {
+                return Err(fail(format!(
+                    "document: {field}[{i}] must be a [send, recv] index pair"
+                )));
+            }
+        }
+    }
+    for field in ["current_alarm", "last_alarm", "gc"] {
+        require(doc, field, "document")?; // may be null; decode checks shape
+    }
+    let stats = require(doc, "stats", "document")?;
+    for field in [
+        "events",
+        "messages",
+        "checks",
+        "alarms",
+        "check_cost",
+        "last_check_cost",
+        "delta_cuts",
+        "peak_candidates",
+        "compactions",
+        "dropped_events",
+        "retained_peak",
+    ] {
+        require_u64(stats, field, "document.stats")?;
+    }
+    Ok(())
+}
+
+fn validate_bench_soak(doc: &JsonValue) -> Result<(), SchemaError> {
+    validate_bench_table(
+        doc,
+        &[],
+        &[
+            "events",
+            "messages",
+            "checks",
+            "alarms",
+            "check_cost",
+            "delta_cuts",
+            "compactions",
+            "dropped_events",
+            "retained_peak",
+            "heap_allocs",
+        ],
+    )
 }
 
 fn validate_bench_diff(doc: &JsonValue) -> Result<(), SchemaError> {

@@ -55,6 +55,27 @@ impl MetricsSnapshotter {
         MetricsSnapshotter::default()
     }
 
+    /// The sequence number of the last emitted snapshot (0 before any).
+    ///
+    /// A checkpointing owner persists this alongside its own state so a
+    /// restarted stream can [`resume_from`](MetricsSnapshotter::resume_from)
+    /// where the old one stopped.
+    pub fn seq(&self) -> u64 {
+        self.state.lock().expect("snapshotter lock").seq
+    }
+
+    /// Continues a `slicing.metrics/v1` stream across a restart: the next
+    /// snapshot gets `seq + 1`, keeping the stream's sequence numbers
+    /// monotonic instead of restarting at 1.
+    ///
+    /// Only the cursor carries over. Counters, gauges, and samples start
+    /// empty — the first post-resume snapshot reports deltas of the new
+    /// process's activity only, which is the delta-stream contract (the
+    /// pre-restart totals live in the earlier lines).
+    pub fn resume_from(&self, seq: u64) {
+        self.state.lock().expect("snapshotter lock").seq = seq;
+    }
+
     /// Current cumulative total of counter `name`.
     pub fn counter_total(&self, name: &str) -> u64 {
         self.state
@@ -227,6 +248,25 @@ mod tests {
             "cumulative"
         );
         assert_eq!(samples[0].get("max").unwrap().as_u64(), Some(100));
+    }
+
+    #[test]
+    fn resume_continues_the_sequence_monotonically() {
+        let s = MetricsSnapshotter::new();
+        count(&s, "c", 4);
+        s.snapshot(10);
+        s.snapshot(20);
+        assert_eq!(s.seq(), 2);
+
+        // A fresh process restores the cursor from a checkpoint.
+        let resumed = MetricsSnapshotter::new();
+        resumed.resume_from(s.seq());
+        count(&resumed, "c", 1);
+        let doc = parse(&resumed.snapshot(30)).unwrap();
+        assert_eq!(doc.get("seq").unwrap().as_u64(), Some(3));
+        // Deltas cover the new process only: counter restarted at 0.
+        let deltas = doc.get("counter_deltas").unwrap().as_array().unwrap();
+        assert_eq!(deltas[0].get("value").unwrap().as_u64(), Some(1));
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Checkpoint files: durable `slicing.checkpoint/v1` snapshots of a
+//! running [`OnlineMonitor`], written so a killed monitor can restart
+//! mid-stream and converge to the same verdicts as an uninterrupted run.
+//!
+//! This is the file layer over [`slicing_detect::checkpoint`]'s codec:
+//!
+//! - [`write_checkpoint`] serializes the monitor's exported state (plus
+//!   the metrics-stream cursor) and writes it *atomically* — to a
+//!   `.tmp` sibling first, then renamed over the target — so a crash
+//!   mid-write leaves the previous checkpoint intact rather than a
+//!   truncated JSON document;
+//! - [`load_checkpoint`] reads a file back, revalidates it against the
+//!   observe schema registry, and decodes it;
+//! - [`resume_monitor`] rebuilds a live monitor from the loaded state
+//!   and re-registers the caller's watch clauses (closures cannot be
+//!   serialized; each is cross-validated against the checkpointed truth
+//!   assignments).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use slicing_computation::BuildError;
+use slicing_detect::checkpoint::{decode_str, encode};
+use slicing_detect::{MonitorState, OnlineMonitor};
+use slicing_predicates::LocalPredicate;
+
+/// Atomically writes `monitor`'s current state (and the metrics-stream
+/// sequence cursor) to `path` as one `slicing.checkpoint/v1` line.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from writing the temporary sibling or
+/// renaming it into place.
+pub fn write_checkpoint(path: &Path, monitor: &OnlineMonitor, metrics_seq: u64) -> io::Result<()> {
+    let text = encode(&monitor.export_state(), metrics_seq);
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, text + "\n")?;
+    fs::rename(&tmp, path)?;
+    slicing_observe::counter("recover.checkpoints_written", 1);
+    Ok(())
+}
+
+/// Loads and decodes a checkpoint file written by [`write_checkpoint`].
+///
+/// The document is first checked against the observe schema registry
+/// (the same validation `slicing validate` applies), then decoded with
+/// the full semantic checks of the codec. Returns the monitor state and
+/// the metrics sequence number the stream should resume from.
+///
+/// # Errors
+///
+/// Filesystem errors are returned as-is; malformed or invalid documents
+/// surface as [`io::ErrorKind::InvalidData`] carrying the codec's
+/// [`BuildError::InvalidState`] detail.
+pub fn load_checkpoint(path: &Path) -> io::Result<(MonitorState, u64)> {
+    let text = fs::read_to_string(path)?;
+    let doc = slicing_observe::json::parse(text.trim()).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })?;
+    slicing_observe::schema::validate(&doc).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })?;
+    decode_str(text.trim()).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+/// Rebuilds a live monitor from a loaded checkpoint state and re-registers
+/// the fault predicate's clauses.
+///
+/// Clauses are matched to the checkpoint by variable (process + name):
+/// [`OnlineMonitor::restore_watch_clause`] revalidates each against the
+/// checkpointed per-event truth assignments, so a clause that disagrees
+/// with the history it claims to have produced is rejected instead of
+/// silently corrupting future verdicts.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidState`] if the state is internally
+/// inconsistent or a clause contradicts the checkpointed assignments.
+pub fn resume_monitor(
+    state: &MonitorState,
+    clauses: Vec<LocalPredicate>,
+) -> Result<OnlineMonitor, BuildError> {
+    let mut monitor = OnlineMonitor::from_state(state)?;
+    for clause in clauses {
+        monitor.restore_watch_clause(clause)?;
+    }
+    slicing_observe::counter("recover.monitors_resumed", 1);
+    Ok(monitor)
+}

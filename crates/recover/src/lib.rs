@@ -41,9 +41,11 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod line;
 mod replay;
 
+pub use checkpoint::{load_checkpoint, resume_monitor, write_checkpoint};
 pub use line::{
     max_consistent_cut_below, recovery_line, recovery_line_exhaustive, LineMethod, RecoveryLine,
 };

@@ -39,6 +39,9 @@ fn usage() -> &'static str {
   slicing modality <trace> <predicate> --mode possibly|definitely|invariant|controllable
   slicing monitor <trace> <predicate> [--check-every N]
                   [--metrics <path>] [--metrics-every N]
+                  [--gc-lag N] [--gc-every N]
+                  [--checkpoint <path>] [--checkpoint-every N]
+                  [--resume <path>]
   slicing profile <trace> <predicate>
                   [--engine slice|bfs|dfs|pom|reverse|parallel|hybrid|lean|lean-parallel]
                   [--threads N] [--folded] [--out <path>]
@@ -64,7 +67,16 @@ replays the trace through the incremental online monitor (amortized O(1)
 per check), reporting every distinct alarm cut as it appears; the
 predicate must be a conjunction of local clauses. `--metrics` streams
 `slicing.metrics/v1` delta snapshots (one JSONL line every N observed
-events, default 100) to <path> while the monitor runs.
+events, default 100) to <path> while the monitor runs. `--gc-lag` /
+`--gc-every` enable causal-stability garbage collection (compact
+history more than N events behind the stable frontier, attempted every
+N observations; defaults 128/1024 when either flag is given).
+`--checkpoint` writes a versioned `slicing.checkpoint/v1` snapshot of
+the monitor to <path> — atomically, every `--checkpoint-every` N events
+and once at end of stream. `--resume` restores a monitor from such a
+snapshot and skips the prefix of the trace it already consumed; the
+GC configuration travels inside the checkpoint. All `--*-every` counts
+must be positive.
 `profile` runs a detection with the span profiler installed and emits
 one `slicing.profile/v1` document: the merged span tree with wall time
 and per-span counter attribution (per-span counters sum to the flat
@@ -78,6 +90,18 @@ and checks every document against the known `slicing.*/v1` schemas.
 
 <trace> is a file path or `-` for stdin; predicates use the expression
 language, e.g. \"x1@0 > 1 && x3@2 <= 3\"."
+}
+
+/// Parses a strictly positive integer flag value; zero and garbage both
+/// produce a typed usage error naming the flag.
+fn parse_positive(flag: &str, value: &str) -> Result<u64, String> {
+    let n: u64 = value
+        .parse()
+        .map_err(|e| format!("{flag}: {e}\n\n{}", usage()))?;
+    if n == 0 {
+        return Err(format!("{flag} must be positive (got 0)\n\n{}", usage()));
+    }
+    Ok(n)
 }
 
 fn load_trace(path: &str) -> Result<Computation, String> {
@@ -411,27 +435,50 @@ fn run() -> Result<(), String> {
             let mut check_every: u64 = 1;
             let mut metrics_path: Option<String> = None;
             let mut metrics_every: u64 = 100;
+            let mut checkpoint_path: Option<String> = None;
+            let mut checkpoint_every: Option<u64> = None;
+            let mut resume_path: Option<String> = None;
+            let mut gc_every: Option<u64> = None;
+            let mut gc_lag: Option<u32> = None;
             let mut it = args[3..].iter();
             while let Some(flag) = it.next() {
                 let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
                 match flag.as_str() {
-                    "--check-every" => check_every = value.parse().map_err(|e| format!("{e}"))?,
+                    "--check-every" => check_every = parse_positive(flag, value)?,
                     "--metrics" => metrics_path = Some(value.clone()),
-                    "--metrics-every" => {
-                        metrics_every = value.parse().map_err(|e| format!("{e}"))?
+                    "--metrics-every" => metrics_every = parse_positive(flag, value)?,
+                    "--checkpoint" => checkpoint_path = Some(value.clone()),
+                    "--checkpoint-every" => checkpoint_every = Some(parse_positive(flag, value)?),
+                    "--resume" => resume_path = Some(value.clone()),
+                    "--gc-every" => gc_every = Some(parse_positive(flag, value)?),
+                    "--gc-lag" => {
+                        gc_lag = Some(
+                            u32::try_from(parse_positive(flag, value)?)
+                                .map_err(|_| format!("{flag}: value exceeds u32 range"))?,
+                        )
                     }
                     other => return Err(format!("unknown flag {other}\n\n{}", usage())),
                 }
             }
-            let check_every = check_every.max(1);
-            let metrics_every = metrics_every.max(1);
+            if checkpoint_every.is_some() && checkpoint_path.is_none() {
+                return Err(format!(
+                    "--checkpoint-every needs --checkpoint <path>\n\n{}",
+                    usage()
+                ));
+            }
+            if resume_path.is_some() && (gc_every.is_some() || gc_lag.is_some()) {
+                return Err("GC configuration travels inside the checkpoint; drop \
+                     --gc-every/--gc-lag when using --resume"
+                    .to_owned());
+            }
 
             // Live telemetry: a scoped snapshotter sees every counter,
             // gauge, and sample the monitor emits on this thread and
             // turns them into periodic `slicing.metrics/v1` delta lines.
-            let snapshotter = metrics_path
-                .as_ref()
-                .map(|_| std::sync::Arc::new(slicing_observe::MetricsSnapshotter::new()));
+            // Checkpointing needs the snapshotter even without --metrics
+            // so the stream cursor can be persisted.
+            let snapshotter = (metrics_path.is_some() || checkpoint_path.is_some())
+                .then(|| std::sync::Arc::new(slicing_observe::MetricsSnapshotter::new()));
             let mut metrics_out = match &metrics_path {
                 Some(path) => Some(std::io::BufWriter::new(
                     std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
@@ -447,10 +494,52 @@ fn run() -> Result<(), String> {
                 "monitor needs a conjunctive predicate (local clauses joined by &&)".to_owned()
             })?;
 
+            // Fresh start, or restore a checkpointed monitor and skip the
+            // prefix of the trace it already consumed.
+            let (mut m, skip) = match &resume_path {
+                Some(path) => {
+                    let (state, seq) =
+                        computation_slicing::recovery::load_checkpoint(std::path::Path::new(path))
+                            .map_err(|e| e.to_string())?;
+                    if state.slicer.num_processes != comp.num_processes() {
+                        return Err(format!(
+                            "{path}: checkpoint has {} processes but the trace has {} — \
+                             wrong trace?",
+                            state.slicer.num_processes,
+                            comp.num_processes()
+                        ));
+                    }
+                    if let Some(s) = &snapshotter {
+                        s.resume_from(seq);
+                    }
+                    let m = computation_slicing::recovery::resume_monitor(
+                        &state,
+                        conj.clauses().to_vec(),
+                    )
+                    .map_err(|e| format!("{path}: {e}"))?;
+                    println!(
+                        "resumed from {path}: {} events already consumed",
+                        state.stats.events
+                    );
+                    (m, state.stats.events)
+                }
+                None => {
+                    let mut m =
+                        computation_slicing::detect::OnlineMonitor::new(comp.num_processes());
+                    if gc_every.is_some() || gc_lag.is_some() {
+                        m = m.with_gc(computation_slicing::detect::GcConfig {
+                            lag: gc_lag.unwrap_or(128),
+                            every: gc_every.unwrap_or(1024),
+                        });
+                    }
+                    (m, 0)
+                }
+            };
+
             // Mirror the trace's variables process by process, in
             // declaration order, so the recorded `VarRef`s line up with
-            // the monitor's own builder.
-            let mut m = computation_slicing::detect::OnlineMonitor::new(comp.num_processes());
+            // the monitor's own builder. On resume the declarations come
+            // from the checkpoint and are looked up instead.
             let mut mon_vars: Vec<Vec<computation_slicing::VarRef>> = Vec::new();
             for i in 0..comp.num_processes() {
                 let p = comp.process(i);
@@ -458,22 +547,48 @@ fn run() -> Result<(), String> {
                 let mut row = Vec::with_capacity(names.len());
                 for name in &names {
                     let orig = comp.var(p, name).expect("listed variable");
-                    let mv = m
-                        .declare_var(i, name, comp.value_at(orig, 0))
-                        .map_err(|e| e.to_string())?;
+                    let mv = if resume_path.is_some() {
+                        m.var(i, name).ok_or_else(|| {
+                            format!("checkpoint does not declare {name}@{i} — wrong trace?")
+                        })?
+                    } else {
+                        m.declare_var(i, name, comp.value_at(orig, 0))
+                            .map_err(|e| e.to_string())?
+                    };
                     row.push(mv);
                 }
                 mon_vars.push(row);
             }
-            for clause in conj.clauses() {
-                m.watch_clause(clause.clone()).map_err(|e| e.to_string())?;
+            if resume_path.is_none() {
+                for clause in conj.clauses() {
+                    m.watch_clause(clause.clone()).map_err(|e| e.to_string())?;
+                }
             }
 
+            let write_ckpt =
+                |m: &computation_slicing::detect::OnlineMonitor,
+                 snapshotter: &Option<std::sync::Arc<slicing_observe::MetricsSnapshotter>>|
+                 -> Result<(), String> {
+                    if let Some(path) = &checkpoint_path {
+                        let seq = snapshotter.as_ref().map_or(0, |s| s.seq());
+                        computation_slicing::recovery::write_checkpoint(
+                            std::path::Path::new(path),
+                            m,
+                            seq,
+                        )
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                    }
+                    Ok(())
+                };
+
             // Stream the recorded events in order; a message is declared
-            // as soon as both endpoints have been replayed.
+            // as soon as both endpoints have been replayed. A mapped
+            // `None` means the event was compacted away by stability GC
+            // before being needed — possible only for a stale endpoint,
+            // reported exactly like a rejected late message.
             let mut mapped: std::collections::HashMap<
                 computation_slicing::EventId,
-                computation_slicing::EventId,
+                Option<computation_slicing::EventId>,
             > = std::collections::HashMap::new();
             let mut pending: Vec<computation_slicing::computation::Message> = Vec::new();
             let mut observed = 0u64;
@@ -494,6 +609,15 @@ fn run() -> Result<(), String> {
                 }
                 let p = comp.process_of(e);
                 let pos = comp.position_of(e);
+                observed += 1;
+                if observed <= skip {
+                    // Consumed before the checkpoint: translate the trace
+                    // event to its live handle for late-message delivery.
+                    // Messages among skipped events are already part of
+                    // the checkpointed state and are not redelivered.
+                    mapped.insert(e, m.event_at(p.as_usize(), pos));
+                    continue;
+                }
                 let writes: Vec<_> = mon_vars[p.as_usize()]
                     .iter()
                     .enumerate()
@@ -506,18 +630,22 @@ fn run() -> Result<(), String> {
                 let ne = m
                     .observe(p.as_usize(), &writes)
                     .map_err(|e| e.to_string())?;
-                mapped.insert(e, ne);
+                mapped.insert(e, Some(ne));
                 pending.extend(comp.messages_into(e));
                 pending.retain(|msg| match (mapped.get(&msg.send), mapped.get(&msg.recv)) {
                     (Some(&s), Some(&r)) => {
-                        if let Err(err) = m.message(s, r) {
-                            eprintln!("warning: skipped message {s} -> {r}: {err}");
+                        match (s, r) {
+                            (Some(s), Some(r)) => {
+                                if let Err(err) = m.message(s, r) {
+                                    eprintln!("warning: skipped message {s} -> {r}: {err}");
+                                }
+                            }
+                            _ => eprintln!("warning: skipped message into history compacted by GC"),
                         }
                         false
                     }
                     _ => true,
                 });
-                observed += 1;
                 if observed.is_multiple_of(check_every) {
                     check(&mut m, &mut alarms, observed)?;
                 }
@@ -527,10 +655,18 @@ fn run() -> Result<(), String> {
                             .map_err(|e| format!("writing metrics: {e}"))?;
                     }
                 }
+                if let Some(every) = checkpoint_every {
+                    if observed.is_multiple_of(every) {
+                        write_ckpt(&m, &snapshotter)?;
+                    }
+                }
             }
             if !observed.is_multiple_of(check_every) {
                 check(&mut m, &mut alarms, observed)?;
             }
+            // A final checkpoint so the artifact always reflects the full
+            // stream, whatever the cadence.
+            write_ckpt(&m, &snapshotter)?;
             if let (Some(s), Some(out)) = (&snapshotter, metrics_out.as_mut()) {
                 // Final snapshot so the stream always covers the tail.
                 if !observed.is_multiple_of(metrics_every) || observed == 0 {

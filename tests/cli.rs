@@ -18,12 +18,13 @@ fn slicing_with_stdin(args: &[&str], stdin: &str) -> Output {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary spawns");
-    child
+    // Best-effort: a child that rejects its flags exits before reading
+    // stdin, which surfaces here as a broken pipe — not a test failure.
+    let _ = child
         .stdin
         .as_mut()
         .expect("stdin piped")
-        .write_all(stdin.as_bytes())
-        .expect("stdin written");
+        .write_all(stdin.as_bytes());
     child.wait_with_output().expect("binary runs")
 }
 
@@ -506,6 +507,157 @@ fn monitor_metrics_stream_is_valid_jsonl() {
     assert_eq!(last.get("at").unwrap().as_u64(), Some(9));
     std::fs::remove_file(&trace_path).ok();
     std::fs::remove_file(&metrics_path).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Run-forever surface: flag validation, GC flags, checkpoint/resume.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn monitor_rejects_zero_and_garbage_cadences() {
+    let trace = figure1_trace();
+    for flag in ["--check-every", "--metrics-every", "--checkpoint-every"] {
+        let out = slicing_with_stdin(&["monitor", "-", "x1@0 > 1", flag, "0"], &trace);
+        assert!(!out.status.success(), "{flag} 0 must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(
+            err.contains(&format!("{flag} must be positive (got 0)")),
+            "{flag}: {err}"
+        );
+        assert!(err.contains("usage:"), "{flag}: error must carry usage");
+
+        let out = slicing_with_stdin(&["monitor", "-", "x1@0 > 1", flag, "three"], &trace);
+        assert!(!out.status.success(), "{flag} three must be rejected");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(flag),
+            "{flag}: parse error must name the flag"
+        );
+    }
+    // --checkpoint-every without a destination is a usage error too.
+    let out = slicing_with_stdin(
+        &["monitor", "-", "x1@0 > 1", "--checkpoint-every", "5"],
+        &trace,
+    );
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs --checkpoint"));
+}
+
+#[test]
+fn monitor_with_gc_matches_the_plain_verdict() {
+    let trace = figure1_trace();
+    let plain = slicing_with_stdin(&["monitor", "-", "x1@0 > 1 && x3@2 <= 3"], &trace);
+    assert!(plain.status.success());
+    let gc = slicing_with_stdin(
+        &[
+            "monitor",
+            "-",
+            "x1@0 > 1 && x3@2 <= 3",
+            "--gc-lag",
+            "16",
+            "--gc-every",
+            "2",
+        ],
+        &trace,
+    );
+    assert!(
+        gc.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gc.stderr)
+    );
+    assert_eq!(stdout(&plain), stdout(&gc), "GC changed the CLI verdict");
+}
+
+/// End-to-end kill-and-resume: checkpoint a run over a prefix trace, then
+/// resume it against the full trace. The alarm line and the final
+/// monitor report must be identical to the unbroken run, the checkpoint
+/// must validate against the schema registry, and explicit GC flags must
+/// be rejected on resume (the configuration travels in the checkpoint).
+#[test]
+fn monitor_checkpoint_resume_converges_to_the_unbroken_run() {
+    let trace = figure1_trace();
+    // The trace lists events in replay order, so the first lines form a
+    // valid prefix computation: same processes, same per-process event
+    // prefixes, no messages past the cut.
+    let prefix: String = trace.lines().take(9).map(|l| format!("{l}\n")).collect();
+    let ckpt = tmp_path("resume.ckpt");
+    let pred = "x1@0 > 1 && x3@2 <= 3";
+
+    let unbroken = slicing_with_stdin(&["--report", "-", "monitor", "-", pred], &trace);
+    assert!(unbroken.status.success());
+
+    let out = slicing_with_stdin(
+        &["monitor", "-", pred, "--checkpoint", ckpt.to_str().unwrap()],
+        &prefix,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout(&out).contains("monitored 4 events"),
+        "{}",
+        stdout(&out)
+    );
+    let doc = slicing_observe::json::parse(std::fs::read_to_string(&ckpt).unwrap().trim()).unwrap();
+    assert_eq!(
+        slicing_observe::schema::validate(&doc).unwrap(),
+        slicing_observe::schema::CHECKPOINT
+    );
+
+    let resumed = slicing_with_stdin(
+        &[
+            "--report",
+            "-",
+            "monitor",
+            "-",
+            pred,
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ],
+        &trace,
+    );
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let text = stdout(&resumed);
+    assert!(text.contains("resumed from"), "{text}");
+    assert!(
+        text.contains("alarm after 7 events: fault possible at cut ⟨1, 2, 2⟩"),
+        "{text}"
+    );
+    // Line-for-line identical from the alarm on: same alarms, same
+    // cumulative stats, same report document.
+    let tail = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("alarm"))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(tail(&stdout(&unbroken)), tail(&text));
+
+    // GC flags on resume are rejected: the checkpoint owns that config.
+    let out = slicing_with_stdin(
+        &[
+            "monitor",
+            "-",
+            pred,
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--gc-lag",
+            "8",
+        ],
+        &trace,
+    );
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("travels inside the checkpoint"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&ckpt).ok();
 }
 
 #[test]
