@@ -44,6 +44,12 @@ struct Entry {
     hits: u64,
     inserts: u64,
     heap_allocs: u64,
+    /// Layers the parallel engine ran on its sequential replica path
+    /// (`detect.parallel.seq_layers`); zero for other engines.
+    seq_layers: u64,
+    /// J-table row joins in the kernelized slicer
+    /// (`slice.j_table.row_joins`); zero outside the slicing pipeline.
+    row_joins: u64,
 }
 
 impl Entry {
@@ -60,6 +66,8 @@ impl Entry {
             .u64("hits", self.hits)
             .u64("inserts", self.inserts)
             .u64("heap_allocs", self.heap_allocs)
+            .u64("seq_layers", self.seq_layers)
+            .u64("row_joins", self.row_joins)
             .finish()
     }
 }
@@ -83,6 +91,8 @@ fn measure<F: FnMut() -> (bool, u64)>(
     let probes = rec.counter_total("detect.visited.probes");
     let hits = rec.counter_total("detect.visited.hits");
     let inserts = rec.counter_total("detect.visited.inserts");
+    let seq_layers = rec.counter_total("detect.parallel.seq_layers");
+    let row_joins = rec.counter_total("slice.j_table.row_joins");
 
     let start = Instant::now();
     for _ in 0..reps {
@@ -101,6 +111,8 @@ fn measure<F: FnMut() -> (bool, u64)>(
         hits,
         inserts,
         heap_allocs,
+        seq_layers,
+        row_joins,
     }
 }
 
@@ -211,17 +223,48 @@ fn main() {
                 (detected, cuts)
             },
         ));
+        // The warm-arena contract the slicer kernel rests on: once the
+        // measurement loop above has warmed every pool, further slicing
+        // reps must not touch the cut heap at all.
+        let warm_allocs = cut_heap_allocs();
+        for comp in &faulty {
+            std::hint::black_box(measure_slicing(w, comp, &limits));
+        }
+        assert_eq!(
+            cut_heap_allocs(),
+            warm_allocs,
+            "warm {} slicing rep allocated on the cut heap",
+            w.name()
+        );
     }
 
     println!("# Detection throughput — grid {grid_size}×{grid_size}, {reps} reps, {seeds} protocol seeds");
     println!(
-        "{:<32} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>6}",
-        "entry", "threads", "wall µs/run", "cuts", "probes", "hits", "inserts", "alloc"
+        "{:<32} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>6} {:>8} {:>9}",
+        "entry",
+        "threads",
+        "wall µs/run",
+        "cuts",
+        "probes",
+        "hits",
+        "inserts",
+        "alloc",
+        "seq_lyr",
+        "row_join"
     );
     for e in &entries {
         println!(
-            "{:<32} {:>8} {:>12.1} {:>10} {:>10} {:>10} {:>10} {:>6}",
-            e.name, e.threads, e.wall_us, e.cuts, e.probes, e.hits, e.inserts, e.heap_allocs
+            "{:<32} {:>8} {:>12.1} {:>10} {:>10} {:>10} {:>10} {:>6} {:>8} {:>9}",
+            e.name,
+            e.threads,
+            e.wall_us,
+            e.cuts,
+            e.probes,
+            e.hits,
+            e.inserts,
+            e.heap_allocs,
+            e.seq_layers,
+            e.row_joins
         );
     }
     for e in entries.iter().filter(|e| e.engine == "bfs_parallel") {

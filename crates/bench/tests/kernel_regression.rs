@@ -8,13 +8,16 @@
 //! witness size, same number of cuts explored. Any divergence means the
 //! optimization changed semantics, not just speed.
 
+use std::sync::Arc;
+
 use slicing_bench::Workload;
 use slicing_computation::test_fixtures::{figure1, grid, random_computation, RandomConfig};
-use slicing_computation::{Computation, ProcSet};
+use slicing_computation::{cut_heap_allocs, Computation, ProcSet};
 use slicing_detect::{
     detect_bfs, detect_bfs_parallel, detect_dfs, detect_pom, detect_reverse_search,
     detect_with_slicing, Limits,
 };
+use slicing_observe::{Level, MemoryRecorder};
 use slicing_predicates::{expr::parse_predicate, FnPredicate};
 use slicing_sim::primary_secondary;
 
@@ -163,5 +166,42 @@ fn protocol_slicing_pipeline_matches_the_old_kernel() {
             "seed {seed}"
         );
         assert_eq!(s.search.cuts_explored, 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn slicer_kernel_counters_are_pinned() {
+    // The kernelized slicer's deterministic work counters on fixed-seed
+    // protocol workloads: J-row joins (the flat-table hot loop), J-table
+    // builds, and graft edge merges are exact functions of the input.
+    // Drift means the slicing algorithm changed, not just its speed — and
+    // the cut heap must stay untouched end to end (the warm-arena / inline
+    // contract the 3× slicing win rests on).
+    //
+    // (workload, seed, row_joins, builds, edges_merged)
+    let table = [
+        (Workload::PrimarySecondary, 3u64, 2287u64, 61u64, 332u64),
+        (Workload::PrimarySecondary, 8, 1512, 61, 29),
+        (Workload::DatabasePartitioning, 5, 261, 12, 74),
+    ];
+    for (w, seed, row_joins, builds, merged) in table {
+        let comp = w.simulate(5, 10, seed);
+        let faulty = w.inject_fault(&comp, seed);
+        let spec = w.violation_spec(&faulty);
+        let rec = Arc::new(MemoryRecorder::new(Level::Trace));
+        let allocs_before = cut_heap_allocs();
+        let s = {
+            let _guard = slicing_observe::scoped(rec.clone());
+            detect_with_slicing(&faulty, &spec, &Limits::none())
+        };
+        let tag = format!("{} seed {seed}", w.name());
+        assert!(s.detected(), "{tag}");
+        assert_eq!(cut_heap_allocs() - allocs_before, 0, "{tag}: cut heap");
+        let got = (
+            rec.counter_total("slice.j_table.row_joins"),
+            rec.counter_total("slice.j_table.builds"),
+            rec.counter_total("slice.graft.edges_merged"),
+        );
+        assert_eq!(got, (row_joins, builds, merged), "{tag}");
     }
 }

@@ -176,6 +176,25 @@ impl Cut {
         out
     }
 
+    /// Overwrites this cut with the componentwise maximum of `base` and
+    /// `other` in a single pass — a fused
+    /// [`copy_from_counts`](Cut::copy_from_counts) +
+    /// [`join_in_place`](Cut::join_in_place) for hot loops that re-point a
+    /// scratch cut at a joined value. Allocation-free for every width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[inline]
+    pub fn assign_join_counts(&mut self, base: &[u32], other: &[u32]) {
+        let out = self.counts_mut();
+        assert_eq!(out.len(), base.len());
+        assert_eq!(out.len(), other.len());
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = base[i].max(other[i]);
+        }
+    }
+
     /// In-place join: grows `self` to include everything in `other`.
     /// Allocation-free for every width.
     pub fn join_in_place(&mut self, other: &Cut) {
@@ -301,6 +320,180 @@ impl std::hash::Hash for Cut {
         // Hash as the count slice: identical to the historical
         // `Cut(Vec<u32>)` derive and independent of the storage variant.
         self.counts().hash(state);
+    }
+}
+
+/// A bit-packing plan mapping a cut's per-process counts into one `u64`
+/// key: uniform-width bit lanes, one per process.
+///
+/// The lane width comes from the per-process event counts of the
+/// computation being searched: counts on process `p` range over
+/// `0..=maxima[p]`. When the lanes fit in 63 bits the packing is a
+/// bijection between bounded cuts and keys — packed-key equality *is* cut
+/// equality — and the clear top bit keeps `u64::MAX` free as a table
+/// sentinel. [`for_maxima`](CutPacking::for_maxima) returns `None` for
+/// computations too wide or too long to pack; callers fall back to
+/// unpacked cut storage.
+///
+/// When the bit budget allows, the plan reserves one spare top bit per
+/// lane and enough lane headroom to hold the total event count; lattice
+/// joins ([`join`](CutPacking::join)) and cut sizes
+/// ([`size_of`](CutPacking::size_of)) then run as branch-free SWAR
+/// arithmetic on whole keys — no per-lane loops, no unpacking — which is
+/// what makes packed lattice sweeps cheap.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::{Cut, CutPacking};
+///
+/// let packing = CutPacking::for_maxima(&[12, 3, 200]).unwrap();
+/// let cut = Cut::from(vec![7, 2, 143]);
+/// let key = packing.pack(cut.counts());
+/// let mut out = Cut::bottom(3);
+/// packing.unpack_into(key, &mut out);
+/// assert_eq!(out, cut);
+/// assert_eq!(packing.size_of(key), 7 + 2 + 143);
+/// let other = packing.pack(&[9, 1, 150]);
+/// let join = packing.join(key, other);
+/// assert_eq!(join, packing.pack(&[9, 2, 150]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CutPacking {
+    /// Bits per lane (uniform across processes).
+    lane_bits: u32,
+    /// Number of lanes.
+    n: usize,
+    /// `(1 << lane_bits) - 1`: one lane's value mask.
+    lane_mask: u64,
+    /// `Σᵢ 1 << (i·lane_bits)`: the all-lanes-one constant (SWAR sums).
+    ones: u64,
+    /// `Σᵢ 1 << (i·lane_bits + lane_bits - 1)`: every lane's spare top
+    /// bit; meaningful only when `swar`.
+    high: u64,
+    /// `true` when lanes have a spare top bit and sum headroom, enabling
+    /// branch-free [`join`](Self::join) and [`size_of`](Self::size_of).
+    swar: bool,
+}
+
+impl CutPacking {
+    /// Builds the packing for counts bounded by `maxima` (inclusive), or
+    /// `None` when uniform lanes wide enough need more than 63 bits.
+    pub fn for_maxima(maxima: &[u32]) -> Option<CutPacking> {
+        let n = maxima.len();
+        if n == 0 {
+            return None;
+        }
+        let need = maxima
+            .iter()
+            .map(|&m| 32 - m.leading_zeros())
+            .max()
+            .unwrap();
+        let sum: u64 = maxima.iter().map(|&m| u64::from(m)).sum();
+        let sum_bits = 64 - sum.leading_zeros();
+        // Prefer SWAR lanes: a spare top bit (values stay below
+        // 2^(w-1)) and room for the total event count in one lane.
+        let swar_bits = (need + 1).max(sum_bits);
+        let (lane_bits, swar) = if (n as u32) * swar_bits <= 63 {
+            (swar_bits, true)
+        } else if (n as u32) * need <= 63 && need > 0 {
+            (need, false)
+        } else {
+            return None;
+        };
+        let mut ones = 0u64;
+        for i in 0..n {
+            ones |= 1u64 << (i as u32 * lane_bits);
+        }
+        Some(CutPacking {
+            lane_bits,
+            n,
+            lane_mask: (1u64 << lane_bits) - 1,
+            ones,
+            high: ones << (lane_bits - 1),
+            swar,
+        })
+    }
+
+    /// Number of processes (lanes) in the plan.
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Bits per lane. Together with the lane count this fingerprints the
+    /// plan: caches of packed values verify it before trusting their
+    /// contents against a caller's plan.
+    pub fn lane_bits(&self) -> u32 {
+        self.lane_bits
+    }
+
+    /// Packs a count slice into its key. Counts must be within the
+    /// construction-time maxima (debug-asserted) — injectivity depends on
+    /// every count fitting its lane.
+    #[inline]
+    pub fn pack(&self, counts: &[u32]) -> u64 {
+        debug_assert_eq!(counts.len(), self.n);
+        let mut key = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            debug_assert!(u64::from(c) <= self.lane_mask, "count {c} exceeds lane {i}");
+            key |= u64::from(c) << (i as u32 * self.lane_bits);
+        }
+        key
+    }
+
+    /// Writes the counts behind `key` into `cut`, which must span the
+    /// plan's process count.
+    #[inline]
+    pub fn unpack_into(&self, key: u64, cut: &mut Cut) {
+        let counts = cut.counts_mut();
+        assert_eq!(counts.len(), self.n);
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = ((key >> (i as u32 * self.lane_bits)) & self.lane_mask) as u32;
+        }
+    }
+
+    /// The lattice join (per-lane maximum) of two packed cuts.
+    ///
+    /// On a SWAR plan this is ten branch-free word ops for all lanes at
+    /// once: the spare top bit absorbs each lane's borrow, so one
+    /// subtraction compares every pair of lanes in parallel.
+    #[inline]
+    pub fn join(&self, a: u64, b: u64) -> u64 {
+        if self.swar {
+            let h = self.high;
+            // Lane top bit of t set iff aᵢ ≥ bᵢ (the spare bit prevents
+            // inter-lane borrows).
+            let t = ((a | h) - b) & h;
+            // Expand each set top bit to a full-lane mask.
+            let m = t | (t - (t >> (self.lane_bits - 1)));
+            (a & m) | (b & !m)
+        } else {
+            let mut out = 0u64;
+            for i in 0..self.n {
+                let s = i as u32 * self.lane_bits;
+                out |= ((a >> s) & self.lane_mask).max((b >> s) & self.lane_mask) << s;
+            }
+            out
+        }
+    }
+
+    /// The size (total event count) of a packed cut.
+    ///
+    /// On a SWAR plan this is one multiplication: `key · ones` accumulates
+    /// every lane's prefix sum, and the top lane holds the total (lane
+    /// headroom for the full event count guarantees no carries).
+    #[inline]
+    pub fn size_of(&self, key: u64) -> u32 {
+        if self.swar {
+            let top = (self.n as u32 - 1) * self.lane_bits;
+            ((key.wrapping_mul(self.ones) >> top) & self.lane_mask) as u32
+        } else {
+            let mut sum = 0u64;
+            for i in 0..self.n {
+                sum += (key >> (i as u32 * self.lane_bits)) & self.lane_mask;
+            }
+            sum as u32
+        }
     }
 }
 
@@ -516,5 +709,73 @@ mod tests {
         dst.clone_from(&src);
         assert_eq!(dst, src);
         assert_eq!(cut_heap_allocs(), before, "clone_from reallocated");
+    }
+
+    #[test]
+    fn packing_for_maxima_edge_cases() {
+        assert!(CutPacking::for_maxima(&[]).is_none(), "no lanes");
+        // 64 one-bit lanes need 64 bits even without SWAR headroom.
+        assert!(CutPacking::for_maxima(&[1; 64]).is_none(), "too wide");
+        // 15 lanes of 4-bit counts fit raw (60 bits) but not with SWAR
+        // headroom (sum 210 needs 8-bit lanes → 120 bits).
+        let tight = CutPacking::for_maxima(&[14; 15]).unwrap();
+        assert!(!tight.swar, "tight plan must fall back to per-lane loops");
+        assert_eq!(tight.lane_bits(), 4);
+        // A narrow plan gets the spare bit and sum headroom.
+        let roomy = CutPacking::for_maxima(&[12, 3, 200]).unwrap();
+        assert!(roomy.swar);
+        assert_eq!(roomy.num_processes(), 3);
+    }
+
+    /// Exercises pack/unpack/join/size_of on both plan flavors against the
+    /// unpacked `Cut` operations, over a deterministic pseudo-random walk
+    /// of in-range cuts.
+    #[test]
+    fn packing_ops_match_cut_ops_on_both_plans() {
+        let plans = [
+            (
+                vec![12u32, 3, 200, 9],
+                CutPacking::for_maxima(&[12, 3, 200, 9]).unwrap(),
+            ),
+            (vec![14u32; 15], CutPacking::for_maxima(&[14; 15]).unwrap()),
+        ];
+        assert!(plans[0].1.swar && !plans[1].1.swar, "one plan per flavor");
+        for (maxima, packing) in &plans {
+            let n = maxima.len();
+            let mut rng = 0x9e3779b97f4a7c15u64;
+            let mut draw = |m: u32| {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((rng >> 33) % u64::from(m + 1)) as u32
+            };
+            for _ in 0..200 {
+                let a = Cut::from(maxima.iter().map(|&m| draw(m)).collect::<Vec<_>>());
+                let b = Cut::from(maxima.iter().map(|&m| draw(m)).collect::<Vec<_>>());
+                let (ka, kb) = (packing.pack(a.counts()), packing.pack(b.counts()));
+                let mut out = Cut::bottom(n);
+                packing.unpack_into(ka, &mut out);
+                assert_eq!(out, a, "pack/unpack must round-trip");
+                assert_eq!(packing.size_of(ka), a.size() as u32);
+                let mut join = Cut::bottom(n);
+                packing.unpack_into(packing.join(ka, kb), &mut join);
+                assert_eq!(join, a.join(&b), "packed join vs componentwise max");
+            }
+        }
+    }
+
+    #[test]
+    fn packing_keys_order_by_equality_not_accident() {
+        // Injectivity on bounded counts: distinct cuts → distinct keys.
+        let packing = CutPacking::for_maxima(&[3, 3, 3]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..=3u32 {
+            for b in 0..=3 {
+                for c in 0..=3 {
+                    assert!(seen.insert(packing.pack(&[a, b, c])));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 64);
     }
 }

@@ -57,6 +57,17 @@ pub fn hash_counts(counts: &[u32]) -> u64 {
     fx_fold(state)
 }
 
+/// Hashes a packed cut key ([`CutPacking`](crate::CutPacking)) with the
+/// same FxHash mix family (and carry-down finalizer) as [`hash_counts`].
+///
+/// Exposed so engines that shard packed keys pick shards from the *high*
+/// hash bits while the packed tables index slots with the low bits —
+/// consistently with how [`PackedBandedSet`] and [`PackedCutSet`] probe.
+#[inline]
+pub fn hash_packed(key: u64) -> u64 {
+    fx_fold(fx_mix(0, key))
+}
+
 /// An [`FxHash`-style](https://github.com/rust-lang/rustc-hash) streaming
 /// hasher: one rotate-xor-multiply per written word, no finalization.
 ///
@@ -363,6 +374,26 @@ impl CutSet {
         }
     }
 
+    /// Inserts a pre-hashed cut, returning its arena index if it was newly
+    /// added — the fusion of [`insert_hashed`](CutSet::insert_hashed) and
+    /// [`insert_indexed`](CutSet::insert_indexed) the sharded parallel
+    /// engine uses: workers hash successors once, the merge reuses the hash
+    /// for both sharding and insertion, and the frontier queues the dense
+    /// index instead of a cut clone.
+    #[inline]
+    pub fn insert_hashed_indexed(&mut self, counts: &[u32], hash: u64) -> Option<u32> {
+        match self.pool.find_hashed(counts, hash) {
+            Ok(_) => {
+                self.pool.stats.hits += 1;
+                None
+            }
+            Err(slot) => match self.pool.push(counts, slot) {
+                EMPTY => None,
+                idx => Some(idx),
+            },
+        }
+    }
+
     /// Inserts the cut, returning its arena index if it was newly added.
     ///
     /// Arena indices are dense (0, 1, 2, … in insertion order) and stable:
@@ -532,6 +563,444 @@ impl CutMap64 {
     /// Actual heap footprint (arena + slot table + values).
     pub fn approx_bytes(&self) -> usize {
         self.pool.approx_bytes() + 8 * self.values.capacity()
+    }
+}
+
+/// A visited set partitioned by cut size: one small [`CutSet`] band per
+/// event count.
+///
+/// Lattice successors strictly grow, so a traversal's duplicate checks for
+/// a cut of size `s` only ever race against other cuts of size `s` — a
+/// single flat table makes every probe a random access into the entire
+/// visited history, while banding confines each probe to the (usually
+/// cache-resident) band of the successor's size. The slice search uses
+/// this: slice lattices pack hundreds of thousands of cuts whose band
+/// populations stay thousands of times smaller than the whole set.
+///
+/// Membership semantics are identical to one big [`CutSet`] (the bands
+/// partition the key space), so a traversal's verdict, witness, explored
+/// count, and hit/insert counters are unchanged; only the `probes` counter
+/// shifts with the per-band table geometry.
+///
+/// Entry keys pack `(band, index)` into a `u64` so frontiers can queue
+/// them like arena indices.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::{BandedCutSet, Cut};
+///
+/// let mut seen = BandedCutSet::new(2);
+/// let key = seen.insert_indexed(&Cut::from_counts(&[1, 2])).unwrap();
+/// assert_eq!(seen.counts_at(key), &[1, 2]);
+/// assert_eq!(seen.insert_indexed(&Cut::from_counts(&[1, 2])), None);
+/// assert_eq!(seen.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandedCutSet {
+    width: usize,
+    bands: Vec<CutSet>,
+    len: u64,
+    max_entries: u32,
+    saturated: bool,
+}
+
+impl BandedCutSet {
+    /// An empty banded set for cuts spanning `num_processes` processes.
+    pub fn new(num_processes: usize) -> Self {
+        Self::with_max_entries(num_processes, MAX_ENTRIES)
+    }
+
+    /// An empty banded set that refuses inserts past `max_entries` cuts in
+    /// total (across all bands), latching [`saturated`](Self::saturated)
+    /// like [`CutSet::with_max_entries`].
+    pub fn with_max_entries(num_processes: usize, max_entries: u32) -> Self {
+        BandedCutSet {
+            width: num_processes,
+            bands: Vec::new(),
+            len: 0,
+            max_entries,
+            saturated: false,
+        }
+    }
+
+    /// Inserts the cut into the band of its size, returning a packed
+    /// `(band << 32) | index` key if it was newly added.
+    pub fn insert_indexed(&mut self, cut: &Cut) -> Option<u64> {
+        let band = cut.size() as usize;
+        if band >= self.bands.len() {
+            self.bands.resize_with(band + 1, || CutSet::new(self.width));
+        }
+        if self.len >= u64::from(self.max_entries) {
+            self.saturated = true;
+            // Count the refused attempt's lookup effort like CutSet does
+            // (probe into the band without storing).
+            let _ = self.bands[band].get_index(cut.counts());
+            return None;
+        }
+        let idx = self.bands[band].insert_indexed(cut)?;
+        self.len += 1;
+        Some(((band as u64) << 32) | u64::from(idx))
+    }
+
+    /// The count slice behind a key returned by
+    /// [`insert_indexed`](Self::insert_indexed).
+    pub fn counts_at(&self, key: u64) -> &[u32] {
+        self.bands[(key >> 32) as usize].counts_at(key as u32)
+    }
+
+    /// Number of distinct cuts stored across all bands.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if no cut is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` once an insert was refused at the entry ceiling.
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Deterministic probe/hit/insert counters, summed over the bands.
+    pub fn stats(&self) -> CutSetStats {
+        let mut total = CutSetStats::default();
+        for b in &self.bands {
+            let s = b.stats();
+            total.probes += s.probes;
+            total.hits += s.hits;
+            total.inserts += s.inserts;
+        }
+        total
+    }
+
+    /// Actual heap footprint across all bands.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.bands.iter().map(CutSet::approx_bytes).sum::<usize>()
+    }
+}
+
+/// Empty-slot marker in a [`PackedBandedSet`] band: unreachable as a key
+/// because [`CutPacking`](crate::CutPacking) leaves the top bit clear.
+const EMPTY_PACKED: u64 = u64::MAX;
+
+/// A size-banded visited set over *packed* cut keys
+/// ([`CutPacking`](crate::CutPacking)): each band is an open-addressed
+/// table whose slots store the packed cuts inline.
+///
+/// This is the probe-cheapest visited set the engines have. With the cut
+/// packed into the slot itself, a membership check touches exactly one
+/// table — no arena indirection to confirm equality — so the
+/// duplicate-heavy probe traffic of a lattice sweep stays inside the
+/// cache-resident band of the successor's size. Packing is a bijection,
+/// so membership semantics are exact, and like [`BandedCutSet`] the
+/// traversal-visible counters (`hits`, `inserts`) match a flat [`CutSet`]
+/// while `probes` depends on the per-band table geometry.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::PackedBandedSet;
+///
+/// let mut seen = PackedBandedSet::new();
+/// assert!(seen.insert(0b10_01, 3)); // packed cut ⟨1, 2⟩, size 3
+/// assert!(!seen.insert(0b10_01, 3));
+/// assert_eq!(seen.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedBandedSet {
+    bands: Vec<PackedBand>,
+    len: u64,
+    max_entries: u32,
+    saturated: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PackedBand {
+    slots: Vec<u64>,
+    mask: usize,
+    len: u32,
+    stats: CutSetStats,
+}
+
+impl PackedBand {
+    fn new() -> Self {
+        const INITIAL_SLOTS: usize = 64;
+        PackedBand {
+            slots: vec![EMPTY_PACKED; INITIAL_SLOTS],
+            mask: INITIAL_SLOTS - 1,
+            len: 0,
+            stats: CutSetStats::default(),
+        }
+    }
+
+    /// One-word Fx hash of a packed key: [`hash_packed`].
+    #[inline]
+    fn hash(key: u64) -> u64 {
+        hash_packed(key)
+    }
+
+    /// Inserts the key, or reports it present. Counts probes like
+    /// [`CutSet`]: one per slot inspected.
+    #[inline]
+    fn insert(&mut self, key: u64) -> bool {
+        debug_assert_ne!(key, EMPTY_PACKED);
+        let mut slot = Self::hash(key) as usize & self.mask;
+        loop {
+            self.stats.probes += 1;
+            let v = self.slots[slot];
+            if v == EMPTY_PACKED {
+                break;
+            }
+            if v == key {
+                self.stats.hits += 1;
+                return false;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        self.slots[slot] = key;
+        self.len += 1;
+        self.stats.inserts += 1;
+        // Same 1/2 load cap as `Pool`: linear probing degrades past it.
+        if (self.len as usize + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        true
+    }
+
+    /// Probe-only lookup for the saturated path (counts probes, like
+    /// [`BandedCutSet`]'s refused-insert accounting).
+    #[inline]
+    fn probe_only(&mut self, key: u64) {
+        let mut slot = Self::hash(key) as usize & self.mask;
+        loop {
+            self.stats.probes += 1;
+            let v = self.slots[slot];
+            if v == EMPTY_PACKED || v == key {
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::take(&mut self.slots);
+        let new_slots = old.len() * 2;
+        self.slots.resize(new_slots, EMPTY_PACKED);
+        self.mask = new_slots - 1;
+        for key in old {
+            if key == EMPTY_PACKED {
+                continue;
+            }
+            let mut slot = Self::hash(key) as usize & self.mask;
+            while self.slots[slot] != EMPTY_PACKED {
+                slot = (slot + 1) & self.mask;
+            }
+            self.slots[slot] = key;
+        }
+    }
+}
+
+impl PackedBandedSet {
+    /// An empty packed banded set.
+    pub fn new() -> Self {
+        Self::with_max_entries(MAX_ENTRIES)
+    }
+
+    /// An empty set refusing inserts past `max_entries` keys in total,
+    /// latching [`saturated`](Self::saturated) like the other pools.
+    pub fn with_max_entries(max_entries: u32) -> Self {
+        PackedBandedSet {
+            bands: Vec::new(),
+            len: 0,
+            max_entries: max_entries.min(MAX_ENTRIES),
+            saturated: false,
+        }
+    }
+
+    /// Inserts a packed key into the band of its cut size; `true` if it
+    /// was newly added.
+    #[inline]
+    pub fn insert(&mut self, key: u64, band: usize) -> bool {
+        if band >= self.bands.len() {
+            self.bands.resize_with(band + 1, PackedBand::new);
+        }
+        if self.len >= u64::from(self.max_entries) {
+            self.saturated = true;
+            self.bands[band].probe_only(key);
+            return false;
+        }
+        let new = self.bands[band].insert(key);
+        self.len += u64::from(new);
+        new
+    }
+
+    /// Number of distinct keys stored across all bands.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` once an insert was refused at the entry ceiling.
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Deterministic probe/hit/insert counters, summed over the bands.
+    pub fn stats(&self) -> CutSetStats {
+        let mut total = CutSetStats::default();
+        for b in &self.bands {
+            total.probes += b.stats.probes;
+            total.hits += b.stats.hits;
+            total.inserts += b.stats.inserts;
+        }
+        total
+    }
+
+    /// Actual heap footprint across all bands.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .bands
+                .iter()
+                .map(|b| std::mem::size_of::<PackedBand>() + 8 * b.slots.capacity())
+                .sum::<usize>()
+    }
+}
+
+impl Default for PackedBandedSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A single flat open-addressed set of packed cut keys
+/// ([`CutPacking`](crate::CutPacking)) — the building block the layered
+/// parallel engine shards and resets.
+///
+/// Unlike [`PackedBandedSet`] there is no banding and no entry budget:
+/// the caller owns the lifecycle. [`clear`](PackedCutSet::clear) empties
+/// the table while keeping its capacity, so a layer-synchronous search
+/// reuses one warm allocation per shard across every layer. The
+/// probe/hit/insert counters accumulate across clears — they describe
+/// the whole run, not one layer — and are exact functions of the insert
+/// sequence, like every pooled container here.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::PackedCutSet;
+///
+/// let mut layer = PackedCutSet::new();
+/// assert!(layer.insert(0b10_01)); // packed cut ⟨1, 2⟩
+/// assert!(!layer.insert(0b10_01));
+/// layer.clear(); // next layer: capacity kept, keys gone
+/// assert!(layer.insert(0b10_01));
+/// assert_eq!(layer.stats().inserts, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedCutSet {
+    slots: Vec<u64>,
+    mask: usize,
+    len: u32,
+    stats: CutSetStats,
+}
+
+impl PackedCutSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        const INITIAL_SLOTS: usize = 64;
+        PackedCutSet {
+            slots: vec![EMPTY_PACKED; INITIAL_SLOTS],
+            mask: INITIAL_SLOTS - 1,
+            len: 0,
+            stats: CutSetStats::default(),
+        }
+    }
+
+    /// Inserts the key; `true` if it was newly added. Counts one probe
+    /// per slot inspected, like [`CutSet`].
+    #[inline]
+    pub fn insert(&mut self, key: u64) -> bool {
+        debug_assert_ne!(key, EMPTY_PACKED);
+        let mut slot = hash_packed(key) as usize & self.mask;
+        loop {
+            self.stats.probes += 1;
+            let v = self.slots[slot];
+            if v == EMPTY_PACKED {
+                break;
+            }
+            if v == key {
+                self.stats.hits += 1;
+                return false;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        self.slots[slot] = key;
+        self.len += 1;
+        self.stats.inserts += 1;
+        // Same 1/2 load cap as `Pool`: linear probing degrades past it.
+        if (self.len as usize + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        true
+    }
+
+    /// Empties the set, keeping the table allocation (and the cumulative
+    /// counters).
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY_PACKED);
+        self.len = 0;
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// `true` if no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Deterministic probe/hit/insert counters, cumulative across
+    /// [`clear`](PackedCutSet::clear)s.
+    pub fn stats(&self) -> CutSetStats {
+        self.stats
+    }
+
+    /// Actual heap footprint of the table.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + 8 * self.slots.capacity()
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::take(&mut self.slots);
+        let new_slots = old.len() * 2;
+        self.slots.resize(new_slots, EMPTY_PACKED);
+        self.mask = new_slots - 1;
+        for key in old {
+            if key == EMPTY_PACKED {
+                continue;
+            }
+            let mut slot = hash_packed(key) as usize & self.mask;
+            while self.slots[slot] != EMPTY_PACKED {
+                slot = (slot + 1) & self.mask;
+            }
+            self.slots[slot] = key;
+        }
+    }
+}
+
+impl Default for PackedCutSet {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -780,5 +1249,99 @@ mod tests {
         let map = CutMap64::new(4);
         assert!(map.is_empty());
         assert!(map.approx_bytes() > 0);
+    }
+
+    /// A deterministic pseudo-random key stream with duplicates.
+    fn key_stream(len: u64) -> impl Iterator<Item = u64> {
+        (0..len).map(|i| {
+            let x = i
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 24) % 500 // collide often enough to exercise hits
+        })
+    }
+
+    #[test]
+    fn packed_set_matches_std_hashset_through_growth() {
+        let mut packed = PackedCutSet::new();
+        let mut reference = std::collections::HashSet::new();
+        for key in key_stream(2000) {
+            assert_eq!(packed.insert(key), reference.insert(key), "key {key}");
+        }
+        assert_eq!(u64::from(packed.len()), reference.len() as u64);
+        let stats = packed.stats();
+        assert_eq!(stats.inserts, reference.len() as u64);
+        assert_eq!(stats.hits, 2000 - reference.len() as u64);
+        assert!(stats.probes >= 2000, "every insert probes at least once");
+        assert!(packed.approx_bytes() >= reference.len() * 8);
+    }
+
+    #[test]
+    fn packed_set_clear_keeps_capacity_and_accumulates_stats() {
+        let mut packed = PackedCutSet::new();
+        for key in 0..300u64 {
+            assert!(packed.insert(key * 3));
+        }
+        let bytes_before = packed.approx_bytes();
+        let inserts_before = packed.stats().inserts;
+        packed.clear();
+        assert!(packed.is_empty());
+        assert_eq!(packed.approx_bytes(), bytes_before, "clear must keep slots");
+        // Re-inserting the same keys counts as fresh inserts: membership
+        // is per-generation, statistics are per-lifetime.
+        for key in 0..300u64 {
+            assert!(packed.insert(key * 3), "cleared key readmitted");
+        }
+        assert_eq!(packed.stats().inserts, inserts_before * 2);
+        assert_eq!(PackedCutSet::default().len(), 0);
+    }
+
+    #[test]
+    fn packed_banded_set_tracks_membership_per_band() {
+        let mut set = PackedBandedSet::new();
+        assert!(set.is_empty());
+        // The same key is distinct per band (bands are BFS layers).
+        assert!(set.insert(42, 0));
+        assert!(set.insert(42, 3));
+        assert!(!set.insert(42, 0));
+        assert_eq!(set.len(), 2);
+        let mut reference = std::collections::HashSet::from([(42u64, 0usize), (42, 3)]);
+        for key in key_stream(1500) {
+            let band = (key % 7) as usize;
+            assert_eq!(set.insert(key, band), reference.insert((key, band)));
+        }
+        assert!(!set.saturated());
+        assert_eq!(set.len(), reference.len() as u64);
+        assert!(set.approx_bytes() > 0);
+        assert!(set.stats().probes >= set.stats().inserts);
+    }
+
+    #[test]
+    fn packed_banded_set_saturates_instead_of_wrapping() {
+        let mut set = PackedBandedSet::with_max_entries(4);
+        for key in 0..4u64 {
+            assert!(set.insert(key, 0));
+        }
+        assert!(!set.saturated());
+        assert!(!set.insert(99, 0), "insert past the ceiling must refuse");
+        assert!(set.saturated());
+        assert_eq!(set.len(), 4);
+        // Duplicates of stored keys still report as hits, not inserts.
+        assert!(!set.insert(2, 0));
+    }
+
+    #[test]
+    fn hash_packed_spreads_high_bits_for_sharding() {
+        // The parallel engine shards packed keys by `hash >> 60` while the
+        // packed tables index slots with the low bits, so the finalizer
+        // must carry lane entropy into the *top* nibble: a run of adjacent
+        // keys (cuts differing only in their first lane) has to cover all
+        // 16 shard values rather than cluster.
+        let shards: std::collections::HashSet<u64> =
+            (0..256u64).map(|key| hash_packed(key) >> 60).collect();
+        assert_eq!(shards.len(), 16, "adjacent keys collapsed into {shards:?}");
+        // And the hash is a pure function of the key.
+        assert_eq!(hash_packed(77), hash_packed(77));
+        assert_ne!(hash_packed(77), hash_packed(78));
     }
 }

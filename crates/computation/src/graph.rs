@@ -229,6 +229,185 @@ impl SccDecomposition {
     }
 }
 
+/// Reusable workspace for SCC decomposition straight off an edge list —
+/// the warm-path counterpart of [`Digraph::tarjan_scc`].
+///
+/// [`Digraph`] allocates one `Vec` per node plus per-component member
+/// vectors on every build, which is fine for cold callers (meta-event
+/// reporting) but dominates the slicer's J-table construction when slicing
+/// runs in a loop (grafting, `detect_resilient`, the monitor). `SccScratch`
+/// keeps every buffer — the CSR adjacency, the Tarjan stacks, and the
+/// component tables — across [`decompose`](SccScratch::decompose) calls, so
+/// a warm decomposition performs no heap allocation.
+///
+/// Components are numbered exactly like [`Digraph::tarjan_scc`]: reverse
+/// topological order of the condensation (every edge goes from a
+/// higher-numbered component to a lower-numbered one). Parallel edges are
+/// accepted; callers that need per-target dedup should stamp targets during
+/// their own traversal (see the slicer's J-propagation) rather than pay a
+/// sort here.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_computation::graph::SccScratch;
+///
+/// let mut scratch = SccScratch::new();
+/// scratch.decompose(3, &[(0, 1), (1, 2), (2, 1)]);
+/// assert_eq!(scratch.num_components(), 2);
+/// assert_eq!(scratch.comp_of(1), scratch.comp_of(2));
+/// assert!(scratch.comp_of(0) > scratch.comp_of(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SccScratch {
+    // CSR adjacency of the last-decomposed graph.
+    heads: Vec<u32>,
+    targets: Vec<u32>,
+    cursor: Vec<u32>,
+    // Tarjan state.
+    index: Vec<u32>,
+    low: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<u32>,
+    frames: Vec<(u32, u32)>,
+    // Output: comp_of per node, plus members grouped by component id
+    // (components complete in id order, so the grouping is a by-product of
+    // the pop loop — no second counting sort).
+    comp_of: Vec<u32>,
+    comp_members: Vec<u32>,
+    comp_heads: Vec<u32>,
+}
+
+impl SccScratch {
+    const UNVISITED: u32 = u32::MAX;
+
+    /// Creates an empty workspace; buffers grow on first use and persist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decomposes the graph over nodes `0..n` with the given edge list
+    /// into strongly connected components, reusing all internal buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is `>= n`.
+    pub fn decompose(&mut self, n: usize, edges: &[(u32, u32)]) {
+        // CSR build: counting sort by source, preserving insertion order
+        // per source so traversal order is deterministic.
+        self.heads.clear();
+        self.heads.resize(n + 1, 0);
+        for &(u, v) in edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge endpoint out of range"
+            );
+            self.heads[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.heads[i + 1] += self.heads[i];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.heads[..n]);
+        self.targets.clear();
+        self.targets.resize(edges.len(), 0);
+        for &(u, v) in edges {
+            let c = self.cursor[u as usize];
+            self.targets[c as usize] = v;
+            self.cursor[u as usize] = c + 1;
+        }
+
+        // Iterative Tarjan, mirroring `Digraph::tarjan_scc` over the CSR.
+        self.index.clear();
+        self.index.resize(n, Self::UNVISITED);
+        self.low.clear();
+        self.low.resize(n, 0);
+        self.on_stack.clear();
+        self.on_stack.resize(n, false);
+        self.stack.clear();
+        self.frames.clear();
+        self.comp_of.clear();
+        self.comp_of.resize(n, Self::UNVISITED);
+        self.comp_members.clear();
+        self.comp_heads.clear();
+        self.comp_heads.push(0);
+        let mut next_index = 0u32;
+
+        for start in 0..n as u32 {
+            if self.index[start as usize] != Self::UNVISITED {
+                continue;
+            }
+            self.frames.push((start, self.heads[start as usize]));
+            self.index[start as usize] = next_index;
+            self.low[start as usize] = next_index;
+            next_index += 1;
+            self.stack.push(start);
+            self.on_stack[start as usize] = true;
+
+            while let Some(&mut (v, ref mut pos)) = self.frames.last_mut() {
+                if *pos < self.heads[v as usize + 1] {
+                    let w = self.targets[*pos as usize];
+                    *pos += 1;
+                    if self.index[w as usize] == Self::UNVISITED {
+                        self.index[w as usize] = next_index;
+                        self.low[w as usize] = next_index;
+                        next_index += 1;
+                        self.stack.push(w);
+                        self.on_stack[w as usize] = true;
+                        self.frames.push((w, self.heads[w as usize]));
+                    } else if self.on_stack[w as usize] {
+                        self.low[v as usize] = self.low[v as usize].min(self.index[w as usize]);
+                    }
+                } else {
+                    self.frames.pop();
+                    if let Some(&mut (parent, _)) = self.frames.last_mut() {
+                        self.low[parent as usize] =
+                            self.low[parent as usize].min(self.low[v as usize]);
+                    }
+                    if self.low[v as usize] == self.index[v as usize] {
+                        let cid = (self.comp_heads.len() - 1) as u32;
+                        loop {
+                            let w = self.stack.pop().expect("tarjan stack underflow");
+                            self.on_stack[w as usize] = false;
+                            self.comp_of[w as usize] = cid;
+                            self.comp_members.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        self.comp_heads.push(self.comp_members.len() as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of components of the last decomposition.
+    pub fn num_components(&self) -> usize {
+        self.comp_heads.len().saturating_sub(1)
+    }
+
+    /// The component containing node `v`.
+    pub fn comp_of(&self, v: u32) -> u32 {
+        self.comp_of[v as usize]
+    }
+
+    /// Members of component `c`, in Tarjan pop order.
+    pub fn members(&self, c: u32) -> &[u32] {
+        let lo = self.comp_heads[c as usize] as usize;
+        let hi = self.comp_heads[c as usize + 1] as usize;
+        &self.comp_members[lo..hi]
+    }
+
+    /// Successors of node `v` in the last-decomposed graph (CSR view,
+    /// parallel edges preserved in insertion order).
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.heads[v as usize] as usize;
+        let hi = self.heads[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +502,66 @@ mod tests {
     fn edge_target_bounds_checked() {
         let mut g = Digraph::new(1);
         g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn scratch_matches_digraph_partition() {
+        let cases: Vec<(usize, Vec<(u32, u32)>)> = vec![
+            (0, vec![]),
+            (3, vec![]),
+            (3, vec![(0, 1), (1, 2), (2, 0)]),
+            (5, vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]),
+            (4, vec![(0, 1), (1, 0), (0, 2), (1, 2), (2, 3), (0, 1)]),
+            (2, vec![(0, 0), (0, 1)]),
+        ];
+        let mut scratch = SccScratch::new();
+        for (n, edges) in cases {
+            let g = Digraph::from_edges(n, edges.iter().copied());
+            let scc = g.tarjan_scc();
+            scratch.decompose(n, &edges);
+            assert_eq!(scratch.num_components(), scc.num_components());
+            // Same partition: nodes share a scratch component iff they
+            // share a Digraph component.
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    assert_eq!(
+                        scratch.comp_of(u) == scratch.comp_of(v),
+                        scc.component_of(u) == scc.component_of(v),
+                        "partition mismatch at ({u},{v})"
+                    );
+                }
+            }
+            // Reverse topological numbering: every edge crossing components
+            // goes from a higher id to a lower id.
+            for &(u, v) in &edges {
+                let (cu, cv) = (scratch.comp_of(u), scratch.comp_of(v));
+                if cu != cv {
+                    assert!(cu > cv, "edge {u}->{v} violates reverse topo order");
+                }
+            }
+            // Member groups are consistent with comp_of.
+            for c in 0..scratch.num_components() as u32 {
+                for &v in scratch.members(c) {
+                    assert_eq!(scratch.comp_of(v), c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_sizes() {
+        let mut scratch = SccScratch::new();
+        scratch.decompose(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        assert_eq!(scratch.num_components(), 3);
+        // Shrinking reuse must not leak state from the larger run.
+        scratch.decompose(2, &[(0, 1)]);
+        assert_eq!(scratch.num_components(), 2);
+        assert!(scratch.comp_of(0) > scratch.comp_of(1));
+        assert_eq!(scratch.neighbors(0), &[1]);
+        assert_eq!(scratch.neighbors(1), &[] as &[u32]);
+        // Growing again works too.
+        scratch.decompose(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(scratch.num_components(), 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use crate::computation::Computation;
-use crate::cut::Cut;
+use crate::cut::{Cut, CutPacking};
 use crate::cutset::CutSet;
 use crate::process::ProcessId;
 
@@ -46,6 +46,48 @@ pub trait CutSpace {
         for next in &succ {
             f(next);
         }
+    }
+
+    /// Number of immediate successors of `cut`, without materializing any
+    /// of them.
+    ///
+    /// The count-only fast path: callers that need just the out-degree
+    /// (branching-factor stats, frontier sizing) should use this instead of
+    /// [`successors`](CutSpace::successors), which clones every successor
+    /// into a `Vec`. The default counts through
+    /// [`for_each_successor`](CutSpace::for_each_successor), which is
+    /// already clone-free for the kernelized spaces; implementors with a
+    /// cheaper census (a slice can count distinct J-targets directly) may
+    /// override it.
+    fn count_successors(&self, cut: &Cut) -> usize {
+        let mut n = 0usize;
+        self.for_each_successor(cut, &mut |_| n += 1);
+        n
+    }
+
+    /// Packed successor streaming: calls `f` with `(packed key, size)`
+    /// for every immediate successor of the cut whose counts are `counts`
+    /// and whose key under `packing` is `key`, in
+    /// [`for_each_successor`](CutSpace::for_each_successor) order, then
+    /// returns `true`.
+    ///
+    /// The all-packed hot path of the banded search: a space that keeps
+    /// its transition table in packed form (a slice's J-cuts) emits
+    /// successors as whole-key joins without materializing a [`Cut`] per
+    /// emission. The default returns `false` without emitting anything —
+    /// "no accelerated path here" — and the caller falls back to
+    /// [`for_each_successor`](CutSpace::for_each_successor) plus
+    /// [`CutPacking::pack`]. Implementors must emit exactly the
+    /// successors `for_each_successor` would, in the same order.
+    fn for_each_successor_packed(
+        &self,
+        counts: &[u32],
+        key: u64,
+        packing: &CutPacking,
+        f: &mut dyn FnMut(u64, u32),
+    ) -> bool {
+        let _ = (counts, key, packing, f);
+        false
     }
 
     /// An estimate of the bytes needed to store one cut, used by the
@@ -109,6 +151,43 @@ impl CutSpace for Computation {
                 next.set_count(p, c);
             }
         }
+    }
+
+    fn count_successors(&self, cut: &Cut) -> usize {
+        (0..Computation::num_processes(self))
+            .filter(|&i| self.can_advance(cut, ProcessId::new(i)))
+            .count()
+    }
+
+    fn for_each_successor_packed(
+        &self,
+        counts: &[u32],
+        key: u64,
+        packing: &CutPacking,
+        f: &mut dyn FnMut(u64, u32),
+    ) -> bool {
+        // Unit-step advances are single-lane increments on the packed key:
+        // successor i is `key + (1 << i·lane_bits)`, and every successor
+        // has the predecessor's size plus one. The enabledness test is
+        // `can_advance` restated over the raw count slice.
+        let lane_bits = packing.lane_bits();
+        let size = packing.size_of(key) + 1;
+        for (i, &c) in counts.iter().enumerate() {
+            let p = ProcessId::new(i);
+            if c >= self.len(p) {
+                continue;
+            }
+            let need = self.min_cut(self.event_at(p, c)).counts();
+            let enabled = need
+                .iter()
+                .zip(counts)
+                .enumerate()
+                .all(|(q, (nd, have))| q == i || nd <= have);
+            if enabled {
+                f(key + (1u64 << (i as u32 * lane_bits)), size);
+            }
+        }
+        true
     }
 
     fn for_each_advance(&self, cut: &Cut, f: &mut dyn FnMut(ProcessId)) -> bool {

@@ -69,8 +69,11 @@ pub mod trace;
 
 pub use builder::{BuildError, ComputationBuilder};
 pub use computation::{Computation, VarRef};
-pub use cut::{cut_heap_allocs, Cut};
-pub use cutset::{hash_counts, CutBuildHasher, CutHasher, CutMap64, CutSet, CutSetStats};
+pub use cut::{cut_heap_allocs, Cut, CutPacking};
+pub use cutset::{
+    hash_counts, hash_packed, BandedCutSet, CutBuildHasher, CutHasher, CutMap64, CutSet,
+    CutSetStats, PackedBandedSet, PackedCutSet,
+};
 pub use event::{EventId, Message};
 pub use lattice::CutSpace;
 pub use process::{ProcSet, ProcSetIter, ProcessId};

@@ -1,11 +1,12 @@
 //! The slice data structure: a constraint graph over a computation's events
 //! whose consistent cuts form a sublattice of the computation's cut lattice.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 
-use slicing_computation::graph::Digraph;
-use slicing_computation::{Computation, Cut, CutSpace, EventId, ProcessId};
+use slicing_computation::graph::{Digraph, SccScratch};
+use slicing_computation::{Computation, Cut, CutPacking, CutSpace, EventId, ProcessId};
 
 /// A node of the slice constraint graph: an event, or the virtual top ⊤.
 ///
@@ -35,6 +36,44 @@ impl fmt::Display for Node {
 /// contain `u`.
 pub type Edge = (Node, Node);
 
+/// Sentinel index: the event is in no non-trivial slice cut.
+const NO_CUT: u32 = u32::MAX;
+
+/// Within-cut successor dedup width: frontier processes whose next events
+/// share a J index produce *identical* successors, so the first
+/// `DEDUP_WIDTH` distinct indices of a call are tracked on the stack and
+/// repeats skipped before any join or hash work happens. Calls that see
+/// more distinct indices emit the (harmless, caller-deduped) extras.
+const DEDUP_WIDTH: usize = 32;
+
+/// The J tables behind a slice: one cut payload per live strongly connected
+/// component, plus the per-event index into that pool.
+///
+/// This is the kernelized layout that replaced one `Option<Arc<Cut>>` per
+/// event: events of an SCC share a dense `u32` index instead of an `Arc`,
+/// the payloads live contiguously (inline in the `Cut` for ≤16 processes —
+/// no heap indirection at all on the hot path), and cloning a slice bumps
+/// one reference count on the whole table.
+struct JTables {
+    /// Distinct least-cut payloads, one per SCC that appears in some
+    /// non-trivial slice cut.
+    cuts: Vec<Cut>,
+    /// Per event: index into `cuts`, or [`NO_CUT`].
+    ix: Vec<u32>,
+    /// Successor lookup table, flattened per process: entry
+    /// `next_j[proc_off[p] + (count - 1)]` is the J index of the next
+    /// event of process `p` at cut count `count` (the event at position
+    /// `count`), or [`NO_CUT`] when the process is exhausted or the event
+    /// forbidden. One load replaces the `event_at` → `ix` chain in the
+    /// successor hot loop.
+    next_j: Vec<u32>,
+    /// Per-process offsets into `next_j` (`n + 1` entries).
+    proc_off: Vec<u32>,
+    /// Index of the least non-trivial slice cut, or [`NO_CUT`] if the
+    /// slice is empty.
+    bottom_ix: u32,
+}
+
 /// A slice of a computation: the computation's events plus *constraint
 /// edges*, whose consistent cuts are exactly the non-trivial consistent
 /// cuts of the computation that respect every edge.
@@ -52,6 +91,11 @@ pub type Edge = (Node, Node);
 /// contributions in topological order. Searching the slice then advances
 /// one process at a time and joins with `J(next event)` — each successor
 /// step is `O(n)`.
+///
+/// Construction runs on a warm per-thread workspace (flat edge list, CSR
+/// Tarjan via [`SccScratch`], one `u32` row per SCC): repeated slicing —
+/// grafting, `detect_resilient`, the monitor — reuses every buffer and
+/// performs no cut heap allocation for inline-width computations.
 ///
 /// # Examples
 ///
@@ -77,16 +121,21 @@ pub type Edge = (Node, Node);
 pub struct Slice<'a> {
     comp: &'a Computation,
     edges: Vec<Edge>,
-    /// Least slice cut containing each event; `None` = the event is in no
-    /// non-trivial slice cut. Events of one strongly connected component
-    /// share the *same* `Arc`'d cut — the table holds one cut payload per
-    /// SCC, not per event.
-    j_table: Vec<Option<Arc<Cut>>>,
-    /// Number of distinct (per-SCC) cut payloads behind the table.
-    distinct_j_cuts: usize,
-    /// Least non-trivial slice cut (`None` = the slice is empty). Shares
-    /// the initial SCC's payload with `j_table`.
-    bottom: Option<Arc<Cut>>,
+    /// Shared J tables: cloning a slice is one reference-count bump, never
+    /// a cut copy.
+    tables: Arc<JTables>,
+    /// Lazily packed J-cut keys for the all-packed successor stream
+    /// ([`CutSpace::for_each_successor_packed`]), built on first use.
+    packed_j: std::sync::OnceLock<PackedJ>,
+}
+
+/// The packed twin of [`JTables::cuts`]: each J cut as a `u64` key under
+/// the searcher's [`CutPacking`], plus the plan's lane geometry so a
+/// mismatched plan is detected and refused.
+#[derive(Debug, Clone)]
+struct PackedJ {
+    lane_bits: u32,
+    rows: Vec<u64>,
 }
 
 impl<'a> Slice<'a> {
@@ -95,20 +144,12 @@ impl<'a> Slice<'a> {
     /// The base happened-before edges of the computation are always
     /// implied and need not be listed.
     pub fn new(comp: &'a Computation, edges: Vec<Edge>) -> Self {
-        let (j_table, distinct_j_cuts) = compute_j_table(comp, &edges);
-        let bottom = {
-            // The least slice cut is J(⊥₀) (all initial events share it) —
-            // a reference count bump on the shared per-SCC cut, not a
-            // recomputation or deep clone.
-            let init = comp.event_at(ProcessId::new(0), 0);
-            j_table[init.as_usize()].clone()
-        };
+        let tables = Arc::new(compute_j_table(comp, &edges));
         Slice {
             comp,
             edges,
-            j_table,
-            distinct_j_cuts,
-            bottom,
+            tables,
+            packed_j: std::sync::OnceLock::new(),
         }
     }
 
@@ -137,18 +178,33 @@ impl<'a> Slice<'a> {
 
     /// `true` if the slice has no non-trivial consistent cuts.
     pub fn is_empty_slice(&self) -> bool {
-        self.bottom.is_none()
+        self.tables.bottom_ix == NO_CUT
     }
 
     /// The least non-trivial consistent cut of the slice, if any.
     pub fn bottom_cut(&self) -> Option<&Cut> {
-        self.bottom.as_deref()
+        self.cut_at(self.tables.bottom_ix)
     }
 
     /// The least slice cut containing event `e`, or `None` if no
     /// non-trivial slice cut contains `e` (the paper's `J_b(e) = E` case).
     pub fn least_cut(&self, e: EventId) -> Option<&Cut> {
-        self.j_table[e.as_usize()].as_deref()
+        self.cut_at(self.tables.ix[e.as_usize()])
+    }
+
+    #[inline]
+    fn cut_at(&self, ix: u32) -> Option<&Cut> {
+        if ix == NO_CUT {
+            None
+        } else {
+            Some(&self.tables.cuts[ix as usize])
+        }
+    }
+
+    /// Number of distinct least-cut payloads (one per SCC that appears in
+    /// some slice cut) — events of a meta-event share one payload.
+    pub fn distinct_j_cuts(&self) -> usize {
+        self.tables.cuts.len()
     }
 
     /// Checks whether `cut` is a consistent cut of the slice.
@@ -180,7 +236,7 @@ impl<'a> Slice<'a> {
                 .iter()
                 .filter(|&&v| (v as usize) < num_events)
                 .map(|&v| EventId::new(v as usize))
-                .filter(|&e| self.j_table[e.as_usize()].is_some())
+                .filter(|&e| self.tables.ix[e.as_usize()] != NO_CUT)
                 .collect();
             if members.is_empty() {
                 continue;
@@ -203,11 +259,41 @@ impl<'a> Slice<'a> {
     pub fn approx_bytes(&self) -> usize {
         let n = self.comp.num_processes();
         let cut_bytes = std::mem::size_of::<Cut>() + 4 * n;
-        // Cut payloads are shared per SCC, so they are counted once per
-        // distinct cut; the per-event table holds only `Arc` pointers.
+        // Cut payloads are stored once per SCC; the per-event table holds
+        // only 4-byte indices.
         self.edges.len() * std::mem::size_of::<Edge>()
-            + self.j_table.len() * std::mem::size_of::<Option<Arc<Cut>>>()
-            + self.distinct_j_cuts * cut_bytes
+            + (self.tables.ix.len() + self.tables.next_j.len() + self.tables.proc_off.len())
+                * std::mem::size_of::<u32>()
+            + self.tables.cuts.len() * cut_bytes
+    }
+
+    /// Calls `f` with the J index of each enabled next event of `cut`, in
+    /// ascending process order, skipping (up to [`DEDUP_WIDTH`] distinct
+    /// indices) repeats that would produce an identical successor.
+    #[inline]
+    fn for_each_enabled_j(&self, counts: &[u32], mut f: impl FnMut(u32)) {
+        let next_j = &self.tables.next_j;
+        let proc_off = &self.tables.proc_off;
+        let mut seen = [NO_CUT; DEDUP_WIDTH];
+        let mut seen_len = 0usize;
+        for (p, &c) in counts.iter().enumerate() {
+            // One load covers "process exhausted", "event forbidden", and
+            // the J lookup: the table stores NO_CUT at the last count.
+            let jx = next_j[(proc_off[p] + c - 1) as usize];
+            if jx == NO_CUT {
+                continue;
+            }
+            if seen_len < DEDUP_WIDTH {
+                if seen[..seen_len].contains(&jx) {
+                    // Same J index ⇒ byte-identical successor: the first
+                    // occurrence already represented it.
+                    continue;
+                }
+                seen[seen_len] = jx;
+                seen_len += 1;
+            }
+            f(jx);
+        }
     }
 }
 
@@ -227,7 +313,7 @@ impl CutSpace for Slice<'_> {
     }
 
     fn bottom(&self) -> Option<Cut> {
-        self.bottom.as_deref().cloned()
+        self.bottom_cut().cloned()
     }
 
     fn successors(&self, cut: &Cut, out: &mut Vec<Cut>) {
@@ -235,31 +321,81 @@ impl CutSpace for Slice<'_> {
     }
 
     fn for_each_successor(&self, cut: &Cut, f: &mut dyn FnMut(&Cut)) {
+        let cuts = &self.tables.cuts;
+        let counts = cut.counts();
         let mut succ = cut.clone();
-        for p in self.comp.processes() {
-            let c = cut.count(p);
-            if c >= self.comp.len(p) {
-                continue;
-            }
-            let next = self.comp.event_at(p, c);
-            if let Some(j) = self.least_cut(next) {
-                // Rebuild the scratch in place (stack copies for
-                // inline-width cuts), join in the event's least cut, and
-                // lend it out — no allocation, no per-successor clone.
-                succ.copy_from_counts(cut.counts());
-                succ.join_in_place(j);
-                f(&succ);
-            }
+        self.for_each_enabled_j(counts, |jx| {
+            // One fused pass writes max(cut, J) into the scratch (stack
+            // copies for inline-width cuts) and lends it out — no
+            // allocation, no per-successor clone.
+            succ.assign_join_counts(counts, cuts[jx as usize].counts());
+            f(&succ);
+        });
+    }
+
+    fn count_successors(&self, cut: &Cut) -> usize {
+        // Census without materializing: distinct J indices are counted
+        // straight off the per-event table — no join, no hash, no clone.
+        let mut n = 0usize;
+        self.for_each_enabled_j(cut.counts(), |_| n += 1);
+        n
+    }
+
+    fn for_each_successor_packed(
+        &self,
+        counts: &[u32],
+        key: u64,
+        packing: &CutPacking,
+        f: &mut dyn FnMut(u64, u32),
+    ) -> bool {
+        let pj = self.packed_j.get_or_init(|| PackedJ {
+            lane_bits: packing.lane_bits(),
+            rows: self
+                .tables
+                .cuts
+                .iter()
+                .map(|c| packing.pack(c.counts()))
+                .collect(),
+        });
+        if pj.lane_bits != packing.lane_bits() {
+            // A different plan than the one the cache was built for —
+            // refuse the fast path rather than emit garbage keys.
+            return false;
         }
+        let rows = &pj.rows;
+        self.for_each_enabled_j(counts, |jx| {
+            // The whole successor step stays in packed space: a SWAR join
+            // of the parent key with the packed J row, and a one-multiply
+            // size for band selection. No per-lane loop, no Cut.
+            let succ = packing.join(key, rows[jx as usize]);
+            f(succ, packing.size_of(succ));
+        });
+        true
     }
 }
 
 /// Builds the full constraint digraph: nodes are events plus ⊤ (index
 /// `num_events`); edges point along the "required-by" direction (`u → v`
 /// means `v ∈ C ⇒ u ∈ C`, i.e. happened-before order for base edges).
+///
+/// Cold-path variant kept for [`Slice::meta_events`]; the J-table builder
+/// flattens the same edges into the warm workspace instead.
 fn build_graph(comp: &Computation, edges: &[Edge]) -> (Digraph, usize) {
     let num_events = comp.num_events();
     let mut g = Digraph::new(num_events + 1);
+    push_graph_edges(comp, edges, &mut |u, v| g.add_edge(u, v));
+    // Predicate slicers routinely emit constraint edges that duplicate the
+    // base happened-before edges (or each other); collapse them so the SCC
+    // and condensation passes scale with distinct edges only.
+    g.dedup_edges();
+    (g, num_events)
+}
+
+/// Emits every edge of the constraint digraph (base process order,
+/// messages, the initial-event cycle, then the constraint edges) through
+/// `emit`, without building any graph structure.
+fn push_graph_edges(comp: &Computation, edges: &[Edge], emit: &mut impl FnMut(u32, u32)) {
+    let num_events = comp.num_events();
     let node_index = |n: Node| -> u32 {
         match n {
             Node::Event(e) => e.as_u32(),
@@ -270,7 +406,7 @@ fn build_graph(comp: &Computation, edges: &[Edge]) -> (Digraph, usize) {
     // Process-order edges.
     for p in comp.processes() {
         for pos in 1..comp.len(p) {
-            g.add_edge(
+            emit(
                 comp.event_at(p, pos - 1).as_u32(),
                 comp.event_at(p, pos).as_u32(),
             );
@@ -278,7 +414,7 @@ fn build_graph(comp: &Computation, edges: &[Edge]) -> (Digraph, usize) {
     }
     // Message edges.
     for m in comp.messages() {
-        g.add_edge(m.send.as_u32(), m.recv.as_u32());
+        emit(m.send.as_u32(), m.recv.as_u32());
     }
     // The initial-event cycle: all ⊥ᵢ form one meta-event.
     let n = comp.num_processes();
@@ -286,96 +422,162 @@ fn build_graph(comp: &Computation, edges: &[Edge]) -> (Digraph, usize) {
         for i in 0..n {
             let a = comp.event_at(ProcessId::new(i), 0).as_u32();
             let b = comp.event_at(ProcessId::new((i + 1) % n), 0).as_u32();
-            g.add_edge(a, b);
+            emit(a, b);
         }
     }
     // Constraint edges.
     for &(u, v) in edges {
-        g.add_edge(node_index(u), node_index(v));
+        emit(node_index(u), node_index(v));
     }
-    // Predicate slicers routinely emit constraint edges that duplicate the
-    // base happened-before edges (or each other); collapse them so the SCC
-    // and condensation passes scale with distinct edges only.
-    g.dedup_edges();
-    (g, num_events)
 }
 
-/// Computes the `J` table: for every event, the least slice cut containing
-/// it (`None` if unreachable without ⊤), sharing one `Arc`'d cut among all
-/// events of an SCC. Also returns the number of distinct cuts allocated.
-/// Runs in `O(n·(|E| + |edges|))`.
-fn compute_j_table(comp: &Computation, edges: &[Edge]) -> (Vec<Option<Arc<Cut>>>, usize) {
-    let _span = slicing_observe::span("slice.j_table");
-    let (graph, num_events) = build_graph(comp, edges);
-    let (scc, cond) = {
-        let _span = slicing_observe::span("slice.scc");
-        let scc = graph.tarjan_scc();
-        let cond = scc.condensation(&graph);
-        (scc, cond)
-    };
-    let top_comp = scc.component_of(num_events as u32);
-    slicing_observe::gauge("slice.constraint_edges", edges.len() as u64);
-    slicing_observe::gauge("slice.scc_components", scc.num_components() as u64);
+/// Warm per-thread workspace for J-table construction: the flat edge list,
+/// the CSR Tarjan scratch, and one `u32` count row per SCC. Every buffer
+/// survives across builds, so repeated slicing is allocation-free once the
+/// high-water marks are reached.
+#[derive(Default)]
+struct JWorkspace {
+    graph_edges: Vec<(u32, u32)>,
+    scc: SccScratch,
+    /// `num_sccs × n` count rows: row `cid` is the running join of the
+    /// component's own frontier contribution and everything pushed in from
+    /// predecessors.
+    rows: Vec<u32>,
+    /// Component reaches ⊤ (its events are in no slice cut).
+    poisoned: Vec<bool>,
+    /// Per-target last-source stamp, deduplicating parallel condensation
+    /// edges during propagation without building a condensation graph.
+    stamp: Vec<u32>,
+    /// SCC id → dense index into the live-cut pool.
+    dense: Vec<u32>,
+}
 
+thread_local! {
+    static J_WORKSPACE: RefCell<JWorkspace> = RefCell::new(JWorkspace::default());
+}
+
+/// Computes the `J` tables: for every event, the least slice cut containing
+/// it ([`NO_CUT`] if unreachable without ⊤), storing one cut per live SCC.
+/// Runs in `O(n·(|E| + |edges|))` on the warm workspace.
+fn compute_j_table(comp: &Computation, edges: &[Edge]) -> JTables {
+    let _span = slicing_observe::span("slice.j_table");
+    let num_events = comp.num_events();
     let n = comp.num_processes();
-    // Per-SCC least cuts, built in topological (sources-first) order.
-    let mut j_scc: Vec<Option<Option<Cut>>> = vec![None; scc.num_components()];
-    for cid in scc.topo_order() {
-        let mut j = if cid == top_comp {
-            None
-        } else {
-            // Own contribution: the positions of the member events.
-            let mut cut = Cut::bottom(n);
+    slicing_observe::counter("slice.j_table.builds", 1);
+
+    J_WORKSPACE.with(|ws| {
+        let ws = &mut *ws.borrow_mut();
+        let JWorkspace {
+            graph_edges,
+            scc,
+            rows,
+            poisoned,
+            stamp,
+            dense,
+        } = ws;
+
+        graph_edges.clear();
+        push_graph_edges(comp, edges, &mut |u, v| graph_edges.push((u, v)));
+        {
+            let _span = slicing_observe::span("slice.scc");
+            scc.decompose(num_events + 1, graph_edges);
+        }
+        let nc = scc.num_components();
+        slicing_observe::gauge("slice.constraint_edges", edges.len() as u64);
+        slicing_observe::gauge("slice.scc_components", nc as u64);
+
+        // Seed every row with the bottom cut joined with the component's
+        // own contribution: the frontier positions of its member events.
+        rows.clear();
+        rows.resize(nc * n, 1);
+        poisoned.clear();
+        poisoned.resize(nc, false);
+        let top_comp = scc.comp_of(num_events as u32);
+        poisoned[top_comp as usize] = true;
+        for e in 0..num_events {
+            let ev = EventId::new(e);
+            let cid = scc.comp_of(e as u32) as usize;
+            let p = comp.process_of(ev).as_usize();
+            let pos = comp.position_of(ev);
+            let slot = &mut rows[cid * n + p];
+            *slot = (*slot).max(pos + 1);
+        }
+
+        // Single push-forward pass in topological order: components are
+        // numbered in reverse topological order, so every condensation
+        // edge goes from a higher id to a lower one — iterating ids
+        // downwards means a component's row is final when visited, and its
+        // value (or poison) is pushed into each distinct successor once.
+        stamp.clear();
+        stamp.resize(nc, u32::MAX);
+        let mut row_joins = 0u64;
+        for cid in (0..nc as u32).rev() {
+            let src_poisoned = poisoned[cid as usize];
+            let (targets, src) = rows.split_at_mut(cid as usize * n);
+            let src = &src[..n];
             for &v in scc.members(cid) {
-                if (v as usize) < num_events {
-                    let e = EventId::new(v as usize);
-                    let p = comp.process_of(e);
-                    let pos = comp.position_of(e);
-                    if cut.count(p) < pos + 1 {
-                        cut.set_count(p, pos + 1);
+                for &w in scc.neighbors(v) {
+                    let cw = scc.comp_of(w);
+                    if cw == cid || stamp[cw as usize] == cid {
+                        continue;
+                    }
+                    stamp[cw as usize] = cid;
+                    if src_poisoned {
+                        poisoned[cw as usize] = true;
+                    } else if !poisoned[cw as usize] {
+                        let dst = &mut targets[cw as usize * n..cw as usize * n + n];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = (*d).max(s);
+                        }
+                        row_joins += 1;
                     }
                 }
             }
-            Some(cut)
-        };
-        // Fold in already-computed predecessors... except that the
-        // condensation stores *successor* adjacency; instead, push this
-        // component's value forward into its successors after computing it.
-        // To do that with a single pass we keep `j_scc[cid]` as the join of
-        // pushed-in predecessor values plus the own contribution.
-        if let Some(prev) = j_scc[cid as usize].take() {
-            j = match (j, prev) {
-                (Some(a), Some(b)) => Some(a.join(&b)),
-                _ => None,
-            };
         }
-        // Push into successors.
-        for &succ in cond.neighbors(cid) {
-            let pushed = match (&j, j_scc[succ as usize].take()) {
-                (None, _) => None,
-                (Some(_), Some(None)) => None,
-                (Some(a), Some(Some(b))) => Some(a.join(&b)),
-                (Some(a), None) => Some(a.clone()),
-            };
-            j_scc[succ as usize] = Some(pushed);
-        }
-        j_scc[cid as usize] = Some(j);
-    }
+        slicing_observe::counter("slice.j_table.row_joins", row_joins);
 
-    // Wrap each component's final cut once; events alias their SCC's Arc.
-    let mut distinct = 0usize;
-    let per_scc: Vec<Option<Arc<Cut>>> = j_scc
-        .into_iter()
-        .map(|j| {
-            let cut = j.expect("all components computed in topological order")?;
-            distinct += 1;
-            Some(Arc::new(cut))
-        })
-        .collect();
-    let table = (0..num_events)
-        .map(|v| per_scc[scc.component_of(v as u32) as usize].clone())
-        .collect();
-    (table, distinct)
+        // Materialize one cut per live component; events index into the
+        // dense pool (inline payloads for ≤16 processes — building the
+        // table costs zero cut heap allocations).
+        dense.clear();
+        dense.resize(nc, NO_CUT);
+        let mut cuts = Vec::new();
+        for cid in 0..nc {
+            if poisoned[cid] {
+                continue;
+            }
+            dense[cid] = cuts.len() as u32;
+            cuts.push(Cut::from_counts(&rows[cid * n..cid * n + n]));
+        }
+        slicing_observe::counter("slice.j_table.live_sccs", cuts.len() as u64);
+        let ix: Vec<u32> = (0..num_events)
+            .map(|e| dense[scc.comp_of(e as u32) as usize])
+            .collect();
+        // The least slice cut is J(⊥₀) — all initial events share its SCC.
+        let init = comp.event_at(ProcessId::new(0), 0);
+        let bottom_ix = ix[init.as_usize()];
+        // Flatten the per-(process, count) successor lookup: counts run
+        // 1..=len(p); the entry at count c is the J index of the event at
+        // position c, with NO_CUT at c == len(p) (process exhausted).
+        let mut proc_off = Vec::with_capacity(n + 1);
+        let mut next_j = Vec::with_capacity(num_events + n);
+        proc_off.push(0u32);
+        for p in comp.processes() {
+            let len = comp.len(p);
+            for c in 1..len {
+                next_j.push(ix[comp.event_at(p, c).as_usize()]);
+            }
+            next_j.push(NO_CUT);
+            proc_off.push(next_j.len() as u32);
+        }
+        JTables {
+            cuts,
+            ix,
+            next_j,
+            proc_off,
+            bottom_ix,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -521,20 +723,26 @@ mod tests {
         let comp = b.build().unwrap();
         let slice = Slice::full(&comp);
 
-        // All initial events form one SCC and alias one `Arc`'d cut; the
-        // bottom cut is another handle on that same payload, not a copy.
+        // All initial events form one SCC and share one dense index; the
+        // bottom cut is the same table entry, not a copy.
         let init0 = comp.event_at(ProcessId::new(0), 0);
         let init7 = comp.event_at(ProcessId::new(7), 0);
-        let j0 = slice.j_table[init0.as_usize()].as_ref().unwrap();
-        let j7 = slice.j_table[init7.as_usize()].as_ref().unwrap();
-        assert!(Arc::ptr_eq(j0, j7));
-        assert!(Arc::ptr_eq(j0, slice.bottom.as_ref().unwrap()));
+        let j0 = slice.tables.ix[init0.as_usize()];
+        let j7 = slice.tables.ix[init7.as_usize()];
+        assert_ne!(j0, NO_CUT);
+        assert_eq!(j0, j7);
+        assert_eq!(slice.tables.bottom_ix, j0);
+        assert!(std::ptr::eq(
+            slice.least_cut(init0).unwrap(),
+            slice.bottom_cut().unwrap()
+        ));
         // One payload per SCC with slice cuts: the initial meta-event plus
         // 20 × 3 singleton components (⊤'s component stores none).
-        assert_eq!(slice.distinct_j_cuts, 61);
+        assert_eq!(slice.distinct_j_cuts(), 61);
 
-        // Queries and whole-slice clones only bump reference counts: zero
-        // cut heap allocations even though every payload is spilled.
+        // Queries and whole-slice clones only bump the table's reference
+        // count: zero cut heap allocations even though every payload is
+        // spilled.
         let before = cut_heap_allocs();
         let dup = slice.clone();
         assert!(dup.bottom_cut().is_some());
@@ -542,6 +750,61 @@ mod tests {
             let _ = slice.least_cut(e);
         }
         assert_eq!(cut_heap_allocs() - before, 0);
+    }
+
+    #[test]
+    fn warm_rebuilds_do_not_allocate_cut_heap() {
+        use slicing_computation::cut_heap_allocs;
+
+        // Inline width (≤16 processes): after one warming build, repeated
+        // slicing reuses the thread-local workspace and the inline cut
+        // payloads — zero cut heap allocations.
+        let comp = figure1();
+        let e0 = comp.event_by_label("b").unwrap();
+        let e1 = comp.event_by_label("g").unwrap();
+        let edges = vec![(Node::Event(e0), Node::Event(e1))];
+        let warm = Slice::new(&comp, edges.clone());
+        let before = cut_heap_allocs();
+        for _ in 0..10 {
+            let s = Slice::new(&comp, edges.clone());
+            assert_eq!(s.distinct_j_cuts(), warm.distinct_j_cuts());
+        }
+        assert_eq!(cut_heap_allocs() - before, 0);
+    }
+
+    #[test]
+    fn count_successors_matches_materialized_stream() {
+        let comp = figure1();
+        let e0 = comp.event_by_label("b").unwrap();
+        let e1 = comp.event_by_label("g").unwrap();
+        let slice = Slice::new(&comp, vec![(Node::Event(e0), Node::Event(e1))]);
+        for cut in all_cuts(&slice) {
+            let mut succ = Vec::new();
+            slice.successors(&cut, &mut succ);
+            assert_eq!(slice.count_successors(&cut), succ.len(), "cut {cut:?}");
+        }
+    }
+
+    #[test]
+    fn successor_stream_has_no_same_index_duplicates() {
+        // A meta-event spanning both processes is enabled from the bottom
+        // cut on two frontier processes; the deduped stream emits the
+        // successor once.
+        let comp = grid(1, 1);
+        let e0 = comp.event_at(comp.process(0), 1);
+        let e1 = comp.event_at(comp.process(1), 1);
+        let slice = Slice::new(
+            &comp,
+            vec![
+                (Node::Event(e0), Node::Event(e1)),
+                (Node::Event(e1), Node::Event(e0)),
+            ],
+        );
+        let bottom = CutSpace::bottom(&slice).unwrap();
+        let mut succ = Vec::new();
+        slice.successors(&bottom, &mut succ);
+        assert_eq!(succ, vec![Cut::from(vec![2, 2])]);
+        assert_eq!(slice.count_successors(&bottom), 1);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Property tests pinning the kernelized slicer stack — flat J-tables,
+//! packed J-row streaming, warm-arena `Slice::new` — to the brute-force
+//! reference semantics the pre-kernel (HashMap + per-edge clone)
+//! implementation computed, specifically across the 16-process
+//! inline→spill boundary where `Cut` storage, hashing, and the J-table
+//! all take the heap path. The kernel is an optimization: identical
+//! slice cuts, identical least-cut (J) tables, identical graft algebra.
+
+use proptest::prelude::*;
+
+use slicing_computation::lattice::all_cuts;
+use slicing_computation::oracle::{expected_slice_cuts, sublattice_closure};
+use slicing_computation::test_fixtures::{random_computation, RandomConfig};
+use slicing_computation::{Computation, Cut, EventId};
+use slicing_core::{graft_and, graft_or, slice_conjunctive, slice_linear, Node, Slice};
+use slicing_predicates::{Conjunctive, LocalPredicate, Predicate};
+
+/// Computations spanning the spill boundary: one event per process and a
+/// high message rate keep the lattice small enough for the exhaustive
+/// reference while the width forces spilled cuts.
+fn wide() -> impl Strategy<Value = Computation> {
+    (any::<u64>(), 15usize..=17).prop_map(|(seed, n)| {
+        let cfg = RandomConfig {
+            processes: n,
+            events_per_process: 1,
+            send_percent: 70,
+            recv_percent: 70,
+            value_range: 2,
+        };
+        random_computation(seed, &cfg)
+    })
+}
+
+/// A wide computation plus random constraint edges, as the slicers emit
+/// them (event→event advancing constraints, ⊤→event exclusions).
+fn wide_with_edges() -> impl Strategy<Value = (Computation, Vec<(Node, Node)>)> {
+    wide()
+        .prop_flat_map(|comp| {
+            let num_events = comp.num_events();
+            let edges = prop::collection::vec((0..num_events, 0..num_events, 0u8..10), 0..8);
+            (Just(comp), edges)
+        })
+        .prop_map(|(comp, raw)| {
+            let edges = raw
+                .into_iter()
+                .map(|(u, v, kind)| {
+                    let target = Node::Event(EventId::new(v));
+                    if kind == 0 {
+                        (Node::Top, target)
+                    } else {
+                        (Node::Event(EventId::new(u)), target)
+                    }
+                })
+                .collect();
+            (comp, edges)
+        })
+}
+
+/// The reference definition the pre-kernel slicer implemented: a cut is
+/// in the slice iff it is consistent and respects every edge.
+fn respects(comp: &Computation, edges: &[(Node, Node)], cut: &Cut) -> bool {
+    let contains = |e: EventId| cut.count(comp.process_of(e)) > comp.position_of(e);
+    edges.iter().all(|&(u, v)| {
+        let Node::Event(v) = v else { return true };
+        if !contains(v) {
+            return true;
+        }
+        match u {
+            Node::Top => false,
+            Node::Event(u) => contains(u),
+        }
+    })
+}
+
+/// A per-process conjunctive predicate `x@p != t` over every process.
+fn conjunctive_pred(comp: &Computation, t: i64) -> Conjunctive {
+    let clauses: Vec<LocalPredicate> = comp
+        .processes()
+        .map(|p| {
+            let x = comp.var(p, "x").unwrap();
+            LocalPredicate::int(x, format!("x != {t}"), move |v| v != t)
+        })
+        .collect();
+    Conjunctive::new(clauses)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Spilled-width `Slice::new`: the enumerated cuts and the flat
+    /// J-table both match the set-theoretic reference.
+    #[test]
+    fn wide_j_tables_match_the_set_theoretic_minimum(
+        (comp, edges) in wide_with_edges(),
+    ) {
+        let slice = Slice::new(&comp, edges.clone());
+        let got = all_cuts(&slice);
+        let want: Vec<Cut> = all_cuts(&comp)
+            .into_iter()
+            .filter(|c| respects(&comp, &edges, c))
+            .collect();
+        prop_assert_eq!(&got, &want, "slice cuts at spill width");
+        // J(e) is the least slice cut containing e — the table the kernel
+        // now stores as flat arena rows instead of HashMap entries.
+        for e in comp.events() {
+            let containing: Vec<&Cut> = got
+                .iter()
+                .filter(|c| c.count(comp.process_of(e)) > comp.position_of(e))
+                .collect();
+            match slice.least_cut(e) {
+                None => prop_assert!(containing.is_empty(), "{} claimed impossible", e),
+                Some(j) => {
+                    prop_assert!(containing.contains(&j), "J({}) not in slice", e);
+                    prop_assert!(containing.iter().all(|c| j.leq(c)), "J({}) not least", e);
+                }
+            }
+        }
+    }
+
+    /// The `O(|E|)` conjunctive slicer, the `O(n²|E|)` linear slicer, and
+    /// the lattice oracle agree past the spill boundary, and every slice
+    /// cut genuinely satisfies the (regular) predicate.
+    #[test]
+    fn wide_conjunctive_slicer_matches_linear_and_oracle(
+        comp in wide(),
+        t in 0i64..2,
+    ) {
+        let pred = conjunctive_pred(&comp, t);
+        let fast: Vec<Cut> = all_cuts(&slice_conjunctive(&comp, &pred));
+        let general: Vec<Cut> = all_cuts(&slice_linear(&comp, &pred));
+        prop_assert_eq!(&fast, &general, "fast vs general slicer");
+        let (closure, sat) = expected_slice_cuts(&comp, |st| pred.eval(st));
+        let got: std::collections::BTreeSet<Cut> = fast.into_iter().collect();
+        prop_assert_eq!(&got, &closure, "slice vs oracle closure");
+        // Conjunctions of locals are regular: the closure adds nothing.
+        prop_assert_eq!(got.len(), sat.len(), "regular predicate must be exact");
+    }
+
+    /// Grafting at spill width is the slice-set algebra: `graft_and` is
+    /// intersection, `graft_or` is the sublattice closure of the union.
+    #[test]
+    fn wide_grafting_matches_set_algebra(
+        comp in wide(),
+    ) {
+        let a = slice_conjunctive(&comp, &conjunctive_pred(&comp, 0));
+        let b = slice_conjunctive(&comp, &conjunctive_pred(&comp, 1));
+        let (cuts_a, cuts_b) = (all_cuts(&a), all_cuts(&b));
+
+        let and_cuts: Vec<Cut> = all_cuts(&graft_and(&a, &b));
+        let want_and: Vec<Cut> = cuts_a
+            .iter()
+            .filter(|c| cuts_b.contains(c))
+            .cloned()
+            .collect();
+        prop_assert_eq!(and_cuts, want_and, "graft_and vs intersection");
+
+        let or_cuts: std::collections::BTreeSet<Cut> =
+            all_cuts(&graft_or(&a, &b)).into_iter().collect();
+        let union: Vec<Cut> = cuts_a.iter().chain(&cuts_b).cloned().collect();
+        prop_assert_eq!(or_cuts, sublattice_closure(&union), "graft_or vs closure");
+    }
+}

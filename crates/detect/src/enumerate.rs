@@ -5,7 +5,9 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
-use slicing_computation::{Computation, CutSet, CutSpace, GlobalState};
+use slicing_computation::{
+    BandedCutSet, Computation, CutPacking, CutSet, CutSpace, GlobalState, PackedBandedSet,
+};
 use slicing_predicates::Predicate;
 
 use crate::metrics::{emit_visited_stats, AbortReason, Detection, Limits, Tracker};
@@ -109,6 +111,207 @@ pub(crate) fn detect_bfs_capped<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
             // A refused insert means unseen successors were dropped: the
             // sweep can no longer prove absence, so stop with a budget
             // verdict instead of silently under-exploring.
+            aborted = Some(AbortReason::ArenaFull);
+            break;
+        }
+    }
+    emit_visited_stats(visited.stats());
+    tracker.finish(found, start.elapsed(), aborted)
+}
+
+/// [`detect_bfs`] with the visited set partitioned by cut size — the
+/// slice-search variant.
+///
+/// Successors in a lattice strictly grow, so banding by size keeps each
+/// duplicate probe inside the (small, cache-resident) band of the
+/// successor's size instead of a random access across the whole visited
+/// history. The traversal itself — queue order, duplicate semantics,
+/// predicate evaluation, limits, saturation — is op-for-op the same as
+/// [`detect_bfs`]: verdict, witness, `cuts_explored`, and the hit/insert
+/// counters are identical; only the `probes` counter shifts with the
+/// per-band table geometry. Slice lattices are where this pays: their cut
+/// populations dwarf every band, and the residual slice search is probe-
+/// bound (see EXPERIMENTS.md).
+///
+/// When the computation's cuts pack into a `u64` ([`CutPacking`] — per-
+/// process counts fitting 63 bits of lanes), the visited bands store the
+/// packed keys inline ([`PackedBandedSet`]) and the frontier queues packed
+/// cuts: a duplicate check then touches exactly one table slot, with no
+/// arena access to confirm equality. Wider or longer computations fall
+/// back to [`BandedCutSet`] storage. Both paths explore identically.
+pub fn detect_bfs_banded<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+) -> Detection {
+    if space.num_processes() == comp.num_processes() {
+        let maxima: Vec<u32> = (0..comp.num_processes())
+            .map(|i| comp.len(comp.process(i)))
+            .collect();
+        if let Some(packing) = CutPacking::for_maxima(&maxima) {
+            return detect_bfs_packed(space, comp, pred, limits, &packing);
+        }
+    }
+    detect_bfs_banded_unpacked(space, comp, pred, limits)
+}
+
+/// The [`BandedCutSet`] fallback of [`detect_bfs_banded`]: cuts too wide
+/// or too long for a 63-bit packing keep their counts in band arenas.
+fn detect_bfs_banded_unpacked<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+) -> Detection {
+    let _span = slicing_observe::span("detect.bfs");
+    let start = Instant::now();
+    let mut tracker = Tracker::default();
+    let entry_bytes = Tracker::hash_entry_bytes(space.num_processes());
+
+    let Some(bottom) = space.bottom() else {
+        return tracker.finish(None, start.elapsed(), None);
+    };
+
+    let mut visited = BandedCutSet::new(space.num_processes());
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    let bottom_key = visited.insert_indexed(&bottom).expect("empty set");
+    tracker.store_cut(entry_bytes);
+    queue.push_back(bottom_key);
+    tracker.charge(entry_bytes);
+
+    let mut found = None;
+    let mut aborted = None;
+    let mut cut = bottom;
+    let sampling = slicing_observe::enabled(slicing_observe::Level::Trace);
+    let mut last_probes = visited.stats().probes;
+    while let Some(key) = queue.pop_front() {
+        cut.copy_from_counts(visited.counts_at(key));
+        tracker.release(entry_bytes);
+        tracker.cuts_explored += 1;
+        if tracker.cuts_explored.is_multiple_of(GAUGE_SAMPLE_EVERY) {
+            slicing_observe::gauge("detect.bfs.frontier", queue.len() as u64);
+            slicing_observe::gauge("detect.bfs.visited", visited.len());
+        }
+        match pred.try_eval(&GlobalState::new(comp, &cut)) {
+            Ok(true) => {
+                found = Some(cut);
+                break;
+            }
+            Ok(false) => {}
+            Err(_) => {
+                aborted = Some(AbortReason::PredicateError);
+                break;
+            }
+        }
+        if let Some(reason) = tracker.over_limit(limits, start) {
+            aborted = Some(reason);
+            break;
+        }
+        space.for_each_successor(&cut, &mut |next| {
+            if let Some(next_key) = visited.insert_indexed(next) {
+                tracker.store_cut(entry_bytes);
+                queue.push_back(next_key);
+                tracker.charge(entry_bytes);
+            }
+        });
+        if sampling {
+            let probes = visited.stats().probes;
+            slicing_observe::sample("detect.bfs.probe_len", probes - last_probes);
+            last_probes = probes;
+        }
+        if visited.saturated() {
+            aborted = Some(AbortReason::ArenaFull);
+            break;
+        }
+    }
+    emit_visited_stats(visited.stats());
+    tracker.finish(found, start.elapsed(), aborted)
+}
+
+/// The packed fast path of [`detect_bfs_banded`]: visited bands and the
+/// frontier both hold `u64`-packed cuts, so one lattice sweep's memory
+/// traffic is a cache-resident table touch per emission plus sequential
+/// queue churn. Exploration order and membership semantics are exactly
+/// [`detect_bfs`]'s (packing is a bijection).
+fn detect_bfs_packed<S: CutSpace + ?Sized, P: Predicate + ?Sized>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+    packing: &CutPacking,
+) -> Detection {
+    let _span = slicing_observe::span("detect.bfs");
+    let start = Instant::now();
+    let mut tracker = Tracker::default();
+    let entry_bytes = Tracker::hash_entry_bytes(space.num_processes());
+
+    let Some(bottom) = space.bottom() else {
+        return tracker.finish(None, start.elapsed(), None);
+    };
+
+    let mut visited = PackedBandedSet::new();
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    let bottom_key = packing.pack(bottom.counts());
+    visited.insert(bottom_key, bottom.size() as usize);
+    tracker.store_cut(entry_bytes);
+    queue.push_back(bottom_key);
+    tracker.charge(entry_bytes);
+
+    let mut found = None;
+    let mut aborted = None;
+    let mut cut = bottom;
+    let sampling = slicing_observe::enabled(slicing_observe::Level::Trace);
+    let mut last_probes = visited.stats().probes;
+    while let Some(key) = queue.pop_front() {
+        packing.unpack_into(key, &mut cut);
+        tracker.release(entry_bytes);
+        tracker.cuts_explored += 1;
+        if tracker.cuts_explored.is_multiple_of(GAUGE_SAMPLE_EVERY) {
+            slicing_observe::gauge("detect.bfs.frontier", queue.len() as u64);
+            slicing_observe::gauge("detect.bfs.visited", visited.len());
+        }
+        match pred.try_eval(&GlobalState::new(comp, &cut)) {
+            Ok(true) => {
+                found = Some(cut);
+                break;
+            }
+            Ok(false) => {}
+            Err(_) => {
+                aborted = Some(AbortReason::PredicateError);
+                break;
+            }
+        }
+        if let Some(reason) = tracker.over_limit(limits, start) {
+            aborted = Some(reason);
+            break;
+        }
+        let streamed =
+            space.for_each_successor_packed(cut.counts(), key, packing, &mut |nk, sz| {
+                if visited.insert(nk, sz as usize) {
+                    tracker.store_cut(entry_bytes);
+                    queue.push_back(nk);
+                    tracker.charge(entry_bytes);
+                }
+            });
+        if !streamed {
+            // Space without a packed transition table: build each
+            // successor as a cut and pack it here.
+            space.for_each_successor(&cut, &mut |next| {
+                let next_key = packing.pack(next.counts());
+                if visited.insert(next_key, next.size() as usize) {
+                    tracker.store_cut(entry_bytes);
+                    queue.push_back(next_key);
+                    tracker.charge(entry_bytes);
+                }
+            });
+        }
+        if sampling {
+            let probes = visited.stats().probes;
+            slicing_observe::sample("detect.bfs.probe_len", probes - last_probes);
+            last_probes = probes;
+        }
+        if visited.saturated() {
             aborted = Some(AbortReason::ArenaFull);
             break;
         }

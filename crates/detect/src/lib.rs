@@ -68,7 +68,7 @@ mod slicing;
 pub mod testkit;
 
 pub use definitely::{definitely, detect_not_definitely};
-pub use enumerate::{detect_bfs, detect_dfs};
+pub use enumerate::{detect_bfs, detect_bfs_banded, detect_dfs};
 pub use hybrid::{detect_hybrid, suggested_pom_budget, HybridDetection, HybridPhase};
 pub use lean::{detect_lean, detect_lean_parallel, detect_lean_with, LeanArena};
 pub use metrics::{AbortReason, Detection, Limits};

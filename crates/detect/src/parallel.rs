@@ -1,13 +1,39 @@
-//! Parallel breadth-first detection.
+//! Parallel breadth-first detection with adaptive granularity.
 //!
 //! The paper observes that complementary state-space techniques compose
 //! with slicing; so does parallelism. This engine runs a layer-synchronous
-//! BFS: each lattice level is partitioned across worker threads that
-//! evaluate the predicate and expand successors, and the visited set is
-//! *sharded by cut hash* so the merge phase runs in parallel too — no
-//! single-threaded merge barrier. Results are deterministic — the witness
-//! (if any) is the first satisfying cut in the canonical frontier order,
-//! independent of thread count.
+//! BFS whose granularity adapts to the lattice:
+//!
+//! * **Narrow layers** (below [`PARALLEL_EXPAND_MIN`] frontier cuts) are
+//!   processed on the calling thread with *exactly* the sequential
+//!   engine's operations — same visited set, same insertion order, same
+//!   eval-at-dequeue early exit — so a narrow lattice pays nothing for
+//!   having asked for threads, and its wall-work counters (probes, hits,
+//!   inserts, `cuts_explored`) match [`detect_bfs`](crate::detect_bfs)
+//!   exactly. The number of layers handled this way is reported as the
+//!   `detect.parallel.seq_layers` counter.
+//! * At the first **wide** layer the engine switches permanently to a
+//!   fan-out mode: the frontier is split into chunks that evaluate and
+//!   expand concurrently, and successors are merged through [`SHARDS`]
+//!   hash-sharded visited shards so the merge has no single-table
+//!   contention either.
+//!
+//! On unit-step spaces (a computation advances one event per successor,
+//! so the lattice is graded by cut size) the fan-out mode is
+//! *work-optimal*: every successor of a layer lands in the next layer,
+//! so membership only has to be checked against the layer under
+//! construction — the shards are small packed tables
+//! ([`PackedCutSet`]) that are cleared between layers instead of one
+//! ever-growing global set, and all older layers are released. The total
+//! hit/insert traffic is identical to the sequential sweep (the
+//! successor stream is the same); the per-probe cost and the live memory
+//! are what shrink. Spaces whose successors can add several events at
+//! once (slices advance by J-closures) keep persistent shards.
+//!
+//! Worker threads are spawned only when the machine has more than one
+//! core ([`std::thread::available_parallelism`]); on a single core every
+//! phase runs on the calling thread. The decision affects wall time
+//! only: results and counters are byte-identical either way.
 //!
 //! # Why sharding keeps determinism
 //!
@@ -19,10 +45,12 @@
 //! frontier (shard 0's news, then shard 1's, …), is a pure function of the
 //! current frontier.
 
+use std::collections::VecDeque;
 use std::time::Instant;
 
 use slicing_computation::{
-    hash_counts, Computation, Cut, CutSet, CutSetStats, CutSpace, GlobalState,
+    hash_counts, hash_packed, Computation, Cut, CutPacking, CutSet, CutSetStats, CutSpace,
+    GlobalState, PackedCutSet,
 };
 use slicing_predicates::Predicate;
 
@@ -56,6 +84,378 @@ pub(crate) const PARALLEL_MERGE_MIN: usize = 512;
 /// verdict, witness, and visited statistics do not depend on which path
 /// ran.
 pub(crate) const PARALLEL_EXPAND_MIN: usize = 128;
+
+/// Fan-out configuration resolved once per run: the requested thread
+/// count, and whether spawning can possibly pay off on this machine.
+#[derive(Clone, Copy)]
+struct Fanout {
+    threads: usize,
+    /// `false` forces every phase onto the calling thread. Pure wall-time
+    /// knob: chunking and shard order don't depend on it, so verdict,
+    /// witness, and all deterministic counters are identical either way.
+    spawn: bool,
+}
+
+/// Detects `possibly: pred` with a parallel layered BFS over `space`,
+/// using up to `threads` worker threads (values < 2 fall back to the
+/// sequential engine; so does every layer too narrow to amortize a
+/// spawn — see the module docs).
+///
+/// Equivalent to [`detect_bfs`](crate::detect_bfs) in verdict and in the
+/// set of cuts explored up to the witness's layer; `cuts_explored` may
+/// exceed the sequential count because a whole layer is evaluated even
+/// when an early member matches. On a lattice narrow enough to stay
+/// sequential throughout, verdict, witness, and the wall-work counters
+/// are *exactly* the sequential engine's.
+pub fn detect_bfs_parallel<S, P>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+    threads: usize,
+) -> Detection
+where
+    S: CutSpace + Sync + ?Sized,
+    P: Predicate + Sync + ?Sized,
+{
+    if threads < 2 {
+        return crate::enumerate::detect_bfs(space, comp, pred, limits);
+    }
+    let spawn = std::thread::available_parallelism().is_ok_and(|p| p.get() >= 2);
+    detect_bfs_parallel_impl(space, comp, pred, limits, Fanout { threads, spawn })
+}
+
+/// Engine dispatch behind [`detect_bfs_parallel`]: unit-step spaces whose
+/// cuts pack into a `u64` get the graded (layer-local dedup) engine;
+/// everything else gets the persistent-shard engine.
+fn detect_bfs_parallel_impl<S, P>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+    fan: Fanout,
+) -> Detection
+where
+    S: CutSpace + Sync + ?Sized,
+    P: Predicate + Sync + ?Sized,
+{
+    let _span = slicing_observe::span("detect.bfs_parallel");
+    let Some(bottom) = space.bottom() else {
+        return Tracker::default().finish(None, Instant::now().elapsed(), None);
+    };
+    let unit_step = space.for_each_advance(&bottom, &mut |_| {});
+    let packing = if unit_step && space.num_processes() == comp.num_processes() {
+        let maxima: Vec<u32> = (0..comp.num_processes())
+            .map(|i| comp.len(comp.process(i)))
+            .collect();
+        CutPacking::for_maxima(&maxima)
+    } else {
+        None
+    };
+    match packing {
+        Some(packing) => detect_parallel_graded(space, comp, pred, limits, fan, bottom, &packing),
+        None => detect_parallel_general(space, comp, pred, limits, fan, bottom),
+    }
+}
+
+/// The graded engine: sequential-replica narrow layers, then packed
+/// layer-local dedup once the lattice widens.
+///
+/// Sound because the space is unit-step: every successor of a layer-`k`
+/// cut has exactly `k+1` events, so all duplicates of a cut are generated
+/// while its own layer is under construction and membership never needs
+/// to consult older layers. The `hits`/`inserts` totals therefore equal
+/// the sequential sweep's; `probes` shift with the per-layer table
+/// geometry; everything before the switch matches
+/// [`detect_bfs`](crate::detect_bfs) op for op.
+fn detect_parallel_graded<S, P>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    limits: &Limits,
+    fan: Fanout,
+    bottom: Cut,
+    packing: &CutPacking,
+) -> Detection
+where
+    S: CutSpace + Sync + ?Sized,
+    P: Predicate + Sync + ?Sized,
+{
+    let start = Instant::now();
+    let mut tracker = Tracker::default();
+    let entry_bytes = Tracker::hash_entry_bytes(space.num_processes());
+    let mut seq_layers = 0u64;
+    let mut layer = 0u64;
+
+    // ---- Mode A: the sequential engine's exact operations, layer-aware.
+    // One global visited set, eval at dequeue, early exit on the first
+    // witness — identical counters and witness to `detect_bfs` for as
+    // long as this mode runs.
+    let mut visited = CutSet::new(space.num_processes());
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let bottom_idx = visited.insert_indexed(&bottom).expect("empty set");
+    tracker.store_cut(entry_bytes);
+    queue.push_back(bottom_idx);
+    tracker.charge(entry_bytes);
+
+    let mut found = None;
+    let mut aborted = None;
+    let mut cut = bottom;
+    let mut widened = false;
+    'mode_a: loop {
+        let width = queue.len();
+        if width == 0 {
+            break;
+        }
+        if width >= PARALLEL_EXPAND_MIN {
+            widened = true;
+            break;
+        }
+        layer += 1;
+        seq_layers += 1;
+        slicing_observe::gauge("detect.parallel.layer", layer);
+        slicing_observe::gauge("detect.parallel.layer_width", width as u64);
+        slicing_observe::sample("detect.parallel.layer_width", width as u64);
+        for _ in 0..width {
+            let idx = queue.pop_front().expect("layer width just counted");
+            cut.copy_from_counts(visited.counts_at(idx));
+            tracker.release(entry_bytes);
+            tracker.cuts_explored += 1;
+            match pred.try_eval(&GlobalState::new(comp, &cut)) {
+                Ok(true) => {
+                    found = Some(cut.clone());
+                    break 'mode_a;
+                }
+                Ok(false) => {}
+                Err(_) => {
+                    aborted = Some(AbortReason::PredicateError);
+                    break 'mode_a;
+                }
+            }
+            if let Some(reason) = tracker.over_limit(limits, start) {
+                aborted = Some(reason);
+                break 'mode_a;
+            }
+            space.for_each_successor(&cut, &mut |next| {
+                if let Some(next_idx) = visited.insert_indexed(next) {
+                    tracker.store_cut(entry_bytes);
+                    queue.push_back(next_idx);
+                    tracker.charge(entry_bytes);
+                }
+            });
+            if visited.saturated() {
+                aborted = Some(AbortReason::ArenaFull);
+                break 'mode_a;
+            }
+        }
+    }
+    let mut stats = visited.stats();
+
+    // ---- Mode B: permanent switch at the first wide layer. The pending
+    // layer is packed, the global visited set is released (gradedness: no
+    // older cut can ever be rediscovered), and from here on the live set
+    // is two layers wide.
+    if widened && found.is_none() && aborted.is_none() {
+        let mut frontier: Vec<u64> = Vec::with_capacity(queue.len());
+        for idx in queue.drain(..) {
+            frontier.push(packing.pack(visited.counts_at(idx)));
+        }
+        let dropped = visited.len() as u64;
+        tracker.stored_cuts -= dropped;
+        tracker.release(entry_bytes * dropped);
+        drop(visited);
+
+        let mut sets: Vec<PackedCutSet> = (0..SHARDS).map(|_| PackedCutSet::new()).collect();
+        // Keys sitting in the shard tables from the layer most recently
+        // merged; retired (memory and count) when the tables are cleared.
+        let mut in_sets = 0u64;
+        'mode_b: while !frontier.is_empty() {
+            let width = frontier.len();
+            layer += 1;
+            slicing_observe::gauge("detect.parallel.layer", layer);
+            slicing_observe::gauge("detect.parallel.layer_width", width as u64);
+            slicing_observe::sample("detect.parallel.layer_width", width as u64);
+
+            let chunk = width.div_ceil(fan.threads);
+            type ChunkOut = (Option<(usize, bool)>, Vec<Vec<u64>>);
+            let results: Vec<ChunkOut> = if !fan.spawn || width < PARALLEL_EXPAND_MIN {
+                vec![expand_packed_chunk(space, comp, pred, packing, &frontier)]
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = frontier
+                        .chunks(chunk)
+                        .map(|keys| {
+                            scope.spawn(move || {
+                                expand_packed_chunk(space, comp, pred, packing, keys)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker thread panicked"))
+                        .collect()
+                })
+            };
+
+            // First stop in layer order wins (deterministic).
+            for (chunk_idx, (stopped_at, _)) in results.iter().enumerate() {
+                if let Some((offset, matched)) = stopped_at {
+                    let idx = chunk_idx * chunk + offset;
+                    tracker.cuts_explored += idx as u64 + 1;
+                    if *matched {
+                        let mut witness = Cut::bottom(space.num_processes());
+                        packing.unpack_into(frontier[idx], &mut witness);
+                        found = Some(witness);
+                    } else {
+                        aborted = Some(AbortReason::PredicateError);
+                    }
+                    break 'mode_b;
+                }
+            }
+            tracker.cuts_explored += width as u64;
+            tracker.release(entry_bytes * width as u64);
+            if let Some(reason) = tracker.over_limit(limits, start) {
+                aborted = Some(reason);
+                break;
+            }
+
+            // Transpose the chunk-major buckets into one stream per shard
+            // (chunk order — and thus canonical stream order — preserved).
+            let mut streams: Vec<Vec<Vec<u64>>> = (0..SHARDS).map(|_| Vec::new()).collect();
+            let mut total = 0usize;
+            for (_, buckets) in results {
+                for (sid, bucket) in buckets.into_iter().enumerate() {
+                    total += bucket.len();
+                    streams[sid].push(bucket);
+                }
+            }
+
+            // Retire the previous layer: its keys can never recur, so the
+            // shard tables are cleared (capacity kept warm) and its
+            // entries leave the live accounting.
+            tracker.stored_cuts -= in_sets;
+            tracker.release(entry_bytes * in_sets);
+            for set in &mut sets {
+                set.clear();
+            }
+
+            let parts: Vec<Vec<u64>> = if !fan.spawn || total < PARALLEL_MERGE_MIN {
+                sets.iter_mut()
+                    .zip(streams)
+                    .map(|(set, stream)| merge_packed_shard(stream, set))
+                    .collect()
+            } else {
+                let group = SHARDS.div_ceil(fan.threads.min(SHARDS));
+                let mut jobs: Vec<(&mut PackedCutSet, Vec<Vec<u64>>)> =
+                    sets.iter_mut().zip(streams).collect();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = jobs
+                        .chunks_mut(group)
+                        .map(|job_group| {
+                            scope.spawn(move || {
+                                job_group
+                                    .iter_mut()
+                                    .map(|(set, stream)| {
+                                        merge_packed_shard(std::mem::take(stream), set)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("merge thread panicked"))
+                        .collect()
+                })
+            };
+
+            // Canonical next frontier: shard outputs in shard index order.
+            let mut next: Vec<u64> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+            for part in parts {
+                for key in part {
+                    tracker.store_cut(entry_bytes);
+                    next.push(key);
+                }
+            }
+            tracker.charge(entry_bytes * next.len() as u64);
+            in_sets = next.len() as u64;
+            if let Some(reason) = tracker.over_limit(limits, start) {
+                aborted = Some(reason);
+                break;
+            }
+            frontier = next;
+        }
+        for set in &sets {
+            let s = set.stats();
+            stats.probes += s.probes;
+            stats.hits += s.hits;
+            stats.inserts += s.inserts;
+        }
+    }
+
+    slicing_observe::counter("detect.parallel.seq_layers", seq_layers);
+    emit_visited_stats(stats);
+    tracker.finish(found, start.elapsed(), aborted)
+}
+
+/// Evaluates one chunk of a packed frontier, expanding non-matching cuts
+/// entirely in packed space. Returns the offset of the first match (if
+/// any; `matched == false` marks a predicate error) and the successor
+/// keys generated before it, bucketed by destination shard.
+fn expand_packed_chunk<S, P>(
+    space: &S,
+    comp: &Computation,
+    pred: &P,
+    packing: &CutPacking,
+    keys: &[u64],
+) -> (Option<(usize, bool)>, Vec<Vec<u64>>)
+where
+    S: CutSpace + Sync + ?Sized,
+    P: Predicate + Sync + ?Sized,
+{
+    let mut stop = None;
+    let mut buckets: Vec<Vec<u64>> = (0..SHARDS).map(|_| Vec::new()).collect();
+    let mut cut = Cut::bottom(space.num_processes());
+    for (i, &key) in keys.iter().enumerate() {
+        packing.unpack_into(key, &mut cut);
+        match pred.try_eval(&GlobalState::new(comp, &cut)) {
+            Ok(true) => {
+                stop = Some((i, true));
+                break;
+            }
+            Ok(false) => {}
+            Err(_) => {
+                stop = Some((i, false));
+                break;
+            }
+        }
+        let streamed = space.for_each_successor_packed(cut.counts(), key, packing, &mut |nk, _| {
+            buckets[shard_of(hash_packed(nk))].push(nk);
+        });
+        if !streamed {
+            space.for_each_successor(&cut, &mut |next| {
+                let nk = packing.pack(next.counts());
+                buckets[shard_of(hash_packed(nk))].push(nk);
+            });
+        }
+    }
+    (stop, buckets)
+}
+
+/// Drains one shard's packed successor stream (chunk-major, stream order)
+/// into its layer table, returning the newly discovered keys in stream
+/// order.
+fn merge_packed_shard(stream: Vec<Vec<u64>>, set: &mut PackedCutSet) -> Vec<u64> {
+    let mut out = Vec::new();
+    for bucket in stream {
+        for key in bucket {
+            if set.insert(key) {
+                out.push(key);
+            }
+        }
+    }
+    out
+}
 
 /// Hashed successors routed to one visited shard, in generation order:
 /// `buckets[s]` holds the `(hash, cut)` pairs bound for shard `s`.
@@ -115,36 +515,27 @@ fn merge_into_shard(stream: ShardBuckets, shard: &mut CutSet) -> Vec<Cut> {
     out
 }
 
-/// Detects `possibly: pred` with a parallel layered BFS over `space`,
-/// using up to `threads` worker threads (values < 2 fall back to the
-/// sequential engine).
-///
-/// Equivalent to [`detect_bfs`](crate::detect_bfs) in verdict and in the
-/// set of cuts explored up to the witness's layer; `cuts_explored` may
-/// exceed the sequential count because a whole layer is evaluated even
-/// when an early member matches.
-pub fn detect_bfs_parallel<S, P>(
+/// The persistent-shard engine for spaces that are not unit-step (or too
+/// wide/long to pack): successors can skip layers, so every visited cut
+/// is retained across the whole run in [`SHARDS`] hash shards. Narrow
+/// layers still run entirely on the calling thread and count toward
+/// `detect.parallel.seq_layers`.
+fn detect_parallel_general<S, P>(
     space: &S,
     comp: &Computation,
     pred: &P,
     limits: &Limits,
-    threads: usize,
+    fan: Fanout,
+    bottom: Cut,
 ) -> Detection
 where
     S: CutSpace + Sync + ?Sized,
     P: Predicate + Sync + ?Sized,
 {
-    if threads < 2 {
-        return crate::enumerate::detect_bfs(space, comp, pred, limits);
-    }
-    let _span = slicing_observe::span("detect.bfs_parallel");
     let start = Instant::now();
     let mut tracker = Tracker::default();
     let entry_bytes = Tracker::hash_entry_bytes(space.num_processes());
-
-    let Some(bottom) = space.bottom() else {
-        return tracker.finish(None, start.elapsed(), None);
-    };
+    let mut seq_layers = 0u64;
 
     let mut shards: Vec<CutSet> = (0..SHARDS)
         .map(|_| CutSet::new(space.num_processes()))
@@ -164,9 +555,11 @@ where
         slicing_observe::sample("detect.parallel.layer_width", frontier.len() as u64);
         // Evaluate and expand the layer in parallel. Successors carry their
         // hash so the merge shards don't rehash on every scan.
-        let chunk = frontier.len().div_ceil(threads);
+        let narrow = frontier.len() < PARALLEL_EXPAND_MIN;
+        seq_layers += u64::from(narrow);
+        let chunk = frontier.len().div_ceil(fan.threads);
         type ChunkResult = (Option<(usize, bool)>, ShardBuckets);
-        let results: Vec<ChunkResult> = if frontier.len() < PARALLEL_EXPAND_MIN {
+        let results: Vec<ChunkResult> = if !fan.spawn || narrow {
             vec![expand_chunk(space, comp, pred, &frontier)]
         } else {
             std::thread::scope(|scope| {
@@ -213,14 +606,14 @@ where
                 streams[sid].push(bucket);
             }
         }
-        let parts: Vec<Vec<Cut>> = if total < PARALLEL_MERGE_MIN {
+        let parts: Vec<Vec<Cut>> = if !fan.spawn || total < PARALLEL_MERGE_MIN {
             shards
                 .iter_mut()
                 .zip(streams)
                 .map(|(shard, stream)| merge_into_shard(stream, shard))
                 .collect()
         } else {
-            let group = SHARDS.div_ceil(threads.min(SHARDS));
+            let group = SHARDS.div_ceil(fan.threads.min(SHARDS));
             let mut jobs: Vec<(&mut CutSet, ShardBuckets)> =
                 shards.iter_mut().zip(streams).collect();
             std::thread::scope(|scope| {
@@ -266,6 +659,7 @@ where
         stats.hits += s.hits;
         stats.inserts += s.inserts;
     }
+    slicing_observe::counter("detect.parallel.seq_layers", seq_layers);
     emit_visited_stats(stats);
     tracker.finish(found, start.elapsed(), aborted)
 }
@@ -276,7 +670,25 @@ mod tests {
     use crate::detect_bfs;
     use slicing_computation::test_fixtures::{grid, hypercube, random_computation, RandomConfig};
     use slicing_computation::ProcSet;
+    use slicing_observe::{Level, MemoryRecorder};
     use slicing_predicates::{expr::parse_predicate, FnPredicate};
+    use std::sync::Arc;
+
+    /// Runs `f` under a memory recorder and returns its result plus the
+    /// deterministic visited counters and the seq-layers counter.
+    fn recorded<T>(f: impl FnOnce() -> T) -> (T, CutSetStats, u64) {
+        let rec = Arc::new(MemoryRecorder::new(Level::Trace));
+        let out = {
+            let _guard = slicing_observe::scoped(rec.clone());
+            f()
+        };
+        let stats = CutSetStats {
+            probes: rec.counter_total("detect.visited.probes"),
+            hits: rec.counter_total("detect.visited.hits"),
+            inserts: rec.counter_total("detect.visited.inserts"),
+        };
+        (out, stats, rec.counter_total("detect.parallel.seq_layers"))
+    }
 
     #[test]
     fn agrees_with_sequential_bfs() {
@@ -317,7 +729,7 @@ mod tests {
     #[test]
     fn explored_sets_match_sequential_bfs_exactly() {
         // Unsatisfiable predicate: every engine must sweep the whole
-        // lattice, and the sharded visited set must count each cut once.
+        // lattice, and the layer-local dedup must count each cut once.
         let cfg = RandomConfig {
             processes: 4,
             events_per_process: 4,
@@ -340,10 +752,117 @@ mod tests {
     }
 
     #[test]
+    fn narrow_lattices_match_sequential_wall_work_exactly() {
+        // A two-process lattice never reaches PARALLEL_EXPAND_MIN, so the
+        // whole run stays in the sequential-replica mode: probes, hits,
+        // inserts, explored count, and the witness must all be identical
+        // to detect_bfs — asking for threads costs no extra work.
+        let comp = grid(12, 9);
+        let never = FnPredicate::new(ProcSet::all(2), "false", |_| false);
+        let (seq, seq_stats, _) = recorded(|| detect_bfs(&comp, &comp, &never, &Limits::none()));
+        for threads in [2, 4, 8] {
+            let (par, par_stats, seq_layers) =
+                recorded(|| detect_bfs_parallel(&comp, &comp, &never, &Limits::none(), threads));
+            assert_eq!(par_stats, seq_stats, "t{threads}");
+            assert_eq!(par.cuts_explored, seq.cuts_explored, "t{threads}");
+            assert_eq!(par.found, seq.found, "t{threads}");
+            // Every layer of the (12+1)×(9+1) grid ran sequentially:
+            // sizes span 2..=23, so 22 layers.
+            assert_eq!(seq_layers, 22, "t{threads}");
+        }
+    }
+
+    #[test]
+    fn seq_layers_counts_only_the_narrow_prefix() {
+        // hypercube(4, 7) widens past PARALLEL_EXPAND_MIN after a few
+        // layers and the switch is permanent, so the counter equals the
+        // number of layers before the first wide one — identical for
+        // every thread count.
+        let comp = hypercube(4, 7);
+        let never = FnPredicate::new(ProcSet::all(4), "false", |_| false);
+        let mut observed = Vec::new();
+        for threads in [2, 4] {
+            let (par, _, seq_layers) =
+                recorded(|| detect_bfs_parallel(&comp, &comp, &never, &Limits::none(), threads));
+            assert_eq!(par.cuts_explored, 4096); // 8^4 cuts, all swept
+            assert!(seq_layers > 0, "bottom layers are narrow");
+            assert!(seq_layers < 29, "wide layers must leave the replica mode");
+            observed.push(seq_layers);
+        }
+        assert_eq!(observed[0], observed[1]);
+    }
+
+    #[test]
+    fn graded_hit_insert_totals_match_sequential() {
+        // The layer-local dedup sees the same successor stream as the
+        // global visited set, so hits and inserts agree with detect_bfs
+        // even after the engine switches modes; only probes may shift
+        // with table geometry. Counters must not depend on thread count.
+        let comp = hypercube(4, 7);
+        let never = FnPredicate::new(ProcSet::all(4), "false", |_| false);
+        let (_, seq_stats, _) = recorded(|| detect_bfs(&comp, &comp, &never, &Limits::none()));
+        let mut first: Option<CutSetStats> = None;
+        for threads in [2, 4, 8] {
+            let (_, par_stats, _) =
+                recorded(|| detect_bfs_parallel(&comp, &comp, &never, &Limits::none(), threads));
+            assert_eq!(par_stats.hits, seq_stats.hits, "t{threads}");
+            assert_eq!(par_stats.inserts, seq_stats.inserts, "t{threads}");
+            if let Some(f) = first {
+                assert_eq!(par_stats, f, "t{threads}");
+            }
+            first = Some(par_stats);
+        }
+    }
+
+    #[test]
+    fn forced_spawning_changes_nothing_but_wall_time() {
+        // The spawn decision is a pure wall-time knob: forcing scoped
+        // workers on (as a multi-core host would) must reproduce the
+        // no-spawn results and counters bit for bit, on both engines
+        // (computation → graded, slice → persistent shards).
+        use slicing_core::slice_conjunctive;
+        use slicing_predicates::{Conjunctive, LocalPredicate};
+        let comp = hypercube(4, 7);
+        let never = FnPredicate::new(ProcSet::all(4), "false", |_| false);
+        for threads in [2, 4] {
+            let off = Fanout {
+                threads,
+                spawn: false,
+            };
+            let on = Fanout {
+                threads,
+                spawn: true,
+            };
+            let (d_off, s_off, l_off) =
+                recorded(|| detect_bfs_parallel_impl(&comp, &comp, &never, &Limits::none(), off));
+            let (d_on, s_on, l_on) =
+                recorded(|| detect_bfs_parallel_impl(&comp, &comp, &never, &Limits::none(), on));
+            assert_eq!(d_off.cuts_explored, d_on.cuts_explored, "t{threads}");
+            assert_eq!(d_off.found, d_on.found, "t{threads}");
+            assert_eq!(s_off, s_on, "t{threads}");
+            assert_eq!(l_off, l_on, "t{threads}");
+        }
+
+        let cfg = RandomConfig::default();
+        let scomp = random_computation(9, &cfg);
+        let x0 = scomp.var(scomp.process(0), "x").unwrap();
+        let pred = Conjunctive::new(vec![LocalPredicate::int(x0, "x >= 1", |v| v >= 1)]);
+        let slice = slice_conjunctive(&scomp, &pred);
+        let fan = Fanout {
+            threads: 4,
+            spawn: true,
+        };
+        let forced = detect_bfs_parallel_impl(&slice, &scomp, &pred, &Limits::none(), fan);
+        let plain = detect_bfs_parallel(&slice, &scomp, &pred, &Limits::none(), 4);
+        assert_eq!(forced.detected(), plain.detected());
+        assert_eq!(forced.cuts_explored, plain.cuts_explored);
+    }
+
+    #[test]
     fn wide_layers_take_the_parallel_merge_path() {
         // A 4-process hypercube reaches layer widths in the hundreds:
-        // past PARALLEL_EXPAND_MIN (scoped worker expansion) and past
-        // PARALLEL_MERGE_MIN in total successors (scoped shard merge).
+        // past PARALLEL_EXPAND_MIN (chunked expansion) and past
+        // PARALLEL_MERGE_MIN in total successors (sharded merge).
         // Verdict, witness layer, and explored count still match
         // sequential BFS.
         let comp = hypercube(4, 7);

@@ -56,13 +56,14 @@ impl slicing_predicates::Predicate for SpecPredicate<'_> {
 
 /// The engine names [`check_engine`] understands — the rows of the
 /// differential matrix.
-pub const ENGINES: [&str; 7] = [
+pub const ENGINES: [&str; 8] = [
     "bfs",
     "dfs",
     "pom",
     "slicing",
     "hybrid",
     "lean",
+    "parallel",
     "parallel_lean",
 ];
 
@@ -71,8 +72,8 @@ pub const ENGINES: [&str; 7] = [
 ///
 /// - the verdict equals the brute-force oracle's;
 /// - a returned witness satisfies the spec and is a consistent cut;
-/// - level-order engines (`bfs`, `lean`, `parallel_lean`) return a witness
-///   of *minimum size* among all satisfying cuts.
+/// - level-order engines (`bfs`, `lean`, `parallel`, `parallel_lean`)
+///   return a witness of *minimum size* among all satisfying cuts.
 ///
 /// # Panics
 ///
@@ -98,6 +99,7 @@ pub fn check_engine(name: &str, case: &Case) {
             d
         }
         "lean" => crate::detect_lean(comp, comp, &pred, &limits),
+        "parallel" => crate::detect_bfs_parallel(comp, comp, &pred, &limits, 4),
         "parallel_lean" => crate::detect_lean_parallel(comp, comp, &pred, &limits, 4),
         other => panic!("unknown engine {other:?} (expected one of {ENGINES:?})"),
     };
@@ -122,7 +124,7 @@ pub fn check_engine(name: &str, case: &Case) {
             comp.is_consistent(witness),
             "[{tag}] {name}: witness {witness} is not a consistent cut"
         );
-        if matches!(name, "bfs" | "lean" | "parallel_lean") {
+        if matches!(name, "bfs" | "lean" | "parallel" | "parallel_lean") {
             let min_size = oracle.iter().map(Cut::size).min().expect("non-empty");
             assert_eq!(
                 witness.size(),
@@ -159,12 +161,14 @@ pub fn check_engine(name: &str, case: &Case) {
 /// ```
 ///
 /// The generated test names are the engine names (`bfs`, `dfs`, `pom`,
-/// `slicing`, `hybrid`, `lean`, `parallel_lean`), so a failing row is
-/// visible directly in the test report.
+/// `slicing`, `hybrid`, `lean`, `parallel`, `parallel_lean`), so a failing
+/// row is visible directly in the test report.
 #[macro_export]
 macro_rules! engine_matrix {
     ($case_fn:path) => {
-        $crate::engine_matrix!(@tests $case_fn, bfs dfs pom slicing hybrid lean parallel_lean);
+        $crate::engine_matrix!(
+            @tests $case_fn, bfs dfs pom slicing hybrid lean parallel parallel_lean
+        );
     };
     (@tests $case_fn:path, $($engine:ident)+) => {
         $(

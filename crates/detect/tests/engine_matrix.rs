@@ -79,6 +79,22 @@ fn cases() -> Vec<Case> {
         ));
     }
 
+    // Deep with sparse messaging: middle layers exceed the parallel
+    // engine's fan-out threshold (128 frontier cuts), so the graded
+    // packed mode — not just the sequential replica — faces the oracle.
+    let deep = RandomConfig {
+        processes: 4,
+        events_per_process: 6,
+        send_percent: 15,
+        recv_percent: 15,
+        value_range: 4,
+    };
+    for seed in [3u64, 31] {
+        let comp = random_computation(seed, &deep);
+        let spec = sum_style_spec(&comp, (seed % 4) as i64);
+        cases.push(Case::new(format!("deep seed {seed}"), comp, spec));
+    }
+
     // Wide and shallow: crosses the 16-process inline→spill boundary, so
     // every engine's cut storage takes the spilled path.
     let wide = RandomConfig {

@@ -217,7 +217,15 @@ fn validate_bench_detect(doc: &JsonValue) -> Result<(), SchemaError> {
     validate_bench_table(
         doc,
         &["detected"],
-        &["cuts_explored", "probes", "hits", "inserts", "heap_allocs"],
+        &[
+            "cuts_explored",
+            "probes",
+            "hits",
+            "inserts",
+            "heap_allocs",
+            "seq_layers",
+            "row_joins",
+        ],
     )
 }
 
@@ -474,7 +482,7 @@ mod tests {
         let detect = "{\"schema\":\"slicing.bench-detect/v1\",\"binary\":\"table_speedup\",\
                       \"entries\":[{\"name\":\"bfs.grid40\",\"engine\":\"bfs\",\"detected\":false,\
                       \"cuts_explored\":1681,\"probes\":5644,\"hits\":1600,\"inserts\":1681,\
-                      \"heap_allocs\":0}]}";
+                      \"heap_allocs\":0,\"seq_layers\":0,\"row_joins\":0}]}";
         assert_eq!(validate(&parse(detect).unwrap()).unwrap(), BENCH_DETECT);
         let online = "{\"schema\":\"slicing.bench-online/v1\",\"binary\":\"table_online\",\
                       \"entries\":[{\"name\":\"segment1\",\"events\":2000,\"checks\":2000,\

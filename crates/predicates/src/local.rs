@@ -140,8 +140,17 @@ impl LocalPredicate {
     /// Evaluates the predicate at event position `pos` of its process: the
     /// truth value any cut whose frontier on the process is `pos` observes.
     pub fn holds_at(&self, comp: &Computation, pos: u32) -> bool {
-        let values: Vec<Value> = self.vars.iter().map(|&v| comp.value_at(v, pos)).collect();
-        (self.f)(&values)
+        // Clause arities are tiny (one or two variables for every spec in
+        // the paper's workloads); evaluate those on a stack tuple so the
+        // detection hot loop performs no per-eval heap allocation.
+        match self.vars[..] {
+            [a] => (self.f)(&[comp.value_at(a, pos)]),
+            [a, b] => (self.f)(&[comp.value_at(a, pos), comp.value_at(b, pos)]),
+            _ => {
+                let values: Vec<Value> = self.vars.iter().map(|&v| comp.value_at(v, pos)).collect();
+                (self.f)(&values)
+            }
+        }
     }
 
     /// Evaluates the predicate directly on a value tuple (in the order of

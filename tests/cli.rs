@@ -390,12 +390,12 @@ fn bench_diff_flags_drift_past_threshold() {
     let new = tmp_path("diff-new.json");
     std::fs::write(
         &old,
-        r#"{"schema":"slicing.bench-detect/v1","binary":"table_speedup","entries":[{"name":"bfs.grid40","detected":false,"cuts_explored":1000,"probes":4000,"hits":900,"inserts":1000,"heap_allocs":0}]}"#,
+        r#"{"schema":"slicing.bench-detect/v1","binary":"table_speedup","entries":[{"name":"bfs.grid40","detected":false,"cuts_explored":1000,"probes":4000,"hits":900,"inserts":1000,"heap_allocs":0,"seq_layers":0,"row_joins":0}]}"#,
     )
     .unwrap();
     std::fs::write(
         &new,
-        r#"{"schema":"slicing.bench-detect/v1","binary":"table_speedup","entries":[{"name":"bfs.grid40","detected":false,"cuts_explored":2000,"probes":4000,"hits":900,"inserts":1000,"heap_allocs":0}]}"#,
+        r#"{"schema":"slicing.bench-detect/v1","binary":"table_speedup","entries":[{"name":"bfs.grid40","detected":false,"cuts_explored":2000,"probes":4000,"hits":900,"inserts":1000,"heap_allocs":0,"seq_layers":0,"row_joins":0}]}"#,
     )
     .unwrap();
     let out = slicing(&["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()]);
