@@ -20,8 +20,11 @@ use std::time::Instant;
 use slicing_bench::Workload;
 use slicing_observe::{RunReport, RunReportSet};
 use slicing_recover::{recover, RecoverConfig, RecoveryOutcome, RecoveryVerdict};
+use slicing_sim::crdt::{self, CrdtReplication};
 use slicing_sim::database::{self, DatabasePartitioning};
+use slicing_sim::leader_election::{self, LeaderElection};
 use slicing_sim::primary_secondary::{self, PrimarySecondary};
+use slicing_sim::work_queue::{self, WorkQueue};
 use slicing_sim::{inject_plan, run, sample_fault_plan, SimConfig};
 
 const FAULT_KINDS: [&str; 6] = [
@@ -44,6 +47,9 @@ fn run_one(
     let clean = match workload {
         Workload::PrimarySecondary => run(&mut PrimarySecondary::new(procs), &cfg.sim),
         Workload::DatabasePartitioning => run(&mut DatabasePartitioning::new(procs), &cfg.sim),
+        Workload::LeaderElection => run(&mut LeaderElection::new(procs), &cfg.sim),
+        Workload::CrdtReplication => run(&mut CrdtReplication::new(procs), &cfg.sim),
+        Workload::WorkQueue => run(&mut WorkQueue::new(procs), &cfg.sim),
     }
     .expect("simulation succeeds");
     let plan = (0..16).find_map(|o| sample_fault_plan(&clean, kind, cfg.sim.seed + o))?;
@@ -59,6 +65,24 @@ fn run_one(
         Workload::DatabasePartitioning => recover(
             || DatabasePartitioning::new(procs),
             database::violation_spec,
+            &faulty,
+            cfg,
+        ),
+        Workload::LeaderElection => recover(
+            || LeaderElection::new(procs),
+            leader_election::violation_spec,
+            &faulty,
+            cfg,
+        ),
+        Workload::CrdtReplication => recover(
+            || CrdtReplication::new(procs),
+            crdt::violation_spec,
+            &faulty,
+            cfg,
+        ),
+        Workload::WorkQueue => recover(
+            || WorkQueue::new(procs),
+            work_queue::violation_spec,
             &faulty,
             cfg,
         ),
@@ -109,7 +133,7 @@ fn main() {
         "avg_ms"
     );
     let mut failures = 0u64;
-    for workload in [Workload::PrimarySecondary, Workload::DatabasePartitioning] {
+    for workload in Workload::PAPER.into_iter().chain(Workload::PROTOCOLS) {
         for kind in FAULT_KINDS {
             let mut injected = 0u64;
             let mut detected = 0u64;

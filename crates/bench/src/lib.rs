@@ -16,9 +16,15 @@ use slicing_detect::{
 };
 use slicing_observe::RunReport;
 use slicing_predicates::{FnPredicate, Predicate};
+use slicing_sim::crdt::{self, CrdtReplication};
 use slicing_sim::database::{self, DatabasePartitioning};
-use slicing_sim::fault::{inject_database_fault, inject_primary_secondary_fault};
+use slicing_sim::fault::{
+    inject_crdt_fault, inject_database_fault, inject_leader_election_fault,
+    inject_primary_secondary_fault, inject_work_queue_fault,
+};
+use slicing_sim::leader_election::{self, LeaderElection};
 use slicing_sim::primary_secondary::{self, PrimarySecondary};
+use slicing_sim::work_queue::{self, WorkQueue};
 use slicing_sim::{run, SimConfig};
 
 /// Which protocol an experiment drives.
@@ -28,14 +34,33 @@ pub enum Workload {
     PrimarySecondary,
     /// The database-partitioning protocol (Figure 3).
     DatabasePartitioning,
+    /// Raft-style leader election (scenario zoo).
+    LeaderElection,
+    /// Op-based PN-counter replication (scenario zoo).
+    CrdtReplication,
+    /// Producer/broker/consumer work queue (scenario zoo).
+    WorkQueue,
 }
 
 impl Workload {
+    /// The two workloads from the paper's evaluation.
+    pub const PAPER: [Workload; 2] = [Workload::PrimarySecondary, Workload::DatabasePartitioning];
+
+    /// The scenario-zoo protocol workloads.
+    pub const PROTOCOLS: [Workload; 3] = [
+        Workload::LeaderElection,
+        Workload::CrdtReplication,
+        Workload::WorkQueue,
+    ];
+
     /// Human-readable name.
     pub fn name(self) -> &'static str {
         match self {
             Workload::PrimarySecondary => "primary-secondary",
             Workload::DatabasePartitioning => "database-partitioning",
+            Workload::LeaderElection => "leader-election",
+            Workload::CrdtReplication => "crdt-replication",
+            Workload::WorkQueue => "work-queue",
         }
     }
 
@@ -53,20 +78,29 @@ impl Workload {
             Workload::DatabasePartitioning => {
                 run(&mut DatabasePartitioning::new(procs), &cfg).expect("protocol run builds")
             }
+            Workload::LeaderElection => {
+                run(&mut LeaderElection::new(procs), &cfg).expect("protocol run builds")
+            }
+            Workload::CrdtReplication => {
+                run(&mut CrdtReplication::new(procs), &cfg).expect("protocol run builds")
+            }
+            Workload::WorkQueue => {
+                run(&mut WorkQueue::new(procs), &cfg).expect("protocol run builds")
+            }
         }
     }
 
     /// Injects one random fault (returns the input unchanged if no
     /// candidate exists).
     pub fn inject_fault(self, comp: &Computation, seed: u64) -> Computation {
-        match self {
-            Workload::PrimarySecondary => inject_primary_secondary_fault(comp, seed)
-                .map(|(c, _)| c)
-                .unwrap_or_else(|| comp.clone()),
-            Workload::DatabasePartitioning => inject_database_fault(comp, seed)
-                .map(|(c, _)| c)
-                .unwrap_or_else(|| comp.clone()),
-        }
+        let injected = match self {
+            Workload::PrimarySecondary => inject_primary_secondary_fault(comp, seed),
+            Workload::DatabasePartitioning => inject_database_fault(comp, seed),
+            Workload::LeaderElection => inject_leader_election_fault(comp, seed),
+            Workload::CrdtReplication => inject_crdt_fault(comp, seed),
+            Workload::WorkQueue => inject_work_queue_fault(comp, seed),
+        };
+        injected.map(|(c, _)| c).unwrap_or_else(|| comp.clone())
     }
 
     /// The sliceable specification of the global fault `¬I`.
@@ -74,24 +108,36 @@ impl Workload {
         match self {
             Workload::PrimarySecondary => primary_secondary::violation_spec(comp),
             Workload::DatabasePartitioning => database::violation_spec(comp),
+            Workload::LeaderElection => leader_election::violation_spec(comp),
+            Workload::CrdtReplication => crdt::violation_spec(comp),
+            Workload::WorkQueue => work_queue::violation_spec(comp),
         }
     }
 
     /// `¬I` as a plain predicate for the baseline searcher.
     pub fn violation_pred(self, comp: &Computation) -> FnPredicate {
         let n = comp.num_processes();
+        let all = slicing_computation::ProcSet::all(n);
         match self {
             Workload::PrimarySecondary => {
                 let inv = primary_secondary::invariant(comp);
-                FnPredicate::new(slicing_computation::ProcSet::all(n), "¬I_ps", move |st| {
-                    !inv.eval(st)
-                })
+                FnPredicate::new(all, "¬I_ps", move |st| !inv.eval(st))
             }
             Workload::DatabasePartitioning => {
                 let inv = database::invariant(comp);
-                FnPredicate::new(slicing_computation::ProcSet::all(n), "¬I_db", move |st| {
-                    !inv.eval(st)
-                })
+                FnPredicate::new(all, "¬I_db", move |st| !inv.eval(st))
+            }
+            Workload::LeaderElection => {
+                let inv = leader_election::invariant(comp);
+                FnPredicate::new(all, "¬I_le", move |st| !inv.eval(st))
+            }
+            Workload::CrdtReplication => {
+                let inv = crdt::invariant(comp);
+                FnPredicate::new(all, "¬I_crdt", move |st| !inv.eval(st))
+            }
+            Workload::WorkQueue => {
+                let inv = work_queue::invariant(comp);
+                FnPredicate::new(all, "¬I_wq", move |st| !inv.eval(st))
             }
         }
     }
@@ -316,13 +362,23 @@ mod tests {
 
     #[test]
     fn sweep_runs_both_approaches() {
-        for w in [Workload::PrimarySecondary, Workload::DatabasePartitioning] {
+        for w in Workload::PAPER.into_iter().chain(Workload::PROTOCOLS) {
             let procs = 3;
             let s = sweep(w, procs, 6, 0..3, 0, &Limits::none(), measure_slicing);
             assert_eq!(s.completed + s.aborted, 3, "{w:?}");
             assert_eq!(s.detections, 0, "{w:?}: fault-free false alarm");
             let p = sweep(w, procs, 6, 0..3, 0, &Limits::none(), measure_pom);
             assert_eq!(p.detections, 0, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn protocol_faulty_sweeps_detect_and_agree() {
+        for w in Workload::PROTOCOLS {
+            let s = sweep(w, 3, 8, 0..6, 1, &Limits::none(), measure_slicing);
+            let p = sweep(w, 3, 8, 0..6, 1, &Limits::none(), measure_pom);
+            assert_eq!(s.detections, p.detections, "{w:?}: approaches must agree");
+            assert!(s.detections > 0, "{w:?}: no injected fault was detected");
         }
     }
 

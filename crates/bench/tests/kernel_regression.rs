@@ -170,6 +170,48 @@ fn protocol_slicing_pipeline_matches_the_old_kernel() {
 }
 
 #[test]
+fn protocol_workload_counters_are_pinned() {
+    // The scenario-zoo workloads through the same slicing pipeline:
+    // detection verdict, cuts explored, J-row joins, and the visited-set
+    // probe/hit/insert counters are exact functions of the fixed seed.
+    //
+    // (workload, seed, cuts, row_joins, probes, hits, inserts)
+    let table = [
+        (
+            Workload::LeaderElection,
+            2u64,
+            1u64,
+            34u64,
+            1u64,
+            0u64,
+            1u64,
+        ),
+        (Workload::CrdtReplication, 0, 1, 1418, 1, 0, 1),
+        (Workload::WorkQueue, 0, 1, 194, 1, 0, 1),
+    ];
+    for (w, seed, cuts, row_joins, probes, hits, inserts) in table {
+        let comp = w.simulate(4, 8, seed);
+        let faulty = w.inject_fault(&comp, seed.wrapping_mul(1009));
+        let spec = w.violation_spec(&faulty);
+        let rec = Arc::new(MemoryRecorder::new(Level::Trace));
+        let s = {
+            let _guard = slicing_observe::scoped(rec.clone());
+            detect_with_slicing(&faulty, &spec, &Limits::none())
+        };
+        let tag = format!("{} seed {seed}", w.name());
+        assert!(s.detected(), "{tag}");
+        let got = (
+            s.search.cuts_explored,
+            rec.counter_total("slice.j_table.row_joins"),
+            rec.counter_total("detect.visited.probes"),
+            rec.counter_total("detect.visited.hits"),
+            rec.counter_total("detect.visited.inserts"),
+        );
+        assert_eq!(got, (cuts, row_joins, probes, hits, inserts), "{tag}");
+    }
+}
+
+#[test]
 fn slicer_kernel_counters_are_pinned() {
     // The kernelized slicer's deterministic work counters on fixed-seed
     // protocol workloads: J-row joins (the flat-table hot loop), J-table

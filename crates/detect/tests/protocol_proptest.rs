@@ -1,0 +1,207 @@
+//! Differential property tests over the scenario-zoo protocols: the
+//! incremental monitor replaying seeded leader-election traces (with late
+//! vote deliveries re-timed) must agree with the offline slice-and-search
+//! verdict at every prefix, and the CRDT divergence predicates through the
+//! slicing pipeline must agree with the brute-force lattice oracle.
+
+use proptest::prelude::*;
+
+use slicing_computation::oracle::satisfying_cuts;
+use slicing_computation::{Computation, Cut, EventId, Value};
+use slicing_core::PredicateSpec;
+use slicing_detect::{detect_with_slicing, Limits, OnlineMonitor};
+use slicing_predicates::KLocalPredicate;
+use slicing_sim::crdt::CrdtReplication;
+use slicing_sim::fault::inject_crdt_fault;
+use slicing_sim::leader_election::LeaderElection;
+use slicing_sim::{run, SimConfig};
+
+/// The monitored variables of one leader-election process, in declaration
+/// order.
+const LE_VARS: [&str; 6] = ["term", "votedTerm", "isLeader", "leader", "log", "acked"];
+
+fn le_trace(seed: u64, n: usize, events: u32) -> Computation {
+    let cfg = SimConfig {
+        seed,
+        max_events_per_process: events,
+        ..SimConfig::default()
+    };
+    run(&mut LeaderElection::new(n), &cfg).expect("protocol run builds")
+}
+
+/// One differential step: a fresh online alarm must equal the offline
+/// least satisfying cut; silence means the offline verdict is unchanged
+/// from the last report (or was retracted by a late message).
+fn assert_agrees(m: &mut OnlineMonitor, last: &mut Option<Cut>, ctx: &str) {
+    let offline = m.check_offline().expect("acyclic history").found;
+    let online = m.check().expect("check never fails");
+    match online {
+        Some(cut) => {
+            assert_eq!(Some(&cut), offline.as_ref(), "{ctx}: fresh alarm diverged");
+            *last = Some(cut);
+        }
+        None => {
+            assert!(
+                offline.is_none() || offline.as_ref() == last.as_ref(),
+                "{ctx}: offline verdict moved to {offline:?} without a fresh alarm"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Replays a seeded leader-election computation into the incremental
+    /// monitor under a random interleaving; vote/heartbeat edges are
+    /// delivered as they become available except for a random subset
+    /// re-timed to arrive late, after the whole trace.
+    #[test]
+    fn leader_election_monitor_matches_offline_at_every_prefix(
+        seed in 0u64..64,
+        n in 3usize..=4,
+        events in 3u32..=5,
+        threshold in 0i64..=2,
+        picks in prop::collection::vec(0usize..4, 64..65),
+        late_mask in prop::collection::vec(any::<bool>(), 32..33),
+    ) {
+        let comp = le_trace(seed, n, events);
+        let mut m = OnlineMonitor::new(n);
+        // Declare every protocol variable with its initial value, then
+        // watch "term >= t" on each process: the conjunction is a global
+        // election-progress predicate that real traces sometimes reach.
+        for p in comp.processes() {
+            for name in LE_VARS {
+                let v = comp.var(p, name).unwrap();
+                m.declare_var(p.as_usize(), name, comp.value_at(v, 0))
+                    .expect("fresh var");
+            }
+            let term = m.var(p.as_usize(), "term").unwrap();
+            let t = threshold;
+            m.watch_int(term, format!("term >= {t}"), move |x| x >= t)
+                .expect("watch before events");
+        }
+
+        // Observe events under the scripted interleaving (intra-process
+        // order preserved), recording the monitor's id for each position.
+        let mut next_pos: Vec<u32> = comp.processes().map(|_| 1).collect();
+        let mut ids: Vec<Vec<Option<EventId>>> = comp
+            .processes()
+            .map(|p| vec![None; comp.len(p) as usize])
+            .collect();
+        let mut last: Option<Cut> = None;
+        let mut step = 0usize;
+        let mut delivered = vec![false; comp.messages().len()];
+        let mut deferred: Vec<usize> = Vec::new();
+        loop {
+            let remaining: Vec<usize> = (0..n)
+                .filter(|&i| next_pos[i] < comp.len(comp.process(i)))
+                .collect();
+            let Some(&i) = remaining.get(picks[step % picks.len()] % remaining.len().max(1))
+            else {
+                break;
+            };
+            let p = comp.process(i);
+            let pos = next_pos[i];
+            next_pos[i] += 1;
+            let writes: Vec<(slicing_computation::VarRef, Value)> = LE_VARS
+                .iter()
+                .map(|name| {
+                    let mv = m.var(i, name).unwrap();
+                    let cv = comp.var(p, name).unwrap();
+                    (mv, comp.value_at(cv, pos))
+                })
+                .collect();
+            let e = m.observe(i, &writes).expect("observe succeeds");
+            ids[i][pos as usize] = Some(e);
+            // Deliver newly-completed message edges, unless re-timed late.
+            for (mi, msg) in comp.messages().iter().enumerate() {
+                if delivered[mi] || deferred.contains(&mi) {
+                    continue;
+                }
+                let (sp, spos) = (comp.process_of(msg.send), comp.position_of(msg.send));
+                let (rp, rpos) = (comp.process_of(msg.recv), comp.position_of(msg.recv));
+                let (Some(s), Some(r)) = (
+                    ids[sp.as_usize()][spos as usize],
+                    ids[rp.as_usize()][rpos as usize],
+                ) else {
+                    continue;
+                };
+                if late_mask[mi % late_mask.len()] {
+                    deferred.push(mi);
+                } else {
+                    m.message(s, r).expect("edge from a real run");
+                    delivered[mi] = true;
+                }
+            }
+            assert_agrees(&mut m, &mut last, &format!("prefix {step}"));
+            step += 1;
+        }
+        // The re-timed (late) deliveries: each one retimes history and the
+        // monitor must still agree with the offline reference.
+        for (k, mi) in deferred.into_iter().enumerate() {
+            let msg = comp.messages()[mi];
+            let (sp, spos) = (comp.process_of(msg.send), comp.position_of(msg.send));
+            let (rp, rpos) = (comp.process_of(msg.recv), comp.position_of(msg.recv));
+            let s = ids[sp.as_usize()][spos as usize].expect("send observed");
+            let r = ids[rp.as_usize()][rpos as usize].expect("recv observed");
+            m.message(s, r).expect("edge from a real run");
+            assert_agrees(&mut m, &mut last, &format!("late message {k}"));
+        }
+    }
+
+    /// The CRDT divergence predicate `∃ i<j: |sum_i − sum_j| > k` through
+    /// the full slicing pipeline agrees with the brute-force lattice
+    /// oracle on seeded replication runs — fault-free and corrupted.
+    #[test]
+    fn crdt_divergence_detection_matches_the_oracle(
+        seed in 0u64..64,
+        n in 2usize..=3,
+        events in 4u32..=7,
+        k in 0i64..=3,
+        fault in (any::<bool>(), 0u64..16).prop_map(|(inject, s)| inject.then_some(s)),
+    ) {
+        let cfg = SimConfig {
+            seed,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        let mut comp = run(&mut CrdtReplication::new(n), &cfg).expect("run builds");
+        if let Some(fseed) = fault {
+            if let Some((faulty, _)) = inject_crdt_fault(&comp, fseed) {
+                comp = faulty;
+            }
+        }
+        let sums: Vec<_> = comp
+            .processes()
+            .map(|p| comp.var(p, "sum").unwrap())
+            .collect();
+        let mut clauses = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                clauses.push(PredicateSpec::klocal(KLocalPredicate::new(
+                    vec![sums[i], sums[j]],
+                    format!("|sum_{i} - sum_{j}| > {k}"),
+                    move |vals| (vals[0].expect_int() - vals[1].expect_int()).abs() > k,
+                )));
+            }
+        }
+        let spec = PredicateSpec::or(clauses);
+        let oracle = satisfying_cuts(&comp, |st| spec.eval(st));
+        let s = detect_with_slicing(&comp, &spec, &Limits::none());
+        prop_assert_eq!(
+            s.detected(),
+            !oracle.is_empty(),
+            "slicing disagreed with the oracle (seed {}, k {})",
+            seed,
+            k
+        );
+        if let Some(found) = &s.search.found {
+            prop_assert!(
+                oracle.contains(found),
+                "witness {:?} is not a satisfying cut",
+                found
+            );
+        }
+    }
+}

@@ -52,6 +52,9 @@ pub const CHECKPOINT: &str = "slicing.checkpoint/v1";
 /// `table_soak`'s long-run baseline (`BENCH_soak.json`).
 pub const BENCH_SOAK: &str = "slicing.bench-soak/v1";
 
+/// `table_protocols`' scenario-zoo baseline (`BENCH_protocols.json`).
+pub const BENCH_PROTOCOLS: &str = "slicing.bench-protocols/v1";
+
 /// Every schema this workspace version knows, for enumeration in docs
 /// and tools.
 pub const ALL: &[&str] = &[
@@ -67,6 +70,7 @@ pub const ALL: &[&str] = &[
     BENCH_DIFF,
     CHECKPOINT,
     BENCH_SOAK,
+    BENCH_PROTOCOLS,
 ];
 
 /// Why [`validate`] rejected a document.
@@ -155,6 +159,7 @@ pub fn validate(doc: &JsonValue) -> Result<&'static str, SchemaError> {
         BENCH_DIFF => validate_bench_diff(doc)?,
         CHECKPOINT => validate_checkpoint(doc)?,
         BENCH_SOAK => validate_bench_soak(doc)?,
+        BENCH_PROTOCOLS => validate_bench_protocols(doc)?,
         _ => unreachable!("ALL and the match arms list the same schemas"),
     }
     Ok(known)
@@ -406,6 +411,22 @@ fn validate_bench_soak(doc: &JsonValue) -> Result<(), SchemaError> {
     )
 }
 
+fn validate_bench_protocols(doc: &JsonValue) -> Result<(), SchemaError> {
+    validate_bench_table(
+        doc,
+        &["detected"],
+        &[
+            "witness_size",
+            "cuts_explored",
+            "probes",
+            "hits",
+            "inserts",
+            "heap_allocs",
+            "row_joins",
+        ],
+    )
+}
+
 fn validate_bench_diff(doc: &JsonValue) -> Result<(), SchemaError> {
     require_str(doc, "bench_schema", "document")?;
     require_bool(doc, "pass", "document")?;
@@ -488,6 +509,16 @@ mod tests {
                       \"entries\":[{\"name\":\"segment1\",\"events\":2000,\"checks\":2000,\
                       \"check_cost\":11900,\"cost_per_event_milli\":5950,\"heap_allocs\":0}]}";
         assert_eq!(validate(&parse(online).unwrap()).unwrap(), BENCH_ONLINE);
+        let protocols = "{\"schema\":\"slicing.bench-protocols/v1\",\
+                         \"binary\":\"table_protocols\",\
+                         \"entries\":[{\"name\":\"slicing.leader-election.s0\",\
+                         \"detected\":true,\"witness_size\":5,\"cuts_explored\":1,\
+                         \"probes\":1,\"hits\":0,\"inserts\":1,\"heap_allocs\":0,\
+                         \"row_joins\":34}]}";
+        assert_eq!(
+            validate(&parse(protocols).unwrap()).unwrap(),
+            BENCH_PROTOCOLS
+        );
     }
 
     #[test]

@@ -99,6 +99,86 @@ impl PostLinearPredicate for BoundedDifference {
 
 impl RegularPredicate for BoundedDifference {}
 
+/// `lo ≤ hi` for two monotonically non-decreasing integer counters on
+/// distinct processes — the *dominance* clause behind causal-counting
+/// invariants ("a receiver's count never exceeds the sender's": acks vs.
+/// sends, applied ops vs. generated ops, dequeues vs. handouts).
+///
+/// # Monotonicity contract
+///
+/// Regularity relies on both counters being non-decreasing along their
+/// processes. With monotone counters the satisfying cuts form a
+/// sublattice (meets and joins both keep the *minimum* of each counter on
+/// the satisfying side), so the predicate — and crucially its
+/// *complement* via [`PredicateSpec::not_regular`] — slices exactly.
+/// Breaking the contract degrades `regular` leaves to approximate
+/// (sound) slices, but can make `not_regular` (co-regular) leaves
+/// **unsound**; only use the complement on genuinely monotone variables.
+///
+/// [`PredicateSpec::not_regular`]: https://docs.rs/slicing-core
+#[derive(Debug, Clone, Copy)]
+pub struct MonotoneDominates {
+    lo: VarRef,
+    hi: VarRef,
+}
+
+impl MonotoneDominates {
+    /// Creates the predicate `lo ≤ hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variables live on the same process.
+    pub fn new(lo: VarRef, hi: VarRef) -> Self {
+        assert_ne!(
+            lo.process(),
+            hi.process(),
+            "MonotoneDominates compares counters of two distinct processes"
+        );
+        MonotoneDominates { lo, hi }
+    }
+
+    /// The dominated (smaller) counter.
+    pub fn lo(&self) -> VarRef {
+        self.lo
+    }
+
+    /// The dominating (larger) counter.
+    pub fn hi(&self) -> VarRef {
+        self.hi
+    }
+}
+
+impl Predicate for MonotoneDominates {
+    fn support(&self) -> ProcSet {
+        let mut s = ProcSet::singleton(self.lo.process());
+        s.insert(self.hi.process());
+        s
+    }
+
+    fn eval(&self, state: &GlobalState<'_>) -> bool {
+        state.get(self.lo).expect_int() <= state.get(self.hi).expect_int()
+    }
+}
+
+impl LinearPredicate for MonotoneDominates {
+    fn forbidden_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        debug_assert!(state.get(self.lo).expect_int() > state.get(self.hi).expect_int());
+        // `lo` ran ahead: only advancing `hi` can restore dominance, since
+        // `lo` never decreases.
+        self.hi.process()
+    }
+}
+
+impl PostLinearPredicate for MonotoneDominates {
+    fn retreat_process(&self, state: &GlobalState<'_>) -> ProcessId {
+        debug_assert!(state.get(self.lo).expect_int() > state.get(self.hi).expect_int());
+        // Dually, the overshooting `lo` must retreat.
+        self.lo.process()
+    }
+}
+
+impl RegularPredicate for MonotoneDominates {}
+
 /// Builds the paper's Section 4.1 running example as a list of 2-local
 /// regular clauses: for all pairs `i < j`,
 /// `|counter_i − counter_j| ≤ delta`.
@@ -189,6 +269,42 @@ mod tests {
             assert_eq!(cl.support().len(), 2);
             assert_ne!(cl.a().process(), cl.b().process());
         }
+    }
+
+    #[test]
+    fn dominance_eval_and_forbidden() {
+        let (c, ca, cb) = counter_comp();
+        let p = MonotoneDominates::new(ca, cb);
+        // p0 at 3, p1 at 1: lo > hi, p1 (hi) must advance, p0 retreat.
+        let cut = Cut::from(vec![4, 2]);
+        let st = GlobalState::new(&c, &cut);
+        assert!(!p.eval(&st));
+        assert_eq!(p.forbidden_process(&st), c.process(1));
+        assert_eq!(p.retreat_process(&st), c.process(0));
+        // Equal or dominated: satisfied.
+        assert!(p.eval(&GlobalState::new(&c, &Cut::from(vec![3, 3]))));
+        assert!(p.eval(&GlobalState::new(&c, &Cut::from(vec![1, 4]))));
+    }
+
+    #[test]
+    fn dominance_and_its_complement_are_regular_for_monotone_counters() {
+        let (c, ca, cb) = counter_comp();
+        let p = MonotoneDominates::new(ca, cb);
+        let sat = satisfying_cuts(&c, |st| p.eval(st));
+        assert_eq!(sublattice_closure(&sat).len(), sat.len(), "lo <= hi");
+        // The complement (lo > hi) is regular too — the property the
+        // co-regular slicer leans on for violation specs.
+        let co = satisfying_cuts(&c, |st| !p.eval(st));
+        assert_eq!(sublattice_closure(&co).len(), co.len(), "lo > hi");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct processes")]
+    fn dominance_same_process_rejected() {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.declare_var(b.process(0), "x", Value::Int(0));
+        let y = b.declare_var(b.process(0), "y", Value::Int(0));
+        let _ = MonotoneDominates::new(x, y);
     }
 
     #[test]

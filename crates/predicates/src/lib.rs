@@ -16,7 +16,8 @@
 //!
 //! Concrete predicates include channel bounds ([`AtMostInTransit`],
 //! [`AtLeastInTransit`], [`PendingAtMost`]) and monotone-counter
-//! synchronization ([`BoundedDifference`]). The [`expr`] module adds a
+//! synchronization and dominance ([`BoundedDifference`],
+//! [`MonotoneDominates`]). The [`expr`] module adds a
 //! parsed expression language (`"x1@0 > 1 && x3@2 <= 3"`) with automatic
 //! classification into the table above.
 //!
@@ -49,7 +50,7 @@ pub mod expr;
 
 pub use channel::{AtLeastInTransit, AtMostInTransit, PendingAtMost, SentPendingAtMost};
 pub use conjunctive::Conjunctive;
-pub use counters::{approximately_synchronized, BoundedDifference};
+pub use counters::{approximately_synchronized, BoundedDifference, MonotoneDominates};
 pub use fnpred::FnPredicate;
 pub use klocal::KLocalPredicate;
 pub use local::LocalPredicate;

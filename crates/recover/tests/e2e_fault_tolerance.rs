@@ -9,8 +9,11 @@ use slicing_computation::Computation;
 use slicing_core::PredicateSpec;
 use slicing_detect::{detect_resilient, Limits, ResilientConfig};
 use slicing_recover::{recover, RecoverConfig, RecoveryOutcome, RecoveryVerdict};
+use slicing_sim::crdt::{self, CrdtReplication};
 use slicing_sim::database::{self, DatabasePartitioning};
+use slicing_sim::leader_election::{self, LeaderElection};
 use slicing_sim::primary_secondary::{self, PrimarySecondary};
+use slicing_sim::work_queue::{self, WorkQueue};
 use slicing_sim::{inject_plan, run, sample_fault_plan, FaultPlan, SimConfig};
 
 const FAULT_KINDS: [&str; 5] = [
@@ -25,6 +28,9 @@ const FAULT_KINDS: [&str; 5] = [
 enum Proto {
     Ps,
     Db,
+    Le,
+    Crdt,
+    Wq,
 }
 
 /// Simulates, injects a sampled fault of `kind`, and runs the full loop.
@@ -46,6 +52,9 @@ fn run_loop(
     let clean = match proto {
         Proto::Ps => run(&mut PrimarySecondary::new(3), &cfg.sim),
         Proto::Db => run(&mut DatabasePartitioning::new(3), &cfg.sim),
+        Proto::Le => run(&mut LeaderElection::new(3), &cfg.sim),
+        Proto::Crdt => run(&mut CrdtReplication::new(3), &cfg.sim),
+        Proto::Wq => run(&mut WorkQueue::new(3), &cfg.sim),
     }
     .expect("simulation succeeds");
     let plan = sample_fault_plan(&clean, kind, seed)?;
@@ -64,6 +73,24 @@ fn run_loop(
             &faulty,
             &cfg,
         ),
+        Proto::Le => recover(
+            || LeaderElection::new(3),
+            leader_election::violation_spec,
+            &faulty,
+            &cfg,
+        ),
+        Proto::Crdt => recover(
+            || CrdtReplication::new(3),
+            crdt::violation_spec,
+            &faulty,
+            &cfg,
+        ),
+        Proto::Wq => recover(
+            || WorkQueue::new(3),
+            work_queue::violation_spec,
+            &faulty,
+            &cfg,
+        ),
     })
 }
 
@@ -76,6 +103,9 @@ fn assert_recovered_clean(proto: Proto, outcome: &RecoveryOutcome) {
     let spec: PredicateSpec = match proto {
         Proto::Ps => primary_secondary::violation_spec(recovered),
         Proto::Db => database::violation_spec(recovered),
+        Proto::Le => leader_election::violation_spec(recovered),
+        Proto::Crdt => crdt::violation_spec(recovered),
+        Proto::Wq => work_queue::violation_spec(recovered),
     };
     let check = detect_resilient(recovered, &spec, &ResilientConfig::default());
     assert!(
@@ -118,6 +148,44 @@ fn every_fault_kind_drives_the_loop_on_both_protocols() {
             kind_recovered,
             "{kind}: no detectable violation on either protocol"
         );
+    }
+}
+
+/// Every fault kind goes through the loop on every scenario-zoo protocol,
+/// and every (protocol, kind) pair completes at least one full detect →
+/// rollback → replay → verified-clean recovery across the seed sweep.
+/// Individual seeds whose fault is absorbed without a violating cut (or
+/// that a co-regular leaf legitimately cannot see once monotonicity is
+/// broken) come back `CleanAlready`; nothing may fail outright.
+#[test]
+fn every_fault_kind_drives_the_loop_on_the_scenario_zoo() {
+    for kind in FAULT_KINDS {
+        for proto in [Proto::Le, Proto::Crdt, Proto::Wq] {
+            let mut exercised = 0u32;
+            let mut recovered = false;
+            for seed in 0..60u64 {
+                let Some(outcome) = run_loop(proto, kind, seed, |_, _| {}) else {
+                    continue;
+                };
+                exercised += 1;
+                match outcome.verdict {
+                    RecoveryVerdict::Recovered => {
+                        assert!(outcome.detected);
+                        assert!(outcome.line.is_some(), "{proto:?}/{kind}: no line");
+                        assert_recovered_clean(proto, &outcome);
+                        recovered = true;
+                        break;
+                    }
+                    RecoveryVerdict::CleanAlready => {} // fault absorbed; keep probing
+                    other => panic!("{proto:?}/{kind} seed {seed}: verdict {other:?}"),
+                }
+            }
+            assert!(exercised >= 1, "{proto:?}/{kind}: no injectable runs");
+            assert!(
+                recovered,
+                "{proto:?}/{kind}: no detect→recover cycle completed"
+            );
+        }
     }
 }
 

@@ -1,0 +1,493 @@
+//! An op-based *PN-counter CRDT replication* protocol: every replica
+//! generates increment/decrement operations, broadcasts them eagerly, and
+//! applies remote operations in per-origin FIFO order, acking each one. A
+//! bounded generation window (a replica stops generating once its oldest
+//! unacked op is `WINDOW` behind) keeps replicas convergent.
+//!
+//! Operation deltas are a pure function of `(origin, seq)` — see
+//! `op_delta` — so no op log needs to be recorded or restored: any state
+//! is reconstructible from the monotone counters alone.
+//!
+//! Four invariants hold at **every** consistent cut of a fault-free (or
+//! rolled-back-and-resumed) run:
+//!
+//! - **No phantom ops**: `seen_i[r] ≤ ops_r` — a replica never applies an
+//!   op its origin has not generated. Both counters are monotone, so the
+//!   violation is a *co-regular* leaf.
+//! - **Eventual delivery** (bounded staleness): `ops_r − seen_i[r] ≤
+//!   WINDOW` — the ack window throttles generation, so no replica falls
+//!   more than a window behind any origin. Also co-regular.
+//! - **Bounded divergence**: `|sum_i − sum_j| ≤ n·WINDOW` — summing the
+//!   per-origin windows bounds how far two replicas' counter values can
+//!   drift. `sum` is *not* monotone (deltas are ±1), so this is a 2-local
+//!   leaf, not a counter clause.
+//! - **Local consistency**: `sum_i` equals the delta-prefix sum implied by
+//!   `(ops_i, seen_i[*])` — a 1-local clause that pins every replica's
+//!   arithmetic.
+//!
+//! A global fault is a consistent cut violating any of the four.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use slicing_computation::{Computation, ComputationBuilder, ProcSet, Value, VarRef};
+use slicing_core::PredicateSpec;
+use slicing_predicates::{
+    BoundedDifference, Conjunctive, FnPredicate, KLocalPredicate, LocalPredicate, MonotoneDominates,
+};
+
+use crate::runtime::{Actions, MsgPayload, Protocol};
+
+const MSG_OP: u32 = 0;
+const MSG_ACK: u32 = 1;
+
+/// How many unacked ops a replica may have outstanding per peer before it
+/// stops generating.
+pub const WINDOW: i64 = 2;
+
+/// The deterministic delta of op `seq` (1-based) from `origin`: every
+/// fourth op of a replica (phase-shifted by its index) decrements, the
+/// rest increment.
+fn op_delta(origin: usize, seq: i64) -> i64 {
+    if (seq + origin as i64) % 4 == 0 {
+        -1
+    } else {
+        1
+    }
+}
+
+/// Sum of [`op_delta`] over `origin`'s first `upto` ops.
+fn delta_prefix(origin: usize, upto: i64) -> i64 {
+    (1..=upto).map(|s| op_delta(origin, s)).sum()
+}
+
+/// The divergence bound `k = n·WINDOW` the protocol guarantees between any
+/// two replicas' sums.
+pub fn divergence_bound(n: usize) -> i64 {
+    n as i64 * WINDOW
+}
+
+/// Variable handles of one replica: its own counters plus per-peer
+/// `seen`/`ack` columns.
+#[derive(Debug, Clone)]
+struct Vars {
+    ops: VarRef,
+    sum: VarRef,
+    /// `seen[r]` — how many of replica `r`'s ops we applied (unused slot
+    /// at our own index).
+    seen: Vec<Option<VarRef>>,
+    /// `ack[r]` — how many of *our* ops replica `r` has acked.
+    ack: Vec<Option<VarRef>>,
+}
+
+/// The CRDT replication protocol (see module docs).
+#[derive(Debug)]
+pub struct CrdtReplication {
+    n: usize,
+    vars: Vec<Option<Vars>>,
+    // Mirrors of the exposed state, used by the state machine.
+    ops: Vec<i64>,
+    sum: Vec<i64>,
+    seen: Vec<Vec<i64>>,
+    ack_from: Vec<Vec<i64>>,
+    /// Highest own op seq already sent to each peer; lags behind `ops`
+    /// only after a rollback, which the catch-up path repairs.
+    sent_to: Vec<Vec<i64>>,
+    /// Probability (percent) that an idle step generates an op.
+    gen_percent: u32,
+}
+
+impl CrdtReplication {
+    /// Creates the protocol over `n ≥ 2` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "CRDT replication needs two replicas");
+        CrdtReplication {
+            n,
+            vars: vec![None; n],
+            ops: vec![0; n],
+            sum: vec![0; n],
+            seen: vec![vec![0; n]; n],
+            ack_from: vec![vec![0; n]; n],
+            sent_to: vec![vec![0; n]; n],
+            gen_percent: 40,
+        }
+    }
+
+    fn v(&self, p: usize) -> &Vars {
+        self.vars[p].as_ref().expect("declare_vars ran")
+    }
+
+    fn peers(&self, p: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&q| q != p)
+    }
+}
+
+impl Protocol for CrdtReplication {
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn declare_vars(&mut self, p: usize, b: &mut ComputationBuilder) {
+        let pid = b.process(p);
+        let mut vars = Vars {
+            ops: b.declare_var(pid, "ops", Value::Int(0)),
+            sum: b.declare_var(pid, "sum", Value::Int(0)),
+            seen: vec![None; self.n],
+            ack: vec![None; self.n],
+        };
+        for r in 0..self.n {
+            if r != p {
+                vars.seen[r] = Some(b.declare_var(pid, &format!("seen{r}"), Value::Int(0)));
+                vars.ack[r] = Some(b.declare_var(pid, &format!("ack{r}"), Value::Int(0)));
+            }
+        }
+        self.vars[p] = Some(vars);
+    }
+
+    fn step(&mut self, p: usize, rng: &mut StdRng, out: &mut Actions) {
+        // Catch-up first: after a rollback `sent_to` restarts at the acked
+        // frontier, so everything above it is re-broadcast. Peers that
+        // already hold a resent op simply re-ack it, which is exactly what
+        // un-wedges the generation window causally.
+        let deficits: Vec<usize> = self
+            .peers(p)
+            .filter(|&q| self.sent_to[p][q] < self.ops[p])
+            .collect();
+        if !deficits.is_empty() {
+            for q in deficits {
+                for seq in self.sent_to[p][q] + 1..=self.ops[p] {
+                    out.send(q, (MSG_OP, seq));
+                }
+                self.sent_to[p][q] = self.ops[p];
+            }
+            return;
+        }
+        let min_acked = self.peers(p).map(|q| self.ack_from[p][q]).min().unwrap();
+        if self.ops[p] - min_acked < WINDOW && rng.random_range(0..100u32) < self.gen_percent {
+            // Generate and eagerly broadcast one op.
+            self.ops[p] += 1;
+            self.sum[p] += op_delta(p, self.ops[p]);
+            let vars = self.v(p);
+            out.set(vars.ops, self.ops[p]);
+            out.set(vars.sum, self.sum[p]);
+            for q in self.peers(p) {
+                out.send(q, (MSG_OP, self.ops[p]));
+            }
+            for q in 0..self.n {
+                self.sent_to[p][q] = self.ops[p];
+            }
+        } else {
+            out.internal();
+        }
+    }
+
+    fn on_message(&mut self, p: usize, from: usize, payload: MsgPayload, out: &mut Actions) {
+        match payload.0 {
+            MSG_OP => {
+                let seq = payload.1;
+                if seq == self.seen[p][from] + 1 {
+                    self.seen[p][from] = seq;
+                    self.sum[p] += op_delta(from, seq);
+                    let vars = self.v(p);
+                    out.set(vars.seen[from].unwrap(), seq);
+                    out.set(vars.sum, self.sum[p]);
+                    out.send(from, (MSG_ACK, seq));
+                } else {
+                    // A duplicate from a post-rollback re-broadcast — or a
+                    // gap when replaying from a cut of a structurally
+                    // faulted run: re-ack our applied frontier so the
+                    // sender's window reopens without applying out of order.
+                    out.send(from, (MSG_ACK, self.seen[p][from]));
+                }
+            }
+            MSG_ACK => {
+                let seq = payload.1;
+                if seq > self.ack_from[p][from] {
+                    self.ack_from[p][from] = seq;
+                    out.set(self.v(p).ack[from].unwrap(), seq);
+                } else {
+                    out.internal();
+                }
+            }
+            other => panic!("unknown CRDT message tag {other}"),
+        }
+    }
+
+    fn restore(&mut self, base: &Computation, line: &slicing_computation::Cut) {
+        // Everything is rebuilt from each replica's *own* frontier: the
+        // restored `ack` values were written by ack-receives in the
+        // replica's local past, so the window bound stays causally
+        // justified in the resumed run (reading a peer's frontier would
+        // not be). Unacked ops are treated as unsent and re-broadcast.
+        for p in base.processes() {
+            let i = p.as_usize();
+            let pos = line.frontier_pos(p);
+            let h = resolved(base, p);
+            self.ops[i] = base.value_at(h.ops, pos).expect_int();
+            self.sum[i] = base.value_at(h.sum, pos).expect_int();
+            for r in 0..self.n {
+                if r == i {
+                    continue;
+                }
+                self.seen[i][r] = base.value_at(h.seen[r].unwrap(), pos).expect_int();
+                self.ack_from[i][r] = base.value_at(h.ack[r].unwrap(), pos).expect_int();
+                self.sent_to[i][r] = self.ack_from[i][r];
+            }
+        }
+    }
+}
+
+/// Variable handles resolved against a recorded computation.
+fn resolved(comp: &Computation, p: slicing_computation::ProcessId) -> Vars {
+    let n = comp.num_processes();
+    let mut vars = Vars {
+        ops: comp.var(p, "ops").expect("protocol variable"),
+        sum: comp.var(p, "sum").expect("protocol variable"),
+        seen: vec![None; n],
+        ack: vec![None; n],
+    };
+    for r in 0..n {
+        if r != p.as_usize() {
+            vars.seen[r] = Some(comp.var(p, &format!("seen{r}")).expect("protocol variable"));
+            vars.ack[r] = Some(comp.var(p, &format!("ack{r}")).expect("protocol variable"));
+        }
+    }
+    vars
+}
+
+/// The invariant `I_crdt`: no phantom ops, delivery within the window,
+/// divergence within `n·WINDOW`, and locally consistent sums.
+pub fn invariant(comp: &Computation) -> FnPredicate {
+    let n = comp.num_processes();
+    let k = divergence_bound(n);
+    let handles: Vec<_> = comp.processes().map(|p| resolved(comp, p)).collect();
+    FnPredicate::new(ProcSet::all(n), "I_crdt", move |st| {
+        for i in 0..n {
+            let mut expected = delta_prefix(i, st.get(handles[i].ops).expect_int());
+            for r in 0..n {
+                if r == i {
+                    continue;
+                }
+                let seen = st.get(handles[i].seen[r].unwrap()).expect_int();
+                let ops_r = st.get(handles[r].ops).expect_int();
+                if seen > ops_r || ops_r - seen > WINDOW {
+                    return false;
+                }
+                if st.get(handles[i].ack[r].unwrap()).expect_int()
+                    > st.get(handles[i].ops).expect_int()
+                {
+                    return false;
+                }
+                expected += delta_prefix(r, seen);
+            }
+            if st.get(handles[i].sum).expect_int() != expected {
+                return false;
+            }
+            for j in i + 1..n {
+                let si = st.get(handles[i].sum).expect_int();
+                let sj = st.get(handles[j].sum).expect_int();
+                if (si - sj).abs() > k {
+                    return false;
+                }
+            }
+        }
+        true
+    })
+}
+
+/// The global fault `¬I_crdt` as a sliceable specification — one leaf per
+/// predicate class the protocol exercises:
+///
+/// - `seen_i[r] > ops_r` and `ops_r − seen_i[r] > WINDOW` as **co-regular**
+///   leaves ([`MonotoneDominates`] / [`BoundedDifference`] complements —
+///   sound exactly because both counters are monotone),
+/// - `|sum_i − sum_j| > n·WINDOW` as **2-local** leaves (`sum` is not
+///   monotone, so no counter clause applies),
+/// - broken local arithmetic (`ack_i[r] > ops_i`, `sum_i ≠` its delta
+///   prefix) as 1-local **conjunctive** clauses.
+pub fn violation_spec(comp: &Computation) -> PredicateSpec {
+    let n = comp.num_processes();
+    let k = divergence_bound(n);
+    let handles: Vec<_> = comp.processes().map(|p| resolved(comp, p)).collect();
+    let mut clauses = Vec::new();
+    for i in 0..n {
+        for r in 0..n {
+            if r == i {
+                continue;
+            }
+            let seen = handles[i].seen[r].unwrap();
+            clauses.push(PredicateSpec::not_regular(MonotoneDominates::new(
+                seen,
+                handles[r].ops,
+            )));
+            clauses.push(PredicateSpec::not_regular(BoundedDifference::new(
+                seen,
+                handles[r].ops,
+                WINDOW,
+            )));
+            clauses.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+                LocalPredicate::new(
+                    vec![handles[i].ack[r].unwrap(), handles[i].ops],
+                    format!("ack{r}_{i} > ops_{i}"),
+                    |vals| vals[0].expect_int() > vals[1].expect_int(),
+                ),
+            ])));
+        }
+        // sum_i != delta_prefix(i, ops_i) + Σ_r delta_prefix(r, seen_i[r])
+        let mut vars = vec![handles[i].ops, handles[i].sum];
+        let peers: Vec<usize> = (0..n).filter(|&r| r != i).collect();
+        vars.extend(peers.iter().map(|&r| handles[i].seen[r].unwrap()));
+        let peers_for_eval = peers.clone();
+        clauses.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+            LocalPredicate::new(
+                vars,
+                format!("sum_{i} != delta prefix of (ops_{i}, seen_{i}[*])"),
+                move |vals| {
+                    let mut expected = delta_prefix(i, vals[0].expect_int());
+                    for (slot, &r) in peers_for_eval.iter().enumerate() {
+                        expected += delta_prefix(r, vals[2 + slot].expect_int());
+                    }
+                    vals[1].expect_int() != expected
+                },
+            ),
+        ])));
+        for j in i + 1..n {
+            clauses.push(PredicateSpec::klocal(KLocalPredicate::new(
+                vec![handles[i].sum, handles[j].sum],
+                format!("|sum_{i} - sum_{j}| > {k}"),
+                move |vals| (vals[0].expect_int() - vals[1].expect_int()).abs() > k,
+            )));
+        }
+    }
+    PredicateSpec::or(clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run, SimConfig};
+    use slicing_computation::lattice::for_each_cut;
+    use slicing_computation::GlobalState;
+    use slicing_predicates::Predicate;
+
+    fn small_run(seed: u64, n: usize, events: u32) -> Computation {
+        let cfg = SimConfig {
+            seed,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        run(&mut CrdtReplication::new(n), &cfg).expect("protocol run builds")
+    }
+
+    #[test]
+    fn fault_free_runs_satisfy_the_invariant_at_every_cut() {
+        for seed in 0..6 {
+            let comp = small_run(seed, 4, 8);
+            let inv = invariant(&comp);
+            for_each_cut(&comp, |cut| {
+                assert!(
+                    inv.eval(&GlobalState::new(&comp, cut)),
+                    "seed {seed} cut {cut}"
+                );
+                true
+            });
+        }
+    }
+
+    #[test]
+    fn violation_spec_matches_negated_invariant() {
+        for seed in 0..4 {
+            let comp = small_run(seed, 3, 6);
+            let inv = invariant(&comp);
+            let spec = violation_spec(&comp);
+            for_each_cut(&comp, |cut| {
+                let st = GlobalState::new(&comp, cut);
+                assert_eq!(spec.eval(&st), !inv.eval(&st), "seed {seed} cut {cut}");
+                true
+            });
+        }
+    }
+
+    #[test]
+    fn fault_free_slice_finds_no_violation() {
+        for seed in 0..4 {
+            let comp = small_run(seed, 3, 7);
+            let spec = violation_spec(&comp);
+            let slice = spec.slice(&comp);
+            let mut found = false;
+            for_each_cut(&slice, |cut| {
+                if spec.eval(&GlobalState::new(&comp, cut)) {
+                    found = true;
+                    return false;
+                }
+                true
+            });
+            assert!(!found, "seed {seed}: fault detected in fault-free run");
+        }
+    }
+
+    #[test]
+    fn replicas_actually_converge_on_mixed_ops() {
+        // Across a small seed family: ops flow, sums move both ways, and
+        // acks come back (the window throttles single runs on some seeds).
+        let mut any_negative_delta = false;
+        let mut max_ops = 0;
+        let mut max_ack = 0;
+        for seed in 0..8 {
+            let comp = small_run(seed, 3, 20);
+            for p in comp.processes() {
+                let h = resolved(&comp, p);
+                for pos in 0..comp.len(p) {
+                    max_ops = max_ops.max(comp.value_at(h.ops, pos).expect_int());
+                    if pos > 0 {
+                        let prev = comp.value_at(h.sum, pos - 1).expect_int();
+                        any_negative_delta |= comp.value_at(h.sum, pos).expect_int() < prev;
+                    }
+                }
+                for r in 0..comp.num_processes() {
+                    if let Some(ack) = h.ack[r] {
+                        max_ack = max_ack.max(comp.value_at(ack, comp.len(p) - 1).expect_int());
+                    }
+                }
+            }
+        }
+        assert!(max_ops >= 4, "too few ops generated: {max_ops}");
+        assert!(any_negative_delta, "no decrement op was ever applied");
+        assert!(max_ack >= 1, "no op was ever acked");
+    }
+
+    #[test]
+    fn restore_from_every_prefix_preserves_the_invariant() {
+        use crate::runtime::resume;
+        let cfg = SimConfig {
+            seed: 7,
+            max_events_per_process: 8,
+            ..SimConfig::default()
+        };
+        let base = run(&mut CrdtReplication::new(3), &cfg).unwrap();
+        // Roll back to the causal past of a mid-run event: in-flight ops
+        // and acks are lost, the catch-up path must re-broadcast.
+        let p1 = base.process(1);
+        let line = base.min_cut(base.event_at(p1, base.len(p1) / 2)).clone();
+        let mut fresh = CrdtReplication::new(3);
+        let resumed = resume(&mut fresh, &base, &line, &cfg).unwrap();
+        let inv = invariant(&resumed);
+        for_each_cut(&resumed, |cut| {
+            assert!(
+                inv.eval(&GlobalState::new(&resumed, cut)),
+                "invariant violated at {cut} after resume"
+            );
+            true
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "needs two replicas")]
+    fn rejects_single_replica() {
+        let _ = CrdtReplication::new(1);
+    }
+}

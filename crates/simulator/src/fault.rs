@@ -556,6 +556,105 @@ pub fn inject_database_fault(comp: &Computation, seed: u64) -> Option<(Computati
     Some((faulty, fault))
 }
 
+/// Injects a transient over-acknowledgement into a leader-election run: at
+/// a random event where some process knows a leader, its `acked` log count
+/// reads an impossible value — a log-matching violation against any
+/// leader's actual log.
+///
+/// Returns `None` if no process ever follows a leader.
+pub fn inject_leader_election_fault(
+    comp: &Computation,
+    seed: u64,
+) -> Option<(Computation, FaultSpec)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut candidates: Vec<(ProcessId, u32)> = Vec::new();
+    for p in comp.processes() {
+        let (Some(leader), Some(_)) = (comp.var(p, "leader"), comp.var(p, "acked")) else {
+            continue;
+        };
+        for pos in 1..comp.len(p) {
+            if comp.value_at(leader, pos).expect_int() >= 0 {
+                candidates.push((p, pos));
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let (process, position) = candidates[rng.random_range(0..candidates.len())];
+    let fault = FaultSpec {
+        process,
+        position,
+        var_name: "acked".to_owned(),
+        value: Value::Int(999),
+        transient: true,
+    };
+    let faulty = inject(comp, &fault).expect("candidate positions are valid");
+    Some((faulty, fault))
+}
+
+/// Injects a transient sum corruption into a CRDT-replication run: at a
+/// random event of a random replica, its `sum` reads a value no op
+/// sequence could produce — breaking both the divergence bound and the
+/// replica's local delta arithmetic.
+///
+/// Returns `None` if no replica has events.
+pub fn inject_crdt_fault(comp: &Computation, seed: u64) -> Option<(Computation, FaultSpec)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut candidates: Vec<(ProcessId, u32)> = Vec::new();
+    for p in comp.processes() {
+        if comp.var(p, "sum").is_none() || comp.var(p, "ops").is_none() {
+            continue;
+        }
+        for pos in 1..comp.len(p) {
+            candidates.push((p, pos));
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let (process, position) = candidates[rng.random_range(0..candidates.len())];
+    let fault = FaultSpec {
+        process,
+        position,
+        var_name: "sum".to_owned(),
+        value: Value::Int(999),
+        transient: true,
+    };
+    let faulty = inject(comp, &fault).expect("candidate positions are valid");
+    Some((faulty, fault))
+}
+
+/// Injects a transient enqueue-counter corruption into a work-queue run:
+/// at a random broker event, the broker's total `enq` reads `-1`, which no
+/// dominance relation survives (`hand ≥ 0 > enq` and `enq ≠ Σ enq_i`).
+///
+/// Note the *monotone* per-producer and per-consumer counters are left
+/// untouched: the co-regular leaves of the violation spec stay sound on
+/// the corrupted run.
+///
+/// Returns `None` if the run is not a work-queue run or the broker never
+/// acted.
+pub fn inject_work_queue_fault(comp: &Computation, seed: u64) -> Option<(Computation, FaultSpec)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let broker = comp.processes().next()?;
+    comp.var(broker, "enq")?;
+    comp.var(broker, "hand")?;
+    if comp.len(broker) < 2 {
+        return None;
+    }
+    let position = rng.random_range(1..comp.len(broker));
+    let fault = FaultSpec {
+        process: broker,
+        position,
+        var_name: "enq".to_owned(),
+        value: Value::Int(-1),
+        transient: true,
+    };
+    let faulty = inject(comp, &fault).expect("broker positions are valid");
+    Some((faulty, fault))
+}
+
 /// Picks a representative injectable fault of the named `kind`
 /// (`corrupt`, `drop-message`, `duplicate-message`, `delay-delivery`,
 /// `crash-stop`, or `burst` for a corrupt+drop pair) for a recorded
@@ -571,6 +670,9 @@ pub fn sample_fault_plan(comp: &Computation, kind: &str, seed: u64) -> Option<Fa
     let corrupt = |seed| {
         inject_primary_secondary_fault(comp, seed)
             .or_else(|| inject_database_fault(comp, seed))
+            .or_else(|| inject_leader_election_fault(comp, seed))
+            .or_else(|| inject_crdt_fault(comp, seed))
+            .or_else(|| inject_work_queue_fault(comp, seed))
             .map(|(_, spec)| FaultKind::Corrupt(spec))
     };
     let msg_index = |seed: u64| {

@@ -1,0 +1,503 @@
+//! A Raft-style *leader election* protocol: randomized timeouts promote
+//! followers to candidates, candidates solicit term-stamped votes, and a
+//! majority elects a leader that appends log entries via heartbeats.
+//!
+//! Two safety invariants hold at **every** consistent cut of a fault-free
+//! run:
+//!
+//! - **Election safety** (`ES`): at most one process is leader of any
+//!   given term. Guaranteed because `votedTerm` is *strictly* increasing
+//!   (a vote is granted only for a term above it, and a timeout jumps past
+//!   it), so each process votes at most once per term value, and two
+//!   majorities must share a voter.
+//! - **Log matching** (`LM`): a process following leader `L` has acked at
+//!   most `L`'s log length — `leader_j = L ⇒ acked_j ≤ log_L`. Guaranteed
+//!   because `acked_j` is copied from a heartbeat whose send (with
+//!   `log_L ≥ acked_j`) is in every consistent cut containing the receive,
+//!   and `log` is append-only.
+//!
+//! A global fault is a consistent cut violating either.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use slicing_computation::{Computation, ComputationBuilder, ProcSet, Value, VarRef};
+use slicing_core::PredicateSpec;
+use slicing_predicates::{Conjunctive, FnPredicate, LocalPredicate};
+
+use crate::runtime::{Actions, MsgPayload, Protocol};
+
+const MSG_REQUEST_VOTE: u32 = 0;
+const MSG_VOTE: u32 = 1;
+const MSG_HEARTBEAT: u32 = 2;
+
+/// Heartbeats carry `(term, log)` packed into one payload integer.
+const PACK: i64 = 1_000_000;
+
+fn pack(term: i64, log: i64) -> i64 {
+    debug_assert!((0..PACK).contains(&log));
+    term * PACK + log
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Role {
+    Follower,
+    Candidate { votes: usize },
+    Leader,
+}
+
+/// Variable handles of one process.
+#[derive(Debug, Clone, Copy)]
+struct Vars {
+    term: VarRef,
+    voted_term: VarRef,
+    is_leader: VarRef,
+    /// Known leader's process index, `-1` for none.
+    leader: VarRef,
+    log: VarRef,
+    acked: VarRef,
+}
+
+/// The leader-election protocol (see module docs). Everyone starts as a
+/// follower of no one at term 0.
+#[derive(Debug)]
+pub struct LeaderElection {
+    n: usize,
+    vars: Vec<Option<Vars>>,
+    // Mirrors of the exposed state, used by the state machine.
+    term: Vec<i64>,
+    voted_term: Vec<i64>,
+    role: Vec<Role>,
+    leader: Vec<i64>,
+    log: Vec<i64>,
+    acked: Vec<i64>,
+    /// Probability (percent) that a non-leader's spontaneous step is an
+    /// election timeout.
+    timeout_percent: u32,
+}
+
+impl LeaderElection {
+    /// Creates the protocol over `n ≥ 3` processes (majorities must be
+    /// able to exclude a faulty minority).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "leader election needs three processes");
+        LeaderElection {
+            n,
+            vars: vec![None; n],
+            term: vec![0; n],
+            voted_term: vec![0; n],
+            role: vec![Role::Follower; n],
+            leader: vec![-1; n],
+            log: vec![0; n],
+            acked: vec![0; n],
+            timeout_percent: 25,
+        }
+    }
+
+    fn v(&self, p: usize) -> Vars {
+        self.vars[p].expect("declare_vars ran for every process")
+    }
+}
+
+impl Protocol for LeaderElection {
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn declare_vars(&mut self, p: usize, b: &mut ComputationBuilder) {
+        let pid = b.process(p);
+        let vars = Vars {
+            term: b.declare_var(pid, "term", Value::Int(0)),
+            voted_term: b.declare_var(pid, "votedTerm", Value::Int(0)),
+            is_leader: b.declare_var(pid, "isLeader", Value::Bool(false)),
+            leader: b.declare_var(pid, "leader", Value::Int(-1)),
+            log: b.declare_var(pid, "log", Value::Int(0)),
+            acked: b.declare_var(pid, "acked", Value::Int(0)),
+        };
+        self.vars[p] = Some(vars);
+    }
+
+    fn step(&mut self, p: usize, rng: &mut StdRng, out: &mut Actions) {
+        let vars = self.v(p);
+        if self.role[p] == Role::Leader {
+            // A leader's step appends one entry and heartbeats it out.
+            self.log[p] += 1;
+            self.acked[p] = self.log[p];
+            out.set(vars.log, self.log[p]);
+            out.set(vars.acked, self.acked[p]);
+            for q in 0..self.n {
+                if q != p {
+                    out.send(q, (MSG_HEARTBEAT, pack(self.term[p], self.log[p])));
+                }
+            }
+            return;
+        }
+        if rng.random_range(0..100u32) < self.timeout_percent {
+            // Election timeout: jump past every term we have seen *or voted
+            // in*, so the self-vote below keeps `votedTerm` strictly
+            // increasing (the election-safety linchpin).
+            let new_term = self.term[p].max(self.voted_term[p]) + 1;
+            self.term[p] = new_term;
+            self.voted_term[p] = new_term;
+            self.role[p] = Role::Candidate { votes: 1 };
+            self.leader[p] = -1;
+            out.set(vars.term, new_term);
+            out.set(vars.voted_term, new_term);
+            out.set(vars.leader, -1i64);
+            for q in 0..self.n {
+                if q != p {
+                    out.send(q, (MSG_REQUEST_VOTE, new_term));
+                }
+            }
+        } else {
+            out.internal();
+        }
+    }
+
+    fn on_message(&mut self, p: usize, from: usize, payload: MsgPayload, out: &mut Actions) {
+        let vars = self.v(p);
+        match payload.0 {
+            MSG_REQUEST_VOTE => {
+                let t = payload.1;
+                // Grant iff the candidate's term is current-or-newer and we
+                // have not voted at that term yet.
+                if t >= self.term[p] && t > self.voted_term[p] {
+                    if t > self.term[p] {
+                        self.term[p] = t;
+                        self.leader[p] = -1;
+                        out.set(vars.term, t);
+                        out.set(vars.leader, -1i64);
+                        if self.role[p] == Role::Leader {
+                            out.set(vars.is_leader, false);
+                        }
+                        self.role[p] = Role::Follower;
+                    }
+                    self.voted_term[p] = t;
+                    out.set(vars.voted_term, t);
+                    out.send(from, (MSG_VOTE, t));
+                } else {
+                    out.internal();
+                }
+            }
+            MSG_VOTE => {
+                let t = payload.1;
+                let Role::Candidate { votes } = self.role[p] else {
+                    out.internal();
+                    return;
+                };
+                if t != self.term[p] {
+                    // A vote from a campaign we already abandoned.
+                    out.internal();
+                    return;
+                }
+                let votes = votes + 1;
+                if 2 * votes > self.n {
+                    // Elected: take the leadership, append the term's first
+                    // entry, and self-ack it so `acked ≤ log` keeps holding
+                    // with `leader = self` (a stale ack from a *previous*
+                    // reign could otherwise exceed the fresh log).
+                    self.role[p] = Role::Leader;
+                    self.leader[p] = p as i64;
+                    self.log[p] += 1;
+                    self.acked[p] = self.log[p];
+                    out.set(vars.is_leader, true);
+                    out.set(vars.leader, p as i64);
+                    out.set(vars.log, self.log[p]);
+                    out.set(vars.acked, self.acked[p]);
+                    for q in 0..self.n {
+                        if q != p {
+                            out.send(q, (MSG_HEARTBEAT, pack(self.term[p], self.log[p])));
+                        }
+                    }
+                } else {
+                    self.role[p] = Role::Candidate { votes };
+                    out.internal();
+                }
+            }
+            MSG_HEARTBEAT => {
+                let (t, lg) = (payload.1.div_euclid(PACK), payload.1.rem_euclid(PACK));
+                if t > self.term[p] || (t == self.term[p] && self.role[p] != Role::Leader) {
+                    // Follow the heartbeat's sender: adopt its term, step
+                    // down from any candidacy (or stale reign), and ack its
+                    // log length.
+                    if self.role[p] == Role::Leader {
+                        out.set(vars.is_leader, false);
+                    }
+                    self.role[p] = Role::Follower;
+                    self.term[p] = t;
+                    self.leader[p] = from as i64;
+                    self.acked[p] = lg;
+                    out.set(vars.term, t);
+                    out.set(vars.leader, from as i64);
+                    out.set(vars.acked, lg);
+                } else {
+                    // Stale heartbeat from a deposed leader.
+                    out.internal();
+                }
+            }
+            other => panic!("unknown leader-election message tag {other}"),
+        }
+    }
+
+    fn restore(&mut self, base: &Computation, line: &slicing_computation::Cut) {
+        for p in base.processes() {
+            let i = p.as_usize();
+            let pos = line.frontier_pos(p);
+            let h = resolved(base, p);
+            self.term[i] = base.value_at(h.term, pos).expect_int();
+            self.voted_term[i] = base.value_at(h.voted_term, pos).expect_int();
+            self.leader[i] = base.value_at(h.leader, pos).expect_int();
+            self.log[i] = base.value_at(h.log, pos).expect_int();
+            self.acked[i] = base.value_at(h.acked, pos).expect_int();
+            // Candidacies are abandoned: the votes backing them (counted or
+            // in flight) were lost with the channels, and the voters'
+            // `votedTerm` writes stay behind the line only if the requests
+            // did too. A restored candidate simply times out again later.
+            self.role[i] = if base.value_at(h.is_leader, pos).expect_bool() {
+                Role::Leader
+            } else {
+                Role::Follower
+            };
+        }
+    }
+}
+
+/// Variable handles resolved against a recorded computation.
+fn resolved(comp: &Computation, p: slicing_computation::ProcessId) -> Vars {
+    Vars {
+        term: comp.var(p, "term").expect("protocol variable"),
+        voted_term: comp.var(p, "votedTerm").expect("protocol variable"),
+        is_leader: comp.var(p, "isLeader").expect("protocol variable"),
+        leader: comp.var(p, "leader").expect("protocol variable"),
+        log: comp.var(p, "log").expect("protocol variable"),
+        acked: comp.var(p, "acked").expect("protocol variable"),
+    }
+}
+
+/// The invariant `I_le = ES ∧ LM`: no two leaders share a term, and every
+/// process's ack stays within its leader's log.
+pub fn invariant(comp: &Computation) -> FnPredicate {
+    let n = comp.num_processes();
+    let handles: Vec<_> = comp.processes().map(|p| resolved(comp, p)).collect();
+    FnPredicate::new(ProcSet::all(n), "I_le", move |st| {
+        for i in 0..n {
+            if !st.get(handles[i].is_leader).expect_bool() {
+                continue;
+            }
+            for j in i + 1..n {
+                if st.get(handles[j].is_leader).expect_bool()
+                    && st.get(handles[i].term).expect_int() == st.get(handles[j].term).expect_int()
+                {
+                    return false;
+                }
+            }
+        }
+        for j in 0..n {
+            let l = st.get(handles[j].leader).expect_int();
+            if l < 0 {
+                continue;
+            }
+            let l = l as usize;
+            if l < n && st.get(handles[j].acked).expect_int() > st.get(handles[l].log).expect_int()
+            {
+                return false;
+            }
+        }
+        true
+    })
+}
+
+/// The global fault `¬I_le` as a sliceable specification: a disjunction of
+/// conjunctive clauses, pivoted on the values each process's variables
+/// actually take in this computation.
+///
+/// - **ES clauses** — for each pair `i < j` and each term value `T` that
+///   `term_i` records: `(isLeader_i ∧ term_i = T) ∧ (isLeader_j ∧
+///   term_j = T)`.
+/// - **LM clauses** — for each follower `j`, leader index `L ≠ j`, and
+///   recorded ack value `v > 0`: `(leader_j = L ∧ acked_j = v) ∧
+///   (log_L < v)`; plus the 1-local self-follow clause
+///   `leader_j = j ∧ acked_j > log_j`.
+///
+/// `acked` is **not** monotone (a leader switch can lower it), so the LM
+/// half cannot use a co-regular counter leaf soundly; value-pivoted
+/// conjunctive clauses slice exactly instead, at `O(n²|V|)` clauses.
+pub fn violation_spec(comp: &Computation) -> PredicateSpec {
+    let n = comp.num_processes();
+    let handles: Vec<_> = comp.processes().map(|p| resolved(comp, p)).collect();
+    let mut clauses = Vec::new();
+    // ES: two leaders of one term.
+    for i in 0..n {
+        for t in comp.distinct_values(handles[i].term) {
+            if t.expect_int() < 1 {
+                continue; // no leader at term 0
+            }
+            let leads_at = |k: usize, label: String| {
+                LocalPredicate::new(
+                    vec![handles[k].is_leader, handles[k].term],
+                    label,
+                    move |vals| vals[0].expect_bool() && vals[1] == t,
+                )
+            };
+            for j in i + 1..n {
+                clauses.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+                    leads_at(i, format!("isLeader_{i} && term_{i} == {t}")),
+                    leads_at(j, format!("isLeader_{j} && term_{j} == {t}")),
+                ])));
+            }
+        }
+    }
+    // LM: an ack beyond the followed leader's log.
+    for j in 0..n {
+        for v in comp.distinct_values(handles[j].acked) {
+            let v = v.expect_int();
+            if v < 1 {
+                continue; // log lengths are never negative
+            }
+            for l in 0..n {
+                if l == j {
+                    continue;
+                }
+                let follows = LocalPredicate::new(
+                    vec![handles[j].leader, handles[j].acked],
+                    format!("leader_{j} == {l} && acked_{j} == {v}"),
+                    move |vals| vals[0].expect_int() == l as i64 && vals[1].expect_int() == v,
+                );
+                let behind = LocalPredicate::new(
+                    vec![handles[l].log],
+                    format!("log_{l} < {v}"),
+                    move |vals| vals[0].expect_int() < v,
+                );
+                clauses.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+                    follows, behind,
+                ])));
+            }
+        }
+        clauses.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+            LocalPredicate::new(
+                vec![handles[j].leader, handles[j].acked, handles[j].log],
+                format!("leader_{j} == {j} && acked_{j} > log_{j}"),
+                move |vals| {
+                    vals[0].expect_int() == j as i64 && vals[1].expect_int() > vals[2].expect_int()
+                },
+            ),
+        ])));
+    }
+    PredicateSpec::or(clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run, SimConfig};
+    use slicing_computation::lattice::for_each_cut;
+    use slicing_computation::GlobalState;
+    use slicing_predicates::Predicate;
+
+    fn small_run(seed: u64, n: usize, events: u32) -> Computation {
+        let cfg = SimConfig {
+            seed,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        run(&mut LeaderElection::new(n), &cfg).expect("protocol run builds")
+    }
+
+    #[test]
+    fn fault_free_runs_satisfy_the_invariant_at_every_cut() {
+        for seed in 0..6 {
+            let comp = small_run(seed, 4, 8);
+            let inv = invariant(&comp);
+            for_each_cut(&comp, |cut| {
+                assert!(
+                    inv.eval(&GlobalState::new(&comp, cut)),
+                    "seed {seed} cut {cut}"
+                );
+                true
+            });
+        }
+    }
+
+    #[test]
+    fn violation_spec_matches_negated_invariant() {
+        for seed in 0..4 {
+            let comp = small_run(seed, 3, 6);
+            let inv = invariant(&comp);
+            let spec = violation_spec(&comp);
+            for_each_cut(&comp, |cut| {
+                let st = GlobalState::new(&comp, cut);
+                assert_eq!(spec.eval(&st), !inv.eval(&st), "seed {seed} cut {cut}");
+                true
+            });
+        }
+    }
+
+    #[test]
+    fn fault_free_slice_finds_no_violation() {
+        for seed in 0..4 {
+            let comp = small_run(seed, 3, 7);
+            let spec = violation_spec(&comp);
+            let slice = spec.slice(&comp);
+            let mut found = false;
+            for_each_cut(&slice, |cut| {
+                if spec.eval(&GlobalState::new(&comp, cut)) {
+                    found = true;
+                    return false;
+                }
+                true
+            });
+            assert!(!found, "seed {seed}: fault detected in fault-free run");
+        }
+    }
+
+    #[test]
+    fn elections_actually_complete() {
+        // Somebody wins an election, and terms advance past the first.
+        let comp = small_run(2, 4, 20);
+        let mut led = false;
+        let mut max_term = 0;
+        for p in comp.processes() {
+            let h = resolved(&comp, p);
+            for pos in 0..comp.len(p) {
+                led |= comp.value_at(h.is_leader, pos).expect_bool();
+                max_term = max_term.max(comp.value_at(h.term, pos).expect_int());
+            }
+        }
+        assert!(led, "no election ever completed");
+        assert!(max_term >= 2, "terms never advanced: {max_term}");
+    }
+
+    #[test]
+    fn restore_from_every_prefix_preserves_the_invariant() {
+        use crate::runtime::resume;
+        let cfg = SimConfig {
+            seed: 5,
+            max_events_per_process: 8,
+            ..SimConfig::default()
+        };
+        let base = run(&mut LeaderElection::new(3), &cfg).unwrap();
+        // Roll back to the causal past of a mid-run event and replay.
+        let p1 = base.process(1);
+        let line = base.min_cut(base.event_at(p1, base.len(p1) / 2)).clone();
+        let mut fresh = LeaderElection::new(3);
+        let resumed = resume(&mut fresh, &base, &line, &cfg).unwrap();
+        let inv = invariant(&resumed);
+        for_each_cut(&resumed, |cut| {
+            assert!(
+                inv.eval(&GlobalState::new(&resumed, cut)),
+                "invariant violated at {cut} after resume"
+            );
+            true
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "needs three processes")]
+    fn rejects_too_few_processes() {
+        let _ = LeaderElection::new(2);
+    }
+}

@@ -9,7 +9,11 @@
 //! [`primary_secondary`] (a process pair must always act as primary and
 //! secondary) and [`database`] (partition agreement while no change is in
 //! progress) — plus a [`token_ring`] workload for the introduction's "no
-//! process has the token" predicate.
+//! process has the token" predicate and a scenario zoo of modern
+//! protocols: [`leader_election`] (Raft-style terms, votes, and
+//! heartbeats), [`crdt`] (op-based PN-counter replication with an ack
+//! window), and [`work_queue`] (producer/broker/consumer shards with
+//! at-most-once dequeue).
 //!
 //! Each protocol module exports its invariant and a *sliceable*
 //! specification of the corresponding global fault (`violation_spec`);
@@ -33,12 +37,15 @@
 #![warn(missing_docs)]
 
 pub mod clock_sync;
+pub mod crdt;
 pub mod database;
 pub mod fault;
+pub mod leader_election;
 pub mod mutex;
 pub mod primary_secondary;
 pub mod runtime;
 pub mod token_ring;
+pub mod work_queue;
 
 pub use fault::{
     inject, inject_kind, inject_plan, sample_fault_plan, FaultError, FaultKind, FaultPlan,

@@ -1,0 +1,534 @@
+//! A replicated *work-queue* protocol: producer shards push items to a
+//! broker, which dispatches each item exactly once to a consumer shard;
+//! consumers report completions back. Producers retransmit unacked items
+//! after a rollback, and the broker discards duplicates, so the queue
+//! provides *at-most-once dequeue* with no silently-lost items.
+//!
+//! Process 0 is the broker; processes `1..=P` (with `P = max(1, (n-1)/2)`)
+//! produce; the rest consume. Everything the protocol promises is counter
+//! dominance, so the invariants hold at **every** consistent cut:
+//!
+//! - `enq_i ≤ prod_i` — the broker never enqueues an item producer `i` has
+//!   not produced (monotone pair ⇒ *co-regular* violation leaf);
+//! - `cons_j ≤ hand_j` — consumer `j` never dequeues a task the broker has
+//!   not handed it (co-regular; this **is** at-most-once dequeue);
+//! - broker-local arithmetic — `hand ≤ enq`, `done ≤ hand`,
+//!   `served_i ≤ enq_i`, `enq = Σ enq_i`, `hand = Σ hand_j` (1-local
+//!   conjunctive clauses);
+//! - producer-local `ack_i ≤ prod_i` — the broker cannot ack more items
+//!   than exist (1-local).
+//!
+//! A global fault is a consistent cut violating any of them.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use slicing_computation::{Computation, ComputationBuilder, ProcSet, Value, VarRef};
+use slicing_core::PredicateSpec;
+use slicing_predicates::{Conjunctive, FnPredicate, LocalPredicate, MonotoneDominates};
+
+use crate::runtime::{Actions, MsgPayload, Protocol};
+
+const MSG_ITEM: u32 = 0;
+const MSG_ITEM_ACK: u32 = 1;
+const MSG_TASK: u32 = 2;
+const MSG_DONE: u32 = 3;
+
+/// How many unacked items a producer keeps outstanding before pausing.
+const PRODUCER_WINDOW: i64 = 3;
+
+/// The work-queue protocol (see module docs).
+#[derive(Debug)]
+pub struct WorkQueue {
+    n: usize,
+    /// Producers are `1..=producers`; consumers are `producers+1..n`.
+    producers: usize,
+    // Broker variable handles (all on process 0).
+    enq_var: Option<VarRef>,
+    hand_var: Option<VarRef>,
+    done_var: Option<VarRef>,
+    enq_by_var: Vec<Option<VarRef>>,
+    served_by_var: Vec<Option<VarRef>>,
+    hand_to_var: Vec<Option<VarRef>>,
+    // Producer/consumer handles, indexed by process.
+    prod_var: Vec<Option<VarRef>>,
+    ack_var: Vec<Option<VarRef>>,
+    cons_var: Vec<Option<VarRef>>,
+    // Mirrors of the exposed state, used by the state machine.
+    enq_by: Vec<i64>,
+    served_by: Vec<i64>,
+    hand_to: Vec<i64>,
+    enq: i64,
+    hand: i64,
+    done: i64,
+    prod: Vec<i64>,
+    acked: Vec<i64>,
+    /// Producer's high-water mark of items actually sent; lags `prod` only
+    /// after a rollback, which the retransmit path repairs.
+    sent: Vec<i64>,
+    cons: Vec<i64>,
+    /// Probability (percent) that an idle producer step produces.
+    produce_percent: u32,
+}
+
+impl WorkQueue {
+    /// Creates the protocol over `n ≥ 3` processes (broker, a producer,
+    /// and a consumer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n >= 3,
+            "the work queue needs a broker, a producer, and a consumer"
+        );
+        WorkQueue {
+            n,
+            producers: 1.max((n - 1) / 2),
+            enq_var: None,
+            hand_var: None,
+            done_var: None,
+            enq_by_var: vec![None; n],
+            served_by_var: vec![None; n],
+            hand_to_var: vec![None; n],
+            prod_var: vec![None; n],
+            ack_var: vec![None; n],
+            cons_var: vec![None; n],
+            enq_by: vec![0; n],
+            served_by: vec![0; n],
+            hand_to: vec![0; n],
+            enq: 0,
+            hand: 0,
+            done: 0,
+            prod: vec![0; n],
+            acked: vec![0; n],
+            sent: vec![0; n],
+            cons: vec![0; n],
+            produce_percent: 40,
+        }
+    }
+
+    fn is_producer(&self, p: usize) -> bool {
+        (1..=self.producers).contains(&p)
+    }
+
+    fn consumers(&self) -> std::ops::Range<usize> {
+        self.producers + 1..self.n
+    }
+}
+
+impl Protocol for WorkQueue {
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn declare_vars(&mut self, p: usize, b: &mut ComputationBuilder) {
+        let pid = b.process(p);
+        if p == 0 {
+            self.enq_var = Some(b.declare_var(pid, "enq", Value::Int(0)));
+            self.hand_var = Some(b.declare_var(pid, "hand", Value::Int(0)));
+            self.done_var = Some(b.declare_var(pid, "done", Value::Int(0)));
+            for i in 1..=self.producers {
+                self.enq_by_var[i] = Some(b.declare_var(pid, &format!("enq{i}"), Value::Int(0)));
+                self.served_by_var[i] =
+                    Some(b.declare_var(pid, &format!("served{i}"), Value::Int(0)));
+            }
+            for j in self.consumers() {
+                self.hand_to_var[j] = Some(b.declare_var(pid, &format!("hand{j}"), Value::Int(0)));
+            }
+        } else if self.is_producer(p) {
+            self.prod_var[p] = Some(b.declare_var(pid, "prod", Value::Int(0)));
+            self.ack_var[p] = Some(b.declare_var(pid, "ackp", Value::Int(0)));
+        } else {
+            self.cons_var[p] = Some(b.declare_var(pid, "cons", Value::Int(0)));
+        }
+    }
+
+    fn step(&mut self, p: usize, rng: &mut StdRng, out: &mut Actions) {
+        if p == 0 {
+            // Dispatch the oldest pending item of the lowest producer shard
+            // to a random consumer.
+            let Some(i) = (1..=self.producers).find(|&i| self.served_by[i] < self.enq_by[i]) else {
+                out.internal();
+                return;
+            };
+            self.served_by[i] += 1;
+            self.hand += 1;
+            let cons_idx = rng.random_range(0..self.consumers().len());
+            let j = self.producers + 1 + cons_idx;
+            self.hand_to[j] += 1;
+            out.set(self.served_by_var[i].unwrap(), self.served_by[i]);
+            out.set(self.hand_var.unwrap(), self.hand);
+            out.set(self.hand_to_var[j].unwrap(), self.hand_to[j]);
+            out.send(j, (MSG_TASK, self.hand));
+            return;
+        }
+        if self.is_producer(p) {
+            // Retransmit first: a rollback resets `sent` to the acked
+            // frontier, and the broker's duplicate guard re-acks anything
+            // it already holds.
+            if self.sent[p] < self.prod[p] {
+                for seq in self.sent[p] + 1..=self.prod[p] {
+                    out.send(0, (MSG_ITEM, seq));
+                }
+                self.sent[p] = self.prod[p];
+                return;
+            }
+            if self.prod[p] - self.acked[p] < PRODUCER_WINDOW
+                && rng.random_range(0..100u32) < self.produce_percent
+            {
+                self.prod[p] += 1;
+                self.sent[p] = self.prod[p];
+                out.set(self.prod_var[p].unwrap(), self.prod[p]);
+                out.send(0, (MSG_ITEM, self.prod[p]));
+                return;
+            }
+        }
+        // Consumers (and idle producers) only react.
+        out.internal();
+    }
+
+    fn on_message(&mut self, p: usize, from: usize, payload: MsgPayload, out: &mut Actions) {
+        match payload.0 {
+            MSG_ITEM => {
+                debug_assert_eq!(p, 0);
+                let seq = payload.1;
+                if seq == self.enq_by[from] + 1 {
+                    self.enq_by[from] = seq;
+                    self.enq += 1;
+                    out.set(self.enq_by_var[from].unwrap(), self.enq_by[from]);
+                    out.set(self.enq_var.unwrap(), self.enq);
+                } else {
+                    // A retransmitted duplicate — or, when replaying from a
+                    // cut of a structurally faulted run, a gap the rolled-
+                    // back broker cannot fill: either way, ack the current
+                    // high-water mark without enqueueing — the at-most-once
+                    // half of the queue's contract.
+                }
+                out.send(from, (MSG_ITEM_ACK, self.enq_by[from]));
+            }
+            MSG_ITEM_ACK => {
+                let seq = payload.1;
+                if seq > self.acked[p] {
+                    self.acked[p] = seq;
+                    out.set(self.ack_var[p].unwrap(), seq);
+                } else {
+                    out.internal();
+                }
+            }
+            MSG_TASK => {
+                self.cons[p] += 1;
+                out.set(self.cons_var[p].unwrap(), self.cons[p]);
+                out.send(from, (MSG_DONE, self.cons[p]));
+            }
+            MSG_DONE => {
+                debug_assert_eq!(p, 0);
+                self.done += 1;
+                out.set(self.done_var.unwrap(), self.done);
+            }
+            other => panic!("unknown work-queue message tag {other}"),
+        }
+    }
+
+    fn restore(&mut self, base: &Computation, line: &slicing_computation::Cut) {
+        let p0 = base.process(0);
+        let pos0 = line.frontier_pos(p0);
+        let get = |name: &str| {
+            base.value_at(base.var(p0, name).expect("protocol variable"), pos0)
+                .expect_int()
+        };
+        self.enq = get("enq");
+        self.hand = get("hand");
+        self.done = get("done");
+        for i in 1..=self.producers {
+            self.enq_by[i] = get(&format!("enq{i}"));
+            self.served_by[i] = get(&format!("served{i}"));
+        }
+        for j in self.consumers() {
+            self.hand_to[j] = get(&format!("hand{j}"));
+        }
+        for p in base.processes().skip(1) {
+            let i = p.as_usize();
+            let pos = line.frontier_pos(p);
+            if self.is_producer(i) {
+                let prod = base.var(p, "prod").expect("protocol variable");
+                let ack = base.var(p, "ackp").expect("protocol variable");
+                self.prod[i] = base.value_at(prod, pos).expect_int();
+                self.acked[i] = base.value_at(ack, pos).expect_int();
+                // Items above the acked frontier may have been in flight at
+                // the line; treat them as unsent so they are retransmitted.
+                self.sent[i] = self.acked[i];
+            } else {
+                let cons = base.var(p, "cons").expect("protocol variable");
+                self.cons[i] = base.value_at(cons, pos).expect_int();
+            }
+        }
+        // Tasks and completions in flight at the line are gone for good:
+        // at-most-once dequeue means the broker never re-dispatches, so
+        // `hand` keeps counting them while `cons`/`done` never catch up —
+        // which the ≤-shaped invariants all tolerate.
+    }
+}
+
+/// Broker/producer/consumer variable handles resolved against a recording.
+struct Handles {
+    producers: usize,
+    enq: VarRef,
+    hand: VarRef,
+    done: VarRef,
+    enq_by: Vec<VarRef>,
+    served_by: Vec<VarRef>,
+    hand_to: Vec<VarRef>,
+    prod: Vec<VarRef>,
+    ack: Vec<VarRef>,
+    cons: Vec<VarRef>,
+}
+
+fn resolved(comp: &Computation) -> Handles {
+    let n = comp.num_processes();
+    let producers = 1.max((n - 1) / 2);
+    let p0 = comp.process(0);
+    let v = |name: &str| comp.var(p0, name).expect("protocol variable");
+    Handles {
+        producers,
+        enq: v("enq"),
+        hand: v("hand"),
+        done: v("done"),
+        enq_by: (1..=producers).map(|i| v(&format!("enq{i}"))).collect(),
+        served_by: (1..=producers).map(|i| v(&format!("served{i}"))).collect(),
+        hand_to: (producers + 1..n).map(|j| v(&format!("hand{j}"))).collect(),
+        prod: (1..=producers)
+            .map(|i| {
+                comp.var(comp.process(i), "prod")
+                    .expect("protocol variable")
+            })
+            .collect(),
+        ack: (1..=producers)
+            .map(|i| {
+                comp.var(comp.process(i), "ackp")
+                    .expect("protocol variable")
+            })
+            .collect(),
+        cons: (producers + 1..n)
+            .map(|j| {
+                comp.var(comp.process(j), "cons")
+                    .expect("protocol variable")
+            })
+            .collect(),
+    }
+}
+
+/// The invariant `I_wq`: every dominance and broker-arithmetic relation of
+/// the module docs.
+pub fn invariant(comp: &Computation) -> FnPredicate {
+    let n = comp.num_processes();
+    let h = resolved(comp);
+    FnPredicate::new(ProcSet::all(n), "I_wq", move |st| {
+        let enq = st.get(h.enq).expect_int();
+        let hand = st.get(h.hand).expect_int();
+        let done = st.get(h.done).expect_int();
+        if hand > enq || done > hand {
+            return false;
+        }
+        let mut enq_sum = 0;
+        for (k, &e) in h.enq_by.iter().enumerate() {
+            let e = st.get(e).expect_int();
+            enq_sum += e;
+            if st.get(h.served_by[k]).expect_int() > e || e > st.get(h.prod[k]).expect_int() {
+                return false;
+            }
+            if st.get(h.ack[k]).expect_int() > st.get(h.prod[k]).expect_int() {
+                return false;
+            }
+        }
+        if enq_sum != enq {
+            return false;
+        }
+        let mut hand_sum = 0;
+        for (k, &hj) in h.hand_to.iter().enumerate() {
+            let hj = st.get(hj).expect_int();
+            hand_sum += hj;
+            if st.get(h.cons[k]).expect_int() > hj {
+                return false;
+            }
+        }
+        hand_sum == hand
+    })
+}
+
+/// The global fault `¬I_wq` as a sliceable specification: co-regular
+/// dominance leaves for the cross-process counter pairs (`enq_i ≤ prod_i`,
+/// `cons_j ≤ hand_j` — monotone on both sides, so the complements slice
+/// exactly) plus 1-local conjunctive clauses for the broker's and
+/// producers' own arithmetic.
+pub fn violation_spec(comp: &Computation) -> PredicateSpec {
+    let h = resolved(comp);
+    let mut clauses = Vec::new();
+    for k in 0..h.producers {
+        clauses.push(PredicateSpec::not_regular(MonotoneDominates::new(
+            h.enq_by[k],
+            h.prod[k],
+        )));
+        let i = k + 1;
+        clauses.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+            LocalPredicate::new(
+                vec![h.served_by[k], h.enq_by[k]],
+                format!("served{i} > enq{i}"),
+                |vals| vals[0].expect_int() > vals[1].expect_int(),
+            ),
+        ])));
+        clauses.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+            LocalPredicate::new(
+                vec![h.ack[k], h.prod[k]],
+                format!("ackp_{i} > prod_{i}"),
+                |vals| vals[0].expect_int() > vals[1].expect_int(),
+            ),
+        ])));
+    }
+    for (k, &cons) in h.cons.iter().enumerate() {
+        clauses.push(PredicateSpec::not_regular(MonotoneDominates::new(
+            cons,
+            h.hand_to[k],
+        )));
+    }
+    clauses.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+        LocalPredicate::new(vec![h.hand, h.enq], "hand > enq", |vals| {
+            vals[0].expect_int() > vals[1].expect_int()
+        }),
+    ])));
+    clauses.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+        LocalPredicate::new(vec![h.done, h.hand], "done > hand", |vals| {
+            vals[0].expect_int() > vals[1].expect_int()
+        }),
+    ])));
+    let mut enq_vars = vec![h.enq];
+    enq_vars.extend_from_slice(&h.enq_by);
+    clauses.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+        LocalPredicate::new(enq_vars, "enq != sum(enq_i)", |vals| {
+            vals[0].expect_int() != vals[1..].iter().map(|v| v.expect_int()).sum::<i64>()
+        }),
+    ])));
+    let mut hand_vars = vec![h.hand];
+    hand_vars.extend_from_slice(&h.hand_to);
+    clauses.push(PredicateSpec::conjunctive(Conjunctive::new(vec![
+        LocalPredicate::new(hand_vars, "hand != sum(hand_j)", |vals| {
+            vals[0].expect_int() != vals[1..].iter().map(|v| v.expect_int()).sum::<i64>()
+        }),
+    ])));
+    PredicateSpec::or(clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run, SimConfig};
+    use slicing_computation::lattice::for_each_cut;
+    use slicing_computation::GlobalState;
+    use slicing_predicates::Predicate;
+
+    fn small_run(seed: u64, n: usize, events: u32) -> Computation {
+        let cfg = SimConfig {
+            seed,
+            max_events_per_process: events,
+            ..SimConfig::default()
+        };
+        run(&mut WorkQueue::new(n), &cfg).expect("protocol run builds")
+    }
+
+    #[test]
+    fn fault_free_runs_satisfy_the_invariant_at_every_cut() {
+        for seed in 0..6 {
+            let comp = small_run(seed, 4, 8);
+            let inv = invariant(&comp);
+            for_each_cut(&comp, |cut| {
+                assert!(
+                    inv.eval(&GlobalState::new(&comp, cut)),
+                    "seed {seed} cut {cut}"
+                );
+                true
+            });
+        }
+    }
+
+    #[test]
+    fn violation_spec_matches_negated_invariant() {
+        for seed in 0..4 {
+            let comp = small_run(seed, 3, 6);
+            let inv = invariant(&comp);
+            let spec = violation_spec(&comp);
+            for_each_cut(&comp, |cut| {
+                let st = GlobalState::new(&comp, cut);
+                assert_eq!(spec.eval(&st), !inv.eval(&st), "seed {seed} cut {cut}");
+                true
+            });
+        }
+    }
+
+    #[test]
+    fn fault_free_slice_finds_no_violation() {
+        for seed in 0..4 {
+            let comp = small_run(seed, 4, 7);
+            let spec = violation_spec(&comp);
+            let slice = spec.slice(&comp);
+            let mut found = false;
+            for_each_cut(&slice, |cut| {
+                if spec.eval(&GlobalState::new(&comp, cut)) {
+                    found = true;
+                    return false;
+                }
+                true
+            });
+            assert!(!found, "seed {seed}: fault detected in fault-free run");
+        }
+    }
+
+    #[test]
+    fn items_flow_through_the_whole_queue() {
+        // Items get produced, enqueued, dispatched, consumed, and
+        // completion-acked within a modest run.
+        let comp = small_run(4, 4, 20);
+        let h = resolved(&comp);
+        let last = |v: VarRef| {
+            let p = v.process();
+            comp.value_at(v, comp.len(p) - 1).expect_int()
+        };
+        assert!(last(h.prod[0]) >= 2, "producer never produced");
+        assert!(last(h.enq) >= 1, "broker never enqueued");
+        assert!(last(h.hand) >= 1, "broker never dispatched");
+        assert!(
+            h.cons.iter().map(|&c| last(c)).sum::<i64>() >= 1,
+            "no consumer ever dequeued"
+        );
+        assert!(last(h.done) >= 1, "no completion ever arrived");
+    }
+
+    #[test]
+    fn restore_from_every_prefix_preserves_the_invariant() {
+        use crate::runtime::resume;
+        let cfg = SimConfig {
+            seed: 6,
+            max_events_per_process: 8,
+            ..SimConfig::default()
+        };
+        let base = run(&mut WorkQueue::new(4), &cfg).unwrap();
+        let p1 = base.process(1);
+        let line = base.min_cut(base.event_at(p1, base.len(p1) / 2)).clone();
+        let mut fresh = WorkQueue::new(4);
+        let resumed = resume(&mut fresh, &base, &line, &cfg).unwrap();
+        let inv = invariant(&resumed);
+        for_each_cut(&resumed, |cut| {
+            assert!(
+                inv.eval(&GlobalState::new(&resumed, cut)),
+                "invariant violated at {cut} after resume"
+            );
+            true
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "broker, a producer, and a consumer")]
+    fn rejects_too_few_processes() {
+        let _ = WorkQueue::new(2);
+    }
+}
