@@ -1,0 +1,326 @@
+//! Tenant sweep for the predicate-multiplexing hub: the same fixed-seed
+//! stream — eight processes, churning integer values, cross-process
+//! messages — is served to 1, 16, and 256 tenants whose two-clause
+//! conjunctive predicates are drawn from a bounded pool, so large rosters
+//! overlap heavily. The committed artifact — `BENCH_serve.json` (schema
+//! `slicing.bench-serve/v1`) — is the baseline CI gates against.
+//!
+//! ```text
+//! cargo run --release -p slicing-bench --bin table_serve -- \
+//!     [--quick] [--procs 8] [--events 120000] [--out BENCH_serve.json]
+//! ```
+//!
+//! Every reported number is a **deterministic counter** — a pure function
+//! of the seed and flags, identical on every machine. The sweep asserts
+//! its headline claims in-process before writing the artifact:
+//!
+//! - **Sublinear cost growth.** Per-event work (clause evaluations plus
+//!   settle probes, `cost_per_event_milli`) for 256 tenants stays under
+//!   `PRED_SHAPES`× (24×) the single-tenant cost — it tracks the number
+//!   of distinct predicates, never the roster size — because shared
+//!   sub-slices are keyed once per distinct clause bundle, not once per
+//!   tenant.
+//! - **Bounded structure.** Distinct groups saturate at the predicate
+//!   pool size: 256 tenants fold onto the same few dozen shared groups.
+//!
+//! Wall-clock is intentionally absent: this table gates the *work* of the
+//! multiplexer, never time.
+
+use slicing_computation::{cut_heap_allocs, Value, VarRef};
+use slicing_detect::MonitorHub;
+use slicing_observe::json::{JsonArray, JsonObject};
+use slicing_predicates::{Conjunctive, LocalPredicate};
+
+/// Distinct predicate shapes tenants draw from; 256 tenants spread over
+/// this many groups, so group structure saturates early in the sweep.
+const PRED_SHAPES: usize = 24;
+
+struct Row {
+    name: String,
+    tenants: u64,
+    groups: u64,
+    slots: u64,
+    events: u64,
+    messages: u64,
+    alarms: u64,
+    check_cost: u64,
+    clause_evals: u64,
+    delta_cuts: u64,
+    cost_per_event_milli: u64,
+    heap_allocs: u64,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("name", &self.name)
+            .u64("tenants", self.tenants)
+            .u64("groups", self.groups)
+            .u64("slots", self.slots)
+            .u64("events", self.events)
+            .u64("messages", self.messages)
+            .u64("alarms", self.alarms)
+            .u64("check_cost", self.check_cost)
+            .u64("clause_evals", self.clause_evals)
+            .u64("delta_cuts", self.delta_cuts)
+            .u64("cost_per_event_milli", self.cost_per_event_milli)
+            .u64("heap_allocs", self.heap_allocs)
+            .finish()
+    }
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+enum Step {
+    Event { process: usize, value: i64 },
+    Msg { from: usize, to: usize },
+}
+
+/// The shared stream: one event per step on a seeded process, and every
+/// fourth step a message from an older event into the fresh one (skipped
+/// when the draw lands on the same process, keeping the stream a pure
+/// function of the seed).
+fn build_stream(procs: usize, steps: u64) -> Vec<Step> {
+    let mut rng = XorShift(0x5e7e_bead_u64 | 1);
+    let mut stream = Vec::with_capacity(steps as usize);
+    let mut event_procs: Vec<usize> = Vec::new();
+    for s in 0..steps {
+        let process = rng.below(procs as u64) as usize;
+        stream.push(Step::Event {
+            process,
+            value: rng.below(6) as i64,
+        });
+        event_procs.push(process);
+        if s % 4 == 3 && event_procs.len() > 1 {
+            let to = event_procs.len() - 1;
+            let from = rng.below(to as u64) as usize;
+            if event_procs[from] != event_procs[to] {
+                stream.push(Step::Msg { from, to });
+            }
+        }
+    }
+    stream
+}
+
+/// The clause pool: three threshold clauses per process. Each predicate
+/// shape pairs two clauses on distinct processes.
+fn clause_pool(vars: &[VarRef]) -> Vec<(String, LocalPredicate)> {
+    let mut pool = Vec::new();
+    for (p, &v) in vars.iter().enumerate() {
+        pool.push((
+            format!("x@{p} > 3"),
+            LocalPredicate::int(v, format!("x@{p} > 3"), |x| x > 3),
+        ));
+        pool.push((
+            format!("x@{p} == 0"),
+            LocalPredicate::int(v, format!("x@{p} == 0"), |x| x == 0),
+        ));
+        pool.push((
+            format!("x@{p} % 2 == 1"),
+            LocalPredicate::int(v, format!("x@{p} % 2 == 1"), |x| x % 2 == 1),
+        ));
+    }
+    pool
+}
+
+/// Tenant `i` watches shape `i % PRED_SHAPES`: a deterministic clause
+/// pair on distinct processes. The multipliers are coprime to the pool
+/// size, so all `PRED_SHAPES` shapes are distinct.
+fn shape_clauses(shape: usize, pool_len: usize) -> (usize, usize) {
+    let a = (shape * 5) % pool_len;
+    let mut b = (shape * 11 + 7) % pool_len;
+    while b / 3 == a / 3 {
+        b = (b + 3) % pool_len;
+    }
+    (a, b)
+}
+
+/// Serves the shared stream to `tenants` tenants on one hub and returns
+/// the sweep row.
+fn run_sweep(procs: usize, tenants: u64, stream: &[Step]) -> Row {
+    let allocs_before = cut_heap_allocs();
+    let mut hub = MonitorHub::new(procs);
+    let vars: Vec<VarRef> = (0..procs)
+        .map(|p| hub.declare_var(p, "x", Value::Int(0)).expect("fresh var"))
+        .collect();
+    let pool = clause_pool(&vars);
+    for i in 0..tenants {
+        let (a, b) = shape_clauses(i as usize % PRED_SHAPES, pool.len());
+        let pred = Conjunctive::new(vec![pool[a].1.clone(), pool[b].1.clone()]);
+        let source = format!("{} && {}", pool[a].0, pool[b].0);
+        hub.add_tenant(&format!("t{i}"), &pred, &source)
+            .expect("tenant registers");
+    }
+    let registration_evals = hub.stats().clause_evals;
+    let mut event_ids = Vec::new();
+    for step in stream {
+        match step {
+            Step::Event { process, value } => {
+                let e = hub
+                    .observe(*process, &[(vars[*process], Value::Int(*value))])
+                    .expect("typed observation");
+                event_ids.push(e);
+            }
+            Step::Msg { from, to } => {
+                hub.message(event_ids[*from], event_ids[*to])
+                    .expect("acyclic by construction");
+            }
+        }
+        hub.check_all();
+    }
+    let stats = hub.stats();
+    let clause_evals = stats.clause_evals - registration_evals;
+    // Per-event multiplexing work: every clause evaluation plus every
+    // settle probe, normalized by stream length. The event ingest itself
+    // is tenant-independent and excluded.
+    let work = clause_evals + stats.check_cost;
+    Row {
+        name: format!("tenants{tenants}"),
+        tenants,
+        groups: hub.group_count() as u64,
+        slots: hub.slot_count() as u64,
+        events: stats.events,
+        messages: stats.messages,
+        alarms: stats.alarms,
+        check_cost: stats.check_cost,
+        clause_evals,
+        delta_cuts: stats.delta_cuts,
+        cost_per_event_milli: work * 1000 / stats.events.max(1),
+        heap_allocs: cut_heap_allocs() - allocs_before,
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut procs: usize = 8;
+    let mut events: u64 = 120_000;
+    let mut out = String::from("BENCH_serve.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--procs" => procs = it.next().expect("--procs N").parse().expect("integer"),
+            "--events" => events = it.next().expect("--events N").parse().expect("integer"),
+            "--out" => out = it.next().expect("--out PATH"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if quick {
+        events = events.min(8_000);
+    }
+    assert!(procs >= 4, "the sweep needs at least four processes");
+
+    let stream = build_stream(procs, events);
+    let sweep: &[u64] = &[1, 16, 256];
+    let rows: Vec<Row> = sweep
+        .iter()
+        .map(|&n| run_sweep(procs, n, &stream))
+        .collect();
+
+    let one = &rows[0];
+    let big = &rows[rows.len() - 1];
+
+    // Headline claim 1: per-event work scales with the number of distinct
+    // predicate shapes (the structure), never the roster size — a 256×
+    // roster costs less than PRED_SHAPES× (24×) the single-tenant work,
+    // an order of magnitude under linear.
+    assert!(
+        big.cost_per_event_milli < one.cost_per_event_milli * PRED_SHAPES as u64,
+        "multiplexing cost is not sublinear: {} tenants at {} milli/event vs 1 tenant at {}",
+        big.tenants,
+        big.cost_per_event_milli,
+        one.cost_per_event_milli
+    );
+    // Per-event cost grows with roster size (more distinct groups), it
+    // just grows sublinearly.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[0].cost_per_event_milli <= pair[1].cost_per_event_milli,
+            "cost should be monotone in tenants: {} then {}",
+            pair[0].cost_per_event_milli,
+            pair[1].cost_per_event_milli
+        );
+    }
+    // Headline claim 2: group structure saturates at the predicate pool.
+    assert!(
+        big.groups <= PRED_SHAPES as u64 && big.groups < big.tenants,
+        "groups did not saturate: {} groups for {} tenants",
+        big.groups,
+        big.tenants
+    );
+    assert!(
+        rows.iter().all(|r| r.alarms > 0),
+        "a sweep row never alarmed — workload too weak"
+    );
+
+    println!(
+        "# Tenant sweep — {procs} procs, {events} events, {PRED_SHAPES} predicate shapes, sweep {sweep:?}"
+    );
+    println!(
+        "{:<12} {:>7} {:>6} {:>6} {:>9} {:>8} {:>8} {:>11} {:>12} {:>12} {:>8}",
+        "row",
+        "tenants",
+        "groups",
+        "slots",
+        "events",
+        "messages",
+        "alarms",
+        "cost",
+        "clause_eval",
+        "milli/event",
+        "alloc"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>7} {:>6} {:>6} {:>9} {:>8} {:>8} {:>11} {:>12} {:>12} {:>8}",
+            r.name,
+            r.tenants,
+            r.groups,
+            r.slots,
+            r.events,
+            r.messages,
+            r.alarms,
+            r.check_cost,
+            r.clause_evals,
+            r.cost_per_event_milli,
+            r.heap_allocs
+        );
+    }
+    println!(
+        "# sublinear: {}x tenants for {:.1}x per-event work ({} -> {} milli/event)",
+        big.tenants / one.tenants,
+        big.cost_per_event_milli as f64 / one.cost_per_event_milli.max(1) as f64,
+        one.cost_per_event_milli,
+        big.cost_per_event_milli
+    );
+
+    let doc = JsonObject::new()
+        .str("schema", slicing_observe::schema::BENCH_SERVE)
+        .str("binary", "table_serve")
+        .bool("quick", quick)
+        .u64("procs", procs as u64)
+        .u64("events", events)
+        .raw(
+            "entries",
+            &rows
+                .iter()
+                .fold(JsonArray::new(), |arr, r| arr.push_raw(&r.to_json()))
+                .finish(),
+        )
+        .finish();
+    std::fs::write(&out, format!("{doc}\n")).expect("write bench artifact");
+    eprintln!("# wrote {} rows to {out}", rows.len());
+}

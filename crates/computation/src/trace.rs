@@ -84,6 +84,157 @@ fn format_value(v: Value) -> String {
     }
 }
 
+/// One parsed line of the textual trace format: the unit of *streaming*
+/// ingestion.
+///
+/// [`parse_line`] turns each input line into one of these without needing
+/// the rest of the trace, so long-running consumers (`slicing monitor`,
+/// `slicing serve`) can feed events into an online engine as they arrive
+/// instead of materializing the whole computation first. [`from_text`] is
+/// the batch consumer built on the same parser.
+///
+/// Syntax is checked here; *context* (process indices in range, variables
+/// declared, endpoints existing) is the consumer's job, because only the
+/// consumer knows how much of the trace it has seen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceOp {
+    /// `procs N` — the header declaring the process count.
+    Procs(usize),
+    /// `var p name init` — declare a variable with its initial value.
+    Var {
+        /// Owning process index.
+        process: usize,
+        /// Variable name (`label` is reserved and rejected at parse time).
+        name: String,
+        /// Initial value.
+        initial: Value,
+    },
+    /// `event p [label=l] [k=v]…` — append an event, with optional label
+    /// and variable writes in line order.
+    Event {
+        /// Process the event is appended to.
+        process: usize,
+        /// Optional event label (`label=` key).
+        label: Option<String>,
+        /// Variable assignments, in the order written on the line.
+        writes: Vec<(String, Value)>,
+    },
+    /// `msg sp spos rp rpos` — a message edge between two event positions.
+    Msg {
+        /// Sender as (process index, event position).
+        send: (usize, u32),
+        /// Receiver as (process index, event position).
+        recv: (usize, u32),
+    },
+}
+
+/// Parses one line of the trace format into a [`TraceOp`].
+///
+/// Returns `Ok(None)` for blank lines and comments (everything after `#`
+/// is stripped first). `lineno` is the 1-based line number used in error
+/// messages.
+///
+/// # Errors
+///
+/// [`TraceError::Syntax`] for any malformed line: unknown directives,
+/// missing fields, bad values, or the reserved variable name `label`.
+pub fn parse_line(raw: &str, lineno: usize) -> Result<Option<TraceOp>, TraceError> {
+    let line = raw.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut tokens = line.split_whitespace();
+    let kind = tokens.next().expect("non-empty line has a first token");
+    let op = match kind {
+        "procs" => {
+            let n: usize = tokens
+                .next()
+                .ok_or_else(|| syntax(lineno, "procs needs a count"))?
+                .parse()
+                .map_err(|_| syntax(lineno, "invalid process count"))?;
+            if n == 0 || n > crate::process::ProcSet::MAX_PROCESSES {
+                return Err(syntax(lineno, "process count out of range"));
+            }
+            TraceOp::Procs(n)
+        }
+        "var" => {
+            let process: usize = tokens
+                .next()
+                .ok_or_else(|| syntax(lineno, "var needs a process"))?
+                .parse()
+                .map_err(|_| syntax(lineno, "invalid process index"))?;
+            let name = tokens
+                .next()
+                .ok_or_else(|| syntax(lineno, "var needs a name"))?;
+            if name == "label" {
+                return Err(syntax(lineno, "variable name `label` is reserved"));
+            }
+            let initial = parse_value(
+                tokens
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "var needs an initial value"))?,
+                lineno,
+            )?;
+            TraceOp::Var {
+                process,
+                name: name.to_string(),
+                initial,
+            }
+        }
+        "event" => {
+            let process: usize = tokens
+                .next()
+                .ok_or_else(|| syntax(lineno, "event needs a process"))?
+                .parse()
+                .map_err(|_| syntax(lineno, "invalid process index"))?;
+            let mut label = None;
+            let mut writes = Vec::new();
+            for kv in tokens {
+                let (key, val) = kv
+                    .split_once('=')
+                    .ok_or_else(|| syntax(lineno, format!("expected key=value, got {kv:?}")))?;
+                if key == "label" {
+                    label = Some(val.to_string());
+                } else {
+                    writes.push((key.to_string(), parse_value(val, lineno)?));
+                }
+            }
+            TraceOp::Event {
+                process,
+                label,
+                writes,
+            }
+        }
+        "msg" => {
+            let nums: Vec<&str> = tokens.collect();
+            if nums.len() != 4 {
+                return Err(syntax(lineno, "msg needs 4 fields"));
+            }
+            let sp: usize = nums[0]
+                .parse()
+                .map_err(|_| syntax(lineno, "invalid send process"))?;
+            let spos: u32 = nums[1]
+                .parse()
+                .map_err(|_| syntax(lineno, "invalid send position"))?;
+            let rp: usize = nums[2]
+                .parse()
+                .map_err(|_| syntax(lineno, "invalid recv process"))?;
+            let rpos: u32 = nums[3]
+                .parse()
+                .map_err(|_| syntax(lineno, "invalid recv position"))?;
+            TraceOp::Msg {
+                send: (sp, spos),
+                recv: (rp, rpos),
+            }
+        }
+        other => {
+            return Err(syntax(lineno, format!("unknown directive {other:?}")));
+        }
+    };
+    Ok(Some(op))
+}
+
 fn parse_value(token: &str, line: usize) -> Result<Value, TraceError> {
     match token {
         "true" => return Ok(Value::Bool(true)),
@@ -172,109 +323,60 @@ pub fn from_text(text: &str) -> Result<Computation, TraceError> {
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+        let Some(op) = parse_line(raw, lineno)? else {
             continue;
-        }
-        let mut tokens = line.split_whitespace();
-        let kind = tokens.next().expect("non-empty line has a first token");
-        match kind {
-            "procs" => {
+        };
+        match op {
+            TraceOp::Procs(n) => {
                 if builder.is_some() {
                     return Err(syntax(lineno, "duplicate procs line"));
                 }
-                let n: usize = tokens
-                    .next()
-                    .ok_or_else(|| syntax(lineno, "procs needs a count"))?
-                    .parse()
-                    .map_err(|_| syntax(lineno, "invalid process count"))?;
-                if n == 0 || n > crate::process::ProcSet::MAX_PROCESSES {
-                    return Err(syntax(lineno, "process count out of range"));
-                }
                 builder = Some(ComputationBuilder::new(n));
             }
-            "var" => {
+            TraceOp::Var {
+                process,
+                name,
+                initial,
+            } => {
                 let b = builder
                     .as_mut()
                     .ok_or_else(|| syntax(lineno, "var before procs"))?;
-                let p: usize = tokens
-                    .next()
-                    .ok_or_else(|| syntax(lineno, "var needs a process"))?
-                    .parse()
-                    .map_err(|_| syntax(lineno, "invalid process index"))?;
-                if p >= b.num_processes() {
+                if process >= b.num_processes() {
                     return Err(syntax(lineno, "process index out of range"));
                 }
-                let name = tokens
-                    .next()
-                    .ok_or_else(|| syntax(lineno, "var needs a name"))?;
-                if name == "label" {
-                    return Err(syntax(lineno, "variable name `label` is reserved"));
-                }
-                let value = parse_value(
-                    tokens
-                        .next()
-                        .ok_or_else(|| syntax(lineno, "var needs an initial value"))?,
-                    lineno,
-                )?;
-                b.try_declare_var(ProcessId::new(p), name, value)?;
+                b.try_declare_var(ProcessId::new(process), &name, initial)?;
             }
-            "event" => {
+            TraceOp::Event {
+                process,
+                label,
+                writes,
+            } => {
                 let b = builder
                     .as_mut()
                     .ok_or_else(|| syntax(lineno, "event before procs"))?;
-                let p: usize = tokens
-                    .next()
-                    .ok_or_else(|| syntax(lineno, "event needs a process"))?
-                    .parse()
-                    .map_err(|_| syntax(lineno, "invalid process index"))?;
-                if p >= b.num_processes() {
+                if process >= b.num_processes() {
                     return Err(syntax(lineno, "process index out of range"));
                 }
-                let pid = ProcessId::new(p);
+                let pid = ProcessId::new(process);
                 let e = b.append_event(pid);
-                for kv in tokens {
-                    let (key, val) = kv
-                        .split_once('=')
-                        .ok_or_else(|| syntax(lineno, format!("expected key=value, got {kv:?}")))?;
-                    if key == "label" {
-                        b.set_label(e, val);
-                        continue;
-                    }
-                    let var = match b.var(pid, key) {
+                if let Some(l) = &label {
+                    b.set_label(e, l);
+                }
+                for (key, value) in writes {
+                    let var = match b.var(pid, &key) {
                         Some(v) => v,
                         None => {
                             return Err(syntax(
                                 lineno,
-                                format!("unknown variable {key:?} on process {p}"),
+                                format!("unknown variable {key:?} on process {process}"),
                             ))
                         }
                     };
-                    let value = parse_value(val, lineno)?;
                     b.assign(e, var, value)?;
                 }
             }
-            "msg" => {
-                let nums: Vec<&str> = tokens.collect();
-                if nums.len() != 4 {
-                    return Err(syntax(lineno, "msg needs 4 fields"));
-                }
-                let sp: usize = nums[0]
-                    .parse()
-                    .map_err(|_| syntax(lineno, "invalid send process"))?;
-                let spos: u32 = nums[1]
-                    .parse()
-                    .map_err(|_| syntax(lineno, "invalid send position"))?;
-                let rp: usize = nums[2]
-                    .parse()
-                    .map_err(|_| syntax(lineno, "invalid recv process"))?;
-                let rpos: u32 = nums[3]
-                    .parse()
-                    .map_err(|_| syntax(lineno, "invalid recv position"))?;
-                messages.push((sp, spos, rp, rpos, lineno));
-            }
-            other => {
-                return Err(syntax(lineno, format!("unknown directive {other:?}")));
+            TraceOp::Msg { send, recv } => {
+                messages.push((send.0, send.1, recv.0, recv.1, lineno));
             }
         }
     }
@@ -371,6 +473,64 @@ mod tests {
     fn bad_message_endpoint_rejected() {
         let err = from_text("procs 2\nevent 0\nmsg 0 1 1 5\n").unwrap_err();
         assert!(err.to_string().contains("recv endpoint"));
+    }
+
+    #[test]
+    fn parse_line_streams_one_op_at_a_time() {
+        assert_eq!(parse_line("# comment", 1).unwrap(), None);
+        assert_eq!(parse_line("   ", 2).unwrap(), None);
+        assert_eq!(parse_line("procs 3", 3).unwrap(), Some(TraceOp::Procs(3)));
+        assert_eq!(
+            parse_line("var 1 x 5 # trailing", 4).unwrap(),
+            Some(TraceOp::Var {
+                process: 1,
+                name: "x".to_string(),
+                initial: Value::Int(5),
+            })
+        );
+        assert_eq!(
+            parse_line("event 0 label=send x=6 ok=true", 5).unwrap(),
+            Some(TraceOp::Event {
+                process: 0,
+                label: Some("send".to_string()),
+                writes: vec![
+                    ("x".to_string(), Value::Int(6)),
+                    ("ok".to_string(), Value::Bool(true)),
+                ],
+            })
+        );
+        assert_eq!(
+            parse_line("msg 0 1 1 2", 6).unwrap(),
+            Some(TraceOp::Msg {
+                send: (0, 1),
+                recv: (1, 2),
+            })
+        );
+    }
+
+    #[test]
+    fn parse_line_rejects_malformed_input_with_line_numbers() {
+        for (bad, needle) in [
+            ("bogus 1", "unknown directive"),
+            ("procs", "procs needs a count"),
+            ("procs many", "invalid process count"),
+            ("procs 0", "process count out of range"),
+            ("var 0 label 1", "reserved"),
+            ("var 0 x", "var needs an initial value"),
+            ("event x", "invalid process index"),
+            ("event 0 naked", "expected key=value"),
+            ("event 0 x=?", "invalid value"),
+            ("msg 0 1 1", "msg needs 4 fields"),
+            ("msg 0 1 1 no", "invalid recv position"),
+        ] {
+            match parse_line(bad, 7).unwrap_err() {
+                TraceError::Syntax { line, message } => {
+                    assert_eq!(line, 7, "{bad}");
+                    assert!(message.contains(needle), "{bad}: {message}");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -136,6 +136,73 @@ pub(crate) fn slice_from_least_cuts<'a>(comp: &'a Computation, j: &[Option<Cut>]
     Slice::new(comp, edges)
 }
 
+/// A canonical cache key for grafted sub-slices: the set of (process,
+/// clause-label) pairs whose conjunction the slice encodes, sorted and
+/// deduplicated so structurally equal predicates key identically however
+/// their clauses were listed.
+///
+/// The grafting algebra makes this a *cache* key and not just an identity:
+/// `graft_and(slice(K₁), slice(K₂))` has exactly the cuts of
+/// `slice(K₁ ∪ K₂)`, so a store keyed by `GraftKey` can assemble the slice
+/// for any conjunction from the slices of its sub-keys without recomputing
+/// them — the sharing the multi-tenant monitor exploits when thousands of
+/// predicates overlap.
+///
+/// # Examples
+///
+/// ```
+/// use slicing_core::GraftKey;
+///
+/// let a = GraftKey::new(0, ["x > 1"]);
+/// let b = GraftKey::new(2, ["y <= 3"]);
+/// let ab = a.union(&b);
+/// assert_eq!(ab, GraftKey::new(2, ["y <= 3"]).union(&a));
+/// assert_eq!(ab.parts().len(), 2);
+/// // Idempotent: re-adding a clause changes nothing.
+/// assert_eq!(ab.union(&a), ab);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraftKey {
+    parts: Vec<(u32, String)>,
+}
+
+impl GraftKey {
+    /// A key for clauses that all live on one process.
+    pub fn new<I, S>(process: u32, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::from_parts(labels.into_iter().map(|l| (process, l.into())))
+    }
+
+    /// A key from explicit (process, label) pairs; sorted and deduplicated.
+    pub fn from_parts<I>(parts: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, String)>,
+    {
+        let mut parts: Vec<(u32, String)> = parts.into_iter().collect();
+        parts.sort();
+        parts.dedup();
+        GraftKey { parts }
+    }
+
+    /// The key of the conjunction: set union of the two clause sets.
+    pub fn union(&self, other: &GraftKey) -> GraftKey {
+        Self::from_parts(self.parts.iter().chain(other.parts.iter()).cloned())
+    }
+
+    /// The canonical (process, label) pairs, sorted.
+    pub fn parts(&self) -> &[(u32, String)] {
+        &self.parts
+    }
+
+    /// True when the key names no clauses (the conjunction of nothing).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +337,43 @@ mod tests {
     fn or_graft_of_nothing_is_empty() {
         let comp = figure1();
         assert!(graft_or_all(&comp, &[]).is_empty_slice());
+    }
+
+    #[test]
+    fn graft_key_canonicalizes() {
+        let a = GraftKey::new(1, ["b", "a", "b"]);
+        assert_eq!(
+            a.parts(),
+            &[(1u32, "a".to_string()), (1, "b".to_string())] as &[_]
+        );
+        let b = GraftKey::from_parts([(0, "c".into()), (1, "a".into())]);
+        let u = a.union(&b);
+        assert_eq!(u, b.union(&a));
+        assert_eq!(u.parts().len(), 3);
+        assert_eq!(u.union(&a), u);
+        assert!(GraftKey::default().is_empty());
+    }
+
+    /// The cache-key contract: the slice for a union key equals the
+    /// conjunction graft of the sub-keys' slices, cut for cut.
+    #[test]
+    fn graft_key_union_matches_and_graft() {
+        let comp = figure1();
+        let x1 = comp.var(comp.process(0), "x1").unwrap();
+        let x3 = comp.var(comp.process(2), "x3").unwrap();
+        let c1 = LocalPredicate::int(x1, "x1 > 1", |x| x > 1);
+        let c3 = LocalPredicate::int(x3, "x3 <= 3", |x| x <= 3);
+        let k1 = GraftKey::new(0, [c1.label()]);
+        let k3 = GraftKey::new(2, [c3.label()]);
+        let s1 = slice_conjunctive(&comp, &Conjunctive::new(vec![c1.clone()]));
+        let s3 = slice_conjunctive(&comp, &Conjunctive::new(vec![c3.clone()]));
+        let union_slice = slice_conjunctive(&comp, &Conjunctive::new(vec![c1, c3]));
+        let grafted = graft_and(&s1, &s3);
+        let want: BTreeSet<Cut> = all_cuts(&union_slice).into_iter().collect();
+        let got: BTreeSet<Cut> = all_cuts(&grafted).into_iter().collect();
+        assert_eq!(got, want);
+        // And the keys agree on identity: same union whichever way assembled.
+        assert_eq!(k1.union(&k3), k3.union(&k1));
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub use compile::{compile_expr, compile_predicate};
 pub use conjunctive::slice_conjunctive;
 pub use coregular::{slice_co_regular, slice_complement_of};
 pub use decomposable::slice_decomposable;
-pub use graft::{graft_and, graft_and_all, graft_or, graft_or_all};
+pub use graft::{graft_and, graft_and_all, graft_or, graft_or_all, GraftKey};
 pub use incremental::{CompactionStats, OnlineSlicer, SlicerState};
 pub use klocal::slice_klocal;
 pub use linear::{slice_linear, slice_linear_restricted, slice_regular};

@@ -36,58 +36,15 @@ use crate::monitor::OnlineMonitor;
 /// `slicing.checkpoint/v1` document (one line of JSON).
 pub fn encode(state: &MonitorState, metrics_seq: u64) -> String {
     let s = &state.slicer;
-    let mut events = JsonArray::new();
-    for ((&p, &holds), clock) in s.event_procs.iter().zip(&s.holds).zip(&s.clocks) {
-        events = events.push_raw(
-            &JsonObject::new()
-                .u64("p", u64::from(p))
-                .bool("holds", holds)
-                .raw("clock", &u32_array(clock))
-                .finish(),
-        );
-    }
-    let mut vars = JsonArray::new();
-    for names in &s.var_names {
-        let mut row = JsonArray::new();
-        for name in names {
-            row = row.push_str(name);
-        }
-        vars = vars.push_raw(&row.finish());
-    }
-    let mut snapshots = JsonArray::new();
-    for per_process in &s.snapshots {
-        let mut rows = JsonArray::new();
-        for row in per_process {
-            let mut values = JsonArray::new();
-            for value in row {
-                values = values.push_raw(&value_json(value));
-            }
-            rows = rows.push_raw(&values.finish());
-        }
-        snapshots = snapshots.push_raw(&rows.finish());
-    }
     let mut queues = JsonArray::new();
     for queue in &state.queues {
         queues = queues.push_raw(&u32_array(queue));
     }
-    let gc = match state.gc {
-        None => "null".to_owned(),
-        Some(cfg) => JsonObject::new()
-            .u64("lag", u64::from(cfg.lag))
-            .u64("every", cfg.every)
-            .finish(),
-    };
-    JsonObject::new()
+    let obj = JsonObject::new()
         .str("schema", schema::CHECKPOINT)
         .u64("processes", s.num_processes as u64)
-        .u64("metrics_seq", metrics_seq)
-        .raw("base", &u32_array(&s.base))
-        .raw("events", &events.finish())
-        .raw("vars", &vars.finish())
-        .raw("snapshots", &snapshots.finish())
-        .raw("messages", &pair_array(&s.messages))
-        .raw("settled_edges", &pair_array(&s.settled_edges))
-        .u64("clock_revision", s.clock_revision)
+        .u64("metrics_seq", metrics_seq);
+    slicer_fields(obj, s)
         .raw("queues", &queues.finish())
         .raw("dirty", &bool_array(&state.dirty))
         .bool("dirty_any", state.dirty_any)
@@ -95,7 +52,7 @@ pub fn encode(state: &MonitorState, metrics_seq: u64) -> String {
         .raw("current_alarm", &opt_cut_json(&state.current_alarm))
         .raw("last_alarm", &opt_cut_json(&state.last_alarm))
         .raw("stats", &stats_json(&state.stats))
-        .raw("gc", &gc)
+        .raw("gc", &gc_json(&state.gc))
         .u64("since_gc", state.since_gc)
         .finish()
 }
@@ -128,6 +85,97 @@ pub fn decode(doc: &JsonValue) -> Result<(MonitorState, u64), BuildError> {
         )));
     }
     let metrics_seq = get_u64(doc, "metrics_seq")?;
+    let slicer = slicer_from_doc(doc, num_processes)?;
+
+    let mut queues = Vec::with_capacity(num_processes);
+    for queue in get_array(doc, "queues")? {
+        queues.push(u32_vec(queue, "queues")?);
+    }
+    let dirty = bool_vec(field(doc, "dirty")?, "dirty")?;
+    let dirty_any = field(doc, "dirty_any")?
+        .as_bool()
+        .ok_or_else(|| bad("field \"dirty_any\" must be a bool"))?;
+    let seen_revision = get_u64(doc, "seen_revision")?;
+    let current_alarm = opt_cut_from(field(doc, "current_alarm")?, "current_alarm")?;
+    let last_alarm = opt_cut_from(field(doc, "last_alarm")?, "last_alarm")?;
+    let stats = stats_from(field(doc, "stats")?)?;
+    let gc = gc_from(field(doc, "gc")?)?;
+    let since_gc = get_u64(doc, "since_gc")?;
+
+    let state = MonitorState {
+        slicer,
+        queues,
+        dirty,
+        dirty_any,
+        seen_revision,
+        current_alarm,
+        last_alarm,
+        stats,
+        gc,
+        since_gc,
+    };
+    Ok((state, metrics_seq))
+}
+
+/// Parses checkpoint text and decodes it; see [`decode`].
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidState`] on malformed JSON or any
+/// [`decode`] failure.
+pub fn decode_str(text: &str) -> Result<(MonitorState, u64), BuildError> {
+    let doc = slicing_observe::json::parse(text)
+        .map_err(|e| bad(format!("checkpoint is not valid JSON: {e}")))?;
+    decode(&doc)
+}
+
+/// Appends the flat [`SlicerState`] fields (`base` through
+/// `clock_revision`) shared by the monitor and serve checkpoint schemas.
+pub(crate) fn slicer_fields(obj: JsonObject, s: &SlicerState) -> JsonObject {
+    let mut events = JsonArray::new();
+    for ((&p, &holds), clock) in s.event_procs.iter().zip(&s.holds).zip(&s.clocks) {
+        events = events.push_raw(
+            &JsonObject::new()
+                .u64("p", u64::from(p))
+                .bool("holds", holds)
+                .raw("clock", &u32_array(clock))
+                .finish(),
+        );
+    }
+    let mut vars = JsonArray::new();
+    for names in &s.var_names {
+        let mut row = JsonArray::new();
+        for name in names {
+            row = row.push_str(name);
+        }
+        vars = vars.push_raw(&row.finish());
+    }
+    let mut snapshots = JsonArray::new();
+    for per_process in &s.snapshots {
+        let mut rows = JsonArray::new();
+        for row in per_process {
+            let mut values = JsonArray::new();
+            for value in row {
+                values = values.push_raw(&value_json(value));
+            }
+            rows = rows.push_raw(&values.finish());
+        }
+        snapshots = snapshots.push_raw(&rows.finish());
+    }
+    obj.raw("base", &u32_array(&s.base))
+        .raw("events", &events.finish())
+        .raw("vars", &vars.finish())
+        .raw("snapshots", &snapshots.finish())
+        .raw("messages", &pair_array(&s.messages))
+        .raw("settled_edges", &pair_array(&s.settled_edges))
+        .u64("clock_revision", s.clock_revision)
+}
+
+/// Decodes the flat [`SlicerState`] fields written by [`slicer_fields`].
+pub(crate) fn slicer_from_doc(
+    doc: &JsonValue,
+    num_processes: usize,
+) -> Result<SlicerState, BuildError> {
     let base = u32_vec(field(doc, "base")?, "base")?;
 
     let events = get_array(doc, "events")?;
@@ -186,82 +234,55 @@ pub fn decode(doc: &JsonValue) -> Result<(MonitorState, u64), BuildError> {
         snapshots.push(per_process);
     }
 
-    let messages = pair_vec(field(doc, "messages")?, "messages")?;
-    let settled_edges = pair_vec(field(doc, "settled_edges")?, "settled_edges")?;
-    let clock_revision = get_u64(doc, "clock_revision")?;
+    Ok(SlicerState {
+        num_processes,
+        base,
+        event_procs,
+        holds,
+        clocks,
+        var_names,
+        snapshots,
+        messages: pair_vec(field(doc, "messages")?, "messages")?,
+        settled_edges: pair_vec(field(doc, "settled_edges")?, "settled_edges")?,
+        clock_revision: get_u64(doc, "clock_revision")?,
+    })
+}
 
-    let mut queues = Vec::with_capacity(num_processes);
-    for queue in get_array(doc, "queues")? {
-        queues.push(u32_vec(queue, "queues")?);
+/// Renders an optional [`GcConfig`] as `null` or `{"lag":..,"every":..}`.
+pub(crate) fn gc_json(gc: &Option<GcConfig>) -> String {
+    match gc {
+        None => "null".to_owned(),
+        Some(cfg) => JsonObject::new()
+            .u64("lag", u64::from(cfg.lag))
+            .u64("every", cfg.every)
+            .finish(),
     }
-    let dirty = bool_vec(field(doc, "dirty")?, "dirty")?;
-    let dirty_any = field(doc, "dirty_any")?
-        .as_bool()
-        .ok_or_else(|| bad("field \"dirty_any\" must be a bool"))?;
-    let seen_revision = get_u64(doc, "seen_revision")?;
-    let current_alarm = opt_cut_from(field(doc, "current_alarm")?, "current_alarm")?;
-    let last_alarm = opt_cut_from(field(doc, "last_alarm")?, "last_alarm")?;
-    let stats = stats_from(field(doc, "stats")?)?;
-    let gc = match field(doc, "gc")? {
-        JsonValue::Null => None,
+}
+
+/// Decodes what [`gc_json`] wrote, rejecting a zero cadence.
+pub(crate) fn gc_from(value: &JsonValue) -> Result<Option<GcConfig>, BuildError> {
+    match value {
+        JsonValue::Null => Ok(None),
         cfg => {
             let every = get_u64(cfg, "every")?;
             if every == 0 {
                 return Err(bad("gc.every must be positive"));
             }
-            Some(GcConfig {
+            Ok(Some(GcConfig {
                 lag: get_u32(cfg, "lag")?,
                 every,
-            })
+            }))
         }
-    };
-    let since_gc = get_u64(doc, "since_gc")?;
-
-    let state = MonitorState {
-        slicer: SlicerState {
-            num_processes,
-            base,
-            event_procs,
-            holds,
-            clocks,
-            var_names,
-            snapshots,
-            messages,
-            settled_edges,
-            clock_revision,
-        },
-        queues,
-        dirty,
-        dirty_any,
-        seen_revision,
-        current_alarm,
-        last_alarm,
-        stats,
-        gc,
-        since_gc,
-    };
-    Ok((state, metrics_seq))
+    }
 }
 
-/// Parses checkpoint text and decodes it; see [`decode`].
-///
-/// # Errors
-///
-/// Returns [`BuildError::InvalidState`] on malformed JSON or any
-/// [`decode`] failure.
-pub fn decode_str(text: &str) -> Result<(MonitorState, u64), BuildError> {
-    let doc = slicing_observe::json::parse(text)
-        .map_err(|e| bad(format!("checkpoint is not valid JSON: {e}")))?;
-    decode(&doc)
-}
-
-fn bad(detail: impl Into<String>) -> BuildError {
+pub(crate) fn bad(detail: impl Into<String>) -> BuildError {
     BuildError::InvalidState {
         detail: detail.into(),
     }
 }
 
-fn u32_array(values: &[u32]) -> String {
+pub(crate) fn u32_array(values: &[u32]) -> String {
     let mut arr = JsonArray::new();
     for &v in values {
         arr = arr.push_raw(&v.to_string());
@@ -269,7 +290,7 @@ fn u32_array(values: &[u32]) -> String {
     arr.finish()
 }
 
-fn bool_array(values: &[bool]) -> String {
+pub(crate) fn bool_array(values: &[bool]) -> String {
     let mut arr = JsonArray::new();
     for &v in values {
         arr = arr.push_raw(if v { "true" } else { "false" });
@@ -277,7 +298,7 @@ fn bool_array(values: &[bool]) -> String {
     arr.finish()
 }
 
-fn pair_array(pairs: &[(u32, u32)]) -> String {
+pub(crate) fn pair_array(pairs: &[(u32, u32)]) -> String {
     let mut arr = JsonArray::new();
     for &(a, b) in pairs {
         arr = arr.push_raw(&format!("[{a},{b}]"));
@@ -285,14 +306,14 @@ fn pair_array(pairs: &[(u32, u32)]) -> String {
     arr.finish()
 }
 
-fn opt_cut_json(cut: &Option<Vec<u32>>) -> String {
+pub(crate) fn opt_cut_json(cut: &Option<Vec<u32>>) -> String {
     match cut {
         None => "null".to_owned(),
         Some(counts) => u32_array(counts),
     }
 }
 
-fn value_json(value: &Value) -> String {
+pub(crate) fn value_json(value: &Value) -> String {
     match value {
         Value::Int(v) => JsonObject::new().str("t", "int").i64("v", *v).finish(),
         Value::Bool(v) => JsonObject::new().str("t", "bool").bool("v", *v).finish(),
@@ -319,36 +340,36 @@ fn stats_json(stats: &MonitorStats) -> String {
         .finish()
 }
 
-fn field<'a>(doc: &'a JsonValue, name: &str) -> Result<&'a JsonValue, BuildError> {
+pub(crate) fn field<'a>(doc: &'a JsonValue, name: &str) -> Result<&'a JsonValue, BuildError> {
     doc.get(name)
         .ok_or_else(|| bad(format!("checkpoint is missing field {name:?}")))
 }
 
-fn get_u64(doc: &JsonValue, name: &str) -> Result<u64, BuildError> {
+pub(crate) fn get_u64(doc: &JsonValue, name: &str) -> Result<u64, BuildError> {
     field(doc, name)?
         .as_u64()
         .ok_or_else(|| bad(format!("field {name:?} must be a non-negative integer")))
 }
 
-fn get_u32(doc: &JsonValue, name: &str) -> Result<u32, BuildError> {
+pub(crate) fn get_u32(doc: &JsonValue, name: &str) -> Result<u32, BuildError> {
     let v = get_u64(doc, name)?;
     u32::try_from(v).map_err(|_| bad(format!("field {name:?} exceeds u32 range")))
 }
 
-fn get_array<'a>(doc: &'a JsonValue, name: &str) -> Result<&'a [JsonValue], BuildError> {
+pub(crate) fn get_array<'a>(doc: &'a JsonValue, name: &str) -> Result<&'a [JsonValue], BuildError> {
     field(doc, name)?
         .as_array()
         .ok_or_else(|| bad(format!("field {name:?} must be an array")))
 }
 
-fn as_u32(value: &JsonValue, what: &str) -> Result<u32, BuildError> {
+pub(crate) fn as_u32(value: &JsonValue, what: &str) -> Result<u32, BuildError> {
     value
         .as_u64()
         .and_then(|v| u32::try_from(v).ok())
         .ok_or_else(|| bad(format!("{what}: entries must be u32 integers")))
 }
 
-fn u32_vec(value: &JsonValue, what: &str) -> Result<Vec<u32>, BuildError> {
+pub(crate) fn u32_vec(value: &JsonValue, what: &str) -> Result<Vec<u32>, BuildError> {
     value
         .as_array()
         .ok_or_else(|| bad(format!("{what} must be an array")))?
@@ -357,7 +378,7 @@ fn u32_vec(value: &JsonValue, what: &str) -> Result<Vec<u32>, BuildError> {
         .collect()
 }
 
-fn bool_vec(value: &JsonValue, what: &str) -> Result<Vec<bool>, BuildError> {
+pub(crate) fn bool_vec(value: &JsonValue, what: &str) -> Result<Vec<bool>, BuildError> {
     value
         .as_array()
         .ok_or_else(|| bad(format!("{what} must be an array")))?
@@ -369,7 +390,7 @@ fn bool_vec(value: &JsonValue, what: &str) -> Result<Vec<bool>, BuildError> {
         .collect()
 }
 
-fn pair_vec(value: &JsonValue, what: &str) -> Result<Vec<(u32, u32)>, BuildError> {
+pub(crate) fn pair_vec(value: &JsonValue, what: &str) -> Result<Vec<(u32, u32)>, BuildError> {
     value
         .as_array()
         .ok_or_else(|| bad(format!("{what} must be an array")))?
@@ -384,14 +405,14 @@ fn pair_vec(value: &JsonValue, what: &str) -> Result<Vec<(u32, u32)>, BuildError
         .collect()
 }
 
-fn opt_cut_from(value: &JsonValue, what: &str) -> Result<Option<Vec<u32>>, BuildError> {
+pub(crate) fn opt_cut_from(value: &JsonValue, what: &str) -> Result<Option<Vec<u32>>, BuildError> {
     match value {
         JsonValue::Null => Ok(None),
         v => u32_vec(v, what).map(Some),
     }
 }
 
-fn value_from(value: &JsonValue, num_processes: usize) -> Result<Value, BuildError> {
+pub(crate) fn value_from(value: &JsonValue, num_processes: usize) -> Result<Value, BuildError> {
     let tag = value
         .get("t")
         .and_then(JsonValue::as_str)

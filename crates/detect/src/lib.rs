@@ -60,10 +60,12 @@ mod lean;
 mod metrics;
 mod modalities;
 mod monitor;
+mod multiplex;
 mod parallel;
 mod pom;
 mod resilient;
 mod reverse_search;
+pub mod serve_checkpoint;
 mod slicing;
 pub mod testkit;
 
@@ -76,6 +78,9 @@ pub use modalities::{
     controllable, detect_controllable, invariant, invariant_lean, invariant_via_slicing,
 };
 pub use monitor::{GcConfig, MonitorState, MonitorStats, OnlineMonitor};
+pub use multiplex::{
+    AlarmReport, GroupState, HubAlarm, HubState, HubStats, MonitorHub, SlotState, TenantState,
+};
 pub use parallel::detect_bfs_parallel;
 pub use pom::detect_pom;
 pub use resilient::{detect_resilient, Engine, ResilientConfig, ResilientDetection};

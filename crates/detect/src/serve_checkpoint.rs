@@ -1,0 +1,398 @@
+//! The `slicing.serve-checkpoint/v1` codec: serialize a [`MonitorHub`]'s
+//! exported [`HubState`] to a self-describing JSON document and decode it
+//! back for a mid-stream restart of `slicing serve`.
+//!
+//! Like `slicing.checkpoint/v1` this is *state-only*: clause closures
+//! cannot be serialized, so after [`decode`] the caller rebuilds the hub
+//! with [`MonitorHub::from_state`] and re-registers every tenant's
+//! predicate via [`MonitorHub::restore_tenant`] (the tenant sources are in
+//! the document precisely so the CLI can re-parse them). The document also
+//! carries the metrics-stream sequence cursor so a resumed
+//! [`MetricsSnapshotter`](slicing_observe::MetricsSnapshotter) continues
+//! `slicing.metrics/v1` deltas monotonically.
+//!
+//! The slicer portion shares its wire layout (and code) with the monitor
+//! checkpoint; the hub portion adds the value mirror, the distinct-clause
+//! table, the shared candidate slots, the per-group settle state, and the
+//! tenant registry.
+
+use slicing_computation::{BuildError, ProcSet};
+use slicing_observe::json::{JsonArray, JsonObject, JsonValue};
+use slicing_observe::schema;
+
+use crate::checkpoint::{
+    bad, field, gc_from, gc_json, get_array, get_u32, get_u64, opt_cut_from, opt_cut_json,
+    slicer_fields, slicer_from_doc, u32_array, u32_vec, value_from, value_json,
+};
+use crate::multiplex::{GroupState, HubState, HubStats, SlotState, TenantState};
+
+#[cfg(doc)]
+use crate::multiplex::MonitorHub;
+
+/// Serializes a hub state plus the metrics-stream cursor as a
+/// `slicing.serve-checkpoint/v1` document (one line of JSON).
+pub fn encode(state: &HubState, metrics_seq: u64) -> String {
+    let mut values = JsonArray::new();
+    for row in &state.values {
+        let mut arr = JsonArray::new();
+        for value in row {
+            arr = arr.push_raw(&value_json(value));
+        }
+        values = values.push_raw(&arr.finish());
+    }
+    let mut clauses = JsonArray::new();
+    for (p, label) in &state.clauses {
+        clauses = clauses.push_raw(
+            &JsonObject::new()
+                .u64("p", u64::from(*p))
+                .str("label", label)
+                .finish(),
+        );
+    }
+    let mut slots = JsonArray::new();
+    for slot in &state.slots {
+        slots = slots.push_raw(
+            &JsonObject::new()
+                .u64("p", u64::from(slot.process))
+                .raw("clauses", &u32_array(&slot.clauses))
+                .u64("start", slot.start)
+                .raw("candidates", &u32_array(&slot.candidates))
+                .finish(),
+        );
+    }
+    let mut groups = JsonArray::new();
+    for group in &state.groups {
+        groups = groups.push_raw(
+            &JsonObject::new()
+                .str("source", &group.source)
+                .raw("slots", &u32_array(&group.slots))
+                .raw("fronts", &u64_array(&group.fronts))
+                .raw("dirty", &bool_array(&group.dirty))
+                .bool("dirty_any", group.dirty_any)
+                .u64("seen_revision", group.seen_revision)
+                .raw("current_alarm", &opt_cut_json(&group.current_alarm))
+                .raw("last_alarm", &opt_cut_json(&group.last_alarm))
+                .u64("check_cost", group.check_cost)
+                .u64("alarms", group.alarms)
+                .finish(),
+        );
+    }
+    let mut tenants = JsonArray::new();
+    for tenant in &state.tenants {
+        tenants = tenants.push_raw(
+            &JsonObject::new()
+                .str("id", &tenant.id)
+                .u64("group", u64::from(tenant.group))
+                .str("source", &tenant.source)
+                .finish(),
+        );
+    }
+    let obj = JsonObject::new()
+        .str("schema", schema::SERVE_CHECKPOINT)
+        .u64("processes", state.slicer.num_processes as u64)
+        .u64("metrics_seq", metrics_seq);
+    slicer_fields(obj, &state.slicer)
+        .raw("values", &values.finish())
+        .raw("clauses", &clauses.finish())
+        .raw("slots", &slots.finish())
+        .raw("groups", &groups.finish())
+        .raw("tenants", &tenants.finish())
+        .raw("stats", &stats_json(&state.stats))
+        .raw("gc", &gc_json(&state.gc))
+        .u64("since_gc", state.since_gc)
+        .finish()
+}
+
+/// Decodes a parsed `slicing.serve-checkpoint/v1` document back into the
+/// hub state and the metrics-stream cursor it was taken at.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidState`] when the document is not a
+/// well-formed serve checkpoint; the deeper consistency checks (candidate
+/// ordering, cursor bounds) run when the result is fed to
+/// [`MonitorHub::from_state`].
+pub fn decode(doc: &JsonValue) -> Result<(HubState, u64), BuildError> {
+    let tag = field(doc, "schema")?
+        .as_str()
+        .ok_or_else(|| bad("field \"schema\" must be a string"))?;
+    if tag != schema::SERVE_CHECKPOINT {
+        return Err(bad(format!(
+            "schema is {tag:?}, expected {:?}",
+            schema::SERVE_CHECKPOINT
+        )));
+    }
+    let num_processes = get_u64(doc, "processes")? as usize;
+    if num_processes == 0 || num_processes > ProcSet::MAX_PROCESSES {
+        return Err(bad(format!(
+            "\"processes\" must be in 1..={}",
+            ProcSet::MAX_PROCESSES
+        )));
+    }
+    let metrics_seq = get_u64(doc, "metrics_seq")?;
+    let slicer = slicer_from_doc(doc, num_processes)?;
+
+    let mut values = Vec::with_capacity(num_processes);
+    for (p, row) in get_array(doc, "values")?.iter().enumerate() {
+        let row = row
+            .as_array()
+            .ok_or_else(|| bad(format!("values[{p}] must be an array")))?;
+        let mut mirror = Vec::with_capacity(row.len());
+        for value in row {
+            mirror.push(value_from(value, num_processes)?);
+        }
+        values.push(mirror);
+    }
+
+    let mut clauses = Vec::new();
+    for (i, clause) in get_array(doc, "clauses")?.iter().enumerate() {
+        let p = get_u32(clause, "p").map_err(|_| bad(format!("clauses[{i}]: bad \"p\"")))?;
+        let label = field(clause, "label")?
+            .as_str()
+            .ok_or_else(|| bad(format!("clauses[{i}]: \"label\" must be a string")))?;
+        clauses.push((p, label.to_owned()));
+    }
+
+    let mut slots = Vec::new();
+    for (i, slot) in get_array(doc, "slots")?.iter().enumerate() {
+        slots.push(SlotState {
+            process: get_u32(slot, "p").map_err(|_| bad(format!("slots[{i}]: bad \"p\"")))?,
+            clauses: u32_vec(field(slot, "clauses")?, "slot clauses")?,
+            start: get_u64(slot, "start")?,
+            candidates: u32_vec(field(slot, "candidates")?, "slot candidates")?,
+        });
+    }
+
+    let mut groups = Vec::new();
+    for (i, group) in get_array(doc, "groups")?.iter().enumerate() {
+        let at = format!("groups[{i}]");
+        groups.push(GroupState {
+            source: field(group, "source")?
+                .as_str()
+                .ok_or_else(|| bad(format!("{at}: \"source\" must be a string")))?
+                .to_owned(),
+            slots: u32_vec(field(group, "slots")?, "group slots")?,
+            fronts: u64_vec(field(group, "fronts")?, "group fronts")?,
+            dirty: crate::checkpoint::bool_vec(field(group, "dirty")?, "group dirty")?,
+            dirty_any: field(group, "dirty_any")?
+                .as_bool()
+                .ok_or_else(|| bad(format!("{at}: \"dirty_any\" must be a bool")))?,
+            seen_revision: get_u64(group, "seen_revision")?,
+            current_alarm: opt_cut_from(field(group, "current_alarm")?, "current_alarm")?,
+            last_alarm: opt_cut_from(field(group, "last_alarm")?, "last_alarm")?,
+            check_cost: get_u64(group, "check_cost")?,
+            alarms: get_u64(group, "alarms")?,
+        });
+    }
+
+    let mut tenants = Vec::new();
+    for (i, tenant) in get_array(doc, "tenants")?.iter().enumerate() {
+        let at = format!("tenants[{i}]");
+        tenants.push(TenantState {
+            id: field(tenant, "id")?
+                .as_str()
+                .ok_or_else(|| bad(format!("{at}: \"id\" must be a string")))?
+                .to_owned(),
+            group: get_u32(tenant, "group")?,
+            source: field(tenant, "source")?
+                .as_str()
+                .ok_or_else(|| bad(format!("{at}: \"source\" must be a string")))?
+                .to_owned(),
+        });
+    }
+
+    let stats = stats_from(field(doc, "stats")?)?;
+    let gc = gc_from(field(doc, "gc")?)?;
+    let since_gc = get_u64(doc, "since_gc")?;
+
+    let state = HubState {
+        slicer,
+        values,
+        clauses,
+        slots,
+        groups,
+        tenants,
+        stats,
+        gc,
+        since_gc,
+    };
+    Ok((state, metrics_seq))
+}
+
+/// Parses serve-checkpoint text and decodes it; see [`decode`].
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidState`] on malformed JSON or any
+/// [`decode`] failure.
+pub fn decode_str(text: &str) -> Result<(HubState, u64), BuildError> {
+    let doc = slicing_observe::json::parse(text)
+        .map_err(|e| bad(format!("serve checkpoint is not valid JSON: {e}")))?;
+    decode(&doc)
+}
+
+fn u64_array(values: &[u64]) -> String {
+    let mut arr = JsonArray::new();
+    for &v in values {
+        arr = arr.push_raw(&v.to_string());
+    }
+    arr.finish()
+}
+
+fn bool_array(values: &[bool]) -> String {
+    let mut arr = JsonArray::new();
+    for &v in values {
+        arr = arr.push_raw(if v { "true" } else { "false" });
+    }
+    arr.finish()
+}
+
+fn u64_vec(value: &JsonValue, what: &str) -> Result<Vec<u64>, BuildError> {
+    value
+        .as_array()
+        .ok_or_else(|| bad(format!("{what} must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| bad(format!("{what}: entries must be u64 integers")))
+        })
+        .collect()
+}
+
+fn stats_json(stats: &HubStats) -> String {
+    JsonObject::new()
+        .u64("events", stats.events)
+        .u64("messages", stats.messages)
+        .u64("checks", stats.checks)
+        .u64("alarms", stats.alarms)
+        .u64("check_cost", stats.check_cost)
+        .u64("clause_evals", stats.clause_evals)
+        .u64("delta_cuts", stats.delta_cuts)
+        .u64("peak_candidates", stats.peak_candidates)
+        .u64("compactions", stats.compactions)
+        .u64("dropped_events", stats.dropped_events)
+        .u64("retained_peak", stats.retained_peak)
+        .u64("fanout_sent", stats.fanout_sent)
+        .u64("fanout_dropped", stats.fanout_dropped)
+        .finish()
+}
+
+fn stats_from(doc: &JsonValue) -> Result<HubStats, BuildError> {
+    Ok(HubStats {
+        events: get_u64(doc, "events")?,
+        messages: get_u64(doc, "messages")?,
+        checks: get_u64(doc, "checks")?,
+        alarms: get_u64(doc, "alarms")?,
+        check_cost: get_u64(doc, "check_cost")?,
+        clause_evals: get_u64(doc, "clause_evals")?,
+        delta_cuts: get_u64(doc, "delta_cuts")?,
+        peak_candidates: get_u64(doc, "peak_candidates")?,
+        compactions: get_u64(doc, "compactions")?,
+        dropped_events: get_u64(doc, "dropped_events")?,
+        retained_peak: get_u64(doc, "retained_peak")?,
+        fanout_sent: get_u64(doc, "fanout_sent")?,
+        fanout_dropped: get_u64(doc, "fanout_dropped")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::GcConfig;
+    use crate::multiplex::MonitorHub;
+    use slicing_computation::{Value, VarRef};
+    use slicing_predicates::{Conjunctive, LocalPredicate};
+
+    fn busy_hub() -> (MonitorHub, Vec<VarRef>) {
+        let mut hub = MonitorHub::new(2).with_gc(GcConfig { lag: 4, every: 16 });
+        let a = hub.declare_var(0, "x", Value::Int(0)).unwrap();
+        let b = hub.declare_var(1, "x", Value::Int(0)).unwrap();
+        hub.add_tenant("alice", &pred(a, b), "x@0 > 1 && x@1 > 1")
+            .unwrap();
+        hub.add_tenant("bob", &pred(a, b), "x@0 > 1 && x@1 > 1")
+            .unwrap();
+        let mut events = Vec::new();
+        for i in 0..12 {
+            let p = (i % 2) as usize;
+            let var = if p == 0 { a } else { b };
+            let e = hub.observe(p, &[(var, Value::Int(i))]).unwrap();
+            if let Some(&prev) = events.last() {
+                hub.message(prev, e).unwrap();
+            }
+            events.push(e);
+            for r in hub.check_all() {
+                hub.acknowledge(r.group);
+            }
+        }
+        (hub, vec![a, b])
+    }
+
+    fn pred(a: VarRef, b: VarRef) -> Conjunctive {
+        Conjunctive::new(vec![
+            LocalPredicate::int(a, "x@0 > 1", |v| v > 1),
+            LocalPredicate::int(b, "x@1 > 1", |v| v > 1),
+        ])
+    }
+
+    #[test]
+    fn serve_checkpoints_round_trip_exactly() {
+        let (hub, vars) = busy_hub();
+        let state = hub.export_state();
+        let text = encode(&state, 42);
+        let (decoded, metrics_seq) = decode_str(&text).unwrap();
+        assert_eq!(metrics_seq, 42);
+        assert_eq!(decoded, state);
+
+        let mut resumed = MonitorHub::from_state(&decoded).unwrap();
+        resumed
+            .restore_tenant("alice", &pred(vars[0], vars[1]))
+            .unwrap();
+        resumed
+            .restore_tenant("bob", &pred(vars[0], vars[1]))
+            .unwrap();
+        assert!(resumed.unrestored_clauses().is_empty());
+        assert_eq!(resumed.export_state(), state);
+    }
+
+    #[test]
+    fn serve_checkpoints_pass_the_schema_registry() {
+        let (hub, _) = busy_hub();
+        let text = encode(&hub.export_state(), 0);
+        let doc = slicing_observe::json::parse(&text).unwrap();
+        assert_eq!(
+            slicing_observe::schema::validate(&doc).unwrap(),
+            schema::SERVE_CHECKPOINT
+        );
+    }
+
+    #[test]
+    fn corrupt_serve_documents_are_rejected_with_typed_errors() {
+        let (hub, _) = busy_hub();
+        let text = encode(&hub.export_state(), 3);
+
+        let reject = |mutate: &dyn Fn(&str) -> String, needle: &str| {
+            let err = decode_str(&mutate(&text)).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                matches!(err, BuildError::InvalidState { .. }) && msg.contains(needle),
+                "expected InvalidState mentioning {needle:?}, got: {msg}"
+            );
+        };
+
+        reject(
+            &|t| t.replace("slicing.serve-checkpoint/v1", "slicing.checkpoint/v1"),
+            "schema",
+        );
+        reject(
+            &|t| t.replace("\"processes\":2", "\"processes\":0"),
+            "processes",
+        );
+        reject(
+            &|t| t.replace("\"fanout_dropped\":", "\"renamed\":"),
+            "fanout_dropped",
+        );
+        reject(&|t| t.replace("\"every\":16", "\"every\":0"), "every");
+        assert!(decode_str("not json").is_err());
+        assert!(decode_str("{}").is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! Differential lockdown for the predicate-multiplexing hub: N tenants on
+//! one [`MonitorHub`] must be observationally identical to N independent
+//! [`OnlineMonitor`]s fed the same stream — same alarms at the same
+//! points, same least-cut witnesses — while doing strictly less total
+//! work. Plus the degradation contract: a laggard subscriber loses
+//! alarms, never the ingestion path.
+
+use std::sync::Arc;
+
+use slicing_computation::{Cut, Value, VarRef};
+use slicing_detect::{MonitorHub, OnlineMonitor};
+use slicing_observe::{Level, MemoryRecorder};
+use slicing_predicates::{Conjunctive, LocalPredicate};
+
+/// Deterministic generator, same recurrence the inline equivalence tests
+/// use, so failures reproduce bit-for-bit.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const PROCS: usize = 6;
+
+/// The clause pool: one threshold clause per (process, parity) pair.
+/// Tenants draw pairs of clauses from here, so distinct tenants overlap
+/// heavily — the regime the hub is built for.
+fn clause_pool(vars: &[VarRef]) -> Vec<(String, LocalPredicate)> {
+    let mut pool = Vec::new();
+    for (p, &v) in vars.iter().enumerate() {
+        pool.push((
+            format!("x@{p} > 3"),
+            LocalPredicate::int(v, format!("x@{p} > 3"), |x| x > 3),
+        ));
+        pool.push((
+            format!("x@{p} == 0"),
+            LocalPredicate::int(v, format!("x@{p} == 0"), |x| x == 0),
+        ));
+    }
+    pool
+}
+
+/// Tenant `i` watches clauses `i % pool` and `(i * 5 + 3) % pool` (distinct
+/// processes forced by construction below).
+fn tenant_clauses(i: usize, pool_len: usize) -> (usize, usize) {
+    let a = i % pool_len;
+    let mut b = (i * 5 + 3) % pool_len;
+    // A conjunctive predicate may not read two clauses of the same
+    // process slot here — keep the pair on distinct processes so the
+    // group key has width 2.
+    while b / 2 == a / 2 {
+        b = (b + 2) % pool_len;
+    }
+    (a, b)
+}
+
+/// One recorded step of the shared stream.
+enum Step {
+    Event { process: usize, value: i64 },
+    Msg { from: usize, to: usize },
+}
+
+/// The shared deterministic stream: events on random processes, a
+/// cross-process message every few steps (index pairs into the event
+/// log), so GC frontiers and causal joins are exercised.
+fn build_stream(seed: u64, steps: usize) -> Vec<Step> {
+    let mut rng = XorShift(seed);
+    let mut stream = Vec::with_capacity(steps);
+    let mut event_procs: Vec<usize> = Vec::new();
+    for s in 0..steps {
+        let process = rng.below(PROCS as u64) as usize;
+        stream.push(Step::Event {
+            process,
+            value: rng.below(6) as i64,
+        });
+        event_procs.push(process);
+        if s % 4 == 3 && event_procs.len() > 1 {
+            let to = event_procs.len() - 1;
+            let from = rng.below(to as u64) as usize;
+            // A message must cross processes; skip same-process draws
+            // rather than redrawing so the stream stays a pure function
+            // of the seed.
+            if event_procs[from] != event_procs[to] {
+                stream.push(Step::Msg { from, to });
+            }
+        }
+    }
+    stream
+}
+
+struct HubRun {
+    alarms: Vec<Vec<(u64, Cut)>>,
+    check_cost_by_tenant: Vec<u64>,
+    events: u64,
+    clause_evals: u64,
+    total_check_cost: u64,
+}
+
+fn run_hub(tenants: usize, stream: &[Step]) -> HubRun {
+    let mut hub = MonitorHub::new(PROCS);
+    let vars: Vec<VarRef> = (0..PROCS)
+        .map(|p| hub.declare_var(p, "x", Value::Int(0)).unwrap())
+        .collect();
+    let pool = clause_pool(&vars);
+    for i in 0..tenants {
+        let (a, b) = tenant_clauses(i, pool.len());
+        let pred = Conjunctive::new(vec![pool[a].1.clone(), pool[b].1.clone()]);
+        let source = format!("{} && {}", pool[a].0, pool[b].0);
+        hub.add_tenant(&format!("t{i}"), &pred, &source).unwrap();
+    }
+    let registration_evals = hub.stats().clause_evals;
+    let mut alarms = vec![Vec::new(); tenants];
+    let mut event_ids = Vec::new();
+    for step in stream {
+        match step {
+            Step::Event { process, value } => {
+                let e = hub
+                    .observe(*process, &[(vars[*process], Value::Int(*value))])
+                    .unwrap();
+                event_ids.push(e);
+            }
+            Step::Msg { from, to } => {
+                hub.message(event_ids[*from], event_ids[*to]).unwrap();
+            }
+        }
+        for report in hub.check_all() {
+            for id in &report.tenants {
+                let i: usize = id[1..].parse().unwrap();
+                alarms[i].push((report.alarm.events, report.alarm.cut.clone()));
+            }
+        }
+    }
+    let check_cost_by_tenant = (0..tenants)
+        .map(|i| {
+            let g = hub.group_of(&format!("t{i}")).unwrap();
+            hub.group_check_cost(g).unwrap()
+        })
+        .collect();
+    let stats = hub.stats();
+    HubRun {
+        alarms,
+        check_cost_by_tenant,
+        events: stats.events,
+        clause_evals: stats.clause_evals - registration_evals,
+        total_check_cost: stats.check_cost,
+    }
+}
+
+struct MonitorRun {
+    alarms: Vec<(u64, Cut)>,
+    events: u64,
+    check_cost: u64,
+}
+
+fn run_monitor(tenant: usize, stream: &[Step]) -> MonitorRun {
+    let mut m = OnlineMonitor::new(PROCS);
+    let vars: Vec<VarRef> = (0..PROCS)
+        .map(|p| m.declare_var(p, "x", Value::Int(0)).unwrap())
+        .collect();
+    let pool = clause_pool(&vars);
+    let (a, b) = tenant_clauses(tenant, pool.len());
+    m.watch_clause(pool[a].1.clone()).unwrap();
+    m.watch_clause(pool[b].1.clone()).unwrap();
+    let mut alarms = Vec::new();
+    let mut event_ids = Vec::new();
+    let mut events = 0u64;
+    for step in stream {
+        match step {
+            Step::Event { process, value } => {
+                let e = m
+                    .observe(*process, &[(vars[*process], Value::Int(*value))])
+                    .unwrap();
+                event_ids.push(e);
+                events += 1;
+            }
+            Step::Msg { from, to } => {
+                m.message(event_ids[*from], event_ids[*to]).unwrap();
+            }
+        }
+        if let Some(cut) = m.check().unwrap() {
+            alarms.push((events, cut));
+        }
+    }
+    let stats = m.stats();
+    MonitorRun {
+        alarms,
+        events: stats.events,
+        check_cost: stats.check_cost,
+    }
+}
+
+/// The tentpole differential: 24 tenants multiplexed on one hub report
+/// exactly the alarms (count, position, and least-cut witness) that 24
+/// independent monitors report, and per-group settle work matches the
+/// standalone monitor probe-for-probe.
+#[test]
+fn hub_matches_independent_monitors_alarm_for_alarm() {
+    const TENANTS: usize = 24;
+    let stream = build_stream(0x5eed_cafe, 400);
+    let hub = run_hub(TENANTS, &stream);
+    for i in 0..TENANTS {
+        let solo = run_monitor(i, &stream);
+        assert_eq!(
+            hub.alarms[i], solo.alarms,
+            "tenant t{i}: hub and standalone monitor disagree"
+        );
+        assert_eq!(
+            hub.check_cost_by_tenant[i], solo.check_cost,
+            "tenant t{i}: group settle work diverged from the standalone monitor"
+        );
+    }
+}
+
+/// The sharing claim, as a strict inequality on deterministic counters:
+/// the hub's total work (one shared event ingest + one eval per distinct
+/// clause + per-group settles) is strictly below the sum the same tenants
+/// cost as independent monitors (N ingests + N× clause evals + N settles).
+#[test]
+fn multiplexed_work_is_strictly_below_the_independent_sum() {
+    const TENANTS: usize = 24;
+    let stream = build_stream(0x5eed_cafe, 400);
+    let hub = run_hub(TENANTS, &stream);
+    let mut independent_total = 0u64;
+    let mut shared_settles = 0u64;
+    for i in 0..TENANTS {
+        let solo = run_monitor(i, &stream);
+        // A standalone monitor pays its event ingest (with one clause
+        // evaluation per watched clause folded into it) plus its settle
+        // probes.
+        independent_total += solo.events + 2 * solo.events / (PROCS as u64) + solo.check_cost;
+        shared_settles += solo.check_cost;
+    }
+    // Distinct groups < tenants (the pool is smaller than the roster), so
+    // the hub settles each shared group once where independent monitors
+    // settle it once per tenant.
+    let hub_total = hub.events + hub.clause_evals + hub.total_check_cost;
+    assert!(
+        hub.total_check_cost < shared_settles,
+        "shared settles not deduplicated: hub {} vs independent {}",
+        hub.total_check_cost,
+        shared_settles
+    );
+    assert!(
+        hub_total < independent_total,
+        "multiplexing cost {hub_total} is not below the independent sum {independent_total}"
+    );
+}
+
+/// The degradation contract: a subscriber that never drains its bounded
+/// channel loses alarms past the channel capacity — counted, not
+/// blocking — while a healthy subscriber on the same group keeps
+/// receiving, and ingestion completes regardless.
+#[test]
+fn laggard_subscribers_drop_alarms_without_blocking_ingestion() {
+    let rec = Arc::new(MemoryRecorder::new(Level::Trace));
+    let _guard = slicing_observe::scoped(rec.clone());
+
+    let mut hub = MonitorHub::new(2);
+    let a = hub.declare_var(0, "x", Value::Int(0)).unwrap();
+    let b = hub.declare_var(1, "x", Value::Int(0)).unwrap();
+    let pred = Conjunctive::new(vec![
+        LocalPredicate::int(a, "x@0 > 0", |v| v > 0),
+        LocalPredicate::int(b, "x@1 > 0", |v| v > 0),
+    ]);
+    hub.add_tenant("laggard", &pred, "p").unwrap();
+    hub.add_tenant("healthy", &pred, "p").unwrap();
+    let laggard_rx = hub.subscribe("laggard", 2).unwrap();
+    let healthy_rx = hub.subscribe("healthy", 64).unwrap();
+
+    // Each round raises both processes then resets them, and the hub is
+    // acknowledged, so every round settles a fresh distinct alarm.
+    const ROUNDS: u64 = 10;
+    for _ in 0..ROUNDS {
+        hub.observe(0, &[(a, Value::Int(1))]).unwrap();
+        hub.observe(1, &[(b, Value::Int(1))]).unwrap();
+        let reports = hub.check_all();
+        assert_eq!(reports.len(), 1, "each round must alarm");
+        let group = reports[0].group;
+        hub.acknowledge(group);
+        hub.observe(0, &[(a, Value::Int(0))]).unwrap();
+        hub.observe(1, &[(b, Value::Int(0))]).unwrap();
+        hub.check_all();
+    }
+
+    // Ingestion finished — every event got in regardless of the laggard.
+    assert_eq!(hub.stats().events, ROUNDS * 4);
+    // The healthy subscriber saw every alarm; the laggard only holds its
+    // channel capacity.
+    assert_eq!(healthy_rx.try_iter().count() as u64, ROUNDS);
+    assert_eq!(laggard_rx.try_iter().count(), 2);
+    let dropped = ROUNDS - 2;
+    assert_eq!(hub.stats().fanout_dropped, dropped);
+    assert_eq!(hub.stats().fanout_sent, ROUNDS + 2);
+    // The degradation is observable: `serve.tenants.dropped` counts every
+    // alarm shed to a full channel.
+    assert_eq!(rec.counter_total("serve.tenants.dropped"), dropped);
+}
+
+/// Dead subscribers (receiver dropped) are pruned instead of counted as
+/// laggards: fan-out neither blocks nor inflates the drop counter.
+#[test]
+fn disconnected_subscribers_are_pruned_silently() {
+    let rec = Arc::new(MemoryRecorder::new(Level::Trace));
+    let _guard = slicing_observe::scoped(rec.clone());
+
+    let mut hub = MonitorHub::new(2);
+    let a = hub.declare_var(0, "x", Value::Int(0)).unwrap();
+    let b = hub.declare_var(1, "x", Value::Int(0)).unwrap();
+    let pred = Conjunctive::new(vec![
+        LocalPredicate::int(a, "x@0 > 0", |v| v > 0),
+        LocalPredicate::int(b, "x@1 > 0", |v| v > 0),
+    ]);
+    hub.add_tenant("ghost", &pred, "p").unwrap();
+    drop(hub.subscribe("ghost", 1).unwrap());
+
+    hub.observe(0, &[(a, Value::Int(1))]).unwrap();
+    hub.observe(1, &[(b, Value::Int(1))]).unwrap();
+    assert_eq!(hub.check_all().len(), 1);
+    assert_eq!(hub.stats().fanout_dropped, 0);
+    assert_eq!(rec.counter_total("serve.tenants.dropped"), 0);
+}

@@ -79,6 +79,24 @@ pub fn rules_for(schema: &str) -> Option<DiffRules> {
                 "heap_allocs",
             ],
         }),
+        s if s == crate::schema::BENCH_SERVE => Some(DiffRules {
+            // The tenant sweep is seeded, so the stream shape and alarm
+            // verdicts must reproduce exactly; the sharing-dependent work
+            // counters are gated so a deliberate hub retune doesn't need a
+            // synchronized baseline. `--quick` shrinks the stream, so the
+            // gate compares like against like via the scale-invariant
+            // per-event cost, exactly as BENCH_ONLINE does.
+            exact: &["tenants", "events", "messages", "alarms"],
+            gated: &[
+                "groups",
+                "slots",
+                "check_cost",
+                "clause_evals",
+                "delta_cuts",
+                "cost_per_event_milli",
+                "heap_allocs",
+            ],
+        }),
         s if s == crate::schema::BENCH_PROTOCOLS => Some(DiffRules {
             // Every column is an exact function of the seeded protocol
             // runs; witness sizes are part of the detection semantics and

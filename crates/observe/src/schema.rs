@@ -55,6 +55,16 @@ pub const BENCH_SOAK: &str = "slicing.bench-soak/v1";
 /// `table_protocols`' scenario-zoo baseline (`BENCH_protocols.json`).
 pub const BENCH_PROTOCOLS: &str = "slicing.bench-protocols/v1";
 
+/// The CLI `serve` subcommand's multi-tenant stream summary.
+pub const SERVE_REPORT: &str = "slicing.serve-report/v1";
+
+/// `table_serve`'s tenant-sweep baseline (`BENCH_serve.json`).
+pub const BENCH_SERVE: &str = "slicing.bench-serve/v1";
+
+/// A multi-tenant hub checkpoint for mid-stream restart
+/// (`slicing serve --checkpoint` / `--resume`).
+pub const SERVE_CHECKPOINT: &str = "slicing.serve-checkpoint/v1";
+
 /// Every schema this workspace version knows, for enumeration in docs
 /// and tools.
 pub const ALL: &[&str] = &[
@@ -71,6 +81,9 @@ pub const ALL: &[&str] = &[
     CHECKPOINT,
     BENCH_SOAK,
     BENCH_PROTOCOLS,
+    SERVE_REPORT,
+    BENCH_SERVE,
+    SERVE_CHECKPOINT,
 ];
 
 /// Why [`validate`] rejected a document.
@@ -160,6 +173,9 @@ pub fn validate(doc: &JsonValue) -> Result<&'static str, SchemaError> {
         CHECKPOINT => validate_checkpoint(doc)?,
         BENCH_SOAK => validate_bench_soak(doc)?,
         BENCH_PROTOCOLS => validate_bench_protocols(doc)?,
+        SERVE_REPORT => validate_serve_report(doc)?,
+        BENCH_SERVE => validate_bench_serve(doc)?,
+        SERVE_CHECKPOINT => validate_serve_checkpoint(doc)?,
         _ => unreachable!("ALL and the match arms list the same schemas"),
     }
     Ok(known)
@@ -425,6 +441,126 @@ fn validate_bench_protocols(doc: &JsonValue) -> Result<(), SchemaError> {
             "row_joins",
         ],
     )
+}
+
+fn validate_serve_report(doc: &JsonValue) -> Result<(), SchemaError> {
+    for field in [
+        "tenants",
+        "groups",
+        "slots",
+        "events",
+        "messages",
+        "checks",
+        "alarms",
+        "check_cost",
+        "clause_evals",
+        "delta_cuts",
+        "peak_candidates",
+        "dropped",
+    ] {
+        require_u64(doc, field, "document")?;
+    }
+    for (i, alarm) in require_array(doc, "alarm_log", "document")?
+        .iter()
+        .enumerate()
+    {
+        let aat = format!("alarm_log[{i}]");
+        require_str(alarm, "tenant", &aat)?;
+        require_u64(alarm, "events", &aat)?;
+        require_array(alarm, "cut", &aat)?;
+    }
+    Ok(())
+}
+
+fn validate_bench_serve(doc: &JsonValue) -> Result<(), SchemaError> {
+    validate_bench_table(
+        doc,
+        &[],
+        &[
+            "tenants",
+            "groups",
+            "slots",
+            "events",
+            "messages",
+            "alarms",
+            "check_cost",
+            "clause_evals",
+            "delta_cuts",
+            "cost_per_event_milli",
+            "heap_allocs",
+        ],
+    )
+}
+
+fn validate_serve_checkpoint(doc: &JsonValue) -> Result<(), SchemaError> {
+    let n = require_u64(doc, "processes", "document")?;
+    if n == 0 {
+        return Err(fail("document: \"processes\" must be positive".to_owned()));
+    }
+    for field in ["metrics_seq", "clock_revision", "since_gc"] {
+        require_u64(doc, field, "document")?;
+    }
+    for field in ["base", "vars", "snapshots", "values"] {
+        let arr = require_array(doc, field, "document")?;
+        if arr.len() != n as usize {
+            return Err(fail(format!(
+                "document: field {field:?} must have one entry per process"
+            )));
+        }
+    }
+    for field in ["events", "messages", "settled_edges", "clauses"] {
+        require_array(doc, field, "document")?;
+    }
+    for (i, slot) in require_array(doc, "slots", "document")?.iter().enumerate() {
+        let sat = format!("slots[{i}]");
+        require_u64(slot, "p", &sat)?;
+        require_u64(slot, "start", &sat)?;
+        require_array(slot, "clauses", &sat)?;
+        require_array(slot, "candidates", &sat)?;
+    }
+    for (i, group) in require_array(doc, "groups", "document")?.iter().enumerate() {
+        let gat = format!("groups[{i}]");
+        require_str(group, "source", &gat)?;
+        require_bool(group, "dirty_any", &gat)?;
+        require_u64(group, "seen_revision", &gat)?;
+        require_u64(group, "check_cost", &gat)?;
+        require_u64(group, "alarms", &gat)?;
+        for field in ["slots", "fronts", "dirty"] {
+            require_array(group, field, &gat)?;
+        }
+        for field in ["current_alarm", "last_alarm"] {
+            require(group, field, &gat)?; // may be null
+        }
+    }
+    for (i, tenant) in require_array(doc, "tenants", "document")?
+        .iter()
+        .enumerate()
+    {
+        let tat = format!("tenants[{i}]");
+        require_str(tenant, "id", &tat)?;
+        require_u64(tenant, "group", &tat)?;
+        require_str(tenant, "source", &tat)?;
+    }
+    require(doc, "gc", "document")?; // may be null
+    let stats = require(doc, "stats", "document")?;
+    for field in [
+        "events",
+        "messages",
+        "checks",
+        "alarms",
+        "check_cost",
+        "clause_evals",
+        "delta_cuts",
+        "peak_candidates",
+        "compactions",
+        "dropped_events",
+        "retained_peak",
+        "fanout_sent",
+        "fanout_dropped",
+    ] {
+        require_u64(stats, field, "document.stats")?;
+    }
+    Ok(())
 }
 
 fn validate_bench_diff(doc: &JsonValue) -> Result<(), SchemaError> {

@@ -40,7 +40,12 @@ fn usage() -> &'static str {
   slicing monitor <trace> <predicate> [--check-every N]
                   [--metrics <path>] [--metrics-every N]
                   [--gc-lag N] [--gc-every N]
-                  [--checkpoint <path>] [--checkpoint-every N]
+                  [--checkpoint <path>] [--checkpoint-every N] [--checkpoint-keep K]
+                  [--resume <path>]
+  slicing serve   [<stream>] [--tenant id=EXPR]... [--listen <addr>]
+                  [--check-every N] [--metrics <path>] [--metrics-every N]
+                  [--gc-lag N] [--gc-every N]
+                  [--checkpoint <path>] [--checkpoint-every N] [--checkpoint-keep K]
                   [--resume <path>]
   slicing profile <trace> <predicate>
                   [--engine slice|bfs|dfs|pom|reverse|parallel|hybrid|lean|lean-parallel]
@@ -73,10 +78,26 @@ history more than N events behind the stable frontier, attempted every
 N observations; defaults 128/1024 when either flag is given).
 `--checkpoint` writes a versioned `slicing.checkpoint/v1` snapshot of
 the monitor to <path> — atomically, every `--checkpoint-every` N events
-and once at end of stream. `--resume` restores a monitor from such a
-snapshot and skips the prefix of the trace it already consumed; the
-GC configuration travels inside the checkpoint. All `--*-every` counts
-must be positive.
+and once at end of stream; `--checkpoint-keep K` retains the last K
+snapshot generations (<path>, <path>.1, …) and deletes older ones, so a
+long-running monitor uses bounded disk. `--resume` restores a monitor
+from such a snapshot and skips the prefix of the trace it already
+consumed; the GC configuration travels inside the checkpoint. All
+`--*-every` counts must be positive. Both `monitor` and `serve` ingest
+the trace incrementally — events stream straight into the online engine
+and are never materialized as a whole computation first.
+`serve` multiplexes many tenant predicates over one live trace stream
+(a file, `-` for stdin, or one TCP connection via `--listen`): repeat
+`--tenant id=EXPR` for the initial tenants, and add or remove tenants
+mid-stream with `tenant <id> <expr>` / `untenant <id>` directive lines
+in the stream itself. Tenants watching overlapping conjunctions share
+candidate queues through the graft cache, so the per-event cost grows
+sublinearly with the tenant count. Alarms print per tenant as
+`alarm tenant=<id> after N events: ...`; checkpoints use the
+`slicing.serve-checkpoint/v1` schema and `--resume` picks a killed
+service back up mid-stream (feed the same stream again; the consumed
+prefix is skipped). With `--report` it writes a
+`slicing.serve-report/v1` summary.
 `profile` runs a detection with the span profiler installed and emits
 one `slicing.profile/v1` document: the merged span tree with wall time
 and per-span counter attribution (per-span counters sum to the flat
@@ -160,12 +181,12 @@ fn run() -> Result<(), String> {
     if report.is_some()
         && !matches!(
             command.as_str(),
-            "detect" | "recover" | "monitor" | "bench-diff"
+            "detect" | "recover" | "monitor" | "serve" | "bench-diff"
         )
     {
         eprintln!(
             "note: --report only applies to `slicing detect`, `slicing recover`, \
-             `slicing monitor`, and `slicing bench-diff`; ignoring"
+             `slicing monitor`, `slicing serve`, and `slicing bench-diff`; ignoring"
         );
     }
 
@@ -308,10 +329,13 @@ fn run() -> Result<(), String> {
                     println!("witness cut: {cut}");
                     let st = GlobalState::new(&comp, cut);
                     for p in comp.processes() {
-                        let vals: Vec<String> = comp
-                            .var_names(p)
-                            .map(|n| format!("{n}={}", st.get_named(p, n).expect("listed")))
-                            .collect();
+                        let mut vals = Vec::new();
+                        for n in comp.var_names(p) {
+                            let value = st.get_named(p, n).ok_or_else(|| {
+                                format!("variable {n} on {p} has no value at the witness cut")
+                            })?;
+                            vals.push(format!("{n}={value}"));
+                        }
                         println!(
                             "  {p} @ {}: {}",
                             comp.describe_event(st.frontier(p)),
@@ -430,294 +454,8 @@ fn run() -> Result<(), String> {
                 other => Err(format!("recovery failed: {other}")),
             }
         }
-        "monitor" => {
-            let (trace, pred_src) = two_args(&args)?;
-            let mut check_every: u64 = 1;
-            let mut metrics_path: Option<String> = None;
-            let mut metrics_every: u64 = 100;
-            let mut checkpoint_path: Option<String> = None;
-            let mut checkpoint_every: Option<u64> = None;
-            let mut resume_path: Option<String> = None;
-            let mut gc_every: Option<u64> = None;
-            let mut gc_lag: Option<u32> = None;
-            let mut it = args[3..].iter();
-            while let Some(flag) = it.next() {
-                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
-                match flag.as_str() {
-                    "--check-every" => check_every = parse_positive(flag, value)?,
-                    "--metrics" => metrics_path = Some(value.clone()),
-                    "--metrics-every" => metrics_every = parse_positive(flag, value)?,
-                    "--checkpoint" => checkpoint_path = Some(value.clone()),
-                    "--checkpoint-every" => checkpoint_every = Some(parse_positive(flag, value)?),
-                    "--resume" => resume_path = Some(value.clone()),
-                    "--gc-every" => gc_every = Some(parse_positive(flag, value)?),
-                    "--gc-lag" => {
-                        gc_lag = Some(
-                            u32::try_from(parse_positive(flag, value)?)
-                                .map_err(|_| format!("{flag}: value exceeds u32 range"))?,
-                        )
-                    }
-                    other => return Err(format!("unknown flag {other}\n\n{}", usage())),
-                }
-            }
-            if checkpoint_every.is_some() && checkpoint_path.is_none() {
-                return Err(format!(
-                    "--checkpoint-every needs --checkpoint <path>\n\n{}",
-                    usage()
-                ));
-            }
-            if resume_path.is_some() && (gc_every.is_some() || gc_lag.is_some()) {
-                return Err("GC configuration travels inside the checkpoint; drop \
-                     --gc-every/--gc-lag when using --resume"
-                    .to_owned());
-            }
-
-            // Live telemetry: a scoped snapshotter sees every counter,
-            // gauge, and sample the monitor emits on this thread and
-            // turns them into periodic `slicing.metrics/v1` delta lines.
-            // Checkpointing needs the snapshotter even without --metrics
-            // so the stream cursor can be persisted.
-            let snapshotter = (metrics_path.is_some() || checkpoint_path.is_some())
-                .then(|| std::sync::Arc::new(slicing_observe::MetricsSnapshotter::new()));
-            let mut metrics_out = match &metrics_path {
-                Some(path) => Some(std::io::BufWriter::new(
-                    std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
-                )),
-                None => None,
-            };
-            let _metrics_guard = snapshotter
-                .as_ref()
-                .map(|s| slicing_observe::scoped(s.clone()));
-            let comp = load_trace(trace)?;
-            let pred = parse_predicate(&comp, pred_src).map_err(|e| e.to_string())?;
-            let conj = pred.to_conjunctive().ok_or_else(|| {
-                "monitor needs a conjunctive predicate (local clauses joined by &&)".to_owned()
-            })?;
-
-            // Fresh start, or restore a checkpointed monitor and skip the
-            // prefix of the trace it already consumed.
-            let (mut m, skip) = match &resume_path {
-                Some(path) => {
-                    let (state, seq) =
-                        computation_slicing::recovery::load_checkpoint(std::path::Path::new(path))
-                            .map_err(|e| e.to_string())?;
-                    if state.slicer.num_processes != comp.num_processes() {
-                        return Err(format!(
-                            "{path}: checkpoint has {} processes but the trace has {} — \
-                             wrong trace?",
-                            state.slicer.num_processes,
-                            comp.num_processes()
-                        ));
-                    }
-                    if let Some(s) = &snapshotter {
-                        s.resume_from(seq);
-                    }
-                    let m = computation_slicing::recovery::resume_monitor(
-                        &state,
-                        conj.clauses().to_vec(),
-                    )
-                    .map_err(|e| format!("{path}: {e}"))?;
-                    println!(
-                        "resumed from {path}: {} events already consumed",
-                        state.stats.events
-                    );
-                    (m, state.stats.events)
-                }
-                None => {
-                    let mut m =
-                        computation_slicing::detect::OnlineMonitor::new(comp.num_processes());
-                    if gc_every.is_some() || gc_lag.is_some() {
-                        m = m.with_gc(computation_slicing::detect::GcConfig {
-                            lag: gc_lag.unwrap_or(128),
-                            every: gc_every.unwrap_or(1024),
-                        });
-                    }
-                    (m, 0)
-                }
-            };
-
-            // Mirror the trace's variables process by process, in
-            // declaration order, so the recorded `VarRef`s line up with
-            // the monitor's own builder. On resume the declarations come
-            // from the checkpoint and are looked up instead.
-            let mut mon_vars: Vec<Vec<computation_slicing::VarRef>> = Vec::new();
-            for i in 0..comp.num_processes() {
-                let p = comp.process(i);
-                let names: Vec<String> = comp.var_names(p).map(str::to_owned).collect();
-                let mut row = Vec::with_capacity(names.len());
-                for name in &names {
-                    let orig = comp.var(p, name).expect("listed variable");
-                    let mv = if resume_path.is_some() {
-                        m.var(i, name).ok_or_else(|| {
-                            format!("checkpoint does not declare {name}@{i} — wrong trace?")
-                        })?
-                    } else {
-                        m.declare_var(i, name, comp.value_at(orig, 0))
-                            .map_err(|e| e.to_string())?
-                    };
-                    row.push(mv);
-                }
-                mon_vars.push(row);
-            }
-            if resume_path.is_none() {
-                for clause in conj.clauses() {
-                    m.watch_clause(clause.clone()).map_err(|e| e.to_string())?;
-                }
-            }
-
-            let write_ckpt =
-                |m: &computation_slicing::detect::OnlineMonitor,
-                 snapshotter: &Option<std::sync::Arc<slicing_observe::MetricsSnapshotter>>|
-                 -> Result<(), String> {
-                    if let Some(path) = &checkpoint_path {
-                        let seq = snapshotter.as_ref().map_or(0, |s| s.seq());
-                        computation_slicing::recovery::write_checkpoint(
-                            std::path::Path::new(path),
-                            m,
-                            seq,
-                        )
-                        .map_err(|e| format!("writing {path}: {e}"))?;
-                    }
-                    Ok(())
-                };
-
-            // Stream the recorded events in order; a message is declared
-            // as soon as both endpoints have been replayed. A mapped
-            // `None` means the event was compacted away by stability GC
-            // before being needed — possible only for a stale endpoint,
-            // reported exactly like a rejected late message.
-            let mut mapped: std::collections::HashMap<
-                computation_slicing::EventId,
-                Option<computation_slicing::EventId>,
-            > = std::collections::HashMap::new();
-            let mut pending: Vec<computation_slicing::computation::Message> = Vec::new();
-            let mut observed = 0u64;
-            let mut alarms: Vec<computation_slicing::Cut> = Vec::new();
-            let check = |m: &mut computation_slicing::detect::OnlineMonitor,
-                         alarms: &mut Vec<computation_slicing::Cut>,
-                         observed: u64|
-             -> Result<(), String> {
-                if let Some(cut) = m.check().map_err(|e| e.to_string())? {
-                    println!("alarm after {observed} events: fault possible at cut {cut}");
-                    alarms.push(cut);
-                }
-                Ok(())
-            };
-            for e in comp.events() {
-                if comp.is_initial(e) {
-                    continue;
-                }
-                let p = comp.process_of(e);
-                let pos = comp.position_of(e);
-                observed += 1;
-                if observed <= skip {
-                    // Consumed before the checkpoint: translate the trace
-                    // event to its live handle for late-message delivery.
-                    // Messages among skipped events are already part of
-                    // the checkpointed state and are not redelivered.
-                    mapped.insert(e, m.event_at(p.as_usize(), pos));
-                    continue;
-                }
-                let writes: Vec<_> = mon_vars[p.as_usize()]
-                    .iter()
-                    .enumerate()
-                    .map(|(idx, &mv)| {
-                        let name = comp.var_names(p).nth(idx).expect("listed variable");
-                        let orig = comp.var(p, name).expect("listed variable");
-                        (mv, comp.value_at(orig, pos))
-                    })
-                    .collect();
-                let ne = m
-                    .observe(p.as_usize(), &writes)
-                    .map_err(|e| e.to_string())?;
-                mapped.insert(e, Some(ne));
-                pending.extend(comp.messages_into(e));
-                pending.retain(|msg| match (mapped.get(&msg.send), mapped.get(&msg.recv)) {
-                    (Some(&s), Some(&r)) => {
-                        match (s, r) {
-                            (Some(s), Some(r)) => {
-                                if let Err(err) = m.message(s, r) {
-                                    eprintln!("warning: skipped message {s} -> {r}: {err}");
-                                }
-                            }
-                            _ => eprintln!("warning: skipped message into history compacted by GC"),
-                        }
-                        false
-                    }
-                    _ => true,
-                });
-                if observed.is_multiple_of(check_every) {
-                    check(&mut m, &mut alarms, observed)?;
-                }
-                if observed.is_multiple_of(metrics_every) {
-                    if let (Some(s), Some(out)) = (&snapshotter, metrics_out.as_mut()) {
-                        s.write_snapshot(out, observed)
-                            .map_err(|e| format!("writing metrics: {e}"))?;
-                    }
-                }
-                if let Some(every) = checkpoint_every {
-                    if observed.is_multiple_of(every) {
-                        write_ckpt(&m, &snapshotter)?;
-                    }
-                }
-            }
-            if !observed.is_multiple_of(check_every) {
-                check(&mut m, &mut alarms, observed)?;
-            }
-            // A final checkpoint so the artifact always reflects the full
-            // stream, whatever the cadence.
-            write_ckpt(&m, &snapshotter)?;
-            if let (Some(s), Some(out)) = (&snapshotter, metrics_out.as_mut()) {
-                // Final snapshot so the stream always covers the tail.
-                if !observed.is_multiple_of(metrics_every) || observed == 0 {
-                    s.write_snapshot(out, observed)
-                        .map_err(|e| format!("writing metrics: {e}"))?;
-                }
-                use std::io::Write;
-                out.flush().map_err(|e| format!("writing metrics: {e}"))?;
-            }
-
-            let stats = m.stats();
-            println!(
-                "monitored {} events, {} messages: {} distinct alarm cut(s)",
-                stats.events, stats.messages, stats.alarms
-            );
-            println!(
-                "check work: {} probes over {} checks ({} milliprobe/event), peak {} queued candidates",
-                stats.check_cost,
-                stats.checks,
-                stats.check_cost * 1000 / stats.events.max(1),
-                stats.peak_candidates
-            );
-            if let Some(path) = &report {
-                let json = slicing_observe::json::JsonObject::new()
-                    .str("schema", slicing_observe::schema::MONITOR_REPORT)
-                    .u64("events", stats.events)
-                    .u64("messages", stats.messages)
-                    .u64("checks", stats.checks)
-                    .u64("alarms", stats.alarms)
-                    .u64("check_cost", stats.check_cost)
-                    .u64("delta_cuts", stats.delta_cuts)
-                    .u64("peak_candidates", stats.peak_candidates)
-                    .raw(
-                        "alarm_cuts",
-                        &alarms
-                            .iter()
-                            .fold(slicing_observe::json::JsonArray::new(), |arr, c| {
-                                arr.push_str(&c.to_string())
-                            })
-                            .finish(),
-                    )
-                    .finish();
-                if path == "-" {
-                    println!("{json}");
-                } else {
-                    std::fs::write(path, format!("{json}\n"))
-                        .map_err(|e| format!("writing {path}: {e}"))?;
-                }
-            }
-            Ok(())
-        }
+        "monitor" => monitor_cmd(&args, report.as_deref()),
+        "serve" => serve_cmd(&args, report.as_deref()),
         "profile" => {
             let (trace, pred_src) = two_args(&args)?;
             let mut engine = "slice".to_owned();
@@ -1068,4 +806,1084 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming trace ingestion (`monitor` and `serve`).
+//
+// Both long-running subcommands feed events into an online engine as the
+// lines arrive instead of materializing the whole trace as a
+// `Computation` first, so resident memory stays O(vars + messages), not
+// O(events). `monitor` makes two passes over a seekable source (stdin is
+// spooled to a temporary file); `serve` is a single pass over a live
+// stream.
+// ---------------------------------------------------------------------------
+
+use computation_slicing::computation::trace::{parse_line, TraceOp};
+use computation_slicing::detect::{GcConfig, MonitorHub, OnlineMonitor};
+use computation_slicing::{Conjunctive, Cut, Value, VarRef};
+
+/// A contextual trace error in the same shape `TraceError::Syntax`
+/// renders, so streaming and batch parsing report problems identically.
+fn trace_syntax(line: usize, message: &str) -> String {
+    format!("trace syntax error on line {line}: {message}")
+}
+
+/// A seekable handle on the trace: real files are read in place, stdin is
+/// spooled to a temporary file (constant memory) so the monitor can make
+/// its header pass and its replay pass over the same bytes.
+struct TraceSource {
+    path: std::path::PathBuf,
+    spooled: bool,
+}
+
+impl TraceSource {
+    fn open(arg: &str) -> Result<Self, String> {
+        if arg != "-" {
+            return Ok(TraceSource {
+                path: arg.into(),
+                spooled: false,
+            });
+        }
+        let path = std::env::temp_dir().join(format!("slicing-stdin-{}.trace", std::process::id()));
+        let mut out = std::fs::File::create(&path).map_err(|e| format!("spooling stdin: {e}"))?;
+        std::io::copy(&mut std::io::stdin().lock(), &mut out)
+            .map_err(|e| format!("spooling stdin: {e}"))?;
+        Ok(TraceSource {
+            path,
+            spooled: true,
+        })
+    }
+
+    fn display(&self) -> String {
+        if self.spooled {
+            "stdin".to_owned()
+        } else {
+            self.path.display().to_string()
+        }
+    }
+
+    fn reader(&self) -> Result<std::io::BufReader<std::fs::File>, String> {
+        Ok(std::io::BufReader::new(
+            std::fs::File::open(&self.path)
+                .map_err(|e| format!("reading {}: {e}", self.display()))?,
+        ))
+    }
+}
+
+impl Drop for TraceSource {
+    fn drop(&mut self) {
+        if self.spooled {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// A message edge read from the stream, by (process, position) endpoints.
+struct TraceMsg {
+    send: (usize, u32),
+    recv: (usize, u32),
+}
+
+/// What the monitor's header pass gathers: the process count, variable
+/// declarations in file order, message edges, and per-process event
+/// counts — never the events themselves.
+struct TraceIndex {
+    procs: usize,
+    decls: Vec<(usize, String, Value, usize)>,
+    msgs: Vec<TraceMsg>,
+}
+
+/// Header pass: validates line syntax, directive ordering, process
+/// ranges, event variable names, and message endpoints — everything
+/// `from_text` rejects — while retaining only O(vars + messages) state.
+fn scan_trace(source: &TraceSource) -> Result<TraceIndex, String> {
+    use std::io::BufRead;
+    let mut procs: Option<usize> = None;
+    let mut decls: Vec<(usize, String, Value, usize)> = Vec::new();
+    let mut raw_msgs: Vec<(TraceMsg, usize)> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut names: Vec<std::collections::HashSet<String>> = Vec::new();
+    for (i, raw) in source.reader()?.lines().enumerate() {
+        let lineno = i + 1;
+        let raw = raw.map_err(|e| format!("reading {}: {e}", source.display()))?;
+        let Some(op) = parse_line(&raw, lineno).map_err(|e| e.to_string())? else {
+            continue;
+        };
+        match op {
+            TraceOp::Procs(n) => {
+                if procs.is_some() {
+                    return Err(trace_syntax(lineno, "duplicate procs line"));
+                }
+                procs = Some(n);
+                counts = vec![0; n];
+                names = vec![std::collections::HashSet::new(); n];
+            }
+            TraceOp::Var {
+                process,
+                name,
+                initial,
+            } => {
+                let n = procs.ok_or_else(|| trace_syntax(lineno, "var before procs"))?;
+                if process >= n {
+                    return Err(trace_syntax(lineno, "process index out of range"));
+                }
+                names[process].insert(name.clone());
+                decls.push((process, name, initial, lineno));
+            }
+            TraceOp::Event {
+                process, writes, ..
+            } => {
+                let n = procs.ok_or_else(|| trace_syntax(lineno, "event before procs"))?;
+                if process >= n {
+                    return Err(trace_syntax(lineno, "process index out of range"));
+                }
+                for (key, _) in &writes {
+                    if !names[process].contains(key) {
+                        return Err(trace_syntax(
+                            lineno,
+                            &format!("unknown variable {key:?} on process {process}"),
+                        ));
+                    }
+                }
+                counts[process] += 1;
+            }
+            TraceOp::Msg { send, recv } => {
+                raw_msgs.push((TraceMsg { send, recv }, lineno));
+            }
+            _ => {}
+        }
+    }
+    let procs = procs.ok_or_else(|| trace_syntax(0, "trace has no procs line"))?;
+    let mut msgs = Vec::with_capacity(raw_msgs.len());
+    for (m, lineno) in raw_msgs {
+        if m.send.0 >= procs || m.send.1 > counts[m.send.0] {
+            return Err(trace_syntax(lineno, "bad send endpoint"));
+        }
+        if m.recv.0 >= procs || m.recv.1 > counts[m.recv.0] {
+            return Err(trace_syntax(lineno, "bad recv endpoint"));
+        }
+        msgs.push(m);
+    }
+    Ok(TraceIndex { procs, decls, msgs })
+}
+
+/// The header-only computation (declared variables, no steps) that
+/// predicates are parsed against. Variables are declared in file order,
+/// so the `VarRef`s the expression parser hands out line up with the
+/// online engine's own declarations.
+fn header_computation(
+    procs: usize,
+    decls: &[(usize, String, Value, usize)],
+) -> Result<Computation, String> {
+    let mut b = computation_slicing::ComputationBuilder::new(procs);
+    for (p, name, initial, lineno) in decls {
+        b.try_declare_var(computation_slicing::ProcessId::new(*p), name, *initial)
+            .map_err(|e| trace_syntax(*lineno, &e.to_string()))?;
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+/// Tracks which message edges have both endpoints replayed. Endpoints at
+/// position 0 are initial events and always ready; the rest become ready
+/// when their event streams past. O(messages) memory.
+struct MsgTracker {
+    remaining: Vec<u8>,
+    by_endpoint: std::collections::HashMap<(usize, u32), Vec<usize>>,
+}
+
+impl MsgTracker {
+    fn new() -> Self {
+        MsgTracker {
+            remaining: Vec::new(),
+            by_endpoint: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Registers message `idx`; returns true if it is ready right now
+    /// given the already-replayed per-process positions.
+    fn add(&mut self, idx: usize, msg: &TraceMsg, positions: &[u32]) -> bool {
+        debug_assert_eq!(idx, self.remaining.len());
+        let mut need = 0u8;
+        for ep in [msg.send, msg.recv] {
+            if ep.1 > positions[ep.0] {
+                self.by_endpoint.entry(ep).or_default().push(idx);
+                need += 1;
+            }
+        }
+        self.remaining.push(need);
+        need == 0
+    }
+
+    /// The event at (process, pos) was just replayed: returns the indices
+    /// of messages that became ready.
+    fn touch(&mut self, process: usize, pos: u32) -> Vec<usize> {
+        let Some(list) = self.by_endpoint.remove(&(process, pos)) else {
+            return Vec::new();
+        };
+        list.into_iter()
+            .filter(|&i| {
+                self.remaining[i] -= 1;
+                self.remaining[i] == 0
+            })
+            .collect()
+    }
+}
+
+/// Delivers one message edge to the monitor. Messages whose receive lies
+/// inside a resumed prefix are already part of the checkpointed state and
+/// are never redelivered; endpoints compacted by GC (or rejected by the
+/// engine) are warned about and skipped — the stream keeps flowing.
+fn deliver_monitor_msg(m: &mut OnlineMonitor, msg: &TraceMsg, skipped_until: &[u32]) {
+    if msg.recv.1 <= skipped_until[msg.recv.0] {
+        return;
+    }
+    match (
+        m.event_at(msg.send.0, msg.send.1),
+        m.event_at(msg.recv.0, msg.recv.1),
+    ) {
+        (Some(s), Some(r)) => {
+            if let Err(err) = m.message(s, r) {
+                eprintln!("warning: skipped message {s} -> {r}: {err}");
+            }
+        }
+        _ => eprintln!("warning: skipped message into history compacted by GC"),
+    }
+}
+
+/// [`deliver_monitor_msg`] for the multiplexing hub.
+fn deliver_hub_msg(hub: &mut MonitorHub, msg: &TraceMsg, skipped_until: &[u32]) {
+    if msg.recv.1 <= skipped_until[msg.recv.0] {
+        return;
+    }
+    match (
+        hub.event_at(msg.send.0, msg.send.1),
+        hub.event_at(msg.recv.0, msg.recv.1),
+    ) {
+        (Some(s), Some(r)) => {
+            if let Err(err) = hub.message(s, r) {
+                eprintln!("warning: skipped message {s} -> {r}: {err}");
+            }
+        }
+        _ => eprintln!("warning: skipped message into history compacted by GC"),
+    }
+}
+
+/// Writes a report document to `path` (stdout for `-`).
+fn write_report(path: &str, json: &str) -> Result<(), String> {
+    if path == "-" {
+        println!("{json}");
+        Ok(())
+    } else {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("writing {path}: {e}"))
+    }
+}
+
+/// `slicing monitor`: replay one conjunctive predicate over a recorded
+/// trace through the incremental online monitor. Ingestion is streaming:
+/// a header pass gathers declarations and message edges, then events are
+/// fed to the monitor line by line.
+fn monitor_cmd(args: &[String], report: Option<&str>) -> Result<(), String> {
+    use std::io::BufRead;
+
+    let (trace, pred_src) = two_args(args)?;
+    let mut check_every: u64 = 1;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_every: u64 = 100;
+    let mut checkpoint_path: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut checkpoint_keep: usize = 1;
+    let mut resume_path: Option<String> = None;
+    let mut gc_every: Option<u64> = None;
+    let mut gc_lag: Option<u32> = None;
+    let mut it = args[3..].iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--check-every" => check_every = parse_positive(flag, value)?,
+            "--metrics" => metrics_path = Some(value.clone()),
+            "--metrics-every" => metrics_every = parse_positive(flag, value)?,
+            "--checkpoint" => checkpoint_path = Some(value.clone()),
+            "--checkpoint-every" => checkpoint_every = Some(parse_positive(flag, value)?),
+            "--checkpoint-keep" => {
+                checkpoint_keep = usize::try_from(parse_positive(flag, value)?)
+                    .map_err(|_| format!("{flag}: value exceeds usize range"))?
+            }
+            "--resume" => resume_path = Some(value.clone()),
+            "--gc-every" => gc_every = Some(parse_positive(flag, value)?),
+            "--gc-lag" => {
+                gc_lag = Some(
+                    u32::try_from(parse_positive(flag, value)?)
+                        .map_err(|_| format!("{flag}: value exceeds u32 range"))?,
+                )
+            }
+            other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+        }
+    }
+    if checkpoint_every.is_some() && checkpoint_path.is_none() {
+        return Err(format!(
+            "--checkpoint-every needs --checkpoint <path>\n\n{}",
+            usage()
+        ));
+    }
+    if resume_path.is_some() && (gc_every.is_some() || gc_lag.is_some()) {
+        return Err("GC configuration travels inside the checkpoint; drop \
+             --gc-every/--gc-lag when using --resume"
+            .to_owned());
+    }
+
+    // Live telemetry: a scoped snapshotter sees every counter, gauge, and
+    // sample the monitor emits on this thread and turns them into
+    // periodic `slicing.metrics/v1` delta lines. Checkpointing needs the
+    // snapshotter even without --metrics so the stream cursor can be
+    // persisted.
+    let snapshotter = (metrics_path.is_some() || checkpoint_path.is_some())
+        .then(|| std::sync::Arc::new(slicing_observe::MetricsSnapshotter::new()));
+    let mut metrics_out = match &metrics_path {
+        Some(path) => Some(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let _metrics_guard = snapshotter
+        .as_ref()
+        .map(|s| slicing_observe::scoped(s.clone()));
+
+    let source = TraceSource::open(trace)?;
+    let index = scan_trace(&source)?;
+    let comp = header_computation(index.procs, &index.decls)?;
+    let pred = parse_predicate(&comp, pred_src).map_err(|e| e.to_string())?;
+    let conj = pred.to_conjunctive().ok_or_else(|| {
+        "monitor needs a conjunctive predicate (local clauses joined by &&)".to_owned()
+    })?;
+
+    // Fresh start, or restore a checkpointed monitor and skip the prefix
+    // of the trace it already consumed.
+    let (mut m, skip) = match &resume_path {
+        Some(path) => {
+            let (state, seq) =
+                computation_slicing::recovery::load_checkpoint(std::path::Path::new(path))
+                    .map_err(|e| e.to_string())?;
+            if state.slicer.num_processes != index.procs {
+                return Err(format!(
+                    "{path}: checkpoint has {} processes but the trace has {} — \
+                     wrong trace?",
+                    state.slicer.num_processes, index.procs
+                ));
+            }
+            if let Some(s) = &snapshotter {
+                s.resume_from(seq);
+            }
+            let m = computation_slicing::recovery::resume_monitor(&state, conj.clauses().to_vec())
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "resumed from {path}: {} events already consumed",
+                state.stats.events
+            );
+            (m, state.stats.events)
+        }
+        None => {
+            let mut m = OnlineMonitor::new(index.procs);
+            if gc_every.is_some() || gc_lag.is_some() {
+                m = m.with_gc(GcConfig {
+                    lag: gc_lag.unwrap_or(128),
+                    every: gc_every.unwrap_or(1024),
+                });
+            }
+            (m, 0)
+        }
+    };
+
+    // Mirror the trace's variables in declaration (file) order, so event
+    // writes resolve by name without any further trace lookups. On resume
+    // the declarations come from the checkpoint and are looked up instead.
+    let mut var_of: Vec<std::collections::HashMap<String, VarRef>> =
+        vec![std::collections::HashMap::new(); index.procs];
+    for (p, name, initial, _lineno) in &index.decls {
+        let mv = if resume_path.is_some() {
+            m.var(*p, name)
+                .ok_or_else(|| format!("checkpoint does not declare {name}@{p} — wrong trace?"))?
+        } else {
+            m.declare_var(*p, name, *initial)
+                .map_err(|e| e.to_string())?
+        };
+        var_of[*p].insert(name.clone(), mv);
+    }
+    if resume_path.is_none() {
+        for clause in conj.clauses() {
+            m.watch_clause(clause.clone()).map_err(|e| e.to_string())?;
+        }
+    }
+
+    let write_ckpt = |m: &OnlineMonitor,
+                      snapshotter: &Option<std::sync::Arc<slicing_observe::MetricsSnapshotter>>|
+     -> Result<(), String> {
+        if let Some(path) = &checkpoint_path {
+            let seq = snapshotter.as_ref().map_or(0, |s| s.seq());
+            computation_slicing::recovery::write_checkpoint_rotating(
+                std::path::Path::new(path),
+                m,
+                seq,
+                checkpoint_keep,
+            )
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        Ok(())
+    };
+
+    // Replay pass: stream events straight into the monitor; a message is
+    // delivered as soon as both endpoints have been replayed.
+    let mut tracker = MsgTracker::new();
+    let mut positions = vec![0u32; index.procs];
+    let mut skipped_until = vec![0u32; index.procs];
+    for (i, msg) in index.msgs.iter().enumerate() {
+        if tracker.add(i, msg, &positions) {
+            deliver_monitor_msg(&mut m, msg, &skipped_until);
+        }
+    }
+    let mut observed = 0u64;
+    let mut last_ckpt: Option<u64> = None;
+    let mut alarms: Vec<Cut> = Vec::new();
+    let check =
+        |m: &mut OnlineMonitor, alarms: &mut Vec<Cut>, observed: u64| -> Result<(), String> {
+            if let Some(cut) = m.check().map_err(|e| e.to_string())? {
+                println!("alarm after {observed} events: fault possible at cut {cut}");
+                alarms.push(cut);
+            }
+            Ok(())
+        };
+    for (i, raw) in source.reader()?.lines().enumerate() {
+        let lineno = i + 1;
+        let raw = raw.map_err(|e| format!("reading {}: {e}", source.display()))?;
+        let Some(op) = parse_line(&raw, lineno).map_err(|e| e.to_string())? else {
+            continue;
+        };
+        let TraceOp::Event {
+            process: p, writes, ..
+        } = op
+        else {
+            continue; // header and messages were consumed in the first pass
+        };
+        positions[p] += 1;
+        let pos = positions[p];
+        observed += 1;
+        if observed <= skip {
+            // Consumed before the checkpoint: messages among skipped
+            // events are already part of the checkpointed state and are
+            // not redelivered.
+            skipped_until[p] = pos;
+            for idx in tracker.touch(p, pos) {
+                deliver_monitor_msg(&mut m, &index.msgs[idx], &skipped_until);
+            }
+            continue;
+        }
+        let mut assignments = Vec::with_capacity(writes.len());
+        for (name, value) in &writes {
+            let var = var_of[p].get(name).copied().ok_or_else(|| {
+                trace_syntax(lineno, &format!("unknown variable {name:?} on process {p}"))
+            })?;
+            assignments.push((var, *value));
+        }
+        m.observe(p, &assignments)
+            .map_err(|e| format!("trace line {lineno}: {e}"))?;
+        for idx in tracker.touch(p, pos) {
+            deliver_monitor_msg(&mut m, &index.msgs[idx], &skipped_until);
+        }
+        if observed.is_multiple_of(check_every) {
+            check(&mut m, &mut alarms, observed)?;
+        }
+        if observed.is_multiple_of(metrics_every) {
+            if let (Some(s), Some(out)) = (&snapshotter, metrics_out.as_mut()) {
+                s.write_snapshot(out, observed)
+                    .map_err(|e| format!("writing metrics: {e}"))?;
+            }
+        }
+        if let Some(every) = checkpoint_every {
+            if observed.is_multiple_of(every) {
+                write_ckpt(&m, &snapshotter)?;
+                last_ckpt = Some(observed);
+            }
+        }
+    }
+    if !observed.is_multiple_of(check_every) {
+        check(&mut m, &mut alarms, observed)?;
+    }
+    // A final checkpoint so the artifact always reflects the full stream,
+    // whatever the cadence (skipped when the cadence just wrote it, so a
+    // rotation generation isn't wasted on a duplicate).
+    if last_ckpt != Some(observed) {
+        write_ckpt(&m, &snapshotter)?;
+    }
+    if let (Some(s), Some(out)) = (&snapshotter, metrics_out.as_mut()) {
+        // Final snapshot so the stream always covers the tail.
+        if !observed.is_multiple_of(metrics_every) || observed == 0 {
+            s.write_snapshot(out, observed)
+                .map_err(|e| format!("writing metrics: {e}"))?;
+        }
+        use std::io::Write;
+        out.flush().map_err(|e| format!("writing metrics: {e}"))?;
+    }
+
+    let stats = m.stats();
+    println!(
+        "monitored {} events, {} messages: {} distinct alarm cut(s)",
+        stats.events, stats.messages, stats.alarms
+    );
+    println!(
+        "check work: {} probes over {} checks ({} milliprobe/event), peak {} queued candidates",
+        stats.check_cost,
+        stats.checks,
+        stats.check_cost * 1000 / stats.events.max(1),
+        stats.peak_candidates
+    );
+    if let Some(path) = report {
+        let json = slicing_observe::json::JsonObject::new()
+            .str("schema", slicing_observe::schema::MONITOR_REPORT)
+            .u64("events", stats.events)
+            .u64("messages", stats.messages)
+            .u64("checks", stats.checks)
+            .u64("alarms", stats.alarms)
+            .u64("check_cost", stats.check_cost)
+            .u64("delta_cuts", stats.delta_cuts)
+            .u64("peak_candidates", stats.peak_candidates)
+            .raw(
+                "alarm_cuts",
+                &alarms
+                    .iter()
+                    .fold(slicing_observe::json::JsonArray::new(), |arr, c| {
+                        arr.push_str(&c.to_string())
+                    })
+                    .finish(),
+            )
+            .finish();
+        write_report(path, &json)?;
+    }
+    Ok(())
+}
+
+/// Builds (and caches) the header-only [`Computation`] that tenant
+/// predicate expressions are parsed against: the declared variables with
+/// their initial values, no events.
+fn header_comp<'a>(
+    cache: &'a mut Option<Computation>,
+    procs: usize,
+    decls: &[(usize, String, Value, usize)],
+) -> Result<&'a Computation, String> {
+    if cache.is_none() {
+        *cache = Some(header_computation(procs, decls)?);
+    }
+    Ok(cache.as_ref().expect("just filled"))
+}
+
+/// Parses a tenant predicate expression and requires the conjunctive
+/// fragment the multiplexer (like the online monitor) detects.
+fn parse_tenant(comp: &Computation, expr: &str) -> Result<Conjunctive, String> {
+    parse_predicate(comp, expr)
+        .map_err(|e| e.to_string())?
+        .to_conjunctive()
+        .ok_or_else(|| "serve needs conjunctive predicates (local clauses joined by &&)".to_owned())
+}
+
+/// Completes the hub's tenant roster before the first live event:
+/// re-registers checkpointed tenants (restoring clause closures), then
+/// adds command-line tenants that are not already present.
+fn ensure_tenants(
+    hub: &mut MonitorHub,
+    comp: &Computation,
+    resume_tenants: &[(String, String)],
+    cli_tenants: &[(String, String)],
+) -> Result<(), String> {
+    for (id, source) in resume_tenants {
+        let conj = parse_tenant(comp, source).map_err(|e| format!("restoring tenant {id}: {e}"))?;
+        hub.restore_tenant(id, &conj)
+            .map_err(|e| format!("restoring tenant {id}: {e}"))?;
+    }
+    let hollow = hub.unrestored_clauses();
+    if !hollow.is_empty() {
+        return Err(format!(
+            "checkpoint clauses left unrestored after tenant re-registration: {}",
+            hollow.join(", ")
+        ));
+    }
+    for (id, source) in cli_tenants {
+        if hub.group_of(id).is_some() {
+            continue; // already restored from the checkpoint
+        }
+        let conj = parse_tenant(comp, source).map_err(|e| format!("tenant {id}: {e}"))?;
+        hub.add_tenant(id, &conj, source)
+            .map_err(|e| format!("tenant {id}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `slicing serve`: multiplex many tenant predicates onto one live trace
+/// stream through a shared [`MonitorHub`]. Single-pass ingestion — events
+/// are observed as the lines arrive, messages are delivered as soon as
+/// both endpoints exist, and `tenant <id> <expr>` / `untenant <id>`
+/// directives adjust the roster mid-stream.
+fn serve_cmd(args: &[String], report: Option<&str>) -> Result<(), String> {
+    use std::io::BufRead;
+
+    let mut stream: Option<String> = None;
+    let mut cli_tenants: Vec<(String, String)> = Vec::new();
+    let mut listen: Option<String> = None;
+    let mut check_every: u64 = 1;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_every: u64 = 100;
+    let mut checkpoint_path: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut checkpoint_keep: usize = 1;
+    let mut resume_path: Option<String> = None;
+    let mut gc_every: Option<u64> = None;
+    let mut gc_lag: Option<u32> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        if !arg.starts_with("--") {
+            if let Some(first) = &stream {
+                return Err(format!(
+                    "unexpected argument {arg} (stream is already {first})\n\n{}",
+                    usage()
+                ));
+            }
+            stream = Some(arg.clone());
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+        match arg.as_str() {
+            "--tenant" => {
+                let (id, expr) = value
+                    .split_once('=')
+                    .ok_or_else(|| format!("--tenant needs id=EXPR (got {value:?})"))?;
+                let id = id.trim();
+                if id.is_empty() {
+                    return Err(format!("--tenant needs a non-empty id (got {value:?})"));
+                }
+                cli_tenants.push((id.to_owned(), expr.trim().to_owned()));
+            }
+            "--listen" => listen = Some(value.clone()),
+            "--check-every" => check_every = parse_positive(arg, value)?,
+            "--metrics" => metrics_path = Some(value.clone()),
+            "--metrics-every" => metrics_every = parse_positive(arg, value)?,
+            "--checkpoint" => checkpoint_path = Some(value.clone()),
+            "--checkpoint-every" => checkpoint_every = Some(parse_positive(arg, value)?),
+            "--checkpoint-keep" => {
+                checkpoint_keep = usize::try_from(parse_positive(arg, value)?)
+                    .map_err(|_| format!("{arg}: value exceeds usize range"))?
+            }
+            "--resume" => resume_path = Some(value.clone()),
+            "--gc-every" => gc_every = Some(parse_positive(arg, value)?),
+            "--gc-lag" => {
+                gc_lag = Some(
+                    u32::try_from(parse_positive(arg, value)?)
+                        .map_err(|_| format!("{arg}: value exceeds u32 range"))?,
+                )
+            }
+            other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+        }
+    }
+    if checkpoint_every.is_some() && checkpoint_path.is_none() {
+        return Err(format!(
+            "--checkpoint-every needs --checkpoint <path>\n\n{}",
+            usage()
+        ));
+    }
+    if resume_path.is_some() && (gc_every.is_some() || gc_lag.is_some()) {
+        return Err("GC configuration travels inside the checkpoint; drop \
+             --gc-every/--gc-lag when using --resume"
+            .to_owned());
+    }
+    if listen.is_some() {
+        if let Some(path) = &stream {
+            return Err(format!(
+                "pass a stream path ({path}) or --listen, not both\n\n{}",
+                usage()
+            ));
+        }
+    }
+
+    let mut resume_state = match &resume_path {
+        Some(path) => Some(
+            computation_slicing::recovery::load_hub_checkpoint(std::path::Path::new(path))
+                .map_err(|e| {
+                    if e.kind() == std::io::ErrorKind::InvalidData {
+                        e.to_string() // already carries the path
+                    } else {
+                        format!("{path}: {e}")
+                    }
+                })?,
+        ),
+        None => None,
+    };
+
+    let snapshotter = (metrics_path.is_some() || checkpoint_path.is_some())
+        .then(|| std::sync::Arc::new(slicing_observe::MetricsSnapshotter::new()));
+    if let (Some(s), Some((_, seq))) = (&snapshotter, &resume_state) {
+        s.resume_from(*seq);
+    }
+    let mut metrics_out = match &metrics_path {
+        Some(path) => Some(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let _metrics_guard = snapshotter
+        .as_ref()
+        .map(|s| slicing_observe::scoped(s.clone()));
+
+    let mut input: Box<dyn BufRead> = match (&listen, stream.as_deref().unwrap_or("-")) {
+        (Some(addr), _) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            eprintln!("serve: listening on {local}");
+            let (conn, peer) = listener
+                .accept()
+                .map_err(|e| format!("accepting on {local}: {e}"))?;
+            eprintln!("serve: stream connected from {peer}");
+            Box::new(std::io::BufReader::new(conn))
+        }
+        (None, "-") => Box::new(std::io::stdin().lock()),
+        (None, path) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?,
+        )),
+    };
+
+    let write_hub_ckpt =
+        |hub: &MonitorHub,
+         snapshotter: &Option<std::sync::Arc<slicing_observe::MetricsSnapshotter>>|
+         -> Result<(), String> {
+            if let Some(path) = &checkpoint_path {
+                let seq = snapshotter.as_ref().map_or(0, |s| s.seq());
+                computation_slicing::recovery::write_hub_checkpoint(
+                    std::path::Path::new(path),
+                    hub,
+                    seq,
+                    checkpoint_keep,
+                )
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            }
+            Ok(())
+        };
+
+    let mut hub: Option<MonitorHub> = None;
+    let mut resume_tenants: Vec<(String, String)> = Vec::new();
+    let mut skip: u64 = 0;
+    let mut tenants_ensured = false;
+    let mut decls: Vec<(usize, String, Value, usize)> = Vec::new();
+    let mut header: Option<Computation> = None;
+    let mut tracker = MsgTracker::new();
+    let mut msgs: Vec<TraceMsg> = Vec::new();
+    let mut positions: Vec<u32> = Vec::new();
+    let mut skipped_until: Vec<u32> = Vec::new();
+    let mut observed = 0u64;
+    let mut last_ckpt: Option<u64> = None;
+    let mut alarm_log: Vec<(String, u64, Cut)> = Vec::new();
+
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        let n = input
+            .read_line(&mut buf)
+            .map_err(|e| format!("reading stream: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = buf.trim();
+
+        // Roster directives are a serve-only extension of the trace
+        // grammar and are peeled off before the line parser sees them.
+        if let Some(rest) = line.strip_prefix("tenant ") {
+            let h = hub
+                .as_mut()
+                .ok_or_else(|| trace_syntax(lineno, "tenant directive before procs"))?;
+            let (id, expr) = rest.trim().split_once(char::is_whitespace).ok_or_else(|| {
+                trace_syntax(lineno, "tenant directive needs an id and an expression")
+            })?;
+            let expr = expr.trim();
+            if !tenants_ensured {
+                let comp = header_comp(&mut header, h.num_processes(), &decls)?;
+                ensure_tenants(h, comp, &resume_tenants, &cli_tenants)?;
+                tenants_ensured = true;
+            }
+            let in_skip = observed < skip;
+            if in_skip && h.group_of(id).is_some() {
+                continue; // replay of an add the checkpoint already holds
+            }
+            let comp = header_comp(&mut header, h.num_processes(), &decls)?;
+            match parse_tenant(comp, expr)
+                .and_then(|conj| h.add_tenant(id, &conj, expr).map_err(|e| e.to_string()))
+            {
+                Ok(_) => {
+                    if !in_skip {
+                        println!("tenant {id} added after {} events", h.stats().events);
+                    }
+                }
+                // A malformed tenant must not take the stream down: every
+                // other tenant keeps being served.
+                Err(e) => eprintln!("warning: ignoring tenant {id} (line {lineno}): {e}"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("untenant ") {
+            let h = hub
+                .as_mut()
+                .ok_or_else(|| trace_syntax(lineno, "untenant directive before procs"))?;
+            let id = rest.trim();
+            let removed = h.remove_tenant(id);
+            if observed >= skip {
+                if removed {
+                    println!("tenant {id} removed after {} events", h.stats().events);
+                } else {
+                    eprintln!("warning: untenant {id} (line {lineno}): no such tenant");
+                }
+            }
+            continue;
+        }
+
+        let Some(op) = parse_line(&buf, lineno).map_err(|e| e.to_string())? else {
+            continue;
+        };
+        match op {
+            TraceOp::Procs(procs) => {
+                if hub.is_some() {
+                    return Err(trace_syntax(lineno, "duplicate procs line"));
+                }
+                let h = match resume_state.take() {
+                    Some((state, _seq)) => {
+                        if state.values.len() != procs {
+                            return Err(format!(
+                                "checkpoint has {} processes but the stream has {procs} — \
+                                 wrong stream?",
+                                state.values.len()
+                            ));
+                        }
+                        skip = state.stats.events;
+                        resume_tenants = state
+                            .tenants
+                            .iter()
+                            .map(|t| (t.id.clone(), t.source.clone()))
+                            .collect();
+                        let h = MonitorHub::from_state(&state).map_err(|e| e.to_string())?;
+                        println!(
+                            "resumed from {}: {} events already consumed",
+                            resume_path.as_deref().unwrap_or("checkpoint"),
+                            skip
+                        );
+                        h
+                    }
+                    None => {
+                        let mut h = MonitorHub::new(procs);
+                        if gc_every.is_some() || gc_lag.is_some() {
+                            h = h.with_gc(GcConfig {
+                                lag: gc_lag.unwrap_or(128),
+                                every: gc_every.unwrap_or(1024),
+                            });
+                        }
+                        h
+                    }
+                };
+                positions = vec![0; procs];
+                skipped_until = vec![0; procs];
+                hub = Some(h);
+            }
+            TraceOp::Var {
+                process,
+                name,
+                initial,
+            } => {
+                let h = hub
+                    .as_mut()
+                    .ok_or_else(|| trace_syntax(lineno, "var before procs"))?;
+                if process >= h.num_processes() {
+                    return Err(trace_syntax(lineno, "process index out of range"));
+                }
+                if resume_path.is_some() {
+                    if h.var(process, &name).is_none() {
+                        return Err(format!(
+                            "checkpoint does not declare {name}@{process} — wrong stream?"
+                        ));
+                    }
+                } else {
+                    h.declare_var(process, &name, initial)
+                        .map_err(|e| trace_syntax(lineno, &e.to_string()))?;
+                }
+                decls.push((process, name, initial, lineno));
+                header = None; // new variable invalidates the parse context
+            }
+            TraceOp::Event {
+                process: p, writes, ..
+            } => {
+                let h = hub
+                    .as_mut()
+                    .ok_or_else(|| trace_syntax(lineno, "event before procs"))?;
+                if p >= h.num_processes() {
+                    return Err(trace_syntax(lineno, "process index out of range"));
+                }
+                positions[p] += 1;
+                observed += 1;
+                if observed <= skip {
+                    // Consumed before the checkpoint: already inside the
+                    // restored hub state, don't re-observe.
+                    skipped_until[p] = positions[p];
+                    for idx in tracker.touch(p, positions[p]) {
+                        deliver_hub_msg(h, &msgs[idx], &skipped_until);
+                    }
+                    continue;
+                }
+                if !tenants_ensured {
+                    let comp = header_comp(&mut header, h.num_processes(), &decls)?;
+                    ensure_tenants(h, comp, &resume_tenants, &cli_tenants)?;
+                    tenants_ensured = true;
+                }
+                let mut assignments = Vec::with_capacity(writes.len());
+                for (name, value) in &writes {
+                    let var = h.var(p, name).ok_or_else(|| {
+                        trace_syntax(lineno, &format!("unknown variable {name:?} on process {p}"))
+                    })?;
+                    assignments.push((var, *value));
+                }
+                h.observe(p, &assignments)
+                    .map_err(|e| format!("stream line {lineno}: {e}"))?;
+                for idx in tracker.touch(p, positions[p]) {
+                    deliver_hub_msg(h, &msgs[idx], &skipped_until);
+                }
+                let ev = h.stats().events;
+                if ev.is_multiple_of(check_every) {
+                    for r in h.check_all() {
+                        for tenant in &r.tenants {
+                            println!(
+                                "alarm tenant={tenant} after {} events: fault possible at cut {}",
+                                r.alarm.events, r.alarm.cut
+                            );
+                            alarm_log.push((tenant.clone(), r.alarm.events, r.alarm.cut.clone()));
+                        }
+                    }
+                }
+                if ev.is_multiple_of(metrics_every) {
+                    if let (Some(s), Some(out)) = (&snapshotter, metrics_out.as_mut()) {
+                        s.write_snapshot(out, ev)
+                            .map_err(|e| format!("writing metrics: {e}"))?;
+                    }
+                }
+                if let Some(every) = checkpoint_every {
+                    if ev.is_multiple_of(every) {
+                        write_hub_ckpt(h, &snapshotter)?;
+                        last_ckpt = Some(ev);
+                    }
+                }
+            }
+            TraceOp::Msg { send, recv } => {
+                let h = hub
+                    .as_mut()
+                    .ok_or_else(|| trace_syntax(lineno, "msg before procs"))?;
+                if send.0 >= h.num_processes() {
+                    return Err(trace_syntax(lineno, "bad send endpoint"));
+                }
+                if recv.0 >= h.num_processes() {
+                    return Err(trace_syntax(lineno, "bad recv endpoint"));
+                }
+                msgs.push(TraceMsg { send, recv });
+                let idx = msgs.len() - 1;
+                if tracker.add(idx, &msgs[idx], &positions) {
+                    deliver_hub_msg(h, &msgs[idx], &skipped_until);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let h = hub
+        .as_mut()
+        .ok_or_else(|| "stream has no procs line".to_owned())?;
+    if !tenants_ensured {
+        let comp = header_comp(&mut header, h.num_processes(), &decls)?;
+        ensure_tenants(h, comp, &resume_tenants, &cli_tenants)?;
+    }
+    let ev = h.stats().events;
+    if !ev.is_multiple_of(check_every) {
+        for r in h.check_all() {
+            for tenant in &r.tenants {
+                println!(
+                    "alarm tenant={tenant} after {} events: fault possible at cut {}",
+                    r.alarm.events, r.alarm.cut
+                );
+                alarm_log.push((tenant.clone(), r.alarm.events, r.alarm.cut.clone()));
+            }
+        }
+    }
+    if last_ckpt != Some(ev) {
+        write_hub_ckpt(h, &snapshotter)?;
+    }
+    if let (Some(s), Some(out)) = (&snapshotter, metrics_out.as_mut()) {
+        if !ev.is_multiple_of(metrics_every) || ev == 0 {
+            s.write_snapshot(out, ev)
+                .map_err(|e| format!("writing metrics: {e}"))?;
+        }
+        use std::io::Write;
+        out.flush().map_err(|e| format!("writing metrics: {e}"))?;
+    }
+
+    let stats = h.stats();
+    println!(
+        "served {} events, {} messages: {} alarm(s) across {} tenant(s)",
+        stats.events,
+        stats.messages,
+        stats.alarms,
+        h.tenant_count()
+    );
+    println!(
+        "multiplexed {} tenant(s) onto {} group(s), {} slot(s), {} distinct clause(s)",
+        h.tenant_count(),
+        h.group_count(),
+        h.slot_count(),
+        h.clause_count()
+    );
+    println!(
+        "check work: {} probes + {} clause eval(s) over {} checks, peak {} queued candidates",
+        stats.check_cost, stats.clause_evals, stats.checks, stats.peak_candidates
+    );
+    if let Some(path) = report {
+        let log = alarm_log
+            .iter()
+            .fold(
+                slicing_observe::json::JsonArray::new(),
+                |arr, (tenant, events, cut)| {
+                    let cut_arr = cut
+                        .counts()
+                        .iter()
+                        .fold(slicing_observe::json::JsonArray::new(), |a, c| {
+                            a.push_raw(&c.to_string())
+                        })
+                        .finish();
+                    arr.push_raw(
+                        &slicing_observe::json::JsonObject::new()
+                            .str("tenant", tenant)
+                            .u64("events", *events)
+                            .raw("cut", &cut_arr)
+                            .finish(),
+                    )
+                },
+            )
+            .finish();
+        let json = slicing_observe::json::JsonObject::new()
+            .str("schema", slicing_observe::schema::SERVE_REPORT)
+            .u64("tenants", h.tenant_count() as u64)
+            .u64("groups", h.group_count() as u64)
+            .u64("slots", h.slot_count() as u64)
+            .u64("events", stats.events)
+            .u64("messages", stats.messages)
+            .u64("checks", stats.checks)
+            .u64("alarms", stats.alarms)
+            .u64("check_cost", stats.check_cost)
+            .u64("clause_evals", stats.clause_evals)
+            .u64("delta_cuts", stats.delta_cuts)
+            .u64("peak_candidates", stats.peak_candidates)
+            .u64("dropped", stats.fanout_dropped)
+            .raw("alarm_log", &log)
+            .finish();
+        write_report(path, &json)?;
+    }
+    Ok(())
 }

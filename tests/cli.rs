@@ -694,3 +694,267 @@ fn detect_report_is_a_valid_run_report() {
         .collect();
     assert_eq!(witness, vec![1, 2, 2], "earliest satisfying cut");
 }
+
+// ---------------------------------------------------------------------------
+// `slicing serve`: multi-tenant predicate multiplexing over a live stream.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn serve_multiplexes_tenants_over_one_stream() {
+    let trace = figure1_trace();
+    let out = slicing_with_stdin(
+        &[
+            "--report",
+            "-",
+            "serve",
+            "--tenant",
+            "a=x1@0 > 1 && x3@2 <= 3",
+            "--tenant",
+            "b=x1@0 > 1 && x3@2 <= 3",
+            "--tenant",
+            "c=x1@0 > 1",
+        ],
+        &trace,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    // Tenants a and b share one group: one settle, two identical alarms.
+    assert!(
+        text.contains("alarm tenant=a after 7 events: fault possible at cut ⟨1, 1, 2⟩"),
+        "{text}"
+    );
+    assert!(
+        text.contains("alarm tenant=b after 7 events: fault possible at cut ⟨1, 1, 2⟩"),
+        "{text}"
+    );
+    assert!(text.contains("alarm tenant=c after 1 events"), "{text}");
+    assert!(
+        text.contains("served 9 events, 4 messages: 2 alarm(s) across 3 tenant(s)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("multiplexed 3 tenant(s) onto 2 group(s), 2 slot(s), 2 distinct clause(s)"),
+        "{text}"
+    );
+    // The report is a valid serve-report document with the same story.
+    let line = text
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON report line in:\n{text}"));
+    let doc = slicing_observe::json::parse(line).unwrap();
+    assert_eq!(
+        slicing_observe::schema::validate(&doc).unwrap(),
+        slicing_observe::schema::SERVE_REPORT
+    );
+    assert_eq!(doc.get("tenants").unwrap().as_u64(), Some(3));
+    assert_eq!(doc.get("groups").unwrap().as_u64(), Some(2));
+    assert_eq!(doc.get("events").unwrap().as_u64(), Some(9));
+    assert_eq!(
+        doc.get("alarm_log").unwrap().as_array().unwrap().len(),
+        3,
+        "one log entry per (tenant, alarm)"
+    );
+}
+
+#[test]
+fn serve_roster_directives_add_and_remove_tenants_mid_stream() {
+    let stream = "\
+procs 2
+var 0 x 0
+var 1 y 0
+event 0 x=0
+event 1 y=0
+tenant late x@0 > 0 && y@1 > 1
+event 0 x=1
+event 1 y=2
+untenant late
+event 0 x=0
+event 1 y=0
+tenant bad z@9 > 1
+";
+    let out = slicing_with_stdin(&["serve", "--tenant", "main=x@0 > 0 && y@1 > 0"], stream);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("tenant late added after 2 events"), "{text}");
+    assert!(text.contains("alarm tenant=late after 4 events"), "{text}");
+    assert!(text.contains("alarm tenant=main after 4 events"), "{text}");
+    assert!(
+        text.contains("tenant late removed after 4 events"),
+        "{text}"
+    );
+    // The roster at the end is just `main`; the malformed directive was
+    // shed with a warning instead of killing the stream.
+    assert!(
+        text.contains("served 6 events, 0 messages: 2 alarm(s) across 1 tenant(s)"),
+        "{text}"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("warning: ignoring tenant bad"), "{err}");
+}
+
+#[test]
+fn serve_checkpoints_rotate_and_resume_converges() {
+    let trace = figure1_trace();
+    let prefix: String = trace.lines().take(9).map(|l| format!("{l}\n")).collect();
+    let ckpt = tmp_path("serve.ckpt");
+    let tenants = [
+        "--tenant",
+        "a=x1@0 > 1 && x3@2 <= 3",
+        "--tenant",
+        "c=x1@0 > 1",
+    ];
+
+    let mut unbroken_args = vec!["serve"];
+    unbroken_args.extend_from_slice(&tenants);
+    let unbroken = slicing_with_stdin(&unbroken_args, &trace);
+    assert!(unbroken.status.success());
+
+    // First incarnation: 4 events, rotated checkpoints every 2 events.
+    let ckpt_s = ckpt.to_str().unwrap();
+    let mut args = vec!["serve"];
+    args.extend_from_slice(&tenants);
+    args.extend_from_slice(&[
+        "--checkpoint",
+        ckpt_s,
+        "--checkpoint-every",
+        "2",
+        "--checkpoint-keep",
+        "2",
+    ]);
+    let out = slicing_with_stdin(&args, &prefix);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // keep=2: the newest generation plus one older one, nothing else.
+    let gen1 = std::path::PathBuf::from(format!("{ckpt_s}.1"));
+    let gen2 = std::path::PathBuf::from(format!("{ckpt_s}.2"));
+    assert!(ckpt.exists(), "newest checkpoint generation missing");
+    assert!(gen1.exists(), "previous checkpoint generation missing");
+    assert!(!gen2.exists(), "retention kept more than --checkpoint-keep");
+    let doc = slicing_observe::json::parse(std::fs::read_to_string(&ckpt).unwrap().trim()).unwrap();
+    assert_eq!(
+        slicing_observe::schema::validate(&doc).unwrap(),
+        slicing_observe::schema::SERVE_CHECKPOINT
+    );
+
+    // Second incarnation: resume from the checkpoint over the full
+    // stream; the tail (alarms and summary) matches the unbroken run.
+    let mut resume_args = vec!["serve"];
+    resume_args.extend_from_slice(&tenants);
+    resume_args.extend_from_slice(&["--resume", ckpt_s]);
+    let resumed = slicing_with_stdin(&resume_args, &trace);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let text = stdout(&resumed);
+    assert!(text.contains("resumed from"), "{text}");
+    let tail = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("alarm tenant=a"))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(tail(&stdout(&unbroken)), tail(&text));
+
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&gen1).ok();
+}
+
+#[test]
+fn monitor_checkpoint_keep_rotates_generations() {
+    let trace = figure1_trace();
+    let ckpt = tmp_path("monitor-rotate.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let out = slicing_with_stdin(
+        &[
+            "monitor",
+            "-",
+            "x1@0 > 1 && x3@2 <= 3",
+            "--checkpoint",
+            ckpt_s,
+            "--checkpoint-every",
+            "3",
+            "--checkpoint-keep",
+            "3",
+        ],
+        &trace,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // 9 events at cadence 3 → generations for events 9, 6, 3.
+    for suffix in ["", ".1", ".2"] {
+        let path = std::path::PathBuf::from(format!("{ckpt_s}{suffix}"));
+        assert!(path.exists(), "missing generation {ckpt_s}{suffix}");
+        let doc =
+            slicing_observe::json::parse(std::fs::read_to_string(&path).unwrap().trim()).unwrap();
+        assert_eq!(
+            slicing_observe::schema::validate(&doc).unwrap(),
+            slicing_observe::schema::CHECKPOINT
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    assert!(!std::path::PathBuf::from(format!("{ckpt_s}.3")).exists());
+}
+
+/// Malformed traces and predicates must come back as error messages, not
+/// panics — the `expect`-on-untrusted-input regression lockdown.
+#[test]
+fn malformed_input_never_panics_the_cli() {
+    let cases: &[(&[&str], &str, &str)] = &[
+        (
+            &["monitor", "-", "x@0 > 1"],
+            "procs 1\nvar 0 x 0\nevent 0 y=1\n",
+            "unknown variable",
+        ),
+        (
+            &["monitor", "-", "x@0 > 1"],
+            "procs 1\nvar 0 x 0\nevent 5 x=1\n",
+            "process index out of range",
+        ),
+        (
+            &["monitor", "-", "nope@0 > 1"],
+            "procs 1\nvar 0 x 0\nevent 0 x=1\n",
+            "no variable named",
+        ),
+        (
+            &["serve", "--tenant", "t=x@0 > 1"],
+            "procs 1\nvar 0 x 0\nmsg 0 1 7 1\n",
+            "bad recv endpoint",
+        ),
+        (
+            &["serve", "--tenant", "t=x@0 > 1 || y@1 > 1"],
+            "procs 2\nvar 0 x 0\nvar 1 y 0\n",
+            "conjunctive",
+        ),
+        (
+            &["detect", "-", "x@0 > 1"],
+            "procs 1\nvar 0 x zebra\n",
+            "trace syntax error",
+        ),
+    ];
+    for (args, stdin, needle) in cases {
+        let out = slicing_with_stdin(args, stdin);
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(!out.status.success(), "{args:?} should fail: {err}");
+        assert!(
+            !err.contains("panicked"),
+            "{args:?} panicked on malformed input:\n{err}"
+        );
+        assert!(err.contains(needle), "{args:?}: wanted {needle:?} in {err}");
+    }
+}
